@@ -1,0 +1,178 @@
+//! # `baselines` — the non-HDC comparison models
+//!
+//! Fig. 3 and Fig. 4 of the CyberHD paper compare against a state-of-the-art
+//! DNN (a multilayer perceptron, per reference [8]) and an SVM (reference
+//! [9]).  This crate implements both from scratch so the whole evaluation is
+//! self-contained:
+//!
+//! * [`matrix::Matrix`] — a small dense row-major matrix with the handful of
+//!   BLAS-like kernels backpropagation needs,
+//! * [`mlp::Mlp`] — a multilayer perceptron with ReLU hidden layers, a
+//!   softmax/cross-entropy head and Adam optimization; its raw weights are
+//!   accessible for the bit-flip robustness study (Fig. 5),
+//! * [`svm::LinearSvm`] — a one-vs-rest linear SVM trained by SGD on the
+//!   L2-regularized hinge loss.
+//!
+//! Both models share the [`Classifier`] trait so the experiment harnesses can
+//! treat every baseline uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{Classifier, mlp::{Mlp, MlpConfig}};
+//!
+//! # fn main() -> Result<(), baselines::BaselineError> {
+//! let features = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+//! let labels = vec![0, 1, 1, 0]; // XOR
+//! let config = MlpConfig::new(2, 2).hidden_layers(vec![16]).epochs(400).seed(1);
+//! let mut mlp = Mlp::new(config)?;
+//! mlp.fit(&features, &labels)?;
+//! assert_eq!(mlp.predict(&[0.0, 1.0])?, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod mlp;
+pub mod svm;
+
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use svm::{LinearSvm, SvmConfig};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `baselines` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// Training or inference data was inconsistent with the model.
+    InvalidData(String),
+    /// A matrix operation was applied to incompatible shapes.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            BaselineError::InvalidData(what) => write!(f, "invalid data: {what}"),
+            BaselineError::ShapeMismatch(what) => write!(f, "shape mismatch: {what}"),
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+/// Crate-local result alias.
+pub type Result<T, E = BaselineError> = std::result::Result<T, E>;
+
+/// A trainable multi-class classifier over dense feature vectors.
+///
+/// Implemented by [`mlp::Mlp`] and [`svm::LinearSvm`]; the experiment
+/// harnesses use it to time training and inference uniformly across models.
+pub trait Classifier {
+    /// Trains the classifier on parallel feature/label slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidData`] for empty or inconsistent data.
+    fn fit(&mut self, features: &[Vec<f32>], labels: &[usize]) -> Result<()>;
+
+    /// Predicts the class of one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidData`] if the feature arity is wrong.
+    fn predict(&self, features: &[f32]) -> Result<usize>;
+
+    /// Predicts a batch of feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first prediction error encountered.
+    fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
+        batch.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Accuracy against ground-truth labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidData`] for mismatched lengths.
+    fn accuracy(&self, features: &[Vec<f32>], labels: &[usize]) -> Result<f64> {
+        if features.len() != labels.len() {
+            return Err(BaselineError::InvalidData(format!(
+                "{} feature vectors but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        if features.is_empty() {
+            return Err(BaselineError::InvalidData("cannot score zero samples".into()));
+        }
+        let predictions = self.predict_batch(features)?;
+        let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / labels.len() as f64)
+    }
+}
+
+/// Validates that a dataset is non-empty and internally consistent.
+pub(crate) fn validate_dataset(
+    features: &[Vec<f32>],
+    labels: &[usize],
+    input_features: usize,
+    num_classes: usize,
+) -> Result<()> {
+    if features.is_empty() {
+        return Err(BaselineError::InvalidData("training set is empty".into()));
+    }
+    if features.len() != labels.len() {
+        return Err(BaselineError::InvalidData(format!(
+            "{} feature vectors but {} labels",
+            features.len(),
+            labels.len()
+        )));
+    }
+    if let Some((i, bad)) = features.iter().enumerate().find(|(_, f)| f.len() != input_features) {
+        return Err(BaselineError::InvalidData(format!(
+            "sample {i} has {} features, expected {input_features}",
+            bad.len()
+        )));
+    }
+    if let Some((i, &bad)) = labels.iter().enumerate().find(|&(_, &l)| l >= num_classes) {
+        return Err(BaselineError::InvalidData(format!(
+            "sample {i} has label {bad}, but the model expects {num_classes} classes"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(BaselineError::InvalidConfig("x".into()).to_string().contains("configuration"));
+        assert!(BaselineError::InvalidData("y".into()).to_string().contains("data"));
+        assert!(BaselineError::ShapeMismatch("z".into()).to_string().contains("shape"));
+    }
+
+    #[test]
+    fn dataset_validation_catches_problems() {
+        let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let ys = vec![0, 1];
+        assert!(validate_dataset(&xs, &ys, 2, 2).is_ok());
+        assert!(validate_dataset(&[], &[], 2, 2).is_err());
+        assert!(validate_dataset(&xs, &ys[..1], 2, 2).is_err());
+        assert!(validate_dataset(&xs, &ys, 3, 2).is_err());
+        assert!(validate_dataset(&xs, &[0, 9], 2, 2).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! A small dense row-major matrix.
+//!
+//! The MLP baseline needs only a handful of kernels — matrix–matrix products
+//! (plain, and with either operand transposed), element-wise maps and row
+//! reductions — so a minimal purpose-built type keeps the crate dependency
+//! free and the backpropagation code readable.
+
+use crate::{BaselineError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `f32` matrix.
+///
+/// # Example
+///
+/// ```
+/// use baselines::Matrix;
+///
+/// # fn main() -> Result<(), baselines::BaselineError> {
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]])?;
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.row(0), &[1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::ShapeMismatch`] if the rows differ in length
+    /// or the input is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
+        let first = rows
+            .first()
+            .ok_or_else(|| BaselineError::ShapeMismatch("matrix needs at least one row".into()))?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(BaselineError::ShapeMismatch(format!(
+                    "row has {} columns, expected {cols}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row index out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row index out of range");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Borrows the whole backing buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the whole backing buffer (row-major).
+    ///
+    /// Used by the fault injector to flip bits of trained MLP weights.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::ShapeMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(BaselineError::ShapeMismatch(format!(
+                "cannot multiply {}x{} by {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `selfᵀ × other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::ShapeMismatch`] if the row counts disagree.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(BaselineError::ShapeMismatch(format!(
+                "cannot multiply ({}x{})^T by {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self × otherᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::ShapeMismatch`] if the column counts
+    /// disagree.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(BaselineError::ShapeMismatch(format!(
+                "cannot multiply {}x{} by ({}x{})^T",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0f32;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Adds `other` scaled by `factor` in place (`self += factor · other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled_in_place(&mut self, other: &Matrix, factor: f32) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(BaselineError::ShapeMismatch(format!(
+                "cannot add {}x{} to {}x{}",
+                other.rows, other.cols, self.rows, self.cols
+            )));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += factor * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of every column, returned as a length-`cols` vector.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for a matrix with no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn from_fn_fills_by_index() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn set_and_row_mut_modify_elements() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 5.0);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.as_slice(), &[0.0, 5.0, 7.0, 0.0]);
+        m.as_mut_slice()[3] = 9.0;
+        assert_eq!(m.get(1, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Matrix::zeros(1, 1).get(0, 1);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert!(a.matmul(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_products_match_explicit_transposition() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        // aᵀ b : 2x3 * 3x2 = 2x2.
+        let atb = a.transpose_matmul(&b).unwrap();
+        assert_eq!(atb.as_slice(), &[89.0, 98.0, 116.0, 128.0]);
+        // a bᵀ : 3x2 * 2x3 = 3x3.
+        let abt = a.matmul_transpose(&b).unwrap();
+        assert_eq!(abt.get(0, 0), 1.0 * 7.0 + 2.0 * 8.0);
+        assert_eq!(abt.get(2, 1), 5.0 * 9.0 + 6.0 * 10.0);
+        assert!(a.transpose_matmul(&Matrix::zeros(2, 2)).is_err());
+        assert!(a.matmul_transpose(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn map_add_and_column_sums() {
+        let mut m = Matrix::from_rows(&[vec![1.0, -2.0], vec![-3.0, 4.0]]).unwrap();
+        m.map_in_place(|v| v.max(0.0));
+        assert_eq!(m.as_slice(), &[1.0, 0.0, 0.0, 4.0]);
+        let other = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        m.add_scaled_in_place(&other, 2.0).unwrap();
+        assert_eq!(m.as_slice(), &[3.0, 2.0, 2.0, 6.0]);
+        assert_eq!(m.column_sums(), vec![5.0, 8.0]);
+        assert!(m.add_scaled_in_place(&Matrix::zeros(1, 2), 1.0).is_err());
+    }
+}

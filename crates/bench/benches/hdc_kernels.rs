@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the HDC substrate kernels: similarity, bundling,
+//! quantization and binary (1-bit) operations as a function of the
+//! hypervector dimensionality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::rng::HdcRng;
+use hdc::{BinaryHypervector, BitWidth, Hypervector, QuantizedHypervector};
+use std::hint::black_box;
+
+fn random_hv(dim: usize, seed: u64) -> Hypervector {
+    let mut rng = HdcRng::seed_from(seed);
+    Hypervector::from_fn(dim, |_| rng.standard_normal() as f32)
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine_similarity");
+    for &dim in &[512usize, 4096, 10_000] {
+        let a = random_hv(dim, 1);
+        let b = random_hv(dim, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(a.cosine(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bundling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle_scaled_in_place");
+    for &dim in &[512usize, 4096] {
+        let sample = random_hv(dim, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bencher, _| {
+            let mut accumulator = Hypervector::zeros(dim);
+            bencher.iter(|| accumulator.bundle_scaled_in_place(black_box(&sample), 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize_512");
+    let hv = random_hv(512, 4);
+    for width in [BitWidth::B32, BitWidth::B8, BitWidth::B1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}")),
+            &width,
+            |bencher, &width| bencher.iter(|| QuantizedHypervector::quantize(black_box(&hv), width)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("quantized_cosine_4096");
+    let a = random_hv(4096, 5);
+    let b = random_hv(4096, 6);
+    for width in [BitWidth::B8, BitWidth::B1] {
+        let qa = QuantizedHypervector::quantize(&a, width);
+        let qb = QuantizedHypervector::quantize(&b, width);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}")),
+            &width,
+            |bencher, _| bencher.iter(|| black_box(qa.cosine(&qb).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_binary_ops(c: &mut Criterion) {
+    let mut rng = HdcRng::seed_from(7);
+    let a = BinaryHypervector::random(10_000, &mut rng);
+    let b = BinaryHypervector::random(10_000, &mut rng);
+    c.bench_function("binary_hamming_10000", |bencher| {
+        bencher.iter(|| black_box(a.hamming_distance(&b).unwrap()))
+    });
+    c.bench_function("binary_xor_bind_10000", |bencher| {
+        bencher.iter(|| black_box(a.bind(&b).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_similarity, bench_bundling, bench_quantization, bench_binary_ops);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Inference-latency benchmarks: per-flow classification cost of CyberHD at
+//! 0.5k vs. baselineHD at 4k (the 15x inference gap of Fig. 4), plus the
+//! quantized deployment path at 8 and 1 bit.
+
+use bench::prepare_dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyberhd::CyberHdTrainer;
+use hdc::BitWidth;
+use nids_data::DatasetKind;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let data = prepare_dataset(DatasetKind::NslKdd, 1_200, 21).expect("dataset generation");
+    let query = data.test_x[0].clone();
+
+    let mut group = c.benchmark_group("single_flow_inference");
+    for (label, dimension, regeneration) in
+        [("cyberhd_512", 512usize, 0.2f32), ("baseline_4096", 4096, 0.0)]
+    {
+        let config =
+            bench::cyberhd_config(&data, dimension, regeneration, 3, 2).expect("valid config");
+        let model = CyberHdTrainer::new(config)
+            .unwrap()
+            .fit(&data.train_x, &data.train_y)
+            .expect("training succeeds");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |bencher, model| {
+            bencher.iter(|| black_box(model.predict(&query).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Quantized deployment path.
+    let config = bench::cyberhd_config(&data, 512, 0.2, 3, 3).expect("valid config");
+    let model = CyberHdTrainer::new(config)
+        .unwrap()
+        .fit(&data.train_x, &data.train_y)
+        .expect("training succeeds");
+    let mut group = c.benchmark_group("quantized_single_flow_inference");
+    for width in [BitWidth::B8, BitWidth::B1] {
+        let deployed = model.quantize(width);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}")),
+            &deployed,
+            |bencher, deployed| bencher.iter(|| black_box(deployed.predict(&query).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end training benchmarks: CyberHD (D = 0.5k, with regeneration)
+//! vs. baselineHD at 0.5k and 4k on a small NSL-KDD-shaped corpus.
+//!
+//! These are the kernels behind the paper's Fig. 4 training-time comparison;
+//! the full figure (all datasets, all models, larger corpora) is produced by
+//! `cargo run -p bench --bin fig4 --release`.
+
+use bench::{prepare_dataset, ExperimentScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyberhd::CyberHdTrainer;
+use nids_data::DatasetKind;
+use std::hint::black_box;
+
+fn bench_hdc_training(c: &mut Criterion) {
+    let _ = ExperimentScale::Quick;
+    let data = prepare_dataset(DatasetKind::NslKdd, 1_500, 11).expect("dataset generation");
+    let mut group = c.benchmark_group("hdc_training_1500_flows");
+    group.sample_size(10);
+    for (label, dimension, regeneration) in [
+        ("cyberhd_512_regen", 512usize, 0.2f32),
+        ("baseline_512", 512, 0.0),
+        ("baseline_2048", 2048, 0.0),
+    ] {
+        let config = bench::cyberhd_config(&data, dimension, regeneration, 5, 1)
+            .expect("valid configuration");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |bencher, config| {
+            bencher.iter(|| {
+                let trainer = CyberHdTrainer::new(config.clone()).unwrap();
+                black_box(trainer.fit(&data.train_x, &data.train_y).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hdc_training);
+criterion_main!(benches);

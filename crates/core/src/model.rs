@@ -1,0 +1,349 @@
+//! The trained CyberHD model and its training report.
+//!
+//! A [`CyberHdModel`] owns the (possibly regenerated) encoder, the trained
+//! class hypervectors and the full training history.  It provides single and
+//! batch prediction, evaluation against labelled data, access to the class
+//! hypervectors and quantized export for deployment / robustness studies.
+
+use crate::config::{CyberHdConfig, EncoderKind};
+use crate::quantized::QuantizedModel;
+use crate::regeneration::RegenerationStats;
+use crate::{CyberHdError, Result};
+use eval::metrics::ConfusionMatrix;
+use hdc::encoder::{Encoder, IdLevelEncoder, RbfEncoder, RecordEncoder};
+use hdc::{AssociativeMemory, BitWidth, Hypervector};
+use serde::{Deserialize, Serialize};
+
+/// Concrete encoder instance, dispatched by [`EncoderKind`].
+///
+/// The trainer needs concrete access to the RBF encoder for regeneration, so
+/// a plain enum is preferred over a trait object here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AnyEncoder {
+    /// RBF / random-Fourier-feature encoder.
+    Rbf(RbfEncoder),
+    /// Static ID–level encoder.
+    IdLevel(IdLevelEncoder),
+    /// Static record-based encoder.
+    Record(RecordEncoder),
+}
+
+impl AnyEncoder {
+    /// Builds the encoder selected by `config`.
+    pub fn from_config(config: &CyberHdConfig) -> Result<Self> {
+        Ok(match config.encoder {
+            EncoderKind::Rbf => AnyEncoder::Rbf(RbfEncoder::with_sigma(
+                config.input_features,
+                config.dimension,
+                config.rbf_sigma,
+                config.seed,
+            )?),
+            EncoderKind::IdLevel => AnyEncoder::IdLevel(IdLevelEncoder::new(
+                config.input_features,
+                config.dimension,
+                config.id_level_levels,
+                config.seed,
+            )?),
+            EncoderKind::Record => AnyEncoder::Record(RecordEncoder::new(
+                config.input_features,
+                config.dimension,
+                config.seed,
+            )?),
+        })
+    }
+
+    /// Which encoder family this is.
+    pub fn kind(&self) -> EncoderKind {
+        match self {
+            AnyEncoder::Rbf(_) => EncoderKind::Rbf,
+            AnyEncoder::IdLevel(_) => EncoderKind::IdLevel,
+            AnyEncoder::Record(_) => EncoderKind::Record,
+        }
+    }
+
+    /// Encodes one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying encoder's errors (feature arity mismatch).
+    pub fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+        let hv = match self {
+            AnyEncoder::Rbf(e) => e.encode(features)?,
+            AnyEncoder::IdLevel(e) => e.encode(features)?,
+            AnyEncoder::Record(e) => e.encode(features)?,
+        };
+        Ok(hv)
+    }
+
+    /// Input feature arity.
+    pub fn input_features(&self) -> usize {
+        match self {
+            AnyEncoder::Rbf(e) => e.input_features(),
+            AnyEncoder::IdLevel(e) => e.input_features(),
+            AnyEncoder::Record(e) => e.input_features(),
+        }
+    }
+
+    /// Output hypervector dimensionality.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            AnyEncoder::Rbf(e) => e.output_dim(),
+            AnyEncoder::IdLevel(e) => e.output_dim(),
+            AnyEncoder::Record(e) => e.output_dim(),
+        }
+    }
+
+    /// Mutable access to the RBF encoder, if that is what this is.
+    pub fn as_rbf_mut(&mut self) -> Option<&mut RbfEncoder> {
+        match self {
+            AnyEncoder::Rbf(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Shared access to the RBF encoder, if that is what this is.
+    pub fn as_rbf(&self) -> Option<&RbfEncoder> {
+        match self {
+            AnyEncoder::Rbf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// History of one CyberHD training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Training-set accuracy measured after the initial accumulation pass
+    /// and after every retraining epoch, in order.
+    pub epoch_accuracy: Vec<f64>,
+    /// Regeneration statistics accumulated across the run.
+    pub regeneration: RegenerationStats,
+    /// Number of samples the model was trained on.
+    pub samples: usize,
+    /// Physical hypervector dimensionality.
+    pub physical_dimension: usize,
+}
+
+impl TrainingReport {
+    /// Final training-set accuracy (after the last epoch), or `0.0` if no
+    /// epoch was recorded.
+    pub fn final_accuracy(&self) -> f64 {
+        self.epoch_accuracy.last().copied().unwrap_or(0.0)
+    }
+
+    /// The paper's effective dimensionality
+    /// `D* = physical D + Σ regenerated dimensions`.
+    pub fn effective_dimension(&self) -> usize {
+        self.regeneration.effective_dimension(self.physical_dimension)
+    }
+}
+
+/// A trained CyberHD classifier.
+#[derive(Debug, Clone)]
+pub struct CyberHdModel {
+    pub(crate) encoder: AnyEncoder,
+    pub(crate) memory: AssociativeMemory,
+    pub(crate) config: CyberHdConfig,
+    pub(crate) report: TrainingReport,
+}
+
+impl CyberHdModel {
+    /// Creates a model from its parts (used by the trainer and by the
+    /// baseline wrapper).
+    pub(crate) fn from_parts(
+        encoder: AnyEncoder,
+        memory: AssociativeMemory,
+        config: CyberHdConfig,
+        report: TrainingReport,
+    ) -> Self {
+        Self { encoder, memory, config, report }
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &CyberHdConfig {
+        &self.config
+    }
+
+    /// The training history.
+    pub fn report(&self) -> &TrainingReport {
+        &self.report
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.memory.num_classes()
+    }
+
+    /// Physical hypervector dimensionality.
+    pub fn dimension(&self) -> usize {
+        self.memory.dim()
+    }
+
+    /// The paper's effective dimensionality `D*`.
+    pub fn effective_dimension(&self) -> usize {
+        self.report.effective_dimension()
+    }
+
+    /// Borrow of the trained class hypervectors.
+    pub fn class_hypervectors(&self) -> &[Hypervector] {
+        self.memory.classes()
+    }
+
+    /// Borrow of the (possibly regenerated) encoder.
+    pub fn encoder(&self) -> &AnyEncoder {
+        &self.encoder
+    }
+
+    /// Mutable borrow of the class-hypervector store.
+    ///
+    /// Exposed so fault-injection studies can perturb a deployed model
+    /// in place; normal callers never need this.
+    pub fn memory_mut(&mut self) -> &mut AssociativeMemory {
+        &mut self.memory
+    }
+
+    /// Shared borrow of the class-hypervector store.
+    pub fn memory(&self) -> &AssociativeMemory {
+        &self.memory
+    }
+
+    /// Encodes a feature vector with the model's encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `features` does not match the configured arity.
+    pub fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+        self.encoder.encode(features)
+    }
+
+    /// Predicts the class of one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `features` does not match the configured arity.
+    pub fn predict(&self, features: &[f32]) -> Result<usize> {
+        let encoded = self.encoder.encode(features)?;
+        let (class, _similarity) = self.memory.nearest(&encoded)?;
+        Ok(class)
+    }
+
+    /// Predicts the class of one feature vector and returns the cosine
+    /// similarity to every class alongside the winner.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `features` does not match the configured arity.
+    pub fn predict_with_scores(&self, features: &[f32]) -> Result<(usize, Vec<f32>)> {
+        let encoded = self.encoder.encode(features)?;
+        let scores = self.memory.similarities(&encoded)?;
+        let (class, _similarity) = self.memory.nearest(&encoded)?;
+        Ok((class, scores))
+    }
+
+    /// Predicts the classes of a batch of feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first prediction error encountered.
+    pub fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
+        batch.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Evaluates the model on labelled data, returning the confusion matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for mismatched input lengths and
+    /// propagates prediction errors.
+    pub fn evaluate(&self, features: &[Vec<f32>], labels: &[usize]) -> Result<ConfusionMatrix> {
+        if features.len() != labels.len() {
+            return Err(CyberHdError::InvalidData(format!(
+                "{} feature vectors but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        let predictions = self.predict_batch(features)?;
+        ConfusionMatrix::from_predictions(&predictions, labels, self.num_classes())
+            .map_err(CyberHdError::from)
+    }
+
+    /// Accuracy on labelled data (convenience wrapper around
+    /// [`CyberHdModel::evaluate`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CyberHdModel::evaluate`].
+    pub fn accuracy(&self, features: &[Vec<f32>], labels: &[usize]) -> Result<f64> {
+        Ok(self.evaluate(features, labels)?.accuracy())
+    }
+
+    /// Exports a quantized copy of the model at the given element bitwidth.
+    pub fn quantize(&self, width: BitWidth) -> QuantizedModel {
+        QuantizedModel::from_model(self, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CyberHdConfig;
+
+    fn tiny_config(encoder: EncoderKind) -> CyberHdConfig {
+        CyberHdConfig::builder(3, 2)
+            .dimension(64)
+            .encoder(encoder)
+            .regeneration_rate(if encoder == EncoderKind::Rbf { 0.1 } else { 0.0 })
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn any_encoder_dispatches_all_kinds() {
+        for kind in [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record] {
+            let config = tiny_config(kind);
+            let encoder = AnyEncoder::from_config(&config).unwrap();
+            assert_eq!(encoder.kind(), kind);
+            assert_eq!(encoder.input_features(), 3);
+            assert_eq!(encoder.output_dim(), 64);
+            let hv = encoder.encode(&[0.1, 0.2, 0.3]).unwrap();
+            assert_eq!(hv.dim(), 64);
+            assert_eq!(encoder.as_rbf().is_some(), kind == EncoderKind::Rbf);
+        }
+    }
+
+    #[test]
+    fn any_encoder_rejects_wrong_arity() {
+        let config = tiny_config(EncoderKind::Rbf);
+        let encoder = AnyEncoder::from_config(&config).unwrap();
+        assert!(encoder.encode(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn training_report_derives_effective_dimension() {
+        let mut regeneration = RegenerationStats::new();
+        regeneration.total_regenerated = 300;
+        regeneration.rounds = 3;
+        let report = TrainingReport {
+            epoch_accuracy: vec![0.8, 0.9, 0.95],
+            regeneration,
+            samples: 1000,
+            physical_dimension: 512,
+        };
+        assert_eq!(report.effective_dimension(), 812);
+        assert!((report.final_accuracy() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_final_accuracy() {
+        let report = TrainingReport {
+            epoch_accuracy: vec![],
+            regeneration: RegenerationStats::new(),
+            samples: 0,
+            physical_dimension: 8,
+        };
+        assert_eq!(report.final_accuracy(), 0.0);
+        assert_eq!(report.effective_dimension(), 8);
+    }
+}

@@ -1,0 +1,248 @@
+//! Single-pass online (streaming) learning.
+//!
+//! The paper motivates HDC for NIDS with *real-time* detection on edge
+//! devices: network flows arrive continuously and the detector must keep up.
+//! [`OnlineLearner`] supports that deployment style — it consumes one sample
+//! at a time, predicts first (so prequential "test-then-train" accuracy can
+//! be tracked), then updates the class hypervectors with the same adaptive
+//! rule the batch trainer uses.  Periodic dimension regeneration can be
+//! triggered explicitly with [`OnlineLearner::regenerate`] once enough
+//! evidence has accumulated.
+
+use crate::config::CyberHdConfig;
+use crate::model::{AnyEncoder, CyberHdModel, TrainingReport};
+use crate::regeneration::{RegenerationPlan, RegenerationStats};
+use crate::trainer::adaptive_update;
+use crate::{CyberHdError, Result};
+use hdc::AssociativeMemory;
+
+/// A streaming CyberHD learner.
+///
+/// # Example
+///
+/// ```
+/// use cyberhd::{CyberHdConfig, OnlineLearner};
+///
+/// # fn main() -> Result<(), cyberhd::CyberHdError> {
+/// let config = CyberHdConfig::builder(2, 2).dimension(128).seed(3).build()?;
+/// let mut learner = OnlineLearner::new(config)?;
+/// // Stream a few labelled flows.
+/// for i in 0..50 {
+///     let (x, y) = if i % 2 == 0 { (vec![0.1, 0.0], 0) } else { (vec![0.9, 1.0], 1) };
+///     learner.observe(&x, y)?;
+/// }
+/// assert_eq!(learner.predict(&[0.05, 0.02])?, 0);
+/// assert!(learner.prequential_accuracy() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineLearner {
+    config: CyberHdConfig,
+    encoder: AnyEncoder,
+    memory: AssociativeMemory,
+    stats: RegenerationStats,
+    seen: usize,
+    correct_before_update: usize,
+}
+
+impl OnlineLearner {
+    /// Creates a learner from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder/memory construction errors.
+    pub fn new(config: CyberHdConfig) -> Result<Self> {
+        let encoder = AnyEncoder::from_config(&config)?;
+        let memory = AssociativeMemory::new(config.num_classes, config.dimension)?;
+        Ok(Self {
+            config,
+            encoder,
+            memory,
+            stats: RegenerationStats::new(),
+            seen: 0,
+            correct_before_update: 0,
+        })
+    }
+
+    /// Number of samples observed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Prequential ("test-then-train") accuracy: the fraction of observed
+    /// samples that were classified correctly *before* the model was updated
+    /// with them. Zero before any sample has been seen.
+    pub fn prequential_accuracy(&self) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        self.correct_before_update as f64 / self.seen as f64
+    }
+
+    /// Predicts the class of one feature vector without updating the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `features` has the wrong arity.
+    pub fn predict(&self, features: &[f32]) -> Result<usize> {
+        let encoded = self.encoder.encode(features)?;
+        let (class, _similarity) = self.memory.nearest(&encoded)?;
+        Ok(class)
+    }
+
+    /// Observes one labelled sample: predicts it, then updates the model.
+    /// Returns the prediction made *before* the update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for an out-of-range label and
+    /// propagates encoder errors.
+    pub fn observe(&mut self, features: &[f32], label: usize) -> Result<usize> {
+        if label >= self.config.num_classes {
+            return Err(CyberHdError::InvalidData(format!(
+                "label {label} out of range for {} classes",
+                self.config.num_classes
+            )));
+        }
+        let encoded = self.encoder.encode(features)?;
+        let (prediction, _similarity) = self.memory.nearest(&encoded)?;
+        let was_correct =
+            adaptive_update(&mut self.memory, &encoded, label, self.config.learning_rate);
+        self.seen += 1;
+        if was_correct {
+            self.correct_before_update += 1;
+        }
+        Ok(prediction)
+    }
+
+    /// Runs one regeneration round using the configured regeneration rate.
+    ///
+    /// Unlike the batch trainer, the streaming learner cannot re-encode past
+    /// samples — regenerated dimensions simply start from zero evidence and
+    /// are filled by subsequent observations, which is the standard
+    /// NeuralHD-style streaming adaptation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidConfig`] if the configured encoder
+    /// cannot regenerate dimensions.
+    pub fn regenerate(&mut self) -> Result<usize> {
+        if self.config.regeneration_rate <= 0.0 {
+            return Ok(0);
+        }
+        let plan = RegenerationPlan::analyze(&self.memory, self.config.regeneration_rate);
+        if plan.drop_count() == 0 {
+            return Ok(0);
+        }
+        let rbf = self.encoder.as_rbf_mut().ok_or_else(|| {
+            CyberHdError::InvalidConfig("dimension regeneration requires the RBF encoder".into())
+        })?;
+        for &d in &plan.drop {
+            self.memory.zero_dimension(d)?;
+            rbf.regenerate_dimension(d)?;
+        }
+        self.stats.record_round(&plan);
+        Ok(plan.drop_count())
+    }
+
+    /// Effective dimensionality accumulated so far.
+    pub fn effective_dimension(&self) -> usize {
+        self.stats.effective_dimension(self.config.dimension)
+    }
+
+    /// Freezes the learner into an immutable [`CyberHdModel`].
+    pub fn into_model(self) -> CyberHdModel {
+        let report = TrainingReport {
+            epoch_accuracy: vec![self.prequential_accuracy()],
+            regeneration: self.stats,
+            samples: self.seen,
+            physical_dimension: self.config.dimension,
+        };
+        CyberHdModel::from_parts(self.encoder, self.memory, self.config, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::HdcRng;
+
+    fn config(dim: usize, regen: f32) -> CyberHdConfig {
+        CyberHdConfig::builder(3, 2)
+            .dimension(dim)
+            .regeneration_rate(regen)
+            .learning_rate(0.08)
+            .seed(17)
+            .build()
+            .unwrap()
+    }
+
+    fn stream(n: usize, seed: u64) -> Vec<(Vec<f32>, usize)> {
+        let mut rng = HdcRng::seed_from(seed);
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let offset = label as f64;
+                let x = vec![
+                    (offset + rng.normal(0.0, 0.08)) as f32,
+                    (1.0 - offset + rng.normal(0.0, 0.08)) as f32,
+                    (offset * 0.5 + rng.normal(0.0, 0.08)) as f32,
+                ];
+                (x, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_learning_converges_on_a_stream() {
+        let mut learner = OnlineLearner::new(config(256, 0.0)).unwrap();
+        for (x, y) in stream(300, 1) {
+            learner.observe(&x, y).unwrap();
+        }
+        assert_eq!(learner.samples_seen(), 300);
+        assert!(learner.prequential_accuracy() > 0.8, "{}", learner.prequential_accuracy());
+        // The frozen model keeps predicting correctly.
+        let model = learner.into_model();
+        assert_eq!(model.predict(&[0.0, 1.0, 0.0]).unwrap(), 0);
+        assert_eq!(model.predict(&[1.0, 0.0, 0.5]).unwrap(), 1);
+        assert_eq!(model.report().samples, 300);
+    }
+
+    #[test]
+    fn observe_validates_labels() {
+        let mut learner = OnlineLearner::new(config(64, 0.0)).unwrap();
+        assert!(learner.observe(&[0.0, 0.0, 0.0], 2).is_err());
+        assert!(learner.observe(&[0.0, 0.0], 0).is_err());
+    }
+
+    #[test]
+    fn prequential_accuracy_starts_at_zero() {
+        let learner = OnlineLearner::new(config(64, 0.0)).unwrap();
+        assert_eq!(learner.prequential_accuracy(), 0.0);
+        assert_eq!(learner.samples_seen(), 0);
+    }
+
+    #[test]
+    fn regeneration_tracks_effective_dimension() {
+        let mut learner = OnlineLearner::new(config(100, 0.1)).unwrap();
+        for (x, y) in stream(100, 2) {
+            learner.observe(&x, y).unwrap();
+        }
+        let dropped = learner.regenerate().unwrap();
+        assert_eq!(dropped, 10, "10% of 100 dimensions");
+        assert_eq!(learner.effective_dimension(), 110);
+        // Accuracy should recover as more samples arrive after regeneration.
+        for (x, y) in stream(200, 3) {
+            learner.observe(&x, y).unwrap();
+        }
+        assert!(learner.prequential_accuracy() > 0.7);
+    }
+
+    #[test]
+    fn regenerate_is_a_noop_when_disabled() {
+        let mut learner = OnlineLearner::new(config(64, 0.0)).unwrap();
+        assert_eq!(learner.regenerate().unwrap(), 0);
+        assert_eq!(learner.effective_dimension(), 64);
+    }
+}

@@ -1,0 +1,200 @@
+//! Dimension-significance analysis and regeneration book-keeping.
+//!
+//! This module implements steps (D)–(G) of the CyberHD workflow:
+//!
+//! * the trained model is **normalized** (each class hypervector scaled to
+//!   unit norm),
+//! * the **variance of every dimension across the class hypervectors** is
+//!   computed — a dimension whose value is (nearly) the same for every class
+//!   carries common information and cannot help discriminate,
+//! * the `R%` of dimensions with the **lowest variance** are selected for
+//!   dropping,
+//! * the accounting of how many dimensions were regenerated over the whole
+//!   training run yields the paper's *effective dimensionality*
+//!   `D* = D + Σ regenerated`.
+//!
+//! The actual base-vector replacement lives in
+//! [`hdc::RbfEncoder::regenerate_dimension`]; the trainer glues the two
+//! together.
+
+use hdc::AssociativeMemory;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one variance analysis: which dimensions to drop and the
+/// variance statistics that led to the decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegenerationPlan {
+    /// Indices of the dimensions selected for dropping/regeneration,
+    /// ordered by ascending variance (least significant first).
+    pub drop: Vec<usize>,
+    /// Variance of every dimension across the normalized class hypervectors.
+    pub variances: Vec<f32>,
+    /// Largest variance among the dropped dimensions (the selection
+    /// threshold actually applied), or `0.0` when nothing was dropped.
+    pub threshold: f32,
+}
+
+impl RegenerationPlan {
+    /// Analyses a trained associative memory and selects the
+    /// `floor(rate * dim)` least-significant dimensions.
+    ///
+    /// The memory is normalized internally; the caller keeps the original
+    /// (unnormalized) model for continued training, exactly as the paper's
+    /// workflow does.
+    pub fn analyze(memory: &AssociativeMemory, rate: f32) -> Self {
+        let normalized = memory.normalized();
+        let variances = normalized.dimension_variances();
+        let count = ((rate.clamp(0.0, 1.0)) * memory.dim() as f32).floor() as usize;
+        let drop = select_lowest_variance(&variances, count);
+        let threshold = drop.last().map(|&d| variances[d]).unwrap_or(0.0);
+        Self { drop, variances, threshold }
+    }
+
+    /// Number of dimensions selected for dropping.
+    pub fn drop_count(&self) -> usize {
+        self.drop.len()
+    }
+
+    /// Mean variance over all dimensions (a coarse signal of how much
+    /// discriminative structure the model has).
+    pub fn mean_variance(&self) -> f32 {
+        if self.variances.is_empty() {
+            return 0.0;
+        }
+        self.variances.iter().sum::<f32>() / self.variances.len() as f32
+    }
+}
+
+/// Returns the indices of the `count` smallest values in `variances`,
+/// ordered by ascending value (ties broken by index for determinism).
+///
+/// `count` is clamped to `variances.len()`.
+pub fn select_lowest_variance(variances: &[f32], count: usize) -> Vec<usize> {
+    let count = count.min(variances.len());
+    let mut indices: Vec<usize> = (0..variances.len()).collect();
+    indices.sort_by(|&a, &b| {
+        variances[a]
+            .partial_cmp(&variances[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    indices.truncate(count);
+    indices
+}
+
+/// Running statistics of the regeneration process across a training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegenerationStats {
+    /// Number of regeneration rounds executed (at most one per retraining
+    /// epoch).
+    pub rounds: usize,
+    /// Total number of dimension regenerations across all rounds.
+    pub total_regenerated: usize,
+    /// Number of dimensions regenerated in each round, in order.
+    pub per_round: Vec<usize>,
+    /// Mean cross-class variance observed before each round.
+    pub mean_variance_per_round: Vec<f32>,
+}
+
+impl RegenerationStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one regeneration round.
+    pub fn record_round(&mut self, plan: &RegenerationPlan) {
+        self.rounds += 1;
+        self.total_regenerated += plan.drop_count();
+        self.per_round.push(plan.drop_count());
+        self.mean_variance_per_round.push(plan.mean_variance());
+    }
+
+    /// The paper's *effective dimensionality*: the physical dimensionality
+    /// plus every regenerated dimension explored during training.
+    pub fn effective_dimension(&self, physical_dimension: usize) -> usize {
+        physical_dimension + self.total_regenerated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::Hypervector;
+
+    #[test]
+    fn select_lowest_variance_orders_and_clamps() {
+        let variances = [0.5, 0.1, 0.9, 0.1, 0.0];
+        assert_eq!(select_lowest_variance(&variances, 3), vec![4, 1, 3]);
+        assert_eq!(select_lowest_variance(&variances, 0), Vec::<usize>::new());
+        assert_eq!(select_lowest_variance(&variances, 99).len(), 5);
+    }
+
+    #[test]
+    fn select_lowest_variance_is_deterministic_under_ties() {
+        let variances = [0.3, 0.3, 0.3, 0.3];
+        assert_eq!(select_lowest_variance(&variances, 2), vec![0, 1]);
+    }
+
+    fn memory_with_common_dimension() -> AssociativeMemory {
+        // Dimension 0 is identical in every class (useless), dimension 1 and 2
+        // differ strongly.
+        AssociativeMemory::from_class_hypervectors(vec![
+            Hypervector::from_vec(vec![1.0, 2.0, -1.0, 0.4]),
+            Hypervector::from_vec(vec![1.0, -2.0, 1.5, 0.1]),
+            Hypervector::from_vec(vec![1.0, 0.5, 2.0, -0.6]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn analyze_targets_common_dimensions_first() {
+        let memory = memory_with_common_dimension();
+        let plan = RegenerationPlan::analyze(&memory, 0.25);
+        assert_eq!(plan.drop_count(), 1);
+        // Dimension 0 is *not* constant after normalization (norms differ),
+        // but it is still by far the least discriminative of the four.
+        assert_eq!(plan.drop[0], 0);
+        assert!(plan.threshold <= plan.mean_variance());
+        assert_eq!(plan.variances.len(), 4);
+    }
+
+    #[test]
+    fn analyze_with_zero_rate_drops_nothing() {
+        let memory = memory_with_common_dimension();
+        let plan = RegenerationPlan::analyze(&memory, 0.0);
+        assert_eq!(plan.drop_count(), 0);
+        assert_eq!(plan.threshold, 0.0);
+    }
+
+    #[test]
+    fn analyze_clamps_excessive_rates() {
+        let memory = memory_with_common_dimension();
+        let plan = RegenerationPlan::analyze(&memory, 5.0);
+        assert_eq!(plan.drop_count(), 4, "rate is clamped to 1.0 -> all dimensions");
+    }
+
+    #[test]
+    fn stats_accumulate_and_compute_effective_dimension() {
+        let memory = memory_with_common_dimension();
+        let plan = RegenerationPlan::analyze(&memory, 0.5);
+        let mut stats = RegenerationStats::new();
+        stats.record_round(&plan);
+        stats.record_round(&plan);
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.total_regenerated, 2 * plan.drop_count());
+        assert_eq!(stats.per_round.len(), 2);
+        assert_eq!(stats.mean_variance_per_round.len(), 2);
+        assert_eq!(
+            stats.effective_dimension(512),
+            512 + 2 * plan.drop_count(),
+            "effective dimension adds every regenerated dimension to the physical one"
+        );
+    }
+
+    #[test]
+    fn empty_plan_mean_variance_is_zero() {
+        let plan = RegenerationPlan { drop: vec![], variances: vec![], threshold: 0.0 };
+        assert_eq!(plan.mean_variance(), 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The CyberHD training loop.
+//!
+//! [`CyberHdTrainer`] wires together the whole workflow of Fig. 2 of the
+//! paper:
+//!
+//! 1. **(A) Encoding** — every training sample is encoded once into
+//!    hyperspace (in parallel across `encode_threads` workers).
+//! 2. **(B) Adaptive learning** — class hypervectors are updated with
+//!    similarity-weighted deltas: a sample that is already well represented
+//!    (`δ ≈ 1`) barely changes the model, a novel pattern (`δ ≈ 0`) is added
+//!    with full weight.
+//! 3. **(D)–(G) Variance analysis** — after each retraining epoch the model
+//!    is normalized, per-dimension cross-class variances are computed and the
+//!    `R%` least-significant dimensions are dropped.
+//! 4. **(H) Regeneration** — the dropped dimensions' encoder base vectors are
+//!    redrawn from the Gaussian distribution, the cached encodings are
+//!    patched in place (only the regenerated coordinates are recomputed) and
+//!    training continues.
+//!
+//! Setting `regeneration_rate` to zero turns the same loop into the paper's
+//! *baselineHD* (static encoder, adaptive retraining only) — which is exactly
+//! how [`crate::BaselineHd`] is implemented.
+
+use crate::config::CyberHdConfig;
+use crate::model::{AnyEncoder, CyberHdModel, TrainingReport};
+use crate::regeneration::{RegenerationPlan, RegenerationStats};
+use crate::{validate_dataset, CyberHdError, Result};
+use hdc::rng::HdcRng;
+use hdc::{AssociativeMemory, Hypervector};
+
+/// Trains [`CyberHdModel`]s from labelled feature vectors.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct CyberHdTrainer {
+    config: CyberHdConfig,
+}
+
+impl CyberHdTrainer {
+    /// Creates a trainer from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a [`CyberHdConfig`] built through its
+    /// builder, but kept fallible so future cross-field checks (e.g.
+    /// dimension vs. thread count) do not break the API.
+    pub fn new(config: CyberHdConfig) -> Result<Self> {
+        Ok(Self { config })
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &CyberHdConfig {
+        &self.config
+    }
+
+    /// Trains a model on `features` / `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] if the dataset is empty or
+    /// inconsistent with the configuration, and propagates encoder errors.
+    pub fn fit(&self, features: &[Vec<f32>], labels: &[usize]) -> Result<CyberHdModel> {
+        let config = &self.config;
+        validate_dataset(features, labels, config.input_features, config.num_classes)?;
+
+        let mut encoder = AnyEncoder::from_config(config)?;
+        let mut encoded = encode_batch_parallel(&encoder, features, config.encode_threads)?;
+        let mut memory = AssociativeMemory::new(config.num_classes, config.dimension)?;
+        let mut rng = HdcRng::seed_from(config.seed ^ 0xA5A5_A5A5_DEAD_BEEF);
+        let mut stats = RegenerationStats::new();
+        let mut epoch_accuracy = Vec::with_capacity(config.retrain_epochs + 1);
+
+        // Initial adaptive pass over the data in its natural order.
+        let initial_correct = adaptive_epoch(&mut memory, &encoded, labels, config.learning_rate);
+        epoch_accuracy.push(initial_correct as f64 / labels.len() as f64);
+
+        for epoch in 0..config.retrain_epochs {
+            // Regenerate *before* each retraining epoch except the first, so
+            // the final epoch always trains on the final encoder (the paper
+            // retrains after updating the base vectors).
+            if config.regeneration_rate > 0.0 && epoch > 0 {
+                let plan = RegenerationPlan::analyze(&memory, config.regeneration_rate);
+                if plan.drop_count() > 0 {
+                    apply_regeneration(&mut encoder, &mut memory, &mut encoded, features, &plan)?;
+                    stats.record_round(&plan);
+                }
+            }
+
+            let order = rng.permutation(encoded.len());
+            let mut correct = 0usize;
+            for &i in &order {
+                if adaptive_update(&mut memory, &encoded[i], labels[i], config.learning_rate) {
+                    correct += 1;
+                }
+            }
+            epoch_accuracy.push(correct as f64 / labels.len() as f64);
+        }
+
+        let report = TrainingReport {
+            epoch_accuracy,
+            regeneration: stats,
+            samples: labels.len(),
+            physical_dimension: config.dimension,
+        };
+        Ok(CyberHdModel::from_parts(encoder, memory, config.clone(), report))
+    }
+}
+
+/// Performs one adaptive update for a single encoded sample.
+///
+/// Returns `true` if the sample was already classified correctly (in which
+/// case the model is left untouched, matching the paper's mispredict-driven
+/// update rule).
+pub(crate) fn adaptive_update(
+    memory: &mut AssociativeMemory,
+    encoded: &Hypervector,
+    label: usize,
+    learning_rate: f32,
+) -> bool {
+    let sims = memory
+        .similarities(encoded)
+        .expect("encoded sample dimensionality is validated before training");
+    let mut predicted = 0usize;
+    let mut best = f32::NEG_INFINITY;
+    for (k, &s) in sims.iter().enumerate() {
+        if s > best {
+            best = s;
+            predicted = k;
+        }
+    }
+    if predicted == label {
+        return true;
+    }
+    // Pull the true class towards the sample, push the confused class away,
+    // both scaled by how *novel* the sample is to that class (1 - δ).
+    let pull = learning_rate * (1.0 - sims[label]);
+    let push = learning_rate * (1.0 - sims[predicted]);
+    memory
+        .add_scaled(label, encoded, pull)
+        .expect("label index validated before training");
+    memory
+        .add_scaled(predicted, encoded, -push)
+        .expect("predicted index comes from the memory itself");
+    false
+}
+
+/// Runs one adaptive epoch in natural order, returning the number of samples
+/// that were already classified correctly.
+pub(crate) fn adaptive_epoch(
+    memory: &mut AssociativeMemory,
+    encoded: &[Hypervector],
+    labels: &[usize],
+    learning_rate: f32,
+) -> usize {
+    encoded
+        .iter()
+        .zip(labels)
+        .filter(|(h, &l)| adaptive_update(memory, h, l, learning_rate))
+        .count()
+}
+
+/// Applies one regeneration plan: zero the dropped dimensions in the model,
+/// redraw their base vectors and patch the cached encodings in place.
+fn apply_regeneration(
+    encoder: &mut AnyEncoder,
+    memory: &mut AssociativeMemory,
+    encoded: &mut [Hypervector],
+    features: &[Vec<f32>],
+    plan: &RegenerationPlan,
+) -> Result<()> {
+    let rbf = encoder.as_rbf_mut().ok_or_else(|| {
+        CyberHdError::InvalidConfig(
+            "dimension regeneration requires the RBF encoder".into(),
+        )
+    })?;
+    for &d in &plan.drop {
+        memory.zero_dimension(d)?;
+        rbf.regenerate_dimension(d)?;
+    }
+    // Patch only the regenerated coordinates of the cached encodings.
+    for (sample, hv) in features.iter().zip(encoded.iter_mut()) {
+        for &d in &plan.drop {
+            hv[d] = rbf.encode_dimension(sample, d)?;
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a batch of feature vectors, splitting the work across `threads`
+/// crossbeam scoped workers.
+///
+/// # Errors
+///
+/// Returns the first encoding error encountered by any worker.
+pub(crate) fn encode_batch_parallel(
+    encoder: &AnyEncoder,
+    features: &[Vec<f32>],
+    threads: usize,
+) -> Result<Vec<Hypervector>> {
+    let threads = threads.max(1);
+    if threads == 1 || features.len() < threads * 4 {
+        return features.iter().map(|f| encoder.encode(f)).collect();
+    }
+    let chunk_size = features.len().div_ceil(threads);
+    let chunks: Vec<&[Vec<f32>]> = features.chunks(chunk_size).collect();
+    let results: Vec<Result<Vec<Hypervector>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk.iter().map(|f| encoder.encode(f)).collect::<Result<Vec<_>>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("encoder worker panicked"))
+            .collect()
+    });
+
+    let mut out = Vec::with_capacity(features.len());
+    for chunk_result in results {
+        out.extend(chunk_result?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderKind;
+    use hdc::rng::HdcRng;
+
+    /// Builds a small synthetic multi-class problem of Gaussian blobs.
+    fn blobs(
+        classes: usize,
+        per_class: usize,
+        features: usize,
+        spread: f64,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = HdcRng::seed_from(seed);
+        let centers: Vec<Vec<f64>> = (0..classes)
+            .map(|_| (0..features).map(|_| rng.uniform(-1.0, 1.0)).collect())
+            .collect();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                xs.push(center.iter().map(|&m| (m + rng.normal(0.0, spread)) as f32).collect());
+                ys.push(c);
+            }
+        }
+        (xs, ys)
+    }
+
+    fn base_config(features: usize, classes: usize) -> CyberHdConfig {
+        CyberHdConfig::builder(features, classes)
+            .dimension(256)
+            .retrain_epochs(5)
+            .regeneration_rate(0.1)
+            .learning_rate(0.05)
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fit_rejects_inconsistent_data() {
+        let trainer = CyberHdTrainer::new(base_config(4, 3)).unwrap();
+        assert!(matches!(trainer.fit(&[], &[]), Err(CyberHdError::InvalidData(_))));
+        let xs = vec![vec![0.0; 4]];
+        assert!(trainer.fit(&xs, &[5]).is_err());
+        assert!(trainer.fit(&xs, &[0, 1]).is_err());
+        let bad = vec![vec![0.0; 3]];
+        assert!(trainer.fit(&bad, &[0]).is_err());
+    }
+
+    #[test]
+    fn fit_learns_separable_blobs() {
+        let (xs, ys) = blobs(4, 40, 8, 0.05, 11);
+        let trainer = CyberHdTrainer::new(base_config(8, 4)).unwrap();
+        let model = trainer.fit(&xs, &ys).unwrap();
+        let accuracy = model.accuracy(&xs, &ys).unwrap();
+        assert!(accuracy > 0.9, "training accuracy {accuracy} too low");
+        assert_eq!(model.dimension(), 256);
+        assert!(model.effective_dimension() >= 256);
+    }
+
+    #[test]
+    fn regeneration_increases_effective_dimension() {
+        let (xs, ys) = blobs(3, 30, 6, 0.1, 5);
+        let config = CyberHdConfig::builder(6, 3)
+            .dimension(128)
+            .retrain_epochs(4)
+            .regeneration_rate(0.2)
+            .seed(9)
+            .build()
+            .unwrap();
+        let model = CyberHdTrainer::new(config).unwrap().fit(&xs, &ys).unwrap();
+        let report = model.report();
+        assert!(report.regeneration.rounds >= 1);
+        assert!(model.effective_dimension() > model.dimension());
+        // Effective dimension = physical + total regenerated.
+        assert_eq!(
+            model.effective_dimension(),
+            model.dimension() + report.regeneration.total_regenerated
+        );
+    }
+
+    #[test]
+    fn zero_regeneration_rate_never_regenerates() {
+        let (xs, ys) = blobs(3, 20, 6, 0.1, 6);
+        let config = CyberHdConfig::builder(6, 3)
+            .dimension(128)
+            .retrain_epochs(3)
+            .regeneration_rate(0.0)
+            .seed(10)
+            .build()
+            .unwrap();
+        let model = CyberHdTrainer::new(config).unwrap().fit(&xs, &ys).unwrap();
+        assert_eq!(model.report().regeneration.rounds, 0);
+        assert_eq!(model.effective_dimension(), model.dimension());
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_fixed_seed() {
+        let (xs, ys) = blobs(3, 25, 5, 0.1, 7);
+        let config = base_config(5, 3);
+        let a = CyberHdTrainer::new(config.clone()).unwrap().fit(&xs, &ys).unwrap();
+        let b = CyberHdTrainer::new(config).unwrap().fit(&xs, &ys).unwrap();
+        assert_eq!(a.class_hypervectors(), b.class_hypervectors());
+        assert_eq!(a.report().epoch_accuracy, b.report().epoch_accuracy);
+    }
+
+    #[test]
+    fn parallel_encoding_matches_sequential_encoding() {
+        let (xs, _) = blobs(2, 40, 7, 0.2, 8);
+        let config = base_config(7, 2);
+        let encoder = AnyEncoder::from_config(&config).unwrap();
+        let sequential = encode_batch_parallel(&encoder, &xs, 1).unwrap();
+        let parallel = encode_batch_parallel(&encoder, &xs, 4).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn adaptive_update_moves_model_towards_novel_samples() {
+        let mut memory = AssociativeMemory::new(2, 16).unwrap();
+        let sample = Hypervector::from_vec((0..16).map(|i| (i as f32 * 0.3).sin()).collect());
+        // Initially everything is zero: the sample is misclassified into
+        // class 0 (tie), so class 1 training pulls it in.
+        let was_correct = adaptive_update(&mut memory, &sample, 1, 0.5);
+        assert!(!was_correct);
+        let (winner, _) = memory.nearest(&sample).unwrap();
+        assert_eq!(winner, 1, "after the update the true class should win");
+        // A second presentation is now correct and leaves the model alone.
+        let snapshot = memory.classes().to_vec();
+        assert!(adaptive_update(&mut memory, &sample, 1, 0.5));
+        assert_eq!(memory.classes(), snapshot.as_slice());
+    }
+
+    #[test]
+    fn retraining_accuracy_is_monotone_on_easy_data_by_the_end() {
+        let (xs, ys) = blobs(4, 30, 8, 0.02, 12);
+        let model = CyberHdTrainer::new(base_config(8, 4)).unwrap().fit(&xs, &ys).unwrap();
+        let accs = &model.report().epoch_accuracy;
+        assert!(accs.len() >= 2);
+        assert!(
+            accs.last().unwrap() >= accs.first().unwrap(),
+            "final accuracy {accs:?} should not be worse than the initial pass"
+        );
+    }
+
+    #[test]
+    fn id_level_encoder_trains_without_regeneration() {
+        let (xs, ys) = blobs(3, 30, 6, 0.05, 13);
+        // Scale features into [0, 1] for the level encoder.
+        let xs: Vec<Vec<f32>> =
+            xs.into_iter().map(|v| v.into_iter().map(|x| (x + 2.0) / 4.0).collect()).collect();
+        let config = CyberHdConfig::builder(6, 3)
+            .dimension(512)
+            .encoder(EncoderKind::IdLevel)
+            .regeneration_rate(0.0)
+            .retrain_epochs(5)
+            .seed(2)
+            .build()
+            .unwrap();
+        let model = CyberHdTrainer::new(config).unwrap().fit(&xs, &ys).unwrap();
+        assert!(model.accuracy(&xs, &ys).unwrap() > 0.8);
+    }
+}

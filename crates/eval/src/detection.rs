@@ -1,0 +1,324 @@
+//! Detection-oriented metrics for intrusion detection.
+//!
+//! NIDS practitioners rarely stop at multi-class accuracy: what matters
+//! operationally is the **detection rate** (how many attack flows are
+//! flagged), the **false-alarm rate** (how much benign traffic is flagged)
+//! and the trade-off between the two as the alarm threshold moves (ROC
+//! curve / AUC).  This module provides those metrics on top of binary
+//! "benign vs. attack" ground truth, which every multi-class model in this
+//! repository can produce by mapping its predicted class to *attack* when it
+//! is not the benign class.
+
+use crate::{EvalError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Outcome counts of a binary benign/attack evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionCounts {
+    /// Attack flows flagged as attacks.
+    pub true_positives: u64,
+    /// Benign flows flagged as attacks (false alarms).
+    pub false_positives: u64,
+    /// Benign flows passed as benign.
+    pub true_negatives: u64,
+    /// Attack flows passed as benign (misses).
+    pub false_negatives: u64,
+}
+
+impl DetectionCounts {
+    /// Tallies counts from parallel "is attack" prediction/label slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::LengthMismatch`] if the slices differ in length
+    /// or [`EvalError::InvalidArgument`] if they are empty.
+    pub fn from_binary(predicted_attack: &[bool], actual_attack: &[bool]) -> Result<Self> {
+        if predicted_attack.len() != actual_attack.len() {
+            return Err(EvalError::LengthMismatch {
+                predictions: predicted_attack.len(),
+                labels: actual_attack.len(),
+            });
+        }
+        if predicted_attack.is_empty() {
+            return Err(EvalError::InvalidArgument("cannot evaluate zero samples".into()));
+        }
+        let mut counts = DetectionCounts::default();
+        for (&p, &a) in predicted_attack.iter().zip(actual_attack) {
+            match (p, a) {
+                (true, true) => counts.true_positives += 1,
+                (true, false) => counts.false_positives += 1,
+                (false, false) => counts.true_negatives += 1,
+                (false, true) => counts.false_negatives += 1,
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Tallies counts from multi-class predictions, treating every class
+    /// other than `benign_class` as an attack.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DetectionCounts::from_binary`].
+    pub fn from_multiclass(
+        predictions: &[usize],
+        labels: &[usize],
+        benign_class: usize,
+    ) -> Result<Self> {
+        let predicted: Vec<bool> = predictions.iter().map(|&p| p != benign_class).collect();
+        let actual: Vec<bool> = labels.iter().map(|&l| l != benign_class).collect();
+        Self::from_binary(&predicted, &actual)
+    }
+
+    /// Total number of evaluated flows.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Detection rate (recall on the attack class): TP / (TP + FN).
+    /// Zero when there are no attack flows.
+    pub fn detection_rate(&self) -> f64 {
+        let attacks = self.true_positives + self.false_negatives;
+        if attacks == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / attacks as f64
+    }
+
+    /// False-alarm rate: FP / (FP + TN). Zero when there is no benign
+    /// traffic.
+    pub fn false_alarm_rate(&self) -> f64 {
+        let benign = self.false_positives + self.true_negatives;
+        if benign == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 / benign as f64
+    }
+
+    /// Precision on the attack class: TP / (TP + FP). Zero when nothing was
+    /// flagged.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / flagged as f64
+    }
+
+    /// F1 score of the attack class.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.detection_rate();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Binary accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+}
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold that produced this point.
+    pub threshold: f64,
+    /// False-positive (false-alarm) rate at this threshold.
+    pub false_positive_rate: f64,
+    /// True-positive (detection) rate at this threshold.
+    pub true_positive_rate: f64,
+}
+
+/// A receiver-operating-characteristic curve built from per-flow attack
+/// scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Builds the ROC curve from per-flow scores (higher = more suspicious)
+    /// and the binary attack ground truth.
+    ///
+    /// The curve contains one point per distinct score (each score acts as a
+    /// threshold: flows with `score >= threshold` are flagged), framed by the
+    /// trivial (0, 0) and (1, 1) endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::LengthMismatch`] for mismatched inputs,
+    /// [`EvalError::InvalidArgument`] for empty input, non-finite scores, or
+    /// ground truth that contains only one of the two classes.
+    pub fn from_scores(scores: &[f64], actual_attack: &[bool]) -> Result<Self> {
+        if scores.len() != actual_attack.len() {
+            return Err(EvalError::LengthMismatch {
+                predictions: scores.len(),
+                labels: actual_attack.len(),
+            });
+        }
+        if scores.is_empty() {
+            return Err(EvalError::InvalidArgument("cannot build a ROC curve from zero samples".into()));
+        }
+        if scores.iter().any(|s| !s.is_finite()) {
+            return Err(EvalError::InvalidArgument("scores must be finite".into()));
+        }
+        let positives = actual_attack.iter().filter(|&&a| a).count() as f64;
+        let negatives = actual_attack.len() as f64 - positives;
+        if positives == 0.0 || negatives == 0.0 {
+            return Err(EvalError::InvalidArgument(
+                "ROC needs both attack and benign samples in the ground truth".into(),
+            ));
+        }
+
+        // Sort by descending score; sweep the threshold across the data.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            false_positive_rate: 0.0,
+            true_positive_rate: 0.0,
+        }];
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut index = 0;
+        while index < order.len() {
+            let threshold = scores[order[index]];
+            // Consume every sample tied at this threshold before emitting a point.
+            while index < order.len() && scores[order[index]] == threshold {
+                if actual_attack[order[index]] {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+                index += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                false_positive_rate: fp / negatives,
+                true_positive_rate: tp / positives,
+            });
+        }
+        Ok(Self { points })
+    }
+
+    /// The curve's points, ordered by decreasing threshold.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve (trapezoidal rule), in `[0, 1]`.
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            let dx = pair[1].false_positive_rate - pair[0].false_positive_rate;
+            let avg_y = 0.5 * (pair[1].true_positive_rate + pair[0].true_positive_rate);
+            area += dx * avg_y;
+        }
+        area.clamp(0.0, 1.0)
+    }
+
+    /// The detection rate achievable at (or below) a target false-alarm rate.
+    pub fn detection_rate_at_false_alarm(&self, max_false_alarm_rate: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.false_positive_rate <= max_false_alarm_rate)
+            .map(|p| p.true_positive_rate)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_tallied_correctly() {
+        let predicted = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let counts = DetectionCounts::from_binary(&predicted, &actual).unwrap();
+        assert_eq!(counts.true_positives, 2);
+        assert_eq!(counts.false_positives, 1);
+        assert_eq!(counts.true_negatives, 1);
+        assert_eq!(counts.false_negatives, 1);
+        assert_eq!(counts.total(), 5);
+        assert!((counts.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((counts.false_alarm_rate() - 0.5).abs() < 1e-12);
+        assert!((counts.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((counts.accuracy() - 0.6).abs() < 1e-12);
+        assert!(counts.f1() > 0.0);
+    }
+
+    #[test]
+    fn counts_validate_inputs_and_handle_degenerate_cases() {
+        assert!(DetectionCounts::from_binary(&[true], &[]).is_err());
+        assert!(DetectionCounts::from_binary(&[], &[]).is_err());
+        let all_benign = DetectionCounts::from_binary(&[false, false], &[false, false]).unwrap();
+        assert_eq!(all_benign.detection_rate(), 0.0);
+        assert_eq!(all_benign.false_alarm_rate(), 0.0);
+        assert_eq!(all_benign.precision(), 0.0);
+        assert_eq!(all_benign.f1(), 0.0);
+        assert_eq!(DetectionCounts::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn multiclass_mapping_treats_non_benign_as_attack() {
+        // benign class = 0; prediction 2 on a label-3 flow is still a detection.
+        let counts = DetectionCounts::from_multiclass(&[0, 2, 1, 0], &[0, 3, 0, 2], 0).unwrap();
+        assert_eq!(counts.true_positives, 1);
+        assert_eq!(counts.false_positives, 1);
+        assert_eq!(counts.true_negatives, 1);
+        assert_eq!(counts.false_negatives, 1);
+    }
+
+    #[test]
+    fn perfect_scores_give_unit_auc() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let actual = [true, true, false, false];
+        let roc = RocCurve::from_scores(&scores, &actual).unwrap();
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+        assert_eq!(roc.detection_rate_at_false_alarm(0.0), 1.0);
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_auc_and_random_scores_give_half() {
+        let actual = [true, true, false, false];
+        let inverted = RocCurve::from_scores(&[0.1, 0.2, 0.8, 0.9], &actual).unwrap();
+        assert!(inverted.auc() < 1e-12);
+        // Identical scores: single threshold step, AUC = 0.5 by symmetry.
+        let flat = RocCurve::from_scores(&[0.5, 0.5, 0.5, 0.5], &actual).unwrap();
+        assert!((flat.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_validates_inputs() {
+        assert!(RocCurve::from_scores(&[0.5], &[true, false]).is_err());
+        assert!(RocCurve::from_scores(&[], &[]).is_err());
+        assert!(RocCurve::from_scores(&[f64::NAN, 0.1], &[true, false]).is_err());
+        assert!(RocCurve::from_scores(&[0.4, 0.6], &[true, true]).is_err());
+    }
+
+    #[test]
+    fn roc_points_are_monotone_and_detection_rate_lookup_works() {
+        let scores = [0.95, 0.9, 0.7, 0.65, 0.6, 0.4, 0.3, 0.2];
+        let actual = [true, true, false, true, true, false, false, false];
+        let roc = RocCurve::from_scores(&scores, &actual).unwrap();
+        let points = roc.points();
+        assert!(points.windows(2).all(|w| {
+            w[1].false_positive_rate >= w[0].false_positive_rate
+                && w[1].true_positive_rate >= w[0].true_positive_rate
+        }));
+        let auc = roc.auc();
+        assert!(auc > 0.7 && auc <= 1.0);
+        assert!(roc.detection_rate_at_false_alarm(0.26) >= 0.5);
+        assert_eq!(roc.detection_rate_at_false_alarm(1.0), 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! # `eval` — metrics, timing and reporting
+//!
+//! Shared evaluation utilities for the CyberHD reproduction:
+//!
+//! * [`metrics`] — classification metrics (accuracy, per-class precision /
+//!   recall / F1, macro averages, confusion matrices) used by Fig. 3 and the
+//!   robustness study of Fig. 5;
+//! * [`timing`] — wall-clock measurement helpers used by the training /
+//!   inference efficiency comparison of Fig. 4;
+//! * [`report`] — small text-table and series builders so every experiment
+//!   binary prints its results in the same layout as the paper's tables and
+//!   figures.
+//!
+//! # Example
+//!
+//! ```
+//! use eval::ConfusionMatrix;
+//!
+//! # fn main() -> Result<(), eval::EvalError> {
+//! let predictions = [0, 1, 1, 0];
+//! let labels = [0, 1, 0, 0];
+//! let cm = ConfusionMatrix::from_predictions(&predictions, &labels, 2)?;
+//! assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detection;
+pub mod metrics;
+pub mod report;
+pub mod timing;
+
+pub use detection::{DetectionCounts, RocCurve};
+pub use metrics::{ClassificationReport, ConfusionMatrix};
+pub use report::{Series, Table};
+pub use timing::{Stopwatch, ThroughputReport};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `eval` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// Prediction and label slices have different lengths.
+    LengthMismatch {
+        /// Number of predictions supplied.
+        predictions: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A class index exceeded the configured number of classes.
+    ClassOutOfRange {
+        /// The offending class index.
+        class: usize,
+        /// Number of classes the structure was built for.
+        num_classes: usize,
+    },
+    /// An argument was invalid (zero classes, empty input where data is
+    /// required, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::LengthMismatch { predictions, labels } => write!(
+                f,
+                "prediction/label length mismatch: {predictions} predictions vs {labels} labels"
+            ),
+            EvalError::ClassOutOfRange { class, num_classes } => {
+                write!(f, "class {class} out of range for {num_classes} classes")
+            }
+            EvalError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// Crate-local result alias.
+pub type Result<T, E = EvalError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EvalError::LengthMismatch { predictions: 3, labels: 5 };
+        assert!(e.to_string().contains("3"));
+        let e = EvalError::ClassOutOfRange { class: 9, num_classes: 4 };
+        assert!(e.to_string().contains("9"));
+        let e = EvalError::InvalidArgument("x".into());
+        assert!(e.to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalError>();
+    }
+}

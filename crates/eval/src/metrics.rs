@@ -1,0 +1,398 @@
+//! Classification metrics.
+//!
+//! The paper reports plain accuracy (Fig. 3) and accuracy *loss* under fault
+//! injection (Fig. 5).  Because intrusion-detection datasets are heavily
+//! imbalanced, this module also provides per-class precision / recall / F1
+//! and macro averages so that downstream users can look past raw accuracy.
+
+use crate::{EvalError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `k × k` confusion matrix where rows are true labels and columns are
+/// predicted labels.
+///
+/// # Example
+///
+/// ```
+/// use eval::ConfusionMatrix;
+///
+/// # fn main() -> Result<(), eval::EvalError> {
+/// let cm = ConfusionMatrix::from_predictions(&[0, 1, 2, 2], &[0, 1, 2, 1], 3)?;
+/// assert_eq!(cm.count(1, 2), 1, "one sample with label 1 was predicted as 2");
+/// assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    /// Row-major counts: `counts[label * num_classes + prediction]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `num_classes` classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidArgument`] if `num_classes` is zero.
+    pub fn new(num_classes: usize) -> Result<Self> {
+        if num_classes == 0 {
+            return Err(EvalError::InvalidArgument("num_classes must be non-zero".into()));
+        }
+        Ok(Self { num_classes, counts: vec![0; num_classes * num_classes] })
+    }
+
+    /// Builds a matrix from parallel prediction/label slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::LengthMismatch`] if the slices differ in length,
+    /// or [`EvalError::ClassOutOfRange`] if any entry is `>= num_classes`.
+    pub fn from_predictions(
+        predictions: &[usize],
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<Self> {
+        if predictions.len() != labels.len() {
+            return Err(EvalError::LengthMismatch {
+                predictions: predictions.len(),
+                labels: labels.len(),
+            });
+        }
+        let mut cm = Self::new(num_classes)?;
+        for (&p, &l) in predictions.iter().zip(labels) {
+            cm.record(l, p)?;
+        }
+        Ok(cm)
+    }
+
+    /// Records one observation with true label `label` predicted as
+    /// `prediction`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::ClassOutOfRange`] if either index is out of
+    /// range.
+    pub fn record(&mut self, label: usize, prediction: usize) -> Result<()> {
+        if label >= self.num_classes {
+            return Err(EvalError::ClassOutOfRange { class: label, num_classes: self.num_classes });
+        }
+        if prediction >= self.num_classes {
+            return Err(EvalError::ClassOutOfRange {
+                class: prediction,
+                num_classes: self.num_classes,
+            });
+        }
+        self.counts[label * self.num_classes + prediction] += 1;
+        Ok(())
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Count of samples with true label `label` predicted as `prediction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, label: usize, prediction: usize) -> u64 {
+        assert!(label < self.num_classes && prediction < self.num_classes, "class out of range");
+        self.counts[label * self.num_classes + prediction]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of correctly classified samples (trace of the matrix).
+    pub fn correct(&self) -> u64 {
+        (0..self.num_classes).map(|c| self.count(c, c)).sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; `0.0` for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.correct() as f64 / total as f64
+    }
+
+    /// Number of samples whose true label is `class`.
+    pub fn support(&self, class: usize) -> u64 {
+        (0..self.num_classes).map(|p| self.count(class, p)).sum()
+    }
+
+    /// Precision of `class`: TP / (TP + FP). Zero when the class was never
+    /// predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class) as f64;
+        let predicted: u64 = (0..self.num_classes).map(|l| self.count(l, class)).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        tp / predicted as f64
+    }
+
+    /// Recall of `class`: TP / (TP + FN). Zero when the class has no support.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class) as f64;
+        let support = self.support(class);
+        if support == 0 {
+            return 0.0;
+        }
+        tp / support as f64
+    }
+
+    /// F1 score of `class` (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Macro-averaged F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.num_classes).map(|c| self.f1(c)).sum::<f64>() / self.num_classes as f64
+    }
+
+    /// Macro-averaged recall (a.k.a. balanced accuracy for single-label
+    /// classification).
+    pub fn macro_recall(&self) -> f64 {
+        (0..self.num_classes).map(|c| self.recall(c)).sum::<f64>() / self.num_classes as f64
+    }
+
+    /// Merges another matrix of the same shape into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidArgument`] if the shapes differ.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.num_classes != other.num_classes {
+            return Err(EvalError::InvalidArgument(format!(
+                "cannot merge confusion matrices of {} and {} classes",
+                self.num_classes, other.num_classes
+            )));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Produces a full per-class report.
+    pub fn report(&self) -> ClassificationReport {
+        ClassificationReport {
+            accuracy: self.accuracy(),
+            macro_f1: self.macro_f1(),
+            macro_recall: self.macro_recall(),
+            per_class: (0..self.num_classes)
+                .map(|c| ClassMetrics {
+                    class: c,
+                    precision: self.precision(c),
+                    recall: self.recall(c),
+                    f1: self.f1(c),
+                    support: self.support(c),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, rows = truth):", self.num_classes)?;
+        for l in 0..self.num_classes {
+            for p in 0..self.num_classes {
+                write!(f, "{:>8}", self.count(l, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-class precision / recall / F1 together with the class support.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Class index.
+    pub class: usize,
+    /// Precision (TP / predicted positives).
+    pub precision: f64,
+    /// Recall (TP / actual positives).
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// Number of samples whose true label is this class.
+    pub support: u64,
+}
+
+/// Aggregate classification report derived from a [`ConfusionMatrix`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Macro-averaged recall.
+    pub macro_recall: f64,
+    /// Per-class metrics, ordered by class index.
+    pub per_class: Vec<ClassMetrics>,
+}
+
+impl fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accuracy {:.2}%  macro-F1 {:.3}  macro-recall {:.3}",
+            self.accuracy * 100.0,
+            self.macro_f1,
+            self.macro_recall
+        )?;
+        for m in &self.per_class {
+            writeln!(
+                f,
+                "  class {:>2}: precision {:.3}  recall {:.3}  f1 {:.3}  support {}",
+                m.class, m.precision, m.recall, m.f1, m.support
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience helper: accuracy of `predictions` against `labels`.
+///
+/// # Errors
+///
+/// Returns [`EvalError::LengthMismatch`] if the slices differ in length or
+/// [`EvalError::InvalidArgument`] if both are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> Result<f64> {
+    if predictions.len() != labels.len() {
+        return Err(EvalError::LengthMismatch {
+            predictions: predictions.len(),
+            labels: labels.len(),
+        });
+    }
+    if predictions.is_empty() {
+        return Err(EvalError::InvalidArgument("cannot compute accuracy of zero samples".into()));
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f64 / predictions.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> ConfusionMatrix {
+        // labels:      0 0 0 1 1 2
+        // predictions: 0 0 1 1 1 0
+        ConfusionMatrix::from_predictions(&[0, 0, 1, 1, 1, 0], &[0, 0, 0, 1, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_arguments() {
+        assert!(ConfusionMatrix::new(0).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[0], &[0, 1], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[5], &[0], 2).is_err());
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let cm = example();
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.correct(), 4);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(2, 0), 1);
+        assert_eq!(cm.support(0), 3);
+        assert_eq!(cm.support(2), 1);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let cm = example();
+        // class 0: TP=2, predicted as 0 three times, support 3.
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((cm.f1(0) - 2.0 / 3.0).abs() < 1e-9);
+        // class 1: TP=2, predicted as 1 three times, support 2.
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-9);
+        // class 2: never predicted -> precision 0, recall 0, f1 0.
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+    }
+
+    #[test]
+    fn macro_averages_cover_all_classes() {
+        let cm = example();
+        let expected_recall = (2.0 / 3.0 + 1.0 + 0.0) / 3.0;
+        assert!((cm.macro_recall() - expected_recall).abs() < 1e-9);
+        assert!(cm.macro_f1() > 0.0 && cm.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let cm = ConfusionMatrix::new(4).unwrap();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn record_checks_bounds() {
+        let mut cm = ConfusionMatrix::new(2).unwrap();
+        assert!(cm.record(0, 1).is_ok());
+        assert!(matches!(cm.record(2, 0), Err(EvalError::ClassOutOfRange { .. })));
+        assert!(matches!(cm.record(0, 2), Err(EvalError::ClassOutOfRange { .. })));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_checks_shape() {
+        let mut a = example();
+        let b = example();
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 12);
+        let other = ConfusionMatrix::new(2).unwrap();
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_display() {
+        let cm = example();
+        let report = cm.report();
+        assert_eq!(report.per_class.len(), 3);
+        let rendered = report.to_string();
+        assert!(rendered.contains("accuracy"));
+        assert!(rendered.contains("class  2"));
+        let matrix_rendered = cm.to_string();
+        assert!(matrix_rendered.contains("confusion matrix"));
+    }
+
+    #[test]
+    fn accuracy_helper_matches_matrix() {
+        let predictions = [0, 0, 1, 1, 1, 0];
+        let labels = [0, 0, 0, 1, 1, 2];
+        let quick = accuracy(&predictions, &labels).unwrap();
+        assert!((quick - example().accuracy()).abs() < 1e-12);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[0], &[]).is_err());
+    }
+
+    #[test]
+    fn perfect_predictions_have_unit_metrics() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 2], &[0, 1, 2], 3).unwrap();
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.macro_recall(), 1.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Text tables and named series for the experiment binaries.
+//!
+//! Every experiment binary (`fig3`, `fig4`, `table1`, `fig5`, `ablation`)
+//! prints its results as plain-text tables so a reader can compare them
+//! directly against the paper's figures.  [`Table`] is a tiny column-aligned
+//! table builder; [`Series`] is a named sequence of `(x, y)` points used for
+//! the figure-style outputs (one series per model, one point per dataset or
+//! error rate).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use eval::Table;
+///
+/// let mut table = Table::new(vec!["model".into(), "accuracy".into()]);
+/// table.add_row(vec!["CyberHD".into(), "98.1%".into()]);
+/// table.add_row(vec!["SVM".into(), "96.3%".into()]);
+/// let rendered = table.to_string();
+/// assert!(rendered.contains("CyberHD"));
+/// assert!(rendered.contains("accuracy"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// Rows shorter than the header are padded with empty cells; longer rows
+    /// are kept as-is (their extra cells simply have no header).
+    pub fn add_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn add_display_row<T: fmt::Display>(&mut self, row: &[T]) {
+        self.add_row(row.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Borrow of the data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.column_widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, "| {cell:<width$} ")?;
+            }
+            writeln!(f, "|")
+        };
+        render_row(f, &self.headers)?;
+        for (i, width) in widths.iter().enumerate() {
+            let dash = "-".repeat(*width);
+            if i == 0 {
+                write!(f, "|-{dash}-")?;
+            } else {
+                write!(f, "+-{dash}-")?;
+            }
+        }
+        writeln!(f, "|")?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named sequence of `(label, value)` points — one line of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Name of the series (e.g. a model name).
+    pub name: String,
+    /// Ordered points: a category label and its value.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.points.push((label.into(), value));
+    }
+
+    /// Mean of the point values; `0.0` for an empty series.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Value at a given label, if present.
+    pub fn value_at(&self, label: &str) -> Option<f64> {
+        self.points.iter().find(|(l, _)| l == label).map(|(_, v)| *v)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.name)?;
+        for (label, value) in &self.points {
+            write!(f, "  {label}={value:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a group of series that share the same x-labels as one table whose
+/// first column holds the series names.
+///
+/// Series missing a label get an empty cell; the label order is taken from
+/// `labels`.
+pub fn series_table(title_column: &str, labels: &[String], series: &[Series]) -> Table {
+    let mut headers = vec![title_column.to_string()];
+    headers.extend(labels.iter().cloned());
+    let mut table = Table::new(headers);
+    for s in series {
+        let mut row = vec![s.name.clone()];
+        for label in labels {
+            row.push(
+                s.value_at(label)
+                    .map(|v| format!("{v:.4}"))
+                    .unwrap_or_default(),
+            );
+        }
+        table.add_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_headers_and_rows_aligned() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["a-very-long-name".into(), "2".into()]);
+        let rendered = t.to_string();
+        assert!(rendered.contains("a-very-long-name"));
+        assert!(rendered.lines().count() >= 4);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn short_rows_render_with_empty_cells() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.add_row(vec!["only-one".into()]);
+        let rendered = t.to_string();
+        assert!(rendered.contains("only-one"));
+    }
+
+    #[test]
+    fn display_rows_accept_any_display_type() {
+        let mut t = Table::new(vec!["x".into(), "y".into()]);
+        t.add_display_row(&[1.5, 2.25]);
+        assert_eq!(t.rows()[0], vec!["1.5".to_string(), "2.25".to_string()]);
+    }
+
+    #[test]
+    fn series_accumulates_points_and_statistics() {
+        let mut s = Series::new("CyberHD");
+        s.push("NSL-KDD", 0.98);
+        s.push("UNSW-NB15", 0.94);
+        assert_eq!(s.points.len(), 2);
+        assert!((s.mean() - 0.96).abs() < 1e-9);
+        assert_eq!(s.value_at("NSL-KDD"), Some(0.98));
+        assert_eq!(s.value_at("missing"), None);
+        assert!(s.to_string().contains("CyberHD"));
+    }
+
+    #[test]
+    fn empty_series_mean_is_zero() {
+        assert_eq!(Series::new("empty").mean(), 0.0);
+    }
+
+    #[test]
+    fn series_table_collates_by_label() {
+        let mut a = Series::new("DNN");
+        a.push("NSL-KDD", 0.99);
+        let mut b = Series::new("SVM");
+        b.push("NSL-KDD", 0.97);
+        b.push("UNSW-NB15", 0.90);
+        let labels = vec!["NSL-KDD".to_string(), "UNSW-NB15".to_string()];
+        let table = series_table("model", &labels, &[a, b]);
+        assert_eq!(table.num_rows(), 2);
+        let rendered = table.to_string();
+        assert!(rendered.contains("DNN"));
+        assert!(rendered.contains("0.9000"));
+    }
+}

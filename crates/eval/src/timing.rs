@@ -1,0 +1,180 @@
+//! Wall-clock timing helpers for the efficiency comparison (Fig. 4).
+//!
+//! The paper compares *training time* and *inference latency* across models
+//! on identical sample budgets.  [`Stopwatch`] measures a single phase;
+//! [`ThroughputReport`] couples a duration with a sample count so the
+//! experiment binaries can print seconds, samples/second and per-sample
+//! latency in one consistent format.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A simple start/stop wall-clock stopwatch.
+///
+/// # Example
+///
+/// ```
+/// use eval::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let _work: u64 = (0..10_000u64).sum();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed.as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Elapsed time since the stopwatch was started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in seconds as an `f64`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Measures the wall-clock time of `f` and returns `(result, duration)`.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let sw = Self::start();
+        let result = f();
+        (result, sw.elapsed())
+    }
+}
+
+/// A duration paired with the number of samples processed during it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Total wall-clock seconds of the measured phase.
+    pub seconds: f64,
+    /// Number of samples processed.
+    pub samples: usize,
+}
+
+impl ThroughputReport {
+    /// Creates a report from a duration and a sample count.
+    pub fn new(duration: Duration, samples: usize) -> Self {
+        Self { seconds: duration.as_secs_f64(), samples }
+    }
+
+    /// Samples processed per second; `0.0` when no time elapsed.
+    pub fn samples_per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.samples as f64 / self.seconds
+    }
+
+    /// Mean latency per sample in seconds; `0.0` when no samples were
+    /// processed.
+    pub fn latency_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.seconds / self.samples as f64
+    }
+
+    /// Speed-up of `self` relative to `other` (how many times faster this
+    /// report processed one sample).
+    ///
+    /// Returns `f64::INFINITY` when `other` took no measurable time per
+    /// sample... the conventional way round: a *larger* return value means
+    /// `self` is faster.
+    pub fn speedup_over(&self, other: &Self) -> f64 {
+        let own = self.latency_per_sample();
+        let theirs = other.latency_per_sample();
+        if own <= 0.0 {
+            return f64::INFINITY;
+        }
+        theirs / own
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} s for {} samples ({:.1} samples/s, {:.3} ms/sample)",
+            self.seconds,
+            self.samples,
+            self.samples_per_second(),
+            self.latency_per_sample() * 1e3
+        )
+    }
+}
+
+/// Geometric mean of a slice of strictly positive values.
+///
+/// Used to aggregate per-dataset speed-ups the same way the paper reports
+/// "on average N× faster".  Returns `None` for an empty slice or any
+/// non-positive entry.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonzero_time() {
+        let (value, duration) = Stopwatch::time(|| (0..100_000u64).sum::<u64>());
+        assert!(value > 0);
+        assert!(duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn throughput_math_is_consistent() {
+        let report = ThroughputReport { seconds: 2.0, samples: 1000 };
+        assert!((report.samples_per_second() - 500.0).abs() < 1e-9);
+        assert!((report.latency_per_sample() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_divide_by_zero() {
+        let empty = ThroughputReport { seconds: 0.0, samples: 0 };
+        assert_eq!(empty.samples_per_second(), 0.0);
+        assert_eq!(empty.latency_per_sample(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_latencies() {
+        let fast = ThroughputReport { seconds: 1.0, samples: 1000 };
+        let slow = ThroughputReport { seconds: 4.0, samples: 1000 };
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
+        let zero = ThroughputReport { seconds: 0.0, samples: 10 };
+        assert!(zero.speedup_over(&slow).is_infinite());
+    }
+
+    #[test]
+    fn display_contains_all_quantities() {
+        let report = ThroughputReport { seconds: 0.5, samples: 100 };
+        let s = report.to_string();
+        assert!(s.contains("100 samples"));
+        assert!(s.contains("samples/s"));
+    }
+
+    #[test]
+    fn geometric_mean_behaves() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-9);
+        let g = geometric_mean(&[3.0, 3.0, 3.0]).unwrap();
+        assert!((g - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,396 @@
+//! Bit-packed binary hypervectors.
+//!
+//! The paper's most robust and most hardware-friendly configuration stores
+//! hypervectors at 1-bit precision.  [`BinaryHypervector`] packs one bit per
+//! dimension into `u64` words, providing
+//!
+//! * XOR **binding**,
+//! * **majority bundling** of many vectors,
+//! * **Hamming distance** (via hardware `popcount`) and a normalized
+//!   similarity in `[-1, 1]` that is interchangeable with cosine similarity
+//!   for bipolar vectors.
+//!
+//! The type is the backing store for the `BitWidth::B1` mode of
+//! [`crate::quant`] and the robustness study (Fig. 5), where random bit flips
+//! are injected directly into the packed words.
+
+use crate::dense::Hypervector;
+use crate::rng::HdcRng;
+use crate::{HdcError, Result};
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A binary hypervector packed into 64-bit words.
+///
+/// Bit `i` of the vector lives at word `i / 64`, bit position `i % 64`.
+/// A set bit represents `+1`, a cleared bit `-1` in the bipolar view.
+///
+/// # Example
+///
+/// ```
+/// use hdc::BinaryHypervector;
+///
+/// let mut a = BinaryHypervector::zeros(128);
+/// a.set(3, true);
+/// a.set(100, true);
+/// assert_eq!(a.count_ones(), 2);
+///
+/// let b = BinaryHypervector::zeros(128);
+/// assert_eq!(a.hamming_distance(&b).unwrap(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryHypervector {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl BinaryHypervector {
+    /// Creates an all-zero (all `-1` in bipolar view) vector of length `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self { dim, words: vec![0; dim.div_ceil(WORD_BITS)] }
+    }
+
+    /// Creates a uniformly random binary hypervector.
+    pub fn random(dim: usize, rng: &mut HdcRng) -> Self {
+        let mut out = Self::zeros(dim);
+        for i in 0..dim {
+            if rng.bernoulli(0.5) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Builds a binary hypervector by thresholding a dense hypervector at
+    /// zero: elements `>= 0` become set bits.
+    ///
+    /// This is the 1-bit quantization used by the paper's deployment mode.
+    pub fn from_dense(hv: &Hypervector) -> Self {
+        let mut out = Self::zeros(hv.dim());
+        for (i, &v) in hv.iter().enumerate() {
+            if v >= 0.0 {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Expands back into a dense bipolar hypervector (`+1` / `-1`).
+    pub fn to_dense(&self) -> Hypervector {
+        Hypervector::from_fn(self.dim, |i| if self.get(i) { 1.0 } else { -1.0 })
+    }
+
+    /// Dimensionality in bits.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns `true` if the vector has zero dimensionality.
+    pub fn is_empty(&self) -> bool {
+        self.dim == 0
+    }
+
+    /// Borrows the packed words.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Borrows the packed words mutably.
+    ///
+    /// Bits beyond `dim()` in the last word must remain zero; callers that
+    /// mutate words directly (e.g. fault injectors) should call
+    /// [`BinaryHypervector::mask_tail`] afterwards.
+    pub fn as_mut_words(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Clears any bits beyond `dim()` in the last word.
+    pub fn mask_tail(&mut self) {
+        let rem = self.dim % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Reads bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.dim, "bit index {index} out of range for dim {}", self.dim);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.dim, "bit index {index} out of range for dim {}", self.dim);
+        let word = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Flips bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn flip(&mut self, index: usize) {
+        assert!(index < self.dim, "bit index {index} out of range for dim {}", self.dim);
+        self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn check_dim(&self, other: &Self) -> Result<()> {
+        if self.dim != other.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: other.dim });
+        }
+        Ok(())
+    }
+
+    /// XOR binding of two binary hypervectors.
+    ///
+    /// XOR is the binary analogue of element-wise multiplication of bipolar
+    /// vectors: it is self-inverse (`a ⊕ a = 0`) and distance preserving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the operands disagree on
+    /// dimensionality.
+    pub fn bind(&self, other: &Self) -> Result<Self> {
+        self.check_dim(other)?;
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
+        Ok(Self { dim: self.dim, words })
+    }
+
+    /// Hamming distance (number of differing bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the operands disagree on
+    /// dimensionality.
+    pub fn hamming_distance(&self, other: &Self) -> Result<usize> {
+        self.check_dim(other)?;
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Normalized Hamming similarity in `[-1, 1]`:
+    /// `1 - 2·hamming/dim`, equal to the cosine similarity of the bipolar
+    /// expansions of both vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the operands disagree on
+    /// dimensionality.
+    pub fn similarity(&self, other: &Self) -> Result<f32> {
+        if self.dim == 0 {
+            self.check_dim(other)?;
+            return Ok(0.0);
+        }
+        let h = self.hamming_distance(other)? as f32;
+        Ok(1.0 - 2.0 * h / self.dim as f32)
+    }
+
+    /// Majority bundling of many binary hypervectors.
+    ///
+    /// Bit `i` of the result is set iff more than half of the inputs have bit
+    /// `i` set; exact ties are broken by a deterministic pseudo-random tie
+    /// vector derived from `tie_seed`, which keeps the operation unbiased
+    /// without making it nondeterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `inputs` is empty and
+    /// [`HdcError::DimensionMismatch`] if the inputs disagree on
+    /// dimensionality.
+    pub fn majority(inputs: &[Self], tie_seed: u64) -> Result<Self> {
+        let first = inputs
+            .first()
+            .ok_or_else(|| HdcError::InvalidArgument("majority of zero vectors".into()))?;
+        let dim = first.dim;
+        let mut counts = vec![0usize; dim];
+        for hv in inputs {
+            first.check_dim(hv)?;
+            for i in 0..dim {
+                if hv.get(i) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        let mut tie_rng = HdcRng::seed_from(tie_seed);
+        let half = inputs.len() as f64 / 2.0;
+        let mut out = Self::zeros(dim);
+        for (i, &c) in counts.iter().enumerate() {
+            let c = c as f64;
+            let bit = if c > half {
+                true
+            } else if c < half {
+                false
+            } else {
+                tie_rng.bernoulli(0.5)
+            };
+            out.set(i, bit);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> HdcRng {
+        HdcRng::seed_from(seed)
+    }
+
+    #[test]
+    fn zeros_has_no_set_bits() {
+        let z = BinaryHypervector::zeros(130);
+        assert_eq!(z.dim(), 130);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.as_words().len(), 3);
+    }
+
+    #[test]
+    fn set_get_flip_round_trip() {
+        let mut v = BinaryHypervector::zeros(70);
+        v.set(0, true);
+        v.set(69, true);
+        assert!(v.get(0));
+        assert!(v.get(69));
+        assert!(!v.get(33));
+        v.flip(69);
+        assert!(!v.get(69));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BinaryHypervector::zeros(10).get(10);
+    }
+
+    #[test]
+    fn random_vectors_are_roughly_balanced() {
+        let v = BinaryHypervector::random(10_000, &mut rng(1));
+        let ones = v.count_ones();
+        assert!((4_500..5_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn xor_bind_is_self_inverse() {
+        let a = BinaryHypervector::random(512, &mut rng(2));
+        let b = BinaryHypervector::random(512, &mut rng(3));
+        let bound = a.bind(&b).unwrap();
+        let unbound = bound.bind(&b).unwrap();
+        assert_eq!(unbound, a);
+    }
+
+    #[test]
+    fn bind_dimension_mismatch_is_error() {
+        let a = BinaryHypervector::zeros(64);
+        let b = BinaryHypervector::zeros(65);
+        assert!(matches!(a.bind(&b), Err(HdcError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let mut a = BinaryHypervector::zeros(100);
+        let mut b = BinaryHypervector::zeros(100);
+        a.set(1, true);
+        a.set(2, true);
+        b.set(2, true);
+        b.set(3, true);
+        assert_eq!(a.hamming_distance(&b).unwrap(), 2);
+    }
+
+    #[test]
+    fn similarity_of_identical_is_one_and_of_complement_is_minus_one() {
+        let a = BinaryHypervector::random(256, &mut rng(4));
+        assert_eq!(a.similarity(&a).unwrap(), 1.0);
+        let mut complement = a.clone();
+        for i in 0..a.dim() {
+            complement.flip(i);
+        }
+        assert_eq!(a.similarity(&complement).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn random_vectors_are_nearly_orthogonal() {
+        let a = BinaryHypervector::random(8192, &mut rng(5));
+        let b = BinaryHypervector::random(8192, &mut rng(6));
+        let s = a.similarity(&b).unwrap();
+        assert!(s.abs() < 0.06, "similarity {s}");
+    }
+
+    #[test]
+    fn dense_round_trip_preserves_signs() {
+        let dense = Hypervector::from_vec(vec![0.5, -0.1, 0.0, -3.0, 2.0]);
+        let bin = BinaryHypervector::from_dense(&dense);
+        let back = bin.to_dense();
+        assert_eq!(back.as_slice(), &[1.0, -1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn majority_follows_the_majority() {
+        let mut a = BinaryHypervector::zeros(8);
+        let mut b = BinaryHypervector::zeros(8);
+        let c = BinaryHypervector::zeros(8);
+        a.set(0, true);
+        b.set(0, true);
+        a.set(1, true);
+        let m = BinaryHypervector::majority(&[a, b, c], 0).unwrap();
+        assert!(m.get(0), "two of three vectors set bit 0");
+        assert!(!m.get(1), "only one of three vectors set bit 1");
+    }
+
+    #[test]
+    fn majority_of_empty_set_is_error() {
+        assert!(matches!(
+            BinaryHypervector::majority(&[], 0),
+            Err(HdcError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn majority_preserves_similarity_to_members() {
+        let mut r = rng(7);
+        let members: Vec<_> = (0..9).map(|_| BinaryHypervector::random(4096, &mut r)).collect();
+        let bundle = BinaryHypervector::majority(&members, 11).unwrap();
+        let outsider = BinaryHypervector::random(4096, &mut r);
+        let member_sim = bundle.similarity(&members[0]).unwrap();
+        let outsider_sim = bundle.similarity(&outsider).unwrap();
+        assert!(
+            member_sim > outsider_sim + 0.1,
+            "member {member_sim} should be far more similar than outsider {outsider_sim}"
+        );
+    }
+
+    #[test]
+    fn mask_tail_clears_out_of_range_bits() {
+        let mut v = BinaryHypervector::zeros(70);
+        v.as_mut_words()[1] = u64::MAX;
+        v.mask_tail();
+        assert_eq!(v.count_ones(), 6, "only the 6 in-range bits of the last word remain");
+    }
+}

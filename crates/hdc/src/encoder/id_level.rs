@@ -1,0 +1,249 @@
+//! ID–level encoding.
+//!
+//! The classic static HDC encoder for tabular data: every feature position
+//! gets a random *ID hypervector*, every quantized feature value gets a
+//! *level hypervector*, and a sample is encoded as
+//!
+//! ```text
+//! H(x) = Σ_f  ID_f ⊙ L_{level(x_f)}
+//! ```
+//!
+//! Level hypervectors are built by progressively flipping elements of a base
+//! random vector so neighbouring levels stay similar (value locality), while
+//! ID hypervectors are independent random bipolar vectors (position
+//! orthogonality).  This encoder has no regeneration capability — it is one
+//! of the "pre-generated, static" encoders the paper contrasts CyberHD with.
+
+use crate::dense::Hypervector;
+use crate::encoder::Encoder;
+use crate::rng::HdcRng;
+use crate::{HdcError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Static ID–level encoder over bipolar hypervectors.
+///
+/// # Example
+///
+/// ```
+/// use hdc::encoder::{Encoder, IdLevelEncoder};
+///
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let encoder = IdLevelEncoder::new(4, 256, 16, 5)?;
+/// let h = encoder.encode(&[0.0, 0.25, 0.5, 1.0])?;
+/// assert_eq!(h.dim(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdLevelEncoder {
+    /// One bipolar ID hypervector per feature, row-major.
+    ids: Vec<f32>,
+    /// One bipolar level hypervector per quantization level, row-major.
+    levels: Vec<f32>,
+    features: usize,
+    dim: usize,
+    num_levels: usize,
+    /// Lower bound of the expected feature range.
+    min_value: f32,
+    /// Upper bound of the expected feature range.
+    max_value: f32,
+}
+
+impl IdLevelEncoder {
+    /// Creates an encoder for features expected to lie in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `features`, `dim` or
+    /// `num_levels` is zero (or `num_levels` is one, which would collapse all
+    /// values onto a single level).
+    pub fn new(features: usize, dim: usize, num_levels: usize, seed: u64) -> Result<Self> {
+        Self::with_range(features, dim, num_levels, 0.0, 1.0, seed)
+    }
+
+    /// Creates an encoder for features expected to lie in
+    /// `[min_value, max_value]`; values outside the range are clamped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] on zero sizes, `num_levels < 2`,
+    /// or a non-increasing / non-finite value range.
+    pub fn with_range(
+        features: usize,
+        dim: usize,
+        num_levels: usize,
+        min_value: f32,
+        max_value: f32,
+        seed: u64,
+    ) -> Result<Self> {
+        if features == 0 {
+            return Err(HdcError::InvalidArgument("features must be non-zero".into()));
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidArgument("dim must be non-zero".into()));
+        }
+        if num_levels < 2 {
+            return Err(HdcError::InvalidArgument("num_levels must be at least 2".into()));
+        }
+        if !(min_value.is_finite() && max_value.is_finite() && min_value < max_value) {
+            return Err(HdcError::InvalidArgument(format!(
+                "invalid value range [{min_value}, {max_value}]"
+            )));
+        }
+        let mut rng = HdcRng::seed_from(seed);
+
+        // Independent bipolar ID hypervectors.
+        let mut ids = vec![0.0f32; features * dim];
+        for v in ids.iter_mut() {
+            *v = rng.sign() as f32;
+        }
+
+        // Level hypervectors: start from a random bipolar vector and flip a
+        // disjoint slice of ~dim/(num_levels-1) positions per step, so that
+        // level 0 and level num_levels-1 are (nearly) uncorrelated while
+        // adjacent levels are highly similar.
+        let mut levels = vec![0.0f32; num_levels * dim];
+        let mut current: Vec<f32> = (0..dim).map(|_| rng.sign() as f32).collect();
+        let flip_order = rng.permutation(dim);
+        let flips_per_level = dim / (num_levels - 1).max(1);
+        levels[..dim].copy_from_slice(&current);
+        for level in 1..num_levels {
+            let start = (level - 1) * flips_per_level;
+            let end = (start + flips_per_level).min(dim);
+            for &pos in &flip_order[start..end] {
+                current[pos] = -current[pos];
+            }
+            levels[level * dim..(level + 1) * dim].copy_from_slice(&current);
+        }
+
+        Ok(Self { ids, levels, features, dim, num_levels, min_value, max_value })
+    }
+
+    /// Number of quantization levels.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// Maps a raw feature value onto a level index, clamping to the
+    /// configured range.
+    pub fn level_of(&self, value: f32) -> usize {
+        let clamped = value.clamp(self.min_value, self.max_value);
+        let t = (clamped - self.min_value) / (self.max_value - self.min_value);
+        ((t * (self.num_levels - 1) as f32).round() as usize).min(self.num_levels - 1)
+    }
+
+    fn id_row(&self, f: usize) -> &[f32] {
+        &self.ids[f * self.dim..(f + 1) * self.dim]
+    }
+
+    fn level_row(&self, l: usize) -> &[f32] {
+        &self.levels[l * self.dim..(l + 1) * self.dim]
+    }
+}
+
+impl Encoder for IdLevelEncoder {
+    fn input_features(&self) -> usize {
+        self.features
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+        if features.len() != self.features {
+            return Err(HdcError::FeatureMismatch {
+                expected: self.features,
+                actual: features.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.dim];
+        for (f, &value) in features.iter().enumerate() {
+            let level = self.level_of(value);
+            let id = self.id_row(f);
+            let lvl = self.level_row(level);
+            for d in 0..self.dim {
+                out[d] += id[d] * lvl[d];
+            }
+        }
+        Ok(Hypervector::from_vec(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_arguments() {
+        assert!(IdLevelEncoder::new(0, 8, 4, 0).is_err());
+        assert!(IdLevelEncoder::new(4, 0, 4, 0).is_err());
+        assert!(IdLevelEncoder::new(4, 8, 1, 0).is_err());
+        assert!(IdLevelEncoder::with_range(4, 8, 4, 1.0, 1.0, 0).is_err());
+        assert!(IdLevelEncoder::new(4, 8, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn level_mapping_clamps_and_covers_range() {
+        let e = IdLevelEncoder::with_range(1, 64, 8, -1.0, 1.0, 0).unwrap();
+        assert_eq!(e.level_of(-5.0), 0);
+        assert_eq!(e.level_of(-1.0), 0);
+        assert_eq!(e.level_of(1.0), 7);
+        assert_eq!(e.level_of(5.0), 7);
+        assert_eq!(e.level_of(0.0), 4, "midpoint rounds to the middle level");
+        assert_eq!(e.num_levels(), 8);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let e = IdLevelEncoder::new(5, 128, 16, 3).unwrap();
+        let x = [0.1, 0.9, 0.4, 0.6, 0.2];
+        assert_eq!(e.encode(&x).unwrap(), e.encode(&x).unwrap());
+    }
+
+    #[test]
+    fn feature_mismatch_is_reported() {
+        let e = IdLevelEncoder::new(3, 32, 4, 0).unwrap();
+        assert!(matches!(
+            e.encode(&[0.5]),
+            Err(HdcError::FeatureMismatch { expected: 3, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn adjacent_levels_are_more_similar_than_distant_levels() {
+        let e = IdLevelEncoder::new(1, 4096, 32, 5).unwrap();
+        let h_low = e.encode(&[0.0]).unwrap();
+        let h_mid = e.encode(&[0.05]).unwrap();
+        let h_high = e.encode(&[1.0]).unwrap();
+        let near = h_low.cosine(&h_mid).unwrap();
+        let far = h_low.cosine(&h_high).unwrap();
+        assert!(near > far + 0.3, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn different_features_use_nearly_orthogonal_ids() {
+        let e = IdLevelEncoder::new(2, 8192, 8, 7).unwrap();
+        // Same value in feature 0 vs feature 1 should produce dissimilar encodings.
+        let h_a = e.encode(&[1.0, 0.0]).unwrap();
+        let h_b = e.encode(&[0.0, 1.0]).unwrap();
+        let sim = h_a.cosine(&h_b).unwrap();
+        assert!(sim < 0.5, "feature identity should matter, sim = {sim}");
+    }
+
+    #[test]
+    fn similar_samples_encode_similarly() {
+        let e = IdLevelEncoder::new(8, 2048, 32, 9).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| i as f32 / 8.0).collect();
+        let mut near = x.clone();
+        near[3] += 0.03;
+        let mut far = x.clone();
+        for v in &mut far {
+            *v = 1.0 - *v;
+        }
+        let hx = e.encode(&x).unwrap();
+        let sim_near = hx.cosine(&e.encode(&near).unwrap()).unwrap();
+        let sim_far = hx.cosine(&e.encode(&far).unwrap()).unwrap();
+        assert!(sim_near > sim_far, "near {sim_near} vs far {sim_far}");
+    }
+}

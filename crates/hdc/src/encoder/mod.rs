@@ -1,0 +1,84 @@
+//! Encoders from low-dimensional feature vectors into hyperspace.
+//!
+//! Step (A) of the CyberHD workflow maps every pre-processed network-flow
+//! feature vector (41–78 real-valued features after one-hot expansion and
+//! normalization) into a `D`-dimensional hypervector.  Three encoders are
+//! provided:
+//!
+//! * [`RbfEncoder`] — the nonlinear random-Fourier-feature encoder the paper
+//!   uses for cyber-security data.  Its per-dimension Gaussian base vectors
+//!   are what CyberHD *regenerates* when a dimension is found insignificant.
+//! * [`IdLevelEncoder`] — the classic ID–level (position × quantized value)
+//!   encoder used by many earlier HDC systems; provided as a static-encoder
+//!   baseline and for completeness.
+//! * [`RecordEncoder`] — record-based encoding (bind feature-ID hypervectors
+//!   with level hypervectors, then bundle), the other widespread static
+//!   scheme.
+//!
+//! All encoders implement the object-safe [`Encoder`] trait so the trainer
+//! can be written once and parameterized by encoder.
+
+mod id_level;
+mod rbf;
+mod record;
+
+pub use id_level::IdLevelEncoder;
+pub use rbf::RbfEncoder;
+pub use record::RecordEncoder;
+
+use crate::dense::Hypervector;
+use crate::Result;
+
+/// A mapping from feature vectors to hypervectors.
+///
+/// Implementations must be deterministic: encoding the same features twice
+/// (without regeneration in between) yields the same hypervector.
+pub trait Encoder: Send + Sync {
+    /// Number of input features expected by [`Encoder::encode`].
+    fn input_features(&self) -> usize;
+
+    /// Dimensionality of the produced hypervectors.
+    fn output_dim(&self) -> usize;
+
+    /// Encodes one feature vector into a hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HdcError::FeatureMismatch`] if `features.len()` does
+    /// not match [`Encoder::input_features`].
+    fn encode(&self, features: &[f32]) -> Result<Hypervector>;
+
+    /// Encodes a batch of feature vectors.
+    ///
+    /// The default implementation simply maps [`Encoder::encode`] over the
+    /// batch; encoders with a cheaper batched path may override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first encoding error encountered.
+    fn encode_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<Hypervector>> {
+        batch.iter().map(|f| self.encode(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_trait_is_object_safe() {
+        fn takes_dyn(_e: &dyn Encoder) {}
+        let e = RbfEncoder::new(3, 16, 0).unwrap();
+        takes_dyn(&e);
+    }
+
+    #[test]
+    fn default_batch_encoding_matches_single_encoding() {
+        let e = RbfEncoder::new(2, 32, 1).unwrap();
+        let batch = vec![vec![0.1, 0.2], vec![-0.5, 0.9]];
+        let encoded = e.encode_batch(&batch).unwrap();
+        assert_eq!(encoded.len(), 2);
+        assert_eq!(encoded[0], e.encode(&batch[0]).unwrap());
+        assert_eq!(encoded[1], e.encode(&batch[1]).unwrap());
+    }
+}

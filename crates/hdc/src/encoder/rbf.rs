@@ -1,0 +1,343 @@
+//! RBF (random-Fourier-feature) encoder with per-dimension regeneration.
+//!
+//! The CyberHD paper uses an encoder "inspired by the Radial Basis Function"
+//! (Rahimi & Recht, random features for kernel machines): each hypervector
+//! dimension `d` is produced by projecting the feature vector `x` onto a
+//! Gaussian base vector `b_d` (plus a uniform phase `φ_d`) and passing the
+//! result through a cosine:
+//!
+//! ```text
+//! h_d = cos(b_d · x + φ_d)
+//! ```
+//!
+//! Because each output dimension depends on exactly one base vector, a
+//! dimension that turns out to be non-discriminative can be *regenerated* by
+//! replacing its `(b_d, φ_d)` pair with a fresh Gaussian/uniform draw — which
+//! is precisely step (H) of CyberHD.
+
+use crate::dense::Hypervector;
+use crate::encoder::Encoder;
+use crate::rng::HdcRng;
+use crate::{HdcError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Nonlinear random-projection encoder (random Fourier features).
+///
+/// # Example
+///
+/// ```
+/// use hdc::encoder::{Encoder, RbfEncoder};
+///
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let mut encoder = RbfEncoder::new(3, 64, 42)?;
+/// let before = encoder.encode(&[0.1, 0.5, -0.3])?;
+///
+/// // Regenerating a dimension changes (only) that output coordinate.
+/// encoder.regenerate_dimension(7)?;
+/// let after = encoder.encode(&[0.1, 0.5, -0.3])?;
+/// assert_eq!(before.dim(), after.dim());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RbfEncoder {
+    /// Row-major base matrix: `dim` rows of `features` Gaussian entries.
+    bases: Vec<f32>,
+    /// Per-dimension phase offsets, uniform in `[0, 2π)`.
+    phases: Vec<f32>,
+    features: usize,
+    dim: usize,
+    /// Standard deviation of the Gaussian base entries (kernel bandwidth).
+    sigma: f32,
+    /// Construction seed; regeneration draws are derived from it together
+    /// with the running regeneration counter, so the whole encoder history is
+    /// reproducible and serializable.
+    seed: u64,
+    /// Total number of regeneration draws performed so far.
+    regenerated: usize,
+}
+
+impl RbfEncoder {
+    /// Creates an encoder for `features`-dimensional inputs producing
+    /// `dim`-dimensional hypervectors, with unit kernel bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `features` or `dim` is zero.
+    pub fn new(features: usize, dim: usize, seed: u64) -> Result<Self> {
+        Self::with_sigma(features, dim, 1.0, seed)
+    }
+
+    /// Creates an encoder with an explicit Gaussian bandwidth `sigma`.
+    ///
+    /// Larger `sigma` makes the random projections more sensitive to small
+    /// feature differences (narrower effective kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `features` or `dim` is zero,
+    /// or if `sigma` is not strictly positive and finite.
+    pub fn with_sigma(features: usize, dim: usize, sigma: f32, seed: u64) -> Result<Self> {
+        if features == 0 {
+            return Err(HdcError::InvalidArgument("features must be non-zero".into()));
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidArgument("dim must be non-zero".into()));
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(HdcError::InvalidArgument(format!(
+                "sigma must be positive and finite, got {sigma}"
+            )));
+        }
+        let mut rng = HdcRng::seed_from(seed);
+        let mut bases = vec![0.0f32; dim * features];
+        for b in bases.iter_mut() {
+            *b = rng.normal(0.0, sigma as f64) as f32;
+        }
+        let mut phases = vec![0.0f32; dim];
+        rng.fill_uniform(&mut phases, 0.0, std::f64::consts::TAU);
+        Ok(Self { bases, phases, features, dim, sigma, seed, regenerated: 0 })
+    }
+
+    /// Kernel bandwidth used for the Gaussian base entries.
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+
+    /// Number of base-vector regenerations performed since construction.
+    ///
+    /// CyberHD's *effective dimensionality* is
+    /// `physical dim + regeneration_count()`.
+    pub fn regeneration_count(&self) -> usize {
+        self.regenerated
+    }
+
+    /// Borrows the base-vector row for output dimension `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] if `d >= output_dim()`.
+    pub fn base_row(&self, d: usize) -> Result<&[f32]> {
+        if d >= self.dim {
+            return Err(HdcError::IndexOutOfRange { index: d, bound: self.dim });
+        }
+        Ok(&self.bases[d * self.features..(d + 1) * self.features])
+    }
+
+    /// Computes a single output coordinate `h_d = cos(b_d · x + φ_d)` without
+    /// encoding the whole hypervector.
+    ///
+    /// The CyberHD trainer uses this to re-encode only the regenerated
+    /// dimensions of its cached training matrix instead of re-running the
+    /// full encoder after every regeneration round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] if `d >= output_dim()` and
+    /// [`HdcError::FeatureMismatch`] if `features` has the wrong length.
+    pub fn encode_dimension(&self, features: &[f32], d: usize) -> Result<f32> {
+        if d >= self.dim {
+            return Err(HdcError::IndexOutOfRange { index: d, bound: self.dim });
+        }
+        if features.len() != self.features {
+            return Err(HdcError::FeatureMismatch {
+                expected: self.features,
+                actual: features.len(),
+            });
+        }
+        let row = &self.bases[d * self.features..(d + 1) * self.features];
+        Ok((crate::similarity::dot(row, features) + self.phases[d]).cos())
+    }
+
+    /// Replaces the base vector and phase of dimension `d` with a fresh
+    /// Gaussian/uniform draw (step (H) of CyberHD).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] if `d >= output_dim()`.
+    pub fn regenerate_dimension(&mut self, d: usize) -> Result<()> {
+        if d >= self.dim {
+            return Err(HdcError::IndexOutOfRange { index: d, bound: self.dim });
+        }
+        // Derive an independent stream from (construction seed, draw index,
+        // dimension): deterministic, and it keeps the encoder serializable.
+        let stream = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((self.regenerated as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(d as u64);
+        let mut rng = HdcRng::seed_from(stream);
+        let sigma = self.sigma as f64;
+        for b in &mut self.bases[d * self.features..(d + 1) * self.features] {
+            *b = rng.normal(0.0, sigma) as f32;
+        }
+        self.phases[d] = rng.uniform(0.0, std::f64::consts::TAU) as f32;
+        self.regenerated += 1;
+        Ok(())
+    }
+
+    /// Regenerates every dimension in `dims` (duplicates are regenerated
+    /// multiple times, matching a caller that passes an explicit drop list).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] on the first out-of-range index;
+    /// dimensions before it will already have been regenerated.
+    pub fn regenerate_dimensions(&mut self, dims: &[usize]) -> Result<()> {
+        for &d in dims {
+            self.regenerate_dimension(d)?;
+        }
+        Ok(())
+    }
+}
+
+impl Encoder for RbfEncoder {
+    fn input_features(&self) -> usize {
+        self.features
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+        if features.len() != self.features {
+            return Err(HdcError::FeatureMismatch {
+                expected: self.features,
+                actual: features.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.dim);
+        for d in 0..self.dim {
+            let row = &self.bases[d * self.features..(d + 1) * self.features];
+            let projection = crate::similarity::dot(row, features) + self.phases[d];
+            out.push(projection.cos());
+        }
+        Ok(Hypervector::from_vec(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_arguments() {
+        assert!(RbfEncoder::new(0, 8, 0).is_err());
+        assert!(RbfEncoder::new(4, 0, 0).is_err());
+        assert!(RbfEncoder::with_sigma(4, 8, 0.0, 0).is_err());
+        assert!(RbfEncoder::with_sigma(4, 8, f32::NAN, 0).is_err());
+        assert!(RbfEncoder::new(4, 8, 0).is_ok());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_bounded() {
+        let e = RbfEncoder::new(5, 128, 3).unwrap();
+        let x = [0.1, -0.2, 0.3, 0.4, -0.5];
+        let a = e.encode(&x).unwrap();
+        let b = e.encode(&x).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)), "cosine outputs stay in [-1, 1]");
+    }
+
+    #[test]
+    fn feature_mismatch_is_reported() {
+        let e = RbfEncoder::new(5, 16, 0).unwrap();
+        assert!(matches!(
+            e.encode(&[1.0, 2.0]),
+            Err(HdcError::FeatureMismatch { expected: 5, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn nearby_inputs_encode_to_similar_hypervectors() {
+        let e = RbfEncoder::with_sigma(8, 2048, 0.5, 7).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let mut x_near = x.clone();
+        x_near[0] += 0.01;
+        let mut x_far = x.clone();
+        for v in &mut x_far {
+            *v += 2.0;
+        }
+        let hx = e.encode(&x).unwrap();
+        let hnear = e.encode(&x_near).unwrap();
+        let hfar = e.encode(&x_far).unwrap();
+        let sim_near = hx.cosine(&hnear).unwrap();
+        let sim_far = hx.cosine(&hfar).unwrap();
+        assert!(
+            sim_near > sim_far + 0.1,
+            "locality: near {sim_near} should exceed far {sim_far}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_produce_different_encoders() {
+        let a = RbfEncoder::new(4, 256, 1).unwrap();
+        let b = RbfEncoder::new(4, 256, 2).unwrap();
+        let x = [0.3, 0.1, -0.7, 0.9];
+        let ha = a.encode(&x).unwrap();
+        let hb = b.encode(&x).unwrap();
+        assert!(ha.cosine(&hb).unwrap() < 0.9);
+    }
+
+    #[test]
+    fn regeneration_changes_only_the_targeted_dimension() {
+        let mut e = RbfEncoder::new(6, 64, 9).unwrap();
+        let x = [0.2, -0.1, 0.5, 0.7, -0.3, 0.0];
+        let before = e.encode(&x).unwrap();
+        e.regenerate_dimension(10).unwrap();
+        let after = e.encode(&x).unwrap();
+        for d in 0..64 {
+            if d == 10 {
+                continue;
+            }
+            assert_eq!(before[d], after[d], "dimension {d} should be unchanged");
+        }
+        assert_eq!(e.regeneration_count(), 1);
+    }
+
+    #[test]
+    fn regenerate_dimensions_counts_every_draw() {
+        let mut e = RbfEncoder::new(3, 32, 11).unwrap();
+        e.regenerate_dimensions(&[0, 5, 5, 31]).unwrap();
+        assert_eq!(e.regeneration_count(), 4);
+        assert!(e.regenerate_dimensions(&[32]).is_err());
+    }
+
+    #[test]
+    fn encode_dimension_matches_full_encoding() {
+        let e = RbfEncoder::new(4, 32, 13).unwrap();
+        let x = [0.4, -0.6, 0.2, 0.8];
+        let full = e.encode(&x).unwrap();
+        for d in 0..32 {
+            assert_eq!(e.encode_dimension(&x, d).unwrap(), full[d]);
+        }
+        assert!(e.encode_dimension(&x, 32).is_err());
+        assert!(e.encode_dimension(&[0.0], 0).is_err());
+    }
+
+    #[test]
+    fn base_row_access_is_bounds_checked() {
+        let e = RbfEncoder::new(3, 4, 0).unwrap();
+        assert_eq!(e.base_row(0).unwrap().len(), 3);
+        assert!(e.base_row(4).is_err());
+    }
+
+    #[test]
+    fn base_entries_follow_requested_sigma() {
+        let e = RbfEncoder::with_sigma(64, 512, 2.0, 21).unwrap();
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let n = (512 * 64) as f64;
+        for d in 0..512 {
+            for &b in e.base_row(d).unwrap() {
+                sum += b as f64;
+                sum_sq += (b as f64) * (b as f64);
+            }
+        }
+        let mean = sum / n;
+        let var = sum_sq / n - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "variance {var} should be close to sigma^2 = 4");
+    }
+}

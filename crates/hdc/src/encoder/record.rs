@@ -1,0 +1,162 @@
+//! Record-based encoding.
+//!
+//! A second widespread static HDC encoder: every feature is represented by a
+//! random *projection hypervector*, scaled by the (normalized) feature value,
+//! and the per-feature contributions are bundled:
+//!
+//! ```text
+//! H(x) = Σ_f  x_f · P_f
+//! ```
+//!
+//! This is a linear random projection (a Johnson–Lindenstrauss style sketch)
+//! — cheap and fully parallel, but unable to capture nonlinear feature
+//! interactions, which is why the paper prefers the RBF encoder for
+//! cyber-security data.  It is included as a static baseline and as the
+//! linear counterpart for ablation studies.
+
+use crate::dense::Hypervector;
+use crate::encoder::Encoder;
+use crate::rng::HdcRng;
+use crate::{HdcError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Static record-based (linear random projection) encoder.
+///
+/// # Example
+///
+/// ```
+/// use hdc::encoder::{Encoder, RecordEncoder};
+///
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let encoder = RecordEncoder::new(3, 128, 1)?;
+/// let h = encoder.encode(&[0.5, -0.5, 1.0])?;
+/// assert_eq!(h.dim(), 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordEncoder {
+    /// Row-major projection matrix: `features` rows of `dim` bipolar entries.
+    projections: Vec<f32>,
+    features: usize,
+    dim: usize,
+}
+
+impl RecordEncoder {
+    /// Creates a record encoder with bipolar (±1) projection hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `features` or `dim` is zero.
+    pub fn new(features: usize, dim: usize, seed: u64) -> Result<Self> {
+        if features == 0 {
+            return Err(HdcError::InvalidArgument("features must be non-zero".into()));
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidArgument("dim must be non-zero".into()));
+        }
+        let mut rng = HdcRng::seed_from(seed);
+        let mut projections = vec![0.0f32; features * dim];
+        for v in projections.iter_mut() {
+            *v = rng.sign() as f32;
+        }
+        Ok(Self { projections, features, dim })
+    }
+
+    fn projection_row(&self, f: usize) -> &[f32] {
+        &self.projections[f * self.dim..(f + 1) * self.dim]
+    }
+}
+
+impl Encoder for RecordEncoder {
+    fn input_features(&self) -> usize {
+        self.features
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+        if features.len() != self.features {
+            return Err(HdcError::FeatureMismatch {
+                expected: self.features,
+                actual: features.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.dim];
+        for (f, &value) in features.iter().enumerate() {
+            if value == 0.0 {
+                continue;
+            }
+            let row = self.projection_row(f);
+            for d in 0..self.dim {
+                out[d] += value * row[d];
+            }
+        }
+        Ok(Hypervector::from_vec(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_arguments() {
+        assert!(RecordEncoder::new(0, 8, 0).is_err());
+        assert!(RecordEncoder::new(4, 0, 0).is_err());
+        assert!(RecordEncoder::new(4, 8, 0).is_ok());
+    }
+
+    #[test]
+    fn encoding_is_linear_in_the_input() {
+        let e = RecordEncoder::new(3, 64, 2).unwrap();
+        let a = e.encode(&[1.0, 0.0, 0.0]).unwrap();
+        let b = e.encode(&[0.0, 2.0, 0.0]).unwrap();
+        let combined = e.encode(&[1.0, 2.0, 0.0]).unwrap();
+        let manual = a.bundle(&b).unwrap();
+        for d in 0..64 {
+            assert!((combined[d] - manual[d]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_input_encodes_to_zero_vector() {
+        let e = RecordEncoder::new(4, 32, 3).unwrap();
+        let h = e.encode(&[0.0; 4]).unwrap();
+        assert_eq!(h.norm(), 0.0);
+    }
+
+    #[test]
+    fn feature_mismatch_is_reported() {
+        let e = RecordEncoder::new(4, 32, 3).unwrap();
+        assert!(matches!(
+            e.encode(&[1.0, 2.0]),
+            Err(HdcError::FeatureMismatch { expected: 4, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn random_projection_approximately_preserves_angles() {
+        let e = RecordEncoder::new(16, 8192, 5).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..16).map(|i| (i as f32 * 0.11).cos()).collect();
+        let input_cos = crate::similarity::cosine(&x, &y);
+        let hx = e.encode(&x).unwrap();
+        let hy = e.encode(&y).unwrap();
+        let output_cos = hx.cosine(&hy).unwrap();
+        assert!(
+            (input_cos - output_cos).abs() < 0.1,
+            "JL property: input {input_cos} vs output {output_cos}"
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_identical_seeds() {
+        let a = RecordEncoder::new(6, 256, 9).unwrap();
+        let b = RecordEncoder::new(6, 256, 9).unwrap();
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        assert_eq!(a.encode(&x).unwrap(), b.encode(&x).unwrap());
+    }
+}

@@ -1,0 +1,384 @@
+//! Associative memory: the class-hypervector store.
+//!
+//! An HDC classifier's "model" is one hypervector per class.  Training
+//! accumulates (bundles) encoded samples into their class hypervector;
+//! inference returns the class whose hypervector is most similar to the
+//! encoded query (step (I)/(J) of the CyberHD workflow).
+//!
+//! [`AssociativeMemory`] owns the class hypervectors and provides the
+//! accumulate / nearest / similarity primitives that both the static baseline
+//! HDC and the CyberHD trainer build on.
+
+use crate::dense::Hypervector;
+use crate::quant::{BitWidth, QuantizedHypervector};
+use crate::similarity;
+use crate::{HdcError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A store of one dense hypervector per class.
+///
+/// # Example
+///
+/// ```
+/// use hdc::{AssociativeMemory, Hypervector};
+///
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let mut memory = AssociativeMemory::new(2, 4)?;
+/// memory.accumulate(0, &Hypervector::from_vec(vec![1.0, 0.0, 0.0, 0.0]))?;
+/// memory.accumulate(1, &Hypervector::from_vec(vec![0.0, 1.0, 0.0, 0.0]))?;
+/// let query = Hypervector::from_vec(vec![0.9, 0.1, 0.0, 0.0]);
+/// let (class, similarity) = memory.nearest(&query)?;
+/// assert_eq!(class, 0);
+/// assert!(similarity > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssociativeMemory {
+    classes: Vec<Hypervector>,
+    dim: usize,
+}
+
+impl AssociativeMemory {
+    /// Creates a memory with `num_classes` zero hypervectors of length `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `num_classes` or `dim` is zero.
+    pub fn new(num_classes: usize, dim: usize) -> Result<Self> {
+        if num_classes == 0 {
+            return Err(HdcError::InvalidArgument("num_classes must be non-zero".into()));
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidArgument("dim must be non-zero".into()));
+        }
+        Ok(Self { classes: vec![Hypervector::zeros(dim); num_classes], dim })
+    }
+
+    /// Builds a memory from pre-existing class hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `classes` is empty and
+    /// [`HdcError::DimensionMismatch`] if the hypervectors disagree on
+    /// dimensionality.
+    pub fn from_class_hypervectors(classes: Vec<Hypervector>) -> Result<Self> {
+        let dim = classes
+            .first()
+            .map(Hypervector::dim)
+            .ok_or_else(|| HdcError::InvalidArgument("classes must be non-empty".into()))?;
+        for c in &classes {
+            if c.dim() != dim {
+                return Err(HdcError::DimensionMismatch { expected: dim, actual: c.dim() });
+            }
+        }
+        Ok(Self { classes, dim })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows the hypervector of `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] for an unknown class.
+    pub fn class(&self, class: usize) -> Result<&Hypervector> {
+        self.classes
+            .get(class)
+            .ok_or(HdcError::IndexOutOfRange { index: class, bound: self.classes.len() })
+    }
+
+    /// Mutably borrows the hypervector of `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] for an unknown class.
+    pub fn class_mut(&mut self, class: usize) -> Result<&mut Hypervector> {
+        let bound = self.classes.len();
+        self.classes
+            .get_mut(class)
+            .ok_or(HdcError::IndexOutOfRange { index: class, bound })
+    }
+
+    /// Borrows all class hypervectors.
+    pub fn classes(&self) -> &[Hypervector] {
+        &self.classes
+    }
+
+    /// Bundles `sample` into the hypervector of `class` (plain accumulation,
+    /// the "single-pass" training of classic HDC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] for an unknown class or
+    /// [`HdcError::DimensionMismatch`] if `sample` has the wrong length.
+    pub fn accumulate(&mut self, class: usize, sample: &Hypervector) -> Result<()> {
+        self.add_scaled(class, sample, 1.0)
+    }
+
+    /// Adds `weight * sample` to the hypervector of `class` — the primitive
+    /// behind CyberHD's adaptive update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] for an unknown class or
+    /// [`HdcError::DimensionMismatch`] if `sample` has the wrong length.
+    pub fn add_scaled(&mut self, class: usize, sample: &Hypervector, weight: f32) -> Result<()> {
+        if sample.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: sample.dim() });
+        }
+        self.class_mut(class)?.bundle_scaled_in_place(sample, weight)
+    }
+
+    /// Cosine similarity of `query` to every class, in class order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `query` has the wrong
+    /// length.
+    pub fn similarities(&self, query: &Hypervector) -> Result<Vec<f32>> {
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: query.dim() });
+        }
+        let qn = query.norm();
+        Ok(self
+            .classes
+            .iter()
+            .map(|c| similarity::cosine_with_norm(query.as_slice(), qn, c.as_slice(), c.norm()))
+            .collect())
+    }
+
+    /// Returns the most similar class and its cosine similarity.
+    ///
+    /// Ties are broken in favour of the lowest class index, which keeps
+    /// inference deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `query` has the wrong
+    /// length.
+    pub fn nearest(&self, query: &Hypervector) -> Result<(usize, f32)> {
+        let sims = self.similarities(query)?;
+        let mut best = 0usize;
+        let mut best_sim = f32::NEG_INFINITY;
+        for (i, &s) in sims.iter().enumerate() {
+            if s > best_sim {
+                best = i;
+                best_sim = s;
+            }
+        }
+        Ok((best, best_sim))
+    }
+
+    /// Returns a copy of the memory with every class hypervector normalized
+    /// to unit norm (step (D) of the CyberHD workflow).
+    pub fn normalized(&self) -> Self {
+        Self {
+            classes: self.classes.iter().map(Hypervector::normalized).collect(),
+            dim: self.dim,
+        }
+    }
+
+    /// Per-dimension variance of the (already provided) class hypervectors.
+    ///
+    /// For dimension `d`, this is the population variance of
+    /// `{C_k[d] | k in classes}`.  Dimensions with near-zero variance carry
+    /// the same value for every class and therefore contribute nothing to
+    /// discrimination — these are the dimensions CyberHD drops.
+    pub fn dimension_variances(&self) -> Vec<f32> {
+        let k = self.classes.len() as f32;
+        let mut variances = vec![0.0f32; self.dim];
+        for (d, var) in variances.iter_mut().enumerate() {
+            let mean: f32 = self.classes.iter().map(|c| c[d]).sum::<f32>() / k;
+            *var = self.classes.iter().map(|c| (c[d] - mean).powi(2)).sum::<f32>() / k;
+        }
+        variances
+    }
+
+    /// Zeroes dimension `index` in every class hypervector (step (G): drop an
+    /// insignificant dimension before regenerating its base vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] if `index >= dim()`.
+    pub fn zero_dimension(&mut self, index: usize) -> Result<()> {
+        if index >= self.dim {
+            return Err(HdcError::IndexOutOfRange { index, bound: self.dim });
+        }
+        for c in &mut self.classes {
+            c.zero_dimension(index)?;
+        }
+        Ok(())
+    }
+
+    /// Resets every class hypervector to zero.
+    pub fn clear(&mut self) {
+        for c in &mut self.classes {
+            for v in c.iter_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Quantizes every class hypervector at the given bitwidth.
+    pub fn quantized(&self, width: BitWidth) -> Vec<QuantizedHypervector> {
+        self.classes.iter().map(|c| QuantizedHypervector::quantize(c, width)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::HdcRng;
+
+    fn random_hv(dim: usize, rng: &mut HdcRng) -> Hypervector {
+        Hypervector::from_fn(dim, |_| rng.standard_normal() as f32)
+    }
+
+    #[test]
+    fn constructor_validates_arguments() {
+        assert!(AssociativeMemory::new(0, 8).is_err());
+        assert!(AssociativeMemory::new(2, 0).is_err());
+        assert!(AssociativeMemory::new(3, 8).is_ok());
+    }
+
+    #[test]
+    fn from_class_hypervectors_checks_consistency() {
+        assert!(AssociativeMemory::from_class_hypervectors(vec![]).is_err());
+        let bad = vec![Hypervector::zeros(4), Hypervector::zeros(5)];
+        assert!(AssociativeMemory::from_class_hypervectors(bad).is_err());
+        let ok = vec![Hypervector::zeros(4), Hypervector::zeros(4)];
+        let m = AssociativeMemory::from_class_hypervectors(ok).unwrap();
+        assert_eq!(m.num_classes(), 2);
+        assert_eq!(m.dim(), 4);
+    }
+
+    #[test]
+    fn accumulate_and_nearest_recover_the_class() {
+        let mut rng = HdcRng::seed_from(1);
+        let dim = 1024;
+        let mut memory = AssociativeMemory::new(3, dim).unwrap();
+        let prototypes: Vec<_> = (0..3).map(|_| random_hv(dim, &mut rng)).collect();
+        // Accumulate noisy copies of each prototype.
+        for (class, proto) in prototypes.iter().enumerate() {
+            for _ in 0..20 {
+                let noise = random_hv(dim, &mut rng).scaled(0.3);
+                let sample = proto.bundle(&noise).unwrap();
+                memory.accumulate(class, &sample).unwrap();
+            }
+        }
+        for (class, proto) in prototypes.iter().enumerate() {
+            let (winner, sim) = memory.nearest(proto).unwrap();
+            assert_eq!(winner, class);
+            assert!(sim > 0.5);
+        }
+    }
+
+    #[test]
+    fn similarities_have_one_entry_per_class() {
+        let memory = AssociativeMemory::new(5, 16).unwrap();
+        let q = Hypervector::zeros(16);
+        assert_eq!(memory.similarities(&q).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let mut memory = AssociativeMemory::new(2, 8).unwrap();
+        let wrong = Hypervector::zeros(9);
+        assert!(matches!(
+            memory.accumulate(0, &wrong),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(memory.nearest(&wrong), Err(HdcError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_class_is_reported() {
+        let mut memory = AssociativeMemory::new(2, 8).unwrap();
+        let hv = Hypervector::zeros(8);
+        assert!(matches!(
+            memory.accumulate(2, &hv),
+            Err(HdcError::IndexOutOfRange { .. })
+        ));
+        assert!(memory.class(2).is_err());
+    }
+
+    #[test]
+    fn normalized_copy_has_unit_norm_classes() {
+        let mut rng = HdcRng::seed_from(2);
+        let mut memory = AssociativeMemory::new(3, 64).unwrap();
+        for c in 0..3 {
+            memory.accumulate(c, &random_hv(64, &mut rng)).unwrap();
+        }
+        let normalized = memory.normalized();
+        for c in normalized.classes() {
+            assert!((c.norm() - 1.0).abs() < 1e-5);
+        }
+        // Original is untouched.
+        assert!(memory.classes().iter().any(|c| (c.norm() - 1.0).abs() > 1e-3));
+    }
+
+    #[test]
+    fn dimension_variances_identify_common_dimensions() {
+        // Three classes identical in dimension 0 but different in dimension 1.
+        let classes = vec![
+            Hypervector::from_vec(vec![0.5, 1.0, 0.0]),
+            Hypervector::from_vec(vec![0.5, -1.0, 0.0]),
+            Hypervector::from_vec(vec![0.5, 0.0, 0.2]),
+        ];
+        let memory = AssociativeMemory::from_class_hypervectors(classes).unwrap();
+        let vars = memory.dimension_variances();
+        assert_eq!(vars.len(), 3);
+        assert!(vars[0] < 1e-9, "identical dimension has zero variance");
+        assert!(vars[1] > vars[2], "most diverse dimension has the largest variance");
+    }
+
+    #[test]
+    fn zero_dimension_clears_every_class() {
+        let mut rng = HdcRng::seed_from(3);
+        let mut memory = AssociativeMemory::new(2, 8).unwrap();
+        for c in 0..2 {
+            memory.accumulate(c, &random_hv(8, &mut rng)).unwrap();
+        }
+        memory.zero_dimension(4).unwrap();
+        for c in memory.classes() {
+            assert_eq!(c[4], 0.0);
+        }
+        assert!(memory.zero_dimension(8).is_err());
+    }
+
+    #[test]
+    fn clear_resets_all_classes() {
+        let mut rng = HdcRng::seed_from(4);
+        let mut memory = AssociativeMemory::new(2, 8).unwrap();
+        memory.accumulate(0, &random_hv(8, &mut rng)).unwrap();
+        memory.clear();
+        assert!(memory.classes().iter().all(|c| c.norm() == 0.0));
+    }
+
+    #[test]
+    fn quantized_export_matches_class_count() {
+        let memory = AssociativeMemory::new(4, 32).unwrap();
+        let qs = memory.quantized(BitWidth::B4);
+        assert_eq!(qs.len(), 4);
+        assert!(qs.iter().all(|q| q.dim() == 32));
+    }
+
+    #[test]
+    fn nearest_breaks_ties_deterministically() {
+        let memory = AssociativeMemory::new(3, 4).unwrap();
+        // All classes are zero vectors -> all similarities are 0 -> class 0 wins.
+        let q = Hypervector::from_vec(vec![1.0, 0.0, 0.0, 0.0]);
+        let (winner, sim) = memory.nearest(&q).unwrap();
+        assert_eq!(winner, 0);
+        assert_eq!(sim, 0.0);
+    }
+}

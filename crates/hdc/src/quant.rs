@@ -1,0 +1,434 @@
+//! Linear quantization of hypervectors to narrow bitwidths.
+//!
+//! Table I and Fig. 5 of the CyberHD paper study models whose hypervector
+//! elements are stored at 32, 16, 8, 4, 2 or 1 bits.  This module implements
+//! symmetric linear quantization: a dense hypervector is mapped onto signed
+//! integer levels `[-(2^(b-1)-1), 2^(b-1)-1]` with a per-vector scale, and the
+//! 1-bit case degenerates to the sign function (bipolar vectors).
+//!
+//! Quantized vectors keep enough structure for
+//!
+//! * similarity computation (integer dot product + scales),
+//! * dequantization back to dense vectors,
+//! * *bit-exact fault injection*: [`QuantizedHypervector::flip_bit`] flips a
+//!   single physical bit of a stored element, which is how the robustness
+//!   study perturbs the deployed model.
+
+use crate::dense::Hypervector;
+use crate::{HdcError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Supported element bitwidths for quantized hypervectors.
+///
+/// The ordering of variants follows the paper's Table I columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BitWidth {
+    /// 32-bit elements (full precision reference; stored as f32).
+    B32,
+    /// 16-bit integer elements.
+    B16,
+    /// 8-bit integer elements.
+    B8,
+    /// 4-bit integer elements.
+    B4,
+    /// 2-bit integer elements.
+    B2,
+    /// 1-bit (bipolar / binary) elements.
+    B1,
+}
+
+impl BitWidth {
+    /// All bitwidths, in the order of the paper's Table I.
+    pub const ALL: [BitWidth; 6] =
+        [BitWidth::B32, BitWidth::B16, BitWidth::B8, BitWidth::B4, BitWidth::B2, BitWidth::B1];
+
+    /// Number of bits per element.
+    pub fn bits(self) -> u32 {
+        match self {
+            BitWidth::B32 => 32,
+            BitWidth::B16 => 16,
+            BitWidth::B8 => 8,
+            BitWidth::B4 => 4,
+            BitWidth::B2 => 2,
+            BitWidth::B1 => 1,
+        }
+    }
+
+    /// Largest positive quantization level representable at this width.
+    ///
+    /// For `B1` this is `1` (bipolar ±1); for wider types it is
+    /// `2^(bits-1) - 1`, capped at the range that comfortably fits in the
+    /// `i32` storage used by [`QuantizedHypervector`].
+    pub fn max_level(self) -> i32 {
+        match self {
+            BitWidth::B1 => 1,
+            BitWidth::B2 => 1,
+            BitWidth::B4 => 7,
+            BitWidth::B8 => 127,
+            BitWidth::B16 => 32_767,
+            BitWidth::B32 => 2_147_483_647,
+        }
+    }
+
+    /// Parses a bitwidth from its number of bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] for unsupported widths.
+    pub fn from_bits(bits: u32) -> Result<Self> {
+        match bits {
+            32 => Ok(BitWidth::B32),
+            16 => Ok(BitWidth::B16),
+            8 => Ok(BitWidth::B8),
+            4 => Ok(BitWidth::B4),
+            2 => Ok(BitWidth::B2),
+            1 => Ok(BitWidth::B1),
+            other => Err(HdcError::InvalidArgument(format!("unsupported bitwidth {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bit{}", self.bits(), if self.bits() == 1 { "" } else { "s" })
+    }
+}
+
+/// A hypervector whose elements are stored at a reduced bitwidth.
+///
+/// Elements are kept as `i32` quantization levels together with a scale
+/// factor; the logical value of element `i` is `levels[i] as f32 * scale`.
+/// Only the low `bits()` bits of each level are meaningful, which is what
+/// makes bit-exact fault injection possible.
+///
+/// # Example
+///
+/// ```
+/// use hdc::{BitWidth, Hypervector, QuantizedHypervector};
+///
+/// let hv = Hypervector::from_vec(vec![0.5, -1.0, 0.25, 0.0]);
+/// let q = QuantizedHypervector::quantize(&hv, BitWidth::B8);
+/// let back = q.dequantize();
+/// for (a, b) in hv.iter().zip(back.iter()) {
+///     assert!((a - b).abs() < 0.02);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedHypervector {
+    levels: Vec<i32>,
+    scale: f32,
+    width: BitWidth,
+}
+
+impl QuantizedHypervector {
+    /// Quantizes a dense hypervector at the given bitwidth.
+    ///
+    /// The scale is chosen so the largest absolute element maps onto the
+    /// largest representable level (symmetric max-abs quantization).  A zero
+    /// vector quantizes to all-zero levels with scale `1.0`.
+    pub fn quantize(hv: &Hypervector, width: BitWidth) -> Self {
+        if width == BitWidth::B32 {
+            // Full precision: store the raw f32 bit patterns scaled by 1.0.
+            // Levels hold the value multiplied by a fixed resolution so the
+            // integer pathway (similarity, fault injection) stays uniform.
+            let max_abs = hv.max_abs().max(f32::MIN_POSITIVE);
+            let scale = max_abs / BitWidth::B16.max_level() as f32;
+            let levels = hv
+                .iter()
+                .map(|&v| ((v / scale).round() as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+                .collect();
+            return Self { levels, scale, width };
+        }
+        let max_level = width.max_level() as f32;
+        let max_abs = hv.max_abs();
+        if max_abs == 0.0 {
+            return Self { levels: vec![0; hv.dim()], scale: 1.0, width };
+        }
+        let scale = max_abs / max_level;
+        let levels = hv
+            .iter()
+            .map(|&v| {
+                if width == BitWidth::B1 {
+                    if v >= 0.0 {
+                        1
+                    } else {
+                        -1
+                    }
+                } else {
+                    (v / scale).round().clamp(-max_level, max_level) as i32
+                }
+            })
+            .collect();
+        Self { levels, scale, width }
+    }
+
+    /// Reconstructs a dense hypervector from the quantization levels.
+    pub fn dequantize(&self) -> Hypervector {
+        Hypervector::from_vec(self.levels.iter().map(|&l| l as f32 * self.scale).collect())
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Returns `true` for a zero-dimensional vector.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Element bitwidth.
+    pub fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// Per-vector quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Borrows the integer quantization levels.
+    pub fn levels(&self) -> &[i32] {
+        &self.levels
+    }
+
+    /// Total storage footprint of the element payload, in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.dim() * self.width.bits() as usize
+    }
+
+    /// Cosine similarity between two quantized hypervectors.
+    ///
+    /// Computed on the integer levels; the scales cancel in the cosine, so
+    /// mixed-scale operands are fine as long as the widths match the caller's
+    /// expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the operands disagree on
+    /// dimensionality.
+    pub fn cosine(&self, other: &Self) -> Result<f32> {
+        if self.dim() != other.dim() {
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), actual: other.dim() });
+        }
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for (&a, &b) in self.levels.iter().zip(&other.levels) {
+            let (a, b) = (a as f64, b as f64);
+            dot += a * b;
+            na += a * a;
+            nb += b * b;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return Ok(0.0);
+        }
+        Ok((dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0) as f32)
+    }
+
+    /// Flips one physical bit of the stored element at `index`.
+    ///
+    /// `bit` addresses the bit position inside the element's `bits()`-wide
+    /// two's-complement representation (bit `bits()-1` is the sign bit for
+    /// multi-bit widths, and the single value bit for `B1`).  After the flip
+    /// the element is re-interpreted inside the same width, exactly as a
+    /// memory upset in a deployed accelerator would be.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] if `index >= dim()` or
+    /// `bit >= bits()`.
+    pub fn flip_bit(&mut self, index: usize, bit: u32) -> Result<()> {
+        let dim = self.dim();
+        let width = self.width;
+        let bits = width.bits();
+        if bit >= bits {
+            return Err(HdcError::IndexOutOfRange { index: bit as usize, bound: bits as usize });
+        }
+        let level = self
+            .levels
+            .get_mut(index)
+            .ok_or(HdcError::IndexOutOfRange { index, bound: dim })?;
+        if width == BitWidth::B1 {
+            // Single bit: flip the sign (+1 <-> -1).
+            *level = if *level >= 0 { -1 } else { 1 };
+            return Ok(());
+        }
+        if width == BitWidth::B32 {
+            // Treat the level as a raw 32-bit word.
+            let flipped = (*level as u32) ^ (1u32 << bit);
+            *level = flipped as i32;
+            return Ok(());
+        }
+        // Narrow widths: flip inside the low `bits` of the two's-complement
+        // representation and sign-extend back.
+        let mask = (1u32 << bits) - 1;
+        let raw = (*level as u32) & mask;
+        let flipped = raw ^ (1u32 << bit);
+        // Sign-extend from `bits` to 32.
+        let sign_bit = 1u32 << (bits - 1);
+        let extended = if flipped & sign_bit != 0 {
+            (flipped | !mask) as i32
+        } else {
+            flipped as i32
+        };
+        *level = extended;
+        Ok(())
+    }
+
+    /// Number of physical storage bits (`dim * bits`), the address space for
+    /// fault injection.
+    pub fn fault_sites(&self) -> usize {
+        self.storage_bits()
+    }
+}
+
+/// Quantizes a whole set of class hypervectors at the same bitwidth.
+pub fn quantize_all(hvs: &[Hypervector], width: BitWidth) -> Vec<QuantizedHypervector> {
+    hvs.iter().map(|h| QuantizedHypervector::quantize(h, width)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::HdcRng;
+
+    fn random_hv(dim: usize, seed: u64) -> Hypervector {
+        let mut rng = HdcRng::seed_from(seed);
+        Hypervector::from_fn(dim, |_| rng.standard_normal() as f32)
+    }
+
+    #[test]
+    fn bitwidth_metadata_is_consistent() {
+        for w in BitWidth::ALL {
+            assert_eq!(BitWidth::from_bits(w.bits()).unwrap(), w);
+            assert!(w.max_level() >= 1);
+            assert!(w.to_string().contains(&w.bits().to_string()));
+        }
+        assert!(BitWidth::from_bits(3).is_err());
+    }
+
+    #[test]
+    fn quantize_dequantize_error_shrinks_with_width() {
+        let hv = random_hv(2048, 1);
+        let mut prev_err = f32::INFINITY;
+        for w in [BitWidth::B1, BitWidth::B2, BitWidth::B4, BitWidth::B8, BitWidth::B16] {
+            let q = QuantizedHypervector::quantize(&hv, w);
+            let back = q.dequantize();
+            let err: f32 = hv
+                .iter()
+                .zip(back.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / hv.dim() as f32;
+            assert!(
+                err <= prev_err + 1e-6,
+                "error should not grow with more bits: {w:?} gave {err}, previous {prev_err}"
+            );
+            prev_err = err;
+        }
+    }
+
+    #[test]
+    fn one_bit_quantization_is_sign() {
+        let hv = Hypervector::from_vec(vec![0.4, -0.1, 0.0, -9.0]);
+        let q = QuantizedHypervector::quantize(&hv, BitWidth::B1);
+        assert_eq!(q.levels(), &[1, -1, 1, -1]);
+    }
+
+    #[test]
+    fn zero_vector_quantizes_cleanly() {
+        let hv = Hypervector::zeros(16);
+        let q = QuantizedHypervector::quantize(&hv, BitWidth::B8);
+        assert!(q.levels().iter().all(|&l| l == 0));
+        assert_eq!(q.dequantize(), hv);
+    }
+
+    #[test]
+    fn levels_stay_within_width_bounds() {
+        let hv = random_hv(512, 3);
+        for w in [BitWidth::B2, BitWidth::B4, BitWidth::B8, BitWidth::B16] {
+            let q = QuantizedHypervector::quantize(&hv, w);
+            let bound = w.max_level();
+            assert!(q.levels().iter().all(|&l| l.abs() <= bound), "width {w:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_cosine_approximates_dense_cosine() {
+        let a = random_hv(4096, 4);
+        let b = random_hv(4096, 5);
+        let reference = a.cosine(&b).unwrap();
+        let qa = QuantizedHypervector::quantize(&a, BitWidth::B8);
+        let qb = QuantizedHypervector::quantize(&b, BitWidth::B8);
+        let approx = qa.cosine(&qb).unwrap();
+        assert!((reference - approx).abs() < 0.03, "{reference} vs {approx}");
+    }
+
+    #[test]
+    fn quantized_cosine_dimension_mismatch_is_error() {
+        let a = QuantizedHypervector::quantize(&random_hv(8, 6), BitWidth::B4);
+        let b = QuantizedHypervector::quantize(&random_hv(9, 7), BitWidth::B4);
+        assert!(matches!(a.cosine(&b), Err(HdcError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn storage_bits_scale_with_width() {
+        let hv = random_hv(100, 8);
+        assert_eq!(QuantizedHypervector::quantize(&hv, BitWidth::B1).storage_bits(), 100);
+        assert_eq!(QuantizedHypervector::quantize(&hv, BitWidth::B8).storage_bits(), 800);
+        assert_eq!(QuantizedHypervector::quantize(&hv, BitWidth::B32).storage_bits(), 3200);
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_element() {
+        let hv = random_hv(64, 9);
+        for w in BitWidth::ALL {
+            let q0 = QuantizedHypervector::quantize(&hv, w);
+            let mut q = q0.clone();
+            q.flip_bit(10, 0).unwrap();
+            let changed =
+                q.levels().iter().zip(q0.levels()).filter(|(a, b)| a != b).count();
+            assert_eq!(changed, 1, "width {w:?}");
+        }
+    }
+
+    #[test]
+    fn flip_bit_twice_is_identity_for_value_bits() {
+        let hv = random_hv(32, 10);
+        for w in [BitWidth::B2, BitWidth::B4, BitWidth::B8, BitWidth::B16, BitWidth::B32] {
+            let q0 = QuantizedHypervector::quantize(&hv, w);
+            let mut q = q0.clone();
+            q.flip_bit(5, 1).unwrap();
+            q.flip_bit(5, 1).unwrap();
+            assert_eq!(q, q0, "width {w:?}");
+        }
+    }
+
+    #[test]
+    fn flip_sign_bit_changes_sign_for_narrow_widths() {
+        let hv = Hypervector::from_vec(vec![1.0, -0.5, 0.25, 0.125]);
+        let mut q = QuantizedHypervector::quantize(&hv, BitWidth::B4);
+        let before = q.levels()[0];
+        q.flip_bit(0, 3).unwrap();
+        let after = q.levels()[0];
+        assert!(before >= 0 && after < 0, "sign flip expected: {before} -> {after}");
+    }
+
+    #[test]
+    fn flip_bit_bounds_are_checked() {
+        let hv = random_hv(8, 11);
+        let mut q = QuantizedHypervector::quantize(&hv, BitWidth::B4);
+        assert!(matches!(q.flip_bit(8, 0), Err(HdcError::IndexOutOfRange { .. })));
+        assert!(matches!(q.flip_bit(0, 4), Err(HdcError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn quantize_all_preserves_count_and_width() {
+        let hvs: Vec<_> = (0..5).map(|i| random_hv(128, i)).collect();
+        let qs = quantize_all(&hvs, BitWidth::B2);
+        assert_eq!(qs.len(), 5);
+        assert!(qs.iter().all(|q| q.width() == BitWidth::B2 && q.dim() == 128));
+    }
+}

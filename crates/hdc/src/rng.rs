@@ -1,0 +1,244 @@
+//! Deterministic random sources for hypervector generation.
+//!
+//! HDC relies heavily on randomness: base vectors are drawn from a Gaussian
+//! distribution (for the RBF encoder), level hypervectors are random bipolar
+//! vectors, and CyberHD regenerates dropped dimensions from fresh Gaussian
+//! draws.  Everything in this module is seedable so that experiments are
+//! exactly reproducible.
+//!
+//! The Gaussian sampler is a Box–Muller transform over the uniform output of
+//! [`rand::rngs::StdRng`]; we deliberately avoid extra dependencies such as
+//! `rand_distr` (see `DESIGN.md` §7).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable Gaussian/uniform sampler used for base-vector generation.
+///
+/// # Example
+///
+/// ```
+/// use hdc::rng::HdcRng;
+///
+/// let mut rng = HdcRng::seed_from(42);
+/// let z = rng.normal(0.0, 1.0);
+/// assert!(z.is_finite());
+/// let u = rng.uniform(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdcRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare: Option<f64>,
+}
+
+impl HdcRng {
+    /// Creates a sampler from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Derives an independent child sampler.
+    ///
+    /// The child stream is decorrelated from the parent by hashing the parent
+    /// draw together with `stream`, so regenerating dimension `i` twice with
+    /// the same stream id yields the same base vector.
+    pub fn child(&mut self, stream: u64) -> Self {
+        let mixed = self.inner.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from(mixed)
+    }
+
+    /// Draws a standard-normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let mut u1: f64 = self.inner.gen::<f64>();
+        // Guard against log(0).
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2: f64 = self.inner.gen::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let z0 = radius * theta.cos();
+        let z1 = radius * theta.sin();
+        self.spare = Some(z1);
+        z0
+    }
+
+    /// Draws a normal sample with the given `mean` and `std_dev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be finite and non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Draws a uniform sample in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or either bound is non-finite.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low.is_finite() && high.is_finite() && low < high, "invalid uniform bounds");
+        low + (high - low) * self.inner.gen::<f64>()
+    }
+
+    /// Draws a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Draws a random sign, `+1.0` or `-1.0`, with equal probability.
+    pub fn sign(&mut self) -> f64 {
+        if self.inner.gen::<bool>() {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Draws a boolean that is `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Fills `out` with standard-normal samples.
+    pub fn fill_standard_normal(&mut self, out: &mut [f32]) {
+        for v in out.iter_mut() {
+            *v = self.standard_normal() as f32;
+        }
+    }
+
+    /// Fills `out` with uniform samples in `[low, high)`.
+    pub fn fill_uniform(&mut self, out: &mut [f32], low: f64, high: f64) {
+        for v in out.iter_mut() {
+            *v = self.uniform(low, high) as f32;
+        }
+    }
+
+    /// Produces a Fisher–Yates shuffled index permutation of length `n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.inner.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+
+    /// Exposes the underlying [`RngCore`] for integration with `rand` APIs.
+    pub fn as_rng_core(&mut self) -> &mut impl RngCore {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = HdcRng::seed_from(123);
+        let mut b = HdcRng::seed_from(123);
+        for _ in 0..64 {
+            assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = HdcRng::seed_from(1);
+        let mut b = HdcRng::seed_from(2);
+        let same = (0..32).filter(|_| a.standard_normal() == b.standard_normal()).count();
+        assert!(same < 4, "independently seeded streams should rarely coincide");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = HdcRng::seed_from(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean} too far from 2.0");
+        assert!((var - 9.0).abs() < 0.5, "variance {var} too far from 9.0");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = HdcRng::seed_from(11);
+        for _ in 0..1000 {
+            let u = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_probability() {
+        let mut rng = HdcRng::seed_from(5);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn sign_is_balanced() {
+        let mut rng = HdcRng::seed_from(13);
+        let pos = (0..10_000).filter(|_| rng.sign() > 0.0).count();
+        assert!((4_500..5_500).contains(&pos));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = HdcRng::seed_from(3);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn child_streams_are_decorrelated() {
+        let mut parent = HdcRng::seed_from(9);
+        let mut c1 = parent.child(1);
+        let mut c2 = parent.child(2);
+        let equal = (0..32).filter(|_| c1.standard_normal() == c2.standard_normal()).count();
+        assert!(equal < 4);
+    }
+
+    #[test]
+    fn index_respects_bound() {
+        let mut rng = HdcRng::seed_from(21);
+        for _ in 0..1000 {
+            assert!(rng.index(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn index_zero_bound_panics() {
+        HdcRng::seed_from(0).index(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_rejects_invalid_probability() {
+        HdcRng::seed_from(0).bernoulli(1.5);
+    }
+}

@@ -1,0 +1,202 @@
+//! First-order FPGA accelerator model (an Alveo-U50-class card).
+//!
+//! The CyberHD accelerator instantiates as many parallel element lanes
+//! (multiply–accumulate, or XNOR/popcount at 1 bit) as fit the device's
+//! LUT/DSP budget and clocks them at a modest 200 MHz under a < 20 W power
+//! envelope.  Two effects shape the lane count:
+//!
+//! * wide arithmetic is expensive — a 32-bit MAC burns an order of magnitude
+//!   more LUT/DSP resources than an 8-bit one, so narrowing the elements
+//!   multiplies the lane count;
+//! * below ~4 bits the per-lane cost is dominated by the fixed accumulate /
+//!   control / routing overhead and by HBM bandwidth, so the lane count
+//!   saturates instead of growing another 4×.
+//!
+//! Those two effects are what produce the paper's Table I shape: FPGA
+//! efficiency rises steeply from 32 → 8 bits and then flattens/droops as the
+//! accuracy-matched effective dimensionality keeps growing while the lane
+//! count no longer does.
+
+use crate::workload::HdcWorkload;
+use crate::{CostEstimate, HwModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Analytical FPGA accelerator model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaModel {
+    /// LUT budget available to the accelerator datapath (after
+    /// platform/shell overhead).
+    pub lut_budget: u64,
+    /// Clock frequency in hertz (the paper's accelerator runs at 200 MHz).
+    pub frequency_hz: f64,
+    /// Total board power while the accelerator is busy, in watts
+    /// (the paper reports < 20 W on the Alveo U50).
+    pub busy_power_w: f64,
+}
+
+impl Default for FpgaModel {
+    /// An Alveo-U50-class budget: ~600 k usable LUTs at 200 MHz under 18 W.
+    fn default() -> Self {
+        Self { lut_budget: 600_000, frequency_hz: 200.0e6, busy_power_w: 18.0 }
+    }
+}
+
+impl FpgaModel {
+    /// Creates a model, validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwModelError::InvalidParameter`] for non-positive values.
+    pub fn new(lut_budget: u64, frequency_hz: f64, busy_power_w: f64) -> Result<Self> {
+        if lut_budget == 0 {
+            return Err(HwModelError::InvalidParameter("lut_budget must be non-zero".into()));
+        }
+        if !(frequency_hz > 0.0 && frequency_hz.is_finite()) {
+            return Err(HwModelError::InvalidParameter(format!(
+                "frequency must be positive, got {frequency_hz}"
+            )));
+        }
+        if !(busy_power_w > 0.0 && busy_power_w.is_finite()) {
+            return Err(HwModelError::InvalidParameter(format!(
+                "busy power must be positive, got {busy_power_w}"
+            )));
+        }
+        Ok(Self { lut_budget, frequency_hz, busy_power_w })
+    }
+
+    /// LUT cost of one element lane at the given bitwidth.
+    ///
+    /// Wide multipliers scale superlinearly with width; very narrow lanes are
+    /// dominated by fixed accumulate/control overhead.
+    pub fn luts_per_lane(&self, bits: u32) -> u64 {
+        match bits {
+            32 => 120,
+            16 => 46,
+            8 => 19,
+            4 => 13,
+            2 => 11,
+            _ => 10, // 1 bit: XNOR + popcount + accumulate overhead
+        }
+    }
+
+    /// Number of parallel element lanes at the given bitwidth.
+    pub fn lanes(&self, bits: u32) -> u64 {
+        (self.lut_budget / self.luts_per_lane(bits)).max(1)
+    }
+
+    /// Element ops per second at the given bitwidth.
+    pub fn ops_per_second(&self, bits: u32) -> f64 {
+        self.lanes(bits) as f64 * self.frequency_hz
+    }
+
+    /// Latency and energy of one full training run.
+    pub fn training_cost(&self, workload: &HdcWorkload) -> CostEstimate {
+        self.cost(workload.training_ops(), workload.bits)
+    }
+
+    /// Latency and energy of classifying `samples` queries.
+    pub fn inference_cost(&self, workload: &HdcWorkload, samples: usize) -> CostEstimate {
+        self.cost(workload.inference_ops(samples), workload.bits)
+    }
+
+    fn cost(&self, ops: u64, bits: u32) -> CostEstimate {
+        let latency_s = ops as f64 / self.ops_per_second(bits);
+        let energy_j = self.busy_power_w * latency_s;
+        CostEstimate { latency_s, energy_j }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+
+    /// The paper's accuracy-matched effective dimensionalities per bitwidth
+    /// (Table I, "Effective D" row).
+    const PAPER_EFFECTIVE_D: [(u32, usize); 6] =
+        [(32, 1200), (16, 2100), (8, 3600), (4, 5600), (2, 7500), (1, 8800)];
+
+    fn workload(dimension: usize, bits: u32) -> HdcWorkload {
+        HdcWorkload::new(dimension, bits, 5, 100, 10_000, 20).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(FpgaModel::new(0, 2e8, 18.0).is_err());
+        assert!(FpgaModel::new(1000, 0.0, 18.0).is_err());
+        assert!(FpgaModel::new(1000, 2e8, 0.0).is_err());
+        assert!(FpgaModel::new(1000, 2e8, 18.0).is_ok());
+    }
+
+    #[test]
+    fn narrower_elements_get_more_lanes_with_diminishing_returns() {
+        let fpga = FpgaModel::default();
+        let lanes: Vec<u64> = [32, 16, 8, 4, 2, 1].iter().map(|&b| fpga.lanes(b)).collect();
+        // Monotone non-decreasing as elements narrow.
+        assert!(lanes.windows(2).all(|w| w[1] >= w[0]), "{lanes:?}");
+        // Strong gain from 32 -> 8 bits, weak gain from 4 -> 1 bits.
+        assert!(lanes[2] as f64 / lanes[0] as f64 > 4.0);
+        assert!((lanes[5] as f64 / lanes[3] as f64) < 2.0);
+    }
+
+    #[test]
+    fn fpga_stays_inside_its_power_envelope() {
+        let fpga = FpgaModel::default();
+        assert!(fpga.busy_power_w < 20.0, "the paper reports < 20 W at 200 MHz");
+        assert!((fpga.frequency_hz - 200.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn fpga_beats_cpu_at_matched_width_and_dimension() {
+        let fpga = FpgaModel::default();
+        let cpu = CpuModel::default();
+        for bits in [32, 16, 8, 4, 2, 1] {
+            let w = workload(2000, bits);
+            let fpga_cost = fpga.training_cost(&w);
+            let cpu_cost = cpu.training_cost(&w);
+            assert!(
+                fpga_cost.efficiency_over(&cpu_cost) > 1.0,
+                "FPGA should be more energy efficient at {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_shape_cpu_prefers_wide_fpga_peaks_mid_width() {
+        // Reproduce the *shape* of Table I with the paper's effective
+        // dimensionalities: normalize everything to the 1-bit CPU config.
+        let fpga = FpgaModel::default();
+        let cpu = CpuModel::default();
+        let reference = cpu.training_cost(&workload(8_800, 1));
+
+        let mut cpu_eff = Vec::new();
+        let mut fpga_eff = Vec::new();
+        for &(bits, dim) in &PAPER_EFFECTIVE_D {
+            let w = workload(dim, bits);
+            cpu_eff.push((bits, cpu.training_cost(&w).efficiency_over(&reference)));
+            fpga_eff.push((bits, fpga.training_cost(&w).efficiency_over(&reference)));
+        }
+        // CPU: efficiency decreases monotonically as bitwidth shrinks, 32-bit
+        // is several times better than 1-bit.
+        assert!(cpu_eff.windows(2).all(|w| w[0].1 >= w[1].1 * 0.95), "{cpu_eff:?}");
+        assert!(cpu_eff[0].1 > 3.0, "{cpu_eff:?}");
+        assert!((cpu_eff[5].1 - 1.0).abs() < 1e-9);
+        // FPGA: always far better than the CPU reference, with a peak at an
+        // intermediate bitwidth (8 or 4 bits), not at 32 and not at 1.
+        assert!(fpga_eff.iter().all(|&(_, e)| e > 5.0), "{fpga_eff:?}");
+        let (peak_bits, peak) =
+            fpga_eff.iter().cloned().fold((0, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+        assert!(peak_bits == 8 || peak_bits == 4, "peak at {peak_bits} bits ({peak:.1}x)");
+        assert!(peak > fpga_eff[0].1, "peak should beat the 32-bit point");
+        assert!(peak > fpga_eff[5].1, "peak should beat the 1-bit point");
+    }
+
+    #[test]
+    fn inference_cost_scales_with_query_count() {
+        let fpga = FpgaModel::default();
+        let w = workload(1_000, 8);
+        let one = fpga.inference_cost(&w, 1_000);
+        let ten = fpga.inference_cost(&w, 10_000);
+        assert!((ten.energy_j / one.energy_j - 10.0).abs() < 1e-9);
+    }
+}

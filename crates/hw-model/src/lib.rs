@@ -1,0 +1,111 @@
+//! # `hw-model` — first-order CPU and FPGA cost models
+//!
+//! Table I of the CyberHD paper reports the *energy efficiency* of HDC
+//! training across element bitwidths on an Intel i9-12900 CPU and a Xilinx
+//! Alveo U50 FPGA, normalized to the 1-bit CPU configuration.  We do not have
+//! that hardware, so this crate substitutes first-order analytical models that
+//! capture the two effects the table hinges on:
+//!
+//! * a **CPU** has a fixed number of wide arithmetic units running at a high
+//!   clock; element bitwidths below the native word size gain (almost) no
+//!   throughput, so the cheapest configuration is the one with the fewest
+//!   *elements* — high bitwidth and low (effective) dimensionality;
+//! * an **FPGA** builds exactly as many narrow lanes as fit its LUT/DSP
+//!   budget at a modest clock and low power, so throughput grows as elements
+//!   get narrower — until the growing effective dimensionality of very low
+//!   bitwidths eats the gain, producing the mid-bitwidth efficiency peak the
+//!   paper reports.
+//!
+//! The models work on an [`HdcWorkload`] op count, so they are independent of
+//! which classifier produced the numbers; the `table1` experiment binary
+//! feeds them the accuracy-matched effective dimensionalities it measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod fpga;
+pub mod workload;
+
+pub use cpu::CpuModel;
+pub use fpga::FpgaModel;
+pub use workload::HdcWorkload;
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `hw-model` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwModelError {
+    /// A model or workload parameter was invalid (zero sizes, unsupported
+    /// bitwidth, non-positive frequency, …).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for HwModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwModelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for HwModelError {}
+
+/// Crate-local result alias.
+pub type Result<T, E = HwModelError> = std::result::Result<T, E>;
+
+/// A latency/energy estimate for one workload on one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Wall-clock latency in seconds.
+    pub latency_s: f64,
+    /// Energy in joules (dynamic + static over the latency window).
+    pub energy_j: f64,
+}
+
+impl CostEstimate {
+    /// Energy efficiency expressed as work per joule, using the workload's
+    /// total op count as the unit of work.
+    pub fn ops_per_joule(&self, ops: f64) -> f64 {
+        if self.energy_j <= 0.0 {
+            return 0.0;
+        }
+        ops / self.energy_j
+    }
+
+    /// Ratio `other.energy / self.energy` — how many times more energy
+    /// efficient `self` is than `other` at the *same* amount of useful work
+    /// (e.g. one training run at matched accuracy).
+    pub fn efficiency_over(&self, other: &CostEstimate) -> f64 {
+        if self.energy_j <= 0.0 {
+            return f64::INFINITY;
+        }
+        other.energy_j / self.energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = HwModelError::InvalidParameter("frequency".into());
+        assert!(e.to_string().contains("frequency"));
+    }
+
+    #[test]
+    fn cost_estimate_ratios() {
+        let a = CostEstimate { latency_s: 1.0, energy_j: 2.0 };
+        let b = CostEstimate { latency_s: 1.0, energy_j: 8.0 };
+        assert!((a.efficiency_over(&b) - 4.0).abs() < 1e-12);
+        assert!((b.efficiency_over(&a) - 0.25).abs() < 1e-12);
+        assert!((a.ops_per_joule(10.0) - 5.0).abs() < 1e-12);
+        let zero = CostEstimate { latency_s: 0.0, energy_j: 0.0 };
+        assert_eq!(zero.ops_per_joule(10.0), 0.0);
+        assert!(zero.efficiency_over(&a).is_infinite());
+    }
+}

@@ -1,0 +1,149 @@
+//! HDC workload descriptions (op and memory counts).
+//!
+//! The cost models only need to know *how much work* a training or inference
+//! run performs; [`HdcWorkload`] derives element-operation counts from the
+//! HDC hyper-parameters.  One "element op" is a multiply–accumulate (or, at
+//! 1 bit, an XNOR + popcount step) on a single hypervector element — the unit
+//! both the CPU and FPGA models price.
+
+use crate::{HwModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An HDC training/inference workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HdcWorkload {
+    /// Hypervector dimensionality (physical or effective, whichever the
+    /// experiment is pricing).
+    pub dimension: usize,
+    /// Element bitwidth.
+    pub bits: u32,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of input features per sample (after preprocessing).
+    pub input_features: usize,
+    /// Number of training samples.
+    pub train_samples: usize,
+    /// Number of retraining epochs (the initial pass is counted separately).
+    pub retrain_epochs: usize,
+}
+
+impl HdcWorkload {
+    /// Creates a workload, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwModelError::InvalidParameter`] for zero sizes or an
+    /// unsupported bitwidth.
+    pub fn new(
+        dimension: usize,
+        bits: u32,
+        num_classes: usize,
+        input_features: usize,
+        train_samples: usize,
+        retrain_epochs: usize,
+    ) -> Result<Self> {
+        if dimension == 0 || num_classes == 0 || input_features == 0 || train_samples == 0 {
+            return Err(HwModelError::InvalidParameter(
+                "dimension, num_classes, input_features and train_samples must be non-zero".into(),
+            ));
+        }
+        if ![1, 2, 4, 8, 16, 32].contains(&bits) {
+            return Err(HwModelError::InvalidParameter(format!("unsupported bitwidth {bits}")));
+        }
+        Ok(Self { dimension, bits, num_classes, input_features, train_samples, retrain_epochs })
+    }
+
+    /// Element ops to encode one sample: `dimension × input_features` MACs
+    /// (the RBF projection) plus `dimension` activations.
+    pub fn encode_ops_per_sample(&self) -> u64 {
+        self.dimension as u64 * (self.input_features as u64 + 1)
+    }
+
+    /// Element ops for one similarity search: `dimension × num_classes` MACs.
+    pub fn similarity_ops_per_sample(&self) -> u64 {
+        self.dimension as u64 * self.num_classes as u64
+    }
+
+    /// Element ops for one adaptive model update (two scaled bundle-adds).
+    pub fn update_ops_per_sample(&self) -> u64 {
+        2 * self.dimension as u64
+    }
+
+    /// Total element ops for a full training run: one encoding pass plus
+    /// `1 + retrain_epochs` adaptive passes (similarity + update per sample).
+    pub fn training_ops(&self) -> u64 {
+        let encode = self.encode_ops_per_sample() * self.train_samples as u64;
+        let passes = (self.retrain_epochs as u64 + 1) * self.train_samples as u64;
+        let adapt = passes * (self.similarity_ops_per_sample() + self.update_ops_per_sample());
+        encode + adapt
+    }
+
+    /// Total element ops to classify `samples` queries (encode + similarity).
+    pub fn inference_ops(&self, samples: usize) -> u64 {
+        samples as u64 * (self.encode_ops_per_sample() + self.similarity_ops_per_sample())
+    }
+
+    /// Size of the class-hypervector model in bits.
+    pub fn model_bits(&self) -> u64 {
+        self.dimension as u64 * self.num_classes as u64 * u64::from(self.bits)
+    }
+
+    /// Returns a copy of the workload with a different dimensionality
+    /// (used when sweeping effective dimensionality per bitwidth).
+    pub fn with_dimension(mut self, dimension: usize) -> Self {
+        self.dimension = dimension;
+        self
+    }
+
+    /// Returns a copy of the workload with a different bitwidth.
+    pub fn with_bits(mut self, bits: u32) -> Self {
+        self.bits = bits;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> HdcWorkload {
+        HdcWorkload::new(1000, 8, 5, 100, 10_000, 20).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(HdcWorkload::new(0, 8, 5, 100, 10, 1).is_err());
+        assert!(HdcWorkload::new(100, 3, 5, 100, 10, 1).is_err());
+        assert!(HdcWorkload::new(100, 8, 0, 100, 10, 1).is_err());
+        assert!(HdcWorkload::new(100, 8, 5, 0, 10, 1).is_err());
+        assert!(HdcWorkload::new(100, 8, 5, 100, 0, 1).is_err());
+        assert!(HdcWorkload::new(100, 8, 5, 100, 10, 0).is_ok());
+    }
+
+    #[test]
+    fn op_counts_scale_with_their_drivers() {
+        let w = workload();
+        assert_eq!(w.encode_ops_per_sample(), 1000 * 101);
+        assert_eq!(w.similarity_ops_per_sample(), 1000 * 5);
+        assert_eq!(w.update_ops_per_sample(), 2000);
+        // Doubling the dimension doubles every op count.
+        let w2 = w.with_dimension(2000);
+        assert_eq!(w2.training_ops(), 2 * w.training_ops());
+        assert_eq!(w2.inference_ops(7), 2 * w.inference_ops(7));
+    }
+
+    #[test]
+    fn training_ops_formula_is_consistent() {
+        let w = workload();
+        let expected = 1000u64 * 101 * 10_000 + 21 * 10_000 * (5000 + 2000);
+        assert_eq!(w.training_ops(), expected);
+    }
+
+    #[test]
+    fn model_bits_track_bitwidth() {
+        let w = workload();
+        assert_eq!(w.model_bits(), 1000 * 5 * 8);
+        assert_eq!(w.with_bits(1).model_bits(), 1000 * 5);
+        assert_eq!(w.with_bits(1).bits, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Labelled datasets: records + labels + schema.
+//!
+//! A [`Dataset`] is the in-memory form every other module works with.  Rows
+//! are *raw* records (numeric features as values, categorical features as
+//! category indices); converting them into the dense, normalized, one-hot
+//! expanded vectors consumed by the classifiers is the job of
+//! [`crate::preprocess::Preprocessor`].
+
+use crate::schema::Schema;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A labelled set of raw records conforming to a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    records: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset for a schema.
+    pub fn empty(schema: Schema) -> Self {
+        Self { schema, records: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Creates a dataset from pre-validated parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRecord`] if the records and labels differ
+    /// in length, any record fails schema validation, or any label is out of
+    /// range.
+    pub fn new(schema: Schema, records: Vec<Vec<f32>>, labels: Vec<usize>) -> Result<Self> {
+        if records.len() != labels.len() {
+            return Err(DataError::InvalidRecord(format!(
+                "{} records but {} labels",
+                records.len(),
+                labels.len()
+            )));
+        }
+        for record in &records {
+            schema.validate_record(record)?;
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= schema.num_classes()) {
+            return Err(DataError::InvalidRecord(format!(
+                "label {bad} out of range for {} classes",
+                schema.num_classes()
+            )));
+        }
+        Ok(Self { schema, records, labels })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRecord`] if the record does not conform to
+    /// the schema or the label is out of range.
+    pub fn push(&mut self, record: Vec<f32>, label: usize) -> Result<()> {
+        self.schema.validate_record(&record)?;
+        if label >= self.schema.num_classes() {
+            return Err(DataError::InvalidRecord(format!(
+                "label {label} out of range for {} classes",
+                self.schema.num_classes()
+            )));
+        }
+        self.records.push(record);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// The dataset's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of classes (from the schema).
+    pub fn num_classes(&self) -> usize {
+        self.schema.num_classes()
+    }
+
+    /// Raw records (numeric values / categorical indices).
+    pub fn records(&self) -> &[Vec<f32>] {
+        &self.records
+    }
+
+    /// Labels, parallel to [`Dataset::records`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// One record and its label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if `index` is out of range.
+    pub fn get(&self, index: usize) -> Result<(&[f32], usize)> {
+        if index >= self.records.len() {
+            return Err(DataError::InvalidArgument(format!(
+                "index {index} out of range for {} records",
+                self.records.len()
+            )));
+        }
+        Ok((&self.records[index], self.labels[index]))
+    }
+
+    /// Number of records per class, indexed by class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.schema.num_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Builds a new dataset containing the records at `indices`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Result<Self> {
+        let mut records = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let (record, label) = self.get(i)?;
+            records.push(record.to_vec());
+            labels.push(label);
+        }
+        Ok(Self { schema: self.schema.clone(), records, labels })
+    }
+
+    /// Merges another dataset with the same schema into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if the schemas differ.
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(DataError::InvalidArgument(
+                "cannot merge datasets with different schemas".into(),
+            ));
+        }
+        self.records.extend(other.records.iter().cloned());
+        self.labels.extend_from_slice(&other.labels);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FeatureKind, FeatureSpec};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "toy",
+            vec![
+                FeatureSpec::new("a", FeatureKind::numeric(0.0, 1.0)),
+                FeatureSpec::new("proto", FeatureKind::categorical(["tcp", "udp"])),
+            ],
+            vec!["normal".into(), "attack".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_records_and_labels() {
+        let s = schema();
+        let ok = Dataset::new(s.clone(), vec![vec![0.5, 1.0]], vec![1]).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(!ok.is_empty());
+        assert_eq!(ok.num_classes(), 2);
+
+        assert!(Dataset::new(s.clone(), vec![vec![0.5, 1.0]], vec![]).is_err());
+        assert!(Dataset::new(s.clone(), vec![vec![0.5, 5.0]], vec![0]).is_err());
+        assert!(Dataset::new(s, vec![vec![0.5, 1.0]], vec![2]).is_err());
+    }
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut d = Dataset::empty(schema());
+        assert!(d.is_empty());
+        d.push(vec![0.25, 0.0], 0).unwrap();
+        d.push(vec![0.75, 1.0], 1).unwrap();
+        assert_eq!(d.len(), 2);
+        let (record, label) = d.get(1).unwrap();
+        assert_eq!(record, &[0.75, 1.0]);
+        assert_eq!(label, 1);
+        assert!(d.get(2).is_err());
+        assert!(d.push(vec![0.1], 0).is_err());
+        assert!(d.push(vec![0.1, 0.0], 7).is_err());
+    }
+
+    #[test]
+    fn class_counts_tally_labels() {
+        let mut d = Dataset::empty(schema());
+        d.push(vec![0.1, 0.0], 0).unwrap();
+        d.push(vec![0.2, 1.0], 0).unwrap();
+        d.push(vec![0.9, 1.0], 1).unwrap();
+        assert_eq!(d.class_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn subset_preserves_order_and_checks_bounds() {
+        let mut d = Dataset::empty(schema());
+        for i in 0..5 {
+            d.push(vec![i as f32 / 10.0, (i % 2) as f32], i % 2).unwrap();
+        }
+        let s = d.subset(&[4, 0, 2]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[0, 0, 0]);
+        assert_eq!(s.records()[0][0], 0.4);
+        assert!(d.subset(&[5]).is_err());
+    }
+
+    #[test]
+    fn extend_from_requires_matching_schema() {
+        let mut a = Dataset::empty(schema());
+        a.push(vec![0.1, 0.0], 0).unwrap();
+        let mut b = Dataset::empty(schema());
+        b.push(vec![0.9, 1.0], 1).unwrap();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 2);
+
+        let other_schema = Schema::new(
+            "other",
+            vec![FeatureSpec::new("x", FeatureKind::numeric(0.0, 1.0))],
+            vec!["n".into(), "a".into()],
+        )
+        .unwrap();
+        let c = Dataset::empty(other_schema);
+        assert!(a.extend_from(&c).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! CIC-IDS-2017 (Sharafaldin et al., ICISSP 2018).
+//!
+//! The corpus consists of CICFlowMeter flow statistics: 78 numeric features
+//! per bidirectional flow (packet/byte counters, inter-arrival-time
+//! statistics, TCP flag counts, bulk/subflow statistics and active/idle
+//! times).  The 2017 capture contains benign traffic plus seven attack
+//! campaigns (DoS variants, DDoS, port scan, brute force, web attacks,
+//! botnet, infiltration), which most of the literature — and the paper —
+//! groups into the eight classes used here.
+
+use crate::schema::{FeatureKind, FeatureSpec, Schema};
+use crate::traffic::AttackKind;
+
+/// The 78 CICFlowMeter feature names shared by CIC-IDS-2017 and
+/// CSE-CIC-IDS-2018 (column naming follows the published CSVs, with spaces
+/// normalized to snake_case).
+pub(crate) fn flow_feature_specs() -> Vec<FeatureSpec> {
+    let duration = || FeatureKind::numeric(0.0, 1.2e8);
+    let count = || FeatureKind::numeric(0.0, 2.0e5);
+    let bytes = || FeatureKind::numeric(0.0, 1.0e8);
+    let length = || FeatureKind::numeric(0.0, 65535.0);
+    let rate = || FeatureKind::numeric(0.0, 1.0e7);
+    let time = || FeatureKind::numeric(0.0, 1.2e8);
+    let flag = || FeatureKind::numeric(0.0, 100.0);
+    let ratio = || FeatureKind::numeric(0.0, 1000.0);
+    let window = || FeatureKind::numeric(0.0, 65535.0);
+
+    let spec: [(&str, FeatureKind); 78] = [
+        ("destination_port", FeatureKind::numeric(0.0, 65535.0)),
+        ("flow_duration", duration()),
+        ("total_fwd_packets", count()),
+        ("total_backward_packets", count()),
+        ("total_length_of_fwd_packets", bytes()),
+        ("total_length_of_bwd_packets", bytes()),
+        ("fwd_packet_length_max", length()),
+        ("fwd_packet_length_min", length()),
+        ("fwd_packet_length_mean", length()),
+        ("fwd_packet_length_std", length()),
+        ("bwd_packet_length_max", length()),
+        ("bwd_packet_length_min", length()),
+        ("bwd_packet_length_mean", length()),
+        ("bwd_packet_length_std", length()),
+        ("flow_bytes_per_s", rate()),
+        ("flow_packets_per_s", rate()),
+        ("flow_iat_mean", time()),
+        ("flow_iat_std", time()),
+        ("flow_iat_max", time()),
+        ("flow_iat_min", time()),
+        ("fwd_iat_total", time()),
+        ("fwd_iat_mean", time()),
+        ("fwd_iat_std", time()),
+        ("fwd_iat_max", time()),
+        ("fwd_iat_min", time()),
+        ("bwd_iat_total", time()),
+        ("bwd_iat_mean", time()),
+        ("bwd_iat_std", time()),
+        ("bwd_iat_max", time()),
+        ("bwd_iat_min", time()),
+        ("fwd_psh_flags", flag()),
+        ("bwd_psh_flags", flag()),
+        ("fwd_urg_flags", flag()),
+        ("bwd_urg_flags", flag()),
+        ("fwd_header_length", bytes()),
+        ("bwd_header_length", bytes()),
+        ("fwd_packets_per_s", rate()),
+        ("bwd_packets_per_s", rate()),
+        ("min_packet_length", length()),
+        ("max_packet_length", length()),
+        ("packet_length_mean", length()),
+        ("packet_length_std", length()),
+        ("packet_length_variance", FeatureKind::numeric(0.0, 4.3e9)),
+        ("fin_flag_count", flag()),
+        ("syn_flag_count", flag()),
+        ("rst_flag_count", flag()),
+        ("psh_flag_count", flag()),
+        ("ack_flag_count", flag()),
+        ("urg_flag_count", flag()),
+        ("cwe_flag_count", flag()),
+        ("ece_flag_count", flag()),
+        ("down_up_ratio", ratio()),
+        ("average_packet_size", length()),
+        ("avg_fwd_segment_size", length()),
+        ("avg_bwd_segment_size", length()),
+        ("fwd_avg_bytes_per_bulk", bytes()),
+        ("fwd_avg_packets_per_bulk", count()),
+        ("fwd_avg_bulk_rate", rate()),
+        ("bwd_avg_bytes_per_bulk", bytes()),
+        ("bwd_avg_packets_per_bulk", count()),
+        ("bwd_avg_bulk_rate", rate()),
+        ("subflow_fwd_packets", count()),
+        ("subflow_fwd_bytes", bytes()),
+        ("subflow_bwd_packets", count()),
+        ("subflow_bwd_bytes", bytes()),
+        ("init_win_bytes_forward", window()),
+        ("init_win_bytes_backward", window()),
+        ("act_data_pkt_fwd", count()),
+        ("min_seg_size_forward", length()),
+        ("active_mean", time()),
+        ("active_std", time()),
+        ("active_max", time()),
+        ("active_min", time()),
+        ("idle_mean", time()),
+        ("idle_std", time()),
+        ("idle_max", time()),
+        ("idle_min", time()),
+        ("fwd_act_data_packets", count()),
+    ];
+
+    spec.into_iter().map(|(name, kind)| FeatureSpec::new(name, kind)).collect()
+}
+
+/// The 78-feature CIC-IDS-2017 schema with its eight traffic categories.
+pub fn schema() -> Schema {
+    let classes = vec![
+        "BENIGN".to_string(),
+        "DoS".to_string(),
+        "PortScan".to_string(),
+        "DDoS".to_string(),
+        "Brute Force".to_string(),
+        "Web Attack".to_string(),
+        "Bot".to_string(),
+        "Infiltration".to_string(),
+    ];
+    Schema::new("CIC-IDS-2017", flow_feature_specs(), classes)
+        .expect("CIC-IDS-2017 schema is statically valid")
+}
+
+/// Class taxonomy: `(name, behaviour template, prevalence weight)`.
+pub fn class_specs() -> Vec<(&'static str, AttackKind, f64)> {
+    vec![
+        ("BENIGN", AttackKind::Normal, 55.0),
+        ("DoS", AttackKind::Dos, 14.0),
+        ("PortScan", AttackKind::PortScan, 11.0),
+        ("DDoS", AttackKind::Ddos, 9.0),
+        ("Brute Force", AttackKind::BruteForce, 5.0),
+        ("Web Attack", AttackKind::WebAttack, 2.5),
+        ("Bot", AttackKind::Botnet, 2.0),
+        ("Infiltration", AttackKind::Infiltration, 1.5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_78_numeric_features_and_8_classes() {
+        let s = schema();
+        assert_eq!(s.num_features(), 78);
+        assert_eq!(s.num_classes(), 8);
+        // All features are numeric -> encoded width equals the feature count.
+        assert_eq!(s.encoded_width(), 78);
+        assert!(s.features().iter().all(|f| !f.kind.is_categorical()));
+    }
+
+    #[test]
+    fn canonical_features_are_present() {
+        let s = schema();
+        for name in ["flow_duration", "syn_flag_count", "idle_min", "destination_port"] {
+            assert!(s.feature_index(name).is_some(), "missing feature {name}");
+        }
+    }
+
+    #[test]
+    fn class_specs_follow_schema_order() {
+        let specs = class_specs();
+        let s = schema();
+        for (spec, class) in specs.iter().zip(s.classes()) {
+            assert_eq!(spec.0, class);
+        }
+        assert_eq!(specs[0].1, AttackKind::Normal);
+    }
+}

@@ -1,0 +1,77 @@
+//! CSE-CIC-IDS-2018 (Communications Security Establishment & Canadian
+//! Institute for Cybersecurity, 2018; surveyed by Leevy et al., 2020).
+//!
+//! The 2018 capture uses the same CICFlowMeter feature extraction as
+//! CIC-IDS-2017 (78 numeric flow features) but was collected on a much larger
+//! AWS-hosted topology, with seven commonly used traffic categories.  The
+//! feature schema is shared with [`super::cic_ids_2017`]; only the class
+//! taxonomy and prevalences differ.
+
+use crate::schema::Schema;
+use crate::traffic::AttackKind;
+
+/// The 78-feature CSE-CIC-IDS-2018 schema with its seven traffic categories.
+pub fn schema() -> Schema {
+    let classes = vec![
+        "Benign".to_string(),
+        "DDoS".to_string(),
+        "DoS".to_string(),
+        "Brute Force".to_string(),
+        "Bot".to_string(),
+        "Infilteration".to_string(),
+        "Web Attack".to_string(),
+    ];
+    Schema::new("CIC-IDS-2018", super::cic_ids_2017::flow_feature_specs(), classes)
+        .expect("CIC-IDS-2018 schema is statically valid")
+}
+
+/// Class taxonomy: `(name, behaviour template, prevalence weight)`.
+///
+/// Note: "Infilteration" (sic) follows the official label spelling of the
+/// published CSVs so real data loads without a label-mapping shim.
+pub fn class_specs() -> Vec<(&'static str, AttackKind, f64)> {
+    vec![
+        ("Benign", AttackKind::Normal, 60.0),
+        ("DDoS", AttackKind::Ddos, 12.0),
+        ("DoS", AttackKind::Dos, 10.0),
+        ("Brute Force", AttackKind::BruteForce, 8.0),
+        ("Bot", AttackKind::Botnet, 5.0),
+        ("Infilteration", AttackKind::Infiltration, 3.5),
+        ("Web Attack", AttackKind::WebAttack, 1.5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_78_features_and_7_classes() {
+        let s = schema();
+        assert_eq!(s.num_features(), 78);
+        assert_eq!(s.num_classes(), 7);
+        assert_eq!(s.name(), "CIC-IDS-2018");
+    }
+
+    #[test]
+    fn feature_schema_is_shared_with_2017() {
+        let s17 = super::super::cic_ids_2017::schema();
+        let s18 = schema();
+        assert_eq!(s17.num_features(), s18.num_features());
+        for (a, b) in s17.features().iter().zip(s18.features()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn class_specs_follow_schema_order() {
+        let specs = class_specs();
+        let s = schema();
+        assert_eq!(specs.len(), 7);
+        for (spec, class) in specs.iter().zip(s.classes()) {
+            assert_eq!(spec.0, class);
+        }
+        assert_eq!(specs[0].1, AttackKind::Normal);
+        assert!(specs[0].2 > specs[6].2);
+    }
+}

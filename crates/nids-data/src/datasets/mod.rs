@@ -1,0 +1,175 @@
+//! The four intrusion-detection datasets used by the CyberHD evaluation.
+//!
+//! Each submodule describes one corpus: its full feature schema (matching the
+//! official documentation), its attack-class taxonomy mapped onto the
+//! behaviour templates of [`crate::traffic`], and the class prevalences used
+//! when generating synthetic stand-ins.  [`DatasetKind`] is the uniform
+//! entry point the experiment harnesses use.
+
+pub mod cic_ids_2017;
+pub mod cic_ids_2018;
+pub mod nsl_kdd;
+pub mod unsw_nb15;
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+use crate::synth::{generate, ClassProfile, SyntheticConfig};
+use crate::traffic::{profiles_for, AttackKind};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// NSL-KDD (refined KDD Cup '99): 41 features, 5 traffic categories.
+    NslKdd,
+    /// UNSW-NB15: 42 features, 10 traffic categories.
+    UnswNb15,
+    /// CIC-IDS-2017: 78 flow features, 8 traffic categories.
+    CicIds2017,
+    /// CSE-CIC-IDS-2018: 78 flow features, 7 traffic categories.
+    CicIds2018,
+}
+
+impl DatasetKind {
+    /// All four datasets, in the order the paper's figures list them
+    /// (left to right: CIC-IDS-2018, CIC-IDS-2017, UNSW-NB15, NSL-KDD — we
+    /// keep chronological order instead; the harnesses label rows by name).
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::NslKdd,
+        DatasetKind::UnswNb15,
+        DatasetKind::CicIds2017,
+        DatasetKind::CicIds2018,
+    ];
+
+    /// Human-readable dataset name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::NslKdd => "NSL-KDD",
+            DatasetKind::UnswNb15 => "UNSW-NB15",
+            DatasetKind::CicIds2017 => "CIC-IDS-2017",
+            DatasetKind::CicIds2018 => "CIC-IDS-2018",
+        }
+    }
+
+    /// The dataset's feature/class schema.
+    pub fn schema(self) -> Schema {
+        match self {
+            DatasetKind::NslKdd => nsl_kdd::schema(),
+            DatasetKind::UnswNb15 => unsw_nb15::schema(),
+            DatasetKind::CicIds2017 => cic_ids_2017::schema(),
+            DatasetKind::CicIds2018 => cic_ids_2018::schema(),
+        }
+    }
+
+    /// `(class name, behaviour template, prevalence weight)` per class, in
+    /// schema class order.
+    pub fn class_specs(self) -> Vec<(&'static str, AttackKind, f64)> {
+        match self {
+            DatasetKind::NslKdd => nsl_kdd::class_specs(),
+            DatasetKind::UnswNb15 => unsw_nb15::class_specs(),
+            DatasetKind::CicIds2017 => cic_ids_2017::class_specs(),
+            DatasetKind::CicIds2018 => cic_ids_2018::class_specs(),
+        }
+    }
+
+    /// Dataset-specific salt decorrelating synthetic profiles across
+    /// datasets that share feature names.
+    fn salt(self) -> u64 {
+        match self {
+            DatasetKind::NslKdd => 0x4E53_4C4B,
+            DatasetKind::UnswNb15 => 0x554E_5357,
+            DatasetKind::CicIds2017 => 0x4349_4337,
+            DatasetKind::CicIds2018 => 0x4349_4338,
+        }
+    }
+
+    /// Synthetic class profiles for this dataset.
+    pub fn profiles(self) -> Vec<ClassProfile> {
+        let schema = self.schema();
+        profiles_for(&schema, &self.class_specs(), self.salt())
+    }
+
+    /// Generates a synthetic stand-in corpus with this dataset's schema,
+    /// class taxonomy and imbalance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DataError::InvalidArgument`] for an invalid
+    /// configuration.
+    pub fn generate(self, config: &SyntheticConfig) -> Result<Dataset> {
+        generate(&self.schema(), &self.profiles(), config)
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_have_consistent_specs() {
+        for kind in DatasetKind::ALL {
+            let schema = kind.schema();
+            let specs = kind.class_specs();
+            assert_eq!(
+                specs.len(),
+                schema.num_classes(),
+                "{kind}: one class spec per schema class"
+            );
+            for ((name, _, weight), class) in specs.iter().zip(schema.classes()) {
+                assert_eq!(name, class, "{kind}: spec order must match schema order");
+                assert!(*weight > 0.0);
+            }
+            // Profiles must validate against their schema.
+            for profile in kind.profiles() {
+                profile.validate(&schema).unwrap();
+            }
+            assert!(!kind.name().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn paper_dimensionalities_match() {
+        assert_eq!(DatasetKind::NslKdd.schema().num_features(), 41);
+        assert_eq!(DatasetKind::NslKdd.schema().num_classes(), 5);
+        assert_eq!(DatasetKind::UnswNb15.schema().num_features(), 42);
+        assert_eq!(DatasetKind::UnswNb15.schema().num_classes(), 10);
+        assert_eq!(DatasetKind::CicIds2017.schema().num_features(), 78);
+        assert_eq!(DatasetKind::CicIds2017.schema().num_classes(), 8);
+        assert_eq!(DatasetKind::CicIds2018.schema().num_features(), 78);
+        assert_eq!(DatasetKind::CicIds2018.schema().num_classes(), 7);
+    }
+
+    #[test]
+    fn generation_produces_every_class() {
+        for kind in DatasetKind::ALL {
+            let dataset = kind.generate(&SyntheticConfig::new(3000, 42)).unwrap();
+            assert_eq!(dataset.len(), 3000);
+            let counts = dataset.class_counts();
+            let represented = counts.iter().filter(|&&c| c > 0).count();
+            assert!(
+                represented >= counts.len() - 1,
+                "{kind}: at most one (rare) class may be missing at 3000 samples, counts {counts:?}"
+            );
+            // The benign class is the most common one in every corpus.
+            let benign = counts[0];
+            assert!(counts.iter().skip(1).all(|&c| c <= benign), "{kind}: benign dominates");
+        }
+    }
+
+    #[test]
+    fn normal_class_is_first_everywhere() {
+        for kind in DatasetKind::ALL {
+            let specs = kind.class_specs();
+            assert_eq!(specs[0].1, AttackKind::Normal, "{kind}: first class is benign");
+        }
+    }
+}

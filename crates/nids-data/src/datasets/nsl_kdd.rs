@@ -1,0 +1,138 @@
+//! NSL-KDD (Tavallaee et al., CISDA 2009) — the refined KDD Cup '99 corpus.
+//!
+//! 41 features per connection record: 3 categorical (protocol, service, TCP
+//! flag) and 38 numeric (content, time-based and host-based traffic
+//! statistics).  Attack labels are grouped into the four standard categories
+//! (DoS, Probe, R2L, U2R) plus benign traffic, which is how the paper (and
+//! virtually all NIDS literature) evaluates on this corpus.
+
+use crate::schema::{FeatureKind, FeatureSpec, Schema};
+use crate::traffic::AttackKind;
+
+/// Subset of the KDD service names used for the categorical `service`
+/// feature.  The full corpus has ~70 services; the most common ones are kept
+/// so one-hot expansion stays manageable while preserving the categorical
+/// structure.
+const SERVICES: [&str; 20] = [
+    "http", "smtp", "ftp", "ftp_data", "telnet", "ssh", "dns", "domain_u", "pop_3", "imap4",
+    "finger", "auth", "whois", "eco_i", "ecr_i", "private", "other", "irc", "x11", "time",
+];
+
+/// TCP connection status flags.
+const FLAGS: [&str; 11] =
+    ["SF", "S0", "S1", "S2", "S3", "REJ", "RSTO", "RSTR", "RSTOS0", "OTH", "SH"];
+
+/// The 41-feature NSL-KDD schema with the five traffic categories.
+pub fn schema() -> Schema {
+    let rate = || FeatureKind::numeric(0.0, 1.0);
+    let small_count = || FeatureKind::numeric(0.0, 100.0);
+    let big_count = || FeatureKind::numeric(0.0, 511.0);
+    let bytes = || FeatureKind::numeric(0.0, 1.0e6);
+    let flag01 = || FeatureKind::numeric(0.0, 1.0);
+
+    let features = vec![
+        FeatureSpec::new("duration", FeatureKind::numeric(0.0, 3600.0)),
+        FeatureSpec::new("protocol_type", FeatureKind::categorical(["tcp", "udp", "icmp"])),
+        FeatureSpec::new("service", FeatureKind::categorical(SERVICES)),
+        FeatureSpec::new("flag", FeatureKind::categorical(FLAGS)),
+        FeatureSpec::new("src_bytes", bytes()),
+        FeatureSpec::new("dst_bytes", bytes()),
+        FeatureSpec::new("land", flag01()),
+        FeatureSpec::new("wrong_fragment", FeatureKind::numeric(0.0, 3.0)),
+        FeatureSpec::new("urgent", FeatureKind::numeric(0.0, 3.0)),
+        FeatureSpec::new("hot", small_count()),
+        FeatureSpec::new("num_failed_logins", FeatureKind::numeric(0.0, 5.0)),
+        FeatureSpec::new("logged_in", flag01()),
+        FeatureSpec::new("num_compromised", small_count()),
+        FeatureSpec::new("root_shell", flag01()),
+        FeatureSpec::new("su_attempted", FeatureKind::numeric(0.0, 2.0)),
+        FeatureSpec::new("num_root", small_count()),
+        FeatureSpec::new("num_file_creations", small_count()),
+        FeatureSpec::new("num_shells", FeatureKind::numeric(0.0, 5.0)),
+        FeatureSpec::new("num_access_files", FeatureKind::numeric(0.0, 10.0)),
+        FeatureSpec::new("num_outbound_cmds", FeatureKind::numeric(0.0, 10.0)),
+        FeatureSpec::new("is_host_login", flag01()),
+        FeatureSpec::new("is_guest_login", flag01()),
+        FeatureSpec::new("count", big_count()),
+        FeatureSpec::new("srv_count", big_count()),
+        FeatureSpec::new("serror_rate", rate()),
+        FeatureSpec::new("srv_serror_rate", rate()),
+        FeatureSpec::new("rerror_rate", rate()),
+        FeatureSpec::new("srv_rerror_rate", rate()),
+        FeatureSpec::new("same_srv_rate", rate()),
+        FeatureSpec::new("diff_srv_rate", rate()),
+        FeatureSpec::new("srv_diff_host_rate", rate()),
+        FeatureSpec::new("dst_host_count", FeatureKind::numeric(0.0, 255.0)),
+        FeatureSpec::new("dst_host_srv_count", FeatureKind::numeric(0.0, 255.0)),
+        FeatureSpec::new("dst_host_same_srv_rate", rate()),
+        FeatureSpec::new("dst_host_diff_srv_rate", rate()),
+        FeatureSpec::new("dst_host_same_src_port_rate", rate()),
+        FeatureSpec::new("dst_host_srv_diff_host_rate", rate()),
+        FeatureSpec::new("dst_host_serror_rate", rate()),
+        FeatureSpec::new("dst_host_srv_serror_rate", rate()),
+        FeatureSpec::new("dst_host_rerror_rate", rate()),
+        FeatureSpec::new("dst_host_srv_rerror_rate", rate()),
+    ];
+
+    let classes = vec![
+        "normal".to_string(),
+        "dos".to_string(),
+        "probe".to_string(),
+        "r2l".to_string(),
+        "u2r".to_string(),
+    ];
+
+    Schema::new("NSL-KDD", features, classes).expect("NSL-KDD schema is statically valid")
+}
+
+/// Class taxonomy: `(name, behaviour template, prevalence weight)`.
+///
+/// The weights approximate the training-split class balance of the real
+/// corpus (benign and DoS dominate; R2L and U2R are rare).
+pub fn class_specs() -> Vec<(&'static str, AttackKind, f64)> {
+    vec![
+        ("normal", AttackKind::Normal, 50.0),
+        ("dos", AttackKind::Dos, 35.0),
+        ("probe", AttackKind::Probe, 10.0),
+        ("r2l", AttackKind::RemoteToLocal, 4.0),
+        ("u2r", AttackKind::UserToRoot, 1.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_41_features_and_5_classes() {
+        let s = schema();
+        assert_eq!(s.num_features(), 41);
+        assert_eq!(s.num_classes(), 5);
+        // 38 numeric + protocol(3) + service(20) + flag(11) one-hot columns.
+        assert_eq!(s.encoded_width(), 38 + 3 + 20 + 11);
+    }
+
+    #[test]
+    fn canonical_features_are_present() {
+        let s = schema();
+        for name in ["duration", "src_bytes", "serror_rate", "dst_host_srv_rerror_rate"] {
+            assert!(s.feature_index(name).is_some(), "missing feature {name}");
+        }
+        assert!(s.features()[1].kind.is_categorical());
+        assert!(s.features()[2].kind.is_categorical());
+        assert!(s.features()[3].kind.is_categorical());
+    }
+
+    #[test]
+    fn class_specs_follow_schema_order_and_imbalance() {
+        let specs = class_specs();
+        let s = schema();
+        for (spec, class) in specs.iter().zip(s.classes()) {
+            assert_eq!(spec.0, class);
+        }
+        // normal > dos > probe > r2l > u2r.
+        for pair in specs.windows(2) {
+            assert!(pair[0].2 > pair[1].2);
+        }
+    }
+}

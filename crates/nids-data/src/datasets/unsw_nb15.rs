@@ -1,0 +1,143 @@
+//! UNSW-NB15 (Moustafa & Slay, MilCIS 2015).
+//!
+//! 42 flow features (after dropping the record id and the label columns):
+//! 3 categorical (protocol, service, TCP state) and 39 numeric flow
+//! statistics, with ten traffic categories — benign plus nine attack
+//! families.  The attack families map directly onto the behaviour templates
+//! in [`crate::traffic`].
+
+use crate::schema::{FeatureKind, FeatureSpec, Schema};
+use crate::traffic::AttackKind;
+
+/// Protocols observed in the corpus (top of the long tail).
+const PROTOCOLS: [&str; 8] = ["tcp", "udp", "arp", "ospf", "icmp", "igmp", "rtp", "sctp"];
+
+/// Application services (the `-` entry stands for "no service resolved").
+const SERVICES: [&str; 13] = [
+    "-", "http", "ftp", "ftp-data", "smtp", "pop3", "dns", "snmp", "ssl", "ssh", "irc", "radius",
+    "dhcp",
+];
+
+/// TCP connection states.
+const STATES: [&str; 9] = ["FIN", "INT", "CON", "ECO", "REQ", "RST", "PAR", "URN", "no"];
+
+/// The 42-feature UNSW-NB15 schema with its ten traffic categories.
+pub fn schema() -> Schema {
+    let rate = || FeatureKind::numeric(0.0, 1.0);
+    let count = || FeatureKind::numeric(0.0, 100.0);
+    let bytes = || FeatureKind::numeric(0.0, 1.0e6);
+    let load = || FeatureKind::numeric(0.0, 1.0e8);
+    let ms = || FeatureKind::numeric(0.0, 1.0e4);
+
+    let features = vec![
+        FeatureSpec::new("dur", FeatureKind::numeric(0.0, 60.0)),
+        FeatureSpec::new("proto", FeatureKind::categorical(PROTOCOLS)),
+        FeatureSpec::new("service", FeatureKind::categorical(SERVICES)),
+        FeatureSpec::new("state", FeatureKind::categorical(STATES)),
+        FeatureSpec::new("spkts", FeatureKind::numeric(0.0, 1.0e4)),
+        FeatureSpec::new("dpkts", FeatureKind::numeric(0.0, 1.0e4)),
+        FeatureSpec::new("sbytes", bytes()),
+        FeatureSpec::new("dbytes", bytes()),
+        FeatureSpec::new("rate", FeatureKind::numeric(0.0, 1.0e6)),
+        FeatureSpec::new("sttl", FeatureKind::numeric(0.0, 255.0)),
+        FeatureSpec::new("dttl", FeatureKind::numeric(0.0, 255.0)),
+        FeatureSpec::new("sload", load()),
+        FeatureSpec::new("dload", load()),
+        FeatureSpec::new("sloss", count()),
+        FeatureSpec::new("dloss", count()),
+        FeatureSpec::new("sinpkt", ms()),
+        FeatureSpec::new("dinpkt", ms()),
+        FeatureSpec::new("sjit", ms()),
+        FeatureSpec::new("djit", ms()),
+        FeatureSpec::new("swin", FeatureKind::numeric(0.0, 65535.0)),
+        FeatureSpec::new("stcpb", FeatureKind::numeric(0.0, 4.3e9)),
+        FeatureSpec::new("dtcpb", FeatureKind::numeric(0.0, 4.3e9)),
+        FeatureSpec::new("dwin", FeatureKind::numeric(0.0, 65535.0)),
+        FeatureSpec::new("tcprtt", FeatureKind::numeric(0.0, 10.0)),
+        FeatureSpec::new("synack", FeatureKind::numeric(0.0, 10.0)),
+        FeatureSpec::new("ackdat", FeatureKind::numeric(0.0, 10.0)),
+        FeatureSpec::new("smean", FeatureKind::numeric(0.0, 1500.0)),
+        FeatureSpec::new("dmean", FeatureKind::numeric(0.0, 1500.0)),
+        FeatureSpec::new("trans_depth", FeatureKind::numeric(0.0, 10.0)),
+        FeatureSpec::new("response_body_len", bytes()),
+        FeatureSpec::new("ct_srv_src", FeatureKind::numeric(0.0, 63.0)),
+        FeatureSpec::new("ct_state_ttl", FeatureKind::numeric(0.0, 6.0)),
+        FeatureSpec::new("ct_dst_ltm", FeatureKind::numeric(0.0, 63.0)),
+        FeatureSpec::new("ct_src_dport_ltm", FeatureKind::numeric(0.0, 63.0)),
+        FeatureSpec::new("ct_dst_sport_ltm", FeatureKind::numeric(0.0, 63.0)),
+        FeatureSpec::new("ct_dst_src_ltm", FeatureKind::numeric(0.0, 63.0)),
+        FeatureSpec::new("is_ftp_login", rate()),
+        FeatureSpec::new("ct_ftp_cmd", FeatureKind::numeric(0.0, 10.0)),
+        FeatureSpec::new("ct_flw_http_mthd", FeatureKind::numeric(0.0, 30.0)),
+        FeatureSpec::new("ct_src_ltm", FeatureKind::numeric(0.0, 63.0)),
+        FeatureSpec::new("ct_srv_dst", FeatureKind::numeric(0.0, 63.0)),
+        FeatureSpec::new("is_sm_ips_ports", rate()),
+    ];
+
+    let classes = vec![
+        "Normal".to_string(),
+        "Generic".to_string(),
+        "Exploits".to_string(),
+        "Fuzzers".to_string(),
+        "DoS".to_string(),
+        "Reconnaissance".to_string(),
+        "Analysis".to_string(),
+        "Backdoor".to_string(),
+        "Shellcode".to_string(),
+        "Worms".to_string(),
+    ];
+
+    Schema::new("UNSW-NB15", features, classes).expect("UNSW-NB15 schema is statically valid")
+}
+
+/// Class taxonomy: `(name, behaviour template, prevalence weight)`.
+///
+/// Weights approximate the real corpus' heavy imbalance (benign and Generic
+/// dominate; Shellcode and Worms are rare).
+pub fn class_specs() -> Vec<(&'static str, AttackKind, f64)> {
+    vec![
+        ("Normal", AttackKind::Normal, 45.0),
+        ("Generic", AttackKind::Generic, 27.0),
+        ("Exploits", AttackKind::Exploits, 15.0),
+        ("Fuzzers", AttackKind::Fuzzers, 8.0),
+        ("DoS", AttackKind::Dos, 5.5),
+        ("Reconnaissance", AttackKind::Reconnaissance, 4.7),
+        ("Analysis", AttackKind::Analysis, 1.0),
+        ("Backdoor", AttackKind::Backdoor, 0.9),
+        ("Shellcode", AttackKind::Shellcode, 0.6),
+        ("Worms", AttackKind::Worms, 0.4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_42_features_and_10_classes() {
+        let s = schema();
+        assert_eq!(s.num_features(), 42);
+        assert_eq!(s.num_classes(), 10);
+        assert_eq!(s.encoded_width(), 39 + 8 + 13 + 9);
+    }
+
+    #[test]
+    fn canonical_features_are_present() {
+        let s = schema();
+        for name in ["dur", "sbytes", "ct_state_ttl", "is_sm_ips_ports"] {
+            assert!(s.feature_index(name).is_some(), "missing feature {name}");
+        }
+        assert_eq!(s.class_index("Worms"), Some(9));
+    }
+
+    #[test]
+    fn class_specs_follow_schema_order() {
+        let specs = class_specs();
+        let s = schema();
+        assert_eq!(specs.len(), 10);
+        for (spec, class) in specs.iter().zip(s.classes()) {
+            assert_eq!(spec.0, class);
+        }
+        assert!(specs[0].2 > specs[9].2, "benign far outweighs worms");
+    }
+}

@@ -1,0 +1,259 @@
+//! Concept-drift stream generation.
+//!
+//! Real network traffic is non-stationary: the benign mix shifts with usage
+//! patterns and attack campaigns come and go.  The paper motivates HDC for
+//! NIDS precisely because edge detectors must keep adapting; this module
+//! provides the workload for studying that adaptation.  A [`DriftStream`]
+//! concatenates *phases*, each phase sampling from its own class-prevalence
+//! mix (and optionally a different difficulty), so a streaming learner sees
+//! abrupt or gradual distribution shifts at known time steps.
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+use crate::synth::{generate, ClassProfile, SyntheticConfig};
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One phase of a drifting traffic stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftPhase {
+    /// Number of flows emitted during this phase.
+    pub samples: usize,
+    /// Per-class prevalence multipliers applied on top of the base profiles'
+    /// weights (one entry per class; `1.0` keeps the base prevalence, `0.0`
+    /// removes the class from this phase, larger values make it surge).
+    pub class_weight_multipliers: Vec<f64>,
+    /// Class-overlap multiplier for this phase (see
+    /// [`SyntheticConfig::difficulty`]).
+    pub difficulty: f64,
+}
+
+impl DriftPhase {
+    /// A phase with the base class mix and unit difficulty.
+    pub fn stationary(samples: usize, num_classes: usize) -> Self {
+        Self { samples, class_weight_multipliers: vec![1.0; num_classes], difficulty: 1.0 }
+    }
+
+    /// A phase in which one class surges by `factor` (an attack campaign).
+    pub fn surge(samples: usize, num_classes: usize, class: usize, factor: f64) -> Self {
+        let mut multipliers = vec![1.0; num_classes];
+        if class < num_classes {
+            multipliers[class] = factor;
+        }
+        Self { samples, class_weight_multipliers: multipliers, difficulty: 1.0 }
+    }
+
+    /// Sets the difficulty of this phase (builder style).
+    pub fn difficulty(mut self, difficulty: f64) -> Self {
+        self.difficulty = difficulty;
+        self
+    }
+}
+
+/// A multi-phase drifting stream of labelled flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftStream {
+    /// The flows of every phase, concatenated in phase order.
+    dataset: Dataset,
+    /// Index of the first flow of each phase.
+    phase_starts: Vec<usize>,
+}
+
+impl DriftStream {
+    /// Generates a drifting stream over `phases` using the dataset's base
+    /// profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if no phase is given, a phase
+    /// has the wrong number of multipliers / a non-positive total weight, or
+    /// generation fails.
+    pub fn generate(
+        schema: &Schema,
+        base_profiles: &[ClassProfile],
+        phases: &[DriftPhase],
+        seed: u64,
+    ) -> Result<Self> {
+        if phases.is_empty() {
+            return Err(DataError::InvalidArgument("a drift stream needs at least one phase".into()));
+        }
+        let mut dataset = Dataset::empty(schema.clone());
+        let mut phase_starts = Vec::with_capacity(phases.len());
+        for (index, phase) in phases.iter().enumerate() {
+            if phase.class_weight_multipliers.len() != base_profiles.len() {
+                return Err(DataError::InvalidArgument(format!(
+                    "phase {index} has {} weight multipliers for {} classes",
+                    phase.class_weight_multipliers.len(),
+                    base_profiles.len()
+                )));
+            }
+            let mut profiles = base_profiles.to_vec();
+            for (profile, &multiplier) in profiles.iter_mut().zip(&phase.class_weight_multipliers) {
+                if !(multiplier.is_finite() && multiplier >= 0.0) {
+                    return Err(DataError::InvalidArgument(format!(
+                        "phase {index} has an invalid weight multiplier {multiplier}"
+                    )));
+                }
+                profile.weight *= multiplier;
+                // A removed class keeps an infinitesimal weight so profile
+                // validation still passes; it will practically never be drawn.
+                if profile.weight == 0.0 {
+                    profile.weight = f64::MIN_POSITIVE;
+                }
+            }
+            let config = SyntheticConfig::new(phase.samples, seed.wrapping_add(index as u64 * 7919))
+                .difficulty(phase.difficulty);
+            let phase_data = generate(schema, &profiles, &config)?;
+            phase_starts.push(dataset.len());
+            dataset.extend_from(&phase_data)?;
+        }
+        Ok(Self { dataset, phase_starts })
+    }
+
+    /// The concatenated flows of the whole stream.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Total number of flows.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Returns `true` if the stream has no flows.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phase_starts.len()
+    }
+
+    /// The flow index at which phase `phase` starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] for an unknown phase.
+    pub fn phase_start(&self, phase: usize) -> Result<usize> {
+        self.phase_starts.get(phase).copied().ok_or_else(|| {
+            DataError::InvalidArgument(format!(
+                "phase {phase} out of range for {} phases",
+                self.phase_starts.len()
+            ))
+        })
+    }
+
+    /// The phase that flow `index` belongs to.
+    pub fn phase_of(&self, index: usize) -> usize {
+        match self.phase_starts.binary_search(&index) {
+            Ok(position) => position,
+            Err(position) => position.saturating_sub(1),
+        }
+    }
+
+    /// Iterates over `(record, label, phase)` triples in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], usize, usize)> + '_ {
+        self.dataset
+            .records()
+            .iter()
+            .zip(self.dataset.labels())
+            .enumerate()
+            .map(|(i, (record, &label))| (record.as_slice(), label, self.phase_of(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+
+    fn base() -> (Schema, Vec<ClassProfile>) {
+        let kind = DatasetKind::NslKdd;
+        (kind.schema(), kind.profiles())
+    }
+
+    #[test]
+    fn phases_concatenate_in_order() {
+        let (schema, profiles) = base();
+        let phases = vec![
+            DriftPhase::stationary(300, profiles.len()),
+            DriftPhase::surge(200, profiles.len(), 1, 10.0),
+            DriftPhase::stationary(100, profiles.len()).difficulty(2.0),
+        ];
+        let stream = DriftStream::generate(&schema, &profiles, &phases, 3).unwrap();
+        assert_eq!(stream.len(), 600);
+        assert!(!stream.is_empty());
+        assert_eq!(stream.num_phases(), 3);
+        assert_eq!(stream.phase_start(0).unwrap(), 0);
+        assert_eq!(stream.phase_start(1).unwrap(), 300);
+        assert_eq!(stream.phase_start(2).unwrap(), 500);
+        assert!(stream.phase_start(3).is_err());
+        assert_eq!(stream.phase_of(0), 0);
+        assert_eq!(stream.phase_of(299), 0);
+        assert_eq!(stream.phase_of(300), 1);
+        assert_eq!(stream.phase_of(599), 2);
+    }
+
+    #[test]
+    fn surging_a_class_raises_its_prevalence_in_that_phase_only() {
+        let (schema, profiles) = base();
+        let phases = vec![
+            DriftPhase::stationary(1500, profiles.len()),
+            DriftPhase::surge(1500, profiles.len(), 1, 30.0), // DoS campaign
+        ];
+        let stream = DriftStream::generate(&schema, &profiles, &phases, 11).unwrap();
+        let count_dos = |from: usize, to: usize| {
+            stream.dataset().labels()[from..to].iter().filter(|&&l| l == 1).count()
+        };
+        let before = count_dos(0, 1500);
+        let during = count_dos(1500, 3000);
+        assert!(
+            during > before + 200,
+            "the DoS surge phase ({during}) should contain far more DoS flows than the \
+             stationary phase ({before})"
+        );
+    }
+
+    #[test]
+    fn zeroing_a_class_effectively_removes_it() {
+        let (schema, profiles) = base();
+        let mut multipliers = vec![1.0; profiles.len()];
+        multipliers[0] = 0.0; // no benign traffic at all
+        let phase =
+            DriftPhase { samples: 800, class_weight_multipliers: multipliers, difficulty: 1.0 };
+        let stream = DriftStream::generate(&schema, &profiles, &[phase], 5).unwrap();
+        let benign = stream.dataset().labels().iter().filter(|&&l| l == 0).count();
+        assert_eq!(benign, 0);
+    }
+
+    #[test]
+    fn invalid_streams_are_rejected() {
+        let (schema, profiles) = base();
+        assert!(DriftStream::generate(&schema, &profiles, &[], 0).is_err());
+        let wrong_arity =
+            DriftPhase { samples: 10, class_weight_multipliers: vec![1.0; 2], difficulty: 1.0 };
+        assert!(DriftStream::generate(&schema, &profiles, &[wrong_arity], 0).is_err());
+        let negative = DriftPhase {
+            samples: 10,
+            class_weight_multipliers: vec![-1.0; profiles.len()],
+            difficulty: 1.0,
+        };
+        assert!(DriftStream::generate(&schema, &profiles, &[negative], 0).is_err());
+    }
+
+    #[test]
+    fn iter_yields_every_flow_with_its_phase() {
+        let (schema, profiles) = base();
+        let phases =
+            vec![DriftPhase::stationary(50, profiles.len()), DriftPhase::stationary(70, profiles.len())];
+        let stream = DriftStream::generate(&schema, &profiles, &phases, 9).unwrap();
+        let collected: Vec<_> = stream.iter().collect();
+        assert_eq!(collected.len(), 120);
+        assert!(collected[..50].iter().all(|&(_, _, phase)| phase == 0));
+        assert!(collected[50..].iter().all(|&(_, _, phase)| phase == 1));
+        assert!(collected.iter().all(|&(record, label, _)| {
+            schema.validate_record(record).is_ok() && label < schema.num_classes()
+        }));
+    }
+}

@@ -1,0 +1,270 @@
+//! Preprocessing: one-hot expansion and feature scaling.
+//!
+//! Classifiers (HDC, MLP and SVM alike) consume dense `f32` vectors.  A
+//! [`Preprocessor`] is **fit on the training split only** (so no information
+//! from the test split leaks into the scaler) and then applied to any split
+//! with the same schema:
+//!
+//! * numeric features are scaled either to `[0, 1]` (min–max) or to zero
+//!   mean / unit variance (z-score),
+//! * categorical features are expanded into one-hot indicator columns.
+
+use crate::dataset::Dataset;
+use crate::schema::{FeatureKind, Schema};
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Scaling strategy for numeric features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Normalization {
+    /// Scale each numeric feature to `[0, 1]` using the training split's
+    /// minimum and maximum (constant columns map to `0.0`).
+    MinMax,
+    /// Standardize each numeric feature to zero mean and unit variance
+    /// (constant columns map to `0.0`).
+    ZScore,
+}
+
+/// Per-numeric-feature statistics gathered from the training split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FeatureStats {
+    min: f64,
+    max: f64,
+    mean: f64,
+    std: f64,
+}
+
+/// A fitted preprocessing pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preprocessor {
+    schema: Schema,
+    normalization: Normalization,
+    /// Statistics per raw feature index; `None` for categorical features.
+    stats: Vec<Option<FeatureStats>>,
+}
+
+impl Preprocessor {
+    /// Fits scaling statistics on (the numeric features of) `train`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if `train` is empty.
+    pub fn fit(train: &Dataset, normalization: Normalization) -> Result<Self> {
+        if train.is_empty() {
+            return Err(DataError::InvalidArgument(
+                "cannot fit a preprocessor on an empty dataset".into(),
+            ));
+        }
+        let schema = train.schema().clone();
+        let n = schema.num_features();
+        let mut stats = vec![None; n];
+        for (i, feature) in schema.features().iter().enumerate() {
+            if feature.kind.is_categorical() {
+                continue;
+            }
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            for record in train.records() {
+                let v = record[i] as f64;
+                min = min.min(v);
+                max = max.max(v);
+                sum += v;
+                sum_sq += v * v;
+            }
+            let count = train.len() as f64;
+            let mean = sum / count;
+            let variance = (sum_sq / count - mean * mean).max(0.0);
+            stats[i] = Some(FeatureStats { min, max, mean, std: variance.sqrt() });
+        }
+        Ok(Self { schema, normalization, stats })
+    }
+
+    /// The schema this preprocessor was fitted for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The normalization strategy in use.
+    pub fn normalization(&self) -> Normalization {
+        self.normalization
+    }
+
+    /// Width of the produced dense vectors (one-hot expanded).
+    pub fn output_width(&self) -> usize {
+        self.schema.encoded_width()
+    }
+
+    /// Transforms a single raw record into a dense feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRecord`] if the record does not conform to
+    /// the schema.
+    pub fn transform_record(&self, record: &[f32]) -> Result<Vec<f32>> {
+        self.schema.validate_record(record)?;
+        let mut out = Vec::with_capacity(self.output_width());
+        for (i, feature) in self.schema.features().iter().enumerate() {
+            match &feature.kind {
+                FeatureKind::Numeric { .. } => {
+                    let stats = self.stats[i]
+                        .as_ref()
+                        .expect("numeric features always have fitted statistics");
+                    let v = record[i] as f64;
+                    let scaled = match self.normalization {
+                        Normalization::MinMax => {
+                            let range = stats.max - stats.min;
+                            if range <= 0.0 {
+                                0.0
+                            } else {
+                                ((v - stats.min) / range).clamp(0.0, 1.0)
+                            }
+                        }
+                        Normalization::ZScore => {
+                            if stats.std <= 0.0 {
+                                0.0
+                            } else {
+                                (v - stats.mean) / stats.std
+                            }
+                        }
+                    };
+                    out.push(scaled as f32);
+                }
+                FeatureKind::Categorical { values } => {
+                    let index = record[i] as usize;
+                    for k in 0..values.len() {
+                        out.push(if k == index { 1.0 } else { 0.0 });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transforms every record of `dataset` into dense feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if the dataset's schema differs
+    /// from the fitted schema, or [`DataError::InvalidRecord`] for a
+    /// malformed record.
+    pub fn transform(&self, dataset: &Dataset) -> Result<Vec<Vec<f32>>> {
+        if dataset.schema() != &self.schema {
+            return Err(DataError::InvalidArgument(
+                "dataset schema does not match the fitted preprocessor".into(),
+            ));
+        }
+        dataset.records().iter().map(|r| self.transform_record(r)).collect()
+    }
+
+    /// Convenience: transforms the dataset and returns `(features, labels)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Preprocessor::transform`].
+    pub fn transform_with_labels(&self, dataset: &Dataset) -> Result<(Vec<Vec<f32>>, Vec<usize>)> {
+        Ok((self.transform(dataset)?, dataset.labels().to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FeatureKind, FeatureSpec};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            "toy",
+            vec![
+                FeatureSpec::new("x", FeatureKind::numeric(0.0, 100.0)),
+                FeatureSpec::new("proto", FeatureKind::categorical(["tcp", "udp", "icmp"])),
+                FeatureSpec::new("constant", FeatureKind::numeric(0.0, 1.0)),
+            ],
+            vec!["normal".into(), "attack".into()],
+        )
+        .unwrap();
+        Dataset::new(
+            schema,
+            vec![
+                vec![0.0, 0.0, 0.5],
+                vec![50.0, 1.0, 0.5],
+                vec![100.0, 2.0, 0.5],
+                vec![25.0, 0.0, 0.5],
+            ],
+            vec![0, 1, 1, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_rejects_empty_datasets() {
+        let empty = Dataset::empty(dataset().schema().clone());
+        assert!(Preprocessor::fit(&empty, Normalization::MinMax).is_err());
+    }
+
+    #[test]
+    fn minmax_scales_into_unit_interval_and_one_hot_expands() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::MinMax).unwrap();
+        assert_eq!(p.output_width(), 1 + 3 + 1);
+        assert_eq!(p.normalization(), Normalization::MinMax);
+        let x = p.transform(&d).unwrap();
+        assert_eq!(x.len(), 4);
+        for row in &x {
+            assert_eq!(row.len(), 5);
+            assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        // First record: x = 0 -> 0.0; proto tcp -> [1,0,0]; constant -> 0.
+        assert_eq!(x[0], vec![0.0, 1.0, 0.0, 0.0, 0.0]);
+        // Third record: x = 100 -> 1.0; proto icmp -> [0,0,1].
+        assert_eq!(x[2], vec![1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zscore_standardizes_numeric_features() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::ZScore).unwrap();
+        let x = p.transform(&d).unwrap();
+        let column: Vec<f64> = x.iter().map(|r| r[0] as f64).collect();
+        let mean: f64 = column.iter().sum::<f64>() / column.len() as f64;
+        let var: f64 = column.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / column.len() as f64;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+        // Constant column maps to exactly zero.
+        assert!(x.iter().all(|r| r[4] == 0.0));
+    }
+
+    #[test]
+    fn transform_clamps_out_of_range_test_values() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::MinMax).unwrap();
+        let out = p.transform_record(&[1000.0, 0.0, 0.5]).unwrap();
+        assert_eq!(out[0], 1.0, "values beyond the training max are clamped");
+    }
+
+    #[test]
+    fn transform_checks_schema_and_record_validity() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::MinMax).unwrap();
+        assert!(p.transform_record(&[1.0, 9.0, 0.5]).is_err());
+
+        let other_schema = Schema::new(
+            "other",
+            vec![FeatureSpec::new("x", FeatureKind::numeric(0.0, 1.0))],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let other = Dataset::empty(other_schema);
+        assert!(p.transform(&other).is_err());
+    }
+
+    #[test]
+    fn transform_with_labels_round_trips_labels() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::MinMax).unwrap();
+        let (x, y) = p.transform_with_labels(&d).unwrap();
+        assert_eq!(x.len(), y.len());
+        assert_eq!(y, vec![0, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Dataset schemas: feature names, kinds and class taxonomies.
+//!
+//! A [`Schema`] describes the columns of an intrusion-detection dataset —
+//! which features are numeric, which are categorical (and what values those
+//! categories take) — plus the ordered list of class names.  Schemas are what
+//! tie the synthetic generators, the CSV loaders and the preprocessing
+//! pipeline together: every [`crate::Dataset`] carries its schema and every
+//! record is validated against it.
+
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The kind of a feature column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// A real-valued feature with an expected (not enforced) range, used by
+    /// the synthetic generators and by min-max normalization as a fallback
+    /// when a split contains a constant column.
+    Numeric {
+        /// Typical minimum value.
+        min: f64,
+        /// Typical maximum value.
+        max: f64,
+    },
+    /// A categorical feature taking one of a fixed set of string values
+    /// (protocol, service, TCP flag, …).  Stored in records as the index into
+    /// `values`.
+    Categorical {
+        /// The admissible category names, in index order.
+        values: Vec<String>,
+    },
+}
+
+impl FeatureKind {
+    /// Convenience constructor for a numeric feature.
+    pub fn numeric(min: f64, max: f64) -> Self {
+        FeatureKind::Numeric { min, max }
+    }
+
+    /// Convenience constructor for a categorical feature.
+    pub fn categorical<S: Into<String>>(values: impl IntoIterator<Item = S>) -> Self {
+        FeatureKind::Categorical { values: values.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of dense columns this feature expands to after one-hot
+    /// encoding: 1 for numeric, `values.len()` for categorical.
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            FeatureKind::Numeric { .. } => 1,
+            FeatureKind::Categorical { values } => values.len(),
+        }
+    }
+
+    /// Returns `true` for categorical features.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, FeatureKind::Categorical { .. })
+    }
+}
+
+/// A named feature column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Column name (matches the official dataset documentation).
+    pub name: String,
+    /// Kind of the column.
+    pub kind: FeatureKind,
+}
+
+impl FeatureSpec {
+    /// Creates a feature spec.
+    pub fn new(name: impl Into<String>, kind: FeatureKind) -> Self {
+        Self { name: name.into(), kind }
+    }
+}
+
+/// A dataset schema: ordered features plus ordered class names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    features: Vec<FeatureSpec>,
+    classes: Vec<String>,
+}
+
+impl Schema {
+    /// Creates and validates a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSchema`] if there are no features, no
+    /// classes, duplicate feature names, duplicate class names, a categorical
+    /// feature without values, or a numeric feature with a non-increasing /
+    /// non-finite range.
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<FeatureSpec>,
+        classes: Vec<String>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if features.is_empty() {
+            return Err(DataError::InvalidSchema(format!("schema {name} has no features")));
+        }
+        if classes.len() < 2 {
+            return Err(DataError::InvalidSchema(format!(
+                "schema {name} needs at least 2 classes, got {}",
+                classes.len()
+            )));
+        }
+        let mut seen = HashSet::new();
+        for f in &features {
+            if !seen.insert(f.name.as_str()) {
+                return Err(DataError::InvalidSchema(format!(
+                    "schema {name} has duplicate feature name {:?}",
+                    f.name
+                )));
+            }
+            match &f.kind {
+                FeatureKind::Numeric { min, max } => {
+                    if !(min.is_finite() && max.is_finite() && min < max) {
+                        return Err(DataError::InvalidSchema(format!(
+                            "feature {:?} has an invalid numeric range [{min}, {max}]",
+                            f.name
+                        )));
+                    }
+                }
+                FeatureKind::Categorical { values } => {
+                    if values.is_empty() {
+                        return Err(DataError::InvalidSchema(format!(
+                            "categorical feature {:?} has no values",
+                            f.name
+                        )));
+                    }
+                }
+            }
+        }
+        let mut seen_classes = HashSet::new();
+        for c in &classes {
+            if !seen_classes.insert(c.as_str()) {
+                return Err(DataError::InvalidSchema(format!(
+                    "schema {name} has duplicate class name {c:?}"
+                )));
+            }
+        }
+        Ok(Self { name, features, classes })
+    }
+
+    /// Dataset name (e.g. `"NSL-KDD"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered feature specifications.
+    pub fn features(&self) -> &[FeatureSpec] {
+        &self.features
+    }
+
+    /// Number of raw feature columns.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Ordered class names.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Index of a class name, if present.
+    pub fn class_index(&self, name: &str) -> Option<usize> {
+        self.classes.iter().position(|c| c == name)
+    }
+
+    /// Index of a feature name, if present.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+
+    /// Total number of dense columns after one-hot expansion of the
+    /// categorical features.
+    pub fn encoded_width(&self) -> usize {
+        self.features.iter().map(|f| f.kind.encoded_width()).sum()
+    }
+
+    /// Validates a raw record against the schema.
+    ///
+    /// Records store numeric features as their value and categorical features
+    /// as the (integer) index of the category, both as `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRecord`] on arity mismatch, non-finite
+    /// numeric values, or out-of-range / non-integral categorical indices.
+    pub fn validate_record(&self, record: &[f32]) -> Result<()> {
+        if record.len() != self.features.len() {
+            return Err(DataError::InvalidRecord(format!(
+                "record has {} values but schema {} has {} features",
+                record.len(),
+                self.name,
+                self.features.len()
+            )));
+        }
+        for (value, feature) in record.iter().zip(&self.features) {
+            match &feature.kind {
+                FeatureKind::Numeric { .. } => {
+                    if !value.is_finite() {
+                        return Err(DataError::InvalidRecord(format!(
+                            "numeric feature {:?} has non-finite value {value}",
+                            feature.name
+                        )));
+                    }
+                }
+                FeatureKind::Categorical { values } => {
+                    if value.fract() != 0.0 || *value < 0.0 || (*value as usize) >= values.len() {
+                        return Err(DataError::InvalidRecord(format!(
+                            "categorical feature {:?} has invalid index {value} \
+                             (must be an integer in [0, {}))",
+                            feature.name,
+                            values.len()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> Schema {
+        Schema::new(
+            "toy",
+            vec![
+                FeatureSpec::new("duration", FeatureKind::numeric(0.0, 100.0)),
+                FeatureSpec::new("protocol", FeatureKind::categorical(["tcp", "udp", "icmp"])),
+                FeatureSpec::new("bytes", FeatureKind::numeric(0.0, 1e6)),
+            ],
+            vec!["normal".into(), "attack".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_reports_sizes_and_lookups() {
+        let s = toy_schema();
+        assert_eq!(s.name(), "toy");
+        assert_eq!(s.num_features(), 3);
+        assert_eq!(s.num_classes(), 2);
+        assert_eq!(s.encoded_width(), 1 + 3 + 1);
+        assert_eq!(s.class_index("attack"), Some(1));
+        assert_eq!(s.class_index("nope"), None);
+        assert_eq!(s.feature_index("protocol"), Some(1));
+        assert_eq!(s.feature_index("nope"), None);
+    }
+
+    #[test]
+    fn invalid_schemas_are_rejected() {
+        assert!(Schema::new("x", vec![], vec!["a".into(), "b".into()]).is_err());
+        assert!(Schema::new(
+            "x",
+            vec![FeatureSpec::new("f", FeatureKind::numeric(0.0, 1.0))],
+            vec!["only".into()]
+        )
+        .is_err());
+        // Duplicate feature name.
+        assert!(Schema::new(
+            "x",
+            vec![
+                FeatureSpec::new("f", FeatureKind::numeric(0.0, 1.0)),
+                FeatureSpec::new("f", FeatureKind::numeric(0.0, 1.0)),
+            ],
+            vec!["a".into(), "b".into()]
+        )
+        .is_err());
+        // Duplicate class name.
+        assert!(Schema::new(
+            "x",
+            vec![FeatureSpec::new("f", FeatureKind::numeric(0.0, 1.0))],
+            vec!["a".into(), "a".into()]
+        )
+        .is_err());
+        // Empty categorical.
+        assert!(Schema::new(
+            "x",
+            vec![FeatureSpec::new("c", FeatureKind::Categorical { values: vec![] })],
+            vec!["a".into(), "b".into()]
+        )
+        .is_err());
+        // Bad numeric range.
+        assert!(Schema::new(
+            "x",
+            vec![FeatureSpec::new("f", FeatureKind::numeric(1.0, 1.0))],
+            vec!["a".into(), "b".into()]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn record_validation_checks_arity_and_kinds() {
+        let s = toy_schema();
+        assert!(s.validate_record(&[1.0, 2.0, 3.0]).is_ok());
+        assert!(s.validate_record(&[1.0, 2.0]).is_err());
+        assert!(s.validate_record(&[f32::NAN, 0.0, 3.0]).is_err());
+        assert!(s.validate_record(&[1.0, 3.0, 3.0]).is_err(), "categorical index out of range");
+        assert!(s.validate_record(&[1.0, 0.5, 3.0]).is_err(), "categorical index must be integral");
+    }
+
+    #[test]
+    fn encoded_width_counts_one_hot_columns() {
+        assert_eq!(FeatureKind::numeric(0.0, 1.0).encoded_width(), 1);
+        assert_eq!(FeatureKind::categorical(["a", "b", "c", "d"]).encoded_width(), 4);
+        assert!(FeatureKind::categorical(["a"]).is_categorical());
+        assert!(!FeatureKind::numeric(0.0, 1.0).is_categorical());
+    }
+}

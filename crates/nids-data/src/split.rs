@@ -1,0 +1,201 @@
+//! Stratified dataset splitting.
+//!
+//! Intrusion-detection corpora are heavily imbalanced (U2R is ~0.04% of
+//! NSL-KDD), so naive random splits can easily end up with zero test samples
+//! for a rare class.  [`train_test_split`] and [`stratified_k_fold`] shuffle
+//! *within each class* and distribute each class proportionally, keeping every
+//! split's class mixture as close to the full corpus as integer counts allow.
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shuffles `indices` in place with a seeded Fisher–Yates pass.
+fn shuffle(indices: &mut [usize], rng: &mut StdRng) {
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+}
+
+/// Groups record indices by class label.
+fn indices_by_class(dataset: &Dataset) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); dataset.num_classes()];
+    for (i, &label) in dataset.labels().iter().enumerate() {
+        groups[label].push(i);
+    }
+    groups
+}
+
+/// Splits a dataset into a training and a test part, stratified by class.
+///
+/// `test_fraction` is the fraction of *each class* that goes to the test
+/// split (rounded; classes with a single sample keep it in the training
+/// split).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] if the dataset is empty or
+/// `test_fraction` is not strictly between 0 and 1.
+pub fn train_test_split(
+    dataset: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
+    if dataset.is_empty() {
+        return Err(DataError::InvalidArgument("cannot split an empty dataset".into()));
+    }
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(DataError::InvalidArgument(format!(
+            "test_fraction must lie strictly between 0 and 1, got {test_fraction}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train_indices = Vec::new();
+    let mut test_indices = Vec::new();
+    for mut group in indices_by_class(dataset) {
+        shuffle(&mut group, &mut rng);
+        let test_count = if group.len() <= 1 {
+            0
+        } else {
+            ((group.len() as f64 * test_fraction).round() as usize).clamp(1, group.len() - 1)
+        };
+        test_indices.extend_from_slice(&group[..test_count]);
+        train_indices.extend_from_slice(&group[test_count..]);
+    }
+    // Re-shuffle so the splits are not ordered by class.
+    shuffle(&mut train_indices, &mut rng);
+    shuffle(&mut test_indices, &mut rng);
+    Ok((dataset.subset(&train_indices)?, dataset.subset(&test_indices)?))
+}
+
+/// Produces `k` stratified folds; fold `i` is the tuple
+/// `(train_without_fold_i, fold_i)`.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] if the dataset is empty or
+/// `k < 2`.
+pub fn stratified_k_fold(
+    dataset: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<(Dataset, Dataset)>> {
+    if dataset.is_empty() {
+        return Err(DataError::InvalidArgument("cannot fold an empty dataset".into()));
+    }
+    if k < 2 {
+        return Err(DataError::InvalidArgument(format!("k must be at least 2, got {k}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Assign each record to a fold, round-robin within its class.
+    let mut fold_of = vec![0usize; dataset.len()];
+    for mut group in indices_by_class(dataset) {
+        shuffle(&mut group, &mut rng);
+        for (position, index) in group.into_iter().enumerate() {
+            fold_of[index] = position % k;
+        }
+    }
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (index, &assigned) in fold_of.iter().enumerate() {
+            if assigned == fold {
+                test.push(index);
+            } else {
+                train.push(index);
+            }
+        }
+        folds.push((dataset.subset(&train)?, dataset.subset(&test)?));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FeatureKind, FeatureSpec, Schema};
+
+    fn dataset(per_class: &[usize]) -> Dataset {
+        let schema = Schema::new(
+            "toy",
+            vec![FeatureSpec::new("x", FeatureKind::numeric(0.0, 1.0))],
+            (0..per_class.len()).map(|c| format!("class{c}")).collect(),
+        )
+        .unwrap();
+        let mut d = Dataset::empty(schema);
+        for (class, &count) in per_class.iter().enumerate() {
+            for i in 0..count {
+                d.push(vec![(i % 10) as f32 / 10.0], class).unwrap();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn split_validates_arguments() {
+        let d = dataset(&[10, 10]);
+        assert!(train_test_split(&d, 0.0, 0).is_err());
+        assert!(train_test_split(&d, 1.0, 0).is_err());
+        let empty = Dataset::empty(d.schema().clone());
+        assert!(train_test_split(&empty, 0.3, 0).is_err());
+    }
+
+    #[test]
+    fn split_preserves_all_records_and_stratifies() {
+        let d = dataset(&[100, 40, 10]);
+        let (train, test) = train_test_split(&d, 0.25, 7).unwrap();
+        assert_eq!(train.len() + test.len(), d.len());
+        let train_counts = train.class_counts();
+        let test_counts = test.class_counts();
+        assert_eq!(test_counts[0], 25);
+        assert_eq!(test_counts[1], 10);
+        assert_eq!(test_counts[2], 3, "rounded 25% of 10");
+        assert_eq!(train_counts[0], 75);
+        assert!(test_counts.iter().all(|&c| c > 0), "every class appears in the test split");
+    }
+
+    #[test]
+    fn singleton_classes_stay_in_training() {
+        let d = dataset(&[20, 1]);
+        let (train, test) = train_test_split(&d, 0.5, 3).unwrap();
+        assert_eq!(train.class_counts()[1], 1);
+        assert_eq!(test.class_counts()[1], 0);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = dataset(&[30, 30]);
+        let a = train_test_split(&d, 0.3, 11).unwrap();
+        let b = train_test_split(&d, 0.3, 11).unwrap();
+        let c = train_test_split(&d, 0.3, 12).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn k_fold_covers_every_record_exactly_once() {
+        let d = dataset(&[30, 20, 10]);
+        let folds = stratified_k_fold(&d, 5, 2).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut total_test = 0;
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.len());
+            total_test += test.len();
+            // Each fold's test split keeps all classes (counts allow it here).
+            assert!(test.class_counts().iter().all(|&c| c > 0));
+        }
+        assert_eq!(total_test, d.len(), "every record is in exactly one test fold");
+    }
+
+    #[test]
+    fn k_fold_validates_arguments() {
+        let d = dataset(&[10, 10]);
+        assert!(stratified_k_fold(&d, 1, 0).is_err());
+        let empty = Dataset::empty(d.schema().clone());
+        assert!(stratified_k_fold(&empty, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! Attack-behaviour templates.
+//!
+//! The synthetic generator needs one [`ClassProfile`] per class; this module
+//! derives those profiles from *attack-behaviour templates*.  Every attack
+//! family (DoS, probe/port-scan, brute force, botnet, web attack, …) is
+//! described by three coarse knobs:
+//!
+//! * how large a fraction of the flow features carries its signature
+//!   (a volumetric DoS perturbs most counters, a stealthy infiltration only a
+//!   few),
+//! * how strongly those signature features deviate from benign traffic,
+//! * how bursty (high-variance) the attack traffic is.
+//!
+//! Which features form the signature and in which direction they deviate is
+//! chosen deterministically by hashing the feature name together with the
+//! attack family, so a given dataset schema always produces the same class
+//! geometry — experiments stay reproducible while different datasets /
+//! attacks end up with distinct, partially overlapping signatures, which is
+//! what makes the classification task non-trivial in the same way the real
+//! corpora are.
+
+use crate::schema::{FeatureKind, Schema};
+use crate::synth::ClassProfile;
+use serde::{Deserialize, Serialize};
+
+/// Families of traffic behaviour used to build class profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AttackKind {
+    /// Benign traffic.
+    Normal,
+    /// Classic denial of service (SYN flood, smurf, back, …).
+    Dos,
+    /// Distributed denial of service (volumetric, botnet-driven).
+    Ddos,
+    /// Network probing / reconnaissance (nmap, ipsweep, satan).
+    Probe,
+    /// Port scanning.
+    PortScan,
+    /// Remote-to-local exploitation (guessing passwords, warezmaster).
+    RemoteToLocal,
+    /// User-to-root privilege escalation (buffer overflows, rootkits).
+    UserToRoot,
+    /// Credential brute force (FTP/SSH password guessing).
+    BruteForce,
+    /// Botnet command-and-control traffic.
+    Botnet,
+    /// Web application attacks (SQL injection, XSS).
+    WebAttack,
+    /// Slow infiltration / data exfiltration.
+    Infiltration,
+    /// Exploit payload delivery (UNSW-NB15 "Exploits").
+    Exploits,
+    /// Protocol fuzzing traffic (UNSW-NB15 "Fuzzers").
+    Fuzzers,
+    /// Miscellaneous generic attacks (UNSW-NB15 "Generic").
+    Generic,
+    /// Passive reconnaissance (UNSW-NB15 "Reconnaissance").
+    Reconnaissance,
+    /// Shellcode delivery.
+    Shellcode,
+    /// Self-propagating worms.
+    Worms,
+    /// Backdoor traffic.
+    Backdoor,
+    /// Traffic analysis / misc. suspicious activity (UNSW-NB15 "Analysis").
+    Analysis,
+    /// Heartbleed-style protocol abuse (CIC-IDS-2017).
+    Heartbleed,
+}
+
+impl AttackKind {
+    /// Fraction of the feature space that carries this attack's signature.
+    fn signature_fraction(self) -> f64 {
+        match self {
+            AttackKind::Normal => 0.0,
+            AttackKind::Dos | AttackKind::Ddos => 0.55,
+            AttackKind::Probe | AttackKind::PortScan | AttackKind::Reconnaissance => 0.40,
+            AttackKind::BruteForce => 0.30,
+            AttackKind::Botnet => 0.28,
+            AttackKind::WebAttack => 0.22,
+            AttackKind::Infiltration => 0.12,
+            AttackKind::RemoteToLocal => 0.18,
+            AttackKind::UserToRoot => 0.10,
+            AttackKind::Exploits => 0.35,
+            AttackKind::Fuzzers => 0.45,
+            AttackKind::Generic => 0.50,
+            AttackKind::Shellcode => 0.15,
+            AttackKind::Worms => 0.25,
+            AttackKind::Backdoor => 0.20,
+            AttackKind::Analysis => 0.18,
+            AttackKind::Heartbleed => 0.33,
+        }
+    }
+
+    /// How far (as a fraction of the feature range) signature features shift
+    /// away from benign traffic.
+    fn shift_strength(self) -> f64 {
+        match self {
+            AttackKind::Normal => 0.0,
+            AttackKind::Dos | AttackKind::Ddos | AttackKind::Generic => 0.45,
+            AttackKind::Probe | AttackKind::PortScan | AttackKind::Fuzzers => 0.35,
+            AttackKind::BruteForce | AttackKind::Botnet | AttackKind::Exploits => 0.30,
+            AttackKind::WebAttack
+            | AttackKind::Reconnaissance
+            | AttackKind::Worms
+            | AttackKind::Heartbleed => 0.25,
+            AttackKind::RemoteToLocal | AttackKind::Backdoor | AttackKind::Analysis => 0.20,
+            AttackKind::Infiltration | AttackKind::UserToRoot | AttackKind::Shellcode => 0.15,
+        }
+    }
+
+    /// Traffic burstiness: multiplier on the benign standard deviation.
+    fn burstiness(self) -> f64 {
+        match self {
+            AttackKind::Normal => 1.0,
+            AttackKind::Dos | AttackKind::Ddos => 1.6,
+            AttackKind::Fuzzers | AttackKind::Generic => 1.4,
+            AttackKind::Probe | AttackKind::PortScan => 0.7,
+            AttackKind::BruteForce | AttackKind::Reconnaissance => 0.8,
+            _ => 1.1,
+        }
+    }
+
+    /// Stable discriminant used for hashing.
+    fn tag(self) -> u64 {
+        match self {
+            AttackKind::Normal => 0,
+            AttackKind::Dos => 1,
+            AttackKind::Ddos => 2,
+            AttackKind::Probe => 3,
+            AttackKind::PortScan => 4,
+            AttackKind::RemoteToLocal => 5,
+            AttackKind::UserToRoot => 6,
+            AttackKind::BruteForce => 7,
+            AttackKind::Botnet => 8,
+            AttackKind::WebAttack => 9,
+            AttackKind::Infiltration => 10,
+            AttackKind::Exploits => 11,
+            AttackKind::Fuzzers => 12,
+            AttackKind::Generic => 13,
+            AttackKind::Reconnaissance => 14,
+            AttackKind::Shellcode => 15,
+            AttackKind::Worms => 16,
+            AttackKind::Backdoor => 17,
+            AttackKind::Analysis => 18,
+            AttackKind::Heartbleed => 19,
+        }
+    }
+}
+
+/// FNV-1a hash of a byte string mixed with a numeric salt; used to make all
+/// profile choices deterministic functions of (feature name, attack, salt).
+fn stable_hash(text: &str, salt: u64) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325 ^ salt.wrapping_mul(0x1000_0000_01B3);
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    // Final avalanche (splitmix64 tail).
+    let mut h = hash;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h
+}
+
+/// Maps a hash to a fraction in `[0, 1)`.
+fn unit_fraction(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds the benign-traffic mean for one numeric feature.
+fn benign_mean(name: &str, min: f64, max: f64, dataset_salt: u64) -> f64 {
+    let fraction = 0.15 + 0.30 * unit_fraction(stable_hash(name, dataset_salt));
+    min + fraction * (max - min)
+}
+
+/// Builds the benign-traffic standard deviation for one numeric feature.
+fn benign_std(name: &str, min: f64, max: f64, dataset_salt: u64) -> f64 {
+    let fraction = 0.04 + 0.06 * unit_fraction(stable_hash(name, dataset_salt ^ 0xABCD));
+    fraction * (max - min)
+}
+
+/// Derives the [`ClassProfile`] of one class from its attack behaviour.
+///
+/// `dataset_salt` decorrelates profiles across datasets that share feature
+/// names; `weight` is the class prevalence used by the generator.
+pub fn profile_for(
+    schema: &Schema,
+    class_name: &str,
+    attack: AttackKind,
+    weight: f64,
+    dataset_salt: u64,
+) -> ClassProfile {
+    let n = schema.num_features();
+    let mut numeric_means = vec![0.0f64; n];
+    let mut numeric_stds = vec![0.0f64; n];
+    let mut categorical_probs = vec![Vec::new(); n];
+
+    for (i, feature) in schema.features().iter().enumerate() {
+        match &feature.kind {
+            FeatureKind::Numeric { min, max } => {
+                let mut mean = benign_mean(&feature.name, *min, *max, dataset_salt);
+                let mut std = benign_std(&feature.name, *min, *max, dataset_salt);
+                if attack != AttackKind::Normal {
+                    let selector =
+                        stable_hash(&feature.name, dataset_salt ^ (attack.tag() << 32));
+                    let is_signature =
+                        unit_fraction(selector) < attack.signature_fraction();
+                    if is_signature {
+                        let direction = if selector & 1 == 0 { 1.0 } else { -1.0 };
+                        mean += direction * attack.shift_strength() * (max - min);
+                        mean = mean.clamp(*min, *max);
+                        std *= attack.burstiness();
+                    }
+                }
+                numeric_means[i] = mean;
+                numeric_stds[i] = std;
+            }
+            FeatureKind::Categorical { values } => {
+                let k = values.len();
+                let salt = dataset_salt ^ (attack.tag() << 16);
+                let favoured = (stable_hash(&feature.name, salt) as usize) % k;
+                let concentration = if attack == AttackKind::Normal { 0.70 } else { 0.75 };
+                let rest = (1.0 - concentration) / k as f64;
+                let mut probs = vec![rest; k];
+                probs[favoured] += concentration;
+                categorical_probs[i] = probs;
+            }
+        }
+    }
+
+    ClassProfile {
+        name: class_name.to_string(),
+        weight,
+        numeric_means,
+        numeric_stds,
+        categorical_probs,
+    }
+}
+
+/// Builds one profile per `(class, attack, weight)` tuple, in order.
+///
+/// The tuples must follow the schema's class order; [`crate::synth::generate`]
+/// re-validates this before sampling.
+pub fn profiles_for(
+    schema: &Schema,
+    classes: &[(&str, AttackKind, f64)],
+    dataset_salt: u64,
+) -> Vec<ClassProfile> {
+    classes
+        .iter()
+        .map(|(name, attack, weight)| profile_for(schema, name, *attack, *weight, dataset_salt))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FeatureKind, FeatureSpec, Schema};
+
+    fn schema() -> Schema {
+        let mut features = vec![
+            FeatureSpec::new("duration", FeatureKind::numeric(0.0, 100.0)),
+            FeatureSpec::new("protocol_type", FeatureKind::categorical(["tcp", "udp", "icmp"])),
+        ];
+        for i in 0..20 {
+            features.push(FeatureSpec::new(
+                format!("counter_{i}"),
+                FeatureKind::numeric(0.0, 1000.0),
+            ));
+        }
+        Schema::new("toy", features, vec!["normal".into(), "dos".into(), "probe".into()]).unwrap()
+    }
+
+    #[test]
+    fn profiles_validate_against_their_schema() {
+        let s = schema();
+        let profiles = profiles_for(
+            &s,
+            &[
+                ("normal", AttackKind::Normal, 4.0),
+                ("dos", AttackKind::Dos, 2.0),
+                ("probe", AttackKind::Probe, 1.0),
+            ],
+            11,
+        );
+        assert_eq!(profiles.len(), 3);
+        for p in &profiles {
+            p.validate(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn attacks_deviate_from_normal_traffic() {
+        let s = schema();
+        let normal = profile_for(&s, "normal", AttackKind::Normal, 1.0, 11);
+        let dos = profile_for(&s, "dos", AttackKind::Dos, 1.0, 11);
+        let deviating = normal
+            .numeric_means
+            .iter()
+            .zip(&dos.numeric_means)
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        assert!(deviating >= 5, "a DoS should perturb many counters, got {deviating}");
+    }
+
+    #[test]
+    fn stealthy_attacks_perturb_fewer_features_than_volumetric_ones() {
+        let s = schema();
+        let normal = profile_for(&s, "normal", AttackKind::Normal, 1.0, 3);
+        let count_deviations = |attack: AttackKind| {
+            let p = profile_for(&s, "x", attack, 1.0, 3);
+            normal
+                .numeric_means
+                .iter()
+                .zip(&p.numeric_means)
+                .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+                .count()
+        };
+        let dos = count_deviations(AttackKind::Dos);
+        let u2r = count_deviations(AttackKind::UserToRoot);
+        assert!(dos > u2r, "DoS ({dos}) should touch more features than U2R ({u2r})");
+    }
+
+    #[test]
+    fn different_attacks_have_different_signatures() {
+        let s = schema();
+        let dos = profile_for(&s, "dos", AttackKind::Dos, 1.0, 5);
+        let probe = profile_for(&s, "probe", AttackKind::Probe, 1.0, 5);
+        assert_ne!(dos.numeric_means, probe.numeric_means);
+    }
+
+    #[test]
+    fn profiles_are_deterministic_per_salt() {
+        let s = schema();
+        let a = profile_for(&s, "dos", AttackKind::Dos, 1.0, 7);
+        let b = profile_for(&s, "dos", AttackKind::Dos, 1.0, 7);
+        let c = profile_for(&s, "dos", AttackKind::Dos, 1.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a.numeric_means, c.numeric_means);
+    }
+
+    #[test]
+    fn categorical_distributions_are_valid_and_concentrated() {
+        let s = schema();
+        let p = profile_for(&s, "dos", AttackKind::Dos, 1.0, 9);
+        let probs = &p.categorical_probs[1];
+        assert_eq!(probs.len(), 3);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(probs.iter().cloned().fold(0.0, f64::max) > 0.7);
+    }
+
+    #[test]
+    fn stable_hash_is_stable_and_salt_sensitive() {
+        assert_eq!(stable_hash("src_bytes", 1), stable_hash("src_bytes", 1));
+        assert_ne!(stable_hash("src_bytes", 1), stable_hash("src_bytes", 2));
+        assert_ne!(stable_hash("src_bytes", 1), stable_hash("dst_bytes", 1));
+        let f = unit_fraction(stable_hash("anything", 42));
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: train CyberHD on a synthetic NSL-KDD stand-in and inspect the
+//! result.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use cyberhd_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a labelled corpus with the NSL-KDD schema (41 features,
+    //    5 traffic categories) and split it 75/25.
+    let dataset = DatasetKind::NslKdd.generate(&SyntheticConfig::new(4_000, 42).difficulty(1.4))?;
+    let (train, test) = train_test_split(&dataset, 0.25, 42)?;
+    println!(
+        "dataset: {} ({} train / {} test flows, {} classes)",
+        dataset.schema().name(),
+        train.len(),
+        test.len(),
+        dataset.num_classes()
+    );
+
+    // 2. Preprocess: one-hot expand the categorical features and scale
+    //    everything to [0, 1]. The preprocessor is fitted on the training
+    //    split only.
+    let preprocessor = Preprocessor::fit(&train, Normalization::MinMax)?;
+    let (train_x, train_y) = preprocessor.transform_with_labels(&train)?;
+    let (test_x, test_y) = preprocessor.transform_with_labels(&test)?;
+
+    // 3. Train CyberHD: 512 physical dimensions, 20% of the least significant
+    //    dimensions regenerated after each retraining epoch.
+    let config = CyberHdConfig::builder(preprocessor.output_width(), dataset.num_classes())
+        .dimension(512)
+        .retrain_epochs(10)
+        .regeneration_rate(0.2)
+        .learning_rate(0.05)
+        .encode_threads(4)
+        .seed(7)
+        .build()?;
+    let (model, elapsed) = Stopwatch::time(|| CyberHdTrainer::new(config)?.fit(&train_x, &train_y));
+    let model = model?;
+    println!(
+        "trained in {:.2} s: physical D = {}, effective D* = {} ({} dimensions regenerated)",
+        elapsed.as_secs_f64(),
+        model.dimension(),
+        model.effective_dimension(),
+        model.report().regeneration.total_regenerated
+    );
+
+    // 4. Evaluate on the held-out flows.
+    let report = model.evaluate(&test_x, &test_y)?.report();
+    println!("\ntest-set performance:\n{report}");
+
+    // 5. Classify one new flow.
+    let (prediction, scores) = model.predict_with_scores(&test_x[0])?;
+    println!(
+        "first test flow -> class {} ({}), similarity scores {:?}",
+        prediction,
+        dataset.schema().classes()[prediction],
+        scores.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    Ok(())
+}

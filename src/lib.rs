@@ -1,0 +1,92 @@
+//! # `cyberhd-suite` — facade crate for the CyberHD reproduction
+//!
+//! This crate re-exports every sub-crate of the workspace under one roof so
+//! the runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`) have a single dependency, and so downstream users can depend on
+//! one crate and pick the pieces they need:
+//!
+//! * [`hdc`] — hypervector algebra, encoders, quantization, associative
+//!   memory,
+//! * [`cyberhd`] — the CyberHD learner (adaptive training + dimension
+//!   regeneration), the static baselineHD and the streaming learner,
+//! * [`nids_data`] — NSL-KDD / UNSW-NB15 / CIC-IDS-2017 / CIC-IDS-2018
+//!   schemas, synthetic traffic generators, CSV loaders, preprocessing and
+//!   splitting,
+//! * [`baselines`] — the MLP (DNN) and linear SVM comparison models,
+//! * [`eval`] — metrics, timing and report tables,
+//! * [`hw_model`] — first-order CPU/FPGA energy models (Table I),
+//! * [`fault_inject`] — bit-flip fault injection (Fig. 5).
+//!
+//! See the repository `README.md` for the quick start and `EXPERIMENTS.md`
+//! for the paper-vs-measured comparison of every table and figure.
+//!
+//! # Example
+//!
+//! ```
+//! use cyberhd_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small NSL-KDD-shaped corpus and train CyberHD on it.
+//! let dataset = DatasetKind::NslKdd.generate(&SyntheticConfig::new(800, 1))?;
+//! let (train, test) = train_test_split(&dataset, 0.25, 1)?;
+//! let preprocessor = Preprocessor::fit(&train, Normalization::MinMax)?;
+//! let (train_x, train_y) = preprocessor.transform_with_labels(&train)?;
+//! let (test_x, test_y) = preprocessor.transform_with_labels(&test)?;
+//!
+//! let config = CyberHdConfig::builder(preprocessor.output_width(), dataset.num_classes())
+//!     .dimension(256)
+//!     .retrain_epochs(3)
+//!     .seed(7)
+//!     .build()?;
+//! let model = CyberHdTrainer::new(config)?.fit(&train_x, &train_y)?;
+//! let accuracy = model.accuracy(&test_x, &test_y)?;
+//! assert!(accuracy > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use cyberhd;
+pub use eval;
+pub use fault_inject;
+pub use hdc;
+pub use hw_model;
+pub use nids_data;
+
+/// The most commonly used items from every sub-crate, importable in one line.
+pub mod prelude {
+    pub use baselines::mlp::{Mlp, MlpConfig};
+    pub use baselines::svm::{LinearSvm, SvmConfig};
+    pub use baselines::Classifier;
+    pub use cyberhd::{
+        BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer, EncoderKind, OnlineLearner,
+        OpenSetDetector, OpenSetPrediction, QuantizedModel,
+    };
+    pub use eval::detection::{DetectionCounts, RocCurve};
+    pub use eval::metrics::{accuracy, ConfusionMatrix};
+    pub use eval::timing::{Stopwatch, ThroughputReport};
+    pub use fault_inject::BitFlipInjector;
+    pub use hdc::encoder::{Encoder, RbfEncoder};
+    pub use hdc::{AssociativeMemory, BitWidth, Hypervector, QuantizedHypervector};
+    pub use hw_model::{CpuModel, FpgaModel, HdcWorkload};
+    pub use nids_data::drift::{DriftPhase, DriftStream};
+    pub use nids_data::preprocess::{Normalization, Preprocessor};
+    pub use nids_data::split::{stratified_k_fold, train_test_split};
+    pub use nids_data::synth::SyntheticConfig;
+    pub use nids_data::DatasetKind;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_re_exports_compile_and_are_usable() {
+        use crate::prelude::*;
+        let hv = Hypervector::zeros(8);
+        assert_eq!(hv.dim(), 8);
+        assert_eq!(DatasetKind::ALL.len(), 4);
+        assert_eq!(BitWidth::B1.bits(), 1);
+    }
+}

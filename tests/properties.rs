@@ -1,0 +1,165 @@
+//! Property-based tests over the cross-crate invariants: hypervector
+//! algebra, encoder locality, quantization bounds, preprocessing ranges,
+//! dataset generation and metric identities hold for arbitrary (bounded)
+//! inputs, not just the hand-picked unit-test cases.
+
+use cyberhd_suite::prelude::*;
+use hdc::encoder::{IdLevelEncoder, RecordEncoder};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bundling_is_commutative_and_binding_distributes_signs(a in finite_vec(64), b in finite_vec(64)) {
+        let ha = Hypervector::from_vec(a);
+        let hb = Hypervector::from_vec(b);
+        prop_assert_eq!(ha.bundle(&hb).unwrap(), hb.bundle(&ha).unwrap());
+        prop_assert_eq!(ha.bind(&hb).unwrap(), hb.bind(&ha).unwrap());
+    }
+
+    #[test]
+    fn cosine_similarity_stays_in_range_and_is_symmetric(a in finite_vec(32), b in finite_vec(32)) {
+        let ha = Hypervector::from_vec(a);
+        let hb = Hypervector::from_vec(b);
+        let ab = ha.cosine(&hb).unwrap();
+        let ba = hb.cosine(&ha).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalization_yields_unit_norm_for_nonzero_vectors(values in finite_vec(48)) {
+        let hv = Hypervector::from_vec(values);
+        prop_assume!(hv.norm() > 1e-3);
+        let normalized = hv.normalized();
+        prop_assert!((normalized.norm() - 1.0).abs() < 1e-4);
+        // Direction is preserved.
+        prop_assert!(hv.cosine(&normalized).unwrap() > 0.999);
+    }
+
+    #[test]
+    fn permutation_preserves_norm_and_round_trips(values in finite_vec(40), shift in 0usize..200) {
+        let hv = Hypervector::from_vec(values);
+        let permuted = hv.permute(shift);
+        prop_assert!((hv.norm() - permuted.norm()).abs() < 1e-4);
+        let back = permuted.permute(40 - (shift % 40));
+        prop_assert_eq!(back, hv);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_the_step_size(values in finite_vec(64), bits_index in 0usize..5) {
+        let widths = [BitWidth::B16, BitWidth::B8, BitWidth::B4, BitWidth::B2, BitWidth::B1];
+        let width = widths[bits_index];
+        let hv = Hypervector::from_vec(values);
+        let q = QuantizedHypervector::quantize(&hv, width);
+        let back = q.dequantize();
+        // Worst-case absolute error per element is one quantization step
+        // (half a step for rounding, but 1-bit keeps only the sign so bound
+        // by the max magnitude instead).
+        let bound = if width == BitWidth::B1 {
+            2.0 * hv.max_abs()
+        } else {
+            hv.max_abs() / width.max_level() as f32 + 1e-5
+        };
+        for (a, b) in hv.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() <= bound, "error {} exceeds bound {bound}", (a - b).abs());
+        }
+        prop_assert_eq!(q.storage_bits(), 64 * width.bits() as usize);
+    }
+
+    #[test]
+    fn rbf_encoding_is_bounded_and_deterministic(features in finite_vec(12), seed in 0u64..1000) {
+        let encoder = RbfEncoder::new(12, 128, seed).unwrap();
+        let a = encoder.encode(&features).unwrap();
+        let b = encoder.encode(&features).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn static_encoders_accept_any_bounded_input(features in finite_vec(10), seed in 0u64..1000) {
+        let id_level = IdLevelEncoder::with_range(10, 64, 8, -100.0, 100.0, seed).unwrap();
+        let record = RecordEncoder::new(10, 64, seed).unwrap();
+        prop_assert_eq!(id_level.encode(&features).unwrap().dim(), 64);
+        prop_assert_eq!(record.encode(&features).unwrap().dim(), 64);
+    }
+
+    #[test]
+    fn associative_memory_returns_valid_classes(queries in proptest::collection::vec(finite_vec(32), 1..8)) {
+        let mut memory = AssociativeMemory::new(4, 32).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            memory.accumulate(i % 4, &Hypervector::from_vec(q.clone())).unwrap();
+        }
+        for q in &queries {
+            let (class, similarity) = memory.nearest(&Hypervector::from_vec(q.clone())).unwrap();
+            prop_assert!(class < 4);
+            prop_assert!((-1.0..=1.0).contains(&similarity));
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_matches_direct_count(
+        pairs in proptest::collection::vec((0usize..5, 0usize..5), 1..100)
+    ) {
+        let predictions: Vec<usize> = pairs.iter().map(|(p, _)| *p).collect();
+        let labels: Vec<usize> = pairs.iter().map(|(_, l)| *l).collect();
+        let cm = ConfusionMatrix::from_predictions(&predictions, &labels, 5).unwrap();
+        let direct = accuracy(&predictions, &labels).unwrap();
+        prop_assert!((cm.accuracy() - direct).abs() < 1e-12);
+        prop_assert_eq!(cm.total() as usize, pairs.len());
+    }
+}
+
+proptest! {
+    // Dataset generation and preprocessing are slower; use fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_corpora_conform_to_their_schema(seed in 0u64..500, samples in 50usize..300) {
+        let dataset = DatasetKind::NslKdd
+            .generate(&SyntheticConfig::new(samples, seed))
+            .unwrap();
+        prop_assert_eq!(dataset.len(), samples);
+        for record in dataset.records() {
+            prop_assert!(dataset.schema().validate_record(record).is_ok());
+        }
+        prop_assert!(dataset.labels().iter().all(|&l| l < dataset.num_classes()));
+    }
+
+    #[test]
+    fn minmax_preprocessing_maps_training_data_into_unit_interval(seed in 0u64..500) {
+        let dataset = DatasetKind::UnswNb15
+            .generate(&SyntheticConfig::new(300, seed))
+            .unwrap();
+        let preprocessor = Preprocessor::fit(&dataset, Normalization::MinMax).unwrap();
+        let transformed = preprocessor.transform(&dataset).unwrap();
+        prop_assert!(transformed
+            .iter()
+            .flatten()
+            .all(|&v| (0.0..=1.0).contains(&v) && v.is_finite()));
+        prop_assert!(transformed.iter().all(|row| row.len() == preprocessor.output_width()));
+    }
+
+    #[test]
+    fn stratified_split_preserves_every_record_exactly_once(seed in 0u64..500) {
+        let dataset = DatasetKind::CicIds2018
+            .generate(&SyntheticConfig::new(400, seed))
+            .unwrap();
+        let (train, test) = train_test_split(&dataset, 0.3, seed).unwrap();
+        prop_assert_eq!(train.len() + test.len(), dataset.len());
+        // Class totals are preserved.
+        let total: Vec<usize> = dataset.class_counts();
+        let recombined: Vec<usize> = train
+            .class_counts()
+            .iter()
+            .zip(test.class_counts())
+            .map(|(a, b)| a + b)
+            .collect();
+        prop_assert_eq!(total, recombined);
+    }
+}
