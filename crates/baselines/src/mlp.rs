@@ -118,8 +118,10 @@ impl MlpConfig {
         if self.num_classes < 2 {
             return Err(BaselineError::InvalidConfig("num_classes must be at least 2".into()));
         }
-        if self.hidden_layers.iter().any(|&w| w == 0) {
-            return Err(BaselineError::InvalidConfig("hidden layer widths must be non-zero".into()));
+        if self.hidden_layers.contains(&0) {
+            return Err(BaselineError::InvalidConfig(
+                "hidden layer widths must be non-zero".into(),
+            ));
         }
         if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
             return Err(BaselineError::InvalidConfig(format!(
@@ -159,10 +161,8 @@ impl AdamState {
         let t = step as i32;
         let bias1 = 1.0 - BETA1.powi(t);
         let bias2 = 1.0 - BETA2.powi(t);
-        for ((p, &g), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, &g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             *m = BETA1 * *m + (1.0 - BETA1) * g;
             *v = BETA2 * *v + (1.0 - BETA2) * g * g;
@@ -300,7 +300,8 @@ impl Classifier for Mlp {
                 order.swap(i, j);
             }
             for chunk in order.chunks(config.batch_size) {
-                let batch_rows: Vec<Vec<f32>> = chunk.iter().map(|&i| features[i].clone()).collect();
+                let batch_rows: Vec<Vec<f32>> =
+                    chunk.iter().map(|&i| features[i].clone()).collect();
                 let batch = Matrix::from_rows(&batch_rows)?;
                 let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
                 self.train_batch(&batch, &batch_labels)?;
@@ -367,8 +368,10 @@ impl Mlp {
             // Weight decay.
             let mut weight_grad = weight_grad;
             if self.config.weight_decay > 0.0 {
-                weight_grad
-                    .add_scaled_in_place(&self.layers[layer_index].weights, self.config.weight_decay)?;
+                weight_grad.add_scaled_in_place(
+                    &self.layers[layer_index].weights,
+                    self.config.weight_decay,
+                )?;
             }
 
             let layer = &mut self.layers[layer_index];
@@ -449,8 +452,7 @@ mod tests {
     fn learns_xor_with_a_hidden_layer() {
         let xs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let ys = vec![0, 1, 1, 0];
-        let config =
-            MlpConfig::new(2, 2).hidden_layers(vec![16]).epochs(500).batch_size(4).seed(3);
+        let config = MlpConfig::new(2, 2).hidden_layers(vec![16]).epochs(500).batch_size(4).seed(3);
         let mut mlp = Mlp::new(config).unwrap();
         mlp.fit(&xs, &ys).unwrap();
         assert_eq!(mlp.predict_batch(&xs).unwrap(), ys);

@@ -162,12 +162,9 @@ impl Classifier for LinearSvm {
                 let y = labels[i];
                 for class in 0..config.num_classes {
                     let target: f32 = if class == y { 1.0 } else { -1.0 };
-                    let margin: f32 = self.weights[class]
-                        .iter()
-                        .zip(x)
-                        .map(|(w, xi)| w * xi)
-                        .sum::<f32>()
-                        + self.biases[class];
+                    let margin: f32 =
+                        self.weights[class].iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>()
+                            + self.biases[class];
                     let w = &mut self.weights[class];
                     // Pegasos: shrink, then step on violations.
                     let shrink = 1.0 - eta * lambda;

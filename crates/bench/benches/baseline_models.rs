@@ -43,7 +43,8 @@ fn bench_baseline_training(c: &mut Criterion) {
     )
     .unwrap();
     mlp.fit(&data.train_x, &data.train_y).unwrap();
-    let mut svm = LinearSvm::new(SvmConfig::new(data.input_width, data.num_classes).epochs(5)).unwrap();
+    let mut svm =
+        LinearSvm::new(SvmConfig::new(data.input_width, data.num_classes).epochs(5)).unwrap();
     svm.fit(&data.train_x, &data.train_y).unwrap();
     c.bench_function("mlp_single_flow_inference", |bencher| {
         bencher.iter(|| black_box(mlp.predict(&query).unwrap()))

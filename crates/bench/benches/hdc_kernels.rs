@@ -43,7 +43,9 @@ fn bench_quantization(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{width}")),
             &width,
-            |bencher, &width| bencher.iter(|| QuantizedHypervector::quantize(black_box(&hv), width)),
+            |bencher, &width| {
+                bencher.iter(|| QuantizedHypervector::quantize(black_box(&hv), width))
+            },
         );
     }
     group.finish();

@@ -79,11 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "CyberHD",
         44,
     )?;
-    let mut dims = Table::new(vec![
-        "model".into(),
-        "physical D".into(),
-        "test accuracy (%)".into(),
-    ]);
+    let mut dims =
+        Table::new(vec!["model".into(), "physical D".into(), "test accuracy (%)".into()]);
     for &dimension in &[256usize, 512, 1024, 2048, 4096] {
         let (run, _) = run_baseline_hd(&data, dimension, epochs, "baselineHD", 44)?;
         dims.add_row(vec![

@@ -10,17 +10,16 @@
 //! Run with `cargo run -p bench --bin fig3 --release`
 //! (set `CYBERHD_SCALE=paper` for the larger corpora).
 
-use bench::{paper, prepare_dataset, run_baseline_hd, run_cyberhd, run_mlp, run_svm, ExperimentScale};
+use bench::{
+    paper, prepare_dataset, run_baseline_hd, run_cyberhd, run_mlp, run_svm, ExperimentScale,
+};
 use eval::report::{series_table, Series};
 use nids_data::DatasetKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
     println!("== Fig. 3: accuracy of CyberHD vs. state-of-the-art ==");
-    println!(
-        "scale: {scale:?} ({} synthetic flows per dataset)\n",
-        scale.samples()
-    );
+    println!("scale: {scale:?} ({} synthetic flows per dataset)\n", scale.samples());
 
     let mut dnn = Series::new("DNN");
     let mut svm = Series::new("SVM");

@@ -9,7 +9,9 @@
 //!
 //! Run with `cargo run -p bench --bin fig4 --release`.
 
-use bench::{paper, prepare_dataset, run_baseline_hd, run_cyberhd, run_mlp, run_svm, ExperimentScale};
+use bench::{
+    paper, prepare_dataset, run_baseline_hd, run_cyberhd, run_mlp, run_svm, ExperimentScale,
+};
 use eval::report::{series_table, Series};
 use eval::timing::geometric_mean;
 use nids_data::DatasetKind;

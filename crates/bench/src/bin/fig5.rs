@@ -20,7 +20,10 @@ const TRIALS: u64 = 3;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
     println!("== Fig. 5: robustness of CyberHD vs. the DNN under random bit flips ==");
-    println!("dataset: NSL-KDD stand-in, {} flows, {TRIALS} injection trials per cell\n", scale.samples());
+    println!(
+        "dataset: NSL-KDD stand-in, {} flows, {TRIALS} injection trials per cell\n",
+        scale.samples()
+    );
 
     let data = prepare_dataset(DatasetKind::NslKdd, scale.samples(), 555)?;
 

@@ -23,8 +23,7 @@ use hw_model::{CpuModel, FpgaModel, HdcWorkload};
 use nids_data::DatasetKind;
 
 /// Dimension ladder searched for each bitwidth.
-const DIMENSION_LADDER: [usize; 10] =
-    [256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144];
+const DIMENSION_LADDER: [usize; 10] = [256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
@@ -43,7 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Full-precision reference: CyberHD at the paper's physical dimension.
     let reference_accuracy = {
-        let config = bench::cyberhd_config(&data, paper::CYBERHD_DIMENSION, paper::REGENERATION_RATE, epochs, 99)?;
+        let config = bench::cyberhd_config(
+            &data,
+            paper::CYBERHD_DIMENSION,
+            paper::REGENERATION_RATE,
+            epochs,
+            99,
+        )?;
         let model = CyberHdTrainer::new(config)?.fit(&data.train_x, &data.train_y)?;
         model.accuracy(&data.test_x, &data.test_y)?
     };
@@ -110,8 +115,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for &(bits, dimension) in effective {
             let workload = workload_for(dimension, bits);
             effective_row.push(format!("{:.1}k", dimension as f64 / 1000.0));
-            cpu_row.push(format!("{:.1}x", cpu.training_cost(&workload).efficiency_over(&reference_cost)));
-            fpga_row.push(format!("{:.0}x", fpga.training_cost(&workload).efficiency_over(&reference_cost)));
+            cpu_row.push(format!(
+                "{:.1}x",
+                cpu.training_cost(&workload).efficiency_over(&reference_cost)
+            ));
+            fpga_row.push(format!(
+                "{:.0}x",
+                fpga.training_cost(&workload).efficiency_over(&reference_cost)
+            ));
         }
         table.add_row(effective_row);
         table.add_row(cpu_row);

@@ -25,7 +25,7 @@ use baselines::mlp::{Mlp, MlpConfig};
 use baselines::svm::{LinearSvm, SvmConfig};
 use baselines::Classifier;
 use cyberhd::{BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer};
-use eval::timing::{Stopwatch, ThroughputReport};
+use eval::timing::ThroughputReport;
 use nids_data::preprocess::{Normalization, Preprocessor};
 use nids_data::split::train_test_split;
 use nids_data::synth::SyntheticConfig;
@@ -133,7 +133,8 @@ pub fn prepare_dataset(
     // synthetic stand-ins are not trivially separable; 2.4 puts the models in
     // the low/mid-90s accuracy band where dimensionality and encoder quality
     // matter, which is the regime the paper's comparisons live in.
-    let dataset = kind.generate(&SyntheticConfig::new(samples, seed).difficulty(2.4).label_noise(0.01))?;
+    let dataset =
+        kind.generate(&SyntheticConfig::new(samples, seed).difficulty(2.4).label_noise(0.01))?;
     let (train, test) = train_test_split(&dataset, 0.25, seed ^ 0x51EE7)?;
     let preprocessor = Preprocessor::fit(&train, Normalization::MinMax)?;
     let (train_x, train_y) = preprocessor.transform_with_labels(&train)?;
@@ -201,20 +202,14 @@ pub fn run_cyberhd(
 ) -> Result<(ModelRun, CyberHdModel), Box<dyn std::error::Error>> {
     let config = cyberhd_config(data, dimension, regeneration_rate, epochs, seed)?;
     let trainer = CyberHdTrainer::new(config)?;
-    let (model, train_time) = Stopwatch::time(|| trainer.fit(&data.train_x, &data.train_y));
+    let (model, training) =
+        ThroughputReport::measure(data.train_x.len(), || trainer.fit(&data.train_x, &data.train_y));
     let model = model?;
-    let (predictions, infer_time) = Stopwatch::time(|| model.predict_batch(&data.test_x));
+    let (predictions, inference) =
+        ThroughputReport::measure(data.test_x.len(), || model.predict_batch(&data.test_x));
     let predictions = predictions?;
     let accuracy = eval::metrics::accuracy(&predictions, &data.test_y)?;
-    Ok((
-        ModelRun {
-            model: label.to_string(),
-            accuracy,
-            training: ThroughputReport::new(train_time, data.train_x.len()),
-            inference: ThroughputReport::new(infer_time, data.test_x.len()),
-        },
-        model,
-    ))
+    Ok((ModelRun { model: label.to_string(), accuracy, training, inference }, model))
 }
 
 /// Trains and evaluates the static baselineHD at `dimension`.
@@ -232,20 +227,15 @@ pub fn run_baseline_hd(
     let baseline = BaselineHd::new(data.input_width, data.num_classes, dimension, seed)?
         .retrain_epochs(epochs)
         .learning_rate(0.05);
-    let (model, train_time) = Stopwatch::time(|| baseline.fit(&data.train_x, &data.train_y));
+    let (model, training) = ThroughputReport::measure(data.train_x.len(), || {
+        baseline.fit(&data.train_x, &data.train_y)
+    });
     let model = model?;
-    let (predictions, infer_time) = Stopwatch::time(|| model.predict_batch(&data.test_x));
+    let (predictions, inference) =
+        ThroughputReport::measure(data.test_x.len(), || model.predict_batch(&data.test_x));
     let predictions = predictions?;
     let accuracy = eval::metrics::accuracy(&predictions, &data.test_y)?;
-    Ok((
-        ModelRun {
-            model: label.to_string(),
-            accuracy,
-            training: ThroughputReport::new(train_time, data.train_x.len()),
-            inference: ThroughputReport::new(infer_time, data.test_x.len()),
-        },
-        model,
-    ))
+    Ok((ModelRun { model: label.to_string(), accuracy, training, inference }, model))
 }
 
 /// Trains and evaluates the MLP (DNN) baseline, returning the run and model.
@@ -263,20 +253,14 @@ pub fn run_mlp(
         .epochs(epochs)
         .seed(seed);
     let mut mlp = Mlp::new(config)?;
-    let (fit, train_time) = Stopwatch::time(|| mlp.fit(&data.train_x, &data.train_y));
+    let (fit, training) =
+        ThroughputReport::measure(data.train_x.len(), || mlp.fit(&data.train_x, &data.train_y));
     fit?;
-    let (predictions, infer_time) = Stopwatch::time(|| mlp.predict_batch(&data.test_x));
+    let (predictions, inference) =
+        ThroughputReport::measure(data.test_x.len(), || mlp.predict_batch(&data.test_x));
     let predictions = predictions?;
     let accuracy = eval::metrics::accuracy(&predictions, &data.test_y)?;
-    Ok((
-        ModelRun {
-            model: "DNN (MLP 2x256)".to_string(),
-            accuracy,
-            training: ThroughputReport::new(train_time, data.train_x.len()),
-            inference: ThroughputReport::new(infer_time, data.test_x.len()),
-        },
-        mlp,
-    ))
+    Ok((ModelRun { model: "DNN (MLP 2x256)".to_string(), accuracy, training, inference }, mlp))
 }
 
 /// Trains and evaluates the linear SVM baseline, returning the run and model.
@@ -291,20 +275,14 @@ pub fn run_svm(
 ) -> Result<(ModelRun, LinearSvm), Box<dyn std::error::Error>> {
     let config = SvmConfig::new(data.input_width, data.num_classes).epochs(epochs).seed(seed);
     let mut svm = LinearSvm::new(config)?;
-    let (fit, train_time) = Stopwatch::time(|| svm.fit(&data.train_x, &data.train_y));
+    let (fit, training) =
+        ThroughputReport::measure(data.train_x.len(), || svm.fit(&data.train_x, &data.train_y));
     fit?;
-    let (predictions, infer_time) = Stopwatch::time(|| svm.predict_batch(&data.test_x));
+    let (predictions, inference) =
+        ThroughputReport::measure(data.test_x.len(), || svm.predict_batch(&data.test_x));
     let predictions = predictions?;
     let accuracy = eval::metrics::accuracy(&predictions, &data.test_y)?;
-    Ok((
-        ModelRun {
-            model: "SVM (linear, OvR)".to_string(),
-            accuracy,
-            training: ThroughputReport::new(train_time, data.train_x.len()),
-            inference: ThroughputReport::new(infer_time, data.test_x.len()),
-        },
-        svm,
-    ))
+    Ok((ModelRun { model: "SVM (linear, OvR)".to_string(), accuracy, training, inference }, svm))
 }
 
 #[cfg(test)]

@@ -50,7 +50,12 @@ impl BaselineHd {
     /// # Errors
     ///
     /// Returns [`crate::CyberHdError::InvalidConfig`] for invalid sizes.
-    pub fn new(input_features: usize, num_classes: usize, dimension: usize, seed: u64) -> Result<Self> {
+    pub fn new(
+        input_features: usize,
+        num_classes: usize,
+        dimension: usize,
+        seed: u64,
+    ) -> Result<Self> {
         let config = CyberHdConfig::builder(input_features, num_classes)
             .dimension(dimension)
             .regeneration_rate(0.0)
@@ -149,11 +154,8 @@ mod tests {
 
     #[test]
     fn from_config_forces_zero_regeneration() {
-        let config = CyberHdConfig::builder(3, 3)
-            .dimension(64)
-            .regeneration_rate(0.3)
-            .build()
-            .unwrap();
+        let config =
+            CyberHdConfig::builder(3, 3).dimension(64).regeneration_rate(0.3).build().unwrap();
         let baseline = BaselineHd::from_config(config).unwrap();
         assert_eq!(baseline.config().regeneration_rate, 0.0);
         assert_eq!(baseline.config().dimension, 64);

@@ -215,9 +215,7 @@ impl CyberHdConfigBuilder {
             )));
         }
         if self.id_level_levels < 2 {
-            return Err(CyberHdError::InvalidConfig(
-                "id_level_levels must be at least 2".into(),
-            ));
+            return Err(CyberHdError::InvalidConfig("id_level_levels must be at least 2".into()));
         }
         if self.encode_threads == 0 {
             return Err(CyberHdError::InvalidConfig("encode_threads must be non-zero".into()));

@@ -1,0 +1,273 @@
+//! The fused batched inference engine.
+//!
+//! The serial hot path of the original reproduction
+//! (`CyberHdModel::predict` in a loop) paid four avoidable costs per sample:
+//! a fresh `Hypervector` allocation, a fresh score vector allocation, one
+//! full pass over the encoder's base matrix per sample, and a recomputation
+//! of every class norm per query.  This module fuses the encode→score
+//! pipeline over contiguous chunks of the batch instead:
+//!
+//! 1. the batch is split into [`CHUNK_ROWS`]-row chunks, fanned out across
+//!    scoped threads ([`hdc::parallel`], behind the `parallel` feature);
+//! 2. each chunk is encoded into one reusable chunk-local `rows × dim`
+//!    buffer with the encoder's cache-blocked batch kernel (**zero
+//!    per-sample allocations**, base matrix streamed once per sample block
+//!    instead of once per sample);
+//! 3. each encoded row is scored against all classes with class norms that
+//!    were computed **once per batch** ([`AssociativeMemory::class_norms`]);
+//! 4. the 1-bit deployment path packs class hypervectors into `u64` words
+//!    once per batch and scores whole word slices with XOR + popcount.
+//!
+//! **Parity contract** (asserted by the `tests/batch_parity.rs` suite):
+//! the IdLevel/Record encoders and every quantized width evaluate the same
+//! expressions as the serial path, so their batched results match
+//! bit-for-bit.  The RBF batch kernel reassociates the projection sum and
+//! uses a polynomial cosine, so its batched scores agree with serial
+//! scores to within 1e-6 — predictions can differ only on ties closer
+//! than that, and only for inputs in the encoder's documented range
+//! (normalized features; see `fast_cos` in `hdc`'s `rbf.rs`).
+
+use crate::model::AnyEncoder;
+use crate::{CyberHdError, Result};
+use hdc::encoder::Encoder;
+use hdc::parallel::{engine_threads, for_each_chunk};
+use hdc::quant::quantize_into;
+use hdc::similarity::argmax;
+use hdc::{binary, AssociativeMemory, BitWidth, QuantizedHypervector};
+
+/// Rows per engine chunk: one chunk's encode buffer (`CHUNK_ROWS × dim`
+/// f32) stays L2-resident at the paper's dimensionalities while leaving
+/// enough chunks to keep every worker thread busy.
+pub(crate) const CHUNK_ROWS: usize = 64;
+
+/// Validates that every row of `batch` has `features` entries.
+fn check_arity(batch: &[Vec<f32>], features: usize) -> Result<()> {
+    if let Some((i, bad)) = batch.iter().enumerate().find(|(_, row)| row.len() != features) {
+        return Err(CyberHdError::InvalidData(format!(
+            "sample {i} has {} features, expected {features}",
+            bad.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Fused batched prediction against a dense [`AssociativeMemory`].
+///
+/// Returns one class index per row of `batch`; predictions are identical to
+/// calling the serial `encode` → `nearest` pair per sample.
+pub(crate) fn predict_dense(
+    encoder: &AnyEncoder,
+    memory: &AssociativeMemory,
+    batch: &[Vec<f32>],
+) -> Result<Vec<usize>> {
+    check_arity(batch, encoder.input_features())?;
+    let dim = encoder.output_dim();
+    debug_assert_eq!(dim, memory.dim(), "trainer guarantees encoder/memory agreement");
+    let classes = memory.num_classes();
+    let norms = memory.class_norms();
+    let mut predictions = vec![0usize; batch.len()];
+    for_each_chunk(batch.len(), CHUNK_ROWS, &mut predictions, 1, engine_threads(), |chunk, out| {
+        let rows = &batch[chunk.start..chunk.end];
+        let mut matrix = vec![0.0f32; rows.len() * dim];
+        let mut scores = vec![0.0f32; classes];
+        encoder
+            .encode_batch_into(rows, &mut matrix)
+            .expect("batch shape validated before the fan-out");
+        for (local, slot) in out.iter_mut().enumerate() {
+            let query = &matrix[local * dim..(local + 1) * dim];
+            memory
+                .similarities_into(query, &norms, &mut scores)
+                .expect("shapes validated before the fan-out");
+            *slot = argmax(&scores).expect("at least one class").0;
+        }
+    });
+    Ok(predictions)
+}
+
+/// Fused batched prediction against quantized class hypervectors.
+///
+/// Class norms are computed once per batch; at 1 bit the classes are packed
+/// into `u64` words once and each query is scored with whole-word XOR +
+/// popcount instead of a `dim`-element integer dot product.  Given the same
+/// quantization levels, the score formula matches the serial
+/// [`QuantizedHypervector::cosine`] to within one ulp of the f64→f32
+/// rounding; end-to-end parity additionally inherits the encoder-side
+/// contract described in the module docs.
+pub(crate) fn predict_quantized(
+    encoder: &AnyEncoder,
+    classes: &[QuantizedHypervector],
+    width: BitWidth,
+    batch: &[Vec<f32>],
+) -> Result<Vec<usize>> {
+    check_arity(batch, encoder.input_features())?;
+    let dim = encoder.output_dim();
+    let num_classes = classes.len();
+    debug_assert!(num_classes > 0, "quantized models always carry at least one class");
+    debug_assert!(classes.iter().all(|c| c.dim() == dim));
+
+    // Per-batch precomputation: integer class norms, and the packed word
+    // form of every class for the 1-bit kernel.
+    let class_norms: Vec<f64> = classes
+        .iter()
+        .map(|c| c.levels().iter().map(|&l| (l as f64) * (l as f64)).sum::<f64>().sqrt())
+        .collect();
+    let packed: Option<Vec<hdc::BinaryHypervector>> = (width == BitWidth::B1).then(|| {
+        classes.iter().map(|c| binary::BinaryHypervector::from_level_signs(c.levels())).collect()
+    });
+
+    let mut predictions = vec![0usize; batch.len()];
+    for_each_chunk(batch.len(), CHUNK_ROWS, &mut predictions, 1, engine_threads(), |chunk, out| {
+        let rows = &batch[chunk.start..chunk.end];
+        let mut matrix = vec![0.0f32; rows.len() * dim];
+        encoder
+            .encode_batch_into(rows, &mut matrix)
+            .expect("batch shape validated before the fan-out");
+        let mut scores = vec![0.0f32; num_classes];
+        if let Some(packed_classes) = &packed {
+            // Packed-word 1-bit kernel: sign-pack the query once, then
+            // XOR + popcount whole u64 slices per class.
+            let mut query_words = vec![0u64; binary::words_for_dim(dim)];
+            // ±1 levels: every query norm is exactly sqrt(dim).
+            let qn = (dim as f64).sqrt();
+            for (local, slot) in out.iter_mut().enumerate() {
+                let query = &matrix[local * dim..(local + 1) * dim];
+                // An all-zero encoding quantizes to all-zero levels on the
+                // serial path (zero norm → every score 0.0, class 0 wins);
+                // mirror that rather than sign-packing zeros to +1.
+                if query.iter().all(|&v| v == 0.0) {
+                    scores.fill(0.0);
+                } else {
+                    binary::pack_f32_signs_into(query, &mut query_words);
+                    for ((score, class), cn) in
+                        scores.iter_mut().zip(packed_classes).zip(&class_norms)
+                    {
+                        let h = hdc::hamming_distance(&query_words, class.as_words());
+                        let dot = dim as f64 - 2.0 * h as f64;
+                        *score = quantized_cosine(dot, qn, *cn);
+                    }
+                }
+                *slot = argmax(&scores).expect("at least one class").0;
+            }
+        } else {
+            let mut levels = vec![0i32; dim];
+            for (local, slot) in out.iter_mut().enumerate() {
+                let query = &matrix[local * dim..(local + 1) * dim];
+                quantize_into(query, width, &mut levels);
+                let qn = levels.iter().map(|&l| (l as f64) * (l as f64)).sum::<f64>().sqrt();
+                for ((score, class), cn) in scores.iter_mut().zip(classes).zip(&class_norms) {
+                    let dot = levels
+                        .iter()
+                        .zip(class.levels())
+                        .map(|(&a, &b)| a as f64 * b as f64)
+                        .sum::<f64>();
+                    *score = quantized_cosine(dot, qn, *cn);
+                }
+                *slot = argmax(&scores).expect("at least one class").0;
+            }
+        }
+    });
+    Ok(predictions)
+}
+
+/// The cosine convention of [`QuantizedHypervector::cosine`]: zero norms
+/// score `0.0`, everything else is clamped into `[-1, 1]`.
+fn quantized_cosine(dot: f64, qn: f64, cn: f64) -> f32 {
+    if qn == 0.0 || cn == 0.0 {
+        return 0.0;
+    }
+    (dot / (qn * cn)).clamp(-1.0, 1.0) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CyberHdConfig, EncoderKind};
+    use crate::trainer::CyberHdTrainer;
+    use hdc::rng::HdcRng;
+
+    fn toy_problem(seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = HdcRng::seed_from(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..25 {
+                xs.push(
+                    (0..5)
+                        .map(|f| (c as f64 * 0.8 + f as f64 * 0.1 + rng.normal(0.0, 0.1)) as f32)
+                        .collect(),
+                );
+                ys.push(c);
+            }
+        }
+        (xs, ys)
+    }
+
+    fn trained(encoder: EncoderKind) -> (crate::CyberHdModel, Vec<Vec<f32>>) {
+        let (xs, ys) = toy_problem(31);
+        let config = CyberHdConfig::builder(5, 3)
+            .dimension(160)
+            .encoder(encoder)
+            .regeneration_rate(if encoder == EncoderKind::Rbf { 0.1 } else { 0.0 })
+            .retrain_epochs(3)
+            .seed(5)
+            .build()
+            .unwrap();
+        let model = CyberHdTrainer::new(config).unwrap().fit(&xs, &ys).unwrap();
+        (model, xs)
+    }
+
+    #[test]
+    fn fused_dense_predictions_match_the_serial_path() {
+        for kind in [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record] {
+            let (model, xs) = trained(kind);
+            let batched = predict_dense(model.encoder(), model.memory(), &xs).unwrap();
+            for (i, x) in xs.iter().enumerate() {
+                assert_eq!(batched[i], model.predict(x).unwrap(), "{kind:?} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_quantized_predictions_match_the_serial_path() {
+        let (model, xs) = trained(EncoderKind::Rbf);
+        for width in BitWidth::ALL {
+            let deployed = model.quantize(width);
+            let batched =
+                predict_quantized(model.encoder(), deployed.classes(), width, &xs).unwrap();
+            for (i, x) in xs.iter().enumerate() {
+                assert_eq!(batched[i], deployed.predict(x).unwrap(), "{width:?} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_encoding_scores_zero_on_the_packed_path_like_the_serial_path() {
+        // A Record encoder maps the all-zero feature vector to the zero
+        // hypervector; the serial 1-bit path quantizes that to all-zero
+        // levels (every score 0.0 → class 0).  The packed kernel must not
+        // sign-pack zeros into +1 bits instead.
+        let (model, mut xs) = trained(EncoderKind::Record);
+        xs.push(vec![0.0; 5]);
+        let deployed = model.quantize(BitWidth::B1);
+        let batched =
+            predict_quantized(model.encoder(), deployed.classes(), BitWidth::B1, &xs).unwrap();
+        let zero_row = xs.len() - 1;
+        assert_eq!(batched[zero_row], deployed.predict(&xs[zero_row]).unwrap());
+        assert_eq!(batched[zero_row], 0, "all-zero query falls back to class 0");
+    }
+
+    #[test]
+    fn arity_errors_are_reported_before_any_work() {
+        let (model, _) = trained(EncoderKind::Rbf);
+        let bad = vec![vec![0.0f32; 4]];
+        assert!(predict_dense(model.encoder(), model.memory(), &bad).is_err());
+        let deployed = model.quantize(BitWidth::B1);
+        assert!(predict_quantized(model.encoder(), deployed.classes(), BitWidth::B1, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_batches_produce_empty_predictions() {
+        let (model, _) = trained(EncoderKind::Rbf);
+        assert!(predict_dense(model.encoder(), model.memory(), &[]).unwrap().is_empty());
+    }
+}

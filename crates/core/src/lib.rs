@@ -61,6 +61,7 @@
 
 pub mod baseline;
 pub mod config;
+pub(crate) mod inference;
 pub mod model;
 pub mod online;
 pub mod openset;

@@ -77,20 +77,12 @@ impl AnyEncoder {
 
     /// Input feature arity.
     pub fn input_features(&self) -> usize {
-        match self {
-            AnyEncoder::Rbf(e) => e.input_features(),
-            AnyEncoder::IdLevel(e) => e.input_features(),
-            AnyEncoder::Record(e) => e.input_features(),
-        }
+        Encoder::input_features(self)
     }
 
     /// Output hypervector dimensionality.
     pub fn output_dim(&self) -> usize {
-        match self {
-            AnyEncoder::Rbf(e) => e.output_dim(),
-            AnyEncoder::IdLevel(e) => e.output_dim(),
-            AnyEncoder::Record(e) => e.output_dim(),
-        }
+        Encoder::output_dim(self)
     }
 
     /// Mutable access to the RBF encoder, if that is what this is.
@@ -106,6 +98,43 @@ impl AnyEncoder {
         match self {
             AnyEncoder::Rbf(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+/// [`AnyEncoder`] dispatches the whole [`Encoder`] trait to its variant, so
+/// the batched inference engine reaches each encoder's cache-blocked
+/// `encode_batch_into` kernel through the enum without dynamic dispatch.
+impl Encoder for AnyEncoder {
+    fn input_features(&self) -> usize {
+        match self {
+            AnyEncoder::Rbf(e) => e.input_features(),
+            AnyEncoder::IdLevel(e) => e.input_features(),
+            AnyEncoder::Record(e) => e.input_features(),
+        }
+    }
+
+    fn output_dim(&self) -> usize {
+        match self {
+            AnyEncoder::Rbf(e) => e.output_dim(),
+            AnyEncoder::IdLevel(e) => e.output_dim(),
+            AnyEncoder::Record(e) => e.output_dim(),
+        }
+    }
+
+    fn encode_into(&self, features: &[f32], out: &mut [f32]) -> hdc::Result<()> {
+        match self {
+            AnyEncoder::Rbf(e) => e.encode_into(features, out),
+            AnyEncoder::IdLevel(e) => e.encode_into(features, out),
+            AnyEncoder::Record(e) => e.encode_into(features, out),
+        }
+    }
+
+    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> hdc::Result<()> {
+        match self {
+            AnyEncoder::Rbf(e) => e.encode_batch_into(batch, out),
+            AnyEncoder::IdLevel(e) => e.encode_batch_into(batch, out),
+            AnyEncoder::Record(e) => e.encode_batch_into(batch, out),
         }
     }
 }
@@ -230,23 +259,38 @@ impl CyberHdModel {
     /// Predicts the class of one feature vector and returns the cosine
     /// similarity to every class alongside the winner.
     ///
+    /// The winner is derived from the score vector with a single argmax —
+    /// the scores are computed exactly once (this method used to score
+    /// every class twice, once for the vector and once more inside
+    /// `nearest`).
+    ///
     /// # Errors
     ///
     /// Returns an error if `features` does not match the configured arity.
     pub fn predict_with_scores(&self, features: &[f32]) -> Result<(usize, Vec<f32>)> {
         let encoded = self.encoder.encode(features)?;
         let scores = self.memory.similarities(&encoded)?;
-        let (class, _similarity) = self.memory.nearest(&encoded)?;
+        let (class, _similarity) =
+            hdc::argmax(&scores).expect("memory always has at least one class");
         Ok((class, scores))
     }
 
-    /// Predicts the classes of a batch of feature vectors.
+    /// Predicts the classes of a batch of feature vectors on the fused
+    /// batched engine (see [`crate::inference`]): chunked zero-allocation
+    /// encoding, class norms computed once per batch, and chunk fan-out
+    /// across threads behind the `parallel` feature.
+    ///
+    /// Predictions match mapping [`CyberHdModel::predict`] over the batch —
+    /// exactly for the IdLevel/Record encoders, and up to the RBF batch
+    /// kernel's 1e-6 score rounding for RBF models (the winner can differ
+    /// only when the top two class scores are closer than that).
     ///
     /// # Errors
     ///
-    /// Returns the first prediction error encountered.
+    /// Returns [`CyberHdError::InvalidData`] if any sample has the wrong
+    /// feature arity.
     pub fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
-        batch.iter().map(|f| self.predict(f)).collect()
+        crate::inference::predict_dense(&self.encoder, &self.memory, batch)
     }
 
     /// Evaluates the model on labelled data, returning the confusion matrix.

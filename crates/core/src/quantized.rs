@@ -57,11 +57,7 @@ pub struct StorageSummary {
 impl QuantizedModel {
     /// Quantizes a trained model's class hypervectors at `width`.
     pub fn from_model(model: &CyberHdModel, width: BitWidth) -> Self {
-        Self {
-            encoder: model.encoder.clone(),
-            classes: model.memory.quantized(width),
-            width,
-        }
+        Self { encoder: model.encoder.clone(), classes: model.memory.quantized(width), width }
     }
 
     /// Element bitwidth of the stored class hypervectors.
@@ -131,13 +127,24 @@ impl QuantizedModel {
         Ok(best)
     }
 
-    /// Predicts the classes of a batch of feature vectors.
+    /// Predicts the classes of a batch of feature vectors on the fused
+    /// batched engine (see [`crate::inference`]).
+    ///
+    /// Class norms are computed once per batch instead of once per
+    /// query×class, and the 1-bit deployment path scores packed `u64` word
+    /// slices with XOR + popcount.  Predictions match mapping
+    /// [`QuantizedModel::predict`] over the batch — exactly for
+    /// IdLevel/Record-encoded models; for RBF models the batched encoding
+    /// feeding the quantizer carries the RBF batch kernel's ~1e-6 rounding,
+    /// so winners can differ only when a level boundary or class tie falls
+    /// inside that margin.
     ///
     /// # Errors
     ///
-    /// Returns the first prediction error encountered.
+    /// Returns [`CyberHdError::InvalidData`] if any sample has the wrong
+    /// feature arity.
     pub fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
-        batch.iter().map(|f| self.predict(f)).collect()
+        crate::inference::predict_quantized(&self.encoder, &self.classes, self.width, batch)
     }
 
     /// Evaluates the quantized model on labelled data.

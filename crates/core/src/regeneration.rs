@@ -73,10 +73,7 @@ pub fn select_lowest_variance(variances: &[f32], count: usize) -> Vec<usize> {
     let count = count.min(variances.len());
     let mut indices: Vec<usize> = (0..variances.len()).collect();
     indices.sort_by(|&a, &b| {
-        variances[a]
-            .partial_cmp(&variances[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        variances[a].partial_cmp(&variances[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     indices.truncate(count);
     indices

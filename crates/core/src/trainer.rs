@@ -25,8 +25,63 @@ use crate::config::CyberHdConfig;
 use crate::model::{AnyEncoder, CyberHdModel, TrainingReport};
 use crate::regeneration::{RegenerationPlan, RegenerationStats};
 use crate::{validate_dataset, CyberHdError, Result};
+use hdc::encoder::Encoder;
 use hdc::rng::HdcRng;
+use hdc::similarity;
 use hdc::{AssociativeMemory, Hypervector};
+
+/// The trainer's cache of encoded samples: one row-major `samples × dim`
+/// matrix instead of one `Hypervector` allocation per sample.
+///
+/// Rows are handed to the adaptive update as plain slices, and dimension
+/// regeneration patches single coordinates in place.
+#[derive(Debug, Clone)]
+pub(crate) struct EncodedMatrix {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl EncodedMatrix {
+    /// Encodes `features` through the batched engine: chunked over
+    /// [`crate::inference::CHUNK_ROWS`]-row tiles, each tile written by the
+    /// encoder's cache-blocked batch kernel, fanned out across at most
+    /// `threads` workers.
+    fn encode(encoder: &AnyEncoder, features: &[Vec<f32>], threads: usize) -> Result<Self> {
+        let dim = encoder.output_dim();
+        if let Some(bad) = features.iter().find(|f| f.len() != encoder.input_features()) {
+            return Err(CyberHdError::Hdc(hdc::HdcError::FeatureMismatch {
+                expected: encoder.input_features(),
+                actual: bad.len(),
+            }));
+        }
+        let mut data = vec![0.0f32; features.len() * dim];
+        hdc::parallel::for_each_chunk(
+            features.len(),
+            crate::inference::CHUNK_ROWS,
+            &mut data,
+            dim,
+            threads.max(1),
+            |chunk, tile| {
+                encoder
+                    .encode_batch_into(&features[chunk.start..chunk.end], tile)
+                    .expect("shapes validated before the fan-out");
+            },
+        );
+        Ok(Self { data, dim })
+    }
+
+    fn rows(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn patch(&mut self, i: usize, d: usize, value: f32) {
+        self.data[i * self.dim + d] = value;
+    }
+}
 
 /// Trains [`CyberHdModel`]s from labelled feature vectors.
 ///
@@ -64,14 +119,27 @@ impl CyberHdTrainer {
         validate_dataset(features, labels, config.input_features, config.num_classes)?;
 
         let mut encoder = AnyEncoder::from_config(config)?;
-        let mut encoded = encode_batch_parallel(&encoder, features, config.encode_threads)?;
+        let mut encoded = EncodedMatrix::encode(&encoder, features, config.encode_threads)?;
         let mut memory = AssociativeMemory::new(config.num_classes, config.dimension)?;
         let mut rng = HdcRng::seed_from(config.seed ^ 0xA5A5_A5A5_DEAD_BEEF);
         let mut stats = RegenerationStats::new();
         let mut epoch_accuracy = Vec::with_capacity(config.retrain_epochs + 1);
 
+        // Per-epoch scoring state of the batched engine: class norms are
+        // maintained incrementally (only the two classes touched by a
+        // mispredict are re-normed) and one scratch score vector is reused
+        // for every sample, instead of a fresh allocation plus a full
+        // norm recomputation per sample.
+        let mut scorer = EpochScorer::new(&memory);
+
         // Initial adaptive pass over the data in its natural order.
-        let initial_correct = adaptive_epoch(&mut memory, &encoded, labels, config.learning_rate);
+        let initial_correct = scorer.adaptive_epoch_ordered(
+            &mut memory,
+            &encoded,
+            labels,
+            None,
+            config.learning_rate,
+        );
         epoch_accuracy.push(initial_correct as f64 / labels.len() as f64);
 
         for epoch in 0..config.retrain_epochs {
@@ -83,16 +151,19 @@ impl CyberHdTrainer {
                 if plan.drop_count() > 0 {
                     apply_regeneration(&mut encoder, &mut memory, &mut encoded, features, &plan)?;
                     stats.record_round(&plan);
+                    // Zeroed dimensions invalidate every cached class norm.
+                    scorer.refresh(&memory);
                 }
             }
 
-            let order = rng.permutation(encoded.len());
-            let mut correct = 0usize;
-            for &i in &order {
-                if adaptive_update(&mut memory, &encoded[i], labels[i], config.learning_rate) {
-                    correct += 1;
-                }
-            }
+            let order = rng.permutation(encoded.rows());
+            let correct = scorer.adaptive_epoch_ordered(
+                &mut memory,
+                &encoded,
+                labels,
+                Some(&order),
+                config.learning_rate,
+            );
             epoch_accuracy.push(correct as f64 / labels.len() as f64);
         }
 
@@ -106,57 +177,111 @@ impl CyberHdTrainer {
     }
 }
 
+/// Reusable scoring state for the trainer's per-epoch loop: cached class
+/// norms plus one scratch score vector.
+///
+/// The adaptive update is order-dependent (each mispredict changes the
+/// model the next sample is scored against), so the epoch itself stays
+/// serial; the batching win here is eliminating the per-sample allocation
+/// and the per-sample recomputation of every class norm that
+/// `AssociativeMemory::similarities` performs.
+pub(crate) struct EpochScorer {
+    class_norms: Vec<f32>,
+    scores: Vec<f32>,
+}
+
+impl EpochScorer {
+    pub(crate) fn new(memory: &AssociativeMemory) -> Self {
+        Self { class_norms: memory.class_norms(), scores: vec![0.0; memory.num_classes()] }
+    }
+
+    /// Recomputes every cached class norm (after regeneration zeroed
+    /// dimensions behind the cache's back).
+    pub(crate) fn refresh(&mut self, memory: &AssociativeMemory) {
+        self.class_norms = memory.class_norms();
+    }
+
+    /// Runs one adaptive epoch visiting samples in `order` (or natural
+    /// order), returning how many were already classified correctly.
+    fn adaptive_epoch_ordered(
+        &mut self,
+        memory: &mut AssociativeMemory,
+        encoded: &EncodedMatrix,
+        labels: &[usize],
+        order: Option<&[usize]>,
+        learning_rate: f32,
+    ) -> usize {
+        let mut correct = 0usize;
+        let mut visit = |i: usize| {
+            if self.adaptive_update_slice(memory, encoded.row(i), labels[i], learning_rate) {
+                correct += 1;
+            }
+        };
+        match order {
+            Some(order) => order.iter().copied().for_each(&mut visit),
+            None => (0..encoded.rows()).for_each(&mut visit),
+        }
+        correct
+    }
+
+    /// One adaptive update against a raw encoded row, reusing the cached
+    /// class norms and scratch scores.
+    ///
+    /// Returns `true` if the sample was already classified correctly (in
+    /// which case the model is left untouched, matching the paper's
+    /// mispredict-driven update rule).
+    pub(crate) fn adaptive_update_slice(
+        &mut self,
+        memory: &mut AssociativeMemory,
+        encoded: &[f32],
+        label: usize,
+        learning_rate: f32,
+    ) -> bool {
+        memory
+            .similarities_into(encoded, &self.class_norms, &mut self.scores)
+            .expect("encoded sample dimensionality is validated before training");
+        let (predicted, _) =
+            similarity::argmax(&self.scores).expect("memory always has at least one class");
+        if predicted == label {
+            return true;
+        }
+        // Pull the true class towards the sample, push the confused class
+        // away, both scaled by how *novel* the sample is to that class
+        // (1 - δ).
+        let pull = learning_rate * (1.0 - self.scores[label]);
+        let push = learning_rate * (1.0 - self.scores[predicted]);
+        memory
+            .add_scaled_slice(label, encoded, pull)
+            .expect("label index validated before training");
+        memory
+            .add_scaled_slice(predicted, encoded, -push)
+            .expect("predicted index comes from the memory itself");
+        // Only the two touched classes changed; re-norm exactly those.
+        for class in [label, predicted] {
+            self.class_norms[class] =
+                similarity::norm(memory.class(class).expect("index in range").as_slice());
+        }
+        false
+    }
+}
+
 /// Performs one adaptive update for a single encoded sample.
 ///
 /// Returns `true` if the sample was already classified correctly (in which
 /// case the model is left untouched, matching the paper's mispredict-driven
 /// update rule).
+///
+/// This is the single-sample convenience form used by the streaming
+/// [`crate::OnlineLearner`]; the trainer's epoch loop goes through
+/// [`EpochScorer`], which amortizes the class-norm computation this wrapper
+/// re-derives per call.
 pub(crate) fn adaptive_update(
     memory: &mut AssociativeMemory,
     encoded: &Hypervector,
     label: usize,
     learning_rate: f32,
 ) -> bool {
-    let sims = memory
-        .similarities(encoded)
-        .expect("encoded sample dimensionality is validated before training");
-    let mut predicted = 0usize;
-    let mut best = f32::NEG_INFINITY;
-    for (k, &s) in sims.iter().enumerate() {
-        if s > best {
-            best = s;
-            predicted = k;
-        }
-    }
-    if predicted == label {
-        return true;
-    }
-    // Pull the true class towards the sample, push the confused class away,
-    // both scaled by how *novel* the sample is to that class (1 - δ).
-    let pull = learning_rate * (1.0 - sims[label]);
-    let push = learning_rate * (1.0 - sims[predicted]);
-    memory
-        .add_scaled(label, encoded, pull)
-        .expect("label index validated before training");
-    memory
-        .add_scaled(predicted, encoded, -push)
-        .expect("predicted index comes from the memory itself");
-    false
-}
-
-/// Runs one adaptive epoch in natural order, returning the number of samples
-/// that were already classified correctly.
-pub(crate) fn adaptive_epoch(
-    memory: &mut AssociativeMemory,
-    encoded: &[Hypervector],
-    labels: &[usize],
-    learning_rate: f32,
-) -> usize {
-    encoded
-        .iter()
-        .zip(labels)
-        .filter(|(h, &l)| adaptive_update(memory, h, l, learning_rate))
-        .count()
+    EpochScorer::new(memory).adaptive_update_slice(memory, encoded.as_slice(), label, learning_rate)
 }
 
 /// Applies one regeneration plan: zero the dropped dimensions in the model,
@@ -164,65 +289,24 @@ pub(crate) fn adaptive_epoch(
 fn apply_regeneration(
     encoder: &mut AnyEncoder,
     memory: &mut AssociativeMemory,
-    encoded: &mut [Hypervector],
+    encoded: &mut EncodedMatrix,
     features: &[Vec<f32>],
     plan: &RegenerationPlan,
 ) -> Result<()> {
     let rbf = encoder.as_rbf_mut().ok_or_else(|| {
-        CyberHdError::InvalidConfig(
-            "dimension regeneration requires the RBF encoder".into(),
-        )
+        CyberHdError::InvalidConfig("dimension regeneration requires the RBF encoder".into())
     })?;
     for &d in &plan.drop {
         memory.zero_dimension(d)?;
         rbf.regenerate_dimension(d)?;
     }
     // Patch only the regenerated coordinates of the cached encodings.
-    for (sample, hv) in features.iter().zip(encoded.iter_mut()) {
+    for (i, sample) in features.iter().enumerate() {
         for &d in &plan.drop {
-            hv[d] = rbf.encode_dimension(sample, d)?;
+            encoded.patch(i, d, rbf.encode_dimension(sample, d)?);
         }
     }
     Ok(())
-}
-
-/// Encodes a batch of feature vectors, splitting the work across `threads`
-/// crossbeam scoped workers.
-///
-/// # Errors
-///
-/// Returns the first encoding error encountered by any worker.
-pub(crate) fn encode_batch_parallel(
-    encoder: &AnyEncoder,
-    features: &[Vec<f32>],
-    threads: usize,
-) -> Result<Vec<Hypervector>> {
-    let threads = threads.max(1);
-    if threads == 1 || features.len() < threads * 4 {
-        return features.iter().map(|f| encoder.encode(f)).collect();
-    }
-    let chunk_size = features.len().div_ceil(threads);
-    let chunks: Vec<&[Vec<f32>]> = features.chunks(chunk_size).collect();
-    let results: Vec<Result<Vec<Hypervector>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk.iter().map(|f| encoder.encode(f)).collect::<Result<Vec<_>>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("encoder worker panicked"))
-            .collect()
-    });
-
-    let mut out = Vec::with_capacity(features.len());
-    for chunk_result in results {
-        out.extend(chunk_result?);
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -240,9 +324,8 @@ mod tests {
         seed: u64,
     ) -> (Vec<Vec<f32>>, Vec<usize>) {
         let mut rng = HdcRng::seed_from(seed);
-        let centers: Vec<Vec<f64>> = (0..classes)
-            .map(|_| (0..features).map(|_| rng.uniform(-1.0, 1.0)).collect())
-            .collect();
+        let centers: Vec<Vec<f64>> =
+            (0..classes).map(|_| (0..features).map(|_| rng.uniform(-1.0, 1.0)).collect()).collect();
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for (c, center) in centers.iter().enumerate() {
@@ -338,9 +421,19 @@ mod tests {
         let (xs, _) = blobs(2, 40, 7, 0.2, 8);
         let config = base_config(7, 2);
         let encoder = AnyEncoder::from_config(&config).unwrap();
-        let sequential = encode_batch_parallel(&encoder, &xs, 1).unwrap();
-        let parallel = encode_batch_parallel(&encoder, &xs, 4).unwrap();
-        assert_eq!(sequential, parallel);
+        let sequential = EncodedMatrix::encode(&encoder, &xs, 1).unwrap();
+        let parallel = EncodedMatrix::encode(&encoder, &xs, 4).unwrap();
+        assert_eq!(sequential.data, parallel.data);
+        // The matrix rows are the per-sample encodings (up to the batched
+        // kernel's float-rounding difference from the serial path).
+        for (i, x) in xs.iter().enumerate() {
+            let reference = encoder.encode(x).unwrap();
+            for (a, b) in sequential.row(i).iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 5e-6, "sample {i}: {a} vs {b}");
+            }
+        }
+        // Arity errors surface before the fan-out.
+        assert!(EncodedMatrix::encode(&encoder, &[vec![0.0; 3]], 2).is_err());
     }
 
     #[test]

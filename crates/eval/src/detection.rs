@@ -164,7 +164,9 @@ impl RocCurve {
             });
         }
         if scores.is_empty() {
-            return Err(EvalError::InvalidArgument("cannot build a ROC curve from zero samples".into()));
+            return Err(EvalError::InvalidArgument(
+                "cannot build a ROC curve from zero samples".into(),
+            ));
         }
         if scores.iter().any(|s| !s.is_finite()) {
             return Err(EvalError::InvalidArgument("scores must be finite".into()));

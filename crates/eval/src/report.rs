@@ -65,10 +65,7 @@ impl Table {
     }
 
     fn column_widths(&self) -> Vec<usize> {
-        let columns = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let columns = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -165,11 +162,7 @@ pub fn series_table(title_column: &str, labels: &[String], series: &[Series]) ->
     for s in series {
         let mut row = vec![s.name.clone()];
         for label in labels {
-            row.push(
-                s.value_at(label)
-                    .map(|v| format!("{v:.4}"))
-                    .unwrap_or_default(),
-            );
+            row.push(s.value_at(label).map(|v| format!("{v:.4}")).unwrap_or_default());
         }
         table.add_row(row);
     }

@@ -66,6 +66,24 @@ impl ThroughputReport {
         Self { seconds: duration.as_secs_f64(), samples }
     }
 
+    /// Times one batched phase over `samples` inputs and returns its result
+    /// together with the report — the one-line form every experiment
+    /// harness uses around the batched inference engine.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use eval::ThroughputReport;
+    ///
+    /// let (sum, report) = ThroughputReport::measure(1000, || (0..1000u64).sum::<u64>());
+    /// assert!(sum > 0);
+    /// assert_eq!(report.samples, 1000);
+    /// ```
+    pub fn measure<T>(samples: usize, f: impl FnOnce() -> T) -> (T, Self) {
+        let (result, duration) = Stopwatch::time(f);
+        (result, Self::new(duration, samples))
+    }
+
     /// Samples processed per second; `0.0` when no time elapsed.
     pub fn samples_per_second(&self) -> f64 {
         if self.seconds <= 0.0 {

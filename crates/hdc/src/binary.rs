@@ -52,13 +52,16 @@ impl BinaryHypervector {
     }
 
     /// Creates a uniformly random binary hypervector.
+    ///
+    /// Fills whole `u64` words directly from the RNG — 64 bits per draw
+    /// instead of the one-bit-per-draw Bernoulli loop this method used to
+    /// run — and masks the tail word so bits beyond `dim` stay zero.
     pub fn random(dim: usize, rng: &mut HdcRng) -> Self {
         let mut out = Self::zeros(dim);
-        for i in 0..dim {
-            if rng.bernoulli(0.5) {
-                out.set(i, true);
-            }
+        for word in &mut out.words {
+            *word = rng.next_word();
         }
+        out.mask_tail();
         out
     }
 
@@ -186,12 +189,7 @@ impl BinaryHypervector {
     /// dimensionality.
     pub fn hamming_distance(&self, other: &Self) -> Result<usize> {
         self.check_dim(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum())
     }
 
     /// Normalized Hamming similarity in `[-1, 1]`:
@@ -209,6 +207,15 @@ impl BinaryHypervector {
         }
         let h = self.hamming_distance(other)? as f32;
         Ok(1.0 - 2.0 * h / self.dim as f32)
+    }
+
+    /// Builds a binary hypervector from the signs of integer quantization
+    /// levels (`level >= 0` becomes a set bit), the packed form of a 1-bit
+    /// [`crate::QuantizedHypervector`]'s level vector.
+    pub fn from_level_signs(levels: &[i32]) -> Self {
+        let mut out = Self::zeros(levels.len());
+        pack_signs_into(levels.iter().map(|&l| l >= 0), &mut out.words);
+        out
     }
 
     /// Majority bundling of many binary hypervectors.
@@ -253,6 +260,64 @@ impl BinaryHypervector {
         }
         Ok(out)
     }
+}
+
+/// Packs a stream of sign bits into `u64` words (bit `i` of the stream goes
+/// to word `i / 64`, position `i % 64`; trailing bits of the last word are
+/// left zero).
+///
+/// This is the shared packing primitive of the 1-bit inference path: both
+/// quantized class hypervectors and freshly encoded dense queries are packed
+/// through it, after which similarity reduces to whole-word XOR + popcount
+/// (see [`crate::similarity::hamming_distance`]).
+///
+/// # Panics
+///
+/// Panics (via `debug_assert`) if `words` is shorter than the stream needs;
+/// callers size the buffer with [`words_for_dim`].
+pub fn pack_signs_into(bits: impl IntoIterator<Item = bool>, words: &mut [u64]) {
+    words.fill(0);
+    let mut word = 0usize;
+    let mut pos = 0u32;
+    for bit in bits {
+        debug_assert!(word < words.len(), "sign stream longer than the word buffer");
+        words[word] |= (bit as u64) << pos;
+        pos += 1;
+        if pos == WORD_BITS as u32 {
+            pos = 0;
+            word += 1;
+        }
+    }
+}
+
+/// Packs the signs of a float slice (`v >= 0.0` sets the bit) into `u64`
+/// words — the hot-path specialization of [`pack_signs_into`] the 1-bit
+/// inference kernel calls per encoded query.
+///
+/// Whole 64-element chunks run a branchless shift-or reduction with no
+/// per-bit bookkeeping; the tail falls back to the generic path.
+///
+/// # Panics
+///
+/// Panics if `words` is shorter than [`words_for_dim`]`(values.len())`.
+pub fn pack_f32_signs_into(values: &[f32], words: &mut [u64]) {
+    assert!(words.len() >= words_for_dim(values.len()), "word buffer too short");
+    let mut chunks = values.chunks_exact(WORD_BITS);
+    let mut w = 0usize;
+    for chunk in &mut chunks {
+        let mut word = 0u64;
+        for (i, &v) in chunk.iter().enumerate() {
+            word |= ((v >= 0.0) as u64) << i;
+        }
+        words[w] = word;
+        w += 1;
+    }
+    pack_signs_into(chunks.remainder().iter().map(|&v| v >= 0.0), &mut words[w..]);
+}
+
+/// Number of `u64` words needed to pack `dim` bits.
+pub fn words_for_dim(dim: usize) -> usize {
+    dim.div_ceil(WORD_BITS)
 }
 
 #[cfg(test)]
@@ -366,10 +431,7 @@ mod tests {
 
     #[test]
     fn majority_of_empty_set_is_error() {
-        assert!(matches!(
-            BinaryHypervector::majority(&[], 0),
-            Err(HdcError::InvalidArgument(_))
-        ));
+        assert!(matches!(BinaryHypervector::majority(&[], 0), Err(HdcError::InvalidArgument(_))));
     }
 
     #[test]
@@ -384,6 +446,49 @@ mod tests {
             member_sim > outsider_sim + 0.1,
             "member {member_sim} should be far more similar than outsider {outsider_sim}"
         );
+    }
+
+    #[test]
+    fn from_level_signs_matches_from_dense_convention() {
+        let levels = [3, -1, 0, -7, 1];
+        let packed = BinaryHypervector::from_level_signs(&levels);
+        let dense = Hypervector::from_vec(vec![3.0, -1.0, 0.0, -7.0, 1.0]);
+        assert_eq!(packed, BinaryHypervector::from_dense(&dense));
+    }
+
+    #[test]
+    fn pack_signs_into_places_bits_and_clears_stale_words() {
+        let mut words = [u64::MAX; 2];
+        pack_signs_into((0..70).map(|i| i % 3 == 0), &mut words);
+        let mut expected = BinaryHypervector::zeros(70);
+        for i in (0..70).step_by(3) {
+            expected.set(i, true);
+        }
+        assert_eq!(&words, expected.as_words());
+        assert_eq!(words_for_dim(70), 2);
+        assert_eq!(words_for_dim(64), 1);
+        assert_eq!(words_for_dim(0), 0);
+    }
+
+    #[test]
+    fn f32_sign_packing_matches_the_generic_path() {
+        let mut r = rng(31);
+        for len in [0usize, 1, 63, 64, 65, 128, 200] {
+            let values: Vec<f32> = (0..len).map(|_| r.standard_normal() as f32).collect();
+            let mut fast = vec![u64::MAX; words_for_dim(len)];
+            let mut reference = vec![u64::MAX; words_for_dim(len)];
+            pack_f32_signs_into(&values, &mut fast);
+            pack_signs_into(values.iter().map(|&v| v >= 0.0), &mut reference);
+            assert_eq!(fast, reference, "len {len}");
+        }
+    }
+
+    #[test]
+    fn word_filled_random_respects_the_tail_mask() {
+        let v = BinaryHypervector::random(70, &mut rng(9));
+        // Bits beyond dim stay zero even though whole words were drawn.
+        let tail = v.as_words()[1] >> (70 % 64);
+        assert_eq!(tail, 0);
     }
 
     #[test]

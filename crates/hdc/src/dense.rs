@@ -64,8 +64,8 @@ impl Hypervector {
     }
 
     /// Builds a hypervector by evaluating `f` at every dimension index.
-    pub fn from_fn(dim: usize, mut f: impl FnMut(usize) -> f32) -> Self {
-        Self { values: (0..dim).map(|i| f(i)).collect() }
+    pub fn from_fn(dim: usize, f: impl FnMut(usize) -> f32) -> Self {
+        Self { values: (0..dim).map(f).collect() }
     }
 
     /// Dimensionality (number of elements).
@@ -122,9 +122,7 @@ impl Hypervector {
     /// dimensionality.
     pub fn bundle(&self, other: &Self) -> Result<Self> {
         self.check_dim(other)?;
-        Ok(Self::from_vec(
-            self.values.iter().zip(&other.values).map(|(a, b)| a + b).collect(),
-        ))
+        Ok(Self::from_vec(self.values.iter().zip(&other.values).map(|(a, b)| a + b).collect()))
     }
 
     /// Bundles `other` into `self` in place, scaled by `weight`.
@@ -155,9 +153,7 @@ impl Hypervector {
     /// dimensionality.
     pub fn bind(&self, other: &Self) -> Result<Self> {
         self.check_dim(other)?;
-        Ok(Self::from_vec(
-            self.values.iter().zip(&other.values).map(|(a, b)| a * b).collect(),
-        ))
+        Ok(Self::from_vec(self.values.iter().zip(&other.values).map(|(a, b)| a * b).collect()))
     }
 
     /// Cyclically permutes (rotates) the hypervector by `shift` positions.
@@ -261,10 +257,7 @@ impl Hypervector {
     /// Returns [`HdcError::IndexOutOfRange`] if `index >= dim()`.
     pub fn zero_dimension(&mut self, index: usize) -> Result<()> {
         let d = self.dim();
-        let v = self
-            .values
-            .get_mut(index)
-            .ok_or(HdcError::IndexOutOfRange { index, bound: d })?;
+        let v = self.values.get_mut(index).ok_or(HdcError::IndexOutOfRange { index, bound: d })?;
         *v = 0.0;
         Ok(())
     }
@@ -446,10 +439,7 @@ mod tests {
     fn bundle_dimension_mismatch_is_error() {
         let a = Hypervector::zeros(4);
         let b = Hypervector::zeros(5);
-        assert_eq!(
-            a.bundle(&b),
-            Err(HdcError::DimensionMismatch { expected: 4, actual: 5 })
-        );
+        assert_eq!(a.bundle(&b), Err(HdcError::DimensionMismatch { expected: 4, actual: 5 }));
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //! orthogonality).  This encoder has no regeneration capability — it is one
 //! of the "pre-generated, static" encoders the paper contrasts CyberHD with.
 
-use crate::dense::Hypervector;
 use crate::encoder::Encoder;
 use crate::rng::HdcRng;
 use crate::{HdcError, Result};
@@ -150,14 +149,17 @@ impl Encoder for IdLevelEncoder {
         self.dim
     }
 
-    fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+    fn encode_into(&self, features: &[f32], out: &mut [f32]) -> Result<()> {
         if features.len() != self.features {
             return Err(HdcError::FeatureMismatch {
                 expected: self.features,
                 actual: features.len(),
             });
         }
-        let mut out = vec![0.0f32; self.dim];
+        if out.len() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: out.len() });
+        }
+        out.fill(0.0);
         for (f, &value) in features.iter().enumerate() {
             let level = self.level_of(value);
             let id = self.id_row(f);
@@ -166,7 +168,7 @@ impl Encoder for IdLevelEncoder {
                 out[d] += id[d] * lvl[d];
             }
         }
-        Ok(Hypervector::from_vec(out))
+        Ok(())
     }
 }
 

@@ -27,12 +27,17 @@ pub use rbf::RbfEncoder;
 pub use record::RecordEncoder;
 
 use crate::dense::Hypervector;
-use crate::Result;
+use crate::{HdcError, Result};
 
 /// A mapping from feature vectors to hypervectors.
 ///
 /// Implementations must be deterministic: encoding the same features twice
 /// (without regeneration in between) yields the same hypervector.
+///
+/// The primitive operation is [`Encoder::encode_into`], which writes into a
+/// caller-provided buffer; [`Encoder::encode`] and the batch entry points
+/// are layered on top of it, so the hot batched path performs **zero
+/// per-sample allocations**.
 pub trait Encoder: Send + Sync {
     /// Number of input features expected by [`Encoder::encode`].
     fn input_features(&self) -> usize;
@@ -40,25 +45,88 @@ pub trait Encoder: Send + Sync {
     /// Dimensionality of the produced hypervectors.
     fn output_dim(&self) -> usize;
 
-    /// Encodes one feature vector into a hypervector.
+    /// Encodes one feature vector into the caller-provided buffer `out`
+    /// (length [`Encoder::output_dim`]), allocating nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HdcError::FeatureMismatch`] if `features.len()` does
+    /// not match [`Encoder::input_features`] and
+    /// [`crate::HdcError::DimensionMismatch`] if `out.len()` does not match
+    /// [`Encoder::output_dim`].
+    fn encode_into(&self, features: &[f32], out: &mut [f32]) -> Result<()>;
+
+    /// Encodes one feature vector into a freshly allocated hypervector.
     ///
     /// # Errors
     ///
     /// Returns [`crate::HdcError::FeatureMismatch`] if `features.len()` does
     /// not match [`Encoder::input_features`].
-    fn encode(&self, features: &[f32]) -> Result<Hypervector>;
+    fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+        let mut out = vec![0.0f32; self.output_dim()];
+        self.encode_into(features, &mut out)?;
+        Ok(Hypervector::from_vec(out))
+    }
+
+    /// Encodes a batch of feature vectors into a row-major `samples × dim`
+    /// matrix (`out.len() == batch.len() * output_dim()`), with zero
+    /// per-sample allocation.
+    ///
+    /// The default implementation maps [`Encoder::encode_into`] over the
+    /// rows; encoders with a cache-blocked batched kernel override it (the
+    /// overrides must produce bit-identical outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HdcError::DimensionMismatch`] if `out` has the wrong
+    /// length and [`crate::HdcError::FeatureMismatch`] on the first row with
+    /// the wrong arity.
+    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+        let dim = self.output_dim();
+        check_batch_shape(self.input_features(), dim, batch, out)?;
+        for (features, row) in batch.iter().zip(out.chunks_exact_mut(dim)) {
+            self.encode_into(features, row)?;
+        }
+        Ok(())
+    }
 
     /// Encodes a batch of feature vectors.
     ///
-    /// The default implementation simply maps [`Encoder::encode`] over the
-    /// batch; encoders with a cheaper batched path may override it.
+    /// One allocation for the whole batch; see [`Encoder::encode_batch_into`]
+    /// for the allocation-free form.
     ///
     /// # Errors
     ///
     /// Returns the first encoding error encountered.
     fn encode_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<Hypervector>> {
-        batch.iter().map(|f| self.encode(f)).collect()
+        let dim = self.output_dim();
+        let mut matrix = vec![0.0f32; batch.len() * dim];
+        self.encode_batch_into(batch, &mut matrix)?;
+        Ok(matrix.chunks_exact(dim).map(|row| Hypervector::from_vec(row.to_vec())).collect())
     }
+}
+
+/// Validates the shapes of a batch-encoding call: every row of `batch` has
+/// `features` entries and `out` holds exactly `batch.len() * dim` elements.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] / [`HdcError::FeatureMismatch`]
+/// accordingly; encoders call this before entering their (infallible)
+/// batched kernels.
+pub(crate) fn check_batch_shape(
+    features: usize,
+    dim: usize,
+    batch: &[Vec<f32>],
+    out: &[f32],
+) -> Result<()> {
+    if out.len() != batch.len() * dim {
+        return Err(HdcError::DimensionMismatch { expected: batch.len() * dim, actual: out.len() });
+    }
+    if let Some(bad) = batch.iter().find(|row| row.len() != features) {
+        return Err(HdcError::FeatureMismatch { expected: features, actual: bad.len() });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -74,11 +142,72 @@ mod tests {
 
     #[test]
     fn default_batch_encoding_matches_single_encoding() {
-        let e = RbfEncoder::new(2, 32, 1).unwrap();
-        let batch = vec![vec![0.1, 0.2], vec![-0.5, 0.9]];
+        // IdLevel uses the default row-by-row batch path: exact equality.
+        let e = IdLevelEncoder::new(2, 32, 8, 1).unwrap();
+        let batch = vec![vec![0.1, 0.2], vec![0.5, 0.9]];
         let encoded = e.encode_batch(&batch).unwrap();
         assert_eq!(encoded.len(), 2);
         assert_eq!(encoded[0], e.encode(&batch[0]).unwrap());
         assert_eq!(encoded[1], e.encode(&batch[1]).unwrap());
+
+        // The RBF override trades bit-identity for the tiled kernel:
+        // agreement to float rounding.
+        let e = RbfEncoder::new(2, 32, 1).unwrap();
+        let batch = vec![vec![0.1, 0.2], vec![-0.5, 0.9]];
+        let encoded = e.encode_batch(&batch).unwrap();
+        for (row, features) in encoded.iter().zip(&batch) {
+            let reference = e.encode(features).unwrap();
+            for (a, b) in row.iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 5e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_every_encoder() {
+        let encoders: Vec<Box<dyn Encoder>> = vec![
+            Box::new(RbfEncoder::new(3, 64, 2).unwrap()),
+            Box::new(IdLevelEncoder::new(3, 64, 8, 2).unwrap()),
+            Box::new(RecordEncoder::new(3, 64, 2).unwrap()),
+        ];
+        let x = [0.25, -0.5, 0.75];
+        for e in &encoders {
+            let fresh = e.encode(&x).unwrap();
+            let mut buf = vec![f32::NAN; 64];
+            e.encode_into(&x, &mut buf).unwrap();
+            assert_eq!(buf.as_slice(), fresh.as_slice());
+        }
+    }
+
+    #[test]
+    fn encode_into_validates_both_shapes() {
+        let e = RbfEncoder::new(3, 16, 0).unwrap();
+        let mut buf = vec![0.0f32; 16];
+        assert!(matches!(
+            e.encode_into(&[1.0], &mut buf),
+            Err(crate::HdcError::FeatureMismatch { .. })
+        ));
+        let mut short = vec![0.0f32; 15];
+        assert!(matches!(
+            e.encode_into(&[1.0, 2.0, 3.0], &mut short),
+            Err(crate::HdcError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_batch_into_writes_the_row_major_matrix() {
+        let e = RecordEncoder::new(2, 8, 5).unwrap();
+        let batch = vec![vec![0.5, -1.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let mut matrix = vec![f32::NAN; 3 * 8];
+        e.encode_batch_into(&batch, &mut matrix).unwrap();
+        for (i, row) in matrix.chunks_exact(8).enumerate() {
+            assert_eq!(row, e.encode(&batch[i]).unwrap().as_slice());
+        }
+        // Shape validation happens before any work.
+        let mut wrong = vec![0.0f32; 5];
+        assert!(e.encode_batch_into(&batch, &mut wrong).is_err());
+        let ragged = vec![vec![0.5, -1.0], vec![1.0]];
+        let mut buf = vec![0.0f32; 2 * 8];
+        assert!(e.encode_batch_into(&ragged, &mut buf).is_err());
     }
 }

@@ -15,7 +15,6 @@
 //! replacing its `(b_d, φ_d)` pair with a fresh Gaussian/uniform draw — which
 //! is precisely step (H) of CyberHD.
 
-use crate::dense::Hypervector;
 use crate::encoder::Encoder;
 use crate::rng::HdcRng;
 use crate::{HdcError, Result};
@@ -43,6 +42,13 @@ use serde::{Deserialize, Serialize};
 pub struct RbfEncoder {
     /// Row-major base matrix: `dim` rows of `features` Gaussian entries.
     bases: Vec<f32>,
+    /// Feature-major transpose of `bases` (`features` rows of `dim`
+    /// entries), kept in sync on regeneration.  The batched kernel
+    /// accumulates projections *vertically* across output dimensions, which
+    /// turns the inner loop into a pure element-wise FMA the
+    /// auto-vectorizer handles far better than the horizontal dot
+    /// reductions of the per-sample path.
+    bases_t: Vec<f32>,
     /// Per-dimension phase offsets, uniform in `[0, 2π)`.
     phases: Vec<f32>,
     features: usize,
@@ -96,7 +102,8 @@ impl RbfEncoder {
         }
         let mut phases = vec![0.0f32; dim];
         rng.fill_uniform(&mut phases, 0.0, std::f64::consts::TAU);
-        Ok(Self { bases, phases, features, dim, sigma, seed, regenerated: 0 })
+        let bases_t = transpose(&bases, dim, features);
+        Ok(Self { bases, bases_t, phases, features, dim, sigma, seed, regenerated: 0 })
     }
 
     /// Kernel bandwidth used for the Gaussian base entries.
@@ -171,6 +178,9 @@ impl RbfEncoder {
         for b in &mut self.bases[d * self.features..(d + 1) * self.features] {
             *b = rng.normal(0.0, sigma) as f32;
         }
+        for f in 0..self.features {
+            self.bases_t[f * self.dim + d] = self.bases[d * self.features + f];
+        }
         self.phases[d] = rng.uniform(0.0, std::f64::consts::TAU) as f32;
         self.regenerated += 1;
         Ok(())
@@ -191,6 +201,63 @@ impl RbfEncoder {
     }
 }
 
+/// Number of samples each pass over the base matrix serves in the blocked
+/// batch kernel: every transposed base row loaded into cache is reused for
+/// the whole block instead of a single sample.
+const RBF_SAMPLE_BLOCK: usize = 16;
+
+/// Output-dimension tile width of the blocked batch kernel.  One tile row
+/// (`RBF_DIM_TILE` f32 = 8 KiB) stays L1-resident while it is applied to
+/// every sample of the block, and the block's output tiles
+/// (`RBF_SAMPLE_BLOCK × 8 KiB`) stay L2-resident across the feature loop.
+const RBF_DIM_TILE: usize = 2048;
+
+/// Builds the feature-major transpose of a row-major `dim × features`
+/// matrix.
+fn transpose(bases: &[f32], dim: usize, features: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; bases.len()];
+    for d in 0..dim {
+        for f in 0..features {
+            out[f * dim + d] = bases[d * features + f];
+        }
+    }
+    out
+}
+
+/// Branch-free cosine for the batched kernel: two-step Cody–Waite range
+/// reduction to `[-π, π]` followed by an even Taylor polynomial through
+/// `r¹⁶/16!`.
+///
+/// Every operation (`round`, multiplies, adds) lowers to straight-line SIMD,
+/// so the final `cos` pass over an encode tile auto-vectorizes — `libm`'s
+/// scalar `cosf` call is the single largest cost of the batched encode
+/// otherwise.  Absolute error stays below ~1e-6 for the |x| ≲ 100 range RBF
+/// projections occupy (‖x‖₂·σ·√features plus a phase), which is inside the
+/// engine's documented 1e-6 score-parity budget.
+#[inline]
+fn fast_cos(x: f32) -> f32 {
+    const INV_TAU: f32 = 1.0 / std::f32::consts::TAU;
+    // TAU split into an exactly representable head and a tail, so `k * C1`
+    // is exact for the small wrap counts that occur and the reduction error
+    // stays at f32 rounding level instead of growing with |x|.
+    const C1: f32 = 6.281_25;
+    const C2: f32 = 1.935_307_2e-3;
+    let k = (x * INV_TAU).round();
+    let r = (x - k * C1) - k * C2;
+    let r2 = r * r;
+    // cos(r) = Σ (-1)^n r^(2n) / (2n)!  up to n = 8 (max error ~2e-9 at π,
+    // below the f32 evaluation noise).
+    let mut p = 4.779_477_3e-14f32; // 1/16!
+    p = p * r2 - 1.147_074_6e-11; // -1/14!
+    p = p * r2 + 2.087_676_e-9; // 1/12!
+    p = p * r2 - 2.755_732e-7; // -1/10!
+    p = p * r2 + 2.480_158_7e-5; // 1/8!
+    p = p * r2 - 1.388_888_9e-3; // -1/6!
+    p = p * r2 + 4.166_666_7e-2; // 1/4!
+    p = p * r2 - 0.5; // -1/2!
+    p * r2 + 1.0
+}
+
 impl Encoder for RbfEncoder {
     fn input_features(&self) -> usize {
         self.features
@@ -200,20 +267,64 @@ impl Encoder for RbfEncoder {
         self.dim
     }
 
-    fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+    fn encode_into(&self, features: &[f32], out: &mut [f32]) -> Result<()> {
         if features.len() != self.features {
             return Err(HdcError::FeatureMismatch {
                 expected: self.features,
                 actual: features.len(),
             });
         }
-        let mut out = Vec::with_capacity(self.dim);
-        for d in 0..self.dim {
-            let row = &self.bases[d * self.features..(d + 1) * self.features];
-            let projection = crate::similarity::dot(row, features) + self.phases[d];
-            out.push(projection.cos());
+        if out.len() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: out.len() });
         }
-        Ok(Hypervector::from_vec(out))
+        for (d, slot) in out.iter_mut().enumerate() {
+            let row = &self.bases[d * self.features..(d + 1) * self.features];
+            *slot = (crate::similarity::dot(row, features) + self.phases[d]).cos();
+        }
+        Ok(())
+    }
+
+    /// Tiled, transposed batch kernel (GEMM-style): projections are
+    /// accumulated *vertically* over [`RBF_DIM_TILE`]-wide output tiles
+    /// using the feature-major transpose of the base matrix, so
+    ///
+    /// * the inner loop is a pure element-wise FMA with unit stride (the
+    ///   auto-vectorizer's best case, no horizontal reductions),
+    /// * each transposed base row is loaded into cache once per
+    ///   [`RBF_SAMPLE_BLOCK`]-sample block instead of once per sample.
+    ///
+    /// The projection of each output element sums the same `x_f · b_{d,f}`
+    /// terms as [`Encoder::encode_into`] in a different association order,
+    /// so batched scores agree with the per-sample path to float rounding
+    /// (~1e-7) rather than bit-for-bit; the parity suite pins this bound.
+    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+        crate::encoder::check_batch_shape(self.features, self.dim, batch, out)?;
+        let dim = self.dim;
+        for (block, tile) in
+            batch.chunks(RBF_SAMPLE_BLOCK).zip(out.chunks_mut(RBF_SAMPLE_BLOCK * dim))
+        {
+            // proj[s][d] starts at the phase and accumulates the projection.
+            for row in tile.chunks_exact_mut(dim) {
+                row.copy_from_slice(&self.phases);
+            }
+            for d0 in (0..dim).step_by(RBF_DIM_TILE) {
+                let d1 = (d0 + RBF_DIM_TILE).min(dim);
+                for (f, base_row) in self.bases_t.chunks_exact(dim).enumerate() {
+                    let base_tile = &base_row[d0..d1];
+                    for (s, sample) in block.iter().enumerate() {
+                        let value = sample[f];
+                        let out_tile = &mut tile[s * dim + d0..s * dim + d1];
+                        for (o, &b) in out_tile.iter_mut().zip(base_tile) {
+                            *o += value * b;
+                        }
+                    }
+                }
+            }
+            for v in tile.iter_mut() {
+                *v = fast_cos(*v);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -264,10 +375,7 @@ mod tests {
         let hfar = e.encode(&x_far).unwrap();
         let sim_near = hx.cosine(&hnear).unwrap();
         let sim_far = hx.cosine(&hfar).unwrap();
-        assert!(
-            sim_near > sim_far + 0.1,
-            "locality: near {sim_near} should exceed far {sim_far}"
-        );
+        assert!(sim_near > sim_far + 0.1, "locality: near {sim_near} should exceed far {sim_far}");
     }
 
     #[test]
@@ -314,6 +422,55 @@ mod tests {
         }
         assert!(e.encode_dimension(&x, 32).is_err());
         assert!(e.encode_dimension(&[0.0], 0).is_err());
+    }
+
+    #[test]
+    fn blocked_batch_kernel_matches_the_serial_path_to_rounding() {
+        // A dimensionality above RBF_DIM_TILE plus more samples than one
+        // block exercises both tiling axes.
+        let dim = RBF_DIM_TILE + 37;
+        let e = RbfEncoder::with_sigma(7, dim, 0.8, 17).unwrap();
+        let batch: Vec<Vec<f32>> = (0..RBF_SAMPLE_BLOCK * 2 + 3)
+            .map(|i| (0..7).map(|f| ((i * 7 + f) as f32 * 0.37).sin()).collect())
+            .collect();
+        let mut matrix = vec![f32::NAN; batch.len() * dim];
+        e.encode_batch_into(&batch, &mut matrix).unwrap();
+        for (i, row) in matrix.chunks_exact(dim).enumerate() {
+            let reference = e.encode(&batch[i]).unwrap();
+            for (d, (a, b)) in row.iter().zip(reference.iter()).enumerate() {
+                // Association-order rounding plus the ~1e-6 fast_cos error:
+                // per-element agreement to 5e-6.  Score-level parity (the
+                // engine's contract) is tighter because independent element
+                // errors average out in the cosine — tests/batch_parity.rs
+                // pins that at 1e-6.
+                assert!((a - b).abs() < 5e-6, "sample {i} dim {d}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_cos_tracks_libm_over_the_projection_range() {
+        // Sweep the range RBF projections occupy (|x| up to ~100) plus the
+        // reduction boundaries around multiples of TAU.
+        let mut worst = 0.0f32;
+        let mut x = -100.0f32;
+        while x <= 100.0 {
+            let err = (fast_cos(x) - (x as f64).cos() as f32).abs();
+            worst = worst.max(err);
+            x += 0.001;
+        }
+        assert!(worst < 1e-6, "worst fast_cos error {worst}");
+    }
+
+    #[test]
+    fn transpose_stays_in_sync_after_regeneration() {
+        let mut e = RbfEncoder::new(5, 48, 23).unwrap();
+        e.regenerate_dimensions(&[0, 7, 47, 7]).unwrap();
+        for d in 0..48 {
+            for f in 0..5 {
+                assert_eq!(e.bases_t[f * 48 + d], e.bases[d * 5 + f], "d={d} f={f}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //! cyber-security data.  It is included as a static baseline and as the
 //! linear counterpart for ablation studies.
 
-use crate::dense::Hypervector;
 use crate::encoder::Encoder;
 use crate::rng::HdcRng;
 use crate::{HdcError, Result};
@@ -77,14 +76,17 @@ impl Encoder for RecordEncoder {
         self.dim
     }
 
-    fn encode(&self, features: &[f32]) -> Result<Hypervector> {
+    fn encode_into(&self, features: &[f32], out: &mut [f32]) -> Result<()> {
         if features.len() != self.features {
             return Err(HdcError::FeatureMismatch {
                 expected: self.features,
                 actual: features.len(),
             });
         }
-        let mut out = vec![0.0f32; self.dim];
+        if out.len() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: out.len() });
+        }
+        out.fill(0.0);
         for (f, &value) in features.iter().enumerate() {
             if value == 0.0 {
                 continue;
@@ -94,9 +96,40 @@ impl Encoder for RecordEncoder {
                 out[d] += value * row[d];
             }
         }
-        Ok(Hypervector::from_vec(out))
+        Ok(())
+    }
+
+    /// Blocked batch kernel: each projection row is streamed once per block
+    /// of [`RECORD_SAMPLE_BLOCK`] samples instead of once per sample.  The
+    /// accumulation order per output element (feature-major) matches
+    /// [`Encoder::encode_into`] exactly, so results are bit-identical.
+    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+        crate::encoder::check_batch_shape(self.features, self.dim, batch, out)?;
+        for (block, tile) in
+            batch.chunks(RECORD_SAMPLE_BLOCK).zip(out.chunks_mut(RECORD_SAMPLE_BLOCK * self.dim))
+        {
+            tile.fill(0.0);
+            for f in 0..self.features {
+                let row = self.projection_row(f);
+                for (s, features) in block.iter().enumerate() {
+                    let value = features[f];
+                    if value == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut tile[s * self.dim..(s + 1) * self.dim];
+                    for d in 0..self.dim {
+                        out_row[d] += value * row[d];
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
+
+/// Samples per pass over the projection matrix in the blocked batch kernel
+/// (see the sibling constant in `rbf.rs` for the rationale).
+const RECORD_SAMPLE_BLOCK: usize = 16;
 
 #[cfg(test)]
 mod tests {

@@ -17,6 +17,8 @@
 //! * [`memory::AssociativeMemory`] — the class-hypervector store used during
 //!   training and nearest-class inference.
 //! * [`similarity`] — cosine, dot and Hamming similarity kernels.
+//! * [`parallel`] — the chunked fork-join primitive of the batched
+//!   inference engine (scoped threads behind the `parallel` feature).
 //! * [`rng`] — deterministic, seedable random sources (Gaussian via
 //!   Box–Muller) used for base-vector generation.
 //!
@@ -48,6 +50,7 @@ pub mod binary;
 pub mod dense;
 pub mod encoder;
 pub mod memory;
+pub mod parallel;
 pub mod quant;
 pub mod rng;
 pub mod similarity;
@@ -57,7 +60,7 @@ pub use dense::Hypervector;
 pub use encoder::{Encoder, IdLevelEncoder, RbfEncoder, RecordEncoder};
 pub use memory::AssociativeMemory;
 pub use quant::{BitWidth, QuantizedHypervector};
-pub use similarity::{cosine, dot, hamming_distance, normalized_hamming_similarity};
+pub use similarity::{argmax, cosine, dot, hamming_distance, normalized_hamming_similarity};
 
 use std::error::Error;
 use std::fmt;

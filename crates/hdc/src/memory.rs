@@ -15,6 +15,12 @@ use crate::similarity;
 use crate::{HdcError, Result};
 use serde::{Deserialize, Serialize};
 
+/// Rows per fan-out chunk in [`AssociativeMemory::similarities_batch`].
+///
+/// Large enough that thread spawn cost vanishes, small enough that one
+/// chunk's queries stay cache-resident alongside the class hypervectors.
+const SCORE_CHUNK_ROWS: usize = 256;
+
 /// A store of one dense hypervector per class.
 ///
 /// # Example
@@ -103,9 +109,7 @@ impl AssociativeMemory {
     /// Returns [`HdcError::IndexOutOfRange`] for an unknown class.
     pub fn class_mut(&mut self, class: usize) -> Result<&mut Hypervector> {
         let bound = self.classes.len();
-        self.classes
-            .get_mut(class)
-            .ok_or(HdcError::IndexOutOfRange { index: class, bound })
+        self.classes.get_mut(class).ok_or(HdcError::IndexOutOfRange { index: class, bound })
     }
 
     /// Borrows all class hypervectors.
@@ -167,24 +171,151 @@ impl AssociativeMemory {
     /// length.
     pub fn nearest(&self, query: &Hypervector) -> Result<(usize, f32)> {
         let sims = self.similarities(query)?;
-        let mut best = 0usize;
-        let mut best_sim = f32::NEG_INFINITY;
-        for (i, &s) in sims.iter().enumerate() {
-            if s > best_sim {
-                best = i;
-                best_sim = s;
-            }
+        Ok(similarity::argmax(&sims).expect("memory always has at least one class"))
+    }
+
+    /// L2 norm of every class hypervector, in class order.
+    ///
+    /// The batched inference engine computes these **once per batch** and
+    /// reuses them for every query, instead of the per-query recomputation
+    /// of the serial [`AssociativeMemory::similarities`] path.
+    pub fn class_norms(&self) -> Vec<f32> {
+        self.classes.iter().map(Hypervector::norm).collect()
+    }
+
+    /// Writes the cosine similarity of `query` (a raw `dim`-length slice) to
+    /// every class into `out`, reusing pre-computed `class_norms`.
+    ///
+    /// This is the zero-allocation core of both the batched engine and the
+    /// trainer's per-epoch scoring loop; it produces bit-identical values to
+    /// [`AssociativeMemory::similarities`] because the cached norms are the
+    /// same `Hypervector::norm` results the serial path recomputes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `query` is not `dim` long
+    /// or if `class_norms`/`out` do not have one entry per class.
+    pub fn similarities_into(
+        &self,
+        query: &[f32],
+        class_norms: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        if query.len() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: query.len() });
         }
-        Ok((best, best_sim))
+        if class_norms.len() != self.classes.len() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.classes.len(),
+                actual: class_norms.len(),
+            });
+        }
+        if out.len() != self.classes.len() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.classes.len(),
+                actual: out.len(),
+            });
+        }
+        let qn = similarity::norm(query);
+        for ((slot, class), &cn) in out.iter_mut().zip(&self.classes).zip(class_norms) {
+            *slot = similarity::cosine_with_norm(query, qn, class.as_slice(), cn);
+        }
+        Ok(())
+    }
+
+    /// Scores a row-major `rows × dim` query matrix against every class,
+    /// writing a row-major `rows × num_classes` score matrix.
+    ///
+    /// Class norms are computed **once** and shared by all rows; with the
+    /// `parallel` feature the rows are fanned out across scoped threads.
+    /// Row `i` of the output equals `self.similarities(query_i)` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `queries` is not a whole
+    /// number of `dim`-length rows or `out` is not `rows × num_classes`.
+    pub fn similarities_batch(&self, queries: &[f32], out: &mut [f32]) -> Result<()> {
+        let rows = self.check_batch_shapes(queries, out.len())?;
+        let norms = self.class_norms();
+        let classes = self.classes.len();
+        crate::parallel::for_each_chunk(
+            rows,
+            SCORE_CHUNK_ROWS,
+            out,
+            classes,
+            crate::parallel::engine_threads(),
+            |chunk, tile| {
+                for (local, row) in (chunk.start..chunk.end).enumerate() {
+                    let query = &queries[row * self.dim..(row + 1) * self.dim];
+                    let scores = &mut tile[local * classes..(local + 1) * classes];
+                    self.similarities_into(query, &norms, scores)
+                        .expect("shapes validated before the fan-out");
+                }
+            },
+        );
+        Ok(())
+    }
+
+    /// Predicts the nearest class of every row of a row-major `rows × dim`
+    /// query matrix, with class norms computed once for the whole batch.
+    ///
+    /// Equivalent to calling [`AssociativeMemory::nearest`] per row (same
+    /// tie-breaking), at batch cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `queries` is not a whole
+    /// number of `dim`-length rows.
+    pub fn nearest_batch(&self, queries: &[f32]) -> Result<Vec<(usize, f32)>> {
+        let classes = self.classes.len();
+        let rows = self.check_batch_shapes(queries, queries.len() / self.dim * classes)?;
+        let mut scores = vec![0.0f32; rows * classes];
+        self.similarities_batch(queries, &mut scores)?;
+        Ok(scores
+            .chunks_exact(classes)
+            .map(|row| similarity::argmax(row).expect("at least one class"))
+            .collect())
+    }
+
+    /// Validates a `rows × dim` query matrix and an output of `expected_out`
+    /// elements, returning the row count.
+    fn check_batch_shapes(&self, queries: &[f32], out_len: usize) -> Result<usize> {
+        if !queries.len().is_multiple_of(self.dim) {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: queries.len() });
+        }
+        let rows = queries.len() / self.dim;
+        if out_len != rows * self.classes.len() {
+            return Err(HdcError::DimensionMismatch {
+                expected: rows * self.classes.len(),
+                actual: out_len,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Adds `weight * sample` (a raw `dim`-length slice) to the hypervector
+    /// of `class` — the slice twin of [`AssociativeMemory::add_scaled`],
+    /// used by the trainer's matrix-backed encoding cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::IndexOutOfRange`] for an unknown class or
+    /// [`HdcError::DimensionMismatch`] if `sample` has the wrong length.
+    pub fn add_scaled_slice(&mut self, class: usize, sample: &[f32], weight: f32) -> Result<()> {
+        if sample.len() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: sample.len() });
+        }
+        let target = self.class_mut(class)?;
+        for (a, b) in target.iter_mut().zip(sample) {
+            *a += weight * b;
+        }
+        Ok(())
     }
 
     /// Returns a copy of the memory with every class hypervector normalized
     /// to unit norm (step (D) of the CyberHD workflow).
     pub fn normalized(&self) -> Self {
-        Self {
-            classes: self.classes.iter().map(Hypervector::normalized).collect(),
-            dim: self.dim,
-        }
+        Self { classes: self.classes.iter().map(Hypervector::normalized).collect(), dim: self.dim }
     }
 
     /// Per-dimension variance of the (already provided) class hypervectors.
@@ -293,10 +424,7 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let mut memory = AssociativeMemory::new(2, 8).unwrap();
         let wrong = Hypervector::zeros(9);
-        assert!(matches!(
-            memory.accumulate(0, &wrong),
-            Err(HdcError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(memory.accumulate(0, &wrong), Err(HdcError::DimensionMismatch { .. })));
         assert!(matches!(memory.nearest(&wrong), Err(HdcError::DimensionMismatch { .. })));
     }
 
@@ -304,10 +432,7 @@ mod tests {
     fn unknown_class_is_reported() {
         let mut memory = AssociativeMemory::new(2, 8).unwrap();
         let hv = Hypervector::zeros(8);
-        assert!(matches!(
-            memory.accumulate(2, &hv),
-            Err(HdcError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(memory.accumulate(2, &hv), Err(HdcError::IndexOutOfRange { .. })));
         assert!(memory.class(2).is_err());
     }
 
@@ -370,6 +495,84 @@ mod tests {
         let qs = memory.quantized(BitWidth::B4);
         assert_eq!(qs.len(), 4);
         assert!(qs.iter().all(|q| q.dim() == 32));
+    }
+
+    #[test]
+    fn class_norms_match_per_class_norms() {
+        let mut rng = HdcRng::seed_from(5);
+        let mut memory = AssociativeMemory::new(3, 32).unwrap();
+        for c in 0..3 {
+            memory.accumulate(c, &random_hv(32, &mut rng)).unwrap();
+        }
+        let norms = memory.class_norms();
+        for (c, n) in norms.iter().enumerate() {
+            assert_eq!(*n, memory.class(c).unwrap().norm());
+        }
+    }
+
+    #[test]
+    fn similarities_into_matches_similarities_exactly() {
+        let mut rng = HdcRng::seed_from(6);
+        let mut memory = AssociativeMemory::new(4, 64).unwrap();
+        for c in 0..4 {
+            memory.accumulate(c, &random_hv(64, &mut rng)).unwrap();
+        }
+        let norms = memory.class_norms();
+        let mut scratch = vec![0.0f32; 4];
+        for _ in 0..16 {
+            let q = random_hv(64, &mut rng);
+            memory.similarities_into(q.as_slice(), &norms, &mut scratch).unwrap();
+            assert_eq!(scratch, memory.similarities(&q).unwrap());
+        }
+        // Shape errors.
+        assert!(memory.similarities_into(&[0.0; 63], &norms, &mut scratch).is_err());
+        assert!(memory.similarities_into(&[0.0; 64], &norms[..3], &mut scratch).is_err());
+        assert!(memory.similarities_into(&[0.0; 64], &norms, &mut scratch[..3]).is_err());
+    }
+
+    #[test]
+    fn batched_scoring_matches_the_serial_path_row_by_row() {
+        let mut rng = HdcRng::seed_from(7);
+        let (classes, dim, rows) = (3, 48, 300);
+        let mut memory = AssociativeMemory::new(classes, dim).unwrap();
+        for c in 0..classes {
+            memory.accumulate(c, &random_hv(dim, &mut rng)).unwrap();
+        }
+        let queries: Vec<f32> = (0..rows * dim).map(|_| rng.standard_normal() as f32).collect();
+        let mut scores = vec![f32::NAN; rows * classes];
+        memory.similarities_batch(&queries, &mut scores).unwrap();
+        let winners = memory.nearest_batch(&queries).unwrap();
+        assert_eq!(winners.len(), rows);
+        for row in 0..rows {
+            let q = Hypervector::from_vec(queries[row * dim..(row + 1) * dim].to_vec());
+            let serial = memory.similarities(&q).unwrap();
+            assert_eq!(&scores[row * classes..(row + 1) * classes], serial.as_slice());
+            assert_eq!(winners[row], memory.nearest(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn batched_scoring_validates_shapes() {
+        let memory = AssociativeMemory::new(2, 8).unwrap();
+        let mut out = vec![0.0f32; 2];
+        // Not a whole number of rows.
+        assert!(memory.similarities_batch(&[0.0; 12], &mut out).is_err());
+        // Output too small for the row count.
+        assert!(memory.similarities_batch(&[0.0; 16], &mut out).is_err());
+        assert!(memory.nearest_batch(&[0.0; 12]).is_err());
+    }
+
+    #[test]
+    fn add_scaled_slice_matches_add_scaled() {
+        let mut rng = HdcRng::seed_from(8);
+        let sample = random_hv(16, &mut rng);
+        let mut a = AssociativeMemory::new(2, 16).unwrap();
+        let mut b = a.clone();
+        a.add_scaled(1, &sample, 0.35).unwrap();
+        b.add_scaled_slice(1, sample.as_slice(), 0.35).unwrap();
+        assert_eq!(a, b);
+        assert!(b.add_scaled_slice(5, sample.as_slice(), 1.0).is_err());
+        assert!(b.add_scaled_slice(0, &[0.0; 15], 1.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Chunked fan-out for the batched inference engine.
+//!
+//! The engine splits a batch into contiguous row chunks and processes each
+//! chunk independently (encode into a chunk-local buffer, score, write the
+//! chunk's slice of the output).  With the `parallel` cargo feature (on by
+//! default) chunks are distributed across `std::thread::scope` workers; the
+//! dependency-free build environment has no `rayon`, and scoped threads give
+//! the same fork-join shape for this embarrassingly parallel workload.
+//! Without the feature the same kernels run serially, so results are
+//! identical either way (each output element is written by exactly one
+//! chunk, and kernels are deterministic per row).
+
+/// A contiguous range of batch rows assigned to one worker invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowChunk {
+    /// First row (inclusive).
+    pub start: usize,
+    /// One past the last row.
+    pub end: usize,
+}
+
+impl RowChunk {
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits `rows` into chunks of at most `chunk_rows` rows.
+pub fn chunks_of(rows: usize, chunk_rows: usize) -> Vec<RowChunk> {
+    let chunk_rows = chunk_rows.max(1);
+    (0..rows)
+        .step_by(chunk_rows)
+        .map(|start| RowChunk { start, end: (start + chunk_rows).min(rows) })
+        .collect()
+}
+
+/// Number of worker threads the engine fans out across.
+///
+/// `1` when the `parallel` feature is disabled; otherwise the machine's
+/// available parallelism, overridable (and capped) via the
+/// `CYBERHD_THREADS` environment variable.
+pub fn engine_threads() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        if let Ok(v) = std::env::var("CYBERHD_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    }
+}
+
+/// Runs `kernel` over every chunk of `out`, each chunk paired with its row
+/// range, fanning out across at most `threads` scoped workers.
+///
+/// `out` is split into disjoint `chunk_rows * out_stride` slices, so kernels
+/// may write their chunk freely without synchronization.  Worker panics
+/// propagate to the caller.
+///
+/// This is the single fork-join primitive the whole engine builds on; with
+/// `threads <= 1` (or a single chunk) it degrades to a plain serial loop
+/// with no thread overhead.
+pub fn for_each_chunk<T, F>(
+    rows: usize,
+    chunk_rows: usize,
+    out: &mut [T],
+    out_stride: usize,
+    threads: usize,
+    kernel: F,
+) where
+    T: Send,
+    F: Fn(RowChunk, &mut [T]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * out_stride, "output buffer shape mismatch");
+    let chunk_rows = chunk_rows.max(1);
+    let mut jobs: Vec<(RowChunk, &mut [T])> = Vec::new();
+    {
+        let mut rest = out;
+        let mut start = 0usize;
+        while start < rows {
+            let end = (start + chunk_rows).min(rows);
+            let (head, tail) = rest.split_at_mut((end - start) * out_stride);
+            jobs.push((RowChunk { start, end }, head));
+            rest = tail;
+            start = end;
+        }
+    }
+
+    let workers = threads.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        for (chunk, slice) in jobs {
+            kernel(chunk, slice);
+        }
+        return;
+    }
+
+    // Round-robin the chunk jobs over the workers: chunk sizes are uniform
+    // (except the tail), so static assignment balances well and avoids a
+    // shared work queue.
+    let mut per_worker: Vec<Vec<(RowChunk, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        per_worker[i % workers].push(job);
+    }
+    std::thread::scope(|scope| {
+        let kernel = &kernel;
+        for worker_jobs in per_worker {
+            scope.spawn(move || {
+                for (chunk, slice) in worker_jobs {
+                    kernel(chunk, slice);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_rows_without_overlap() {
+        let chunks = chunks_of(10, 3);
+        assert_eq!(
+            chunks,
+            vec![
+                RowChunk { start: 0, end: 3 },
+                RowChunk { start: 3, end: 6 },
+                RowChunk { start: 6, end: 9 },
+                RowChunk { start: 9, end: 10 },
+            ]
+        );
+        assert!(chunks.iter().all(|c| !c.is_empty()));
+        assert_eq!(chunks.iter().map(RowChunk::len).sum::<usize>(), 10);
+        assert!(chunks_of(0, 4).is_empty());
+    }
+
+    #[test]
+    fn engine_threads_is_at_least_one() {
+        assert!(engine_threads() >= 1);
+    }
+
+    fn run_sum_kernel(rows: usize, chunk_rows: usize, threads: usize) -> Vec<f32> {
+        let stride = 4;
+        let mut out = vec![0.0f32; rows * stride];
+        for_each_chunk(rows, chunk_rows, &mut out, stride, threads, |chunk, slice| {
+            for (local, row) in (chunk.start..chunk.end).enumerate() {
+                for d in 0..stride {
+                    slice[local * stride + d] = (row * stride + d) as f32;
+                }
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn serial_and_parallel_fan_out_write_identical_outputs() {
+        let expected: Vec<f32> = (0..40).map(|v| v as f32).collect();
+        assert_eq!(run_sum_kernel(10, 3, 1), expected);
+        assert_eq!(run_sum_kernel(10, 3, 4), expected);
+        assert_eq!(run_sum_kernel(10, 1, 8), expected);
+        assert_eq!(run_sum_kernel(10, 100, 4), expected);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut out: Vec<f32> = Vec::new();
+        for_each_chunk(0, 8, &mut out, 4, 4, |_, _| panic!("no chunks expected"));
+    }
+}

@@ -128,38 +128,8 @@ impl QuantizedHypervector {
     /// largest representable level (symmetric max-abs quantization).  A zero
     /// vector quantizes to all-zero levels with scale `1.0`.
     pub fn quantize(hv: &Hypervector, width: BitWidth) -> Self {
-        if width == BitWidth::B32 {
-            // Full precision: store the raw f32 bit patterns scaled by 1.0.
-            // Levels hold the value multiplied by a fixed resolution so the
-            // integer pathway (similarity, fault injection) stays uniform.
-            let max_abs = hv.max_abs().max(f32::MIN_POSITIVE);
-            let scale = max_abs / BitWidth::B16.max_level() as f32;
-            let levels = hv
-                .iter()
-                .map(|&v| ((v / scale).round() as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32)
-                .collect();
-            return Self { levels, scale, width };
-        }
-        let max_level = width.max_level() as f32;
-        let max_abs = hv.max_abs();
-        if max_abs == 0.0 {
-            return Self { levels: vec![0; hv.dim()], scale: 1.0, width };
-        }
-        let scale = max_abs / max_level;
-        let levels = hv
-            .iter()
-            .map(|&v| {
-                if width == BitWidth::B1 {
-                    if v >= 0.0 {
-                        1
-                    } else {
-                        -1
-                    }
-                } else {
-                    (v / scale).round().clamp(-max_level, max_level) as i32
-                }
-            })
-            .collect();
+        let mut levels = vec![0i32; hv.dim()];
+        let scale = quantize_into(hv.as_slice(), width, &mut levels);
         Self { levels, scale, width }
     }
 
@@ -246,10 +216,8 @@ impl QuantizedHypervector {
         if bit >= bits {
             return Err(HdcError::IndexOutOfRange { index: bit as usize, bound: bits as usize });
         }
-        let level = self
-            .levels
-            .get_mut(index)
-            .ok_or(HdcError::IndexOutOfRange { index, bound: dim })?;
+        let level =
+            self.levels.get_mut(index).ok_or(HdcError::IndexOutOfRange { index, bound: dim })?;
         if width == BitWidth::B1 {
             // Single bit: flip the sign (+1 <-> -1).
             *level = if *level >= 0 { -1 } else { 1 };
@@ -268,11 +236,8 @@ impl QuantizedHypervector {
         let flipped = raw ^ (1u32 << bit);
         // Sign-extend from `bits` to 32.
         let sign_bit = 1u32 << (bits - 1);
-        let extended = if flipped & sign_bit != 0 {
-            (flipped | !mask) as i32
-        } else {
-            flipped as i32
-        };
+        let extended =
+            if flipped & sign_bit != 0 { (flipped | !mask) as i32 } else { flipped as i32 };
         *level = extended;
         Ok(())
     }
@@ -287,6 +252,50 @@ impl QuantizedHypervector {
 /// Quantizes a whole set of class hypervectors at the same bitwidth.
 pub fn quantize_all(hvs: &[Hypervector], width: BitWidth) -> Vec<QuantizedHypervector> {
     hvs.iter().map(|h| QuantizedHypervector::quantize(h, width)).collect()
+}
+
+/// Writes the quantization levels of `values` at `width` into `levels` and
+/// returns the per-vector scale — the allocation-free primitive behind
+/// [`QuantizedHypervector::quantize`].
+///
+/// The batched inference engine quantizes each encoded query into a reusable
+/// scratch buffer through this function; the level values are identical to
+/// the allocating path because this *is* that path.
+///
+/// # Panics
+///
+/// Panics if `levels.len() != values.len()`.
+pub fn quantize_into(values: &[f32], width: BitWidth, levels: &mut [i32]) -> f32 {
+    assert_eq!(values.len(), levels.len(), "level buffer must match the value count");
+    let max_abs = values.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+    if width == BitWidth::B32 {
+        // Full precision: store the values at a fixed resolution so the
+        // integer pathway (similarity, fault injection) stays uniform.
+        let max_abs = max_abs.max(f32::MIN_POSITIVE);
+        let scale = max_abs / BitWidth::B16.max_level() as f32;
+        for (slot, &v) in levels.iter_mut().zip(values) {
+            *slot = ((v / scale).round() as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        }
+        return scale;
+    }
+    let max_level = width.max_level() as f32;
+    if max_abs == 0.0 {
+        levels.fill(0);
+        return 1.0;
+    }
+    let scale = max_abs / max_level;
+    for (slot, &v) in levels.iter_mut().zip(values) {
+        *slot = if width == BitWidth::B1 {
+            if v >= 0.0 {
+                1
+            } else {
+                -1
+            }
+        } else {
+            (v / scale).round().clamp(-max_level, max_level) as i32
+        };
+    }
+    scale
 }
 
 #[cfg(test)]
@@ -316,11 +325,7 @@ mod tests {
         for w in [BitWidth::B1, BitWidth::B2, BitWidth::B4, BitWidth::B8, BitWidth::B16] {
             let q = QuantizedHypervector::quantize(&hv, w);
             let back = q.dequantize();
-            let err: f32 = hv
-                .iter()
-                .zip(back.iter())
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f32>()
+            let err: f32 = hv.iter().zip(back.iter()).map(|(a, b)| (a - b).abs()).sum::<f32>()
                 / hv.dim() as f32;
             assert!(
                 err <= prev_err + 1e-6,
@@ -388,8 +393,7 @@ mod tests {
             let q0 = QuantizedHypervector::quantize(&hv, w);
             let mut q = q0.clone();
             q.flip_bit(10, 0).unwrap();
-            let changed =
-                q.levels().iter().zip(q0.levels()).filter(|(a, b)| a != b).count();
+            let changed = q.levels().iter().zip(q0.levels()).filter(|(a, b)| a != b).count();
             assert_eq!(changed, 1, "width {w:?}");
         }
     }
@@ -422,6 +426,24 @@ mod tests {
         let mut q = QuantizedHypervector::quantize(&hv, BitWidth::B4);
         assert!(matches!(q.flip_bit(8, 0), Err(HdcError::IndexOutOfRange { .. })));
         assert!(matches!(q.flip_bit(0, 4), Err(HdcError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn quantize_into_matches_the_allocating_path() {
+        let hv = random_hv(333, 12);
+        let mut scratch = vec![0i32; 333];
+        for w in BitWidth::ALL {
+            let q = QuantizedHypervector::quantize(&hv, w);
+            let scale = quantize_into(hv.as_slice(), w, &mut scratch);
+            assert_eq!(scratch.as_slice(), q.levels(), "width {w:?}");
+            assert_eq!(scale, q.scale(), "width {w:?}");
+        }
+        // Zero vector keeps the documented convention.
+        let zeros = vec![0.0f32; 8];
+        let mut levels = vec![7i32; 8];
+        let scale = quantize_into(&zeros, BitWidth::B4, &mut levels);
+        assert_eq!(scale, 1.0);
+        assert!(levels.iter().all(|&l| l == 0));
     }
 
     #[test]

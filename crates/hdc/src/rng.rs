@@ -142,6 +142,14 @@ impl HdcRng {
         idx
     }
 
+    /// Draws 64 uniform random bits in one call.
+    ///
+    /// The word-fill path of [`crate::BinaryHypervector::random`] uses this
+    /// to draw 64 bits per RNG step instead of one.
+    pub fn next_word(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
     /// Exposes the underlying [`RngCore`] for integration with `rand` APIs.
     pub fn as_rng_core(&mut self) -> &mut impl RngCore {
         &mut self.inner

@@ -102,6 +102,32 @@ pub fn normalized_hamming_similarity(a_words: &[u64], b_words: &[u64], dim: usiz
     1.0 - 2.0 * hamming_distance(a_words, b_words) as f32 / dim as f32
 }
 
+/// Index and value of the largest score, ties broken in favour of the
+/// lowest index (the determinism convention of the whole inference path).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(hdc::similarity::argmax(&[0.1, 0.9, 0.9]), Some((1, 0.9)));
+/// assert_eq!(hdc::similarity::argmax(&[]), None);
+/// ```
+pub fn argmax(scores: &[f32]) -> Option<(usize, f32)> {
+    if scores.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_sim = f32::NEG_INFINITY;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > best_sim {
+            best = i;
+            best_sim = s;
+        }
+    }
+    Some((best, best_sim))
+}
+
 /// Squared Euclidean distance between two equally sized slices.
 pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -161,5 +187,15 @@ mod tests {
     #[test]
     fn squared_euclidean_matches_hand_computation() {
         assert_eq!(squared_euclidean(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_towards_the_lowest_index() {
+        assert_eq!(argmax(&[0.5, 1.0, 1.0, 0.2]), Some((1, 1.0)));
+        assert_eq!(argmax(&[-2.0]), Some((0, -2.0)));
+        assert_eq!(argmax(&[]), None);
+        // All-NaN keeps the first index, matching the serial `nearest` loop.
+        let (i, _) = argmax(&[f32::NAN, f32::NAN]).unwrap();
+        assert_eq!(i, 0);
     }
 }

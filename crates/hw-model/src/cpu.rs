@@ -61,7 +61,9 @@ impl CpuModel {
         static_power_w: f64,
     ) -> Result<Self> {
         if cores == 0 || simd_width_bits == 0 {
-            return Err(HwModelError::InvalidParameter("cores and SIMD width must be non-zero".into()));
+            return Err(HwModelError::InvalidParameter(
+                "cores and SIMD width must be non-zero".into(),
+            ));
         }
         if !(frequency_hz > 0.0 && frequency_hz.is_finite()) {
             return Err(HwModelError::InvalidParameter(format!(

@@ -75,7 +75,9 @@ impl DriftStream {
         seed: u64,
     ) -> Result<Self> {
         if phases.is_empty() {
-            return Err(DataError::InvalidArgument("a drift stream needs at least one phase".into()));
+            return Err(DataError::InvalidArgument(
+                "a drift stream needs at least one phase".into(),
+            ));
         }
         let mut dataset = Dataset::empty(schema.clone());
         let mut phase_starts = Vec::with_capacity(phases.len());
@@ -101,8 +103,9 @@ impl DriftStream {
                     profile.weight = f64::MIN_POSITIVE;
                 }
             }
-            let config = SyntheticConfig::new(phase.samples, seed.wrapping_add(index as u64 * 7919))
-                .difficulty(phase.difficulty);
+            let config =
+                SyntheticConfig::new(phase.samples, seed.wrapping_add(index as u64 * 7919))
+                    .difficulty(phase.difficulty);
             let phase_data = generate(schema, &profiles, &config)?;
             phase_starts.push(dataset.len());
             dataset.extend_from(&phase_data)?;
@@ -245,8 +248,10 @@ mod tests {
     #[test]
     fn iter_yields_every_flow_with_its_phase() {
         let (schema, profiles) = base();
-        let phases =
-            vec![DriftPhase::stationary(50, profiles.len()), DriftPhase::stationary(70, profiles.len())];
+        let phases = vec![
+            DriftPhase::stationary(50, profiles.len()),
+            DriftPhase::stationary(70, profiles.len()),
+        ];
         let stream = DriftStream::generate(&schema, &profiles, &phases, 9).unwrap();
         let collected: Vec<_> = stream.iter().collect();
         assert_eq!(collected.len(), 120);

@@ -55,8 +55,8 @@ pub mod synth;
 pub mod traffic;
 
 pub use dataset::Dataset;
-pub use drift::{DriftPhase, DriftStream};
 pub use datasets::DatasetKind;
+pub use drift::{DriftPhase, DriftStream};
 pub use preprocess::{Normalization, Preprocessor};
 pub use schema::{FeatureKind, FeatureSpec, Schema};
 pub use synth::SyntheticConfig;
@@ -91,7 +91,9 @@ impl fmt::Display for DataError {
             DataError::InvalidSchema(what) => write!(f, "invalid schema: {what}"),
             DataError::InvalidRecord(what) => write!(f, "invalid record: {what}"),
             DataError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }

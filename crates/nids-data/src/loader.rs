@@ -108,18 +108,16 @@ pub fn parse_csv(schema: &Schema, text: &str, options: CsvOptions) -> Result<Dat
             }
         }
         let label_field = fields[schema.num_features()];
-        let label = schema
-            .classes()
-            .iter()
-            .position(|c| c.eq_ignore_ascii_case(label_field))
-            .ok_or_else(|| DataError::Parse {
-                line: line_number,
-                message: format!("unknown class label {label_field:?}"),
-            })?;
-        dataset.push(record, label).map_err(|e| DataError::Parse {
-            line: line_number,
-            message: e.to_string(),
-        })?;
+        let label =
+            schema.classes().iter().position(|c| c.eq_ignore_ascii_case(label_field)).ok_or_else(
+                || DataError::Parse {
+                    line: line_number,
+                    message: format!("unknown class label {label_field:?}"),
+                },
+            )?;
+        dataset
+            .push(record, label)
+            .map_err(|e| DataError::Parse { line: line_number, message: e.to_string() })?;
     }
     Ok(dataset)
 }
@@ -135,9 +133,8 @@ pub fn load_csv_file(
     path: &std::path::Path,
     options: CsvOptions,
 ) -> Result<Dataset> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        DataError::InvalidArgument(format!("cannot read {}: {e}", path.display()))
-    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DataError::InvalidArgument(format!("cannot read {}: {e}", path.display())))?;
     parse_csv(schema, &text, options)
 }
 

@@ -343,9 +343,8 @@ mod tests {
     #[test]
     fn difficulty_increases_class_overlap() {
         let easy = generate(&schema(), &profiles(), &SyntheticConfig::new(2000, 4)).unwrap();
-        let hard =
-            generate(&schema(), &profiles(), &SyntheticConfig::new(2000, 4).difficulty(8.0))
-                .unwrap();
+        let hard = generate(&schema(), &profiles(), &SyntheticConfig::new(2000, 4).difficulty(8.0))
+            .unwrap();
         let error_rate = |d: &Dataset| {
             d.records()
                 .iter()

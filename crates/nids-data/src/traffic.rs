@@ -206,10 +206,8 @@ pub fn profile_for(
                 let mut mean = benign_mean(&feature.name, *min, *max, dataset_salt);
                 let mut std = benign_std(&feature.name, *min, *max, dataset_salt);
                 if attack != AttackKind::Normal {
-                    let selector =
-                        stable_hash(&feature.name, dataset_salt ^ (attack.tag() << 32));
-                    let is_signature =
-                        unit_fraction(selector) < attack.signature_fraction();
+                    let selector = stable_hash(&feature.name, dataset_salt ^ (attack.tag() << 32));
+                    let is_signature = unit_fraction(selector) < attack.signature_fraction();
                     if is_signature {
                         let direction = if selector & 1 == 0 { 1.0 } else { -1.0 };
                         mean += direction * attack.shift_strength() * (max - min);
@@ -268,10 +266,8 @@ mod tests {
             FeatureSpec::new("protocol_type", FeatureKind::categorical(["tcp", "udp", "icmp"])),
         ];
         for i in 0..20 {
-            features.push(FeatureSpec::new(
-                format!("counter_{i}"),
-                FeatureKind::numeric(0.0, 1000.0),
-            ));
+            features
+                .push(FeatureSpec::new(format!("counter_{i}"), FeatureKind::numeric(0.0, 1000.0)));
         }
         Schema::new("toy", features, vec!["normal".into(), "dos".into(), "probe".into()]).unwrap()
     }

@@ -57,9 +57,14 @@ flow_duration_s,protocol,packets,bytes,distinct_ports,failed_handshake_rate,labe
         ],
         0xB0B,
     );
-    let synthetic = nids_data::synth::generate(&schema, &profiles, &SyntheticConfig::new(2_000, 4))?;
+    let synthetic =
+        nids_data::synth::generate(&schema, &profiles, &SyntheticConfig::new(2_000, 4))?;
     dataset.extend_from(&synthetic)?;
-    println!("after synthetic augmentation: {} flows, class counts {:?}", dataset.len(), dataset.class_counts());
+    println!(
+        "after synthetic augmentation: {} flows, class counts {:?}",
+        dataset.len(),
+        dataset.class_counts()
+    );
 
     // 4. Standard pipeline: split, preprocess, train, evaluate.
     let (train, test) = train_test_split(&dataset, 0.3, 4)?;

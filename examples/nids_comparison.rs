@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (test_x, test_y) = preprocessor.transform_with_labels(&test)?;
     let width = preprocessor.output_width();
     let classes = dataset.num_classes();
-    println!("CIC-IDS-2017 stand-in: {} train / {} test flows, {classes} classes\n", train.len(), test.len());
+    println!(
+        "CIC-IDS-2017 stand-in: {} train / {} test flows, {classes} classes\n",
+        train.len(),
+        test.len()
+    );
 
     let mut table = Table::new(vec![
         "model".into(),
@@ -35,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .encode_threads(4)
         .seed(1)
         .build()?;
-    let (model, train_time) = Stopwatch::time(|| CyberHdTrainer::new(config)?.fit(&train_x, &train_y));
+    let (model, train_time) =
+        Stopwatch::time(|| CyberHdTrainer::new(config)?.fit(&train_x, &train_y));
     let model = model?;
     let (predictions, infer_time) = Stopwatch::time(|| model.predict_batch(&test_x));
     let cyber_accuracy = accuracy(&predictions?, &test_y)?;
@@ -59,7 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
 
     // DNN (MLP 2x256).
-    let mut mlp = Mlp::new(MlpConfig::new(width, classes).hidden_layers(vec![256, 256]).epochs(15).seed(1))?;
+    let mut mlp =
+        Mlp::new(MlpConfig::new(width, classes).hidden_layers(vec![256, 256]).epochs(15).seed(1))?;
     let (fit, train_time) = Stopwatch::time(|| mlp.fit(&train_x, &train_y));
     fit?;
     let (predictions, infer_time) = Stopwatch::time(|| mlp.predict_batch(&test_x));

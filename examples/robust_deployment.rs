@@ -40,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "FPGA vs CPU energy (x)".into(),
     ]);
 
-    for width in [BitWidth::B32, BitWidth::B16, BitWidth::B8, BitWidth::B4, BitWidth::B2, BitWidth::B1] {
+    for width in
+        [BitWidth::B32, BitWidth::B16, BitWidth::B8, BitWidth::B4, BitWidth::B2, BitWidth::B1]
+    {
         let deployed = model.quantize(width);
         let clean = deployed.accuracy(&test_x, &test_y)?;
 

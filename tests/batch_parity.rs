@@ -1,0 +1,170 @@
+//! Batch/serial parity properties of the fused inference engine.
+//!
+//! The engine's contract: for every encoder and for the quantized
+//! deployment path, `predict_batch` produces **identical predictions** to
+//! the per-sample loop, and batched scores agree with the serial scoring
+//! path to within 1e-6.  Cases are generated deterministically from seeds,
+//! so every run checks the same (many) inputs.
+//!
+//! The whole suite runs twice in CI — once with the default `parallel`
+//! feature (chunk fan-out across scoped threads) and once with
+//! `--no-default-features` (serial chunk loop) — which is what makes these
+//! properties cover both engine configurations.
+
+use cyberhd_suite::prelude::*;
+use hdc::rng::HdcRng;
+use nids_data::DatasetKind;
+
+/// Builds an NSL-KDD-shaped train/test pair.
+fn traffic(samples: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>, Vec<Vec<f32>>) {
+    let dataset = DatasetKind::NslKdd
+        .generate(&SyntheticConfig::new(samples, seed).difficulty(1.8))
+        .expect("generation succeeds");
+    let (train, test) = train_test_split(&dataset, 0.4, seed).expect("split succeeds");
+    let preprocessor = Preprocessor::fit(&train, Normalization::MinMax).expect("fit succeeds");
+    let (train_x, train_y) = preprocessor.transform_with_labels(&train).expect("transform");
+    let (test_x, _) = preprocessor.transform_with_labels(&test).expect("transform");
+    (train_x, train_y, test_x)
+}
+
+fn train(
+    train_x: &[Vec<f32>],
+    train_y: &[usize],
+    encoder: EncoderKind,
+    dimension: usize,
+    seed: u64,
+) -> CyberHdModel {
+    let width = train_x[0].len();
+    let classes = train_y.iter().max().unwrap() + 1;
+    let config = CyberHdConfig::builder(width, classes)
+        .dimension(dimension)
+        .encoder(encoder)
+        .regeneration_rate(if encoder == EncoderKind::Rbf { 0.15 } else { 0.0 })
+        .retrain_epochs(3)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    CyberHdTrainer::new(config).expect("trainer").fit(train_x, train_y).expect("training")
+}
+
+#[test]
+fn dense_predictions_are_identical_for_every_encoder() {
+    let (train_x, train_y, test_x) = traffic(700, 11);
+    for encoder in [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record] {
+        let model = train(&train_x, &train_y, encoder, 384, 3);
+        let batched = model.predict_batch(&test_x).expect("batched prediction");
+        for (i, x) in test_x.iter().enumerate() {
+            let serial = model.predict(x).expect("serial prediction");
+            assert_eq!(batched[i], serial, "{encoder:?} sample {i}");
+        }
+    }
+}
+
+#[test]
+fn batched_scores_match_serial_scores_within_1e6() {
+    let (train_x, train_y, test_x) = traffic(600, 13);
+    for encoder in [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record] {
+        let model = train(&train_x, &train_y, encoder, 320, 7);
+        let memory = model.memory();
+        let dim = model.dimension();
+        // Batched path: encode the whole batch into one matrix, score it
+        // with per-batch class norms.
+        let mut matrix = vec![0.0f32; test_x.len() * dim];
+        model.encoder().encode_batch_into(&test_x, &mut matrix).expect("batch encode");
+        let mut scores = vec![0.0f32; test_x.len() * memory.num_classes()];
+        memory.similarities_batch(&matrix, &mut scores).expect("batch scoring");
+        // Serial path: per-sample encode + per-query class norms.
+        for (i, x) in test_x.iter().enumerate() {
+            let encoded = model.encode(x).expect("serial encode");
+            let serial = memory.similarities(&encoded).expect("serial scoring");
+            let row = &scores[i * memory.num_classes()..(i + 1) * memory.num_classes()];
+            for (k, (a, b)) in row.iter().zip(&serial).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "{encoder:?} sample {i} class {k}: batched {a} vs serial {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predict_with_scores_winner_is_the_scores_argmax() {
+    let (train_x, train_y, test_x) = traffic(500, 17);
+    let model = train(&train_x, &train_y, EncoderKind::Rbf, 256, 9);
+    for x in test_x.iter().take(100) {
+        let (winner, scores) = model.predict_with_scores(x).expect("prediction");
+        let argmax =
+            scores.iter().enumerate().fold((0usize, f32::NEG_INFINITY), |best, (i, &s)| {
+                if s > best.1 {
+                    (i, s)
+                } else {
+                    best
+                }
+            });
+        assert_eq!(winner, argmax.0);
+        assert_eq!(winner, model.predict(x).expect("prediction"));
+        assert_eq!(scores.len(), model.num_classes());
+    }
+}
+
+#[test]
+fn quantized_predictions_are_identical_at_every_bitwidth() {
+    let (train_x, train_y, mut test_x) = traffic(500, 19);
+    // Degenerate all-zero flow: the serial path scores it 0.0 against every
+    // class; the packed 1-bit kernel must agree instead of sign-packing
+    // zeros to +1.
+    test_x.push(vec![0.0; test_x[0].len()]);
+    let model = train(&train_x, &train_y, EncoderKind::Rbf, 320, 21);
+    for width in BitWidth::ALL {
+        let deployed = model.quantize(width);
+        let batched = deployed.predict_batch(&test_x).expect("batched prediction");
+        for (i, x) in test_x.iter().enumerate() {
+            let serial = deployed.predict(x).expect("serial prediction");
+            assert_eq!(batched[i], serial, "{width:?} sample {i}");
+        }
+    }
+}
+
+#[test]
+fn packed_one_bit_scores_match_integer_cosine_within_1e6() {
+    // The packed u64 kernel's score formula ((dim - 2h) / (√na·√nb))
+    // against the serial integer cosine of the quantized hypervectors.
+    let mut rng = HdcRng::seed_from(23);
+    let dim = 777; // deliberately not a multiple of 64
+    for case in 0..32 {
+        let a = Hypervector::from_fn(dim, |_| rng.standard_normal() as f32);
+        let b = Hypervector::from_fn(dim, |_| rng.standard_normal() as f32);
+        let qa = QuantizedHypervector::quantize(&a, BitWidth::B1);
+        let qb = QuantizedHypervector::quantize(&b, BitWidth::B1);
+        let serial = qa.cosine(&qb).expect("integer cosine");
+
+        let pa = hdc::BinaryHypervector::from_level_signs(qa.levels());
+        let pb = hdc::BinaryHypervector::from_level_signs(qb.levels());
+        let h = hdc::hamming_distance(pa.as_words(), pb.as_words());
+        let packed = (dim as f64 - 2.0 * h as f64) / ((dim as f64).sqrt() * (dim as f64).sqrt());
+        assert!(
+            (serial - packed as f32).abs() < 1e-6,
+            "case {case}: serial {serial} vs packed {packed}"
+        );
+    }
+}
+
+#[test]
+fn nearest_batch_agrees_with_serial_nearest_on_random_memories() {
+    for case in 0..8u64 {
+        let mut rng = HdcRng::seed_from(0xBA7C4 + case);
+        let (classes, dim, rows) = (2 + rng.index(5), 16 + rng.index(64), 1 + rng.index(40));
+        let mut memory = AssociativeMemory::new(classes, dim).expect("memory");
+        for c in 0..classes {
+            let hv = Hypervector::from_fn(dim, |_| rng.standard_normal() as f32);
+            memory.accumulate(c, &hv).expect("accumulate");
+        }
+        let queries: Vec<f32> = (0..rows * dim).map(|_| rng.standard_normal() as f32).collect();
+        let batched = memory.nearest_batch(&queries).expect("batched nearest");
+        for row in 0..rows {
+            let q = Hypervector::from_vec(queries[row * dim..(row + 1) * dim].to_vec());
+            assert_eq!(batched[row], memory.nearest(&q).expect("serial nearest"), "case {case}");
+        }
+    }
+}

@@ -138,8 +138,8 @@ fn online_learner_recovers_from_an_attack_surge() {
         .unwrap();
     let mut learner = OnlineLearner::new(config).unwrap();
 
-    let mut per_phase_correct = vec![0usize; 3];
-    let mut per_phase_total = vec![0usize; 3];
+    let mut per_phase_correct = [0usize; 3];
+    let mut per_phase_total = [0usize; 3];
     for (record, label, phase) in stream.iter() {
         let dense = preprocessor.transform_record(record).unwrap();
         let prediction = learner.observe(&dense, label).unwrap();
@@ -148,7 +148,8 @@ fn online_learner_recovers_from_an_attack_surge() {
             per_phase_correct[phase] += 1;
         }
     }
-    let accuracy_of = |phase: usize| per_phase_correct[phase] as f64 / per_phase_total[phase] as f64;
+    let accuracy_of =
+        |phase: usize| per_phase_correct[phase] as f64 / per_phase_total[phase] as f64;
     // The learner keeps working through the surge and after it.
     assert!(accuracy_of(1) > 0.7, "accuracy during the surge {}", accuracy_of(1));
     assert!(accuracy_of(2) > 0.7, "accuracy after the surge {}", accuracy_of(2));

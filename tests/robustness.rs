@@ -74,10 +74,9 @@ fn hdc_is_more_robust_than_the_dnn_at_matching_flip_rates() {
     let hdc_loss = (hdc_clean - hdc_corrupted).max(0.0);
 
     // The DNN with bit flips in its f32 weights.
-    let mut mlp = Mlp::new(
-        MlpConfig::new(width, classes).hidden_layers(vec![128, 128]).epochs(10).seed(5),
-    )
-    .unwrap();
+    let mut mlp =
+        Mlp::new(MlpConfig::new(width, classes).hidden_layers(vec![128, 128]).epochs(10).seed(5))
+            .unwrap();
     mlp.fit(&train_x, &train_y).unwrap();
     let dnn_clean = mlp.accuracy(&test_x, &test_y).unwrap();
     let mut dnn_corrupted_total = 0.0;

@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! It implements the API subset this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] /
+//! [`criterion_main!`] — with a simple measurement strategy: warm up, pick an
+//! iteration count that fills a fixed time budget, take `sample_size` timed
+//! samples and report min / median / max time per iteration.
+//!
+//! Set `CRITERION_SAMPLE_MS` (per-sample time budget, default 40) and
+//! `CRITERION_SAMPLES` (default 12) to trade precision against wall-clock
+//! time; CI smoke runs use low values.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Identifier of one benchmark case inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, sample_budget: Duration) -> Self {
+        Self { iters_per_sample: 1, samples: Vec::new(), sample_size, sample_budget }
+    }
+
+    /// Calls `routine` repeatedly and records wall-clock samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: time single iterations until the budget
+        // says how many fit in one sample.
+        let calibration = Instant::now();
+        let mut calib_iters = 0u64;
+        while calibration.elapsed() < self.sample_budget / 4 {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calibration.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+        let budget = self.sample_budget.as_secs_f64();
+        self.iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> =
+            self.samples.iter().map(|d| d.as_secs_f64() / self.iters_per_sample as f64).collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<50} time: [{} {} {}]  ({} iters x {} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max),
+            self.iters_per_sample,
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: env_usize("CRITERION_SAMPLES", 12),
+            sample_budget: Duration::from_millis(env_usize("CRITERION_SAMPLE_MS", 40) as u64),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size, self.sample_budget);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            sample_budget: self.sample_budget,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    sample_budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size, self.sample_budget);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size, self.sample_budget);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (prints nothing; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness CLI arguments (`--bench`, filters, ...).
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { sample_size: 3, sample_budget: Duration::from_millis(2) };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(fmt_time(2e-9).contains("ns"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_time(2.0).contains("s"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace builds without crates.io access, and nothing in it actually
+//! serializes data yet — the `#[derive(Serialize, Deserialize)]` attributes
+//! exist so the types are *ready* to serialize once a real serde is
+//! available.  This shim therefore provides [`Serialize`] / [`Deserialize`]
+//! as marker traits and re-exports derive macros that emit empty marker
+//! impls.  Swapping in the real serde later requires no source changes in
+//! the workspace crates.
+
+#![forbid(unsafe_code)]
+
+// Let the `::serde::...` paths emitted by the derive macros resolve inside
+// this crate's own tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        x: f32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Choice {
+        #[allow(dead_code)]
+        A,
+        #[allow(dead_code)]
+        B(u32),
+    }
+
+    fn assert_roundtrippable<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_roundtrippable::<Plain>();
+        assert_roundtrippable::<Choice>();
+        assert_roundtrippable::<Vec<f32>>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Derive macros for the workspace's offline serde stand-in.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` emit empty marker-trait
+//! impls for the annotated type.  The parser is deliberately small: it
+//! handles the non-generic structs and enums this workspace defines (plus
+//! simple type generics), which keeps the shim free of `syn`/`quote` — both
+//! unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(type_name, generic_params)` from a derive input stream.
+///
+/// `generic_params` is the raw text between the `<` `>` following the type
+/// name (empty for non-generic types).
+fn parse_type(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`# [...]`), doc comments and visibility qualifiers
+    // until the `struct` / `enum` / `union` keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde shim derive: expected a type name, found {other:?}"),
+    };
+    // Optional generics: collect everything between the outermost < >.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                generics.push_str(&tt.to_string());
+                generics.push(' ');
+            }
+        }
+    }
+    (name, generics)
+}
+
+/// Names of the generic parameters (without bounds), e.g. `"'a , T"`.
+fn param_names(generics: &str) -> String {
+    let mut names = Vec::new();
+    for part in split_top_level(generics) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // Drop bounds and defaults: keep the leading lifetime/ident only.
+        let head = part.split([':', '=']).next().unwrap_or("").trim();
+        // `const N : usize` -> `N`.
+        let head = head.strip_prefix("const").map(str::trim).unwrap_or(head);
+        names.push(head.to_string());
+    }
+    names.join(", ")
+}
+
+/// Splits a generics list on top-level commas (ignoring nested `< >`).
+fn split_top_level(generics: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0usize;
+    for c in generics.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn marker_impl(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, generics) = parse_type(input);
+    let names = param_names(&generics);
+    let target = if names.is_empty() { name.clone() } else { format!("{name}<{names}>") };
+    let code = if serialize {
+        if generics.is_empty() {
+            format!("impl ::serde::Serialize for {target} {{}}")
+        } else {
+            format!("impl<{generics}> ::serde::Serialize for {target} {{}}")
+        }
+    } else if generics.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {target} {{}}")
+    } else {
+        format!("impl<'de, {generics}> ::serde::Deserialize<'de> for {target} {{}}")
+    };
+    code.parse().expect("serde shim derive: generated impl must parse")
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
