@@ -8,15 +8,22 @@
 //! 2. The engine-facing `batched_vs_serial` comparison: the seed's serial
 //!    per-sample loop (fresh allocations per sample, class norms recomputed
 //!    per query, one base-matrix pass per sample) against the fused batched
-//!    engine (`predict_batch`), at NSL-KDD-shaped traffic.  Scale is
-//!    controlled by `CYBERHD_BENCH_DIM` / `CYBERHD_BENCH_SAMPLES` /
-//!    `CYBERHD_BENCH_REPS` (defaults 10_000 / 10_000 / 2); CI smoke runs
-//!    shrink them.  The group prints an explicit `speedup:` line per path.
+//!    engine (`predict_batch`), at NSL-KDD-shaped traffic.  The 1-bit path
+//!    is measured twice: the PR 1 pipeline (batched f32 encode → sign-pack →
+//!    Hamming), reconstructed here from public primitives, and the fused
+//!    sign-encode kernel `predict_batch` now runs (quadrant test packing
+//!    bits straight into words, no f32 matrix).  Scale is controlled by
+//!    `CYBERHD_BENCH_DIM` / `CYBERHD_BENCH_SAMPLES` / `CYBERHD_BENCH_REPS`
+//!    (defaults 10_000 / 10_000 / 2); CI smoke runs shrink them.  The group
+//!    prints an explicit `speedup:` line per path and writes the
+//!    `BENCH_infer.json` snapshot at the workspace root.
 
-use bench::prepare_dataset;
+use bench::reference::predict_b1_encode_then_quantize;
+use bench::{prepare_dataset, snapshot};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyberhd::CyberHdTrainer;
 use eval::ThroughputReport;
+use hdc::parallel::engine_threads;
 use hdc::BitWidth;
 use nids_data::DatasetKind;
 use std::hint::black_box;
@@ -63,17 +70,20 @@ fn bench_single_flow(c: &mut Criterion) {
     group.finish();
 }
 
-/// Best-of-`reps` wall-clock throughput of one full pass over `samples`.
-fn timed_pass<T>(samples: usize, reps: usize, mut f: impl FnMut() -> T) -> ThroughputReport {
+/// Best-of-`reps` wall-clock throughput of one full pass over `samples`,
+/// plus the last pass's result (so callers can assert on the output without
+/// paying for an extra untimed pass).
+fn timed_pass<T>(samples: usize, reps: usize, mut f: impl FnMut() -> T) -> (ThroughputReport, T) {
     let mut best: Option<ThroughputReport> = None;
+    let mut last: Option<T> = None;
     for _ in 0..reps.max(1) {
         let (result, report) = ThroughputReport::measure(samples, &mut f);
-        black_box(result);
+        last = Some(black_box(result));
         if best.is_none_or(|b| report.seconds < b.seconds) {
             best = Some(report);
         }
     }
-    best.expect("at least one rep")
+    (best.expect("at least one rep"), last.expect("at least one rep"))
 }
 
 /// The headline engine comparison: fused `predict_batch` against the seed's
@@ -120,24 +130,63 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
     );
 
     // Dense path: the seed's serial loop is exactly `predict` per sample.
-    let serial = timed_pass(samples, reps, || {
+    let (serial, _) = timed_pass(samples, reps, || {
         batch.iter().map(|f| model.predict(f).unwrap()).collect::<Vec<_>>()
     });
-    let batched = timed_pass(samples, reps, || model.predict_batch(&batch).unwrap());
+    let (batched, _) = timed_pass(samples, reps, || model.predict_batch(&batch).unwrap());
     println!("  dense serial : {serial}");
     println!("  dense batched: {batched}");
     println!("  dense speedup: {:.2}x", batched.speedup_over(&serial));
 
     // 1-bit deployment path: packed-word Hamming kernel vs serial integer
-    // cosine.
+    // cosine, plus the fused sign-encode kernel vs the PR 1 encode-then-pack
+    // pipeline.
     let deployed = model.quantize(BitWidth::B1);
-    let serial_q = timed_pass(samples, reps, || {
+    let (serial_q, _) = timed_pass(samples, reps, || {
         batch.iter().map(|f| deployed.predict(f).unwrap()).collect::<Vec<_>>()
     });
-    let batched_q = timed_pass(samples, reps, || deployed.predict_batch(&batch).unwrap());
-    println!("  1-bit serial : {serial_q}");
-    println!("  1-bit batched: {batched_q}");
-    println!("  1-bit speedup: {:.2}x", batched_q.speedup_over(&serial_q));
+    let (prefused_q, prefused_predictions) = timed_pass(samples, reps, || {
+        predict_b1_encode_then_quantize(model.encoder(), &deployed, &batch)
+    });
+    let (fused_q, fused_predictions) =
+        timed_pass(samples, reps, || deployed.predict_batch(&batch).unwrap());
+    println!("  1-bit serial            : {serial_q}");
+    println!("  1-bit batched (PR1 path): {prefused_q}");
+    println!("  1-bit fused sign-encode : {fused_q}");
+    println!("  1-bit batched-vs-serial speedup: {:.2}x", prefused_q.speedup_over(&serial_q));
+    println!("  1-bit fused-vs-batched  speedup: {:.2}x", fused_q.speedup_over(&prefused_q));
+    println!("  1-bit fused-vs-serial   speedup: {:.2}x", fused_q.speedup_over(&serial_q));
+
+    // The fused kernel's contract is bit-exact predictions against the
+    // encode-then-quantize path; assert it at bench scale, where boundary
+    // cases actually occur (both pipelines are deterministic, so the timed
+    // passes' outputs are the assertion inputs).
+    assert_eq!(fused_predictions, prefused_predictions, "fused 1-bit predictions diverged");
+
+    let arms = vec![
+        snapshot::Arm::new("dense_serial", serial),
+        snapshot::Arm::new("dense_batched", batched),
+        snapshot::Arm::new("b1_serial", serial_q),
+        snapshot::Arm::new("b1_batched_prefused", prefused_q),
+        snapshot::Arm::new("b1_fused_sign_encode", fused_q),
+    ];
+    let speedups = vec![
+        ("dense_batched_vs_serial", batched.speedup_over(&serial)),
+        ("b1_batched_vs_serial", prefused_q.speedup_over(&serial_q)),
+        ("b1_fused_vs_batched", fused_q.speedup_over(&prefused_q)),
+        ("b1_fused_vs_serial", fused_q.speedup_over(&serial_q)),
+    ];
+    let params = [
+        ("dim", dim as f64),
+        ("classes", model.num_classes() as f64),
+        ("samples", samples as f64),
+        ("reps", reps as f64),
+        ("threads", engine_threads() as f64),
+    ];
+    match snapshot::write("BENCH_infer.json", "inference", &params, &arms, &speedups) {
+        Ok(path) => println!("  snapshot: {}", path.display()),
+        Err(err) => eprintln!("  snapshot write failed: {err}"),
+    }
 }
 
 criterion_group!(benches, bench_single_flow, bench_batched_vs_serial);

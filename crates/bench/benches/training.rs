@@ -1,15 +1,34 @@
-//! End-to-end training benchmarks: CyberHD (D = 0.5k, with regeneration)
-//! vs. baselineHD at 0.5k and 4k on a small NSL-KDD-shaped corpus.
+//! Training benchmarks.
 //!
-//! These are the kernels behind the paper's Fig. 4 training-time comparison;
-//! the full figure (all datasets, all models, larger corpora) is produced by
-//! `cargo run -p bench --bin fig4 --release`.
+//! Two layers:
+//!
+//! 1. The paper-facing `hdc_training_1500_flows` criterion group (CyberHD
+//!    0.5k with regeneration vs. baselineHD at 0.5k/2k) — the kernels behind
+//!    Fig. 4; the full figure is produced by `cargo run -p bench --bin fig4
+//!    --release`.
+//! 2. The engine-facing `minibatch_vs_serial` comparison: `fit` under the
+//!    classic serial adaptive rule (`batch_size = 1`, today's bit-exact
+//!    default) against the deterministic mini-batch engine at one worker
+//!    and at the machine's thread count.  Scale is controlled by
+//!    `CYBERHD_TRAIN_DIM` / `CYBERHD_TRAIN_SAMPLES` /
+//!    `CYBERHD_TRAIN_EPOCHS` / `CYBERHD_TRAIN_BATCH` /
+//!    `CYBERHD_TRAIN_REPS` (defaults 10_000 / 10_000 / 5 / 256 / 1); CI
+//!    smoke runs shrink them.  Throughput is reported in **sample visits
+//!    per second** (`samples × (epochs + 1)` adaptive visits per `fit`),
+//!    and the run writes the `BENCH_train.json` snapshot at the workspace
+//!    root.
 
-use bench::{prepare_dataset, ExperimentScale};
+use bench::{prepare_dataset, snapshot, ExperimentScale};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cyberhd::CyberHdTrainer;
+use cyberhd::{CyberHdConfig, CyberHdTrainer, TrainingBatch};
+use eval::ThroughputReport;
+use hdc::parallel::engine_threads;
 use nids_data::DatasetKind;
 use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 fn bench_hdc_training(c: &mut Criterion) {
     let _ = ExperimentScale::Quick;
@@ -33,5 +52,122 @@ fn bench_hdc_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hdc_training);
+/// Best-of-`reps` wall-clock throughput of one full `fit`, measured in
+/// sample visits (`samples × passes`), plus the last fitted model (so the
+/// determinism assertion reuses the timed work).
+fn timed_fit(
+    visits: usize,
+    reps: usize,
+    mut f: impl FnMut() -> cyberhd::CyberHdModel,
+) -> (ThroughputReport, cyberhd::CyberHdModel) {
+    let mut best: Option<ThroughputReport> = None;
+    let mut last: Option<cyberhd::CyberHdModel> = None;
+    for _ in 0..reps.max(1) {
+        let (model, report) = ThroughputReport::measure(visits, &mut f);
+        last = Some(black_box(model));
+        if best.is_none_or(|b| report.seconds < b.seconds) {
+            best = Some(report);
+        }
+    }
+    (best.expect("at least one rep"), last.expect("at least one rep"))
+}
+
+/// The engine comparison: serial adaptive epochs vs. the deterministic
+/// mini-batch engine, at dim×samples training scale.
+fn bench_minibatch_vs_serial(c: &mut Criterion) {
+    // The heavy passes are timed directly (one default-scale `fit` is far
+    // too large for calibrated micro-sampling); criterion stays in the loop
+    // for its reporting conventions.
+    let _ = c;
+    let dim = env_usize("CYBERHD_TRAIN_DIM", 10_000);
+    let samples = env_usize("CYBERHD_TRAIN_SAMPLES", 10_000);
+    let epochs = env_usize("CYBERHD_TRAIN_EPOCHS", 5);
+    let batch = env_usize("CYBERHD_TRAIN_BATCH", 256);
+    let reps = env_usize("CYBERHD_TRAIN_REPS", 1);
+    let threads = engine_threads();
+
+    // NSL-KDD-shaped synthetic traffic, restricted to 4 classes (the
+    // engine's reference configuration).
+    let data = prepare_dataset(DatasetKind::NslKdd, samples + 400, 29).expect("dataset generation");
+    let classes = 4usize;
+    let (train_x, train_y): (Vec<Vec<f32>>, Vec<usize>) = data
+        .train_x
+        .iter()
+        .chain(data.test_x.iter())
+        .zip(data.train_y.iter().chain(data.test_y.iter()))
+        .filter(|(_, &y)| y < classes)
+        .map(|(x, &y)| (x.clone(), y))
+        .unzip();
+    let n = samples.min(train_x.len());
+    let (train_x, train_y) = (&train_x[..n], &train_y[..n]);
+
+    let config_with = |batch: TrainingBatch| -> CyberHdConfig {
+        CyberHdConfig::builder(data.input_width, classes)
+            .dimension(dim)
+            .retrain_epochs(epochs)
+            .regeneration_rate(0.0)
+            .learning_rate(0.05)
+            // Encoding is parallel in every arm, so the comparison isolates
+            // the epoch engine.
+            .encode_threads(threads)
+            .training_batch(batch)
+            .seed(17)
+            .build()
+            .expect("valid config")
+    };
+    let fit = |batch: TrainingBatch| -> cyberhd::CyberHdModel {
+        CyberHdTrainer::new(config_with(batch)).unwrap().fit(train_x, train_y).unwrap()
+    };
+
+    let visits = n * (epochs + 1);
+    println!(
+        "\nminibatch_vs_serial: dim={dim}, classes={classes}, samples={n}, epochs={epochs}, \
+         batch={batch}, threads={threads} (throughput = adaptive sample visits/s over fit)"
+    );
+
+    let (serial, _) = timed_fit(visits, reps, || fit(TrainingBatch::SERIAL));
+    let (mini_one, model_one) =
+        timed_fit(visits, reps, || fit(TrainingBatch { size: batch, threads: 1 }));
+    let (mini_all, model_all) =
+        timed_fit(visits, reps, || fit(TrainingBatch { size: batch, threads }));
+    println!("  serial rule (batch 1)      : {serial}");
+    println!("  mini-batch {batch} × 1 thread  : {mini_one}");
+    println!("  mini-batch {batch} × {threads} thread(s): {mini_all}");
+    println!("  mini-batch 1-thread speedup : {:.2}x", mini_one.speedup_over(&serial));
+    println!("  mini-batch {threads}-thread speedup : {:.2}x", mini_all.speedup_over(&serial));
+
+    // Determinism is part of the engine's contract: the same seed and batch
+    // size must produce identical models at 1 and N threads (the timed
+    // passes' models are the assertion inputs).
+    assert_eq!(
+        model_one.class_hypervectors(),
+        model_all.class_hypervectors(),
+        "mini-batch training diverged across thread counts"
+    );
+
+    let arms = vec![
+        snapshot::Arm::new("serial_rule", serial),
+        snapshot::Arm::new("minibatch_1_thread", mini_one),
+        snapshot::Arm::new("minibatch_all_threads", mini_all),
+    ];
+    let speedups = vec![
+        ("minibatch_1_thread_vs_serial", mini_one.speedup_over(&serial)),
+        ("minibatch_all_threads_vs_serial", mini_all.speedup_over(&serial)),
+    ];
+    let params = [
+        ("dim", dim as f64),
+        ("classes", classes as f64),
+        ("samples", n as f64),
+        ("epochs", epochs as f64),
+        ("batch_size", batch as f64),
+        ("threads", threads as f64),
+        ("reps", reps as f64),
+    ];
+    match snapshot::write("BENCH_train.json", "training", &params, &arms, &speedups) {
+        Ok(path) => println!("  snapshot: {}", path.display()),
+        Err(err) => eprintln!("  snapshot write failed: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_hdc_training, bench_minibatch_vs_serial);
 criterion_main!(benches);

@@ -16,7 +16,10 @@
 //! 3. each encoded row is scored against all classes with class norms that
 //!    were computed **once per batch** ([`AssociativeMemory::class_norms`]);
 //! 4. the 1-bit deployment path packs class hypervectors into `u64` words
-//!    once per batch and scores whole word slices with XOR + popcount.
+//!    once per batch, encodes queries straight to packed sign bits with the
+//!    encoder's fused sign kernel (`Encoder::encode_signs_into` — the RBF
+//!    encoder reduces each phase to a quadrant test and never materializes
+//!    the f32 matrix), and scores whole word slices with XOR + popcount.
 //!
 //! **Parity contract** (asserted by the `tests/batch_parity.rs` suite):
 //! the IdLevel/Record encoders and every quantized width evaluate the same
@@ -31,7 +34,7 @@ use crate::model::AnyEncoder;
 use crate::{CyberHdError, Result};
 use hdc::encoder::Encoder;
 use hdc::parallel::{engine_threads, for_each_chunk};
-use hdc::quant::quantize_into;
+use hdc::quant::quantize_into_with_scratch;
 use hdc::similarity::argmax;
 use hdc::{binary, AssociativeMemory, BitWidth, QuantizedHypervector};
 
@@ -87,12 +90,14 @@ pub(crate) fn predict_dense(
 /// Fused batched prediction against quantized class hypervectors.
 ///
 /// Class norms are computed once per batch; at 1 bit the classes are packed
-/// into `u64` words once and each query is scored with whole-word XOR +
-/// popcount instead of a `dim`-element integer dot product.  Given the same
-/// quantization levels, the score formula matches the serial
-/// [`QuantizedHypervector::cosine`] to within one ulp of the f64→f32
-/// rounding; end-to-end parity additionally inherits the encoder-side
-/// contract described in the module docs.
+/// into `u64` words once, queries are sign-encoded straight into packed
+/// words by the encoder's fused kernel (bit-exact with encode-then-quantize
+/// by the `Encoder::encode_signs_into` contract), and each query is scored
+/// with whole-word XOR + popcount instead of a `dim`-element integer dot
+/// product.  Given the same quantization levels, the score formula matches
+/// the serial [`QuantizedHypervector::cosine`] to within one ulp of the
+/// f64→f32 rounding; end-to-end parity additionally inherits the
+/// encoder-side contract described in the module docs.
 pub(crate) fn predict_quantized(
     encoder: &AnyEncoder,
     classes: &[QuantizedHypervector],
@@ -118,30 +123,34 @@ pub(crate) fn predict_quantized(
     let mut predictions = vec![0usize; batch.len()];
     for_each_chunk(batch.len(), CHUNK_ROWS, &mut predictions, 1, engine_threads(), |chunk, out| {
         let rows = &batch[chunk.start..chunk.end];
-        let mut matrix = vec![0.0f32; rows.len() * dim];
-        encoder
-            .encode_batch_into(rows, &mut matrix)
-            .expect("batch shape validated before the fan-out");
         let mut scores = vec![0.0f32; num_classes];
         if let Some(packed_classes) = &packed {
-            // Packed-word 1-bit kernel: sign-pack the query once, then
-            // XOR + popcount whole u64 slices per class.
-            let mut query_words = vec![0u64; binary::words_for_dim(dim)];
+            // Fused 1-bit kernel: the encoder packs quadrant-test sign bits
+            // straight into u64 words (`Encoder::encode_signs_into`) — the
+            // f32 chunk matrix, the cosine pass and the per-row quantize +
+            // pack passes never happen — then each query scores whole word
+            // slices with XOR + popcount.
+            let words_per_row = binary::words_for_dim(dim);
+            let mut query_words = vec![0u64; rows.len() * words_per_row];
+            let mut zero_rows = vec![false; rows.len()];
+            encoder
+                .encode_signs_into(rows, &mut query_words, &mut zero_rows)
+                .expect("batch shape validated before the fan-out");
             // ±1 levels: every query norm is exactly sqrt(dim).
             let qn = (dim as f64).sqrt();
             for (local, slot) in out.iter_mut().enumerate() {
-                let query = &matrix[local * dim..(local + 1) * dim];
                 // An all-zero encoding quantizes to all-zero levels on the
                 // serial path (zero norm → every score 0.0, class 0 wins);
-                // mirror that rather than sign-packing zeros to +1.
-                if query.iter().all(|&v| v == 0.0) {
+                // the sign encoder flags those rows rather than packing the
+                // zeros to +1.
+                if zero_rows[local] {
                     scores.fill(0.0);
                 } else {
-                    binary::pack_f32_signs_into(query, &mut query_words);
+                    let query = &query_words[local * words_per_row..(local + 1) * words_per_row];
                     for ((score, class), cn) in
                         scores.iter_mut().zip(packed_classes).zip(&class_norms)
                     {
-                        let h = hdc::hamming_distance(&query_words, class.as_words());
+                        let h = hdc::hamming_distance(query, class.as_words());
                         let dot = dim as f64 - 2.0 * h as f64;
                         *score = quantized_cosine(dot, qn, *cn);
                     }
@@ -149,10 +158,15 @@ pub(crate) fn predict_quantized(
                 *slot = argmax(&scores).expect("at least one class").0;
             }
         } else {
+            let mut matrix = vec![0.0f32; rows.len() * dim];
+            encoder
+                .encode_batch_into(rows, &mut matrix)
+                .expect("batch shape validated before the fan-out");
             let mut levels = vec![0i32; dim];
+            let mut magnitudes = Vec::new();
             for (local, slot) in out.iter_mut().enumerate() {
                 let query = &matrix[local * dim..(local + 1) * dim];
-                quantize_into(query, width, &mut levels);
+                quantize_into_with_scratch(query, width, &mut levels, &mut magnitudes);
                 let qn = levels.iter().map(|&l| (l as f64) * (l as f64)).sum::<f64>().sqrt();
                 for ((score, class), cn) in scores.iter_mut().zip(classes).zip(&class_norms) {
                     let dot = levels

@@ -70,7 +70,7 @@ pub mod regeneration;
 pub mod trainer;
 
 pub use baseline::{BaselineHd, BaselineHdModel};
-pub use config::{CyberHdConfig, CyberHdConfigBuilder, EncoderKind};
+pub use config::{CyberHdConfig, CyberHdConfigBuilder, EncoderKind, TrainingBatch};
 pub use model::{CyberHdModel, TrainingReport};
 pub use online::OnlineLearner;
 pub use openset::{OpenSetDetector, OpenSetPrediction};

@@ -137,6 +137,19 @@ impl Encoder for AnyEncoder {
             AnyEncoder::Record(e) => e.encode_batch_into(batch, out),
         }
     }
+
+    fn encode_signs_into(
+        &self,
+        batch: &[Vec<f32>],
+        words: &mut [u64],
+        zero_rows: &mut [bool],
+    ) -> hdc::Result<()> {
+        match self {
+            AnyEncoder::Rbf(e) => e.encode_signs_into(batch, words, zero_rows),
+            AnyEncoder::IdLevel(e) => e.encode_signs_into(batch, words, zero_rows),
+            AnyEncoder::Record(e) => e.encode_signs_into(batch, words, zero_rows),
+        }
+    }
 }
 
 /// History of one CyberHD training run.

@@ -12,9 +12,10 @@
 use crate::config::CyberHdConfig;
 use crate::model::{AnyEncoder, CyberHdModel, TrainingReport};
 use crate::regeneration::{RegenerationPlan, RegenerationStats};
-use crate::trainer::adaptive_update;
+use crate::trainer::{adaptive_update, ChunkScratch};
 use crate::{CyberHdError, Result};
-use hdc::AssociativeMemory;
+use hdc::encoder::Encoder;
+use hdc::{similarity, AssociativeMemory};
 
 /// A streaming CyberHD learner.
 ///
@@ -44,6 +45,9 @@ pub struct OnlineLearner {
     stats: RegenerationStats,
     seen: usize,
     correct_before_update: usize,
+    /// Frozen-snapshot scratch reused by [`OnlineLearner::observe_batch`]
+    /// (allocated once; the drain re-zeroes only the touched rows).
+    batch_scratch: ChunkScratch,
 }
 
 impl OnlineLearner {
@@ -56,6 +60,7 @@ impl OnlineLearner {
         let encoder = AnyEncoder::from_config(&config)?;
         let memory = AssociativeMemory::new(config.num_classes, config.dimension)?;
         Ok(Self {
+            batch_scratch: ChunkScratch::new(config.num_classes, config.dimension),
             config,
             encoder,
             memory,
@@ -114,6 +119,64 @@ impl OnlineLearner {
             self.correct_before_update += 1;
         }
         Ok(prediction)
+    }
+
+    /// Observes one mini-batch of labelled samples: predicts every sample
+    /// against the current (frozen) model, then applies all adaptive
+    /// updates at once — the streaming twin of the trainer's mini-batch
+    /// engine.  Returns the predictions made *before* the update.
+    ///
+    /// Samples are encoded through the batched kernel and scored against
+    /// class norms computed once per call, so a burst of flows costs far
+    /// less than the same flows through [`OnlineLearner::observe`]; the
+    /// trade-off is that samples within the batch do not see each other's
+    /// updates (for the RBF encoder the batched kernel also carries its
+    /// documented ~1e-6 rounding difference from the serial encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for mismatched lengths or an
+    /// out-of-range label, and propagates the encoder's
+    /// [`CyberHdError::Hdc`] error for rows with the wrong feature arity —
+    /// in every error case the model and its counters are left untouched.
+    pub fn observe_batch(&mut self, features: &[Vec<f32>], labels: &[usize]) -> Result<Vec<usize>> {
+        if features.len() != labels.len() {
+            return Err(CyberHdError::InvalidData(format!(
+                "{} feature vectors but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= self.config.num_classes) {
+            return Err(CyberHdError::InvalidData(format!(
+                "label {bad} out of range for {} classes",
+                self.config.num_classes
+            )));
+        }
+        let dim = self.memory.dim();
+        let mut matrix = vec![0.0f32; features.len() * dim];
+        self.encoder.encode_batch_into(features, &mut matrix)?;
+
+        // Frozen-snapshot scoring + deferred deltas through the trainer's
+        // own mini-batch scratch: the whole call is one batch, so the
+        // streaming and batch engines share one implementation of the rule.
+        let class_norms = self.memory.class_norms();
+        let scratch = &mut self.batch_scratch;
+        let mut predictions = Vec::with_capacity(features.len());
+        for (row, &label) in matrix.chunks_exact(dim).zip(labels) {
+            let predicted = scratch.visit(
+                &self.memory,
+                &class_norms,
+                row,
+                similarity::norm(row),
+                label,
+                self.config.learning_rate,
+            );
+            predictions.push(predicted);
+        }
+        self.seen += features.len();
+        self.correct_before_update += scratch.drain_into(&mut self.memory, |_| {});
+        Ok(predictions)
     }
 
     /// Runs one regeneration round using the configured regeneration rate.
@@ -237,6 +300,36 @@ mod tests {
             learner.observe(&x, y).unwrap();
         }
         assert!(learner.prequential_accuracy() > 0.7);
+    }
+
+    #[test]
+    fn observe_batch_matches_streaming_semantics() {
+        let mut batched = OnlineLearner::new(config(256, 0.0)).unwrap();
+        let flows = stream(300, 1);
+        for window in flows.chunks(25) {
+            let (xs, ys): (Vec<Vec<f32>>, Vec<usize>) = window.iter().cloned().unzip();
+            let predictions = batched.observe_batch(&xs, &ys).unwrap();
+            assert_eq!(predictions.len(), xs.len());
+        }
+        assert_eq!(batched.samples_seen(), 300);
+        // Mini-batch updates converge like the per-sample stream does.
+        assert!(batched.prequential_accuracy() > 0.75, "{}", batched.prequential_accuracy());
+        let model = batched.into_model();
+        assert_eq!(model.predict(&[0.0, 1.0, 0.0]).unwrap(), 0);
+        assert_eq!(model.predict(&[1.0, 0.0, 0.5]).unwrap(), 1);
+    }
+
+    #[test]
+    fn observe_batch_validates_inputs() {
+        let mut learner = OnlineLearner::new(config(64, 0.0)).unwrap();
+        let xs = vec![vec![0.0f32; 3]];
+        // Length/label problems are InvalidData; arity problems surface as
+        // the encoder's error (the documented contract).
+        assert!(matches!(learner.observe_batch(&xs, &[]), Err(CyberHdError::InvalidData(_))));
+        assert!(matches!(learner.observe_batch(&xs, &[2]), Err(CyberHdError::InvalidData(_))));
+        let ragged = vec![vec![0.0f32; 2]];
+        assert!(matches!(learner.observe_batch(&ragged, &[0]), Err(CyberHdError::Hdc(_))));
+        assert_eq!(learner.samples_seen(), 0, "failed batches must not count");
     }
 
     #[test]

@@ -131,8 +131,11 @@ impl QuantizedModel {
     /// batched engine (see [`crate::inference`]).
     ///
     /// Class norms are computed once per batch instead of once per
-    /// query×class, and the 1-bit deployment path scores packed `u64` word
-    /// slices with XOR + popcount.  Predictions match mapping
+    /// query×class.  At 1 bit the pipeline is fully fused: queries are
+    /// encoded straight to packed sign words by the encoder's
+    /// `encode_signs_into` kernel (for RBF a quadrant test replaces the
+    /// cosine and the f32 query matrix is never materialized) and scored
+    /// with whole-word XOR + popcount.  Predictions match mapping
     /// [`QuantizedModel::predict`] over the batch — exactly for
     /// IdLevel/Record-encoded models; for RBF models the batched encoding
     /// feeding the quantizer carries the RBF batch kernel's ~1e-6 rounding,

@@ -20,8 +20,23 @@
 //! Setting `regeneration_rate` to zero turns the same loop into the paper's
 //! *baselineHD* (static encoder, adaptive retraining only) — which is exactly
 //! how [`crate::BaselineHd`] is implemented.
+//!
+//! # Serial rule vs. mini-batch engine
+//!
+//! The adaptive update is order-dependent — every mispredict changes the
+//! model the next sample is scored against — which pins the classic rule to
+//! one thread.  The [`crate::TrainingBatch`] knob trades a bounded amount of
+//! that freshness for parallelism: with `batch.size > 1` each mini-batch is
+//! scored against a **frozen snapshot** of the class memory, the adaptive
+//! deltas are accumulated per row chunk (fanned out through
+//! [`hdc::parallel`]), merged in fixed chunk order and applied once per
+//! batch, after which exactly the touched class norms are refreshed.  Chunk
+//! boundaries and the merge order depend only on the batch size — never on
+//! the thread count — so a fixed seed produces bit-identical models at any
+//! parallelism.  `batch.size == 1` (the default) runs the untouched serial
+//! loop and reproduces the classic rule bit for bit.
 
-use crate::config::CyberHdConfig;
+use crate::config::{CyberHdConfig, TrainingBatch};
 use crate::model::{AnyEncoder, CyberHdModel, TrainingReport};
 use crate::regeneration::{RegenerationPlan, RegenerationStats};
 use crate::{validate_dataset, CyberHdError, Result};
@@ -39,14 +54,27 @@ use hdc::{AssociativeMemory, Hypervector};
 pub(crate) struct EncodedMatrix {
     data: Vec<f32>,
     dim: usize,
+    /// Cached `similarity::norm` of every row, so the mini-batch engine can
+    /// score without re-deriving the query norm per visit.  Only built when
+    /// that engine will run (empty otherwise — the serial scorer derives
+    /// norms itself), and refreshed whenever rows are patched
+    /// (regeneration).
+    row_norms: Vec<f32>,
 }
 
 impl EncodedMatrix {
     /// Encodes `features` through the batched engine: chunked over
     /// [`crate::inference::CHUNK_ROWS`]-row tiles, each tile written by the
     /// encoder's cache-blocked batch kernel, fanned out across at most
-    /// `threads` workers.
-    fn encode(encoder: &AnyEncoder, features: &[Vec<f32>], threads: usize) -> Result<Self> {
+    /// `threads` workers.  `cache_row_norms` builds the per-row norm cache
+    /// the mini-batch engine scores with; the serial scorer never reads it,
+    /// so `batch_size = 1` runs skip the extra pass.
+    fn encode(
+        encoder: &AnyEncoder,
+        features: &[Vec<f32>],
+        threads: usize,
+        cache_row_norms: bool,
+    ) -> Result<Self> {
         let dim = encoder.output_dim();
         if let Some(bad) = features.iter().find(|f| f.len() != encoder.input_features()) {
             return Err(CyberHdError::Hdc(hdc::HdcError::FeatureMismatch {
@@ -67,7 +95,12 @@ impl EncodedMatrix {
                     .expect("shapes validated before the fan-out");
             },
         );
-        Ok(Self { data, dim })
+        let row_norms = if cache_row_norms {
+            data.chunks_exact(dim).map(similarity::norm).collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self { data, dim, row_norms })
     }
 
     fn rows(&self) -> usize {
@@ -78,8 +111,27 @@ impl EncodedMatrix {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
+    /// Cached `similarity::norm` of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix was encoded without `cache_row_norms` — only
+    /// the mini-batch engine calls this, and `fit` builds the cache exactly
+    /// when that engine will run.
+    fn row_norm(&self, i: usize) -> f32 {
+        self.row_norms[i]
+    }
+
     fn patch(&mut self, i: usize, d: usize, value: f32) {
         self.data[i * self.dim + d] = value;
+    }
+
+    /// Recomputes every cached row norm (after regeneration patched
+    /// coordinates in place); a no-op when the cache was not requested.
+    fn refresh_row_norms(&mut self) {
+        for (norm, row) in self.row_norms.iter_mut().zip(self.data.chunks_exact(self.dim)) {
+            *norm = similarity::norm(row);
+        }
     }
 }
 
@@ -119,27 +171,26 @@ impl CyberHdTrainer {
         validate_dataset(features, labels, config.input_features, config.num_classes)?;
 
         let mut encoder = AnyEncoder::from_config(config)?;
-        let mut encoded = EncodedMatrix::encode(&encoder, features, config.encode_threads)?;
+        let mut encoded = EncodedMatrix::encode(
+            &encoder,
+            features,
+            config.encode_threads,
+            config.batch.size > 1,
+        )?;
         let mut memory = AssociativeMemory::new(config.num_classes, config.dimension)?;
         let mut rng = HdcRng::seed_from(config.seed ^ 0xA5A5_A5A5_DEAD_BEEF);
         let mut stats = RegenerationStats::new();
         let mut epoch_accuracy = Vec::with_capacity(config.retrain_epochs + 1);
 
-        // Per-epoch scoring state of the batched engine: class norms are
-        // maintained incrementally (only the two classes touched by a
-        // mispredict are re-normed) and one scratch score vector is reused
-        // for every sample, instead of a fresh allocation plus a full
-        // norm recomputation per sample.
-        let mut scorer = EpochScorer::new(&memory);
+        // Per-epoch update state: the serial scorer (batch size 1, the
+        // classic rule) or the parallel mini-batch engine, both maintaining
+        // cached class norms incrementally instead of recomputing every
+        // norm per sample.
+        let mut updater = Updater::new(&memory, config.batch, encoded.rows());
 
         // Initial adaptive pass over the data in its natural order.
-        let initial_correct = scorer.adaptive_epoch_ordered(
-            &mut memory,
-            &encoded,
-            labels,
-            None,
-            config.learning_rate,
-        );
+        let initial_correct =
+            updater.epoch(&mut memory, &encoded, labels, None, config.learning_rate);
         epoch_accuracy.push(initial_correct as f64 / labels.len() as f64);
 
         for epoch in 0..config.retrain_epochs {
@@ -152,18 +203,13 @@ impl CyberHdTrainer {
                     apply_regeneration(&mut encoder, &mut memory, &mut encoded, features, &plan)?;
                     stats.record_round(&plan);
                     // Zeroed dimensions invalidate every cached class norm.
-                    scorer.refresh(&memory);
+                    updater.refresh(&memory);
                 }
             }
 
             let order = rng.permutation(encoded.rows());
-            let correct = scorer.adaptive_epoch_ordered(
-                &mut memory,
-                &encoded,
-                labels,
-                Some(&order),
-                config.learning_rate,
-            );
+            let correct =
+                updater.epoch(&mut memory, &encoded, labels, Some(&order), config.learning_rate);
             epoch_accuracy.push(correct as f64 / labels.len() as f64);
         }
 
@@ -265,6 +311,268 @@ impl EpochScorer {
     }
 }
 
+/// The trainer's per-epoch update strategy, dispatched by
+/// [`TrainingBatch::size`]: the classic serial rule at size 1, the parallel
+/// mini-batch engine otherwise.
+enum Updater {
+    Serial(EpochScorer),
+    MiniBatch(MiniBatchEngine),
+}
+
+impl Updater {
+    fn new(memory: &AssociativeMemory, batch: TrainingBatch, rows: usize) -> Self {
+        if batch.size <= 1 {
+            Updater::Serial(EpochScorer::new(memory))
+        } else {
+            Updater::MiniBatch(MiniBatchEngine::new(memory, batch, rows))
+        }
+    }
+
+    fn epoch(
+        &mut self,
+        memory: &mut AssociativeMemory,
+        encoded: &EncodedMatrix,
+        labels: &[usize],
+        order: Option<&[usize]>,
+        learning_rate: f32,
+    ) -> usize {
+        match self {
+            Updater::Serial(scorer) => {
+                scorer.adaptive_epoch_ordered(memory, encoded, labels, order, learning_rate)
+            }
+            Updater::MiniBatch(engine) => {
+                engine.epoch(memory, encoded, labels, order, learning_rate)
+            }
+        }
+    }
+
+    fn refresh(&mut self, memory: &AssociativeMemory) {
+        match self {
+            Updater::Serial(scorer) => scorer.refresh(memory),
+            Updater::MiniBatch(engine) => engine.refresh(memory),
+        }
+    }
+}
+
+/// Rows per parallel scoring chunk of the mini-batch engine.
+///
+/// Chunk boundaries depend only on this constant and the batch size — never
+/// on the worker-thread count — which is what makes mini-batch training
+/// bit-identical at every parallelism for a fixed seed.
+const TRAIN_CHUNK_ROWS: usize = 32;
+
+/// Frozen-snapshot scratch of the mini-batch rule: a dense `classes × dim`
+/// delta accumulator plus per-class touch flags, reused across batches (the
+/// merge re-zeroes exactly the rows it consumed).
+///
+/// The mini-batch engine runs one per parallel chunk;
+/// [`crate::OnlineLearner::observe_batch`] runs a single one over its whole
+/// burst — both apply the identical deferred adaptive rule.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkScratch {
+    delta: Vec<f32>,
+    touched: Vec<bool>,
+    correct: usize,
+    scores: Vec<f32>,
+}
+
+impl ChunkScratch {
+    pub(crate) fn new(classes: usize, dim: usize) -> Self {
+        Self {
+            delta: vec![0.0; classes * dim],
+            touched: vec![false; classes],
+            correct: 0,
+            scores: vec![0.0; classes],
+        }
+    }
+
+    /// Scores one encoded row against the frozen snapshot and accumulates
+    /// the adaptive delta on a mispredict — the same pull/push expressions
+    /// as [`EpochScorer::adaptive_update_slice`], deferred into the chunk's
+    /// delta rows instead of applied to the live memory.  Returns the
+    /// predicted class.  The row norm is caller-supplied (the engine's
+    /// [`EncodedMatrix`] cache, bit-identical to recomputing it), saving one
+    /// `dim`-length pass per visit.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn visit(
+        &mut self,
+        frozen: &AssociativeMemory,
+        class_norms: &[f32],
+        row: &[f32],
+        row_norm: f32,
+        label: usize,
+        learning_rate: f32,
+    ) -> usize {
+        frozen
+            .similarities_with_query_norm(row, row_norm, class_norms, &mut self.scores)
+            .expect("encoded sample dimensionality is validated before training");
+        let (predicted, _) =
+            similarity::argmax(&self.scores).expect("memory always has at least one class");
+        if predicted == label {
+            self.correct += 1;
+            return predicted;
+        }
+        let pull = learning_rate * (1.0 - self.scores[label]);
+        let push = learning_rate * (1.0 - self.scores[predicted]);
+        self.accumulate(label, row, pull);
+        self.accumulate(predicted, row, -push);
+        predicted
+    }
+
+    fn accumulate(&mut self, class: usize, row: &[f32], weight: f32) {
+        self.touched[class] = true;
+        let dim = row.len();
+        for (slot, &v) in self.delta[class * dim..(class + 1) * dim].iter_mut().zip(row) {
+            *slot += weight * v;
+        }
+    }
+
+    /// Merges every touched delta row into `memory` (classes in index
+    /// order), re-zeroing the consumed rows and flags, invoking `on_merged`
+    /// per merged class, and returning the chunk's reset correct count.
+    pub(crate) fn drain_into(
+        &mut self,
+        memory: &mut AssociativeMemory,
+        mut on_merged: impl FnMut(usize),
+    ) -> usize {
+        let dim = memory.dim();
+        for class in 0..self.touched.len() {
+            if !self.touched[class] {
+                continue;
+            }
+            self.touched[class] = false;
+            let delta = &mut self.delta[class * dim..(class + 1) * dim];
+            memory
+                .add_scaled_slice(class, delta, 1.0)
+                .expect("class index comes from the memory itself");
+            delta.fill(0.0);
+            on_merged(class);
+        }
+        std::mem::take(&mut self.correct)
+    }
+}
+
+/// The parallel mini-batch training engine (see the module docs).
+///
+/// Owns the cached class norms, one [`ChunkScratch`] per possible chunk and
+/// the merge bookkeeping, all allocated once per `fit` and reused for every
+/// batch of every epoch.
+pub(crate) struct MiniBatchEngine {
+    batch_size: usize,
+    threads: usize,
+    class_norms: Vec<f32>,
+    chunks: Vec<ChunkScratch>,
+    dirty: Vec<bool>,
+}
+
+impl MiniBatchEngine {
+    pub(crate) fn new(memory: &AssociativeMemory, batch: TrainingBatch, rows: usize) -> Self {
+        let classes = memory.num_classes();
+        let dim = memory.dim();
+        let batch_size = batch.size.max(1).min(rows.max(1));
+        let threads =
+            if batch.threads == 0 { hdc::parallel::engine_threads() } else { batch.threads.max(1) };
+        let chunk_count = batch_size.div_ceil(TRAIN_CHUNK_ROWS);
+        Self {
+            batch_size,
+            threads,
+            class_norms: memory.class_norms(),
+            chunks: (0..chunk_count).map(|_| ChunkScratch::new(classes, dim)).collect(),
+            dirty: vec![false; classes],
+        }
+    }
+
+    /// Recomputes every cached class norm (after regeneration zeroed
+    /// dimensions behind the cache's back).
+    pub(crate) fn refresh(&mut self, memory: &AssociativeMemory) {
+        self.class_norms = memory.class_norms();
+    }
+
+    /// Runs one epoch visiting samples in `order` (or natural order) in
+    /// consecutive mini-batches, returning how many samples were classified
+    /// correctly against their batch's snapshot.
+    pub(crate) fn epoch(
+        &mut self,
+        memory: &mut AssociativeMemory,
+        encoded: &EncodedMatrix,
+        labels: &[usize],
+        order: Option<&[usize]>,
+        learning_rate: f32,
+    ) -> usize {
+        let rows = encoded.rows();
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        while start < rows {
+            let end = (start + self.batch_size).min(rows);
+            correct += self.run_batch(memory, encoded, labels, order, start, end, learning_rate);
+            start = end;
+        }
+        correct
+    }
+
+    /// One mini-batch: parallel frozen-snapshot scoring + delta
+    /// accumulation, then the deterministic in-order merge.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batch(
+        &mut self,
+        memory: &mut AssociativeMemory,
+        encoded: &EncodedMatrix,
+        labels: &[usize],
+        order: Option<&[usize]>,
+        start: usize,
+        end: usize,
+        learning_rate: f32,
+    ) -> usize {
+        let chunk_count = (end - start).div_ceil(TRAIN_CHUNK_ROWS);
+        {
+            let frozen: &AssociativeMemory = memory;
+            let class_norms = &self.class_norms;
+            let scratch = &mut self.chunks[..chunk_count];
+            let kernel = |chunk: hdc::parallel::RowChunk, slot: &mut [ChunkScratch]| {
+                let scratch = &mut slot[0];
+                let lo = start + chunk.start * TRAIN_CHUNK_ROWS;
+                let hi = (lo + TRAIN_CHUNK_ROWS).min(end);
+                for visit in lo..hi {
+                    let sample = order.map_or(visit, |o| o[visit]);
+                    scratch.visit(
+                        frozen,
+                        class_norms,
+                        encoded.row(sample),
+                        encoded.row_norm(sample),
+                        labels[sample],
+                        learning_rate,
+                    );
+                }
+            };
+            if chunk_count == 1 {
+                // Single chunk: no reason to stand up the fan-out.
+                kernel(hdc::parallel::RowChunk { start: 0, end: 1 }, &mut scratch[..1]);
+            } else {
+                hdc::parallel::for_each_chunk(chunk_count, 1, scratch, 1, self.threads, kernel);
+            }
+        }
+
+        // Deterministic merge: chunks in index order, classes in index
+        // order, one slice addition per touched (chunk, class) pair (the
+        // drained delta rows are re-zeroed so the scratch is clean for the
+        // next batch).
+        self.dirty.fill(false);
+        let mut correct = 0usize;
+        let dirty = &mut self.dirty;
+        for scratch in &mut self.chunks[..chunk_count] {
+            correct += scratch.drain_into(memory, |class| dirty[class] = true);
+        }
+        // Only the classes something pulled or pushed need a new norm.
+        for (class, dirty) in self.dirty.iter().enumerate() {
+            if *dirty {
+                self.class_norms[class] =
+                    similarity::norm(memory.class(class).expect("index in range").as_slice());
+            }
+        }
+        correct
+    }
+}
+
 /// Performs one adaptive update for a single encoded sample.
 ///
 /// Returns `true` if the sample was already classified correctly (in which
@@ -300,12 +608,14 @@ fn apply_regeneration(
         memory.zero_dimension(d)?;
         rbf.regenerate_dimension(d)?;
     }
-    // Patch only the regenerated coordinates of the cached encodings.
+    // Patch only the regenerated coordinates of the cached encodings, then
+    // bring the cached row norms back in sync with the patched rows.
     for (i, sample) in features.iter().enumerate() {
         for &d in &plan.drop {
             encoded.patch(i, d, rbf.encode_dimension(sample, d)?);
         }
     }
+    encoded.refresh_row_norms();
     Ok(())
 }
 
@@ -421,8 +731,8 @@ mod tests {
         let (xs, _) = blobs(2, 40, 7, 0.2, 8);
         let config = base_config(7, 2);
         let encoder = AnyEncoder::from_config(&config).unwrap();
-        let sequential = EncodedMatrix::encode(&encoder, &xs, 1).unwrap();
-        let parallel = EncodedMatrix::encode(&encoder, &xs, 4).unwrap();
+        let sequential = EncodedMatrix::encode(&encoder, &xs, 1, false).unwrap();
+        let parallel = EncodedMatrix::encode(&encoder, &xs, 4, false).unwrap();
         assert_eq!(sequential.data, parallel.data);
         // The matrix rows are the per-sample encodings (up to the batched
         // kernel's float-rounding difference from the serial path).
@@ -433,7 +743,7 @@ mod tests {
             }
         }
         // Arity errors surface before the fan-out.
-        assert!(EncodedMatrix::encode(&encoder, &[vec![0.0; 3]], 2).is_err());
+        assert!(EncodedMatrix::encode(&encoder, &[vec![0.0; 3]], 2, false).is_err());
     }
 
     #[test]
@@ -462,6 +772,104 @@ mod tests {
             accs.last().unwrap() >= accs.first().unwrap(),
             "final accuracy {accs:?} should not be worse than the initial pass"
         );
+    }
+
+    /// Shared setup for the mini-batch engine tests: an encoded matrix,
+    /// labels and a fresh memory.
+    fn engine_fixture(seed: u64) -> (EncodedMatrix, Vec<usize>, AssociativeMemory, Vec<usize>) {
+        let (xs, ys) = blobs(3, 30, 6, 0.25, seed);
+        let config = base_config(6, 3);
+        let encoder = AnyEncoder::from_config(&config).unwrap();
+        let encoded = EncodedMatrix::encode(&encoder, &xs, 1, true).unwrap();
+        let memory = AssociativeMemory::new(3, 256).unwrap();
+        let order = HdcRng::seed_from(seed ^ 0x0DDB).permutation(encoded.rows());
+        (encoded, ys, memory, order)
+    }
+
+    #[test]
+    fn minibatch_engine_at_batch_size_one_is_bit_exact_with_the_serial_rule() {
+        let (encoded, labels, memory, order) = engine_fixture(41);
+        let mut serial_memory = memory.clone();
+        let mut batch_memory = memory;
+        let mut scorer = EpochScorer::new(&serial_memory);
+        let mut engine =
+            MiniBatchEngine::new(&batch_memory, crate::TrainingBatch::of(1), encoded.rows());
+        for (epoch, order) in [None, Some(order.as_slice()), None].into_iter().enumerate() {
+            let serial_correct =
+                scorer.adaptive_epoch_ordered(&mut serial_memory, &encoded, &labels, order, 0.05);
+            let batch_correct = engine.epoch(&mut batch_memory, &encoded, &labels, order, 0.05);
+            assert_eq!(serial_correct, batch_correct, "epoch {epoch}: correct counts diverge");
+            assert_eq!(serial_memory, batch_memory, "epoch {epoch}: class memories diverge");
+        }
+    }
+
+    #[test]
+    fn minibatch_epochs_are_identical_for_every_thread_count() {
+        let (encoded, labels, memory, order) = engine_fixture(43);
+        let reference: Vec<AssociativeMemory> = {
+            let mut m = memory.clone();
+            let mut engine = MiniBatchEngine::new(
+                &m,
+                crate::TrainingBatch { size: 48, threads: 1 },
+                encoded.rows(),
+            );
+            engine.epoch(&mut m, &encoded, &labels, Some(&order), 0.05);
+            vec![m]
+        };
+        for threads in [2, 4, 8] {
+            let mut m = memory.clone();
+            let mut engine = MiniBatchEngine::new(
+                &m,
+                crate::TrainingBatch { size: 48, threads },
+                encoded.rows(),
+            );
+            engine.epoch(&mut m, &encoded, &labels, Some(&order), 0.05);
+            assert_eq!(m, reference[0], "{threads} threads diverged from 1 thread");
+        }
+    }
+
+    #[test]
+    fn minibatch_training_still_learns_the_blobs() {
+        let (xs, ys) = blobs(4, 40, 8, 0.05, 11);
+        let config = CyberHdConfig::builder(8, 4)
+            .dimension(256)
+            .retrain_epochs(5)
+            .regeneration_rate(0.1)
+            .learning_rate(0.05)
+            .batch_size(32)
+            .seed(3)
+            .build()
+            .unwrap();
+        let model = CyberHdTrainer::new(config).unwrap().fit(&xs, &ys).unwrap();
+        let accuracy = model.accuracy(&xs, &ys).unwrap();
+        assert!(accuracy > 0.9, "mini-batch training accuracy {accuracy} too low");
+    }
+
+    #[test]
+    fn minibatch_fit_is_deterministic_across_thread_counts_and_regeneration() {
+        let (xs, ys) = blobs(3, 35, 5, 0.1, 19);
+        let fit_with = |threads: usize| {
+            let config = CyberHdConfig::builder(5, 3)
+                .dimension(128)
+                .retrain_epochs(4)
+                .regeneration_rate(0.2)
+                .batch_size(24)
+                .train_threads(threads)
+                .seed(9)
+                .build()
+                .unwrap();
+            CyberHdTrainer::new(config).unwrap().fit(&xs, &ys).unwrap()
+        };
+        let one = fit_with(1);
+        for threads in [2, 8] {
+            let many = fit_with(threads);
+            assert_eq!(one.class_hypervectors(), many.class_hypervectors());
+            assert_eq!(one.report().epoch_accuracy, many.report().epoch_accuracy);
+            assert_eq!(
+                one.report().regeneration.total_regenerated,
+                many.report().regeneration.total_regenerated
+            );
+        }
     }
 
     #[test]

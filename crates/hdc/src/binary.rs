@@ -320,6 +320,23 @@ pub fn words_for_dim(dim: usize) -> usize {
     dim.div_ceil(WORD_BITS)
 }
 
+/// Packs the signs of a float slice into `u64` words like
+/// [`pack_f32_signs_into`], and additionally reports whether **every** value
+/// was exactly `0.0`.
+///
+/// The 1-bit inference engine needs that flag to mirror the serial
+/// quantization convention: an all-zero encoding quantizes to all-zero
+/// levels (zero query norm → every class scores `0.0`), *not* to an
+/// all-plus-one sign vector.
+///
+/// # Panics
+///
+/// Panics if `words` is shorter than [`words_for_dim`]`(values.len())`.
+pub fn pack_f32_signs_checked(values: &[f32], words: &mut [u64]) -> bool {
+    pack_f32_signs_into(values, words);
+    values.iter().all(|&v| v == 0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +498,21 @@ mod tests {
             pack_signs_into(values.iter().map(|&v| v >= 0.0), &mut reference);
             assert_eq!(fast, reference, "len {len}");
         }
+    }
+
+    #[test]
+    fn checked_sign_packing_flags_only_the_all_zero_vector() {
+        let mut words = vec![0u64; 2];
+        assert!(pack_f32_signs_checked(&[0.0; 70], &mut words));
+        assert_eq!(words, vec![u64::MAX, (1u64 << 6) - 1]);
+        // A single nonzero (even a negative zero is still == 0.0, so use a
+        // real value) clears the flag; the packed bits match the plain path.
+        let mut values = vec![0.0f32; 70];
+        values[65] = -0.25;
+        assert!(!pack_f32_signs_checked(&values, &mut words));
+        let mut reference = vec![0u64; 2];
+        pack_f32_signs_into(&values, &mut reference);
+        assert_eq!(words, reference);
     }
 
     #[test]

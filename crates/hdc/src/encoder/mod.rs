@@ -104,6 +104,78 @@ pub trait Encoder: Send + Sync {
         self.encode_batch_into(batch, &mut matrix)?;
         Ok(matrix.chunks_exact(dim).map(|row| Hypervector::from_vec(row.to_vec())).collect())
     }
+
+    /// Encodes a batch straight to packed **1-bit sign vectors**: bit `d` of
+    /// row `i` is set iff the encoded value `h_d(x_i) >= 0` — exactly the
+    /// level signs of a `BitWidth::B1` quantization of the encoding.
+    ///
+    /// `words` is a row-major matrix of
+    /// `batch.len() × `[`crate::binary::words_for_dim`]`(output_dim())`
+    /// words; `zero_rows[i]` is set iff every encoded value of row `i` was
+    /// exactly `0.0` (the serial 1-bit path quantizes such a row to all-zero
+    /// levels rather than all-plus signs, and scoring needs to know).
+    ///
+    /// The default implementation encodes through
+    /// [`Encoder::encode_batch_into`] and thresholds, so it is bit-exact
+    /// with encode-then-quantize by construction; encoders with a fused
+    /// kernel (the RBF encoder reduces the cosine to a quadrant test and
+    /// never materializes the f32 row) override it and must preserve that
+    /// bit-exactness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HdcError::DimensionMismatch`] if `words` or
+    /// `zero_rows` has the wrong length and
+    /// [`crate::HdcError::FeatureMismatch`] on the first row with the wrong
+    /// arity.
+    fn encode_signs_into(
+        &self,
+        batch: &[Vec<f32>],
+        words: &mut [u64],
+        zero_rows: &mut [bool],
+    ) -> Result<()> {
+        let dim = self.output_dim();
+        check_sign_batch_shape(self.input_features(), dim, batch, words, zero_rows)?;
+        let mut matrix = vec![0.0f32; batch.len() * dim];
+        self.encode_batch_into(batch, &mut matrix)?;
+        let words_per_row = crate::binary::words_for_dim(dim);
+        for ((row, word_row), zero) in matrix
+            .chunks_exact(dim)
+            .zip(words.chunks_exact_mut(words_per_row))
+            .zip(zero_rows.iter_mut())
+        {
+            *zero = crate::binary::pack_f32_signs_checked(row, word_row);
+        }
+        Ok(())
+    }
+}
+
+/// Validates the shapes of a sign-encoding call: every row of `batch` has
+/// `features` entries, `words` holds `batch.len() * words_for_dim(dim)`
+/// words and `zero_rows` has one flag per row.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] / [`HdcError::FeatureMismatch`]
+/// accordingly.
+pub(crate) fn check_sign_batch_shape(
+    features: usize,
+    dim: usize,
+    batch: &[Vec<f32>],
+    words: &[u64],
+    zero_rows: &[bool],
+) -> Result<()> {
+    let expected_words = batch.len() * crate::binary::words_for_dim(dim);
+    if words.len() != expected_words {
+        return Err(HdcError::DimensionMismatch { expected: expected_words, actual: words.len() });
+    }
+    if zero_rows.len() != batch.len() {
+        return Err(HdcError::DimensionMismatch { expected: batch.len(), actual: zero_rows.len() });
+    }
+    if let Some(bad) = batch.iter().find(|row| row.len() != features) {
+        return Err(HdcError::FeatureMismatch { expected: features, actual: bad.len() });
+    }
+    Ok(())
 }
 
 /// Validates the shapes of a batch-encoding call: every row of `batch` has

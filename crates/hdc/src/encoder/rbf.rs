@@ -212,6 +212,17 @@ const RBF_SAMPLE_BLOCK: usize = 16;
 /// (`RBF_SAMPLE_BLOCK × 8 KiB`) stay L2-resident across the feature loop.
 const RBF_DIM_TILE: usize = 2048;
 
+/// Samples per block of the fused sign-encode kernel.
+const SIGN_SAMPLE_BLOCK: usize = 8;
+
+/// Output-dimension tile width of the fused sign-encode kernel.  Must be a
+/// multiple of 64 so tiles pack into whole `u64` words; the block's
+/// projection accumulators (`SIGN_SAMPLE_BLOCK × SIGN_DIM_TILE` f32 =
+/// 16 KiB) plus one 2 KiB base tile stay L1-resident across the feature
+/// loop, instead of streaming `RBF_SAMPLE_BLOCK × 8 KiB` of partial sums
+/// through L2 like the full-precision kernel.
+const SIGN_DIM_TILE: usize = 512;
+
 /// Builds the feature-major transpose of a row-major `dim × features`
 /// matrix.
 fn transpose(bases: &[f32], dim: usize, features: usize) -> Vec<f32> {
@@ -224,18 +235,11 @@ fn transpose(bases: &[f32], dim: usize, features: usize) -> Vec<f32> {
     out
 }
 
-/// Branch-free cosine for the batched kernel: two-step Cody–Waite range
-/// reduction to `[-π, π]` followed by an even Taylor polynomial through
-/// `r¹⁶/16!`.
-///
-/// Every operation (`round`, multiplies, adds) lowers to straight-line SIMD,
-/// so the final `cos` pass over an encode tile auto-vectorizes — `libm`'s
-/// scalar `cosf` call is the single largest cost of the batched encode
-/// otherwise.  Absolute error stays below ~1e-6 for the |x| ≲ 100 range RBF
-/// projections occupy (‖x‖₂·σ·√features plus a phase), which is inside the
-/// engine's documented 1e-6 score-parity budget.
+/// Two-step Cody–Waite range reduction of `x` to `r ∈ [-π, π]` (modulo
+/// 2π), shared by [`fast_cos`] and the fused sign kernel so both see
+/// bit-identical reduced arguments.
 #[inline]
-fn fast_cos(x: f32) -> f32 {
+fn reduce_to_pi(x: f32) -> f32 {
     const INV_TAU: f32 = 1.0 / std::f32::consts::TAU;
     // TAU split into an exactly representable head and a tail, so `k * C1`
     // is exact for the small wrap counts that occur and the reduction error
@@ -243,10 +247,13 @@ fn fast_cos(x: f32) -> f32 {
     const C1: f32 = 6.281_25;
     const C2: f32 = 1.935_307_2e-3;
     let k = (x * INV_TAU).round();
-    let r = (x - k * C1) - k * C2;
-    let r2 = r * r;
-    // cos(r) = Σ (-1)^n r^(2n) / (2n)!  up to n = 8 (max error ~2e-9 at π,
-    // below the f32 evaluation noise).
+    (x - k * C1) - k * C2
+}
+
+/// Even Taylor polynomial for `cos(r)` evaluated on `r²`, through `r¹⁶/16!`
+/// (max error ~2e-9 at π, below the f32 evaluation noise).
+#[inline]
+fn cos_poly(r2: f32) -> f32 {
     let mut p = 4.779_477_3e-14f32; // 1/16!
     p = p * r2 - 1.147_074_6e-11; // -1/14!
     p = p * r2 + 2.087_676_e-9; // 1/12!
@@ -257,6 +264,31 @@ fn fast_cos(x: f32) -> f32 {
     p = p * r2 - 0.5; // -1/2!
     p * r2 + 1.0
 }
+
+/// Branch-free cosine for the batched kernel: [`reduce_to_pi`] followed by
+/// [`cos_poly`].
+///
+/// Every operation (`round`, multiplies, adds) lowers to straight-line SIMD,
+/// so the final `cos` pass over an encode tile auto-vectorizes — `libm`'s
+/// scalar `cosf` call is the single largest cost of the batched encode
+/// otherwise.  Absolute error stays below ~1e-6 for the |x| ≲ 100 range RBF
+/// projections occupy (‖x‖₂·σ·√features plus a phase), which is inside the
+/// engine's documented 1e-6 score-parity budget.
+#[inline]
+fn fast_cos(x: f32) -> f32 {
+    let r = reduce_to_pi(x);
+    cos_poly(r * r)
+}
+
+/// Half-width of the guard band around the quadrant boundary `|r| = π/2`
+/// inside which the sign kernel falls back to the exact [`cos_poly`]
+/// evaluation.
+///
+/// Outside the band `|cos r| ≥ sin(1e-3) ≈ 1e-3`, three orders of magnitude
+/// above [`cos_poly`]'s error, so the plain quadrant test `|r| ≤ π/2` is
+/// guaranteed to agree with the polynomial's sign — which is what makes the
+/// fused kernel's predictions bit-exact against encode-then-quantize.
+const QUADRANT_GUARD: f32 = 1e-3;
 
 impl Encoder for RbfEncoder {
     fn input_features(&self) -> usize {
@@ -322,6 +354,120 @@ impl Encoder for RbfEncoder {
             }
             for v in tile.iter_mut() {
                 *v = fast_cos(*v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused 1-bit sign-encode kernel: accumulates the projections in
+    /// L1-resident [`SIGN_SAMPLE_BLOCK`]`×`[`SIGN_DIM_TILE`] register tiles
+    /// and reduces each phase straight to its quadrant — for `B1` only the
+    /// *sign* of `cos(b_d·x + φ_d)` survives quantization, and
+    /// `cos(r) ≥ 0 ⇔ |r| ≤ π/2` after range reduction — packing bits
+    /// directly into `u64` words.  The `samples × dim` f32 matrix, the
+    /// cosine polynomial and the separate quantize/pack passes of the
+    /// encode-then-quantize path are all skipped.
+    ///
+    /// Projections accumulate features in the same order as
+    /// [`Encoder::encode_batch_into`], and elements inside the narrow
+    /// [`QUADRANT_GUARD`] band fall back to the exact [`cos_poly`] sign, so
+    /// the packed bits are **bit-identical** to sign-thresholding the
+    /// batched f32 encoding.
+    fn encode_signs_into(
+        &self,
+        batch: &[Vec<f32>],
+        words: &mut [u64],
+        zero_rows: &mut [bool],
+    ) -> Result<()> {
+        crate::encoder::check_sign_batch_shape(self.features, self.dim, batch, words, zero_rows)?;
+        const WORD_BITS: usize = 64;
+        let dim = self.dim;
+        let words_per_row = crate::binary::words_for_dim(dim);
+        zero_rows.fill(true);
+        let mut acc = [0.0f32; SIGN_SAMPLE_BLOCK * SIGN_DIM_TILE];
+        for (block_index, block) in batch.chunks(SIGN_SAMPLE_BLOCK).enumerate() {
+            let row0 = block_index * SIGN_SAMPLE_BLOCK;
+            for d0 in (0..dim).step_by(SIGN_DIM_TILE) {
+                let d1 = (d0 + SIGN_DIM_TILE).min(dim);
+                let tile_width = d1 - d0;
+                // Projections start at the phases and accumulate features in
+                // ascending order — the association order of the batched f32
+                // kernel, so the sums are bit-identical to it.
+                for s in 0..block.len() {
+                    acc[s * SIGN_DIM_TILE..s * SIGN_DIM_TILE + tile_width]
+                        .copy_from_slice(&self.phases[d0..d1]);
+                }
+                for (f, base_row) in self.bases_t.chunks_exact(dim).enumerate() {
+                    let base_tile = &base_row[d0..d1];
+                    for (s, sample) in block.iter().enumerate() {
+                        let value = sample[f];
+                        // Zero features contribute exactly nothing: the
+                        // products are ±0.0 and the accumulators are never
+                        // -0.0 (they start at non-negative phases, and IEEE
+                        // round-to-nearest cancellation yields +0.0), so
+                        // skipping them is bit-exact — and one-hot-expanded
+                        // NIDS features are mostly zeros.
+                        if value == 0.0 {
+                            continue;
+                        }
+                        let acc_tile = &mut acc[s * SIGN_DIM_TILE..s * SIGN_DIM_TILE + tile_width];
+                        for (a, &b) in acc_tile.iter_mut().zip(base_tile) {
+                            *a += value * b;
+                        }
+                    }
+                }
+                // Quadrant test + pack.  SIGN_DIM_TILE is a multiple of 64,
+                // so every tile starts on a word boundary and only the final
+                // ragged tile can end mid-word (its high bits stay zero, the
+                // packing convention).
+                let word0 = d0 / WORD_BITS;
+                for s in 0..block.len() {
+                    let row_words =
+                        &mut words[(row0 + s) * words_per_row..(row0 + s + 1) * words_per_row];
+                    let mut row_zero = zero_rows[row0 + s];
+                    let tile = &acc[s * SIGN_DIM_TILE..s * SIGN_DIM_TILE + tile_width];
+                    for (w, chunk) in tile.chunks(WORD_BITS).enumerate() {
+                        let mut word = 0u64;
+                        let mut band = 0u64;
+                        for (bit, &v) in chunk.iter().enumerate() {
+                            let a = reduce_to_pi(v).abs();
+                            word |= ((a <= std::f32::consts::FRAC_PI_2) as u64) << bit;
+                            band |= (((a - std::f32::consts::FRAC_PI_2).abs() < QUADRANT_GUARD)
+                                as u64)
+                                << bit;
+                        }
+                        // Rare fixup: elements within the guard band of the
+                        // quadrant boundary get the exact polynomial sign.
+                        let mut band_nonzero_value = false;
+                        let mut pending = band;
+                        while pending != 0 {
+                            let bit = pending.trailing_zeros() as usize;
+                            pending &= pending - 1;
+                            let r = reduce_to_pi(chunk[bit]);
+                            let c = cos_poly(r * r);
+                            if c >= 0.0 {
+                                word |= 1u64 << bit;
+                            } else {
+                                word &= !(1u64 << bit);
+                            }
+                            band_nonzero_value |= c != 0.0;
+                        }
+                        // Outside the band `fast_cos` is bounded away from
+                        // zero, so a row can only be all-`0.0` if every
+                        // element sat in the band and evaluated to exactly
+                        // zero.
+                        let full = if chunk.len() == WORD_BITS {
+                            u64::MAX
+                        } else {
+                            (1u64 << chunk.len()) - 1
+                        };
+                        if band != full || band_nonzero_value {
+                            row_zero = false;
+                        }
+                        row_words[word0 + w] = word;
+                    }
+                    zero_rows[row0 + s] = row_zero;
+                }
             }
         }
         Ok(())
@@ -445,6 +591,82 @@ mod tests {
                 // pins that at 1e-6.
                 assert!((a - b).abs() < 5e-6, "sample {i} dim {d}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn fused_sign_kernel_matches_encode_then_threshold_bit_for_bit() {
+        // Dims straddling tile/word boundaries, blocks beyond one sample
+        // block, plus a sigma large enough to push projections through many
+        // 2π wraps.
+        for (dim, sigma) in [(64usize, 0.8f32), (100, 1.0), (SIGN_DIM_TILE + 96 + 13, 2.5)] {
+            let e = RbfEncoder::with_sigma(9, dim, sigma, 29).unwrap();
+            // Roughly half the features are exactly zero (one-hot-shaped
+            // inputs), exercising the kernel's zero-feature skip.
+            let batch: Vec<Vec<f32>> = (0..SIGN_SAMPLE_BLOCK * 2 + 5)
+                .map(|i| {
+                    (0..9)
+                        .map(|f| {
+                            if (i + f) % 2 == 0 {
+                                0.0
+                            } else {
+                                ((i * 9 + f) as f32 * 0.61).sin() * 3.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let words_per_row = crate::binary::words_for_dim(dim);
+            let mut fused = vec![u64::MAX; batch.len() * words_per_row];
+            let mut fused_zero = vec![true; batch.len()];
+            e.encode_signs_into(&batch, &mut fused, &mut fused_zero).unwrap();
+
+            // Reference: the encode-then-threshold default (batched f32
+            // kernel + sign packing).
+            let mut matrix = vec![f32::NAN; batch.len() * dim];
+            e.encode_batch_into(&batch, &mut matrix).unwrap();
+            let mut reference = vec![0u64; batch.len() * words_per_row];
+            let mut reference_zero = vec![true; batch.len()];
+            for (i, row) in matrix.chunks_exact(dim).enumerate() {
+                reference_zero[i] = crate::binary::pack_f32_signs_checked(
+                    row,
+                    &mut reference[i * words_per_row..(i + 1) * words_per_row],
+                );
+            }
+            assert_eq!(fused, reference, "dim {dim}");
+            assert_eq!(fused_zero, reference_zero, "dim {dim}");
+            assert!(fused_zero.iter().all(|z| !z), "RBF encodings are never all-zero");
+        }
+    }
+
+    #[test]
+    fn fused_sign_kernel_validates_shapes() {
+        let e = RbfEncoder::new(3, 70, 1).unwrap();
+        let batch = vec![vec![0.1, 0.2, 0.3]];
+        let mut words = vec![0u64; 2];
+        let mut zero = vec![false; 1];
+        assert!(e.encode_signs_into(&batch, &mut words, &mut zero).is_ok());
+        let mut short_words = vec![0u64; 1];
+        assert!(e.encode_signs_into(&batch, &mut short_words, &mut zero).is_err());
+        let mut short_zero = vec![];
+        assert!(e.encode_signs_into(&batch, &mut words, &mut short_zero).is_err());
+        let ragged = vec![vec![0.1]];
+        assert!(e.encode_signs_into(&ragged, &mut words, &mut zero).is_err());
+    }
+
+    #[test]
+    fn quadrant_guard_band_is_wide_enough_for_the_polynomial_error() {
+        // Outside the guard band the quadrant test must agree with the
+        // polynomial's sign; sweep densely around the boundary.
+        let mut x = std::f32::consts::FRAC_PI_2 - 2.0 * QUADRANT_GUARD;
+        while x <= std::f32::consts::FRAC_PI_2 + 2.0 * QUADRANT_GUARD {
+            let a = reduce_to_pi(x).abs();
+            if (a - std::f32::consts::FRAC_PI_2).abs() >= QUADRANT_GUARD {
+                let quadrant = a <= std::f32::consts::FRAC_PI_2;
+                let poly = fast_cos(x) >= 0.0;
+                assert_eq!(quadrant, poly, "sign mismatch outside the guard band at x = {x}");
+            }
+            x += 1e-6;
         }
     }
 

@@ -216,9 +216,46 @@ impl AssociativeMemory {
                 actual: out.len(),
             });
         }
-        let qn = similarity::norm(query);
+        self.similarities_with_query_norm(query, similarity::norm(query), class_norms, out)
+    }
+
+    /// [`AssociativeMemory::similarities_into`] with the query norm supplied
+    /// by the caller.
+    ///
+    /// The mini-batch training engine caches per-row norms of its encoded
+    /// matrix (rows only change at regeneration), which removes one full
+    /// `dim`-length pass per scored sample; passing the cached
+    /// `similarity::norm` value produces bit-identical scores to
+    /// [`AssociativeMemory::similarities_into`] recomputing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] under the same conditions as
+    /// [`AssociativeMemory::similarities_into`].
+    pub fn similarities_with_query_norm(
+        &self,
+        query: &[f32],
+        query_norm: f32,
+        class_norms: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        if query.len() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: query.len() });
+        }
+        if class_norms.len() != self.classes.len() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.classes.len(),
+                actual: class_norms.len(),
+            });
+        }
+        if out.len() != self.classes.len() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.classes.len(),
+                actual: out.len(),
+            });
+        }
         for ((slot, class), &cn) in out.iter_mut().zip(&self.classes).zip(class_norms) {
-            *slot = similarity::cosine_with_norm(query, qn, class.as_slice(), cn);
+            *slot = similarity::cosine_with_norm(query, query_norm, class.as_slice(), cn);
         }
         Ok(())
     }
@@ -528,6 +565,37 @@ mod tests {
         assert!(memory.similarities_into(&[0.0; 63], &norms, &mut scratch).is_err());
         assert!(memory.similarities_into(&[0.0; 64], &norms[..3], &mut scratch).is_err());
         assert!(memory.similarities_into(&[0.0; 64], &norms, &mut scratch[..3]).is_err());
+    }
+
+    #[test]
+    fn cached_query_norm_scoring_is_bit_identical() {
+        let mut rng = HdcRng::seed_from(16);
+        let mut memory = AssociativeMemory::new(3, 48).unwrap();
+        for c in 0..3 {
+            memory.accumulate(c, &random_hv(48, &mut rng)).unwrap();
+        }
+        let norms = memory.class_norms();
+        let mut with_cached = vec![0.0f32; 3];
+        let mut recomputed = vec![0.0f32; 3];
+        for _ in 0..8 {
+            let q = random_hv(48, &mut rng);
+            let qn = similarity::norm(q.as_slice());
+            memory
+                .similarities_with_query_norm(q.as_slice(), qn, &norms, &mut with_cached)
+                .unwrap();
+            memory.similarities_into(q.as_slice(), &norms, &mut recomputed).unwrap();
+            assert_eq!(with_cached, recomputed);
+        }
+        // Shape errors.
+        assert!(memory
+            .similarities_with_query_norm(&[0.0; 47], 1.0, &norms, &mut with_cached)
+            .is_err());
+        assert!(memory
+            .similarities_with_query_norm(&[0.0; 48], 1.0, &norms[..2], &mut with_cached)
+            .is_err());
+        assert!(memory
+            .similarities_with_query_norm(&[0.0; 48], 1.0, &norms, &mut with_cached[..2])
+            .is_err());
     }
 
     #[test]

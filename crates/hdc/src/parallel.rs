@@ -1,14 +1,15 @@
-//! Chunked fan-out for the batched inference engine.
+//! Chunked fan-out for the batched inference and training engines.
 //!
-//! The engine splits a batch into contiguous row chunks and processes each
+//! The engines split a batch into contiguous row chunks and process each
 //! chunk independently (encode into a chunk-local buffer, score, write the
 //! chunk's slice of the output).  With the `parallel` cargo feature (on by
-//! default) chunks are distributed across `std::thread::scope` workers; the
-//! dependency-free build environment has no `rayon`, and scoped threads give
-//! the same fork-join shape for this embarrassingly parallel workload.
-//! Without the feature the same kernels run serially, so results are
-//! identical either way (each output element is written by exactly one
-//! chunk, and kernels are deterministic per row).
+//! default) chunks are claimed from a shared atomic-counter work queue by
+//! `std::thread::scope` workers; the dependency-free build environment has
+//! no `rayon`, and scoped threads plus a fetch-add counter give the same
+//! work-stealing shape for this embarrassingly parallel workload.  Without
+//! the feature the same kernels run serially, so results are identical
+//! either way (each output element is written by exactly one chunk, and
+//! kernels are deterministic per row).
 
 /// A contiguous range of batch rows assigned to one worker invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,14 @@ pub fn engine_threads() -> usize {
 /// may write their chunk freely without synchronization.  Worker panics
 /// propagate to the caller.
 ///
+/// Chunk jobs are claimed from a shared queue with an atomic fetch-add
+/// counter, so a worker that draws short chunks (or a ragged tail) simply
+/// claims the next job instead of idling while statically assigned peers
+/// finish — the cheap `std`-only form of work stealing.  Chunk boundaries
+/// depend only on `rows` and `chunk_rows`, never on `threads`, and every
+/// chunk writes its own disjoint slice, so outputs are identical for every
+/// thread count.
+///
 /// This is the single fork-join primitive the whole engine builds on; with
 /// `threads <= 1` (or a single chunk) it degrades to a plain serial loop
 /// with no thread overhead.
@@ -97,6 +106,13 @@ pub fn for_each_chunk<T, F>(
         }
     }
 
+    // Without the `parallel` feature the engine is serial by contract, even
+    // for callers that request an explicit thread count.
+    #[cfg(not(feature = "parallel"))]
+    let threads = {
+        let _ = threads;
+        1
+    };
     let workers = threads.max(1).min(jobs.len().max(1));
     if workers <= 1 {
         for (chunk, slice) in jobs {
@@ -105,18 +121,21 @@ pub fn for_each_chunk<T, F>(
         return;
     }
 
-    // Round-robin the chunk jobs over the workers: chunk sizes are uniform
-    // (except the tail), so static assignment balances well and avoids a
-    // shared work queue.
-    let mut per_worker: Vec<Vec<(RowChunk, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, job) in jobs.into_iter().enumerate() {
-        per_worker[i % workers].push(job);
-    }
+    // Work-stealing queue: jobs sit in claim slots and workers pop the next
+    // index with a relaxed fetch-add.  Each slot's mutex is locked exactly
+    // once, by the single worker that claimed its index, so there is no
+    // contention — the mutex only exists to hand the `&mut` job out of the
+    // shared vector without `unsafe`.
+    let queue: Vec<std::sync::Mutex<Option<(RowChunk, &mut [T])>>> =
+        jobs.into_iter().map(|job| std::sync::Mutex::new(Some(job))).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        let kernel = &kernel;
-        for worker_jobs in per_worker {
-            scope.spawn(move || {
-                for (chunk, slice) in worker_jobs {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(slot) = queue.get(i) else { break };
+                let job = slot.lock().expect("claim slots are never poisoned").take();
+                if let Some((chunk, slice)) = job {
                     kernel(chunk, slice);
                 }
             });
@@ -170,6 +189,22 @@ mod tests {
         assert_eq!(run_sum_kernel(10, 3, 4), expected);
         assert_eq!(run_sum_kernel(10, 1, 8), expected);
         assert_eq!(run_sum_kernel(10, 100, 4), expected);
+    }
+
+    #[test]
+    fn work_stealing_handles_ragged_and_oversubscribed_queues() {
+        // Many ragged chunk shapes × more workers than jobs: every row is
+        // still written exactly once and values are thread-count-invariant.
+        let expected: Vec<f32> = (0..4 * 97).map(|v| v as f32).collect();
+        for chunk_rows in [1, 3, 7, 96, 97, 1000] {
+            for threads in [2, 3, 16, 64] {
+                assert_eq!(
+                    run_sum_kernel(97, chunk_rows, threads),
+                    expected,
+                    "chunk_rows={chunk_rows} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! integer levels `[-(2^(b-1)-1), 2^(b-1)-1]` with a per-vector scale, and the
 //! 1-bit case degenerates to the sign function (bipolar vectors).
 //!
+//! For the multi-bit widths the scale is **percentile-clipped** rather than
+//! max-abs: the clip point is the [`CLIP_PERCENTILE`] magnitude quantile, so
+//! a single outlier element no longer stretches the level grid until every
+//! typical element collapses to level 0 (the failure mode is worst at 2 bits,
+//! where the grid has only the levels −1/0/+1).  Clipped elements saturate at
+//! the outermost level, exactly like integer hardware would.
+//!
 //! Quantized vectors keep enough structure for
 //!
 //! * similarity computation (integer dot product + scales),
@@ -254,18 +261,70 @@ pub fn quantize_all(hvs: &[Hypervector], width: BitWidth) -> Vec<QuantizedHyperv
     hvs.iter().map(|h| QuantizedHypervector::quantize(h, width)).collect()
 }
 
+/// Magnitude quantile used as the clip point of the multi-bit scale.
+///
+/// The clip index is `ceil((len - 1) * CLIP_PERCENTILE)`, so short vectors
+/// (below ~200 elements) keep the exact max-abs scale while longer vectors
+/// ignore the top ~0.5% of magnitudes — enough to shed the single runaway
+/// element that used to collapse the 2-bit grid at the paper's 256–512
+/// dimensionalities.
+pub const CLIP_PERCENTILE: f64 = 0.995;
+
+/// The percentile-clipped scale anchor of `values` at multi-bit widths: the
+/// [`CLIP_PERCENTILE`] magnitude quantile (exact, via quickselect over the
+/// reusable `magnitudes` scratch), falling back to `max_abs` when the
+/// quantile lands on zero (e.g. one-hot-ish vectors whose mass sits
+/// entirely in the clipped tail).
+fn clip_magnitude(values: &[f32], max_abs: f32, magnitudes: &mut Vec<f32>) -> f32 {
+    let index = ((values.len() - 1) as f64 * CLIP_PERCENTILE).ceil() as usize;
+    if index + 1 >= values.len() {
+        return max_abs;
+    }
+    magnitudes.clear();
+    magnitudes.extend(values.iter().map(|v| v.abs()));
+    let (_, clip, _) = magnitudes.select_nth_unstable_by(index, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if *clip > 0.0 {
+        *clip
+    } else {
+        max_abs
+    }
+}
+
 /// Writes the quantization levels of `values` at `width` into `levels` and
-/// returns the per-vector scale — the allocation-free primitive behind
+/// returns the per-vector scale — the primitive behind
 /// [`QuantizedHypervector::quantize`].
 ///
-/// The batched inference engine quantizes each encoded query into a reusable
-/// scratch buffer through this function; the level values are identical to
-/// the allocating path because this *is* that path.
+/// Multi-bit widths use the percentile-clipped scale (see
+/// [`clip_magnitude`]), which costs one `O(len)` quickselect over a scratch
+/// copy of the magnitudes — this convenience form allocates that scratch
+/// per call; batched loops should hold one buffer and go through
+/// [`quantize_into_with_scratch`] instead.  `B1` (pure sign) and the zero
+/// vector never touch the scratch.
 ///
 /// # Panics
 ///
 /// Panics if `levels.len() != values.len()`.
 pub fn quantize_into(values: &[f32], width: BitWidth, levels: &mut [i32]) -> f32 {
+    quantize_into_with_scratch(values, width, levels, &mut Vec::new())
+}
+
+/// [`quantize_into`] with a caller-owned magnitude scratch buffer, so the
+/// batched inference engine performs **zero per-row allocations**: the
+/// buffer is cleared and refilled only when the width needs the percentile
+/// clip, and level values are identical to [`quantize_into`] because this
+/// *is* that path.
+///
+/// # Panics
+///
+/// Panics if `levels.len() != values.len()`.
+pub fn quantize_into_with_scratch(
+    values: &[f32],
+    width: BitWidth,
+    levels: &mut [i32],
+    magnitudes: &mut Vec<f32>,
+) -> f32 {
     assert_eq!(values.len(), levels.len(), "level buffer must match the value count");
     let max_abs = values.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
     if width == BitWidth::B32 {
@@ -283,17 +342,15 @@ pub fn quantize_into(values: &[f32], width: BitWidth, levels: &mut [i32]) -> f32
         levels.fill(0);
         return 1.0;
     }
-    let scale = max_abs / max_level;
+    if width == BitWidth::B1 {
+        for (slot, &v) in levels.iter_mut().zip(values) {
+            *slot = if v >= 0.0 { 1 } else { -1 };
+        }
+        return max_abs;
+    }
+    let scale = clip_magnitude(values, max_abs, magnitudes) / max_level;
     for (slot, &v) in levels.iter_mut().zip(values) {
-        *slot = if width == BitWidth::B1 {
-            if v >= 0.0 {
-                1
-            } else {
-                -1
-            }
-        } else {
-            (v / scale).round().clamp(-max_level, max_level) as i32
-        };
+        *slot = (v / scale).round().clamp(-max_level, max_level) as i32;
     }
     scale
 }
@@ -432,11 +489,18 @@ mod tests {
     fn quantize_into_matches_the_allocating_path() {
         let hv = random_hv(333, 12);
         let mut scratch = vec![0i32; 333];
+        let mut magnitudes = Vec::new();
         for w in BitWidth::ALL {
             let q = QuantizedHypervector::quantize(&hv, w);
             let scale = quantize_into(hv.as_slice(), w, &mut scratch);
             assert_eq!(scratch.as_slice(), q.levels(), "width {w:?}");
             assert_eq!(scale, q.scale(), "width {w:?}");
+            // The reusable-scratch form is the same path (stale scratch
+            // contents must not leak into the result).
+            scratch.fill(0);
+            let scale = quantize_into_with_scratch(hv.as_slice(), w, &mut scratch, &mut magnitudes);
+            assert_eq!(scratch.as_slice(), q.levels(), "scratch width {w:?}");
+            assert_eq!(scale, q.scale(), "scratch width {w:?}");
         }
         // Zero vector keeps the documented convention.
         let zeros = vec![0.0f32; 8];
@@ -444,6 +508,49 @@ mod tests {
         let scale = quantize_into(&zeros, BitWidth::B4, &mut levels);
         assert_eq!(scale, 1.0);
         assert!(levels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn one_outlier_no_longer_collapses_the_two_bit_grid() {
+        // A single 40σ outlier used to set the max-abs scale so high that
+        // nearly every element rounded to level 0; the percentile-clipped
+        // scale ignores it and keeps the grid usable.
+        let mut values: Vec<f32> = {
+            let mut rng = HdcRng::seed_from(13);
+            (0..512).map(|_| rng.standard_normal() as f32).collect()
+        };
+        values[137] = 40.0;
+        let hv = Hypervector::from_vec(values);
+        let q = QuantizedHypervector::quantize(&hv, BitWidth::B2);
+        // Max-abs scaling kept only elements beyond ±20 (the outlier alone);
+        // the clipped scale sits near the bulk's ±3σ, so the usual ~14% of a
+        // standard normal clears the ±scale/2 rounding threshold.
+        assert!(q.scale() < 4.0, "clip should ignore the outlier, got scale {}", q.scale());
+        let nonzero = q.levels().iter().filter(|&&l| l != 0).count();
+        assert!(
+            nonzero > 40,
+            "percentile clipping should keep dozens of the 512 elements off level 0, got {nonzero}"
+        );
+        // The outlier itself saturates at the outermost level.
+        assert_eq!(q.levels()[137], 1);
+        // Short vectors keep the exact max-abs behaviour (no clipping).
+        let short = Hypervector::from_vec(vec![0.1, -0.2, 0.3, -4.0]);
+        let qs = QuantizedHypervector::quantize(&short, BitWidth::B2);
+        assert_eq!(qs.scale(), 4.0);
+    }
+
+    #[test]
+    fn clipped_scale_falls_back_to_max_abs_when_the_quantile_is_zero() {
+        // All mass in the clipped tail: the quantile magnitude is 0, which
+        // must not produce a zero scale (division by zero) — fall back to
+        // max-abs.
+        let mut values = vec![0.0f32; 512];
+        values[0] = 2.0;
+        let hv = Hypervector::from_vec(values);
+        let q = QuantizedHypervector::quantize(&hv, BitWidth::B4);
+        assert!(q.scale().is_finite() && q.scale() > 0.0);
+        assert_eq!(q.levels()[0], 7);
+        assert!(q.levels()[1..].iter().all(|&l| l == 0));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use baselines::Classifier;
     pub use cyberhd::{
         BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer, EncoderKind, OnlineLearner,
-        OpenSetDetector, OpenSetPrediction, QuantizedModel,
+        OpenSetDetector, OpenSetPrediction, QuantizedModel, TrainingBatch,
     };
     pub use eval::detection::{DetectionCounts, RocCurve};
     pub use eval::metrics::{accuracy, ConfusionMatrix};

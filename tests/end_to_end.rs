@@ -131,18 +131,22 @@ fn all_five_models_of_the_paper_run_on_the_same_data() {
 fn quantized_deployments_preserve_most_of_the_accuracy() {
     let (train_x, train_y, test_x, test_y, width, classes) =
         prepare(DatasetKind::NslKdd, 1_500, 77);
-    // Model seed chosen for the vendored xoshiro RNG backend: 2-bit symmetric
-    // max-abs quantization is seed-sensitive (one outlier element shrinks the
-    // scale so most elements collapse to level 0).
-    let model = train_cyberhd(&train_x, &train_y, width, classes, 256, 0.2, 3);
-    let full = model.accuracy(&test_x, &test_y).unwrap();
-    for bits in [BitWidth::B16, BitWidth::B8, BitWidth::B4, BitWidth::B2, BitWidth::B1] {
-        let deployed = model.quantize(bits);
-        let quantized = deployed.accuracy(&test_x, &test_y).unwrap();
-        assert!(
-            quantized > full - 0.12,
-            "{bits:?}: quantized accuracy {quantized} dropped too far below full precision {full}"
-        );
+    // Any model seed works now: percentile-clipped quantization scaling (see
+    // hdc::quant) keeps a stray outlier element from collapsing the narrow
+    // level grids, which used to make the 2-bit column seed-sensitive under
+    // symmetric max-abs scaling.  Several seeds assert that explicitly.
+    for seed in [2, 3, 11] {
+        let model = train_cyberhd(&train_x, &train_y, width, classes, 256, 0.2, seed);
+        let full = model.accuracy(&test_x, &test_y).unwrap();
+        for bits in [BitWidth::B16, BitWidth::B8, BitWidth::B4, BitWidth::B2, BitWidth::B1] {
+            let deployed = model.quantize(bits);
+            let quantized = deployed.accuracy(&test_x, &test_y).unwrap();
+            assert!(
+                quantized > full - 0.12,
+                "seed {seed} / {bits:?}: quantized accuracy {quantized} dropped too far below \
+                 full precision {full}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,235 @@
+//! Parity and determinism properties of the mini-batch training engine and
+//! the fused 1-bit sign-encode path.
+//!
+//! Three contracts from the PR that introduced them:
+//!
+//! 1. `batch_size = 1` training is **bit-exact** with the serial adaptive
+//!    rule (checked here against an [`OnlineLearner`] stream applying the
+//!    same rule sample by sample, and internally by the trainer's own unit
+//!    suite against the serial epoch scorer).
+//! 2. Mini-batch training is **deterministic for a fixed seed at every
+//!    thread count** — 1, 2 and 8 workers produce bit-identical models.
+//! 3. Fused sign-encode predictions are **bit-exact** against the
+//!    encode-then-quantize 1-bit pipeline on all three encoders.
+//!
+//! Like `batch_parity.rs`, the suite runs in CI both with the default
+//! `parallel` feature and with `--no-default-features`.
+
+use cyberhd_suite::prelude::*;
+use hdc::rng::HdcRng;
+use nids_data::DatasetKind;
+
+/// Builds an NSL-KDD-shaped train/test pair.
+fn traffic(samples: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>, Vec<Vec<f32>>, usize, usize) {
+    let dataset = DatasetKind::NslKdd
+        .generate(&SyntheticConfig::new(samples, seed).difficulty(1.8))
+        .expect("generation succeeds");
+    let (train, test) = train_test_split(&dataset, 0.4, seed).expect("split succeeds");
+    let preprocessor = Preprocessor::fit(&train, Normalization::MinMax).expect("fit succeeds");
+    let (train_x, train_y) = preprocessor.transform_with_labels(&train).expect("transform");
+    let (test_x, _) = preprocessor.transform_with_labels(&test).expect("transform");
+    let width = preprocessor.output_width();
+    let classes = dataset.num_classes();
+    (train_x, train_y, test_x, width, classes)
+}
+
+#[test]
+fn batch_size_one_training_is_bit_exact_with_the_streaming_serial_rule() {
+    // Record encoder: its batched kernel is the row-by-row serial path, so
+    // the trainer's cached encodings are bit-identical to the per-sample
+    // encodings of the streaming learner, and a single natural-order pass
+    // (`retrain_epochs = 0`) of `fit` must reproduce the stream exactly.
+    let (train_x, train_y, _, width, classes) = traffic(600, 3);
+    let config = CyberHdConfig::builder(width, classes)
+        .dimension(192)
+        .encoder(EncoderKind::Record)
+        .regeneration_rate(0.0)
+        .retrain_epochs(0)
+        .learning_rate(0.05)
+        .batch_size(1)
+        .seed(7)
+        .build()
+        .unwrap();
+
+    let model = CyberHdTrainer::new(config.clone()).unwrap().fit(&train_x, &train_y).unwrap();
+
+    let mut learner = OnlineLearner::new(config).unwrap();
+    for (x, &y) in train_x.iter().zip(&train_y) {
+        learner.observe(x, y).unwrap();
+    }
+    let streamed = learner.into_model();
+
+    assert_eq!(
+        model.class_hypervectors(),
+        streamed.class_hypervectors(),
+        "batch_size = 1 fit must apply exactly the serial adaptive rule"
+    );
+}
+
+#[test]
+fn batch_size_one_ignores_the_thread_knob() {
+    let (train_x, train_y, _, width, classes) = traffic(500, 5);
+    let fit_with = |threads: usize| {
+        let config = CyberHdConfig::builder(width, classes)
+            .dimension(128)
+            .retrain_epochs(3)
+            .regeneration_rate(0.2)
+            .batch_size(1)
+            .train_threads(threads)
+            .seed(11)
+            .build()
+            .unwrap();
+        CyberHdTrainer::new(config).unwrap().fit(&train_x, &train_y).unwrap()
+    };
+    let one = fit_with(1);
+    let eight = fit_with(8);
+    assert_eq!(one.class_hypervectors(), eight.class_hypervectors());
+    assert_eq!(one.report().epoch_accuracy, eight.report().epoch_accuracy);
+}
+
+#[test]
+fn minibatch_training_is_deterministic_across_thread_counts() {
+    // The full pipeline — RBF encoder, regeneration, several epochs — at
+    // batch 64 must produce bit-identical models at 1, 2 and 8 workers.
+    let (train_x, train_y, _, width, classes) = traffic(900, 9);
+    let fit_with = |threads: usize| {
+        let config = CyberHdConfig::builder(width, classes)
+            .dimension(256)
+            .retrain_epochs(4)
+            .regeneration_rate(0.2)
+            .learning_rate(0.05)
+            .batch_size(64)
+            .train_threads(threads)
+            .seed(13)
+            .build()
+            .unwrap();
+        CyberHdTrainer::new(config).unwrap().fit(&train_x, &train_y).unwrap()
+    };
+    let reference = fit_with(1);
+    for threads in [2, 8] {
+        let model = fit_with(threads);
+        assert_eq!(
+            reference.class_hypervectors(),
+            model.class_hypervectors(),
+            "{threads} threads diverged from 1 thread"
+        );
+        assert_eq!(reference.report().epoch_accuracy, model.report().epoch_accuracy);
+        assert_eq!(
+            reference.report().regeneration.total_regenerated,
+            model.report().regeneration.total_regenerated
+        );
+    }
+    // And the default-thread run (engine-chosen worker count) agrees too.
+    let config = CyberHdConfig::builder(width, classes)
+        .dimension(256)
+        .retrain_epochs(4)
+        .regeneration_rate(0.2)
+        .learning_rate(0.05)
+        .batch_size(64)
+        .seed(13)
+        .build()
+        .unwrap();
+    let auto = CyberHdTrainer::new(config).unwrap().fit(&train_x, &train_y).unwrap();
+    assert_eq!(reference.class_hypervectors(), auto.class_hypervectors());
+}
+
+#[test]
+fn minibatch_training_keeps_detection_accuracy() {
+    // The documented trade-off of batch_size > 1 is bounded staleness, not
+    // broken learning: mini-batch models stay in the same accuracy band as
+    // the serial rule on the same data.
+    let (train_x, train_y, _, width, classes) = traffic(1_400, 17);
+    let accuracy_with = |batch_size: usize| {
+        let config = CyberHdConfig::builder(width, classes)
+            .dimension(256)
+            .retrain_epochs(5)
+            .regeneration_rate(0.2)
+            .learning_rate(0.05)
+            .batch_size(batch_size)
+            .seed(19)
+            .build()
+            .unwrap();
+        let model = CyberHdTrainer::new(config).unwrap().fit(&train_x, &train_y).unwrap();
+        model.accuracy(&train_x, &train_y).unwrap()
+    };
+    let serial = accuracy_with(1);
+    let minibatch = accuracy_with(64);
+    assert!(
+        minibatch > serial - 0.05,
+        "mini-batch accuracy {minibatch} fell too far below the serial rule's {serial}"
+    );
+}
+
+/// The 1-bit encode-then-quantize reference — the pipeline `predict_batch`
+/// ran before the fused kernel — shared with the inference bench's baseline
+/// arm via `bench::reference` so the oracle and the measured baseline can
+/// never drift apart.
+fn predict_b1_encode_then_quantize(model: &CyberHdModel, batch: &[Vec<f32>]) -> Vec<usize> {
+    bench::reference::predict_b1_encode_then_quantize(
+        model.encoder(),
+        &model.quantize(BitWidth::B1),
+        batch,
+    )
+}
+
+#[test]
+fn fused_sign_encode_is_bit_exact_on_every_encoder() {
+    let (train_x, train_y, mut test_x, width, classes) = traffic(900, 23);
+    // An all-zero flow exercises the zero-row convention (Record maps it to
+    // the zero hypervector; the serial path sends it to class 0).
+    test_x.push(vec![0.0; width]);
+    for kind in [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record] {
+        let config = CyberHdConfig::builder(width, classes)
+            .dimension(320)
+            .encoder(kind)
+            .regeneration_rate(if kind == EncoderKind::Rbf { 0.2 } else { 0.0 })
+            .retrain_epochs(3)
+            .seed(29)
+            .build()
+            .unwrap();
+        let model = CyberHdTrainer::new(config).unwrap().fit(&train_x, &train_y).unwrap();
+        let deployed = model.quantize(BitWidth::B1);
+        let fused = deployed.predict_batch(&test_x).unwrap();
+        let reference = predict_b1_encode_then_quantize(&model, &test_x);
+        assert_eq!(fused, reference, "{kind:?}: fused B1 predictions diverged");
+        // For the exact-kernel encoders the serial per-sample path agrees
+        // bit for bit as well.
+        if kind != EncoderKind::Rbf {
+            for (i, x) in test_x.iter().enumerate() {
+                assert_eq!(fused[i], deployed.predict(x).unwrap(), "{kind:?} sample {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_sign_encode_parity_survives_randomized_feature_sweeps() {
+    // Random feature vectors across a wide dynamic range (many 2π wraps of
+    // the RBF projection) — the regime where a sloppy quadrant test would
+    // diverge from the polynomial sign.
+    let mut rng = HdcRng::seed_from(31);
+    let width = 24;
+    let (train_x, train_y): (Vec<Vec<f32>>, Vec<usize>) = (0..240)
+        .map(|i| {
+            let class = i % 3;
+            let x: Vec<f32> =
+                (0..width).map(|_| (class as f64 + rng.normal(0.0, 0.4)) as f32).collect();
+            (x, class)
+        })
+        .unzip();
+    let config = CyberHdConfig::builder(width, 3)
+        .dimension(512)
+        .rbf_sigma(2.0)
+        .regeneration_rate(0.1)
+        .retrain_epochs(2)
+        .seed(37)
+        .build()
+        .unwrap();
+    let model = CyberHdTrainer::new(config).unwrap().fit(&train_x, &train_y).unwrap();
+    let deployed = model.quantize(BitWidth::B1);
+    let queries: Vec<Vec<f32>> =
+        (0..400).map(|_| (0..width).map(|_| rng.normal(0.0, 3.0) as f32).collect()).collect();
+    let fused = deployed.predict_batch(&queries).unwrap();
+    let reference = predict_b1_encode_then_quantize(&model, &queries);
+    assert_eq!(fused, reference);
+}
