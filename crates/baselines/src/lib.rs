@@ -1,8 +1,9 @@
 //! # `baselines` — the non-HDC comparison models
 //!
 //! Fig. 3 and Fig. 4 of the CyberHD paper compare against a state-of-the-art
-//! DNN (a multilayer perceptron, per reference [8]) and an SVM (reference
-//! [9]).  This crate implements both from scratch so the whole evaluation is
+//! DNN (a multilayer perceptron, per the paper's reference 8) and an SVM
+//! (reference 9).  This crate implements both from scratch so the whole
+//! evaluation is
 //! self-contained:
 //!
 //! * [`matrix::Matrix`] — a small dense row-major matrix with the handful of
@@ -77,6 +78,9 @@ pub type Result<T, E = BaselineError> = std::result::Result<T, E>;
 ///
 /// Implemented by [`mlp::Mlp`] and [`svm::LinearSvm`]; the experiment
 /// harnesses use it to time training and inference uniformly across models.
+/// Batch entry points come in two forms: the legacy row-per-`Vec` slices
+/// and the zero-copy [`hdc::BatchView`] twins (`*_view`), which accept the
+/// same contiguous matrices the HDC engines consume.
 pub trait Classifier {
     /// Trains the classifier on parallel feature/label slices.
     ///
@@ -84,6 +88,20 @@ pub trait Classifier {
     ///
     /// Returns [`BaselineError::InvalidData`] for empty or inconsistent data.
     fn fit(&mut self, features: &[Vec<f32>], labels: &[usize]) -> Result<()>;
+
+    /// Trains the classifier on a zero-copy row-major batch view.
+    ///
+    /// The default implementation copies the rows into the legacy
+    /// [`Classifier::fit`] form; implementations with a contiguous training
+    /// core may override it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Classifier::fit`].
+    fn fit_view(&mut self, features: hdc::BatchView<'_>, labels: &[usize]) -> Result<()> {
+        let rows: Vec<Vec<f32>> = features.iter_rows().map(<[f32]>::to_vec).collect();
+        self.fit(&rows, labels)
+    }
 
     /// Predicts the class of one feature vector.
     ///
@@ -99,6 +117,15 @@ pub trait Classifier {
     /// Returns the first prediction error encountered.
     fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
         batch.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Predicts every row of a zero-copy row-major batch view.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first prediction error encountered.
+    fn predict_batch_view(&self, batch: hdc::BatchView<'_>) -> Result<Vec<usize>> {
+        batch.iter_rows().map(|row| self.predict(row)).collect()
     }
 
     /// Accuracy against ground-truth labels.
@@ -118,6 +145,27 @@ pub trait Classifier {
             return Err(BaselineError::InvalidData("cannot score zero samples".into()));
         }
         let predictions = self.predict_batch(features)?;
+        let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / labels.len() as f64)
+    }
+
+    /// Accuracy against ground-truth labels over a zero-copy batch view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidData`] for mismatched lengths.
+    fn accuracy_view(&self, features: hdc::BatchView<'_>, labels: &[usize]) -> Result<f64> {
+        if features.rows() != labels.len() {
+            return Err(BaselineError::InvalidData(format!(
+                "{} feature rows but {} labels",
+                features.rows(),
+                labels.len()
+            )));
+        }
+        if features.is_empty() {
+            return Err(BaselineError::InvalidData("cannot score zero samples".into()));
+        }
+        let predictions = self.predict_batch_view(features)?;
         let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len() as f64)
     }
@@ -174,5 +222,31 @@ mod tests {
         assert!(validate_dataset(&xs, &ys[..1], 2, 2).is_err());
         assert!(validate_dataset(&xs, &ys, 3, 2).is_err());
         assert!(validate_dataset(&xs, &[0, 9], 2, 2).is_err());
+    }
+
+    #[test]
+    fn view_entry_points_mirror_the_row_forms() {
+        use crate::svm::{LinearSvm, SvmConfig};
+
+        let xs = vec![vec![0.0f32, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let ys = vec![0, 0, 1, 1];
+        let buffer = hdc::BatchBuffer::from_rows(&xs, 2).unwrap();
+
+        let config = SvmConfig::new(2, 2).epochs(120).seed(3);
+        let mut by_rows = LinearSvm::new(config.clone()).unwrap();
+        by_rows.fit(&xs, &ys).unwrap();
+        let mut by_view = LinearSvm::new(config).unwrap();
+        by_view.fit_view(buffer.view(), &ys).unwrap();
+
+        assert_eq!(
+            by_view.predict_batch_view(buffer.view()).unwrap(),
+            by_rows.predict_batch(&xs).unwrap()
+        );
+        assert_eq!(
+            by_view.accuracy_view(buffer.view(), &ys).unwrap(),
+            by_rows.accuracy(&xs, &ys).unwrap()
+        );
+        assert!(by_view.accuracy_view(buffer.view(), &ys[..1]).is_err());
+        assert!(by_view.accuracy_view(hdc::BatchView::new(&[], 2).unwrap(), &[]).is_err());
     }
 }

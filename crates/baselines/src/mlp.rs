@@ -3,7 +3,7 @@
 //! A standard fully connected network: ReLU hidden layers, a softmax /
 //! cross-entropy head and mini-batch Adam.  The architecture defaults to two
 //! hidden layers of 256 units, which is representative of the MLP-class
-//! models the paper's reference [8] covers for tabular NIDS data.
+//! models the paper's reference 8 covers for tabular NIDS data.
 //!
 //! The trained weights are reachable through [`Mlp::layers_mut`] so the
 //! fault-injection study (Fig. 5) can flip bits of the deployed model

@@ -123,6 +123,9 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         .expect("training succeeds");
     let batch: Vec<Vec<f32>> =
         test_x.iter().chain(train_x.iter()).cycle().take(samples).cloned().collect();
+    // The zero-copy arm consumes the same flows as one contiguous matrix —
+    // the form a preprocessed capture buffer would already be in.
+    let buffer = hdc::BatchBuffer::from_rows(&batch, data.input_width).expect("consistent rows");
 
     println!(
         "\nbatched_vs_serial: dim={dim}, classes={}, samples={samples}, reps={reps}",
@@ -134,9 +137,13 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         batch.iter().map(|f| model.predict(f).unwrap()).collect::<Vec<_>>()
     });
     let (batched, _) = timed_pass(samples, reps, || model.predict_batch(&batch).unwrap());
-    println!("  dense serial : {serial}");
-    println!("  dense batched: {batched}");
-    println!("  dense speedup: {:.2}x", batched.speedup_over(&serial));
+    let (batched_view, _) =
+        timed_pass(samples, reps, || model.predict_batch_view(buffer.view()).unwrap());
+    println!("  dense serial       : {serial}");
+    println!("  dense batched rows : {batched}");
+    println!("  dense batched view : {batched_view}");
+    println!("  dense speedup      : {:.2}x", batched.speedup_over(&serial));
+    println!("  dense view-vs-rows : {:.2}x", batched_view.speedup_over(&batched));
 
     // 1-bit deployment path: packed-word Hamming kernel vs serial integer
     // cosine, plus the fused sign-encode kernel vs the PR 1 encode-then-pack
@@ -146,10 +153,10 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         batch.iter().map(|f| deployed.predict(f).unwrap()).collect::<Vec<_>>()
     });
     let (prefused_q, prefused_predictions) = timed_pass(samples, reps, || {
-        predict_b1_encode_then_quantize(model.encoder(), &deployed, &batch)
+        predict_b1_encode_then_quantize(model.encoder(), &deployed, buffer.view())
     });
     let (fused_q, fused_predictions) =
-        timed_pass(samples, reps, || deployed.predict_batch(&batch).unwrap());
+        timed_pass(samples, reps, || deployed.predict_batch_view(buffer.view()).unwrap());
     println!("  1-bit serial            : {serial_q}");
     println!("  1-bit batched (PR1 path): {prefused_q}");
     println!("  1-bit fused sign-encode : {fused_q}");
@@ -166,12 +173,14 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
     let arms = vec![
         snapshot::Arm::new("dense_serial", serial),
         snapshot::Arm::new("dense_batched", batched),
+        snapshot::Arm::new("dense_batched_view", batched_view),
         snapshot::Arm::new("b1_serial", serial_q),
         snapshot::Arm::new("b1_batched_prefused", prefused_q),
         snapshot::Arm::new("b1_fused_sign_encode", fused_q),
     ];
     let speedups = vec![
         ("dense_batched_vs_serial", batched.speedup_over(&serial)),
+        ("dense_view_vs_rows", batched_view.speedup_over(&batched)),
         ("b1_batched_vs_serial", prefused_q.speedup_over(&serial_q)),
         ("b1_fused_vs_batched", fused_q.speedup_over(&prefused_q)),
         ("b1_fused_vs_serial", fused_q.speedup_over(&serial_q)),

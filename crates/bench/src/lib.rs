@@ -189,6 +189,7 @@ pub mod reference {
     use hdc::binary::{pack_f32_signs_into, words_for_dim, BinaryHypervector};
     use hdc::encoder::Encoder;
     use hdc::parallel::{engine_threads, for_each_chunk};
+    use hdc::BatchView;
 
     /// The 1-bit encode-then-quantize pipeline `predict_batch` ran before
     /// the fused sign-encode kernel: batched f32 encode into a chunk
@@ -197,12 +198,13 @@ pub mod reference {
     ///
     /// # Panics
     ///
-    /// Panics if `batch` rows do not match the encoder's feature arity or
-    /// the deployed model is not 1-bit-compatible (callers validate).
+    /// Panics if the view's row width does not match the encoder's feature
+    /// arity or the deployed model is not 1-bit-compatible (callers
+    /// validate).
     pub fn predict_b1_encode_then_quantize(
         encoder: &AnyEncoder,
         deployed: &QuantizedModel,
-        batch: &[Vec<f32>],
+        batch: BatchView<'_>,
     ) -> Vec<usize> {
         let dim = deployed.dimension();
         let packed: Vec<BinaryHypervector> = deployed
@@ -215,10 +217,10 @@ pub mod reference {
             .iter()
             .map(|c| c.levels().iter().map(|&l| (l as f64) * (l as f64)).sum::<f64>().sqrt())
             .collect();
-        let mut predictions = vec![0usize; batch.len()];
-        for_each_chunk(batch.len(), 64, &mut predictions, 1, engine_threads(), |chunk, out| {
-            let rows = &batch[chunk.start..chunk.end];
-            let mut matrix = vec![0.0f32; rows.len() * dim];
+        let mut predictions = vec![0usize; batch.rows()];
+        for_each_chunk(batch.rows(), 64, &mut predictions, 1, engine_threads(), |chunk, out| {
+            let rows = batch.rows_range(chunk.start, chunk.end);
+            let mut matrix = vec![0.0f32; rows.rows() * dim];
             encoder.encode_batch_into(rows, &mut matrix).expect("shapes validated by the caller");
             let mut words = vec![0u64; words_for_dim(dim)];
             let mut scores = vec![0.0f32; packed.len()];

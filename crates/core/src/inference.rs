@@ -7,8 +7,10 @@
 //! of every class norm per query.  This module fuses the encode→score
 //! pipeline over contiguous chunks of the batch instead:
 //!
-//! 1. the batch is split into [`CHUNK_ROWS`]-row chunks, fanned out across
-//!    scoped threads ([`hdc::parallel`], behind the `parallel` feature);
+//! 1. the batch arrives as a zero-copy row-major [`hdc::BatchView`], is
+//!    split into [`CHUNK_ROWS`]-row sub-views (no data movement), and fanned
+//!    out across scoped threads ([`hdc::parallel`], behind the `parallel`
+//!    feature);
 //! 2. each chunk is encoded into one reusable chunk-local `rows × dim`
 //!    buffer with the encoder's cache-blocked batch kernel (**zero
 //!    per-sample allocations**, base matrix streamed once per sample block
@@ -20,6 +22,9 @@
 //!    encoder's fused sign kernel (`Encoder::encode_signs_into` — the RBF
 //!    encoder reduces each phase to a quadrant test and never materializes
 //!    the f32 matrix), and scores whole word slices with XOR + popcount.
+//!
+//! Every entry point returns `(winner, similarity)` pairs so the open-set
+//! detector layer can threshold without a second scoring pass.
 //!
 //! **Parity contract** (asserted by the `tests/batch_parity.rs` suite):
 //! the IdLevel/Record encoders and every quantized width evaluate the same
@@ -36,15 +41,28 @@ use hdc::encoder::Encoder;
 use hdc::parallel::{engine_threads, for_each_chunk};
 use hdc::quant::quantize_into_with_scratch;
 use hdc::similarity::argmax;
-use hdc::{binary, AssociativeMemory, BitWidth, QuantizedHypervector};
+use hdc::{binary, AssociativeMemory, BatchView, BitWidth, QuantizedHypervector};
 
 /// Rows per engine chunk: one chunk's encode buffer (`CHUNK_ROWS × dim`
 /// f32) stays L2-resident at the paper's dimensionalities while leaving
 /// enough chunks to keep every worker thread busy.
 pub(crate) const CHUNK_ROWS: usize = 64;
 
-/// Validates that every row of `batch` has `features` entries.
-fn check_arity(batch: &[Vec<f32>], features: usize) -> Result<()> {
+/// Validates that the view's row width matches the encoder arity.
+fn check_width(batch: BatchView<'_>, features: usize) -> Result<()> {
+    if batch.width() != features {
+        return Err(CyberHdError::InvalidData(format!(
+            "batch rows are {} features wide, expected {features}",
+            batch.width()
+        )));
+    }
+    Ok(())
+}
+
+/// Validates that every row of a legacy `&[Vec<f32>]` batch has `features`
+/// entries, preserving the sample-indexed error message of the original
+/// batch API (the contiguous path cannot be ragged by construction).
+pub(crate) fn check_rows_arity(batch: &[Vec<f32>], features: usize) -> Result<()> {
     if let Some((i, bad)) = batch.iter().enumerate().find(|(_, row)| row.len() != features) {
         return Err(CyberHdError::InvalidData(format!(
             "sample {i} has {} features, expected {features}",
@@ -54,40 +72,61 @@ fn check_arity(batch: &[Vec<f32>], features: usize) -> Result<()> {
     Ok(())
 }
 
-/// Fused batched prediction against a dense [`AssociativeMemory`].
+/// Flattens a legacy `&[Vec<f32>]` batch into the contiguous buffer the
+/// zero-copy engines consume; rows are validated first so the error carries
+/// the offending sample index.
+pub(crate) fn flatten_rows(batch: &[Vec<f32>], features: usize) -> Result<Vec<f32>> {
+    check_rows_arity(batch, features)?;
+    let mut data = Vec::with_capacity(batch.len() * features);
+    for row in batch {
+        data.extend_from_slice(row);
+    }
+    Ok(data)
+}
+
+/// Fused batched prediction against a dense [`AssociativeMemory`],
+/// returning `(winner, cosine similarity)` per row of `batch`.
 ///
-/// Returns one class index per row of `batch`; predictions are identical to
-/// calling the serial `encode` → `nearest` pair per sample.
+/// Winners are identical to calling the serial `encode` → `nearest` pair
+/// per sample (up to the documented RBF rounding).
 pub(crate) fn predict_dense(
     encoder: &AnyEncoder,
     memory: &AssociativeMemory,
-    batch: &[Vec<f32>],
-) -> Result<Vec<usize>> {
-    check_arity(batch, encoder.input_features())?;
+    batch: BatchView<'_>,
+) -> Result<Vec<(usize, f32)>> {
+    check_width(batch, encoder.input_features())?;
     let dim = encoder.output_dim();
     debug_assert_eq!(dim, memory.dim(), "trainer guarantees encoder/memory agreement");
     let classes = memory.num_classes();
     let norms = memory.class_norms();
-    let mut predictions = vec![0usize; batch.len()];
-    for_each_chunk(batch.len(), CHUNK_ROWS, &mut predictions, 1, engine_threads(), |chunk, out| {
-        let rows = &batch[chunk.start..chunk.end];
-        let mut matrix = vec![0.0f32; rows.len() * dim];
-        let mut scores = vec![0.0f32; classes];
-        encoder
-            .encode_batch_into(rows, &mut matrix)
-            .expect("batch shape validated before the fan-out");
-        for (local, slot) in out.iter_mut().enumerate() {
-            let query = &matrix[local * dim..(local + 1) * dim];
-            memory
-                .similarities_into(query, &norms, &mut scores)
-                .expect("shapes validated before the fan-out");
-            *slot = argmax(&scores).expect("at least one class").0;
-        }
-    });
+    let mut predictions = vec![(0usize, 0.0f32); batch.rows()];
+    for_each_chunk(
+        batch.rows(),
+        CHUNK_ROWS,
+        &mut predictions,
+        1,
+        engine_threads(),
+        |chunk, out| {
+            let rows = batch.rows_range(chunk.start, chunk.end);
+            let mut matrix = vec![0.0f32; rows.rows() * dim];
+            let mut scores = vec![0.0f32; classes];
+            encoder
+                .encode_batch_into(rows, &mut matrix)
+                .expect("batch shape validated before the fan-out");
+            for (local, slot) in out.iter_mut().enumerate() {
+                let query = &matrix[local * dim..(local + 1) * dim];
+                memory
+                    .similarities_into(query, &norms, &mut scores)
+                    .expect("shapes validated before the fan-out");
+                *slot = argmax(&scores).expect("at least one class");
+            }
+        },
+    );
     Ok(predictions)
 }
 
-/// Fused batched prediction against quantized class hypervectors.
+/// Fused batched prediction against quantized class hypervectors, returning
+/// `(winner, cosine similarity)` per row of `batch`.
 ///
 /// Class norms are computed once per batch; at 1 bit the classes are packed
 /// into `u64` words once, queries are sign-encoded straight into packed
@@ -102,9 +141,9 @@ pub(crate) fn predict_quantized(
     encoder: &AnyEncoder,
     classes: &[QuantizedHypervector],
     width: BitWidth,
-    batch: &[Vec<f32>],
-) -> Result<Vec<usize>> {
-    check_arity(batch, encoder.input_features())?;
+    batch: BatchView<'_>,
+) -> Result<Vec<(usize, f32)>> {
+    check_width(batch, encoder.input_features())?;
     let dim = encoder.output_dim();
     let num_classes = classes.len();
     debug_assert!(num_classes > 0, "quantized models always carry at least one class");
@@ -120,72 +159,80 @@ pub(crate) fn predict_quantized(
         classes.iter().map(|c| binary::BinaryHypervector::from_level_signs(c.levels())).collect()
     });
 
-    let mut predictions = vec![0usize; batch.len()];
-    for_each_chunk(batch.len(), CHUNK_ROWS, &mut predictions, 1, engine_threads(), |chunk, out| {
-        let rows = &batch[chunk.start..chunk.end];
-        let mut scores = vec![0.0f32; num_classes];
-        if let Some(packed_classes) = &packed {
-            // Fused 1-bit kernel: the encoder packs quadrant-test sign bits
-            // straight into u64 words (`Encoder::encode_signs_into`) — the
-            // f32 chunk matrix, the cosine pass and the per-row quantize +
-            // pack passes never happen — then each query scores whole word
-            // slices with XOR + popcount.
-            let words_per_row = binary::words_for_dim(dim);
-            let mut query_words = vec![0u64; rows.len() * words_per_row];
-            let mut zero_rows = vec![false; rows.len()];
-            encoder
-                .encode_signs_into(rows, &mut query_words, &mut zero_rows)
-                .expect("batch shape validated before the fan-out");
-            // ±1 levels: every query norm is exactly sqrt(dim).
-            let qn = (dim as f64).sqrt();
-            for (local, slot) in out.iter_mut().enumerate() {
-                // An all-zero encoding quantizes to all-zero levels on the
-                // serial path (zero norm → every score 0.0, class 0 wins);
-                // the sign encoder flags those rows rather than packing the
-                // zeros to +1.
-                if zero_rows[local] {
-                    scores.fill(0.0);
-                } else {
-                    let query = &query_words[local * words_per_row..(local + 1) * words_per_row];
-                    for ((score, class), cn) in
-                        scores.iter_mut().zip(packed_classes).zip(&class_norms)
-                    {
-                        let h = hdc::hamming_distance(query, class.as_words());
-                        let dot = dim as f64 - 2.0 * h as f64;
+    let mut predictions = vec![(0usize, 0.0f32); batch.rows()];
+    for_each_chunk(
+        batch.rows(),
+        CHUNK_ROWS,
+        &mut predictions,
+        1,
+        engine_threads(),
+        |chunk, out| {
+            let rows = batch.rows_range(chunk.start, chunk.end);
+            let mut scores = vec![0.0f32; num_classes];
+            if let Some(packed_classes) = &packed {
+                // Fused 1-bit kernel: the encoder packs quadrant-test sign bits
+                // straight into u64 words (`Encoder::encode_signs_into`) — the
+                // f32 chunk matrix, the cosine pass and the per-row quantize +
+                // pack passes never happen — then each query scores whole word
+                // slices with XOR + popcount.
+                let words_per_row = binary::words_for_dim(dim);
+                let mut query_words = vec![0u64; rows.rows() * words_per_row];
+                let mut zero_rows = vec![false; rows.rows()];
+                encoder
+                    .encode_signs_into(rows, &mut query_words, &mut zero_rows)
+                    .expect("batch shape validated before the fan-out");
+                // ±1 levels: every query norm is exactly sqrt(dim).
+                let qn = (dim as f64).sqrt();
+                for (local, slot) in out.iter_mut().enumerate() {
+                    // An all-zero encoding quantizes to all-zero levels on the
+                    // serial path (zero norm → every score 0.0, class 0 wins);
+                    // the sign encoder flags those rows rather than packing the
+                    // zeros to +1.
+                    if zero_rows[local] {
+                        scores.fill(0.0);
+                    } else {
+                        let query =
+                            &query_words[local * words_per_row..(local + 1) * words_per_row];
+                        for ((score, class), cn) in
+                            scores.iter_mut().zip(packed_classes).zip(&class_norms)
+                        {
+                            let h = hdc::hamming_distance(query, class.as_words());
+                            let dot = dim as f64 - 2.0 * h as f64;
+                            *score = quantized_cosine(dot, qn, *cn);
+                        }
+                    }
+                    *slot = argmax(&scores).expect("at least one class");
+                }
+            } else {
+                let mut matrix = vec![0.0f32; rows.rows() * dim];
+                encoder
+                    .encode_batch_into(rows, &mut matrix)
+                    .expect("batch shape validated before the fan-out");
+                let mut levels = vec![0i32; dim];
+                let mut magnitudes = Vec::new();
+                for (local, slot) in out.iter_mut().enumerate() {
+                    let query = &matrix[local * dim..(local + 1) * dim];
+                    quantize_into_with_scratch(query, width, &mut levels, &mut magnitudes);
+                    let qn = levels.iter().map(|&l| (l as f64) * (l as f64)).sum::<f64>().sqrt();
+                    for ((score, class), cn) in scores.iter_mut().zip(classes).zip(&class_norms) {
+                        let dot = levels
+                            .iter()
+                            .zip(class.levels())
+                            .map(|(&a, &b)| a as f64 * b as f64)
+                            .sum::<f64>();
                         *score = quantized_cosine(dot, qn, *cn);
                     }
+                    *slot = argmax(&scores).expect("at least one class");
                 }
-                *slot = argmax(&scores).expect("at least one class").0;
             }
-        } else {
-            let mut matrix = vec![0.0f32; rows.len() * dim];
-            encoder
-                .encode_batch_into(rows, &mut matrix)
-                .expect("batch shape validated before the fan-out");
-            let mut levels = vec![0i32; dim];
-            let mut magnitudes = Vec::new();
-            for (local, slot) in out.iter_mut().enumerate() {
-                let query = &matrix[local * dim..(local + 1) * dim];
-                quantize_into_with_scratch(query, width, &mut levels, &mut magnitudes);
-                let qn = levels.iter().map(|&l| (l as f64) * (l as f64)).sum::<f64>().sqrt();
-                for ((score, class), cn) in scores.iter_mut().zip(classes).zip(&class_norms) {
-                    let dot = levels
-                        .iter()
-                        .zip(class.levels())
-                        .map(|(&a, &b)| a as f64 * b as f64)
-                        .sum::<f64>();
-                    *score = quantized_cosine(dot, qn, *cn);
-                }
-                *slot = argmax(&scores).expect("at least one class").0;
-            }
-        }
-    });
+        },
+    );
     Ok(predictions)
 }
 
 /// The cosine convention of [`QuantizedHypervector::cosine`]: zero norms
 /// score `0.0`, everything else is clamped into `[-1, 1]`.
-fn quantized_cosine(dot: f64, qn: f64, cn: f64) -> f32 {
+pub(crate) fn quantized_cosine(dot: f64, qn: f64, cn: f64) -> f32 {
     if qn == 0.0 || cn == 0.0 {
         return 0.0;
     }
@@ -198,6 +245,7 @@ mod tests {
     use crate::config::{CyberHdConfig, EncoderKind};
     use crate::trainer::CyberHdTrainer;
     use hdc::rng::HdcRng;
+    use hdc::BatchBuffer;
 
     fn toy_problem(seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
         let mut rng = HdcRng::seed_from(seed);
@@ -234,9 +282,13 @@ mod tests {
     fn fused_dense_predictions_match_the_serial_path() {
         for kind in [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record] {
             let (model, xs) = trained(kind);
-            let batched = predict_dense(model.encoder(), model.memory(), &xs).unwrap();
+            let buffer = BatchBuffer::from_rows(&xs, 5).unwrap();
+            let batched = predict_dense(model.encoder(), model.memory(), buffer.view()).unwrap();
             for (i, x) in xs.iter().enumerate() {
-                assert_eq!(batched[i], model.predict(x).unwrap(), "{kind:?} sample {i}");
+                assert_eq!(batched[i].0, model.predict(x).unwrap(), "{kind:?} sample {i}");
+                // The winner similarity is the serial score of the winner.
+                let (_, scores) = model.predict_with_scores(x).unwrap();
+                assert!((batched[i].1 - scores[batched[i].0]).abs() < 2e-6);
             }
         }
     }
@@ -244,12 +296,14 @@ mod tests {
     #[test]
     fn fused_quantized_predictions_match_the_serial_path() {
         let (model, xs) = trained(EncoderKind::Rbf);
+        let buffer = BatchBuffer::from_rows(&xs, 5).unwrap();
         for width in BitWidth::ALL {
             let deployed = model.quantize(width);
             let batched =
-                predict_quantized(model.encoder(), deployed.classes(), width, &xs).unwrap();
+                predict_quantized(model.encoder(), deployed.classes(), width, buffer.view())
+                    .unwrap();
             for (i, x) in xs.iter().enumerate() {
-                assert_eq!(batched[i], deployed.predict(x).unwrap(), "{width:?} sample {i}");
+                assert_eq!(batched[i].0, deployed.predict(x).unwrap(), "{width:?} sample {i}");
             }
         }
     }
@@ -263,25 +317,39 @@ mod tests {
         let (model, mut xs) = trained(EncoderKind::Record);
         xs.push(vec![0.0; 5]);
         let deployed = model.quantize(BitWidth::B1);
+        let buffer = BatchBuffer::from_rows(&xs, 5).unwrap();
         let batched =
-            predict_quantized(model.encoder(), deployed.classes(), BitWidth::B1, &xs).unwrap();
+            predict_quantized(model.encoder(), deployed.classes(), BitWidth::B1, buffer.view())
+                .unwrap();
         let zero_row = xs.len() - 1;
-        assert_eq!(batched[zero_row], deployed.predict(&xs[zero_row]).unwrap());
-        assert_eq!(batched[zero_row], 0, "all-zero query falls back to class 0");
+        assert_eq!(batched[zero_row].0, deployed.predict(&xs[zero_row]).unwrap());
+        assert_eq!(batched[zero_row].0, 0, "all-zero query falls back to class 0");
+        assert_eq!(batched[zero_row].1, 0.0, "all-zero query scores zero");
     }
 
     #[test]
-    fn arity_errors_are_reported_before_any_work() {
+    fn width_errors_are_reported_before_any_work() {
         let (model, _) = trained(EncoderKind::Rbf);
-        let bad = vec![vec![0.0f32; 4]];
-        assert!(predict_dense(model.encoder(), model.memory(), &bad).is_err());
+        let data = [0.0f32; 4];
+        let bad = BatchView::new(&data, 4).unwrap();
+        assert!(predict_dense(model.encoder(), model.memory(), bad).is_err());
         let deployed = model.quantize(BitWidth::B1);
-        assert!(predict_quantized(model.encoder(), deployed.classes(), BitWidth::B1, &bad).is_err());
+        assert!(predict_quantized(model.encoder(), deployed.classes(), BitWidth::B1, bad).is_err());
     }
 
     #[test]
     fn empty_batches_produce_empty_predictions() {
         let (model, _) = trained(EncoderKind::Rbf);
-        assert!(predict_dense(model.encoder(), model.memory(), &[]).unwrap().is_empty());
+        let empty = BatchView::new(&[], 5).unwrap();
+        assert!(predict_dense(model.encoder(), model.memory(), empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn legacy_row_flattening_preserves_sample_indexed_errors() {
+        let rows = vec![vec![0.0f32; 5], vec![0.0f32; 3]];
+        let err = flatten_rows(&rows, 5).unwrap_err();
+        assert!(err.to_string().contains("sample 1"), "{err}");
+        let flat = flatten_rows(&rows[..1], 5).unwrap();
+        assert_eq!(flat.len(), 5);
     }
 }

@@ -61,6 +61,7 @@
 
 pub mod baseline;
 pub mod config;
+pub mod detector;
 pub(crate) mod inference;
 pub mod model;
 pub mod online;
@@ -71,6 +72,7 @@ pub mod trainer;
 
 pub use baseline::{BaselineHd, BaselineHdModel};
 pub use config::{CyberHdConfig, CyberHdConfigBuilder, EncoderKind, TrainingBatch};
+pub use detector::{DetectScratch, Detector, DetectorBuilder, OnlineDetector, Verdict};
 pub use model::{CyberHdModel, TrainingReport};
 pub use online::OnlineLearner;
 pub use openset::{OpenSetDetector, OpenSetPrediction};
@@ -94,6 +96,11 @@ pub enum CyberHdError {
     Hdc(hdc::HdcError),
     /// An error bubbled up from the evaluation utilities.
     Eval(eval::EvalError),
+    /// An error bubbled up from the dataset / preprocessing layer.
+    Data(nids_data::DataError),
+    /// A detector artifact could not be saved or loaded (I/O failure,
+    /// wrong magic/version, corrupted payload).
+    Persist(String),
 }
 
 impl fmt::Display for CyberHdError {
@@ -103,6 +110,8 @@ impl fmt::Display for CyberHdError {
             CyberHdError::InvalidData(what) => write!(f, "invalid training data: {what}"),
             CyberHdError::Hdc(e) => write!(f, "hdc error: {e}"),
             CyberHdError::Eval(e) => write!(f, "evaluation error: {e}"),
+            CyberHdError::Data(e) => write!(f, "data error: {e}"),
+            CyberHdError::Persist(what) => write!(f, "persistence error: {what}"),
         }
     }
 }
@@ -112,6 +121,7 @@ impl Error for CyberHdError {
         match self {
             CyberHdError::Hdc(e) => Some(e),
             CyberHdError::Eval(e) => Some(e),
+            CyberHdError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -126,6 +136,18 @@ impl From<hdc::HdcError> for CyberHdError {
 impl From<eval::EvalError> for CyberHdError {
     fn from(e: eval::EvalError) -> Self {
         CyberHdError::Eval(e)
+    }
+}
+
+impl From<nids_data::DataError> for CyberHdError {
+    fn from(e: nids_data::DataError) -> Self {
+        CyberHdError::Data(e)
+    }
+}
+
+impl From<hdc::codec::CodecError> for CyberHdError {
+    fn from(e: hdc::codec::CodecError) -> Self {
+        CyberHdError::Persist(e.to_string())
     }
 }
 
@@ -161,6 +183,43 @@ pub(crate) fn validate_dataset(
         return Err(CyberHdError::InvalidData(format!(
             "sample {i} has {} features, expected {input_features}",
             bad.len()
+        )));
+    }
+    if let Some((i, &bad)) = labels.iter().enumerate().find(|&(_, &l)| l >= num_classes) {
+        return Err(CyberHdError::InvalidData(format!(
+            "sample {i} has label {bad}, but the model was configured for {num_classes} classes"
+        )));
+    }
+    Ok(())
+}
+
+/// [`validate_dataset`] for the zero-copy batch-view form: the view cannot
+/// be ragged, so the arity check reduces to one width comparison.
+///
+/// # Errors
+///
+/// Returns [`CyberHdError::InvalidData`] describing the first inconsistency
+/// found.
+pub(crate) fn validate_dataset_view(
+    features: hdc::BatchView<'_>,
+    labels: &[usize],
+    input_features: usize,
+    num_classes: usize,
+) -> Result<()> {
+    if features.is_empty() {
+        return Err(CyberHdError::InvalidData("training set is empty".into()));
+    }
+    if features.rows() != labels.len() {
+        return Err(CyberHdError::InvalidData(format!(
+            "{} feature rows but {} labels",
+            features.rows(),
+            labels.len()
+        )));
+    }
+    if features.width() != input_features {
+        return Err(CyberHdError::InvalidData(format!(
+            "batch rows are {} features wide, expected {input_features}",
+            features.width()
         )));
     }
     if let Some((i, &bad)) = labels.iter().enumerate().find(|&(_, &l)| l >= num_classes) {

@@ -10,8 +10,9 @@ use crate::quantized::QuantizedModel;
 use crate::regeneration::RegenerationStats;
 use crate::{CyberHdError, Result};
 use eval::metrics::ConfusionMatrix;
+use hdc::codec::{CodecError, CodecResult, Reader, Writer};
 use hdc::encoder::{Encoder, IdLevelEncoder, RbfEncoder, RecordEncoder};
-use hdc::{AssociativeMemory, BitWidth, Hypervector};
+use hdc::{AssociativeMemory, BatchView, BitWidth, Hypervector};
 use serde::{Deserialize, Serialize};
 
 /// Concrete encoder instance, dispatched by [`EncoderKind`].
@@ -100,6 +101,40 @@ impl AnyEncoder {
             _ => None,
         }
     }
+
+    /// Persists the encoder (variant tag + payload) through the artifact
+    /// codec, bit-exact.
+    pub fn write_to(&self, w: &mut Writer) {
+        match self {
+            AnyEncoder::Rbf(e) => {
+                w.u8(0);
+                e.write_to(w);
+            }
+            AnyEncoder::IdLevel(e) => {
+                w.u8(1);
+                e.write_to(w);
+            }
+            AnyEncoder::Record(e) => {
+                w.u8(2);
+                e.write_to(w);
+            }
+        }
+    }
+
+    /// Reads an encoder persisted by [`AnyEncoder::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated stream or an unknown variant
+    /// tag.
+    pub fn read_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(AnyEncoder::Rbf(RbfEncoder::read_from(r)?)),
+            1 => Ok(AnyEncoder::IdLevel(IdLevelEncoder::read_from(r)?)),
+            2 => Ok(AnyEncoder::Record(RecordEncoder::read_from(r)?)),
+            tag => Err(CodecError::Invalid(format!("encoder tag {tag}"))),
+        }
+    }
 }
 
 /// [`AnyEncoder`] dispatches the whole [`Encoder`] trait to its variant, so
@@ -130,7 +165,7 @@ impl Encoder for AnyEncoder {
         }
     }
 
-    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> hdc::Result<()> {
+    fn encode_batch_into(&self, batch: BatchView<'_>, out: &mut [f32]) -> hdc::Result<()> {
         match self {
             AnyEncoder::Rbf(e) => e.encode_batch_into(batch, out),
             AnyEncoder::IdLevel(e) => e.encode_batch_into(batch, out),
@@ -140,7 +175,7 @@ impl Encoder for AnyEncoder {
 
     fn encode_signs_into(
         &self,
-        batch: &[Vec<f32>],
+        batch: BatchView<'_>,
         words: &mut [u64],
         zero_rows: &mut [bool],
     ) -> hdc::Result<()> {
@@ -288,10 +323,15 @@ impl CyberHdModel {
         Ok((class, scores))
     }
 
-    /// Predicts the classes of a batch of feature vectors on the fused
-    /// batched engine (see [`crate::inference`]): chunked zero-allocation
-    /// encoding, class norms computed once per batch, and chunk fan-out
-    /// across threads behind the `parallel` feature.
+    /// Predicts the classes of a zero-copy row-major batch view on the
+    /// fused batched engine (the crate-private `inference` module): chunked
+    /// zero-allocation encoding, class norms computed once per batch, and
+    /// chunk fan-out across threads behind the `parallel` feature.
+    ///
+    /// This is the primary batch entry point; callers holding contiguous
+    /// data (a preprocessed matrix, a capture buffer) pay **zero copies**.
+    /// The legacy [`CyberHdModel::predict_batch`] wrapper flattens
+    /// `&[Vec<f32>]` rows into this path.
     ///
     /// Predictions match mapping [`CyberHdModel::predict`] over the batch —
     /// exactly for the IdLevel/Record encoders, and up to the RBF batch
@@ -300,13 +340,64 @@ impl CyberHdModel {
     ///
     /// # Errors
     ///
-    /// Returns [`CyberHdError::InvalidData`] if any sample has the wrong
-    /// feature arity.
-    pub fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
+    /// Returns [`CyberHdError::InvalidData`] if the view's row width does
+    /// not match the configured feature arity.
+    pub fn predict_batch_view(&self, batch: BatchView<'_>) -> Result<Vec<usize>> {
+        Ok(crate::inference::predict_dense(&self.encoder, &self.memory, batch)?
+            .into_iter()
+            .map(|(class, _)| class)
+            .collect())
+    }
+
+    /// [`CyberHdModel::predict_batch_view`] returning the winner's cosine
+    /// similarity alongside each class — the scored form the open-set
+    /// detector layer thresholds without a second pass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CyberHdModel::predict_batch_view`].
+    pub fn predict_batch_view_scored(&self, batch: BatchView<'_>) -> Result<Vec<(usize, f32)>> {
         crate::inference::predict_dense(&self.encoder, &self.memory, batch)
     }
 
-    /// Evaluates the model on labelled data, returning the confusion matrix.
+    /// Predicts the classes of a batch of feature vectors.
+    ///
+    /// Legacy row-per-`Vec` form: rows are validated and flattened once,
+    /// then scored through the zero-copy
+    /// [`CyberHdModel::predict_batch_view`] engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] if any sample has the wrong
+    /// feature arity.
+    pub fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
+        let features = self.encoder.input_features();
+        let data = crate::inference::flatten_rows(batch, features)?;
+        self.predict_batch_view(BatchView::new(&data, features).expect("flattened rows"))
+    }
+
+    /// Evaluates the model on a labelled batch view, returning the
+    /// confusion matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for mismatched input lengths
+    /// and propagates prediction errors.
+    pub fn evaluate_view(&self, batch: BatchView<'_>, labels: &[usize]) -> Result<ConfusionMatrix> {
+        if batch.rows() != labels.len() {
+            return Err(CyberHdError::InvalidData(format!(
+                "{} feature rows but {} labels",
+                batch.rows(),
+                labels.len()
+            )));
+        }
+        let predictions = self.predict_batch_view(batch)?;
+        ConfusionMatrix::from_predictions(&predictions, labels, self.num_classes())
+            .map_err(CyberHdError::from)
+    }
+
+    /// Evaluates the model on labelled data, returning the confusion matrix
+    /// (legacy row-per-`Vec` form of [`CyberHdModel::evaluate_view`]).
     ///
     /// # Errors
     ///
@@ -323,6 +414,15 @@ impl CyberHdModel {
         let predictions = self.predict_batch(features)?;
         ConfusionMatrix::from_predictions(&predictions, labels, self.num_classes())
             .map_err(CyberHdError::from)
+    }
+
+    /// Accuracy on a labelled batch view.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CyberHdModel::evaluate_view`].
+    pub fn accuracy_view(&self, batch: BatchView<'_>, labels: &[usize]) -> Result<f64> {
+        Ok(self.evaluate_view(batch, labels)?.accuracy())
     }
 
     /// Accuracy on labelled data (convenience wrapper around

@@ -15,7 +15,7 @@ use crate::regeneration::{RegenerationPlan, RegenerationStats};
 use crate::trainer::{adaptive_update, ChunkScratch};
 use crate::{CyberHdError, Result};
 use hdc::encoder::Encoder;
-use hdc::{similarity, AssociativeMemory};
+use hdc::{similarity, AssociativeMemory, BatchView};
 
 /// A streaming CyberHD learner.
 ///
@@ -68,6 +68,25 @@ impl OnlineLearner {
             seen: 0,
             correct_before_update: 0,
         })
+    }
+
+    /// Resumes streaming from a trained model: the learner takes over the
+    /// model's encoder and class memory (with its regeneration history) and
+    /// keeps applying the adaptive rule to new observations.
+    ///
+    /// The prequential counters start from zero — they track the *streamed*
+    /// phase, not the batch-training phase the model came from.
+    pub fn from_model(model: CyberHdModel) -> Self {
+        let CyberHdModel { encoder, memory, config, report } = model;
+        Self {
+            batch_scratch: ChunkScratch::new(config.num_classes, config.dimension),
+            config,
+            encoder,
+            memory,
+            stats: report.regeneration,
+            seen: 0,
+            correct_before_update: 0,
+        }
     }
 
     /// Number of samples observed so far.
@@ -140,10 +159,32 @@ impl OnlineLearner {
     /// [`CyberHdError::Hdc`] error for rows with the wrong feature arity —
     /// in every error case the model and its counters are left untouched.
     pub fn observe_batch(&mut self, features: &[Vec<f32>], labels: &[usize]) -> Result<Vec<usize>> {
-        if features.len() != labels.len() {
+        // Arity problems surface as the encoder's error (the documented
+        // contract of this legacy entry point): `from_rows` reports the
+        // ragged row as the same `FeatureMismatch` the encoder would.
+        let buffer = hdc::BatchBuffer::from_rows(features, self.encoder.input_features())
+            .map_err(CyberHdError::Hdc)?;
+        self.observe_batch_view(buffer.view(), labels)
+    }
+
+    /// [`OnlineLearner::observe_batch`] over a zero-copy row-major batch
+    /// view — the primary streaming-burst entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for mismatched lengths or an
+    /// out-of-range label, and the encoder's [`CyberHdError::Hdc`] error for
+    /// a view whose row width does not match the feature arity — in every
+    /// error case the model and its counters are left untouched.
+    pub fn observe_batch_view(
+        &mut self,
+        features: BatchView<'_>,
+        labels: &[usize],
+    ) -> Result<Vec<usize>> {
+        if features.rows() != labels.len() {
             return Err(CyberHdError::InvalidData(format!(
-                "{} feature vectors but {} labels",
-                features.len(),
+                "{} feature rows but {} labels",
+                features.rows(),
                 labels.len()
             )));
         }
@@ -154,7 +195,7 @@ impl OnlineLearner {
             )));
         }
         let dim = self.memory.dim();
-        let mut matrix = vec![0.0f32; features.len() * dim];
+        let mut matrix = vec![0.0f32; features.rows() * dim];
         self.encoder.encode_batch_into(features, &mut matrix)?;
 
         // Frozen-snapshot scoring + deferred deltas through the trainer's
@@ -162,7 +203,7 @@ impl OnlineLearner {
         // streaming and batch engines share one implementation of the rule.
         let class_norms = self.memory.class_norms();
         let scratch = &mut self.batch_scratch;
-        let mut predictions = Vec::with_capacity(features.len());
+        let mut predictions = Vec::with_capacity(features.rows());
         for (row, &label) in matrix.chunks_exact(dim).zip(labels) {
             let predicted = scratch.visit(
                 &self.memory,
@@ -174,7 +215,7 @@ impl OnlineLearner {
             );
             predictions.push(predicted);
         }
-        self.seen += features.len();
+        self.seen += features.rows();
         self.correct_before_update += scratch.drain_into(&mut self.memory, |_| {});
         Ok(predictions)
     }
@@ -337,5 +378,29 @@ mod tests {
         let mut learner = OnlineLearner::new(config(64, 0.0)).unwrap();
         assert_eq!(learner.regenerate().unwrap(), 0);
         assert_eq!(learner.effective_dimension(), 64);
+    }
+
+    #[test]
+    fn from_model_resumes_with_the_trained_memory() {
+        let mut warm = OnlineLearner::new(config(256, 0.1)).unwrap();
+        for (x, y) in stream(200, 5) {
+            warm.observe(&x, y).unwrap();
+        }
+        warm.regenerate().unwrap();
+        let effective = warm.effective_dimension();
+        let model = warm.into_model();
+        let expected = model.predict(&[0.0, 1.0, 0.0]).unwrap();
+
+        let mut resumed = OnlineLearner::from_model(model);
+        // The trained memory is carried over verbatim...
+        assert_eq!(resumed.predict(&[0.0, 1.0, 0.0]).unwrap(), expected);
+        // ...the regeneration history survives...
+        assert_eq!(resumed.effective_dimension(), effective);
+        // ...and the prequential counters restart for the streamed phase.
+        assert_eq!(resumed.samples_seen(), 0);
+        for (x, y) in stream(100, 6) {
+            resumed.observe(&x, y).unwrap();
+        }
+        assert!(resumed.prequential_accuracy() > 0.8, "{}", resumed.prequential_accuracy());
     }
 }

@@ -15,6 +15,9 @@
 
 use crate::model::CyberHdModel;
 use crate::{CyberHdError, Result};
+use hdc::encoder::Encoder;
+use hdc::parallel::{engine_threads, for_each_chunk};
+use hdc::BatchView;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of an open-set prediction.
@@ -89,34 +92,24 @@ impl OpenSetDetector {
         if features.is_empty() {
             return Err(CyberHdError::InvalidData("calibration set is empty".into()));
         }
-        if !(0.0..=1.0).contains(&quantile) || !quantile.is_finite() {
-            return Err(CyberHdError::InvalidData(format!(
-                "quantile must lie in [0, 1], got {quantile}"
-            )));
-        }
-        let num_classes = model.num_classes();
-        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
-            return Err(CyberHdError::InvalidData(format!(
-                "label {bad} out of range for {num_classes} classes"
-            )));
-        }
+        let data = crate::inference::flatten_rows(features, model.encoder().input_features())?;
+        let view = BatchView::new(&data, model.encoder().input_features()).expect("flattened rows");
+        let thresholds = calibrate_thresholds(&model, view, labels, quantile)?;
+        Ok(Self { model, thresholds })
+    }
 
-        let mut per_class: Vec<Vec<f32>> = vec![Vec::new(); num_classes];
-        for (sample, &label) in features.iter().zip(labels) {
-            let (_, scores) = model.predict_with_scores(sample)?;
-            per_class[label].push(scores[label]);
-        }
-        let thresholds = per_class
-            .into_iter()
-            .map(|mut sims| {
-                if sims.is_empty() {
-                    return 0.0;
-                }
-                sims.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                let index = ((sims.len() as f64 - 1.0) * quantile).round() as usize;
-                sims[index.min(sims.len() - 1)]
-            })
-            .collect();
+    /// [`OpenSetDetector::calibrate`] over a zero-copy batch view.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OpenSetDetector::calibrate`].
+    pub fn calibrate_view(
+        model: CyberHdModel,
+        features: BatchView<'_>,
+        labels: &[usize],
+        quantile: f64,
+    ) -> Result<Self> {
+        let thresholds = calibrate_thresholds(&model, features, labels, quantile)?;
         Ok(Self { model, thresholds })
     }
 
@@ -164,6 +157,102 @@ impl OpenSetDetector {
         }
         Ok(unknown as f64 / features.len() as f64)
     }
+}
+
+/// Computes the per-class similarity thresholds of the open-set layer on
+/// the **batched engine**: the calibration set is encoded in
+/// cache-resident chunks with class norms computed once, instead of one
+/// serial `predict_with_scores` round trip per sample.
+///
+/// Shared by [`OpenSetDetector`] and the sealed `Detector` artifact
+/// builder.  For RBF models the batched encoding carries the engine's
+/// documented ~1e-6 rounding relative to the serial path, which shifts
+/// thresholds by at most that much.
+///
+/// # Errors
+///
+/// Returns [`CyberHdError::InvalidData`] for inconsistent inputs or an
+/// out-of-range quantile.
+pub(crate) fn calibrate_thresholds(
+    model: &CyberHdModel,
+    features: BatchView<'_>,
+    labels: &[usize],
+    quantile: f64,
+) -> Result<Vec<f32>> {
+    if features.rows() != labels.len() {
+        return Err(CyberHdError::InvalidData(format!(
+            "{} feature rows but {} labels",
+            features.rows(),
+            labels.len()
+        )));
+    }
+    if features.is_empty() {
+        return Err(CyberHdError::InvalidData("calibration set is empty".into()));
+    }
+    if features.width() != model.encoder().input_features() {
+        return Err(CyberHdError::InvalidData(format!(
+            "batch rows are {} features wide, expected {}",
+            features.width(),
+            model.encoder().input_features()
+        )));
+    }
+    if !(0.0..=1.0).contains(&quantile) || !quantile.is_finite() {
+        return Err(CyberHdError::InvalidData(format!(
+            "quantile must lie in [0, 1], got {quantile}"
+        )));
+    }
+    let num_classes = model.num_classes();
+    if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+        return Err(CyberHdError::InvalidData(format!(
+            "label {bad} out of range for {num_classes} classes"
+        )));
+    }
+
+    // Batched own-class scoring: chunked zero-allocation encoding, class
+    // norms computed once for the whole calibration set.
+    let encoder = model.encoder();
+    let memory = model.memory();
+    let dim = encoder.output_dim();
+    let norms = memory.class_norms();
+    let mut own = vec![0.0f32; features.rows()];
+    for_each_chunk(
+        features.rows(),
+        crate::inference::CHUNK_ROWS,
+        &mut own,
+        1,
+        engine_threads(),
+        |chunk, out| {
+            let rows = features.rows_range(chunk.start, chunk.end);
+            let mut matrix = vec![0.0f32; rows.rows() * dim];
+            let mut scores = vec![0.0f32; num_classes];
+            encoder
+                .encode_batch_into(rows, &mut matrix)
+                .expect("batch shape validated before the fan-out");
+            for (local, slot) in out.iter_mut().enumerate() {
+                let query = &matrix[local * dim..(local + 1) * dim];
+                memory
+                    .similarities_into(query, &norms, &mut scores)
+                    .expect("shapes validated before the fan-out");
+                *slot = scores[labels[chunk.start + local]];
+            }
+        },
+    );
+
+    let mut per_class: Vec<Vec<f32>> = vec![Vec::new(); num_classes];
+    for (&similarity, &label) in own.iter().zip(labels) {
+        per_class[label].push(similarity);
+    }
+    Ok(per_class
+        .into_iter()
+        .map(|mut sims| {
+            if sims.is_empty() {
+                return 0.0;
+            }
+            sims.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let index = ((sims.len() as f64 - 1.0) * quantile).round() as usize;
+            sims[index.min(sims.len() - 1)]
+        })
+        .collect())
 }
 
 #[cfg(test)]

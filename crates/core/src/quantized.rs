@@ -10,7 +10,7 @@
 use crate::model::{AnyEncoder, CyberHdModel};
 use crate::{CyberHdError, Result};
 use eval::metrics::ConfusionMatrix;
-use hdc::{BitWidth, QuantizedHypervector};
+use hdc::{BatchView, BitWidth, QuantizedHypervector};
 use serde::{Deserialize, Serialize};
 
 /// A CyberHD model whose class hypervectors are stored at a reduced
@@ -58,6 +58,21 @@ impl QuantizedModel {
     /// Quantizes a trained model's class hypervectors at `width`.
     pub fn from_model(model: &CyberHdModel, width: BitWidth) -> Self {
         Self { encoder: model.encoder.clone(), classes: model.memory.quantized(width), width }
+    }
+
+    /// Rebuilds a quantized model from persisted parts (the detector
+    /// artifact loader).
+    pub(crate) fn from_parts(
+        encoder: AnyEncoder,
+        classes: Vec<QuantizedHypervector>,
+        width: BitWidth,
+    ) -> Self {
+        Self { encoder, classes, width }
+    }
+
+    /// Borrow of the full-precision encoder.
+    pub fn encoder(&self) -> &AnyEncoder {
+        &self.encoder
     }
 
     /// Element bitwidth of the stored class hypervectors.
@@ -113,6 +128,20 @@ impl QuantizedModel {
     ///
     /// Returns an error if `features` has the wrong arity.
     pub fn predict(&self, features: &[f32]) -> Result<usize> {
+        Ok(self.predict_with_similarity(features)?.0)
+    }
+
+    /// Predicts the class of one feature vector and returns the winning
+    /// integer-cosine similarity alongside it (the open-set detector layer
+    /// thresholds on it).
+    ///
+    /// Ties break in favour of the lowest class index, matching the dense
+    /// path's argmax convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `features` has the wrong arity.
+    pub fn predict_with_similarity(&self, features: &[f32]) -> Result<(usize, f32)> {
         let encoded = self.encoder.encode(features)?;
         let query = QuantizedHypervector::quantize(&encoded, self.width);
         let mut best = 0usize;
@@ -124,11 +153,11 @@ impl QuantizedModel {
                 best = k;
             }
         }
-        Ok(best)
+        Ok((best, best_sim))
     }
 
     /// Predicts the classes of a batch of feature vectors on the fused
-    /// batched engine (see [`crate::inference`]).
+    /// batched engine (the crate-private `inference` module).
     ///
     /// Class norms are computed once per batch instead of once per
     /// query×class.  At 1 bit the pipeline is fully fused: queries are
@@ -144,10 +173,54 @@ impl QuantizedModel {
     ///
     /// # Errors
     ///
+    /// Returns [`CyberHdError::InvalidData`] if the view's row width does
+    /// not match the configured feature arity.
+    pub fn predict_batch_view(&self, batch: BatchView<'_>) -> Result<Vec<usize>> {
+        Ok(self.predict_batch_view_scored(batch)?.into_iter().map(|(class, _)| class).collect())
+    }
+
+    /// [`QuantizedModel::predict_batch_view`] returning the winning
+    /// similarity alongside each class.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedModel::predict_batch_view`].
+    pub fn predict_batch_view_scored(&self, batch: BatchView<'_>) -> Result<Vec<(usize, f32)>> {
+        crate::inference::predict_quantized(&self.encoder, &self.classes, self.width, batch)
+    }
+
+    /// Predicts the classes of a batch of feature vectors (legacy
+    /// row-per-`Vec` form: rows are validated and flattened once, then
+    /// scored through the zero-copy [`QuantizedModel::predict_batch_view`]
+    /// engine).
+    ///
+    /// # Errors
+    ///
     /// Returns [`CyberHdError::InvalidData`] if any sample has the wrong
     /// feature arity.
     pub fn predict_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<usize>> {
-        crate::inference::predict_quantized(&self.encoder, &self.classes, self.width, batch)
+        let features = self.encoder.input_features();
+        let data = crate::inference::flatten_rows(batch, features)?;
+        self.predict_batch_view(BatchView::new(&data, features).expect("flattened rows"))
+    }
+
+    /// Evaluates the quantized model on a labelled batch view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for mismatched input lengths
+    /// and propagates prediction errors.
+    pub fn evaluate_view(&self, batch: BatchView<'_>, labels: &[usize]) -> Result<ConfusionMatrix> {
+        if batch.rows() != labels.len() {
+            return Err(CyberHdError::InvalidData(format!(
+                "{} feature rows but {} labels",
+                batch.rows(),
+                labels.len()
+            )));
+        }
+        let predictions = self.predict_batch_view(batch)?;
+        ConfusionMatrix::from_predictions(&predictions, labels, self.num_classes())
+            .map_err(CyberHdError::from)
     }
 
     /// Evaluates the quantized model on labelled data.

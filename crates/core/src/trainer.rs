@@ -39,11 +39,11 @@
 use crate::config::{CyberHdConfig, TrainingBatch};
 use crate::model::{AnyEncoder, CyberHdModel, TrainingReport};
 use crate::regeneration::{RegenerationPlan, RegenerationStats};
-use crate::{validate_dataset, CyberHdError, Result};
+use crate::{validate_dataset, validate_dataset_view, CyberHdError, Result};
 use hdc::encoder::Encoder;
 use hdc::rng::HdcRng;
 use hdc::similarity;
-use hdc::{AssociativeMemory, Hypervector};
+use hdc::{AssociativeMemory, BatchView, Hypervector};
 
 /// The trainer's cache of encoded samples: one row-major `samples × dim`
 /// matrix instead of one `Hypervector` allocation per sample.
@@ -71,27 +71,27 @@ impl EncodedMatrix {
     /// so `batch_size = 1` runs skip the extra pass.
     fn encode(
         encoder: &AnyEncoder,
-        features: &[Vec<f32>],
+        features: BatchView<'_>,
         threads: usize,
         cache_row_norms: bool,
     ) -> Result<Self> {
         let dim = encoder.output_dim();
-        if let Some(bad) = features.iter().find(|f| f.len() != encoder.input_features()) {
+        if features.width() != encoder.input_features() {
             return Err(CyberHdError::Hdc(hdc::HdcError::FeatureMismatch {
                 expected: encoder.input_features(),
-                actual: bad.len(),
+                actual: features.width(),
             }));
         }
-        let mut data = vec![0.0f32; features.len() * dim];
+        let mut data = vec![0.0f32; features.rows() * dim];
         hdc::parallel::for_each_chunk(
-            features.len(),
+            features.rows(),
             crate::inference::CHUNK_ROWS,
             &mut data,
             dim,
             threads.max(1),
             |chunk, tile| {
                 encoder
-                    .encode_batch_into(&features[chunk.start..chunk.end], tile)
+                    .encode_batch_into(features.rows_range(chunk.start, chunk.end), tile)
                     .expect("shapes validated before the fan-out");
             },
         );
@@ -160,7 +160,9 @@ impl CyberHdTrainer {
         &self.config
     }
 
-    /// Trains a model on `features` / `labels`.
+    /// Trains a model on `features` / `labels` (legacy row-per-`Vec` form:
+    /// rows are validated and flattened once, then trained through the
+    /// zero-copy [`CyberHdTrainer::fit_view`] engine).
     ///
     /// # Errors
     ///
@@ -169,6 +171,21 @@ impl CyberHdTrainer {
     pub fn fit(&self, features: &[Vec<f32>], labels: &[usize]) -> Result<CyberHdModel> {
         let config = &self.config;
         validate_dataset(features, labels, config.input_features, config.num_classes)?;
+        let data = crate::inference::flatten_rows(features, config.input_features)?;
+        self.fit_view(BatchView::new(&data, config.input_features).expect("flattened rows"), labels)
+    }
+
+    /// Trains a model on a zero-copy row-major batch view — the primary
+    /// training entry point; callers holding contiguous data (a
+    /// preprocessed matrix) pay no copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] if the dataset is empty or
+    /// inconsistent with the configuration, and propagates encoder errors.
+    pub fn fit_view(&self, features: BatchView<'_>, labels: &[usize]) -> Result<CyberHdModel> {
+        let config = &self.config;
+        validate_dataset_view(features, labels, config.input_features, config.num_classes)?;
 
         let mut encoder = AnyEncoder::from_config(config)?;
         let mut encoded = EncodedMatrix::encode(
@@ -598,7 +615,7 @@ fn apply_regeneration(
     encoder: &mut AnyEncoder,
     memory: &mut AssociativeMemory,
     encoded: &mut EncodedMatrix,
-    features: &[Vec<f32>],
+    features: BatchView<'_>,
     plan: &RegenerationPlan,
 ) -> Result<()> {
     let rbf = encoder.as_rbf_mut().ok_or_else(|| {
@@ -610,7 +627,7 @@ fn apply_regeneration(
     }
     // Patch only the regenerated coordinates of the cached encodings, then
     // bring the cached row norms back in sync with the patched rows.
-    for (i, sample) in features.iter().enumerate() {
+    for (i, sample) in features.iter_rows().enumerate() {
         for &d in &plan.drop {
             encoded.patch(i, d, rbf.encode_dimension(sample, d)?);
         }
@@ -731,8 +748,9 @@ mod tests {
         let (xs, _) = blobs(2, 40, 7, 0.2, 8);
         let config = base_config(7, 2);
         let encoder = AnyEncoder::from_config(&config).unwrap();
-        let sequential = EncodedMatrix::encode(&encoder, &xs, 1, false).unwrap();
-        let parallel = EncodedMatrix::encode(&encoder, &xs, 4, false).unwrap();
+        let buffer = hdc::BatchBuffer::from_rows(&xs, 7).unwrap();
+        let sequential = EncodedMatrix::encode(&encoder, buffer.view(), 1, false).unwrap();
+        let parallel = EncodedMatrix::encode(&encoder, buffer.view(), 4, false).unwrap();
         assert_eq!(sequential.data, parallel.data);
         // The matrix rows are the per-sample encodings (up to the batched
         // kernel's float-rounding difference from the serial path).
@@ -742,8 +760,10 @@ mod tests {
                 assert!((a - b).abs() < 5e-6, "sample {i}: {a} vs {b}");
             }
         }
-        // Arity errors surface before the fan-out.
-        assert!(EncodedMatrix::encode(&encoder, &[vec![0.0; 3]], 2, false).is_err());
+        // Width errors surface before the fan-out.
+        let narrow = [0.0f32; 3];
+        let bad = BatchView::new(&narrow, 3).unwrap();
+        assert!(EncodedMatrix::encode(&encoder, bad, 2, false).is_err());
     }
 
     #[test]
@@ -780,7 +800,8 @@ mod tests {
         let (xs, ys) = blobs(3, 30, 6, 0.25, seed);
         let config = base_config(6, 3);
         let encoder = AnyEncoder::from_config(&config).unwrap();
-        let encoded = EncodedMatrix::encode(&encoder, &xs, 1, true).unwrap();
+        let buffer = hdc::BatchBuffer::from_rows(&xs, 6).unwrap();
+        let encoded = EncodedMatrix::encode(&encoder, buffer.view(), 1, true).unwrap();
         let memory = AssociativeMemory::new(3, 256).unwrap();
         let order = HdcRng::seed_from(seed ^ 0x0DDB).permutation(encoded.rows());
         (encoded, ys, memory, order)

@@ -14,6 +14,7 @@
 //! orthogonality).  This encoder has no regeneration capability — it is one
 //! of the "pre-generated, static" encoders the paper contrasts CyberHD with.
 
+use crate::codec::{CodecError, CodecResult, Reader, Writer};
 use crate::encoder::Encoder;
 use crate::rng::HdcRng;
 use crate::{HdcError, Result};
@@ -138,6 +139,50 @@ impl IdLevelEncoder {
     fn level_row(&self, l: usize) -> &[f32] {
         &self.levels[l * self.dim..(l + 1) * self.dim]
     }
+
+    /// Persists the encoder through the artifact codec.
+    pub fn write_to(&self, w: &mut Writer) {
+        w.usize(self.features);
+        w.usize(self.dim);
+        w.usize(self.num_levels);
+        w.f32(self.min_value);
+        w.f32(self.max_value);
+        w.f32_slice(&self.ids);
+        w.f32_slice(&self.levels);
+    }
+
+    /// Reads an encoder persisted by [`IdLevelEncoder::write_to`],
+    /// bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated stream or inconsistent shapes.
+    pub fn read_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let features = r.usize()?;
+        let dim = r.usize()?;
+        let num_levels = r.usize()?;
+        let min_value = r.f32()?;
+        let max_value = r.f32()?;
+        let ids = r.f32_vec()?;
+        let levels = r.f32_vec()?;
+        if features == 0 || dim == 0 || num_levels < 2 {
+            return Err(CodecError::Invalid("ID-level encoder with degenerate sizes".into()));
+        }
+        if !(min_value.is_finite() && max_value.is_finite() && min_value < max_value) {
+            return Err(CodecError::Invalid(format!(
+                "ID-level value range [{min_value}, {max_value}]"
+            )));
+        }
+        if ids.len() != features * dim || levels.len() != num_levels * dim {
+            return Err(CodecError::Invalid(format!(
+                "ID-level encoder shape mismatch: {} ids / {} levels for features {features} x \
+                 dim {dim} x num_levels {num_levels}",
+                ids.len(),
+                levels.len()
+            )));
+        }
+        Ok(Self { ids, levels, features, dim, num_levels, min_value, max_value })
+    }
 }
 
 impl Encoder for IdLevelEncoder {
@@ -247,5 +292,18 @@ mod tests {
         let sim_near = hx.cosine(&e.encode(&near).unwrap()).unwrap();
         let sim_far = hx.cosine(&e.encode(&far).unwrap()).unwrap();
         assert!(sim_near > sim_far, "near {sim_near} vs far {sim_far}");
+    }
+
+    #[test]
+    fn persistence_round_trips_bit_exactly() {
+        let e = IdLevelEncoder::with_range(4, 64, 8, -2.0, 2.0, 13).unwrap();
+        let mut w = Writer::new();
+        e.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let back = IdLevelEncoder::read_from(&mut Reader::new(&bytes)).unwrap();
+        let x = [-1.5f32, 0.0, 0.7, 1.9];
+        assert_eq!(back.encode(&x).unwrap(), e.encode(&x).unwrap());
+        assert_eq!(back.num_levels(), 8);
+        assert!(IdLevelEncoder::read_from(&mut Reader::new(&bytes[..12])).is_err());
     }
 }

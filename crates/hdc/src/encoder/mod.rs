@@ -26,6 +26,7 @@ pub use id_level::IdLevelEncoder;
 pub use rbf::RbfEncoder;
 pub use record::RecordEncoder;
 
+use crate::batch::BatchView;
 use crate::dense::Hypervector;
 use crate::{HdcError, Result};
 
@@ -68,9 +69,9 @@ pub trait Encoder: Send + Sync {
         Ok(Hypervector::from_vec(out))
     }
 
-    /// Encodes a batch of feature vectors into a row-major `samples × dim`
-    /// matrix (`out.len() == batch.len() * output_dim()`), with zero
-    /// per-sample allocation.
+    /// Encodes a row-major batch view into a row-major `rows × dim` matrix
+    /// (`out.len() == batch.rows() * output_dim()`), with zero per-sample
+    /// allocation.
     ///
     /// The default implementation maps [`Encoder::encode_into`] over the
     /// rows; encoders with a cache-blocked batched kernel override it (the
@@ -79,18 +80,18 @@ pub trait Encoder: Send + Sync {
     /// # Errors
     ///
     /// Returns [`crate::HdcError::DimensionMismatch`] if `out` has the wrong
-    /// length and [`crate::HdcError::FeatureMismatch`] on the first row with
-    /// the wrong arity.
-    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+    /// length and [`crate::HdcError::FeatureMismatch`] if the view's row
+    /// width is not [`Encoder::input_features`].
+    fn encode_batch_into(&self, batch: BatchView<'_>, out: &mut [f32]) -> Result<()> {
         let dim = self.output_dim();
         check_batch_shape(self.input_features(), dim, batch, out)?;
-        for (features, row) in batch.iter().zip(out.chunks_exact_mut(dim)) {
+        for (features, row) in batch.iter_rows().zip(out.chunks_exact_mut(dim)) {
             self.encode_into(features, row)?;
         }
         Ok(())
     }
 
-    /// Encodes a batch of feature vectors.
+    /// Encodes a batch view.
     ///
     /// One allocation for the whole batch; see [`Encoder::encode_batch_into`]
     /// for the allocation-free form.
@@ -98,9 +99,9 @@ pub trait Encoder: Send + Sync {
     /// # Errors
     ///
     /// Returns the first encoding error encountered.
-    fn encode_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<Hypervector>> {
+    fn encode_batch(&self, batch: BatchView<'_>) -> Result<Vec<Hypervector>> {
         let dim = self.output_dim();
-        let mut matrix = vec![0.0f32; batch.len() * dim];
+        let mut matrix = vec![0.0f32; batch.rows() * dim];
         self.encode_batch_into(batch, &mut matrix)?;
         Ok(matrix.chunks_exact(dim).map(|row| Hypervector::from_vec(row.to_vec())).collect())
     }
@@ -110,7 +111,7 @@ pub trait Encoder: Send + Sync {
     /// level signs of a `BitWidth::B1` quantization of the encoding.
     ///
     /// `words` is a row-major matrix of
-    /// `batch.len() × `[`crate::binary::words_for_dim`]`(output_dim())`
+    /// `batch.rows() × `[`crate::binary::words_for_dim`]`(output_dim())`
     /// words; `zero_rows[i]` is set iff every encoded value of row `i` was
     /// exactly `0.0` (the serial 1-bit path quantizes such a row to all-zero
     /// levels rather than all-plus signs, and scoring needs to know).
@@ -126,17 +127,17 @@ pub trait Encoder: Send + Sync {
     ///
     /// Returns [`crate::HdcError::DimensionMismatch`] if `words` or
     /// `zero_rows` has the wrong length and
-    /// [`crate::HdcError::FeatureMismatch`] on the first row with the wrong
-    /// arity.
+    /// [`crate::HdcError::FeatureMismatch`] if the view's row width is not
+    /// [`Encoder::input_features`].
     fn encode_signs_into(
         &self,
-        batch: &[Vec<f32>],
+        batch: BatchView<'_>,
         words: &mut [u64],
         zero_rows: &mut [bool],
     ) -> Result<()> {
         let dim = self.output_dim();
         check_sign_batch_shape(self.input_features(), dim, batch, words, zero_rows)?;
-        let mut matrix = vec![0.0f32; batch.len() * dim];
+        let mut matrix = vec![0.0f32; batch.rows() * dim];
         self.encode_batch_into(batch, &mut matrix)?;
         let words_per_row = crate::binary::words_for_dim(dim);
         for ((row, word_row), zero) in matrix
@@ -150,9 +151,9 @@ pub trait Encoder: Send + Sync {
     }
 }
 
-/// Validates the shapes of a sign-encoding call: every row of `batch` has
-/// `features` entries, `words` holds `batch.len() * words_for_dim(dim)`
-/// words and `zero_rows` has one flag per row.
+/// Validates the shapes of a sign-encoding call: the view's row width is
+/// `features`, `words` holds `batch.rows() * words_for_dim(dim)` words and
+/// `zero_rows` has one flag per row.
 ///
 /// # Errors
 ///
@@ -161,25 +162,28 @@ pub trait Encoder: Send + Sync {
 pub(crate) fn check_sign_batch_shape(
     features: usize,
     dim: usize,
-    batch: &[Vec<f32>],
+    batch: BatchView<'_>,
     words: &[u64],
     zero_rows: &[bool],
 ) -> Result<()> {
-    let expected_words = batch.len() * crate::binary::words_for_dim(dim);
+    let expected_words = batch.rows() * crate::binary::words_for_dim(dim);
     if words.len() != expected_words {
         return Err(HdcError::DimensionMismatch { expected: expected_words, actual: words.len() });
     }
-    if zero_rows.len() != batch.len() {
-        return Err(HdcError::DimensionMismatch { expected: batch.len(), actual: zero_rows.len() });
+    if zero_rows.len() != batch.rows() {
+        return Err(HdcError::DimensionMismatch {
+            expected: batch.rows(),
+            actual: zero_rows.len(),
+        });
     }
-    if let Some(bad) = batch.iter().find(|row| row.len() != features) {
-        return Err(HdcError::FeatureMismatch { expected: features, actual: bad.len() });
+    if batch.width() != features {
+        return Err(HdcError::FeatureMismatch { expected: features, actual: batch.width() });
     }
     Ok(())
 }
 
-/// Validates the shapes of a batch-encoding call: every row of `batch` has
-/// `features` entries and `out` holds exactly `batch.len() * dim` elements.
+/// Validates the shapes of a batch-encoding call: the view's row width is
+/// `features` and `out` holds exactly `batch.rows() * dim` elements.
 ///
 /// # Errors
 ///
@@ -189,14 +193,17 @@ pub(crate) fn check_sign_batch_shape(
 pub(crate) fn check_batch_shape(
     features: usize,
     dim: usize,
-    batch: &[Vec<f32>],
+    batch: BatchView<'_>,
     out: &[f32],
 ) -> Result<()> {
-    if out.len() != batch.len() * dim {
-        return Err(HdcError::DimensionMismatch { expected: batch.len() * dim, actual: out.len() });
+    if out.len() != batch.rows() * dim {
+        return Err(HdcError::DimensionMismatch {
+            expected: batch.rows() * dim,
+            actual: out.len(),
+        });
     }
-    if let Some(bad) = batch.iter().find(|row| row.len() != features) {
-        return Err(HdcError::FeatureMismatch { expected: features, actual: bad.len() });
+    if batch.width() != features {
+        return Err(HdcError::FeatureMismatch { expected: features, actual: batch.width() });
     }
     Ok(())
 }
@@ -216,18 +223,20 @@ mod tests {
     fn default_batch_encoding_matches_single_encoding() {
         // IdLevel uses the default row-by-row batch path: exact equality.
         let e = IdLevelEncoder::new(2, 32, 8, 1).unwrap();
-        let batch = vec![vec![0.1, 0.2], vec![0.5, 0.9]];
-        let encoded = e.encode_batch(&batch).unwrap();
+        let data = [0.1f32, 0.2, 0.5, 0.9];
+        let batch = BatchView::new(&data, 2).unwrap();
+        let encoded = e.encode_batch(batch).unwrap();
         assert_eq!(encoded.len(), 2);
-        assert_eq!(encoded[0], e.encode(&batch[0]).unwrap());
-        assert_eq!(encoded[1], e.encode(&batch[1]).unwrap());
+        assert_eq!(encoded[0], e.encode(batch.row(0)).unwrap());
+        assert_eq!(encoded[1], e.encode(batch.row(1)).unwrap());
 
         // The RBF override trades bit-identity for the tiled kernel:
         // agreement to float rounding.
         let e = RbfEncoder::new(2, 32, 1).unwrap();
-        let batch = vec![vec![0.1, 0.2], vec![-0.5, 0.9]];
-        let encoded = e.encode_batch(&batch).unwrap();
-        for (row, features) in encoded.iter().zip(&batch) {
+        let data = [0.1f32, 0.2, -0.5, 0.9];
+        let batch = BatchView::new(&data, 2).unwrap();
+        let encoded = e.encode_batch(batch).unwrap();
+        for (row, features) in encoded.iter().zip(batch.iter_rows()) {
             let reference = e.encode(features).unwrap();
             for (a, b) in row.iter().zip(reference.iter()) {
                 assert!((a - b).abs() < 5e-6);
@@ -269,17 +278,22 @@ mod tests {
     #[test]
     fn encode_batch_into_writes_the_row_major_matrix() {
         let e = RecordEncoder::new(2, 8, 5).unwrap();
-        let batch = vec![vec![0.5, -1.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let data = [0.5f32, -1.0, 1.0, 0.0, 0.0, 2.0];
+        let batch = BatchView::new(&data, 2).unwrap();
         let mut matrix = vec![f32::NAN; 3 * 8];
-        e.encode_batch_into(&batch, &mut matrix).unwrap();
+        e.encode_batch_into(batch, &mut matrix).unwrap();
         for (i, row) in matrix.chunks_exact(8).enumerate() {
-            assert_eq!(row, e.encode(&batch[i]).unwrap().as_slice());
+            assert_eq!(row, e.encode(batch.row(i)).unwrap().as_slice());
         }
         // Shape validation happens before any work.
         let mut wrong = vec![0.0f32; 5];
-        assert!(e.encode_batch_into(&batch, &mut wrong).is_err());
-        let ragged = vec![vec![0.5, -1.0], vec![1.0]];
+        assert!(e.encode_batch_into(batch, &mut wrong).is_err());
+        // A view whose row width is not the encoder arity is rejected.
+        let narrow = BatchView::new(&data, 3).unwrap();
         let mut buf = vec![0.0f32; 2 * 8];
-        assert!(e.encode_batch_into(&ragged, &mut buf).is_err());
+        assert!(matches!(
+            e.encode_batch_into(narrow, &mut buf),
+            Err(crate::HdcError::FeatureMismatch { expected: 2, actual: 3 })
+        ));
     }
 }

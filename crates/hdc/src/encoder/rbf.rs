@@ -15,6 +15,8 @@
 //! replacing its `(b_d, φ_d)` pair with a fresh Gaussian/uniform draw — which
 //! is precisely step (H) of CyberHD.
 
+use crate::batch::BatchView;
+use crate::codec::{CodecError, CodecResult, Reader, Writer};
 use crate::encoder::Encoder;
 use crate::rng::HdcRng;
 use crate::{HdcError, Result};
@@ -199,6 +201,50 @@ impl RbfEncoder {
         }
         Ok(())
     }
+
+    /// Persists the encoder through the artifact codec: sizes, `sigma`,
+    /// `seed`, regeneration count, the base matrix and the phases (the
+    /// feature-major transpose is rebuilt on load).
+    pub fn write_to(&self, w: &mut Writer) {
+        w.usize(self.features);
+        w.usize(self.dim);
+        w.f32(self.sigma);
+        w.u64(self.seed);
+        w.usize(self.regenerated);
+        w.f32_slice(&self.bases);
+        w.f32_slice(&self.phases);
+    }
+
+    /// Reads an encoder persisted by [`RbfEncoder::write_to`], bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated stream or inconsistent shapes.
+    pub fn read_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let features = r.usize()?;
+        let dim = r.usize()?;
+        let sigma = r.f32()?;
+        let seed = r.u64()?;
+        let regenerated = r.usize()?;
+        let bases = r.f32_vec()?;
+        let phases = r.f32_vec()?;
+        if features == 0 || dim == 0 {
+            return Err(CodecError::Invalid("RBF encoder with zero features or dim".into()));
+        }
+        if bases.len() != dim * features || phases.len() != dim {
+            return Err(CodecError::Invalid(format!(
+                "RBF encoder shape mismatch: {} bases / {} phases for dim {dim} x features \
+                 {features}",
+                bases.len(),
+                phases.len()
+            )));
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(CodecError::Invalid(format!("RBF sigma {sigma}")));
+        }
+        let bases_t = transpose(&bases, dim, features);
+        Ok(Self { bases, bases_t, phases, features, dim, sigma, seed, regenerated })
+    }
 }
 
 /// Number of samples each pass over the base matrix serves in the blocked
@@ -266,7 +312,7 @@ fn cos_poly(r2: f32) -> f32 {
 }
 
 /// Branch-free cosine for the batched kernel: [`reduce_to_pi`] followed by
-/// [`cos_poly`].
+/// `cos_poly`.
 ///
 /// Every operation (`round`, multiplies, adds) lowers to straight-line SIMD,
 /// so the final `cos` pass over an encode tile auto-vectorizes — `libm`'s
@@ -281,11 +327,11 @@ fn fast_cos(x: f32) -> f32 {
 }
 
 /// Half-width of the guard band around the quadrant boundary `|r| = π/2`
-/// inside which the sign kernel falls back to the exact [`cos_poly`]
+/// inside which the sign kernel falls back to the exact `cos_poly`
 /// evaluation.
 ///
 /// Outside the band `|cos r| ≥ sin(1e-3) ≈ 1e-3`, three orders of magnitude
-/// above [`cos_poly`]'s error, so the plain quadrant test `|r| ≤ π/2` is
+/// above `cos_poly`'s error, so the plain quadrant test `|r| ≤ π/2` is
 /// guaranteed to agree with the polynomial's sign — which is what makes the
 /// fused kernel's predictions bit-exact against encode-then-quantize.
 const QUADRANT_GUARD: f32 = 1e-3;
@@ -317,23 +363,29 @@ impl Encoder for RbfEncoder {
     }
 
     /// Tiled, transposed batch kernel (GEMM-style): projections are
-    /// accumulated *vertically* over [`RBF_DIM_TILE`]-wide output tiles
+    /// accumulated *vertically* over `RBF_DIM_TILE`-wide output tiles
     /// using the feature-major transpose of the base matrix, so
     ///
     /// * the inner loop is a pure element-wise FMA with unit stride (the
     ///   auto-vectorizer's best case, no horizontal reductions),
     /// * each transposed base row is loaded into cache once per
-    ///   [`RBF_SAMPLE_BLOCK`]-sample block instead of once per sample.
+    ///   `RBF_SAMPLE_BLOCK`-sample block instead of once per sample.
     ///
     /// The projection of each output element sums the same `x_f · b_{d,f}`
     /// terms as [`Encoder::encode_into`] in a different association order,
     /// so batched scores agree with the per-sample path to float rounding
     /// (~1e-7) rather than bit-for-bit; the parity suite pins this bound.
-    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+    ///
+    /// Exactly-zero features are skipped, like in the fused sign kernel:
+    /// their products are ±0.0 and the accumulators are never −0.0 (they
+    /// start at non-negative phases and IEEE round-to-nearest cancellation
+    /// yields +0.0), so the skip is bit-exact — and one-hot-expanded NIDS
+    /// features are mostly zeros.
+    fn encode_batch_into(&self, batch: BatchView<'_>, out: &mut [f32]) -> Result<()> {
         crate::encoder::check_batch_shape(self.features, self.dim, batch, out)?;
         let dim = self.dim;
         for (block, tile) in
-            batch.chunks(RBF_SAMPLE_BLOCK).zip(out.chunks_mut(RBF_SAMPLE_BLOCK * dim))
+            batch.chunk_rows(RBF_SAMPLE_BLOCK).zip(out.chunks_mut(RBF_SAMPLE_BLOCK * dim))
         {
             // proj[s][d] starts at the phase and accumulates the projection.
             for row in tile.chunks_exact_mut(dim) {
@@ -343,8 +395,11 @@ impl Encoder for RbfEncoder {
                 let d1 = (d0 + RBF_DIM_TILE).min(dim);
                 for (f, base_row) in self.bases_t.chunks_exact(dim).enumerate() {
                     let base_tile = &base_row[d0..d1];
-                    for (s, sample) in block.iter().enumerate() {
+                    for (s, sample) in block.iter_rows().enumerate() {
                         let value = sample[f];
+                        if value == 0.0 {
+                            continue;
+                        }
                         let out_tile = &mut tile[s * dim + d0..s * dim + d1];
                         for (o, &b) in out_tile.iter_mut().zip(base_tile) {
                             *o += value * b;
@@ -360,7 +415,7 @@ impl Encoder for RbfEncoder {
     }
 
     /// Fused 1-bit sign-encode kernel: accumulates the projections in
-    /// L1-resident [`SIGN_SAMPLE_BLOCK`]`×`[`SIGN_DIM_TILE`] register tiles
+    /// L1-resident `SIGN_SAMPLE_BLOCK``×``SIGN_DIM_TILE` register tiles
     /// and reduces each phase straight to its quadrant — for `B1` only the
     /// *sign* of `cos(b_d·x + φ_d)` survives quantization, and
     /// `cos(r) ≥ 0 ⇔ |r| ≤ π/2` after range reduction — packing bits
@@ -370,12 +425,12 @@ impl Encoder for RbfEncoder {
     ///
     /// Projections accumulate features in the same order as
     /// [`Encoder::encode_batch_into`], and elements inside the narrow
-    /// [`QUADRANT_GUARD`] band fall back to the exact [`cos_poly`] sign, so
+    /// `QUADRANT_GUARD` band fall back to the exact `cos_poly` sign, so
     /// the packed bits are **bit-identical** to sign-thresholding the
     /// batched f32 encoding.
     fn encode_signs_into(
         &self,
-        batch: &[Vec<f32>],
+        batch: BatchView<'_>,
         words: &mut [u64],
         zero_rows: &mut [bool],
     ) -> Result<()> {
@@ -385,7 +440,7 @@ impl Encoder for RbfEncoder {
         let words_per_row = crate::binary::words_for_dim(dim);
         zero_rows.fill(true);
         let mut acc = [0.0f32; SIGN_SAMPLE_BLOCK * SIGN_DIM_TILE];
-        for (block_index, block) in batch.chunks(SIGN_SAMPLE_BLOCK).enumerate() {
+        for (block_index, block) in batch.chunk_rows(SIGN_SAMPLE_BLOCK).enumerate() {
             let row0 = block_index * SIGN_SAMPLE_BLOCK;
             for d0 in (0..dim).step_by(SIGN_DIM_TILE) {
                 let d1 = (d0 + SIGN_DIM_TILE).min(dim);
@@ -393,13 +448,13 @@ impl Encoder for RbfEncoder {
                 // Projections start at the phases and accumulate features in
                 // ascending order — the association order of the batched f32
                 // kernel, so the sums are bit-identical to it.
-                for s in 0..block.len() {
+                for s in 0..block.rows() {
                     acc[s * SIGN_DIM_TILE..s * SIGN_DIM_TILE + tile_width]
                         .copy_from_slice(&self.phases[d0..d1]);
                 }
                 for (f, base_row) in self.bases_t.chunks_exact(dim).enumerate() {
                     let base_tile = &base_row[d0..d1];
-                    for (s, sample) in block.iter().enumerate() {
+                    for (s, sample) in block.iter_rows().enumerate() {
                         let value = sample[f];
                         // Zero features contribute exactly nothing: the
                         // products are ±0.0 and the accumulators are never
@@ -421,7 +476,7 @@ impl Encoder for RbfEncoder {
                 // ragged tile can end mid-word (its high bits stay zero, the
                 // packing convention).
                 let word0 = d0 / WORD_BITS;
-                for s in 0..block.len() {
+                for s in 0..block.rows() {
                     let row_words =
                         &mut words[(row0 + s) * words_per_row..(row0 + s + 1) * words_per_row];
                     let mut row_zero = zero_rows[row0 + s];
@@ -576,13 +631,16 @@ mod tests {
         // block exercises both tiling axes.
         let dim = RBF_DIM_TILE + 37;
         let e = RbfEncoder::with_sigma(7, dim, 0.8, 17).unwrap();
-        let batch: Vec<Vec<f32>> = (0..RBF_SAMPLE_BLOCK * 2 + 3)
-            .map(|i| (0..7).map(|f| ((i * 7 + f) as f32 * 0.37).sin()).collect())
-            .collect();
-        let mut matrix = vec![f32::NAN; batch.len() * dim];
-        e.encode_batch_into(&batch, &mut matrix).unwrap();
+        let rows = RBF_SAMPLE_BLOCK * 2 + 3;
+        // Sprinkle exact zeros between the nonzero values so the dense
+        // kernel's zero-feature skip is exercised against the serial path.
+        let data: Vec<f32> =
+            (0..rows * 7).map(|i| if i % 3 == 0 { 0.0 } else { (i as f32 * 0.37).sin() }).collect();
+        let batch = crate::BatchView::new(&data, 7).unwrap();
+        let mut matrix = vec![f32::NAN; rows * dim];
+        e.encode_batch_into(batch, &mut matrix).unwrap();
         for (i, row) in matrix.chunks_exact(dim).enumerate() {
-            let reference = e.encode(&batch[i]).unwrap();
+            let reference = e.encode(batch.row(i)).unwrap();
             for (d, (a, b)) in row.iter().zip(reference.iter()).enumerate() {
                 // Association-order rounding plus the ~1e-6 fast_cos error:
                 // per-element agreement to 5e-6.  Score-level parity (the
@@ -603,30 +661,29 @@ mod tests {
             let e = RbfEncoder::with_sigma(9, dim, sigma, 29).unwrap();
             // Roughly half the features are exactly zero (one-hot-shaped
             // inputs), exercising the kernel's zero-feature skip.
-            let batch: Vec<Vec<f32>> = (0..SIGN_SAMPLE_BLOCK * 2 + 5)
+            let rows = SIGN_SAMPLE_BLOCK * 2 + 5;
+            let data: Vec<f32> = (0..rows * 9)
                 .map(|i| {
-                    (0..9)
-                        .map(|f| {
-                            if (i + f) % 2 == 0 {
-                                0.0
-                            } else {
-                                ((i * 9 + f) as f32 * 0.61).sin() * 3.0
-                            }
-                        })
-                        .collect()
+                    let (row, f) = (i / 9, i % 9);
+                    if (row + f) % 2 == 0 {
+                        0.0
+                    } else {
+                        ((row * 9 + f) as f32 * 0.61).sin() * 3.0
+                    }
                 })
                 .collect();
+            let batch = crate::BatchView::new(&data, 9).unwrap();
             let words_per_row = crate::binary::words_for_dim(dim);
-            let mut fused = vec![u64::MAX; batch.len() * words_per_row];
-            let mut fused_zero = vec![true; batch.len()];
-            e.encode_signs_into(&batch, &mut fused, &mut fused_zero).unwrap();
+            let mut fused = vec![u64::MAX; rows * words_per_row];
+            let mut fused_zero = vec![true; rows];
+            e.encode_signs_into(batch, &mut fused, &mut fused_zero).unwrap();
 
             // Reference: the encode-then-threshold default (batched f32
             // kernel + sign packing).
-            let mut matrix = vec![f32::NAN; batch.len() * dim];
-            e.encode_batch_into(&batch, &mut matrix).unwrap();
-            let mut reference = vec![0u64; batch.len() * words_per_row];
-            let mut reference_zero = vec![true; batch.len()];
+            let mut matrix = vec![f32::NAN; rows * dim];
+            e.encode_batch_into(batch, &mut matrix).unwrap();
+            let mut reference = vec![0u64; rows * words_per_row];
+            let mut reference_zero = vec![true; rows];
             for (i, row) in matrix.chunks_exact(dim).enumerate() {
                 reference_zero[i] = crate::binary::pack_f32_signs_checked(
                     row,
@@ -642,16 +699,47 @@ mod tests {
     #[test]
     fn fused_sign_kernel_validates_shapes() {
         let e = RbfEncoder::new(3, 70, 1).unwrap();
-        let batch = vec![vec![0.1, 0.2, 0.3]];
+        let data = [0.1f32, 0.2, 0.3];
+        let batch = crate::BatchView::new(&data, 3).unwrap();
         let mut words = vec![0u64; 2];
         let mut zero = vec![false; 1];
-        assert!(e.encode_signs_into(&batch, &mut words, &mut zero).is_ok());
+        assert!(e.encode_signs_into(batch, &mut words, &mut zero).is_ok());
         let mut short_words = vec![0u64; 1];
-        assert!(e.encode_signs_into(&batch, &mut short_words, &mut zero).is_err());
+        assert!(e.encode_signs_into(batch, &mut short_words, &mut zero).is_err());
         let mut short_zero = vec![];
-        assert!(e.encode_signs_into(&batch, &mut words, &mut short_zero).is_err());
-        let ragged = vec![vec![0.1]];
-        assert!(e.encode_signs_into(&ragged, &mut words, &mut zero).is_err());
+        assert!(e.encode_signs_into(batch, &mut words, &mut short_zero).is_err());
+        let narrow = crate::BatchView::new(&data[..1], 1).unwrap();
+        let mut one_word = vec![0u64; 2];
+        let mut one_zero = vec![false; 1];
+        assert!(e.encode_signs_into(narrow, &mut one_word, &mut one_zero).is_err());
+    }
+
+    #[test]
+    fn encoder_persistence_round_trips_bit_exactly() {
+        let mut e = RbfEncoder::with_sigma(6, 96, 1.7, 99).unwrap();
+        e.regenerate_dimensions(&[3, 40, 95]).unwrap();
+        let mut w = crate::codec::Writer::new();
+        e.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::codec::Reader::new(&bytes);
+        let back = RbfEncoder::read_from(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.sigma(), e.sigma());
+        assert_eq!(back.regeneration_count(), 3);
+        let x = [0.2f32, -0.4, 0.0, 0.9, 0.5, -0.1];
+        assert_eq!(back.encode(&x).unwrap(), e.encode(&x).unwrap());
+        // Regeneration continues from the same reproducible stream.
+        let mut a = e.clone();
+        let mut b = back;
+        a.regenerate_dimension(10).unwrap();
+        b.regenerate_dimension(10).unwrap();
+        assert_eq!(a.encode(&x).unwrap(), b.encode(&x).unwrap());
+        // Corrupted shape metadata is rejected.
+        let mut w = crate::codec::Writer::new();
+        e.write_to(&mut w);
+        let mut bad = w.into_bytes();
+        bad[0] = 0; // features -> 0
+        assert!(RbfEncoder::read_from(&mut crate::codec::Reader::new(&bad)).is_err());
     }
 
     #[test]

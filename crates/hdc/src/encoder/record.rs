@@ -14,6 +14,8 @@
 //! cyber-security data.  It is included as a static baseline and as the
 //! linear counterpart for ablation studies.
 
+use crate::batch::BatchView;
+use crate::codec::{CodecError, CodecResult, Reader, Writer};
 use crate::encoder::Encoder;
 use crate::rng::HdcRng;
 use crate::{HdcError, Result};
@@ -65,6 +67,32 @@ impl RecordEncoder {
     fn projection_row(&self, f: usize) -> &[f32] {
         &self.projections[f * self.dim..(f + 1) * self.dim]
     }
+
+    /// Persists the encoder through the artifact codec.
+    pub fn write_to(&self, w: &mut Writer) {
+        w.usize(self.features);
+        w.usize(self.dim);
+        w.f32_slice(&self.projections);
+    }
+
+    /// Reads an encoder persisted by [`RecordEncoder::write_to`], bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated stream or inconsistent shapes.
+    pub fn read_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let features = r.usize()?;
+        let dim = r.usize()?;
+        let projections = r.f32_vec()?;
+        if features == 0 || dim == 0 || projections.len() != features * dim {
+            return Err(CodecError::Invalid(format!(
+                "record encoder shape mismatch: {} projections for features {features} x dim \
+                 {dim}",
+                projections.len()
+            )));
+        }
+        Ok(Self { projections, features, dim })
+    }
 }
 
 impl Encoder for RecordEncoder {
@@ -100,18 +128,19 @@ impl Encoder for RecordEncoder {
     }
 
     /// Blocked batch kernel: each projection row is streamed once per block
-    /// of [`RECORD_SAMPLE_BLOCK`] samples instead of once per sample.  The
+    /// of `RECORD_SAMPLE_BLOCK` samples instead of once per sample.  The
     /// accumulation order per output element (feature-major) matches
     /// [`Encoder::encode_into`] exactly, so results are bit-identical.
-    fn encode_batch_into(&self, batch: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+    fn encode_batch_into(&self, batch: BatchView<'_>, out: &mut [f32]) -> Result<()> {
         crate::encoder::check_batch_shape(self.features, self.dim, batch, out)?;
-        for (block, tile) in
-            batch.chunks(RECORD_SAMPLE_BLOCK).zip(out.chunks_mut(RECORD_SAMPLE_BLOCK * self.dim))
+        for (block, tile) in batch
+            .chunk_rows(RECORD_SAMPLE_BLOCK)
+            .zip(out.chunks_mut(RECORD_SAMPLE_BLOCK * self.dim))
         {
             tile.fill(0.0);
             for f in 0..self.features {
                 let row = self.projection_row(f);
-                for (s, features) in block.iter().enumerate() {
+                for (s, features) in block.iter_rows().enumerate() {
                     let value = features[f];
                     if value == 0.0 {
                         continue;
@@ -191,5 +220,17 @@ mod tests {
         let b = RecordEncoder::new(6, 256, 9).unwrap();
         let x = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
         assert_eq!(a.encode(&x).unwrap(), b.encode(&x).unwrap());
+    }
+
+    #[test]
+    fn persistence_round_trips_bit_exactly() {
+        let e = RecordEncoder::new(5, 48, 77).unwrap();
+        let mut w = Writer::new();
+        e.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let back = RecordEncoder::read_from(&mut Reader::new(&bytes)).unwrap();
+        let x = [0.3f32, -0.2, 0.0, 1.5, 0.7];
+        assert_eq!(back.encode(&x).unwrap(), e.encode(&x).unwrap());
+        assert!(RecordEncoder::read_from(&mut Reader::new(&bytes[..8])).is_err());
     }
 }

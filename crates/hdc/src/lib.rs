@@ -17,6 +17,10 @@
 //! * [`memory::AssociativeMemory`] — the class-hypervector store used during
 //!   training and nearest-class inference.
 //! * [`similarity`] — cosine, dot and Hamming similarity kernels.
+//! * [`batch`] — zero-copy row-major [`batch::BatchView`]s, the batch
+//!   currency of every engine entry point.
+//! * [`codec`] — the bit-exact little-endian codec trained artifacts are
+//!   persisted with (the vendored `serde` is a marker stub).
 //! * [`parallel`] — the chunked fork-join primitive of the batched
 //!   inference engine (scoped threads behind the `parallel` feature).
 //! * [`rng`] — deterministic, seedable random sources (Gaussian via
@@ -46,7 +50,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod binary;
+pub mod codec;
 pub mod dense;
 pub mod encoder;
 pub mod memory;
@@ -55,6 +61,7 @@ pub mod quant;
 pub mod rng;
 pub mod similarity;
 
+pub use batch::{BatchBuffer, BatchView};
 pub use binary::BinaryHypervector;
 pub use dense::Hypervector;
 pub use encoder::{Encoder, IdLevelEncoder, RbfEncoder, RecordEncoder};

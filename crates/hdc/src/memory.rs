@@ -400,6 +400,30 @@ impl AssociativeMemory {
     pub fn quantized(&self, width: BitWidth) -> Vec<QuantizedHypervector> {
         self.classes.iter().map(|c| QuantizedHypervector::quantize(c, width)).collect()
     }
+
+    /// Persists the memory through the artifact codec, bit-exact.
+    pub fn write_to(&self, w: &mut crate::codec::Writer) {
+        w.usize(self.classes.len());
+        for class in &self.classes {
+            w.f32_slice(class.as_slice());
+        }
+    }
+
+    /// Reads a memory persisted by [`AssociativeMemory::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::codec::CodecError`] on a truncated stream, zero
+    /// classes, or classes that disagree on dimensionality.
+    pub fn read_from(r: &mut crate::codec::Reader<'_>) -> crate::codec::CodecResult<Self> {
+        let num_classes = r.usize()?;
+        let mut classes = Vec::with_capacity(num_classes.min(r.remaining()));
+        for _ in 0..num_classes {
+            classes.push(Hypervector::from_vec(r.f32_vec()?));
+        }
+        Self::from_class_hypervectors(classes)
+            .map_err(|e| crate::codec::CodecError::Invalid(format!("class memory: {e}")))
+    }
 }
 
 #[cfg(test)]

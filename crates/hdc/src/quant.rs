@@ -254,6 +254,29 @@ impl QuantizedHypervector {
     pub fn fault_sites(&self) -> usize {
         self.storage_bits()
     }
+
+    /// Persists the quantized vector through the artifact codec, bit-exact
+    /// (levels verbatim, scale as its IEEE-754 bit pattern).
+    pub fn write_to(&self, w: &mut crate::codec::Writer) {
+        w.u8(self.width.bits() as u8);
+        w.f32(self.scale);
+        w.i32_slice(&self.levels);
+    }
+
+    /// Reads a vector persisted by [`QuantizedHypervector::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::codec::CodecError`] on a truncated stream or an
+    /// unsupported bitwidth tag.
+    pub fn read_from(r: &mut crate::codec::Reader<'_>) -> crate::codec::CodecResult<Self> {
+        let bits = r.u8()?;
+        let width = BitWidth::from_bits(bits as u32)
+            .map_err(|e| crate::codec::CodecError::Invalid(e.to_string()))?;
+        let scale = r.f32()?;
+        let levels = r.i32_vec()?;
+        Ok(Self { levels, scale, width })
+    }
 }
 
 /// Quantizes a whole set of class hypervectors at the same bitwidth.
@@ -297,7 +320,7 @@ fn clip_magnitude(values: &[f32], max_abs: f32, magnitudes: &mut Vec<f32>) -> f3
 /// [`QuantizedHypervector::quantize`].
 ///
 /// Multi-bit widths use the percentile-clipped scale (see
-/// [`clip_magnitude`]), which costs one `O(len)` quickselect over a scratch
+/// `clip_magnitude`), which costs one `O(len)` quickselect over a scratch
 /// copy of the magnitudes — this convenience form allocates that scratch
 /// per call; batched loops should hold one buffer and go through
 /// [`quantize_into_with_scratch`] instead.  `B1` (pure sign) and the zero

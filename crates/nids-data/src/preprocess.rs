@@ -12,6 +12,7 @@
 use crate::dataset::Dataset;
 use crate::schema::{FeatureKind, Schema};
 use crate::{DataError, Result};
+use hdc::codec::{CodecError, CodecResult, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Scaling strategy for numeric features.
@@ -103,8 +104,30 @@ impl Preprocessor {
     /// Returns [`DataError::InvalidRecord`] if the record does not conform to
     /// the schema.
     pub fn transform_record(&self, record: &[f32]) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; self.output_width()];
+        self.transform_record_into(record, &mut out)?;
+        Ok(out)
+    }
+
+    /// Transforms a single raw record into the caller-provided dense buffer
+    /// `out` (length [`Preprocessor::output_width`]), allocating nothing —
+    /// the hot path of a deployed detector serving raw flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRecord`] if the record does not conform
+    /// to the schema and [`DataError::InvalidArgument`] if `out` has the
+    /// wrong length.
+    pub fn transform_record_into(&self, record: &[f32], out: &mut [f32]) -> Result<()> {
         self.schema.validate_record(record)?;
-        let mut out = Vec::with_capacity(self.output_width());
+        if out.len() != self.output_width() {
+            return Err(DataError::InvalidArgument(format!(
+                "output buffer holds {} values but the preprocessor produces {}",
+                out.len(),
+                self.output_width()
+            )));
+        }
+        let mut cursor = 0usize;
         for (i, feature) in self.schema.features().iter().enumerate() {
             match &feature.kind {
                 FeatureKind::Numeric { .. } => {
@@ -129,17 +152,19 @@ impl Preprocessor {
                             }
                         }
                     };
-                    out.push(scaled as f32);
+                    out[cursor] = scaled as f32;
+                    cursor += 1;
                 }
                 FeatureKind::Categorical { values } => {
                     let index = record[i] as usize;
-                    for k in 0..values.len() {
-                        out.push(if k == index { 1.0 } else { 0.0 });
-                    }
+                    let slots = &mut out[cursor..cursor + values.len()];
+                    slots.fill(0.0);
+                    slots[index] = 1.0;
+                    cursor += values.len();
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transforms every record of `dataset` into dense feature vectors.
@@ -165,6 +190,100 @@ impl Preprocessor {
     /// Same as [`Preprocessor::transform`].
     pub fn transform_with_labels(&self, dataset: &Dataset) -> Result<(Vec<Vec<f32>>, Vec<usize>)> {
         Ok((self.transform(dataset)?, dataset.labels().to_vec()))
+    }
+
+    /// Transforms every record of `dataset` into one contiguous row-major
+    /// matrix of width [`Preprocessor::output_width`] — the form the
+    /// zero-copy `hdc::BatchView` engines consume directly, with one
+    /// allocation for the whole dataset instead of one per record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Preprocessor::transform`].
+    pub fn transform_matrix(&self, dataset: &Dataset) -> Result<Vec<f32>> {
+        if dataset.schema() != &self.schema {
+            return Err(DataError::InvalidArgument(
+                "dataset schema does not match the fitted preprocessor".into(),
+            ));
+        }
+        self.transform_records_matrix(dataset.records())
+    }
+
+    /// [`Preprocessor::transform_matrix`] for a plain slice of raw records
+    /// (no surrounding [`Dataset`]) — the batched serve path of a deployed
+    /// detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidRecord`] on the first record that does
+    /// not conform to the fitted schema.
+    pub fn transform_records_matrix(&self, records: &[Vec<f32>]) -> Result<Vec<f32>> {
+        let width = self.output_width();
+        let mut matrix = vec![0.0f32; records.len() * width];
+        for (record, row) in records.iter().zip(matrix.chunks_exact_mut(width)) {
+            self.transform_record_into(record, row)?;
+        }
+        Ok(matrix)
+    }
+
+    /// Persists the fitted pipeline through the artifact codec, bit-exact
+    /// (statistics travel as IEEE-754 bit patterns).
+    pub fn write_to(&self, w: &mut Writer) {
+        self.schema.write_to(w);
+        w.u8(match self.normalization {
+            Normalization::MinMax => 0,
+            Normalization::ZScore => 1,
+        });
+        w.usize(self.stats.len());
+        for stat in &self.stats {
+            match stat {
+                None => w.bool(false),
+                Some(s) => {
+                    w.bool(true);
+                    w.f64(s.min);
+                    w.f64(s.max);
+                    w.f64(s.mean);
+                    w.f64(s.std);
+                }
+            }
+        }
+    }
+
+    /// Reads a pipeline persisted by [`Preprocessor::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated stream, an unknown
+    /// normalization tag, or statistics inconsistent with the schema.
+    pub fn read_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let schema = Schema::read_from(r)?;
+        let normalization = match r.u8()? {
+            0 => Normalization::MinMax,
+            1 => Normalization::ZScore,
+            tag => return Err(CodecError::Invalid(format!("normalization tag {tag}"))),
+        };
+        let n = r.usize()?;
+        if n != schema.num_features() {
+            return Err(CodecError::Invalid(format!(
+                "{n} feature statistics for a schema with {} features",
+                schema.num_features()
+            )));
+        }
+        let mut stats = Vec::with_capacity(n);
+        for i in 0..n {
+            let present = r.bool()?;
+            if present != !schema.features()[i].kind.is_categorical() {
+                return Err(CodecError::Invalid(format!(
+                    "feature {i} statistics presence does not match its kind"
+                )));
+            }
+            stats.push(if present {
+                Some(FeatureStats { min: r.f64()?, max: r.f64()?, mean: r.f64()?, std: r.f64()? })
+            } else {
+                None
+            });
+        }
+        Ok(Self { schema, normalization, stats })
     }
 }
 
@@ -266,5 +385,64 @@ mod tests {
         let (x, y) = p.transform_with_labels(&d).unwrap();
         assert_eq!(x.len(), y.len());
         assert_eq!(y, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn transform_record_into_matches_transform_record_and_validates_buffer() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::MinMax).unwrap();
+        let record = [25.0f32, 2.0, 0.5];
+        let fresh = p.transform_record(&record).unwrap();
+        let mut buf = vec![f32::NAN; p.output_width()];
+        p.transform_record_into(&record, &mut buf).unwrap();
+        assert_eq!(buf, fresh);
+        // The one-hot slots are fully rewritten even when the buffer is
+        // reused across records of different categories.
+        p.transform_record_into(&[0.0, 0.0, 0.5], &mut buf).unwrap();
+        assert_eq!(buf, p.transform_record(&[0.0, 0.0, 0.5]).unwrap());
+        let mut short = vec![0.0f32; p.output_width() - 1];
+        assert!(p.transform_record_into(&record, &mut short).is_err());
+        assert!(p.transform_record_into(&[1.0, 9.0, 0.5], &mut buf).is_err());
+    }
+
+    #[test]
+    fn transform_matrix_is_the_flattened_transform() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::ZScore).unwrap();
+        let rows = p.transform(&d).unwrap();
+        let matrix = p.transform_matrix(&d).unwrap();
+        assert_eq!(matrix.len(), d.len() * p.output_width());
+        for (row, flat) in rows.iter().zip(matrix.chunks_exact(p.output_width())) {
+            assert_eq!(row.as_slice(), flat);
+        }
+        let other_schema = Schema::new(
+            "other",
+            vec![FeatureSpec::new("x", FeatureKind::numeric(0.0, 1.0))],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        assert!(p.transform_matrix(&Dataset::empty(other_schema)).is_err());
+    }
+
+    #[test]
+    fn preprocessor_persistence_round_trips_bit_exactly() {
+        let d = dataset();
+        for normalization in [Normalization::MinMax, Normalization::ZScore] {
+            let p = Preprocessor::fit(&d, normalization).unwrap();
+            let mut w = Writer::new();
+            p.write_to(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = Preprocessor::read_from(&mut r).unwrap();
+            assert!(r.is_exhausted());
+            assert_eq!(back, p);
+            // Transforms are bit-identical, not just approximately equal.
+            let record = [33.0f32, 1.0, 0.5];
+            assert_eq!(
+                back.transform_record(&record).unwrap(),
+                p.transform_record(&record).unwrap()
+            );
+            assert!(Preprocessor::read_from(&mut Reader::new(&bytes[..bytes.len() - 4])).is_err());
+        }
     }
 }

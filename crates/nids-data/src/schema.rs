@@ -8,6 +8,7 @@
 //! record is validated against it.
 
 use crate::{DataError, Result};
+use hdc::codec::{CodecError, CodecResult, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -55,6 +56,41 @@ impl FeatureKind {
     /// Returns `true` for categorical features.
     pub fn is_categorical(&self) -> bool {
         matches!(self, FeatureKind::Categorical { .. })
+    }
+
+    /// Persists the kind through the artifact codec.
+    pub fn write_to(&self, w: &mut Writer) {
+        match self {
+            FeatureKind::Numeric { min, max } => {
+                w.u8(0);
+                w.f64(*min);
+                w.f64(*max);
+            }
+            FeatureKind::Categorical { values } => {
+                w.u8(1);
+                w.usize(values.len());
+                for v in values {
+                    w.str(v);
+                }
+            }
+        }
+    }
+
+    /// Reads a kind persisted by [`FeatureKind::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated stream or an unknown tag.
+    pub fn read_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(FeatureKind::Numeric { min: r.f64()?, max: r.f64()? }),
+            1 => {
+                let n = r.usize()?;
+                let values = (0..n).map(|_| r.str()).collect::<CodecResult<Vec<_>>>()?;
+                Ok(FeatureKind::Categorical { values })
+            }
+            tag => Err(CodecError::Invalid(format!("feature-kind tag {tag}"))),
+        }
     }
 }
 
@@ -227,6 +263,41 @@ impl Schema {
         }
         Ok(())
     }
+
+    /// Persists the schema through the artifact codec.
+    pub fn write_to(&self, w: &mut Writer) {
+        w.str(&self.name);
+        w.usize(self.features.len());
+        for f in &self.features {
+            w.str(&f.name);
+            f.kind.write_to(w);
+        }
+        w.usize(self.classes.len());
+        for c in &self.classes {
+            w.str(c);
+        }
+    }
+
+    /// Reads a schema persisted by [`Schema::write_to`], re-running the
+    /// constructor's validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated stream or a schema that fails
+    /// validation.
+    pub fn read_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let name = r.str()?;
+        let num_features = r.usize()?;
+        let mut features = Vec::with_capacity(num_features.min(r.remaining()));
+        for _ in 0..num_features {
+            let feature_name = r.str()?;
+            features.push(FeatureSpec::new(feature_name, FeatureKind::read_from(r)?));
+        }
+        let num_classes = r.usize()?;
+        let classes = (0..num_classes).map(|_| r.str()).collect::<CodecResult<Vec<_>>>()?;
+        Schema::new(name, features, classes)
+            .map_err(|e| CodecError::Invalid(format!("schema: {e}")))
+    }
 }
 
 #[cfg(test)]
@@ -317,5 +388,19 @@ mod tests {
         assert_eq!(FeatureKind::categorical(["a", "b", "c", "d"]).encoded_width(), 4);
         assert!(FeatureKind::categorical(["a"]).is_categorical());
         assert!(!FeatureKind::numeric(0.0, 1.0).is_categorical());
+    }
+
+    #[test]
+    fn schema_persistence_round_trips() {
+        let s = toy_schema();
+        let mut w = Writer::new();
+        s.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Schema::read_from(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back, s);
+        // Truncated streams and invalid schemas are rejected.
+        assert!(Schema::read_from(&mut Reader::new(&bytes[..10])).is_err());
     }
 }

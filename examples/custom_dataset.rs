@@ -1,5 +1,9 @@
 //! Bring your own data: define a custom schema, load flows from CSV text and
-//! train CyberHD on them.
+//! train CyberHD on them — the **expert path** that wires the preprocessor,
+//! config builder and trainer by hand instead of going through the sealed
+//! `Detector` artifact (see `examples/quickstart.rs` for that).  Use this
+//! path when an experiment needs access to the internal seams: custom
+//! transforms, per-epoch reports, encoder surgery.
 //!
 //! The same `loader::parse_csv` path accepts the real NSL-KDD / UNSW-NB15 /
 //! CIC-IDS CSV files when pointed at their schemas; here a small IoT-gateway

@@ -1,5 +1,11 @@
-//! Quickstart: train CyberHD on a synthetic NSL-KDD stand-in and inspect the
-//! result.
+//! Quickstart: train a sealed `Detector` on a synthetic NSL-KDD stand-in,
+//! serve raw flows, and ship the artifact.
+//!
+//! This is the deployment path the suite is built around: one builder call
+//! runs preprocess → train → seal, and the resulting artifact consumes
+//! **raw records** (schema values) directly — no manual preprocessing at
+//! serve time.  See `examples/custom_dataset.rs` for the expert path that
+//! wires the preprocessor, config and trainer by hand.
 //!
 //! ```text
 //! cargo run --example quickstart --release
@@ -20,25 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.num_classes()
     );
 
-    // 2. Preprocess: one-hot expand the categorical features and scale
-    //    everything to [0, 1]. The preprocessor is fitted on the training
-    //    split only.
-    let preprocessor = Preprocessor::fit(&train, Normalization::MinMax)?;
-    let (train_x, train_y) = preprocessor.transform_with_labels(&train)?;
-    let (test_x, test_y) = preprocessor.transform_with_labels(&test)?;
-
-    // 3. Train CyberHD: 512 physical dimensions, 20% of the least significant
-    //    dimensions regenerated after each retraining epoch.
-    let config = CyberHdConfig::builder(preprocessor.output_width(), dataset.num_classes())
-        .dimension(512)
-        .retrain_epochs(10)
-        .regeneration_rate(0.2)
-        .learning_rate(0.05)
-        .encode_threads(4)
-        .seed(7)
-        .build()?;
-    let (model, elapsed) = Stopwatch::time(|| CyberHdTrainer::new(config)?.fit(&train_x, &train_y));
-    let model = model?;
+    // 2. Train the sealed artifact: preprocessing (one-hot + min-max) is
+    //    fitted on the training split, CyberHD trains with 512 physical
+    //    dimensions and 20% regeneration per retraining epoch.
+    let (detector, elapsed) = Stopwatch::time(|| {
+        Detector::builder()
+            .dimension(512)
+            .retrain_epochs(10)
+            .regeneration_rate(0.2)
+            .learning_rate(0.05)
+            .encode_threads(4)
+            .seed(7)
+            .train(&train)
+    });
+    let detector = detector?;
+    let model = detector.model().expect("dense detector");
     println!(
         "trained in {:.2} s: physical D = {}, effective D* = {} ({} dimensions regenerated)",
         elapsed.as_secs_f64(),
@@ -47,17 +49,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.report().regeneration.total_regenerated
     );
 
-    // 4. Evaluate on the held-out flows.
-    let report = model.evaluate(&test_x, &test_y)?.report();
+    // 3. Evaluate on the held-out flows — raw records in, no manual
+    //    transform step.
+    let report = detector.evaluate(&test)?.report();
     println!("\ntest-set performance:\n{report}");
 
-    // 5. Classify one new flow.
-    let (prediction, scores) = model.predict_with_scores(&test_x[0])?;
+    // 4. Classify one raw flow.
+    let record = test.records()[0].as_slice();
+    let verdict = detector.detect(record)?;
     println!(
-        "first test flow -> class {} ({}), similarity scores {:?}",
-        prediction,
-        dataset.schema().classes()[prediction],
-        scores.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+        "first test flow -> class {} ({}), similarity {:.3}",
+        verdict.class,
+        dataset.schema().classes()[verdict.class],
+        verdict.similarity
     );
+
+    // 5. Ship the artifact: save, reload, and verify the loaded detector
+    //    reproduces the verdict bit for bit.
+    let path = std::env::temp_dir().join("cyberhd_quickstart.chd");
+    detector.save(&path)?;
+    let loaded = Detector::load(&path)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.detect(record)?, verdict, "loaded artifact must be bit-exact");
+    println!("\nartifact: {bytes} bytes on disk, loaded copy is bit-exact");
     Ok(())
 }

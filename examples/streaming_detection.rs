@@ -1,11 +1,13 @@
-//! Streaming (online) intrusion detection on an edge device.
+//! Streaming (online) intrusion detection on an edge device, on the
+//! `Detector` artifact API.
 //!
 //! The paper motivates HDC for NIDS with real-time detection on
-//! resource-constrained devices: flows arrive one at a time and the detector
-//! must keep learning as the traffic mix drifts.  This example feeds a
-//! UNSW-NB15-shaped stream to the single-pass [`OnlineLearner`], tracks
-//! prequential ("test-then-train") accuracy, and triggers a dimension
-//! regeneration halfway through the stream.
+//! resource-constrained devices: flows arrive continuously and the detector
+//! must keep learning as the traffic mix drifts.  This example trains a
+//! sealed detector with the builder's single-pass `.online()` mode, unseals
+//! it with `into_online()` to keep learning from a UNSW-NB15-shaped stream
+//! of **raw records**, triggers a dimension regeneration halfway through,
+//! and re-seals the result for 1-bit deployment.
 //!
 //! ```text
 //! cargo run --example streaming_detection --release
@@ -14,55 +16,58 @@
 use cyberhd_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A stream of labelled flows with the UNSW-NB15 schema.
+    // A warmup corpus and a live stream with the UNSW-NB15 schema.
     let dataset =
         DatasetKind::UnswNb15.generate(&SyntheticConfig::new(6_000, 23).difficulty(1.3))?;
     let (warmup, stream) = train_test_split(&dataset, 0.8, 23)?;
-    let preprocessor = Preprocessor::fit(&warmup, Normalization::MinMax)?;
-    let (stream_x, stream_y) = preprocessor.transform_with_labels(&stream)?;
 
-    let config = CyberHdConfig::builder(preprocessor.output_width(), dataset.num_classes())
+    // Single-pass streaming training on the warmup flows, then unseal for
+    // live learning.
+    let detector = Detector::builder()
         .dimension(512)
         .regeneration_rate(0.2)
         .learning_rate(0.06)
         .seed(3)
-        .build()?;
-    let mut learner = OnlineLearner::new(config)?;
+        .online()
+        .train(&warmup)?;
+    let mut online = detector.into_online()?;
 
-    println!("streaming {} UNSW-NB15-shaped flows through the online learner...\n", stream_x.len());
-    let checkpoint = stream_x.len() / 5;
-    for (i, (x, &y)) in stream_x.iter().zip(&stream_y).enumerate() {
-        learner.observe(x, y)?;
+    println!("streaming {} UNSW-NB15-shaped raw flows through the detector...\n", stream.len());
+    let checkpoint = stream.len() / 5;
+    for (i, (record, &label)) in stream.records().iter().zip(stream.labels()).enumerate() {
+        online.observe(record, label)?;
         if (i + 1) % checkpoint == 0 {
             println!(
-                "after {:>5} flows: prequential accuracy {:.2}%  (effective D* = {})",
+                "after {:>5} flows: prequential accuracy {:.2}%",
                 i + 1,
-                learner.prequential_accuracy() * 100.0,
-                learner.effective_dimension()
+                online.prequential_accuracy() * 100.0,
             );
         }
         // Halfway through, drop and regenerate the least useful dimensions —
         // the streaming counterpart of CyberHD's retraining loop.
-        if i + 1 == stream_x.len() / 2 {
-            let regenerated = learner.regenerate()?;
+        if i + 1 == stream.len() / 2 {
+            let regenerated = online.regenerate()?;
             println!("  >> regenerated {regenerated} insignificant dimensions");
         }
     }
 
-    // Freeze the learner and deploy it at 1-bit precision.
-    let samples_seen = learner.samples_seen();
-    let model = learner.into_model();
+    // Re-seal the learner and redeploy at 1-bit precision.
+    let samples_seen = online.samples_seen();
+    let sealed = online.seal();
+    let model = sealed.model().expect("dense artifact");
     let deployed = model.quantize(BitWidth::B1);
     println!(
-        "\nfrozen model: {} flows seen, {} classes, {} bits of 1-bit class memory",
+        "\nre-sealed model: {} flows streamed, {} classes, {} bits of 1-bit class memory",
         samples_seen,
-        model.num_classes(),
+        sealed.num_classes(),
         deployed.storage_bits()
     );
-    let sample = &stream_x[0];
+    let record = stream.records()[0].as_slice();
+    let verdict = sealed.detect(record)?;
     println!(
-        "first stream flow classified as {:?} by the deployed 1-bit model",
-        dataset.schema().classes()[deployed.predict(sample)?]
+        "first stream flow classified as {:?} (similarity {:.3}) by the re-sealed detector",
+        dataset.schema().classes()[verdict.class],
+        verdict.similarity
     );
     Ok(())
 }

@@ -17,30 +17,32 @@
 //! * [`hw_model`] — first-order CPU/FPGA energy models (Table I),
 //! * [`fault_inject`] — bit-flip fault injection (Fig. 5).
 //!
-//! See the repository `README.md` for the quick start and `EXPERIMENTS.md`
-//! for the paper-vs-measured comparison of every table and figure.
+//! See the repository `README.md` for the quick start and the repository's
+//! `EXPERIMENTS.md` for the map from every paper table and figure to the
+//! bench binary or test suite that reproduces it.
 //!
 //! # Example
+//!
+//! The one-object deployment path: a sealed [`cyberhd::Detector`] takes a
+//! raw [`nids_data::Dataset`], trains end to end, and serves raw records.
 //!
 //! ```
 //! use cyberhd_suite::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Generate a small NSL-KDD-shaped corpus and train CyberHD on it.
+//! // Generate a small NSL-KDD-shaped corpus and split it.
 //! let dataset = DatasetKind::NslKdd.generate(&SyntheticConfig::new(800, 1))?;
 //! let (train, test) = train_test_split(&dataset, 0.25, 1)?;
-//! let preprocessor = Preprocessor::fit(&train, Normalization::MinMax)?;
-//! let (train_x, train_y) = preprocessor.transform_with_labels(&train)?;
-//! let (test_x, test_y) = preprocessor.transform_with_labels(&test)?;
 //!
-//! let config = CyberHdConfig::builder(preprocessor.output_width(), dataset.num_classes())
-//!     .dimension(256)
-//!     .retrain_epochs(3)
-//!     .seed(7)
-//!     .build()?;
-//! let model = CyberHdTrainer::new(config)?.fit(&train_x, &train_y)?;
-//! let accuracy = model.accuracy(&test_x, &test_y)?;
-//! assert!(accuracy > 0.5);
+//! // Train once, seal the artifact, serve raw flows.
+//! let detector = Detector::builder().dimension(256).retrain_epochs(3).seed(7).train(&train)?;
+//! let verdict = detector.detect(test.records()[0].as_slice())?;
+//! assert!(verdict.class < dataset.num_classes());
+//! assert!(detector.accuracy(&test)? > 0.5);
+//!
+//! // Ship it: a saved artifact reproduces predictions bit for bit.
+//! let loaded = Detector::from_bytes(&detector.to_bytes())?;
+//! assert_eq!(loaded.detect(test.records()[0].as_slice())?, verdict);
 //! # Ok(())
 //! # }
 //! ```
@@ -62,21 +64,24 @@ pub mod prelude {
     pub use baselines::svm::{LinearSvm, SvmConfig};
     pub use baselines::Classifier;
     pub use cyberhd::{
-        BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer, EncoderKind, OnlineLearner,
-        OpenSetDetector, OpenSetPrediction, QuantizedModel, TrainingBatch,
+        BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer, DetectScratch, Detector,
+        DetectorBuilder, EncoderKind, OnlineDetector, OnlineLearner, OpenSetDetector,
+        OpenSetPrediction, QuantizedModel, TrainingBatch, Verdict,
     };
     pub use eval::detection::{DetectionCounts, RocCurve};
     pub use eval::metrics::{accuracy, ConfusionMatrix};
     pub use eval::timing::{Stopwatch, ThroughputReport};
     pub use fault_inject::BitFlipInjector;
     pub use hdc::encoder::{Encoder, RbfEncoder};
-    pub use hdc::{AssociativeMemory, BitWidth, Hypervector, QuantizedHypervector};
+    pub use hdc::{
+        AssociativeMemory, BatchBuffer, BatchView, BitWidth, Hypervector, QuantizedHypervector,
+    };
     pub use hw_model::{CpuModel, FpgaModel, HdcWorkload};
     pub use nids_data::drift::{DriftPhase, DriftStream};
     pub use nids_data::preprocess::{Normalization, Preprocessor};
     pub use nids_data::split::{stratified_k_fold, train_test_split};
     pub use nids_data::synth::SyntheticConfig;
-    pub use nids_data::DatasetKind;
+    pub use nids_data::{Dataset, DatasetKind};
 }
 
 #[cfg(test)]

@@ -69,8 +69,9 @@ fn batched_scores_match_serial_scores_within_1e6() {
         let dim = model.dimension();
         // Batched path: encode the whole batch into one matrix, score it
         // with per-batch class norms.
+        let buffer = hdc::BatchBuffer::from_rows(&test_x, test_x[0].len()).expect("flat batch");
         let mut matrix = vec![0.0f32; test_x.len() * dim];
-        model.encoder().encode_batch_into(&test_x, &mut matrix).expect("batch encode");
+        model.encoder().encode_batch_into(buffer.view(), &mut matrix).expect("batch encode");
         let mut scores = vec![0.0f32; test_x.len() * memory.num_classes()];
         memory.similarities_batch(&matrix, &mut scores).expect("batch scoring");
         // Serial path: per-sample encode + per-query class norms.

@@ -165,10 +165,12 @@ fn minibatch_training_keeps_detection_accuracy() {
 /// arm via `bench::reference` so the oracle and the measured baseline can
 /// never drift apart.
 fn predict_b1_encode_then_quantize(model: &CyberHdModel, batch: &[Vec<f32>]) -> Vec<usize> {
+    let width = batch.first().map_or(1, Vec::len);
+    let buffer = hdc::BatchBuffer::from_rows(batch, width).expect("consistent rows");
     bench::reference::predict_b1_encode_then_quantize(
         model.encoder(),
         &model.quantize(BitWidth::B1),
-        batch,
+        buffer.view(),
     )
 }
 
