@@ -18,19 +18,14 @@
 //!    prints an explicit `speedup:` line per path and writes the
 //!    `BENCH_infer.json` snapshot at the workspace root.
 
-use bench::reference::predict_b1_encode_then_quantize;
-use bench::{prepare_dataset, snapshot};
+use bench::reference::{predict_b1_encode_then_quantize, predict_dense_per_class_scoring};
+use bench::{env_usize, prepare_dataset, snapshot, timed_pass};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyberhd::CyberHdTrainer;
-use eval::ThroughputReport;
 use hdc::parallel::engine_threads;
 use hdc::BitWidth;
 use nids_data::DatasetKind;
 use std::hint::black_box;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 fn bench_single_flow(c: &mut Criterion) {
     let data = prepare_dataset(DatasetKind::NslKdd, 1_200, 21).expect("dataset generation");
@@ -68,22 +63,6 @@ fn bench_single_flow(c: &mut Criterion) {
         );
     }
     group.finish();
-}
-
-/// Best-of-`reps` wall-clock throughput of one full pass over `samples`,
-/// plus the last pass's result (so callers can assert on the output without
-/// paying for an extra untimed pass).
-fn timed_pass<T>(samples: usize, reps: usize, mut f: impl FnMut() -> T) -> (ThroughputReport, T) {
-    let mut best: Option<ThroughputReport> = None;
-    let mut last: Option<T> = None;
-    for _ in 0..reps.max(1) {
-        let (result, report) = ThroughputReport::measure(samples, &mut f);
-        last = Some(black_box(result));
-        if best.is_none_or(|b| report.seconds < b.seconds) {
-            best = Some(report);
-        }
-    }
-    (best.expect("at least one rep"), last.expect("at least one rep"))
 }
 
 /// The headline engine comparison: fused `predict_batch` against the seed's
@@ -137,13 +116,23 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         batch.iter().map(|f| model.predict(f).unwrap()).collect::<Vec<_>>()
     });
     let (batched, _) = timed_pass(samples, reps, || model.predict_batch(&batch).unwrap());
-    let (batched_view, _) =
+    let (batched_view, view_predictions) =
         timed_pass(samples, reps, || model.predict_batch_view(buffer.view()).unwrap());
+    // The scoring loop the interleaved multi-class dot kernel replaced:
+    // same batched encode, one query pass per class instead of one total.
+    let (per_class, per_class_predictions) = timed_pass(samples, reps, || {
+        predict_dense_per_class_scoring(model.encoder(), model.memory(), buffer.view())
+    });
     println!("  dense serial       : {serial}");
     println!("  dense batched rows : {batched}");
     println!("  dense batched view : {batched_view}");
+    println!("  dense per-class scoring (pre-kernel): {per_class}");
     println!("  dense speedup      : {:.2}x", batched.speedup_over(&serial));
     println!("  dense view-vs-rows : {:.2}x", batched_view.speedup_over(&batched));
+    println!("  dense interleaved-vs-per-class: {:.2}x", batched_view.speedup_over(&per_class));
+    // The interleaved kernel replicates the per-class accumulation order
+    // exactly; predictions must match bit for bit.
+    assert_eq!(view_predictions, per_class_predictions, "interleaved kernel diverged");
 
     // 1-bit deployment path: packed-word Hamming kernel vs serial integer
     // cosine, plus the fused sign-encode kernel vs the PR 1 encode-then-pack
@@ -174,6 +163,7 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         snapshot::Arm::new("dense_serial", serial),
         snapshot::Arm::new("dense_batched", batched),
         snapshot::Arm::new("dense_batched_view", batched_view),
+        snapshot::Arm::new("dense_per_class_scoring", per_class),
         snapshot::Arm::new("b1_serial", serial_q),
         snapshot::Arm::new("b1_batched_prefused", prefused_q),
         snapshot::Arm::new("b1_fused_sign_encode", fused_q),
@@ -181,6 +171,7 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
     let speedups = vec![
         ("dense_batched_vs_serial", batched.speedup_over(&serial)),
         ("dense_view_vs_rows", batched_view.speedup_over(&batched)),
+        ("dense_interleaved_vs_per_class", batched_view.speedup_over(&per_class)),
         ("b1_batched_vs_serial", prefused_q.speedup_over(&serial_q)),
         ("b1_fused_vs_batched", fused_q.speedup_over(&prefused_q)),
         ("b1_fused_vs_serial", fused_q.speedup_over(&serial_q)),

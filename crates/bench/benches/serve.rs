@@ -1,0 +1,199 @@
+//! Serving-layer benchmarks: what the micro-batcher buys over per-flow
+//! serving, and what the `max_delay` watermark costs in tail latency.
+//!
+//! Two measurements, both at the engine's reference configuration
+//! (dim=10k, 4 classes, NSL-KDD-shaped flows; scale via
+//! `CYBERHD_SERVE_DIM` / `CYBERHD_SERVE_SAMPLES` / `CYBERHD_SERVE_REPS`):
+//!
+//! 1. **Single-submit throughput** — flows pushed one at a time through
+//!    [`ServeEngine::submit`] (the deployment arrival pattern) against the
+//!    naive per-flow `detect_with` loop a caller without the engine would
+//!    write, plus the one-shot `detect_batch` ceiling.  The engine must
+//!    hold ≥ 5× over the naive loop (asserted here at full scale).
+//! 2. **Flush latency vs `max_delay`** — a paced submit→poll loop per
+//!    `max_delay` setting, reporting p50/p99 submit→verdict latency and
+//!    throughput from the engine's own [`LatencyHistogram`]-backed stats —
+//!    the README's throughput/latency trade-off table.
+//!
+//! Emits the `BENCH_serve.json` snapshot at the workspace root and
+//! asserts the determinism contract (served verdicts == `detect_batch`
+//! oracle) at bench scale, where flush boundaries actually vary.
+
+use bench::{env_usize, limited_class_dataset, snapshot, timed_pass};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyberhd::serve::{DetectorRegistry, ServeConfig, ServeEngine};
+use cyberhd::{Detector, Verdict};
+use hdc::parallel::engine_threads;
+use nids_data::DatasetKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Submits every flow through the engine one at a time, flushes the tail
+/// and collects every verdict — the serving equivalent of one batch pass.
+fn serve_pass(engine: &ServeEngine, flows: &[Vec<f32>]) -> Vec<Verdict> {
+    let tickets: Vec<_> = flows
+        .iter()
+        .map(|record| engine.submit("bench", record).expect("registered tenant, sound flow"))
+        .collect();
+    engine.flush("bench").expect("registered tenant");
+    tickets.iter().map(|t| engine.take(t).expect("flushed")).collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // Criterion's calibrated micro-sampling cannot hold a full serve pass
+    // at default scale; the heavy passes are timed directly (see the
+    // inference bench for the same convention).
+    let _ = c;
+    let dim = env_usize("CYBERHD_SERVE_DIM", 10_000);
+    let samples = env_usize("CYBERHD_SERVE_SAMPLES", 10_000);
+    let reps = env_usize("CYBERHD_SERVE_REPS", 2);
+
+    // A small training corpus keeps model construction cheap at huge dims
+    // (the trainer materializes a samples × dim encoding matrix); the
+    // served stream cycles the same flows up to `samples`.
+    let dataset =
+        limited_class_dataset(DatasetKind::NslKdd, 4, 1_000, 29).expect("dataset generation");
+    let detector = Detector::builder()
+        .dimension(dim)
+        .retrain_epochs(1)
+        .regeneration_rate(0.0)
+        .learning_rate(0.05)
+        .seed(17)
+        .train(&dataset)
+        .expect("training succeeds");
+    let flows: Vec<Vec<f32>> = dataset.records().iter().cycle().take(samples).cloned().collect();
+
+    println!(
+        "\nserve_single_submit: dim={dim}, classes={}, samples={samples}, reps={reps}",
+        detector.num_classes()
+    );
+
+    let fresh_engine = |config: ServeConfig| {
+        let registry = Arc::new(DetectorRegistry::new());
+        registry.register("bench", detector.clone()).expect("fresh registry");
+        ServeEngine::new(registry, config).expect("valid config")
+    };
+
+    // Naive per-flow serving: what a caller without the micro-batcher
+    // writes — one detect per arriving flow, reusing scratch.
+    let mut scratch = detector.scratch();
+    let (naive, _) = timed_pass(samples, reps, || {
+        flows
+            .iter()
+            .map(|record| detector.detect_with(record, &mut scratch).unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    // Micro-batched serving at the default watermarks; the whole
+    // submit→flush→take cycle is inside the timed region.
+    let engine =
+        fresh_engine(ServeConfig { queue_capacity: samples.max(64), ..ServeConfig::default() });
+    let (served, serve_verdicts) = timed_pass(samples, reps, || serve_pass(&engine, &flows));
+
+    // The ceiling: the caller already holds the whole batch.
+    let (batch, batch_verdicts) =
+        timed_pass(samples, reps, || detector.detect_batch(&flows).unwrap());
+
+    println!("  naive per-flow detect : {naive}");
+    println!("  serve single-submit   : {served}");
+    println!("  detect_batch ceiling  : {batch}");
+    println!("  serve-vs-naive  speedup: {:.2}x", served.speedup_over(&naive));
+    println!("  serve-vs-batch  fraction: {:.2}", batch.speedup_over(&served));
+
+    // Determinism contract at bench scale: the served verdicts are the
+    // detect_batch oracle, bit for bit.
+    assert_eq!(serve_verdicts, batch_verdicts, "served verdicts diverged from detect_batch");
+
+    // At full scale the engine must clear the 5x acceptance bar; smoke
+    // runs at reduced scale skip the assertion (watermark amortization
+    // needs real batches).
+    let serve_speedup = served.speedup_over(&naive);
+    if samples >= 10_000 && dim >= 10_000 {
+        assert!(
+            serve_speedup >= 5.0,
+            "single-submit serving must hold >= 5x over the naive loop, got {serve_speedup:.2}x"
+        );
+    }
+
+    // Flush-latency percentiles vs the max_delay watermark, under a paced
+    // arrival stream (5k flows/s — thin enough that the batch watermark
+    // never fires and the delay watermark picks the batch size).  The
+    // engine stamps submit time itself, so the percentiles measure real
+    // submit→verdict waiting including the batch's own scoring.
+    let mut arms = vec![
+        snapshot::Arm::new("naive_per_flow_detect", naive),
+        snapshot::Arm::new("serve_single_submit", served),
+        snapshot::Arm::new("detect_batch_ceiling", batch),
+    ];
+    let mut extra_params: Vec<(String, f64)> = Vec::new();
+    let paced = samples.min(2_000);
+    let arrival_interval = Duration::from_micros(200);
+    println!(
+        "\nflush latency vs max_delay ({paced} flows arriving every \
+         {arrival_interval:?}, max_batch uncapped):"
+    );
+    for delay_us in [500u64, 2_000, 8_000] {
+        let engine = fresh_engine(ServeConfig {
+            max_batch: paced,
+            max_delay: Duration::from_micros(delay_us),
+            queue_capacity: paced,
+        });
+        let (report, _) = timed_pass(paced, 1, || {
+            let start = std::time::Instant::now();
+            let tickets: Vec<_> = flows[..paced]
+                .iter()
+                .enumerate()
+                .map(|(i, record)| {
+                    // Spin until this flow's arrival time (sleep granularity
+                    // is too coarse for a 200us schedule).
+                    let due = start + arrival_interval * i as u32;
+                    while std::time::Instant::now() < due {
+                        std::hint::spin_loop();
+                    }
+                    let ticket = engine.submit("bench", record).unwrap();
+                    engine.poll();
+                    ticket
+                })
+                .collect();
+            engine.flush("bench").unwrap();
+            tickets.iter().map(|t| engine.take(t).unwrap()).collect::<Vec<_>>()
+        });
+        let stats = engine.stats("bench").expect("tenant served traffic");
+        let p50_ms = stats.p50_latency.as_secs_f64() * 1e3;
+        let p99_ms = stats.p99_latency.as_secs_f64() * 1e3;
+        println!(
+            "  max_delay {:>5}us: p50 {:.3} ms, p99 {:.3} ms, mean batch {:.1}, {:.0} flows/s",
+            delay_us,
+            p50_ms,
+            p99_ms,
+            stats.mean_batch_size(),
+            report.samples_per_second()
+        );
+        arms.push(snapshot::Arm::new(&format!("serve_paced_delay_{delay_us}us"), report));
+        extra_params.push((format!("p50_ms_delay_{delay_us}us"), p50_ms));
+        extra_params.push((format!("p99_ms_delay_{delay_us}us"), p99_ms));
+        extra_params.push((format!("mean_batch_delay_{delay_us}us"), stats.mean_batch_size()));
+    }
+
+    let speedups = vec![
+        ("serve_vs_naive", serve_speedup),
+        ("batch_ceiling_vs_serve", batch.speedup_over(&served)),
+        ("serve_vs_batch_fraction", served.speedup_over(&batch)),
+    ];
+    let mut params: Vec<(&str, f64)> = vec![
+        ("dim", dim as f64),
+        ("classes", detector.num_classes() as f64),
+        ("samples", samples as f64),
+        ("reps", reps as f64),
+        ("threads", engine_threads() as f64),
+        ("max_batch", ServeConfig::default().max_batch as f64),
+    ];
+    params.extend(extra_params.iter().map(|(k, v)| (k.as_str(), *v)));
+    match snapshot::write("BENCH_serve.json", "serve", &params, &arms, &speedups) {
+        Ok(path) => println!("  snapshot: {}", path.display()),
+        Err(err) => eprintln!("  snapshot write failed: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

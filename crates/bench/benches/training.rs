@@ -18,17 +18,13 @@
 //!    and the run writes the `BENCH_train.json` snapshot at the workspace
 //!    root.
 
-use bench::{prepare_dataset, snapshot, ExperimentScale};
+use bench::{env_usize, prepare_dataset, snapshot, ExperimentScale};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyberhd::{CyberHdConfig, CyberHdTrainer, TrainingBatch};
 use eval::ThroughputReport;
 use hdc::parallel::engine_threads;
 use nids_data::DatasetKind;
 use std::hint::black_box;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 fn bench_hdc_training(c: &mut Criterion) {
     let _ = ExperimentScale::Quick;

@@ -189,7 +189,45 @@ pub mod reference {
     use hdc::binary::{pack_f32_signs_into, words_for_dim, BinaryHypervector};
     use hdc::encoder::Encoder;
     use hdc::parallel::{engine_threads, for_each_chunk};
-    use hdc::BatchView;
+    use hdc::{AssociativeMemory, BatchView};
+
+    /// The dense batched scoring loop `predict_batch` ran before the
+    /// interleaved multi-class dot kernel: batched f32 encode into a chunk
+    /// matrix, then **one full query pass per class** (`cosine_with_norm`
+    /// per class, class norms cached per batch).  Predictions are
+    /// bit-identical to the interleaved kernel — the kernel replicates this
+    /// loop's per-class accumulation order exactly — so benches assert
+    /// equality and measure only the memory-traffic difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's row width does not match the encoder's feature
+    /// arity or the memory's dimensionality differs from the encoder output
+    /// (callers validate).
+    pub fn predict_dense_per_class_scoring(
+        encoder: &AnyEncoder,
+        memory: &AssociativeMemory,
+        batch: BatchView<'_>,
+    ) -> Vec<usize> {
+        let dim = memory.dim();
+        let norms = memory.class_norms();
+        let mut predictions = vec![0usize; batch.rows()];
+        for_each_chunk(batch.rows(), 64, &mut predictions, 1, engine_threads(), |chunk, out| {
+            let rows = batch.rows_range(chunk.start, chunk.end);
+            let mut matrix = vec![0.0f32; rows.rows() * dim];
+            encoder.encode_batch_into(rows, &mut matrix).expect("shapes validated by the caller");
+            let mut scores = vec![0.0f32; memory.num_classes()];
+            for (local, slot) in out.iter_mut().enumerate() {
+                let query = &matrix[local * dim..(local + 1) * dim];
+                let qn = hdc::similarity::norm(query);
+                for ((score, class), &cn) in scores.iter_mut().zip(memory.classes()).zip(&norms) {
+                    *score = hdc::similarity::cosine_with_norm(query, qn, class.as_slice(), cn);
+                }
+                *slot = hdc::argmax(&scores).expect("at least one class").0;
+            }
+        });
+        predictions
+    }
 
     /// The 1-bit encode-then-quantize pipeline `predict_batch` ran before
     /// the fused sign-encode kernel: batched f32 encode into a chunk
@@ -313,6 +351,64 @@ pub fn prepare_dataset(
         num_classes: dataset.num_classes(),
         input_width,
     })
+}
+
+/// Reads a `usize` scale knob from the environment, falling back to
+/// `default` on absent or unparseable values — the shared convention of
+/// every `CYBERHD_*` bench knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Best-of-`reps` wall-clock throughput of one full pass over `samples`,
+/// plus the last pass's result (so callers can assert on the output
+/// without paying for an extra untimed pass) — the timing convention all
+/// heavy bench arms share.
+pub fn timed_pass<T>(
+    samples: usize,
+    reps: usize,
+    mut f: impl FnMut() -> T,
+) -> (ThroughputReport, T) {
+    let mut best: Option<ThroughputReport> = None;
+    let mut last: Option<T> = None;
+    for _ in 0..reps.max(1) {
+        let (result, report) = ThroughputReport::measure(samples, &mut f);
+        last = Some(std::hint::black_box(result));
+        if best.is_none_or(|b| report.seconds < b.seconds) {
+            best = Some(report);
+        }
+    }
+    (best.expect("at least one rep"), last.expect("at least one rep"))
+}
+
+/// Generates a raw dataset restricted to its first `classes` classes —
+/// the serve bench's reference configuration (the `Detector` pipeline
+/// derives its label space from the schema, so the schema itself is
+/// narrowed, not just the flows filtered).
+///
+/// # Errors
+///
+/// Propagates generation errors, and schema/dataset construction errors
+/// for a `classes` the kind cannot satisfy.
+pub fn limited_class_dataset(
+    kind: DatasetKind,
+    classes: usize,
+    samples: usize,
+    seed: u64,
+) -> Result<nids_data::Dataset, Box<dyn std::error::Error>> {
+    let full = kind.generate(&SyntheticConfig::new(samples, seed).difficulty(2.4))?;
+    let schema = nids_data::Schema::new(
+        full.schema().name(),
+        full.schema().features().to_vec(),
+        full.schema().classes()[..classes.min(full.num_classes())].to_vec(),
+    )?;
+    let mut narrowed = nids_data::Dataset::empty(schema);
+    for (record, &label) in full.records().iter().zip(full.labels()) {
+        if label < classes {
+            narrowed.push(record.clone(), label)?;
+        }
+    }
+    Ok(narrowed)
 }
 
 /// Accuracy plus timed training/inference of one model on one dataset.

@@ -37,6 +37,13 @@
 //! persistence** ([`Detector::save`] / [`Detector::load`]) through the
 //! bit-exact [`hdc::codec`].  Batch work rides the zero-copy
 //! [`hdc::BatchView`] engines end to end.
+//!
+//! Internally the scoring shapes (full-precision, quantized, open-set
+//! thresholded) live behind the object-safe [`ScoringBackend`] trait, and
+//! the sealed state is [`std::sync::Arc`]-shared — cloning a `Detector`
+//! costs one reference count, which is what lets the [`crate::serve`]
+//! layer pin an artifact per in-flight micro-batch and hot-swap artifacts
+//! under live traffic without copying class memories around.
 
 use crate::model::{AnyEncoder, CyberHdModel, TrainingReport};
 use crate::online::OnlineLearner;
@@ -44,12 +51,15 @@ use crate::quantized::QuantizedModel;
 use crate::regeneration::RegenerationStats;
 use crate::trainer::CyberHdTrainer;
 use crate::{CyberHdConfig, CyberHdError, EncoderKind, Result, TrainingBatch};
+use eval::metrics::ConfusionMatrix;
 use hdc::codec::{CodecError, CodecResult, Reader, Writer};
 use hdc::encoder::Encoder;
 use hdc::similarity;
 use hdc::{AssociativeMemory, BatchView, BitWidth, QuantizedHypervector};
 use nids_data::preprocess::{Normalization, Preprocessor};
 use nids_data::{Dataset, Schema};
+use std::fmt;
+use std::sync::Arc;
 
 /// Magic tag of a persisted detector artifact.
 const MAGIC: &[u8; 4] = b"CYHD";
@@ -95,33 +105,417 @@ pub struct DetectScratch {
     scores: Vec<f32>,
 }
 
-/// The trained engine behind a detector: full-precision or quantized class
-/// memory, each with its per-artifact cached class norms.
-// One engine exists per artifact, so the dense variant's extra inline size
-// buys nothing by boxing.
-#[allow(clippy::large_enum_variant)]
+/// The scoring surface behind a sealed [`Detector`]: one object-safe
+/// dispatch point unifying full-precision ([`DenseBackend`]), quantized
+/// ([`QuantizedBackend`]) and open-set-thresholded ([`OpenSetBackend`])
+/// scoring.
+///
+/// The serving layer ([`crate::serve`]) and the detector verbs only ever
+/// talk to this trait; the engine-selection branching that used to live
+/// inside every `Detector` method now happens once, at build/load time,
+/// when the backend is constructed.  Inputs to both scoring verbs are
+/// **preprocessed** feature vectors (rows of [`Preprocessor`] output, not
+/// raw records) — the `Detector` owns the raw→feature step.
+pub trait ScoringBackend: fmt::Debug + Send + Sync {
+    /// Number of trained classes.
+    fn num_classes(&self) -> usize;
+
+    /// Hypervector dimensionality of the class memory.
+    fn dimension(&self) -> usize;
+
+    /// The (full-precision) encoder feeding the class memory.
+    fn encoder(&self) -> &AnyEncoder;
+
+    /// Element bitwidth of the class memory; `None` for full precision.
+    fn bit_width(&self) -> Option<BitWidth> {
+        None
+    }
+
+    /// Calibrated per-class open-set thresholds, if this backend flags
+    /// novel traffic.
+    fn thresholds(&self) -> Option<&[f32]> {
+        None
+    }
+
+    /// The underlying full-precision model, when there is one.
+    fn as_dense(&self) -> Option<&CyberHdModel> {
+        None
+    }
+
+    /// The underlying quantized deployment model, when there is one.
+    fn as_quantized(&self) -> Option<&QuantizedModel> {
+        None
+    }
+
+    /// Length of the encode scratch buffer [`ScoringBackend::detect_one`]
+    /// needs (zero when the backend does not use caller scratch).
+    fn scratch_dim(&self) -> usize {
+        0
+    }
+
+    /// Scores one preprocessed feature vector using caller-provided
+    /// scratch (`encoded` of [`ScoringBackend::scratch_dim`] elements,
+    /// `scores` of one slot per class).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for a feature vector of the
+    /// wrong arity.
+    fn detect_one(
+        &self,
+        features: &[f32],
+        encoded: &mut [f32],
+        scores: &mut [f32],
+    ) -> Result<Verdict>;
+
+    /// Scores a zero-copy batch of preprocessed feature rows through the
+    /// fused [`BatchView`] engines.
+    ///
+    /// Per-row verdicts are **batch-composition invariant**: every kernel
+    /// on this path processes rows independently and the per-batch
+    /// precomputation (class norms, packed class words) depends only on
+    /// the class memory, so splitting a batch at any boundary produces
+    /// bit-identical verdicts — the determinism contract the micro-batching
+    /// serve engine is built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] if the view's row width does
+    /// not match the encoder arity.
+    fn detect_view(&self, batch: BatchView<'_>) -> Result<Vec<Verdict>>;
+
+    /// Evaluates the backend on a labelled batch view (closed-set: novelty
+    /// flags are ignored, every row scores against its nearest class).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for mismatched lengths and
+    /// propagates prediction errors.
+    fn evaluate_view(&self, batch: BatchView<'_>, labels: &[usize]) -> Result<ConfusionMatrix>;
+
+    /// Persists the engine payload (variant tag + body, **without** the
+    /// threshold trailer — the [`Detector`] writes that from
+    /// [`ScoringBackend::thresholds`] to keep the v1 artifact layout).
+    fn write_engine(&self, w: &mut Writer);
+
+    /// Recovers the owned full-precision model for unsealing, or hands the
+    /// backend back when it cannot continue learning.
+    fn into_dense_model(
+        self: Box<Self>,
+    ) -> std::result::Result<CyberHdModel, Box<dyn ScoringBackend>>;
+}
+
+/// [`ScoringBackend`] over full-precision class hypervectors.
 #[derive(Debug, Clone)]
-enum DetectorEngine {
-    /// Full-precision class hypervectors.
-    Dense {
-        model: CyberHdModel,
-        /// Cached `similarity::norm` of every class, computed once at
-        /// build/load time — the per-query recomputation of the serial
-        /// path never happens.
-        class_norms: Vec<f32>,
-    },
-    /// Class hypervectors stored at a reduced bitwidth.
-    Quantized(QuantizedModel),
+pub struct DenseBackend {
+    model: CyberHdModel,
+    /// Cached `similarity::norm` of every class, computed once at
+    /// build/load time — the per-query recomputation of the serial path
+    /// never happens.
+    class_norms: Vec<f32>,
+}
+
+impl DenseBackend {
+    /// Seals a trained model as a scoring backend, caching class norms.
+    pub fn new(model: CyberHdModel) -> Self {
+        let class_norms = model.memory().class_norms();
+        Self { model, class_norms }
+    }
+
+    /// Scores `features`, returning the winning class and its similarity.
+    fn score_one(
+        &self,
+        features: &[f32],
+        encoded: &mut [f32],
+        scores: &mut [f32],
+    ) -> Result<(usize, f32)> {
+        self.model.encoder().encode_into(features, encoded)?;
+        self.model.memory().similarities_into(encoded, &self.class_norms, scores)?;
+        Ok(similarity::argmax(scores).expect("at least one class"))
+    }
+}
+
+impl ScoringBackend for DenseBackend {
+    fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    fn dimension(&self) -> usize {
+        self.model.dimension()
+    }
+
+    fn encoder(&self) -> &AnyEncoder {
+        self.model.encoder()
+    }
+
+    fn as_dense(&self) -> Option<&CyberHdModel> {
+        Some(&self.model)
+    }
+
+    fn scratch_dim(&self) -> usize {
+        self.model.dimension()
+    }
+
+    fn detect_one(
+        &self,
+        features: &[f32],
+        encoded: &mut [f32],
+        scores: &mut [f32],
+    ) -> Result<Verdict> {
+        let (class, similarity) = self.score_one(features, encoded, scores)?;
+        Ok(Verdict { class, similarity, novel: false })
+    }
+
+    fn detect_view(&self, batch: BatchView<'_>) -> Result<Vec<Verdict>> {
+        Ok(self
+            .model
+            .predict_batch_view_scored(batch)?
+            .into_iter()
+            .map(|(class, similarity)| Verdict { class, similarity, novel: false })
+            .collect())
+    }
+
+    fn evaluate_view(&self, batch: BatchView<'_>, labels: &[usize]) -> Result<ConfusionMatrix> {
+        self.model.evaluate_view(batch, labels)
+    }
+
+    fn write_engine(&self, w: &mut Writer) {
+        w.u8(0);
+        self.model.encoder().write_to(w);
+        self.model.memory().write_to(w);
+        write_report(w, self.model.report());
+    }
+
+    fn into_dense_model(
+        self: Box<Self>,
+    ) -> std::result::Result<CyberHdModel, Box<dyn ScoringBackend>> {
+        Ok(self.model)
+    }
+}
+
+/// [`ScoringBackend`] over class hypervectors stored at a reduced
+/// bitwidth.
+#[derive(Debug, Clone)]
+pub struct QuantizedBackend {
+    model: QuantizedModel,
+}
+
+impl QuantizedBackend {
+    /// Wraps a quantized deployment model as a scoring backend.
+    pub fn new(model: QuantizedModel) -> Self {
+        Self { model }
+    }
+}
+
+impl ScoringBackend for QuantizedBackend {
+    fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    fn dimension(&self) -> usize {
+        self.model.dimension()
+    }
+
+    fn encoder(&self) -> &AnyEncoder {
+        self.model.encoder()
+    }
+
+    fn bit_width(&self) -> Option<BitWidth> {
+        Some(self.model.width())
+    }
+
+    fn as_quantized(&self) -> Option<&QuantizedModel> {
+        Some(&self.model)
+    }
+
+    fn detect_one(
+        &self,
+        features: &[f32],
+        _encoded: &mut [f32],
+        _scores: &mut [f32],
+    ) -> Result<Verdict> {
+        // The quantized single-flow path quantizes through the model's own
+        // (allocating) predictor; caller scratch is unused.
+        let (class, similarity) = self.model.predict_with_similarity(features)?;
+        Ok(Verdict { class, similarity, novel: false })
+    }
+
+    fn detect_view(&self, batch: BatchView<'_>) -> Result<Vec<Verdict>> {
+        Ok(self
+            .model
+            .predict_batch_view_scored(batch)?
+            .into_iter()
+            .map(|(class, similarity)| Verdict { class, similarity, novel: false })
+            .collect())
+    }
+
+    fn evaluate_view(&self, batch: BatchView<'_>, labels: &[usize]) -> Result<ConfusionMatrix> {
+        self.model.evaluate_view(batch, labels)
+    }
+
+    fn write_engine(&self, w: &mut Writer) {
+        w.u8(1);
+        self.model.encoder().write_to(w);
+        w.u8(self.model.width().bits() as u8);
+        w.usize(self.model.classes().len());
+        for class in self.model.classes() {
+            class.write_to(w);
+        }
+    }
+
+    fn into_dense_model(
+        self: Box<Self>,
+    ) -> std::result::Result<CyberHdModel, Box<dyn ScoringBackend>> {
+        Err(self)
+    }
+}
+
+/// [`ScoringBackend`] decorating dense scoring with calibrated per-class
+/// open-set thresholds: a winner scoring below its class threshold is
+/// flagged [`Verdict::novel`].
+#[derive(Debug, Clone)]
+pub struct OpenSetBackend {
+    inner: DenseBackend,
+    thresholds: Vec<f32>,
+}
+
+impl OpenSetBackend {
+    /// Wraps a dense backend with per-class thresholds (one per class).
+    pub fn new(inner: DenseBackend, thresholds: Vec<f32>) -> Self {
+        debug_assert_eq!(thresholds.len(), inner.num_classes());
+        Self { inner, thresholds }
+    }
+
+    fn verdict(&self, class: usize, similarity: f32) -> Verdict {
+        Verdict { class, similarity, novel: similarity < self.thresholds[class] }
+    }
+}
+
+impl ScoringBackend for OpenSetBackend {
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn dimension(&self) -> usize {
+        self.inner.dimension()
+    }
+
+    fn encoder(&self) -> &AnyEncoder {
+        self.inner.encoder()
+    }
+
+    fn thresholds(&self) -> Option<&[f32]> {
+        Some(&self.thresholds)
+    }
+
+    fn as_dense(&self) -> Option<&CyberHdModel> {
+        self.inner.as_dense()
+    }
+
+    fn scratch_dim(&self) -> usize {
+        self.inner.scratch_dim()
+    }
+
+    fn detect_one(
+        &self,
+        features: &[f32],
+        encoded: &mut [f32],
+        scores: &mut [f32],
+    ) -> Result<Verdict> {
+        let (class, similarity) = self.inner.score_one(features, encoded, scores)?;
+        Ok(self.verdict(class, similarity))
+    }
+
+    fn detect_view(&self, batch: BatchView<'_>) -> Result<Vec<Verdict>> {
+        Ok(self
+            .inner
+            .model
+            .predict_batch_view_scored(batch)?
+            .into_iter()
+            .map(|(class, similarity)| self.verdict(class, similarity))
+            .collect())
+    }
+
+    fn evaluate_view(&self, batch: BatchView<'_>, labels: &[usize]) -> Result<ConfusionMatrix> {
+        self.inner.evaluate_view(batch, labels)
+    }
+
+    fn write_engine(&self, w: &mut Writer) {
+        self.inner.write_engine(w);
+    }
+
+    fn into_dense_model(
+        self: Box<Self>,
+    ) -> std::result::Result<CyberHdModel, Box<dyn ScoringBackend>> {
+        // Unsealing drops the thresholds (see `Detector::into_online`).
+        Ok(self.inner.model)
+    }
+}
+
+/// The Arc-shared sealed state of a [`Detector`].
+#[derive(Debug)]
+struct DetectorState {
+    preprocessor: Preprocessor,
+    config: CyberHdConfig,
+    backend: Box<dyn ScoringBackend>,
 }
 
 /// A sealed, deployable intrusion detector (see the [module docs](self)).
+///
+/// The sealed state is `Arc`-shared: `Clone` costs one reference count,
+/// so worker threads, the serve engine's in-flight batches and the
+/// registry can all hold the same artifact without copying it.
 #[derive(Debug, Clone)]
 pub struct Detector {
-    preprocessor: Preprocessor,
-    config: CyberHdConfig,
-    engine: DetectorEngine,
-    /// Per-class open-set thresholds; `None` for closed-set detectors.
-    thresholds: Option<Vec<f32>>,
+    state: Arc<DetectorState>,
+}
+
+/// Artifact metadata of a sealed [`Detector`] — the admission-check
+/// surface of the serving registry (see [`Detector::info`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorInfo {
+    /// Name of the raw-record schema the detector consumes.
+    pub schema: String,
+    /// Raw features per record (pre one-hot expansion).
+    pub record_arity: usize,
+    /// Preprocessed feature width (post one-hot expansion).
+    pub input_width: usize,
+    /// Physical hypervector dimensionality.
+    pub dimension: usize,
+    /// Number of trained classes.
+    pub classes: usize,
+    /// Encoder family.
+    pub encoder: EncoderKind,
+    /// Element bitwidth of the class memory; `None` for full precision.
+    pub bit_width: Option<BitWidth>,
+    /// Artifact format version [`Detector::to_bytes`] writes.
+    pub codec_version: u32,
+    /// Whether the artifact carries calibrated open-set thresholds.
+    pub open_set: bool,
+    /// Whether the artifact can be unsealed for streaming
+    /// ([`Detector::into_online`]) — dense artifacts only.
+    pub online_capable: bool,
+}
+
+impl fmt::Display for DetectorInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} raw features -> {} inputs), {:?} encoder, dim {}, {} classes, {}{}{}",
+            self.schema,
+            self.record_arity,
+            self.input_width,
+            self.encoder,
+            self.dimension,
+            self.classes,
+            match self.bit_width {
+                Some(width) => format!("{width} memory"),
+                None => "dense memory".into(),
+            },
+            if self.open_set { ", open-set" } else { "" },
+            if self.online_capable { ", online-capable" } else { "" },
+        )
+    }
 }
 
 /// Builds [`Detector`]s from a labelled [`Dataset`].
@@ -328,18 +722,14 @@ impl DetectorBuilder {
         };
 
         let config = model.config().clone();
-        let engine = match self.quantize {
-            Some(width) => DetectorEngine::Quantized(model.quantize(width)),
-            None => DetectorEngine::dense(model),
+        let backend: Box<dyn ScoringBackend> = match (self.quantize, thresholds) {
+            (Some(width), _) => Box::new(QuantizedBackend::new(model.quantize(width))),
+            (None, Some(thresholds)) => {
+                Box::new(OpenSetBackend::new(DenseBackend::new(model), thresholds))
+            }
+            (None, None) => Box::new(DenseBackend::new(model)),
         };
-        Ok(Detector { preprocessor, config, engine, thresholds })
-    }
-}
-
-impl DetectorEngine {
-    fn dense(model: CyberHdModel) -> Self {
-        let class_norms = model.memory().class_norms();
-        DetectorEngine::Dense { model, class_norms }
+        Ok(Detector::from_parts(preprocessor, config, backend))
     }
 }
 
@@ -349,70 +739,85 @@ impl Detector {
         DetectorBuilder::default()
     }
 
+    /// Seals preprocessor + backend into a shared artifact.
+    fn from_parts(
+        preprocessor: Preprocessor,
+        config: CyberHdConfig,
+        backend: Box<dyn ScoringBackend>,
+    ) -> Self {
+        Self { state: Arc::new(DetectorState { preprocessor, config, backend }) }
+    }
+
     /// The fitted preprocessing pipeline.
     pub fn preprocessor(&self) -> &Preprocessor {
-        &self.preprocessor
+        &self.state.preprocessor
     }
 
     /// The schema of the raw records this detector consumes.
     pub fn schema(&self) -> &Schema {
-        self.preprocessor.schema()
+        self.state.preprocessor.schema()
     }
 
     /// The training configuration the artifact was built with.
     pub fn config(&self) -> &CyberHdConfig {
-        &self.config
+        &self.state.config
+    }
+
+    /// The scoring backend behind the artifact — the dispatch surface the
+    /// serving layer drives directly.
+    pub fn backend(&self) -> &dyn ScoringBackend {
+        self.state.backend.as_ref()
     }
 
     /// Number of trained classes.
     pub fn num_classes(&self) -> usize {
-        match &self.engine {
-            DetectorEngine::Dense { model, .. } => model.num_classes(),
-            DetectorEngine::Quantized(model) => model.num_classes(),
-        }
+        self.state.backend.num_classes()
     }
 
     /// Element bitwidth of the class memory, `None` for full precision.
     pub fn bit_width(&self) -> Option<BitWidth> {
-        match &self.engine {
-            DetectorEngine::Dense { .. } => None,
-            DetectorEngine::Quantized(model) => Some(model.width()),
-        }
+        self.state.backend.bit_width()
     }
 
     /// The calibrated per-class open-set thresholds, if any.
     pub fn thresholds(&self) -> Option<&[f32]> {
-        self.thresholds.as_deref()
+        self.state.backend.thresholds()
     }
 
     /// The full-precision model, when this is a dense detector.
     pub fn model(&self) -> Option<&CyberHdModel> {
-        match &self.engine {
-            DetectorEngine::Dense { model, .. } => Some(model),
-            DetectorEngine::Quantized(_) => None,
-        }
+        self.state.backend.as_dense()
     }
 
     /// The quantized deployment model, when this is a quantized detector.
     pub fn quantized_model(&self) -> Option<&QuantizedModel> {
-        match &self.engine {
-            DetectorEngine::Dense { .. } => None,
-            DetectorEngine::Quantized(model) => Some(model),
+        self.state.backend.as_quantized()
+    }
+
+    /// Artifact metadata in one read: what the registry checks before
+    /// admitting a hot-swap, and what operators print next to serve stats.
+    pub fn info(&self) -> DetectorInfo {
+        let backend = self.state.backend.as_ref();
+        DetectorInfo {
+            schema: self.schema().name().to_string(),
+            record_arity: self.schema().num_features(),
+            input_width: self.state.preprocessor.output_width(),
+            dimension: backend.dimension(),
+            classes: backend.num_classes(),
+            encoder: self.state.config.encoder,
+            bit_width: backend.bit_width(),
+            codec_version: FORMAT_VERSION,
+            open_set: backend.thresholds().is_some(),
+            online_capable: backend.as_dense().is_some(),
         }
     }
 
     /// Allocates scratch buffers sized for this detector, for the
     /// allocation-free [`Detector::detect_with`] hot path.
     pub fn scratch(&self) -> DetectScratch {
-        let dim = match &self.engine {
-            DetectorEngine::Dense { model, .. } => model.dimension(),
-            // The quantized single-flow path quantizes through the model's
-            // own (allocating) predictor; no encode buffer needed.
-            DetectorEngine::Quantized(_) => 0,
-        };
         DetectScratch {
-            features: vec![0.0; self.preprocessor.output_width()],
-            encoded: vec![0.0; dim],
+            features: vec![0.0; self.state.preprocessor.output_width()],
+            encoded: vec![0.0; self.state.backend.scratch_dim()],
             scores: vec![0.0; self.num_classes()],
         }
     }
@@ -444,25 +849,13 @@ impl Detector {
     /// Returns [`CyberHdError::Data`] if the record does not conform to the
     /// schema.
     pub fn detect_with(&self, record: &[f32], scratch: &mut DetectScratch) -> Result<Verdict> {
-        if scratch.features.len() != self.preprocessor.output_width() {
+        if scratch.features.len() != self.state.preprocessor.output_width() {
             return Err(CyberHdError::InvalidData(
                 "scratch buffers were sized for a different detector".into(),
             ));
         }
-        self.preprocessor.transform_record_into(record, &mut scratch.features)?;
-        let (class, similarity) = match &self.engine {
-            DetectorEngine::Dense { model, class_norms } => {
-                model.encoder().encode_into(&scratch.features, &mut scratch.encoded)?;
-                model.memory().similarities_into(
-                    &scratch.encoded,
-                    class_norms,
-                    &mut scratch.scores,
-                )?;
-                similarity::argmax(&scratch.scores).expect("at least one class")
-            }
-            DetectorEngine::Quantized(model) => model.predict_with_similarity(&scratch.features)?,
-        };
-        Ok(self.verdict(class, similarity))
+        self.state.preprocessor.transform_record_into(record, &mut scratch.features)?;
+        self.state.backend.detect_one(&scratch.features, &mut scratch.encoded, &mut scratch.scores)
     }
 
     /// Classifies a batch of raw records on the fused batched engine: the
@@ -474,14 +867,27 @@ impl Detector {
     /// Returns [`CyberHdError::Data`] on the first record that does not
     /// conform to the schema.
     pub fn detect_batch(&self, records: &[Vec<f32>]) -> Result<Vec<Verdict>> {
-        let width = self.preprocessor.output_width();
-        let matrix = self.preprocessor.transform_records_matrix(records)?;
+        let width = self.state.preprocessor.output_width();
+        let matrix = self.state.preprocessor.transform_records_matrix(records)?;
         let view = BatchView::new(&matrix, width).map_err(CyberHdError::from)?;
-        let scored = match &self.engine {
-            DetectorEngine::Dense { model, .. } => model.predict_batch_view_scored(view)?,
-            DetectorEngine::Quantized(model) => model.predict_batch_view_scored(view)?,
-        };
-        Ok(scored.into_iter().map(|(class, similarity)| self.verdict(class, similarity)).collect())
+        self.state.backend.detect_view(view)
+    }
+
+    /// Classifies a zero-copy batch of **already preprocessed** feature
+    /// rows (width [`Preprocessor::output_width`]) — the flush path of the
+    /// serve engine, which preprocesses records one at a time at submit
+    /// time into a reusable [`hdc::BatchBuffer`].
+    ///
+    /// Verdicts are bit-identical to [`Detector::detect_batch`] on the raw
+    /// records the rows were transformed from, regardless of how the flows
+    /// are split into batches (see [`ScoringBackend::detect_view`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] if the view's row width does
+    /// not match the preprocessor output width.
+    pub fn detect_preprocessed(&self, batch: BatchView<'_>) -> Result<Vec<Verdict>> {
+        self.state.backend.detect_view(batch)
     }
 
     /// Evaluates the detector on a labelled dataset of raw records,
@@ -493,13 +899,10 @@ impl Detector {
     /// Returns [`CyberHdError::Data`] if the dataset does not match the
     /// fitted schema, and propagates prediction errors.
     pub fn evaluate(&self, dataset: &Dataset) -> Result<eval::metrics::ConfusionMatrix> {
-        let matrix = self.preprocessor.transform_matrix(dataset)?;
-        let view = BatchView::new(&matrix, self.preprocessor.output_width())
+        let matrix = self.state.preprocessor.transform_matrix(dataset)?;
+        let view = BatchView::new(&matrix, self.state.preprocessor.output_width())
             .map_err(CyberHdError::from)?;
-        match &self.engine {
-            DetectorEngine::Dense { model, .. } => model.evaluate_view(view, dataset.labels()),
-            DetectorEngine::Quantized(model) => model.evaluate_view(view, dataset.labels()),
-        }
+        self.state.backend.evaluate_view(view, dataset.labels())
     }
 
     /// Accuracy on a labelled dataset of raw records.
@@ -525,23 +928,25 @@ impl Detector {
     /// Returns [`CyberHdError::InvalidConfig`] for quantized detectors —
     /// the adaptive rule updates full-precision class hypervectors.
     pub fn into_online(self) -> Result<OnlineDetector> {
-        match self.engine {
-            DetectorEngine::Dense { model, .. } => Ok(OnlineDetector {
-                preprocessor: self.preprocessor,
-                learner: OnlineLearner::from_model(model),
-            }),
-            DetectorEngine::Quantized(model) => Err(CyberHdError::InvalidConfig(format!(
-                "a {} quantized detector cannot continue learning; keep the dense artifact for \
-                 streaming and quantize at deployment",
-                model.width()
-            ))),
+        if let Some(width) = self.state.backend.bit_width() {
+            return Err(CyberHdError::InvalidConfig(format!(
+                "a {width} quantized detector cannot continue learning; keep the dense artifact \
+                 for streaming and quantize at deployment"
+            )));
         }
-    }
-
-    fn verdict(&self, class: usize, similarity: f32) -> Verdict {
-        let novel =
-            self.thresholds.as_ref().is_some_and(|thresholds| similarity < thresholds[class]);
-        Verdict { class, similarity, novel }
+        // Sole owner: unwrap the Arc and move the model out without a copy.
+        // Shared (e.g. still registered for serving): clone the dense model.
+        let (preprocessor, model) = match Arc::try_unwrap(self.state) {
+            Ok(state) => (
+                state.preprocessor,
+                state.backend.into_dense_model().expect("bit_width checked above"),
+            ),
+            Err(shared) => (
+                shared.preprocessor.clone(),
+                shared.backend.as_dense().expect("bit_width checked above").clone(),
+            ),
+        };
+        Ok(OnlineDetector { preprocessor, learner: OnlineLearner::from_model(model) })
     }
 
     // ------------------------------------------------------------------
@@ -556,26 +961,10 @@ impl Detector {
         let mut w = Writer::new();
         w.bytes(MAGIC);
         w.u32(FORMAT_VERSION);
-        self.preprocessor.write_to(&mut w);
-        write_config(&mut w, &self.config);
-        match &self.engine {
-            DetectorEngine::Dense { model, .. } => {
-                w.u8(0);
-                model.encoder().write_to(&mut w);
-                model.memory().write_to(&mut w);
-                write_report(&mut w, model.report());
-            }
-            DetectorEngine::Quantized(model) => {
-                w.u8(1);
-                model.encoder().write_to(&mut w);
-                w.u8(model.width().bits() as u8);
-                w.usize(model.classes().len());
-                for class in model.classes() {
-                    class.write_to(&mut w);
-                }
-            }
-        }
-        match &self.thresholds {
+        self.state.preprocessor.write_to(&mut w);
+        write_config(&mut w, &self.state.config);
+        self.state.backend.write_engine(&mut w);
+        match self.state.backend.thresholds() {
             None => w.bool(false),
             Some(thresholds) => {
                 w.bool(true);
@@ -708,12 +1097,7 @@ impl OnlineDetector {
     pub fn seal(self) -> Detector {
         let model = self.learner.into_model();
         let config = model.config().clone();
-        Detector {
-            preprocessor: self.preprocessor,
-            config,
-            engine: DetectorEngine::dense(model),
-            thresholds: None,
-        }
+        Detector::from_parts(self.preprocessor, config, Box::new(DenseBackend::new(model)))
     }
 }
 
@@ -824,13 +1208,19 @@ fn read_detector(r: &mut Reader<'_>) -> CodecResult<Detector> {
             preprocessor.output_width()
         )));
     }
-    let engine = match r.u8()? {
+    let engine_tag = r.u8()?;
+    let backend: Box<dyn ScoringBackend> = match engine_tag {
         0 => {
             let encoder = AnyEncoder::read_from(r)?;
             let memory = AssociativeMemory::read_from(r)?;
             let report = read_report(r)?;
             check_encoder_shape(&encoder, &config, memory.dim(), memory.num_classes())?;
-            DetectorEngine::dense(CyberHdModel::from_parts(encoder, memory, config.clone(), report))
+            Box::new(DenseBackend::new(CyberHdModel::from_parts(
+                encoder,
+                memory,
+                config.clone(),
+                report,
+            )))
         }
         1 => {
             let encoder = AnyEncoder::read_from(r)?;
@@ -854,11 +1244,11 @@ fn read_detector(r: &mut Reader<'_>) -> CodecResult<Detector> {
                 return Err(CodecError::Invalid("class dimensionalities disagree".into()));
             }
             check_encoder_shape(&encoder, &config, dim, classes.len())?;
-            DetectorEngine::Quantized(QuantizedModel::from_parts(encoder, classes, width))
+            Box::new(QuantizedBackend::new(QuantizedModel::from_parts(encoder, classes, width)))
         }
         tag => return Err(CodecError::Invalid(format!("engine tag {tag}"))),
     };
-    let thresholds = if r.bool()? {
+    let backend: Box<dyn ScoringBackend> = if r.bool()? {
         let thresholds = r.f32_vec()?;
         if thresholds.len() != config.num_classes {
             return Err(CodecError::Invalid(format!(
@@ -867,9 +1257,18 @@ fn read_detector(r: &mut Reader<'_>) -> CodecResult<Detector> {
                 config.num_classes
             )));
         }
-        Some(thresholds)
+        match backend.into_dense_model() {
+            Ok(model) => Box::new(OpenSetBackend::new(DenseBackend::new(model), thresholds)),
+            Err(_) => {
+                // The builder forbids quantize + open-set, so a quantized
+                // engine with a threshold trailer is a stitched artifact.
+                return Err(CodecError::Invalid(
+                    "open-set thresholds on a quantized engine".into(),
+                ));
+            }
+        }
     } else {
-        None
+        backend
     };
     if !r.is_exhausted() {
         return Err(CodecError::Invalid(format!(
@@ -877,7 +1276,7 @@ fn read_detector(r: &mut Reader<'_>) -> CodecResult<Detector> {
             r.remaining()
         )));
     }
-    Ok(Detector { preprocessor, config, engine, thresholds })
+    Ok(Detector::from_parts(preprocessor, config, backend))
 }
 
 /// Cross-checks a loaded encoder against the config and class-memory
@@ -997,6 +1396,50 @@ mod tests {
             "{novel}/{} in-distribution flows flagged novel",
             verdicts.len()
         );
+    }
+
+    #[test]
+    fn info_reports_artifact_metadata_for_every_shape() {
+        let data = dataset(400, 41);
+        let dense = quick_builder().train(&data).unwrap();
+        let info = dense.info();
+        assert_eq!(info.schema, data.schema().name());
+        assert_eq!(info.record_arity, data.schema().num_features());
+        assert_eq!(info.input_width, dense.preprocessor().output_width());
+        assert_eq!(info.dimension, 192);
+        assert_eq!(info.classes, data.num_classes());
+        assert_eq!(info.encoder, EncoderKind::Rbf);
+        assert_eq!(info.bit_width, None);
+        assert_eq!(info.codec_version, FORMAT_VERSION);
+        assert!(!info.open_set);
+        assert!(info.online_capable);
+        let shown = info.to_string();
+        assert!(shown.contains("dense memory") && shown.contains("online-capable"), "{shown}");
+
+        let quantized = quick_builder().quantize(BitWidth::B1).train(&data).unwrap();
+        let info = quantized.info();
+        assert_eq!(info.bit_width, Some(BitWidth::B1));
+        assert!(!info.online_capable);
+
+        let open = quick_builder().open_set(0.05).train(&data).unwrap();
+        assert!(open.info().open_set);
+        // A load round trip reports identical metadata.
+        let loaded = Detector::from_bytes(&open.to_bytes()).unwrap();
+        assert_eq!(loaded.info(), open.info());
+    }
+
+    #[test]
+    fn clones_share_the_sealed_state() {
+        let data = dataset(300, 43);
+        let detector = quick_builder().train(&data).unwrap();
+        let clone = detector.clone();
+        assert!(Arc::ptr_eq(&detector.state, &clone.state), "clone is a reference count bump");
+        let record = data.records()[0].as_slice();
+        assert_eq!(clone.detect(record).unwrap(), detector.detect(record).unwrap());
+        // A shared artifact can still unseal (clone-on-unseal).
+        let online = clone.into_online().unwrap();
+        assert_eq!(online.samples_seen(), 0);
+        assert!(detector.detect(record).is_ok(), "original artifact unaffected");
     }
 
     #[test]

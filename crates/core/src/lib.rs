@@ -68,16 +68,20 @@ pub mod online;
 pub mod openset;
 pub mod quantized;
 pub mod regeneration;
+pub mod serve;
 pub mod trainer;
 
 pub use baseline::{BaselineHd, BaselineHdModel};
 pub use config::{CyberHdConfig, CyberHdConfigBuilder, EncoderKind, TrainingBatch};
-pub use detector::{DetectScratch, Detector, DetectorBuilder, OnlineDetector, Verdict};
+pub use detector::{
+    DetectScratch, Detector, DetectorBuilder, DetectorInfo, OnlineDetector, ScoringBackend, Verdict,
+};
 pub use model::{CyberHdModel, TrainingReport};
 pub use online::OnlineLearner;
 pub use openset::{OpenSetDetector, OpenSetPrediction};
 pub use quantized::QuantizedModel;
 pub use regeneration::{select_lowest_variance, RegenerationPlan, RegenerationStats};
+pub use serve::{DetectorRegistry, ServeConfig, ServeEngine, ServeError, ServeStats, Ticket};
 pub use trainer::CyberHdTrainer;
 
 use std::error::Error;

@@ -130,6 +130,149 @@ impl fmt::Display for ThroughputReport {
     }
 }
 
+/// Number of linear buckets before the histogram switches to geometric
+/// spacing (values below this resolve exactly).
+const LINEAR_BUCKETS: u64 = 16;
+
+/// Sub-buckets per power of two in the geometric range (2³ = 8 gives
+/// ~12.5% worst-case value resolution).
+const SUB_BUCKET_BITS: u32 = 3;
+
+/// Total bucket count: 16 exact buckets + 8 sub-buckets for each of the
+/// remaining 60 octaves of a `u64` nanosecond value.
+const TOTAL_BUCKETS: usize = LINEAR_BUCKETS as usize + 60 * (1 << SUB_BUCKET_BITS);
+
+/// A bounded-memory latency histogram with percentile queries — the
+/// serving layer's p50/p99 flush-latency tracker.
+///
+/// Durations are recorded as nanoseconds into log-spaced buckets (exact
+/// below 16 ns, then 8 sub-buckets per power of two, ≈12.5% worst-case
+/// resolution), so memory stays a few KiB no matter how many flows are
+/// recorded and recording is a couple of shifts — cheap enough for a
+/// per-request hot path.  Percentiles report the **upper bound** of the
+/// bucket containing the requested rank (a conservative estimate).
+///
+/// # Example
+///
+/// ```
+/// use eval::timing::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in 1..=100u64 {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// let p99 = h.percentile(0.99);
+/// assert!(p99 >= Duration::from_millis(99));
+/// assert!(p99 < Duration::from_millis(120));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; TOTAL_BUCKETS], count: 0, total_ns: 0, max_ns: 0 }
+    }
+
+    /// Bucket index of a nanosecond value.
+    fn bucket_of(ns: u64) -> usize {
+        if ns < LINEAR_BUCKETS {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros() as usize; // >= 4 here
+        let sub = ((ns >> (msb as u32 - SUB_BUCKET_BITS)) & ((1 << SUB_BUCKET_BITS) - 1)) as usize;
+        LINEAR_BUCKETS as usize + (msb - 4) * (1 << SUB_BUCKET_BITS) + sub
+    }
+
+    /// Largest nanosecond value that maps into `bucket` (inclusive).
+    fn bucket_upper_bound(bucket: usize) -> u64 {
+        if bucket < LINEAR_BUCKETS as usize {
+            return bucket as u64;
+        }
+        let geometric = bucket - LINEAR_BUCKETS as usize;
+        let msb = geometric / (1 << SUB_BUCKET_BITS) + 4;
+        let sub = (geometric % (1 << SUB_BUCKET_BITS)) as u128;
+        // The bucket covers [base + sub*step, base + (sub+1)*step); the
+        // top bucket's exclusive end is 2^64, so the bound is computed in
+        // u128 and clamped instead of overflowing.
+        let base = 1u128 << msb;
+        let step = base >> SUB_BUCKET_BITS;
+        u64::try_from(base + (sub + 1) * step - 1).unwrap_or(u64::MAX)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded latencies ([`Duration::ZERO`] when
+    /// empty); the mean is tracked outside the buckets, so it carries no
+    /// bucketing error.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// Exact maximum recorded latency ([`Duration::ZERO`] when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (e.g. `0.99` for p99):
+    /// the upper bound of the bucket holding the `ceil(q · count)`-th
+    /// smallest observation, capped at the exact maximum.
+    ///
+    /// Returns [`Duration::ZERO`] for an empty histogram.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Duration::from_nanos(Self::bucket_upper_bound(bucket).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Folds another histogram into this one (per-tenant → fleet-wide
+    /// aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
 /// Geometric mean of a slice of strictly positive values.
 ///
 /// Used to aggregate per-dataset speed-ups the same way the paper reports
@@ -184,6 +327,58 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("100 samples"));
         assert!(s.contains("samples/s"));
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bracket_the_true_values() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        // Buckets are conservative (upper bound) but never more than
+        // ~12.5% above the true quantile, and never below it.
+        for (q, true_us) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (1.0, 1000)] {
+            let got = h.percentile(q).as_nanos() as u64;
+            let truth = true_us * 1000;
+            assert!(got >= truth, "p{q}: {got} < {truth}");
+            assert!(got <= truth + truth / 7, "p{q}: {got} too far above {truth}");
+        }
+        assert_eq!(h.max(), Duration::from_millis(1));
+        let mean = h.mean().as_nanos() as u64;
+        assert!((mean as i64 - 500_500).unsigned_abs() < 1000, "exact mean, got {mean}");
+    }
+
+    #[test]
+    fn latency_histogram_survives_the_top_bucket() {
+        // A clock anomaly (or Duration::MAX misuse) lands in the very last
+        // bucket; its upper bound saturates instead of overflowing.
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::MAX);
+        assert_eq!(h.percentile(1.0), h.max());
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn latency_histogram_small_values_are_exact_and_merge_adds() {
+        let mut a = LatencyHistogram::new();
+        for ns in [0u64, 1, 7, 15] {
+            a.record(Duration::from_nanos(ns));
+        }
+        // Sub-16ns values resolve exactly.
+        assert_eq!(a.percentile(0.25), Duration::from_nanos(0));
+        assert_eq!(a.percentile(1.0), Duration::from_nanos(15));
+
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_secs(2));
+        b.merge(&a);
+        assert_eq!(b.count(), 5);
+        assert_eq!(b.max(), Duration::from_secs(2));
+        assert!(b.percentile(0.5) <= Duration::from_nanos(15));
+        let p_max = b.percentile(1.0);
+        assert!(p_max >= Duration::from_secs(2) && p_max <= Duration::from_millis(2300));
     }
 
     #[test]

@@ -120,6 +120,12 @@ impl<'a> BatchView<'a> {
 /// An owned row-major batch: the flattened form of a `&[Vec<f32>]` batch,
 /// viewable as a [`BatchView`].
 ///
+/// Beyond the one-shot flatten constructors, a buffer is **reusable**: the
+/// micro-batching serve engine keeps one per tenant and fills it row by row
+/// ([`BatchBuffer::push_row`] hands out the next zeroed row to write into),
+/// flushes it through the batched kernels, then [`BatchBuffer::clear`]s it —
+/// after warm-up the accumulate→flush cycle performs no allocation at all.
+///
 /// # Example
 ///
 /// ```
@@ -140,6 +146,47 @@ pub struct BatchBuffer {
 }
 
 impl BatchBuffer {
+    /// Creates an empty buffer of the given row width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidArgument`] if `width` is zero.
+    pub fn with_width(width: usize) -> Result<Self> {
+        if width == 0 {
+            return Err(HdcError::InvalidArgument("batch row width must be non-zero".into()));
+        }
+        Ok(Self { data: Vec::new(), width })
+    }
+
+    /// Appends one zeroed row and returns it for the caller to fill —
+    /// the accumulate half of the reuse cycle (`Preprocessor`-style
+    /// `transform_into` writers target this slice directly).
+    ///
+    /// Only reallocates when the row count exceeds every previous high-water
+    /// mark; a [`BatchBuffer::clear`]ed buffer keeps its capacity.
+    pub fn push_row(&mut self) -> &mut [f32] {
+        let start = self.data.len();
+        self.data.resize(start + self.width, 0.0);
+        &mut self.data[start..]
+    }
+
+    /// Drops the last row (the undo of a [`BatchBuffer::push_row`] whose
+    /// fill failed validation).  A no-op on an empty buffer.
+    pub fn pop_row(&mut self) {
+        let len = self.data.len().saturating_sub(self.width);
+        self.data.truncate(len);
+    }
+
+    /// Removes every row, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Returns `true` when the buffer holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
     /// Flattens `rows` into one contiguous buffer, validating that every row
     /// has exactly `width` elements.
     ///
@@ -255,6 +302,35 @@ mod tests {
             Err(HdcError::FeatureMismatch { expected: 2, actual: 1 })
         ));
         assert!(BatchBuffer::from_rows(&rows, 0).is_err());
+    }
+
+    #[test]
+    fn buffer_reuse_cycle_accumulates_and_clears() {
+        assert!(BatchBuffer::with_width(0).is_err());
+        let mut buffer = BatchBuffer::with_width(3).unwrap();
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.rows(), 0);
+
+        buffer.push_row().copy_from_slice(&[1.0, 2.0, 3.0]);
+        let row = buffer.push_row();
+        assert_eq!(row, &[0.0; 3], "fresh rows arrive zeroed");
+        row.copy_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(buffer.rows(), 2);
+        assert_eq!(buffer.view().row(1), &[4.0, 5.0, 6.0]);
+
+        // A failed fill is undone without disturbing earlier rows.
+        buffer.push_row()[0] = 9.0;
+        buffer.pop_row();
+        assert_eq!(buffer.rows(), 2);
+        assert_eq!(buffer.view().row(0), &[1.0, 2.0, 3.0]);
+
+        buffer.clear();
+        assert!(buffer.is_empty());
+        // Cleared buffers zero recycled rows.
+        assert_eq!(buffer.push_row(), &[0.0; 3]);
+        buffer.pop_row();
+        buffer.pop_row();
+        assert!(buffer.is_empty(), "pop on an empty buffer is a no-op");
     }
 
     #[test]

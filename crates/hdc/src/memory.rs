@@ -254,10 +254,87 @@ impl AssociativeMemory {
                 actual: out.len(),
             });
         }
-        for ((slot, class), &cn) in out.iter_mut().zip(&self.classes).zip(class_norms) {
-            *slot = similarity::cosine_with_norm(query, query_norm, class.as_slice(), cn);
+        self.class_dots_interleaved(query, out);
+        for (slot, &cn) in out.iter_mut().zip(class_norms) {
+            // `similarity::cosine_with_norm`'s conventions: zero norms score
+            // 0.0, everything else is clamped into [-1, 1].
+            *slot = if query_norm == 0.0 || cn == 0.0 {
+                0.0
+            } else {
+                (*slot / (query_norm * cn)).clamp(-1.0, 1.0)
+            };
         }
         Ok(())
+    }
+
+    /// Interleaved multi-class dot kernel: writes `query · class_k` into
+    /// `out[k]` for every class, reading the query **once** for all classes
+    /// instead of once per class.
+    ///
+    /// The query is walked in L1-resident tiles; per tile, every class
+    /// accumulates into its own four-accumulator bank in **exactly the
+    /// accumulation order of [`similarity::dot`]** (same index sequence per
+    /// accumulator, same `acc0 + acc1 + acc2 + acc3` reduction, same serial
+    /// tail) — so each per-class dot is bit-identical to the serial
+    /// per-class loop this replaces and every downstream bit-exactness
+    /// contract holds.  The win is memory traffic: at `K` classes the old
+    /// loop streamed `K` query passes plus `K` class passes per sample;
+    /// this kernel streams one query pass plus the same `K` class passes.
+    ///
+    /// Shapes are the caller's responsibility (`query.len() == dim`,
+    /// `out.len() == num_classes`); the public scoring entry points validate
+    /// before calling in.
+    fn class_dots_interleaved(&self, query: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(query.len(), self.dim);
+        debug_assert_eq!(out.len(), self.classes.len());
+        /// Query elements per tile (a 2 KiB slab): small enough to sit in
+        /// L1 across all class passes, large enough to amortize the
+        /// per-tile class-loop overhead.  Must stay a multiple of 4 so
+        /// tile boundaries never split a 4-way accumulation chunk.
+        const TILE: usize = 512;
+        /// Class banks kept on the stack; realistic NIDS label spaces are
+        /// single digits, so the heap fallback is effectively dead code.
+        const MAX_STACK_CLASSES: usize = 32;
+
+        let k = self.classes.len();
+        let mut stack = [[0.0f32; 4]; MAX_STACK_CLASSES];
+        let mut heap: Vec<[f32; 4]>;
+        let accs: &mut [[f32; 4]] = if k <= MAX_STACK_CLASSES {
+            &mut stack[..k]
+        } else {
+            heap = vec![[0.0f32; 4]; k];
+            &mut heap
+        };
+
+        let main = (query.len() / 4) * 4;
+        let mut base = 0usize;
+        while base < main {
+            let end = (base + TILE).min(main);
+            let q_tile = &query[base..end];
+            for (class, acc) in self.classes.iter().zip(accs.iter_mut()) {
+                let c_tile = &class.as_slice()[base..end];
+                // Locals keep the bank in registers through the tile; the
+                // chunked iterator shape matches `similarity::dot` and
+                // elides bounds checks.
+                let [mut a0, mut a1, mut a2, mut a3] = *acc;
+                for (q, c) in q_tile.chunks_exact(4).zip(c_tile.chunks_exact(4)) {
+                    a0 += q[0] * c[0];
+                    a1 += q[1] * c[1];
+                    a2 += q[2] * c[2];
+                    a3 += q[3] * c[3];
+                }
+                *acc = [a0, a1, a2, a3];
+            }
+            base = end;
+        }
+        for ((slot, class), acc) in out.iter_mut().zip(&self.classes).zip(accs.iter()) {
+            let mut dot = acc[0] + acc[1] + acc[2] + acc[3];
+            let tail = &class.as_slice()[main..];
+            for (q, c) in query[main..].iter().zip(tail) {
+                dot += q * c;
+            }
+            *slot = dot;
+        }
     }
 
     /// Scores a row-major `rows × dim` query matrix against every class,
@@ -620,6 +697,32 @@ mod tests {
         assert!(memory
             .similarities_with_query_norm(&[0.0; 48], 1.0, &norms, &mut with_cached[..2])
             .is_err());
+    }
+
+    #[test]
+    fn interleaved_multi_class_dots_are_bit_identical_to_serial_dots() {
+        let mut rng = HdcRng::seed_from(23);
+        // Odd dims exercise the serial tail; 40 classes exercise the heap
+        // fallback past the stack accumulator banks.
+        for (classes, dim) in [(1usize, 4usize), (3, 47), (5, 513), (40, 130), (4, 2051)] {
+            let mut memory = AssociativeMemory::new(classes, dim).unwrap();
+            for c in 0..classes {
+                memory.accumulate(c, &random_hv(dim, &mut rng)).unwrap();
+            }
+            let norms = memory.class_norms();
+            let mut scores = vec![0.0f32; classes];
+            for _ in 0..4 {
+                let q = random_hv(dim, &mut rng);
+                let qn = similarity::norm(q.as_slice());
+                memory.similarities_with_query_norm(q.as_slice(), qn, &norms, &mut scores).unwrap();
+                for (c, &score) in scores.iter().enumerate() {
+                    let class = memory.class(c).unwrap();
+                    let serial =
+                        similarity::cosine_with_norm(q.as_slice(), qn, class.as_slice(), norms[c]);
+                    assert_eq!(score.to_bits(), serial.to_bits(), "class {c} dim {dim}");
+                }
+            }
+        }
     }
 
     #[test]

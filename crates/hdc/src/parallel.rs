@@ -143,6 +143,54 @@ pub fn for_each_chunk<T, F>(
     });
 }
 
+/// Runs `work` over every job of `jobs`, fanning out across at most
+/// `threads` scoped workers — the owned-job twin of [`for_each_chunk`] for
+/// workloads that are a list of independent tasks rather than disjoint
+/// slices of one output buffer (e.g. the serve engine flushing many tenant
+/// lanes at once).
+///
+/// Jobs are claimed from the same atomic fetch-add queue as
+/// [`for_each_chunk`], so stragglers never idle statically assigned peers.
+/// Without the `parallel` feature (or with `threads <= 1`) the jobs run
+/// serially **in order** on the calling thread; with it, completion order
+/// is unspecified, so `work` must not depend on inter-job ordering.
+/// Worker panics propagate to the caller.
+pub fn for_each_task<T, F>(jobs: Vec<T>, threads: usize, work: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    #[cfg(not(feature = "parallel"))]
+    let threads = {
+        let _ = threads;
+        1
+    };
+    let workers = threads.max(1).min(jobs.len());
+    if workers <= 1 {
+        for job in jobs {
+            work(job);
+        }
+        return;
+    }
+    // Claim slots, as in `for_each_chunk`: each slot's mutex is locked
+    // exactly once by the worker that fetch-added its index.
+    let queue: Vec<std::sync::Mutex<Option<T>>> =
+        jobs.into_iter().map(|job| std::sync::Mutex::new(Some(job))).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(slot) = queue.get(i) else { break };
+                let job = slot.lock().expect("claim slots are never poisoned").take();
+                if let Some(job) = job {
+                    work(job);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +259,21 @@ mod tests {
     fn empty_batch_is_a_no_op() {
         let mut out: Vec<f32> = Vec::new();
         for_each_chunk(0, 8, &mut out, 4, 4, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn task_fan_out_runs_every_job_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 2, 7, 64] {
+            let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+            for_each_task((0..23).collect::<Vec<usize>>(), threads, |job| {
+                hits[job].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}: every job runs exactly once"
+            );
+        }
+        for_each_task(Vec::<usize>::new(), 4, |_| panic!("no jobs expected"));
     }
 }

@@ -8,7 +8,9 @@
 //! * [`hdc`] — hypervector algebra, encoders, quantization, associative
 //!   memory,
 //! * [`cyberhd`] — the CyberHD learner (adaptive training + dimension
-//!   regeneration), the static baselineHD and the streaming learner,
+//!   regeneration), the static baselineHD, the streaming learner, the
+//!   sealed `Detector` artifact and the `cyberhd::serve` micro-batching
+//!   serving engine (multi-tenant registry, hot-swap, tickets),
 //! * [`nids_data`] — NSL-KDD / UNSW-NB15 / CIC-IDS-2017 / CIC-IDS-2018
 //!   schemas, synthetic traffic generators, CSV loaders, preprocessing and
 //!   splitting,
@@ -65,12 +67,13 @@ pub mod prelude {
     pub use baselines::Classifier;
     pub use cyberhd::{
         BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer, DetectScratch, Detector,
-        DetectorBuilder, EncoderKind, OnlineDetector, OnlineLearner, OpenSetDetector,
-        OpenSetPrediction, QuantizedModel, TrainingBatch, Verdict,
+        DetectorBuilder, DetectorInfo, DetectorRegistry, EncoderKind, OnlineDetector,
+        OnlineLearner, OpenSetDetector, OpenSetPrediction, QuantizedModel, ScoringBackend,
+        ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, TrainingBatch, Verdict,
     };
     pub use eval::detection::{DetectionCounts, RocCurve};
     pub use eval::metrics::{accuracy, ConfusionMatrix};
-    pub use eval::timing::{Stopwatch, ThroughputReport};
+    pub use eval::timing::{LatencyHistogram, Stopwatch, ThroughputReport};
     pub use fault_inject::BitFlipInjector;
     pub use hdc::encoder::{Encoder, RbfEncoder};
     pub use hdc::{

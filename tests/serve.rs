@@ -1,0 +1,288 @@
+//! Integration suite for the `cyberhd::serve` micro-batching engine.
+//!
+//! Pins the three load-bearing properties of the serving layer:
+//!
+//! 1. **Determinism** — ticket verdicts are bit-identical to one
+//!    [`Detector::detect_batch`] call over the same flows in submission
+//!    order, across randomized arrival interleavings, randomized flush
+//!    boundaries, all four dataset kinds and all three backend shapes
+//!    (dense, quantized, open-set).
+//! 2. **Hot-swap atomicity** — every verdict is computed against exactly
+//!    one artifact version: flows admitted before a registry swap score on
+//!    the old artifact even if they flush after it, flows admitted after
+//!    score on the new one, and no batch ever mixes the two.
+//! 3. **Backpressure** — a full bounded queue rejects submissions without
+//!    corrupting queued work, and drains back to health.
+
+use cyberhd::serve::ServeError;
+use cyberhd_suite::prelude::*;
+use hdc::rng::HdcRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn generate(kind: DatasetKind, samples: usize, seed: u64) -> Dataset {
+    kind.generate(&SyntheticConfig::new(samples, seed).difficulty(1.3))
+        .expect("synthetic generation")
+}
+
+/// One detector per backend shape, keyed off the dataset kind so the
+/// determinism sweep exercises dense, 1-bit, 2-bit and open-set scoring.
+fn shaped_detector(kind: DatasetKind, data: &Dataset, seed: u64) -> Detector {
+    let builder = Detector::builder().dimension(192).retrain_epochs(1).seed(seed);
+    match kind {
+        DatasetKind::NslKdd => builder,
+        DatasetKind::UnswNb15 => builder.quantize(BitWidth::B1),
+        DatasetKind::CicIds2017 => builder.open_set(0.05),
+        DatasetKind::CicIds2018 => builder.quantize(BitWidth::B2),
+    }
+    .train(data)
+    .expect("training succeeds")
+}
+
+#[test]
+fn verdicts_are_bit_identical_to_detect_batch_across_interleavings() {
+    for kind in DatasetKind::ALL {
+        let data = generate(kind, 500, 31);
+        let detector = shaped_detector(kind, &data, 7);
+
+        // Two concurrent sources (tenants) of the same traffic shape: even
+        // flows hit `even`, odd flows hit `odd`.
+        let even: Vec<Vec<f32>> = data.records().iter().step_by(2).take(90).cloned().collect();
+        let odd: Vec<Vec<f32>> =
+            data.records().iter().skip(1).step_by(2).take(90).cloned().collect();
+        let oracle_even = detector.detect_batch(&even).unwrap();
+        let oracle_odd = detector.detect_batch(&odd).unwrap();
+
+        // >= 3 randomized interleavings per kind, each with randomized
+        // micro-batch watermarks and flush boundaries.
+        for trial in 0..3u64 {
+            let mut rng = HdcRng::seed_from(1000 * trial + kind as u64);
+            let registry = Arc::new(DetectorRegistry::new());
+            registry.register("even", detector.clone()).unwrap();
+            registry.register("odd", detector.clone()).unwrap();
+            let config = ServeConfig {
+                max_batch: 3 + rng.index(14),
+                max_delay: Duration::from_millis(50),
+                ..ServeConfig::default()
+            };
+            let engine = ServeEngine::new(Arc::clone(&registry), config).unwrap();
+
+            // Random merge of the two arrival streams, preserving each
+            // tenant's internal order; random explicit flushes in between.
+            let mut tickets_even = Vec::new();
+            let mut tickets_odd = Vec::new();
+            let (mut next_even, mut next_odd) = (0usize, 0usize);
+            while next_even < even.len() || next_odd < odd.len() {
+                let pick_even =
+                    next_odd == odd.len() || (next_even < even.len() && rng.bernoulli(0.5));
+                if pick_even {
+                    tickets_even.push(engine.submit("even", &even[next_even]).unwrap());
+                    next_even += 1;
+                } else {
+                    tickets_odd.push(engine.submit("odd", &odd[next_odd]).unwrap());
+                    next_odd += 1;
+                }
+                if rng.bernoulli(0.1) {
+                    let tenant = if rng.bernoulli(0.5) { "even" } else { "odd" };
+                    engine.flush(tenant).unwrap();
+                }
+                if rng.bernoulli(0.05) {
+                    engine.poll();
+                }
+            }
+            engine.flush_all();
+
+            for (tickets, oracle, tenant) in
+                [(&tickets_even, &oracle_even, "even"), (&tickets_odd, &oracle_odd, "odd")]
+            {
+                for (i, (ticket, want)) in tickets.iter().zip(oracle.iter()).enumerate() {
+                    let got = engine.take(ticket).unwrap();
+                    assert_eq!(got.class, want.class, "{kind:?} {tenant} flow {i} trial {trial}");
+                    assert_eq!(
+                        got.similarity.to_bits(),
+                        want.similarity.to_bits(),
+                        "{kind:?} {tenant} flow {i} trial {trial}: similarity must be bit-exact"
+                    );
+                    assert_eq!(got.novel, want.novel, "{kind:?} {tenant} flow {i} trial {trial}");
+                }
+            }
+            let stats = engine.stats("even").unwrap();
+            assert_eq!(stats.flows_served, even.len() as u64);
+            assert_eq!(stats.queue_depth, 0);
+            assert_eq!(stats.uncollected, 0);
+            assert!(stats.batches >= 1);
+        }
+    }
+}
+
+#[test]
+fn concurrent_submitters_preserve_the_oracle_per_tenant() {
+    let data = generate(DatasetKind::NslKdd, 700, 37);
+    let detector =
+        Detector::builder().dimension(160).retrain_epochs(1).seed(3).train(&data).unwrap();
+    let registry = Arc::new(DetectorRegistry::new());
+    let tenants = ["edge-a", "edge-b", "edge-c"];
+    for tenant in tenants {
+        registry.register(tenant, detector.clone()).unwrap();
+    }
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        ServeConfig { max_batch: 16, ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    // One source thread per tenant; each gets its own slice of the corpus.
+    let slices: Vec<Vec<Vec<f32>>> = (0..tenants.len())
+        .map(|t| data.records().iter().skip(t).step_by(tenants.len()).take(120).cloned().collect())
+        .collect();
+    let mut all_tickets: Vec<Vec<Ticket>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .zip(&slices)
+            .map(|(tenant, flows)| {
+                let engine = &engine;
+                scope.spawn(move || {
+                    flows
+                        .iter()
+                        .map(|record| engine.submit(tenant, record).unwrap())
+                        .collect::<Vec<Ticket>>()
+                })
+            })
+            .collect();
+        all_tickets = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    engine.flush_all();
+
+    for (flows, tickets) in slices.iter().zip(&all_tickets) {
+        let oracle = detector.detect_batch(flows).unwrap();
+        for (ticket, want) in tickets.iter().zip(oracle) {
+            assert_eq!(engine.take(ticket).unwrap(), want);
+        }
+    }
+}
+
+#[test]
+fn hot_swap_is_atomic_per_batch() {
+    let data = generate(DatasetKind::NslKdd, 600, 41);
+    // Different seeds => same shape, different weights and verdicts.
+    let v1 = Detector::builder().dimension(160).retrain_epochs(1).seed(1).train(&data).unwrap();
+    let v2 = Detector::builder().dimension(224).retrain_epochs(2).seed(99).train(&data).unwrap();
+    let flows: Vec<Vec<f32>> = data.records()[..60].to_vec();
+    let oracle_v1 = v1.detect_batch(&flows).unwrap();
+    let oracle_v2 = v2.detect_batch(&flows).unwrap();
+    assert_ne!(
+        oracle_v1.iter().map(|v| v.class).collect::<Vec<_>>(),
+        oracle_v2.iter().map(|v| v.class).collect::<Vec<_>>(),
+        "the two artifact versions must disagree somewhere for this test to have power"
+    );
+
+    let registry = Arc::new(DetectorRegistry::new());
+    registry.register("edge", v1).unwrap();
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        ServeConfig { max_batch: 8, ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    // 20 flows admitted under v1; the last 4 are still pending (20 % 8)
+    // when the registry swaps.  They must still score on v1.
+    let tickets_v1: Vec<Ticket> =
+        flows[..20].iter().map(|r| engine.submit("edge", r).unwrap()).collect();
+    assert_eq!(engine.stats("edge").unwrap().queue_depth, 4);
+    assert_eq!(registry.swap("edge", v2).unwrap(), 2);
+    // Flows admitted after the swap score on v2.
+    let tickets_v2: Vec<Ticket> =
+        flows[20..].iter().map(|r| engine.submit("edge", r).unwrap()).collect();
+    engine.flush("edge").unwrap();
+
+    for (i, ticket) in tickets_v1.iter().enumerate() {
+        assert_eq!(
+            engine.take(ticket).unwrap(),
+            oracle_v1[i],
+            "flow {i} was admitted under v1 and must score on v1 even though it flushed after \
+             the swap"
+        );
+    }
+    for (i, ticket) in tickets_v2.iter().enumerate() {
+        assert_eq!(
+            engine.take(ticket).unwrap(),
+            oracle_v2[20 + i],
+            "flow {} was admitted under v2 and must score on v2",
+            20 + i
+        );
+    }
+    assert_eq!(engine.stats("edge").unwrap().detector_version, 2);
+}
+
+#[test]
+fn backpressure_rejects_at_capacity_and_drains_back_to_health() {
+    let data = generate(DatasetKind::UnswNb15, 400, 43);
+    let detector =
+        Detector::builder().dimension(128).retrain_epochs(1).seed(5).train(&data).unwrap();
+    let registry = Arc::new(DetectorRegistry::new());
+    registry.register("edge", detector.clone()).unwrap();
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        ServeConfig { max_batch: 8, queue_capacity: 8, ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    // Eight submissions fill the queue (the eighth auto-flushes into eight
+    // uncollected verdicts, which still occupy the bounded queue).
+    let tickets: Vec<Ticket> =
+        data.records()[..8].iter().map(|r| engine.submit("edge", r).unwrap()).collect();
+    let err = engine.submit("edge", &data.records()[8]).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Backpressure { capacity: 8, .. }),
+        "ninth submission must push back, got {err:?}"
+    );
+    let stats = engine.stats("edge").unwrap();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.uncollected, 8);
+    assert_eq!(stats.flows_submitted, 8);
+
+    // Draining one ticket frees one slot; the queued work was untouched.
+    let oracle = detector.detect_batch(&data.records()[..8]).unwrap();
+    assert_eq!(engine.take(&tickets[0]).unwrap(), oracle[0]);
+    let refill = engine.submit("edge", &data.records()[8]).unwrap();
+    assert_eq!(
+        engine.take(&refill).unwrap(),
+        detector.detect_batch(&data.records()[8..9]).unwrap()[0]
+    );
+    for (ticket, want) in tickets[1..].iter().zip(&oracle[1..]) {
+        assert_eq!(engine.take(ticket).unwrap(), *want);
+    }
+}
+
+#[test]
+fn registry_swaps_are_versioned_and_admission_checked_end_to_end() {
+    let nsl = generate(DatasetKind::NslKdd, 400, 47);
+    let cic = generate(DatasetKind::CicIds2017, 400, 47);
+    let v1 = Detector::builder().dimension(128).retrain_epochs(1).seed(1).train(&nsl).unwrap();
+    let registry = Arc::new(DetectorRegistry::new());
+    registry.register("edge", v1.clone()).unwrap();
+    assert_eq!(registry.info("edge").unwrap(), v1.info());
+
+    // A quantized retrain of the same corpus is admissible (the deployment
+    // shape may change under live traffic)...
+    let v2 = Detector::builder()
+        .dimension(256)
+        .retrain_epochs(1)
+        .seed(2)
+        .quantize(BitWidth::B1)
+        .train(&nsl)
+        .unwrap();
+    assert_eq!(registry.swap_from_bytes("edge", &v2.to_bytes()).unwrap(), 2);
+    assert_eq!(registry.info("edge").unwrap().bit_width, Some(BitWidth::B1));
+
+    // ...a detector for a different schema is not.
+    let foreign = Detector::builder().dimension(128).retrain_epochs(1).train(&cic).unwrap();
+    assert!(matches!(registry.swap("edge", foreign), Err(ServeError::IncompatibleSwap(_))));
+
+    // The engine serves the admitted artifact.
+    let engine = ServeEngine::new(Arc::clone(&registry), ServeConfig::default()).unwrap();
+    let ticket = engine.submit("edge", &nsl.records()[0]).unwrap();
+    let verdict = engine.take(&ticket).unwrap();
+    assert_eq!(verdict, v2.detect_batch(&nsl.records()[..1]).unwrap()[0]);
+}
