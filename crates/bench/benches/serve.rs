@@ -15,10 +15,20 @@
 //!    throughput from the engine's own [`LatencyHistogram`]-backed stats —
 //!    the README's throughput/latency trade-off table.
 //!
+//! A third measurement covers the drift-adaptive lane:
+//!
+//! 3. **Adaptive recovery** — the abrupt-shift scenario
+//!    ([`bench::scenario`]) replayed through the frozen engine and an
+//!    [`cyberhd::serve::AdaptiveLane`] in lock-step (scale via
+//!    `CYBERHD_SERVE_ADAPTIVE_DIM`), reporting the post-drift accuracy
+//!    delta, the automatic regeneration/republish count and the
+//!    reseal+swap latency.
+//!
 //! Emits the `BENCH_serve.json` snapshot at the workspace root and
 //! asserts the determinism contract (served verdicts == `detect_batch`
 //! oracle) at bench scale, where flush boundaries actually vary.
 
+use bench::scenario::{abrupt_shift, replay, ReplayConfig};
 use bench::{env_usize, limited_class_dataset, snapshot, timed_pass};
 use criterion::{criterion_group, criterion_main, Criterion};
 use cyberhd::serve::{DetectorRegistry, ServeConfig, ServeEngine};
@@ -174,6 +184,64 @@ fn bench_serve(c: &mut Criterion) {
         extra_params.push((format!("p99_ms_delay_{delay_us}us"), p99_ms));
         extra_params.push((format!("mean_batch_delay_{delay_us}us"), stats.mean_batch_size()));
     }
+
+    // Drift-adaptive serving: the abrupt-shift scenario through the full
+    // frozen + adaptive stack.  Everything is seeded, so the recovery
+    // numbers are exact reproductions, not trends.
+    let adaptive_dim = env_usize("CYBERHD_SERVE_ADAPTIVE_DIM", 1024);
+    let spec = abrupt_shift(DatasetKind::NslKdd);
+    let scenario_flows: usize = spec.phases.iter().map(|p| p.samples).sum();
+    println!(
+        "\nadaptive_recovery: scenario {} at dim={adaptive_dim}, {scenario_flows} flows",
+        spec.name
+    );
+    let config = ReplayConfig { dimension: adaptive_dim, ..ReplayConfig::default() };
+    let (adaptive_report, outcome) =
+        timed_pass(scenario_flows, 1, || replay(&spec, &config).expect("scenario replay"));
+    assert!(
+        outcome.frozen_bit_identical,
+        "frozen lanes must stay bit-identical to the detect_batch oracle under drift"
+    );
+    let swap_p50_ms = outcome.adaptive.p50_publish_latency.as_secs_f64() * 1e3;
+    let swap_max_ms = outcome.adaptive.max_publish_latency.as_secs_f64() * 1e3;
+    println!("  adaptive replay        : {adaptive_report}");
+    println!(
+        "  post-drift accuracy    : adaptive {:.3} vs frozen {:.3} (delta {:+.3}) over {:?}",
+        outcome.adaptive_recovery_accuracy,
+        outcome.frozen_recovery_accuracy,
+        outcome.recovery_delta(),
+        outcome.recovery_window,
+    );
+    println!(
+        "  adaptation             : {} trips -> {} regenerations ({} dims), {} publishes \
+         (registry v{}), swap p50 {swap_p50_ms:.3} ms max {swap_max_ms:.3} ms",
+        outcome.adaptive.monitor_trips,
+        outcome.adaptive.adaptations,
+        outcome.adaptive.regenerated_dimensions,
+        outcome.adaptive.publishes,
+        outcome.final_registry_version,
+    );
+    if adaptive_dim >= 512 {
+        assert!(
+            outcome.recovery_delta() >= 0.10,
+            "the adaptive lane must recover >= 10 accuracy points over the frozen artifact \
+             post-drift, got {:+.3}",
+            outcome.recovery_delta()
+        );
+        assert!(
+            outcome.adaptive.publishes >= 1,
+            "at least one automatic regeneration + registry swap must fire mid-stream"
+        );
+    }
+    arms.push(snapshot::Arm::new("adaptive_recovery", adaptive_report));
+    extra_params.push(("adaptive_dim".into(), adaptive_dim as f64));
+    extra_params.push(("adaptive_post_drift_acc".into(), outcome.adaptive_recovery_accuracy));
+    extra_params.push(("frozen_post_drift_acc".into(), outcome.frozen_recovery_accuracy));
+    extra_params.push(("adaptive_recovery_delta".into(), outcome.recovery_delta()));
+    extra_params.push(("adaptive_trips".into(), outcome.adaptive.monitor_trips as f64));
+    extra_params.push(("adaptive_publishes".into(), outcome.adaptive.publishes as f64));
+    extra_params.push(("swap_p50_ms".into(), swap_p50_ms));
+    extra_params.push(("swap_max_ms".into(), swap_max_ms));
 
     let speedups = vec![
         ("serve_vs_naive", serve_speedup),

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario;
+
 use baselines::mlp::{Mlp, MlpConfig};
 use baselines::svm::{LinearSvm, SvmConfig};
 use baselines::Classifier;

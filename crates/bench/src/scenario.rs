@@ -1,0 +1,446 @@
+//! Deterministic drift-scenario replay: the shared driver behind
+//! `tests/scenario.rs` and the serve bench's `adaptive_recovery` arm.
+//!
+//! A [`ScenarioSpec`] names a training mix and a phased live stream
+//! ([`nids_data::drift::DriftStream`]); [`replay`] runs the full serving
+//! stack over it **twice in lock-step**:
+//!
+//! * a **frozen** tenant served through the PR-4 [`ServeEngine`] path
+//!   (micro-batching over an immutable artifact), and
+//! * an **adaptive** tenant served through an
+//!   [`cyberhd::serve::AdaptiveLane`] that receives ground truth, tracks
+//!   windowed prequential accuracy, and regenerates + republishes through
+//!   the shared [`DetectorRegistry`] when its drift monitor trips.
+//!
+//! Everything is seeded: the stream, the detector, the flush cadence.
+//! Two calls with the same spec and config produce bit-identical verdict
+//! sequences on both lanes, which is what lets the scenario tests pin
+//! drift *recovery* (an accuracy delta over a fixed window) rather than a
+//! flaky trend.
+
+use cyberhd::serve::{AdaptiveConfig, AdaptiveLane, AdaptiveStats, ServeConfig, ServeEngine};
+use cyberhd::{Detector, DetectorRegistry, DriftMonitorConfig, Verdict};
+use nids_data::drift::{DriftPhase, DriftStream};
+use nids_data::DatasetKind;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tenant id of the frozen (never-swapped) serving lane.
+pub const FROZEN_TENANT: &str = "frozen";
+/// Tenant id the adaptive lane serves and republishes under.
+pub const ADAPTIVE_TENANT: &str = "adaptive";
+
+/// One named drift scenario: a training mix plus a phased live stream.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports and snapshot arms).
+    pub name: String,
+    /// Dataset schema/profiles the traffic is shaped like.
+    pub kind: DatasetKind,
+    /// Class mix the training corpus is drawn from (its `samples` field is
+    /// overridden by [`ReplayConfig::train_samples`]).
+    pub train_mix: DriftPhase,
+    /// The live stream's phases, in order.
+    pub phases: Vec<DriftPhase>,
+    /// Index of the phase whose tail is the drift-recovery window.
+    pub post_drift_phase: usize,
+    /// Calibrate open-set thresholds on the trained detector, so the
+    /// adaptive lane's drift monitor sees novelty flags (the label-free
+    /// zero-day signal).
+    pub open_set: bool,
+}
+
+/// Abrupt shift: a training-time-rare attack class erupts to dominance
+/// while the benign mix collapses and the traffic gets noisier — the
+/// "new campaign" regime the paper motivates online adaptation with.
+pub fn abrupt_shift(kind: DatasetKind) -> ScenarioSpec {
+    let classes = kind.profiles().len();
+    let attack = classes - 1;
+    ScenarioSpec {
+        name: "abrupt_shift".into(),
+        kind,
+        train_mix: DriftPhase::stationary(0, classes).scale_class(attack, 0.02),
+        phases: vec![
+            DriftPhase::stationary(350, classes).scale_class(attack, 0.02),
+            DriftPhase::stationary(850, classes)
+                .scale_class(attack, 30.0)
+                .scale_class(0, 0.3)
+                .difficulty(1.6),
+        ],
+        post_drift_phase: 1,
+        open_set: false,
+    }
+}
+
+/// Gradual drift: the class mix and overlap ramp over several phases
+/// instead of jumping.
+pub fn gradual_drift(kind: DatasetKind) -> ScenarioSpec {
+    let classes = kind.profiles().len();
+    let attack = classes - 1;
+    let phases = (0..5u32)
+        .map(|step| {
+            DriftPhase::stationary(240, classes)
+                .scale_class(attack, 0.05 * 4.0f64.powi(step as i32))
+                .difficulty(1.0 + 0.3 * step as f64)
+        })
+        .collect();
+    ScenarioSpec {
+        name: "gradual_drift".into(),
+        kind,
+        train_mix: DriftPhase::stationary(0, classes).scale_class(attack, 0.05),
+        phases,
+        post_drift_phase: 4,
+        open_set: false,
+    }
+}
+
+/// Class surge: a known attack class spikes 25× (a campaign of a family
+/// the model has seen) without any change to the class-conditional
+/// distributions.
+pub fn class_surge(kind: DatasetKind) -> ScenarioSpec {
+    let classes = kind.profiles().len();
+    let attack = 1.min(classes - 1);
+    ScenarioSpec {
+        name: "class_surge".into(),
+        kind,
+        train_mix: DriftPhase::stationary(0, classes),
+        phases: vec![
+            DriftPhase::stationary(350, classes),
+            DriftPhase::surge(850, classes, attack, 25.0),
+        ],
+        post_drift_phase: 1,
+        open_set: false,
+    }
+}
+
+/// Zero-day appearance: one class is **structurally absent** from both
+/// the training corpus and the calm phase, then appears — open-set
+/// thresholds give the drift monitor its label-free novelty signal.
+pub fn zero_day(kind: DatasetKind) -> ScenarioSpec {
+    let classes = kind.profiles().len();
+    let unseen = classes - 1;
+    ScenarioSpec {
+        name: "zero_day".into(),
+        kind,
+        train_mix: DriftPhase::absent(0, classes, unseen),
+        phases: vec![
+            DriftPhase::absent(300, classes, unseen),
+            // The unseen class erupts to roughly half the traffic (class
+            // base weights are imbalanced, so the multiplier is large).
+            DriftPhase::stationary(900, classes).scale_class(unseen, 100.0),
+        ],
+        post_drift_phase: 1,
+        open_set: true,
+    }
+}
+
+/// The four canonical scenarios over one dataset kind.
+pub fn canonical_scenarios(kind: DatasetKind) -> Vec<ScenarioSpec> {
+    vec![abrupt_shift(kind), gradual_drift(kind), class_surge(kind), zero_day(kind)]
+}
+
+/// Knobs of one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Hypervector dimensionality of the trained detector.
+    pub dimension: usize,
+    /// Retraining epochs of the initial (sealed) artifact.
+    pub retrain_epochs: usize,
+    /// Regeneration rate baked into the artifact (used by the adaptive
+    /// lane's trips).
+    pub regeneration_rate: f32,
+    /// Training-corpus size drawn from [`ScenarioSpec::train_mix`].
+    pub train_samples: usize,
+    /// Drift-monitor thresholds of the adaptive lane.
+    pub monitor: DriftMonitorConfig,
+    /// Deterministic flush cadence: both lanes flush every this many
+    /// submissions (plus once at the end).
+    pub flush_every: usize,
+    /// Every `feedback_every`-th flow carries ground truth into the
+    /// adaptive lane (`1` = full feedback, `0` = no ground truth at all);
+    /// the rest are served unlabelled.
+    pub feedback_every: usize,
+    /// How many flows later ground truth arrives.  `0` attaches it at
+    /// submit time ([`AdaptiveLane::submit_labelled`]); a positive delay
+    /// serves the flow unlabelled and delivers the label through
+    /// [`AdaptiveLane::submit_feedback`] `feedback_delay` submissions
+    /// later — the analyst-in-the-loop regime where a zero-day surge must
+    /// trip on open-set novelty *before* any label exists.
+    pub feedback_delay: usize,
+    /// Fraction of the post-drift phase (its tail) measured as the
+    /// recovery window, e.g. `0.5` = the last half.
+    pub recovery_tail: f64,
+    /// Open-set calibration quantile (when the spec asks for thresholds).
+    pub open_set_quantile: f64,
+    /// Seed for the stream, detector and split.
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            dimension: 256,
+            retrain_epochs: 2,
+            regeneration_rate: 0.1,
+            train_samples: 1200,
+            monitor: DriftMonitorConfig {
+                window: 96,
+                min_observations: 48,
+                error_delta: 0.12,
+                unknown_surge: 0.30,
+                cooldown: 96,
+            },
+            flush_every: 24,
+            feedback_every: 1,
+            feedback_delay: 0,
+            recovery_tail: 0.5,
+            open_set_quantile: 0.10,
+            seed: 29,
+        }
+    }
+}
+
+/// Everything one replay produced, ready for assertions and snapshots.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Flows replayed through both lanes.
+    pub flows: usize,
+    /// Ground-truth labels of the stream, in order.
+    pub labels: Vec<usize>,
+    /// The frozen lane's verdicts, in submission order.
+    pub frozen_verdicts: Vec<Verdict>,
+    /// The adaptive lane's verdicts, in submission order.
+    pub adaptive_verdicts: Vec<Verdict>,
+    /// Flow-index range of every phase.
+    pub phase_ranges: Vec<Range<usize>>,
+    /// The measured recovery window (tail of the post-drift phase).
+    pub recovery_window: Range<usize>,
+    /// Frozen-lane accuracy over the recovery window.
+    pub frozen_recovery_accuracy: f64,
+    /// Adaptive-lane (prequential) accuracy over the recovery window.
+    pub adaptive_recovery_accuracy: f64,
+    /// Whether the frozen lane's verdicts were bit-identical to one
+    /// `detect_batch` oracle call over the whole stream (the PR-4
+    /// contract, re-checked under every scenario).
+    pub frozen_bit_identical: bool,
+    /// Registry version of the adaptive tenant when the replay ended
+    /// (`1` = never republished).
+    pub final_registry_version: u64,
+    /// Full adaptive-lane counters at the end of the replay.
+    pub adaptive: AdaptiveStats,
+    /// The registry the replay served through, in its end state — the
+    /// frozen tenant still at version 1, the adaptive tenant at its last
+    /// published artifact.  Harnesses probe it to verify the republish →
+    /// hot-swap → frozen-serving handoff.
+    pub registry: Arc<DetectorRegistry>,
+}
+
+impl ScenarioOutcome {
+    /// Accuracy delta of the adaptive lane over the frozen artifact in the
+    /// recovery window — the headline drift-recovery number.
+    pub fn recovery_delta(&self) -> f64 {
+        self.adaptive_recovery_accuracy - self.frozen_recovery_accuracy
+    }
+
+    /// Accuracy of `verdicts` against the stream labels over `window`.
+    pub fn window_accuracy(verdicts: &[Verdict], labels: &[usize], window: Range<usize>) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        let correct = window.clone().filter(|&i| verdicts[i].class == labels[i]).count();
+        correct as f64 / window.len() as f64
+    }
+}
+
+/// Replays one scenario through the frozen and adaptive serving stacks in
+/// lock-step (see the [module docs](self)).
+///
+/// # Errors
+///
+/// Propagates stream generation, training and serving errors as a boxed
+/// error so harnesses can `?` them.
+pub fn replay(
+    spec: &ScenarioSpec,
+    config: &ReplayConfig,
+) -> Result<ScenarioOutcome, Box<dyn std::error::Error>> {
+    let schema = spec.kind.schema();
+    let profiles = spec.kind.profiles();
+
+    // Training corpus from the scenario's training mix.
+    let mut train_mix = spec.train_mix.clone();
+    train_mix.samples = config.train_samples;
+    let train = DriftStream::generate(&schema, &profiles, &[train_mix], config.seed ^ 0xA11CE)?;
+    let mut builder = Detector::builder()
+        .dimension(config.dimension)
+        .retrain_epochs(config.retrain_epochs)
+        .regeneration_rate(config.regeneration_rate)
+        .seed(config.seed);
+    if spec.open_set {
+        builder = builder.open_set(config.open_set_quantile);
+    }
+    let detector = builder.train(train.dataset())?;
+
+    // The live stream.
+    let live = DriftStream::generate(&schema, &profiles, &spec.phases, config.seed)?;
+    let flows = live.len();
+    let labels: Vec<usize> = live.dataset().labels().to_vec();
+    let phase_ranges: Vec<Range<usize>> =
+        (0..live.num_phases()).map(|p| live.phase_range(p).expect("phase in range")).collect();
+
+    // Frozen path: PR-4 micro-batching engine over the shared registry.
+    let registry = Arc::new(DetectorRegistry::new());
+    registry.register(FROZEN_TENANT, detector.clone())?;
+    registry.register(ADAPTIVE_TENANT, detector.clone())?;
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(5),
+            queue_capacity: flows + 64,
+        },
+    )?;
+
+    // Adaptive path: the drift-adaptive lane republishing into the same
+    // registry under its own tenant.
+    let lane = AdaptiveLane::with_registry(
+        ADAPTIVE_TENANT,
+        detector.clone(),
+        AdaptiveConfig {
+            max_batch: config.flush_every.max(1),
+            max_delay: Duration::from_millis(5),
+            // Verdicts are collected only at the end, and late feedback
+            // queues alongside flows: size for the whole stream.
+            queue_capacity: 2 * flows + 64,
+            monitor: config.monitor,
+            retention: flows, // late feedback may arrive arbitrarily later
+            regeneration_rate: None,
+            regeneration_rounds: 1,
+            auto_publish: true,
+        },
+        Arc::clone(&registry),
+    )?;
+
+    let mut frozen_tickets = Vec::with_capacity(flows);
+    let mut adaptive_tickets: Vec<cyberhd::Ticket> = Vec::with_capacity(flows);
+    // Ground truth scheduled to arrive late: (due flow index, ticket
+    // index, label), kept in submission order.
+    let mut due_feedback: std::collections::VecDeque<(usize, usize, usize)> =
+        std::collections::VecDeque::new();
+    for (i, (record, label, _phase)) in live.iter().enumerate() {
+        frozen_tickets.push(engine.submit(FROZEN_TENANT, record)?);
+        let labelled = config.feedback_every > 0 && i % config.feedback_every == 0;
+        let ticket = if labelled && config.feedback_delay == 0 {
+            lane.submit_labelled(record, label)?
+        } else {
+            let ticket = lane.submit(record)?;
+            if labelled {
+                due_feedback.push_back((i + config.feedback_delay, i, label));
+            }
+            ticket
+        };
+        adaptive_tickets.push(ticket);
+        while due_feedback.front().is_some_and(|&(due, _, _)| due <= i) {
+            let (_, ticket_index, label) = due_feedback.pop_front().expect("checked non-empty");
+            lane.submit_feedback(&adaptive_tickets[ticket_index], label)?;
+        }
+        if config.flush_every > 0 && (i + 1) % config.flush_every == 0 {
+            engine.flush(FROZEN_TENANT)?;
+            lane.flush()?;
+        }
+    }
+    // Stragglers: ground truth still in flight when the stream ended.
+    for (_, ticket_index, label) in due_feedback {
+        lane.submit_feedback(&adaptive_tickets[ticket_index], label)?;
+    }
+    engine.flush(FROZEN_TENANT)?;
+    lane.flush()?;
+
+    let frozen_verdicts: Vec<Verdict> =
+        frozen_tickets.iter().map(|t| engine.take(t)).collect::<Result<_, _>>()?;
+    let adaptive_verdicts: Vec<Verdict> =
+        adaptive_tickets.iter().map(|t| lane.take(t)).collect::<Result<_, _>>()?;
+
+    // Re-check the PR-4 contract under this scenario: the frozen lane is
+    // bit-identical to one detect_batch call over the whole stream.
+    let oracle = detector.detect_batch(live.dataset().records())?;
+    let frozen_bit_identical = frozen_verdicts.len() == oracle.len()
+        && frozen_verdicts.iter().zip(&oracle).all(|(got, want)| {
+            got.class == want.class
+                && got.similarity.to_bits() == want.similarity.to_bits()
+                && got.novel == want.novel
+        });
+
+    // Recovery window: the tail of the post-drift phase.
+    let post = phase_ranges[spec.post_drift_phase.min(phase_ranges.len() - 1)].clone();
+    let tail = ((post.len() as f64) * config.recovery_tail.clamp(0.0, 1.0)).round() as usize;
+    let recovery_window = post.end - tail.max(1).min(post.len())..post.end;
+    let frozen_recovery_accuracy =
+        ScenarioOutcome::window_accuracy(&frozen_verdicts, &labels, recovery_window.clone());
+    let adaptive_recovery_accuracy =
+        ScenarioOutcome::window_accuracy(&adaptive_verdicts, &labels, recovery_window.clone());
+
+    Ok(ScenarioOutcome {
+        name: spec.name.clone(),
+        flows,
+        labels,
+        frozen_verdicts,
+        adaptive_verdicts,
+        phase_ranges,
+        recovery_window,
+        frozen_recovery_accuracy,
+        adaptive_recovery_accuracy,
+        frozen_bit_identical,
+        final_registry_version: registry.version(ADAPTIVE_TENANT).unwrap_or(0),
+        adaptive: lane.stats(),
+        registry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_scenarios_are_well_formed() {
+        for kind in DatasetKind::ALL {
+            let classes = kind.profiles().len();
+            for spec in canonical_scenarios(kind) {
+                assert!(!spec.phases.is_empty(), "{}", spec.name);
+                assert!(spec.post_drift_phase < spec.phases.len(), "{}", spec.name);
+                for phase in &spec.phases {
+                    assert_eq!(phase.class_weight_multipliers.len(), classes);
+                    assert!(phase.samples > 0);
+                }
+                assert_eq!(spec.train_mix.class_weight_multipliers.len(), classes);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let spec = class_surge(DatasetKind::NslKdd);
+        let config = ReplayConfig {
+            dimension: 96,
+            train_samples: 400,
+            flush_every: 16,
+            ..ReplayConfig::default()
+        };
+        let a = replay(&spec, &config).unwrap();
+        let b = replay(&spec, &config).unwrap();
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.labels, b.labels);
+        for (va, vb) in a.adaptive_verdicts.iter().zip(&b.adaptive_verdicts) {
+            assert_eq!(va.class, vb.class);
+            assert_eq!(va.similarity.to_bits(), vb.similarity.to_bits());
+        }
+        assert_eq!(a.frozen_recovery_accuracy, b.frozen_recovery_accuracy);
+        assert_eq!(a.adaptive_recovery_accuracy, b.adaptive_recovery_accuracy);
+        assert_eq!(a.adaptive.monitor_trips, b.adaptive.monitor_trips);
+        assert!(a.frozen_bit_identical);
+        assert_eq!(a.recovery_window, b.recovery_window);
+        assert_eq!(a.phase_ranges.last().unwrap().end, a.flows);
+    }
+}

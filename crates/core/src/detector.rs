@@ -1033,6 +1033,21 @@ impl OnlineDetector {
         self.learner.observe(&features, label)
     }
 
+    /// [`OnlineDetector::observe`] returning `(prediction, similarity)` for
+    /// the prediction made *before* the update — the scored form the
+    /// adaptive serving lane builds verdicts from.  Identical computation
+    /// and identical model update, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::Data`] for a record that does not conform to
+    /// the schema and [`CyberHdError::InvalidData`] for an out-of-range
+    /// label.
+    pub fn observe_scored(&mut self, record: &[f32], label: usize) -> Result<(usize, f32)> {
+        let features = self.preprocessor.transform_record(record)?;
+        self.learner.observe_scored(&features, label)
+    }
+
     /// Observes one burst of labelled raw records through the mini-batch
     /// streaming engine, returning the predictions made *before* the
     /// update.
@@ -1066,6 +1081,16 @@ impl OnlineDetector {
         self.learner.predict(&features)
     }
 
+    /// [`OnlineDetector::predict`] returning `(class, similarity)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::Data`] for a malformed record.
+    pub fn predict_scored(&self, record: &[f32]) -> Result<(usize, f32)> {
+        let features = self.preprocessor.transform_record(record)?;
+        self.learner.predict_scored(&features)
+    }
+
     /// Prequential ("test-then-train") accuracy of the streamed phase.
     pub fn prequential_accuracy(&self) -> f64 {
         self.learner.prequential_accuracy()
@@ -1086,9 +1111,25 @@ impl OnlineDetector {
         self.learner.regenerate()
     }
 
+    /// Runs one regeneration round at an explicit rate (see
+    /// [`OnlineLearner::regenerate_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidConfig`] if the configured encoder
+    /// cannot regenerate dimensions.
+    pub fn regenerate_at(&mut self, rate: f32) -> Result<usize> {
+        self.learner.regenerate_at(rate)
+    }
+
     /// The underlying streaming learner.
     pub fn learner(&self) -> &OnlineLearner {
         &self.learner
+    }
+
+    /// The fitted preprocessing pipeline the detector was unsealed with.
+    pub fn preprocessor(&self) -> &Preprocessor {
+        &self.preprocessor
     }
 
     /// Re-seals the streaming detector into an immutable [`Detector`]
@@ -1098,6 +1139,20 @@ impl OnlineDetector {
         let model = self.learner.into_model();
         let config = model.config().clone();
         Detector::from_parts(self.preprocessor, config, Box::new(DenseBackend::new(model)))
+    }
+
+    /// Seals a **snapshot** of the current model into an immutable
+    /// [`Detector`] while this streaming detector keeps learning — the
+    /// publication step of the drift-adaptive serving loop: the adaptive
+    /// lane keeps adapting in place and periodically hands the registry a
+    /// sealed copy for the frozen, batch-served tenants.
+    ///
+    /// The snapshot reproduces the learner's current predictions bit for
+    /// bit (the class memory and encoder are cloned verbatim).
+    pub fn seal_snapshot(&self) -> Detector {
+        let model = self.learner.clone().into_model();
+        let config = model.config().clone();
+        Detector::from_parts(self.preprocessor.clone(), config, Box::new(DenseBackend::new(model)))
     }
 }
 

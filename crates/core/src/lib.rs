@@ -80,8 +80,13 @@ pub use model::{CyberHdModel, TrainingReport};
 pub use online::OnlineLearner;
 pub use openset::{OpenSetDetector, OpenSetPrediction};
 pub use quantized::QuantizedModel;
-pub use regeneration::{select_lowest_variance, RegenerationPlan, RegenerationStats};
-pub use serve::{DetectorRegistry, ServeConfig, ServeEngine, ServeError, ServeStats, Ticket};
+pub use regeneration::{
+    select_lowest_variance, DriftMonitor, DriftMonitorConfig, RegenerationPlan, RegenerationStats,
+};
+pub use serve::{
+    AdaptiveConfig, AdaptiveLane, AdaptiveStats, DetectorRegistry, ServeConfig, ServeEngine,
+    ServeError, ServeStats, Ticket,
+};
 pub use trainer::CyberHdTrainer;
 
 use std::error::Error;

@@ -110,9 +110,19 @@ impl OnlineLearner {
     ///
     /// Returns an error if `features` has the wrong arity.
     pub fn predict(&self, features: &[f32]) -> Result<usize> {
+        self.predict_scored(features).map(|(class, _similarity)| class)
+    }
+
+    /// [`OnlineLearner::predict`] returning `(class, cosine similarity)` —
+    /// the scored form the adaptive serving lane builds verdicts (and
+    /// open-set novelty flags) from.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `features` has the wrong arity.
+    pub fn predict_scored(&self, features: &[f32]) -> Result<(usize, f32)> {
         let encoded = self.encoder.encode(features)?;
-        let (class, _similarity) = self.memory.nearest(&encoded)?;
-        Ok(class)
+        Ok(self.memory.nearest(&encoded)?)
     }
 
     /// Observes one labelled sample: predicts it, then updates the model.
@@ -123,6 +133,18 @@ impl OnlineLearner {
     /// Returns [`CyberHdError::InvalidData`] for an out-of-range label and
     /// propagates encoder errors.
     pub fn observe(&mut self, features: &[f32], label: usize) -> Result<usize> {
+        self.observe_scored(features, label).map(|(class, _similarity)| class)
+    }
+
+    /// [`OnlineLearner::observe`] returning `(prediction, similarity)` for
+    /// the prediction made *before* the update — identical computation,
+    /// identical model update, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for an out-of-range label and
+    /// propagates encoder errors.
+    pub fn observe_scored(&mut self, features: &[f32], label: usize) -> Result<(usize, f32)> {
         if label >= self.config.num_classes {
             return Err(CyberHdError::InvalidData(format!(
                 "label {label} out of range for {} classes",
@@ -130,14 +152,14 @@ impl OnlineLearner {
             )));
         }
         let encoded = self.encoder.encode(features)?;
-        let (prediction, _similarity) = self.memory.nearest(&encoded)?;
+        let (prediction, similarity) = self.memory.nearest(&encoded)?;
         let was_correct =
             adaptive_update(&mut self.memory, &encoded, label, self.config.learning_rate);
         self.seen += 1;
         if was_correct {
             self.correct_before_update += 1;
         }
-        Ok(prediction)
+        Ok((prediction, similarity))
     }
 
     /// Observes one mini-batch of labelled samples: predicts every sample
@@ -232,10 +254,23 @@ impl OnlineLearner {
     /// Returns [`CyberHdError::InvalidConfig`] if the configured encoder
     /// cannot regenerate dimensions.
     pub fn regenerate(&mut self) -> Result<usize> {
-        if self.config.regeneration_rate <= 0.0 {
+        self.regenerate_at(self.config.regeneration_rate)
+    }
+
+    /// [`OnlineLearner::regenerate`] with an explicit rate override — the
+    /// drift-adaptive serving lane's knob for regenerating more (or less)
+    /// aggressively than the training-time configuration when a drift
+    /// monitor trips mid-stream.  A non-positive `rate` is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidConfig`] if the configured encoder
+    /// cannot regenerate dimensions.
+    pub fn regenerate_at(&mut self, rate: f32) -> Result<usize> {
+        if rate <= 0.0 {
             return Ok(0);
         }
-        let plan = RegenerationPlan::analyze(&self.memory, self.config.regeneration_rate);
+        let plan = RegenerationPlan::analyze(&self.memory, rate);
         if plan.drop_count() == 0 {
             return Ok(0);
         }
@@ -378,6 +413,45 @@ mod tests {
         let mut learner = OnlineLearner::new(config(64, 0.0)).unwrap();
         assert_eq!(learner.regenerate().unwrap(), 0);
         assert_eq!(learner.effective_dimension(), 64);
+    }
+
+    #[test]
+    fn regenerate_at_overrides_the_configured_rate() {
+        let mut learner = OnlineLearner::new(config(100, 0.0)).unwrap();
+        for (x, y) in stream(80, 11) {
+            learner.observe(&x, y).unwrap();
+        }
+        // The configured rate is zero, but an explicit override still
+        // regenerates (the adaptive serving trigger).
+        assert_eq!(learner.regenerate_at(0.2).unwrap(), 20);
+        assert_eq!(learner.effective_dimension(), 120);
+        assert_eq!(learner.regenerate_at(0.0).unwrap(), 0);
+        assert_eq!(learner.regenerate_at(-1.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn scored_forms_match_their_unscored_twins_bit_for_bit() {
+        let mut scored = OnlineLearner::new(config(128, 0.0)).unwrap();
+        let mut plain = OnlineLearner::new(config(128, 0.0)).unwrap();
+        for (x, y) in stream(120, 9) {
+            let (class, similarity) = scored.observe_scored(&x, y).unwrap();
+            assert_eq!(plain.observe(&x, y).unwrap(), class);
+            assert!((-1.0..=1.0).contains(&similarity));
+        }
+        assert_eq!(scored.samples_seen(), plain.samples_seen());
+        assert_eq!(scored.prequential_accuracy(), plain.prequential_accuracy());
+        let probe = [0.4f32, 0.6, 0.2];
+        let (class, similarity) = scored.predict_scored(&probe).unwrap();
+        assert_eq!(plain.predict(&probe).unwrap(), class);
+        assert_eq!(
+            scored.predict_scored(&probe).unwrap().1.to_bits(),
+            similarity.to_bits(),
+            "prediction is pure; repeated calls are bit-identical"
+        );
+        // The two learners hold bit-identical models.
+        let a = scored.into_model();
+        let b = plain.into_model();
+        assert_eq!(a.memory().classes(), b.memory().classes());
     }
 
     #[test]

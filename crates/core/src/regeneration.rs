@@ -1,4 +1,5 @@
-//! Dimension-significance analysis and regeneration book-keeping.
+//! Dimension-significance analysis, regeneration book-keeping and the
+//! drift monitor that decides **when** a streaming deployment regenerates.
 //!
 //! This module implements steps (D)–(G) of the CyberHD workflow:
 //!
@@ -16,9 +17,19 @@
 //! The actual base-vector replacement lives in
 //! [`hdc::RbfEncoder::regenerate_dimension`]; the trainer glues the two
 //! together.
+//!
+//! The batch trainer regenerates once per retraining epoch; an **online**
+//! deployment has no epochs, so [`DriftMonitor`] supplies the trigger the
+//! paper's non-stationary-traffic motivation implies: a sliding-window
+//! prequential error rate compared against a frozen baseline (concept
+//! drift), plus an open-set unknown-rate surge (zero-day appearance).  The
+//! monitor is deliberately deterministic — its decision depends only on
+//! the sequence of observations fed into it — which is what lets the
+//! serving layer's adaptive lanes stay bit-identical to a serial replay.
 
 use hdc::AssociativeMemory;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// The outcome of one variance analysis: which dimensions to drop and the
 /// variance statistics that led to the decision.
@@ -114,6 +125,282 @@ impl RegenerationStats {
     }
 }
 
+/// Thresholds and window shapes of a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftMonitorConfig {
+    /// Length of the sliding windows (labelled outcomes and novelty flags).
+    pub window: usize,
+    /// Observations a window needs before its signal arms: the labelled
+    /// window freezes its baseline error at this fill level, and the
+    /// novelty window starts checking for surges.  Must lie in
+    /// `1..=window`.
+    pub min_observations: usize,
+    /// Drift trips when `windowed error − frozen baseline error` reaches
+    /// this delta (e.g. `0.15` = fifteen accuracy points lost).
+    pub error_delta: f64,
+    /// Drift trips when the windowed unknown/novel rate reaches this
+    /// fraction; values above `1.0` disable the novelty signal (a rate
+    /// can never exceed one).
+    pub unknown_surge: f64,
+    /// Observations ignored entirely after a trip, so the monitor does not
+    /// re-trip while the model is still re-learning the new regime.
+    pub cooldown: usize,
+}
+
+impl Default for DriftMonitorConfig {
+    fn default() -> Self {
+        Self {
+            window: 128,
+            min_observations: 64,
+            error_delta: 0.15,
+            unknown_surge: 0.5,
+            cooldown: 64,
+        }
+    }
+}
+
+impl DriftMonitorConfig {
+    /// Validates the window shapes and thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CyberHdError::InvalidConfig`] for a zero-length
+    /// window, a `min_observations` outside `1..=window`, or a
+    /// non-positive / non-finite threshold.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.window == 0 {
+            return Err(crate::CyberHdError::InvalidConfig(
+                "drift monitor window must be non-zero".into(),
+            ));
+        }
+        if self.min_observations == 0 || self.min_observations > self.window {
+            return Err(crate::CyberHdError::InvalidConfig(format!(
+                "min_observations ({}) must lie in 1..={}",
+                self.min_observations, self.window
+            )));
+        }
+        if !(self.error_delta.is_finite() && self.error_delta > 0.0) {
+            return Err(crate::CyberHdError::InvalidConfig(format!(
+                "error_delta must be positive and finite, got {}",
+                self.error_delta
+            )));
+        }
+        if !(self.unknown_surge.is_finite() && self.unknown_surge > 0.0) {
+            return Err(crate::CyberHdError::InvalidConfig(format!(
+                "unknown_surge must be positive and finite (> 1.0 disables it), got {}",
+                self.unknown_surge
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic concept-drift detector over a prequential stream.
+///
+/// Feed it one observation per served flow — [`DriftMonitor::record_labelled`]
+/// when ground truth is available (a labelled submit or late feedback),
+/// [`DriftMonitor::record_unlabelled`] otherwise — and it reports `true`
+/// exactly when an adaptation (dimension regeneration + republish) should
+/// run.  Two signals trip it:
+///
+/// 1. **Windowed error-rate delta** — once the labelled window has
+///    [`DriftMonitorConfig::min_observations`] outcomes, the then-current
+///    window error is frozen as the *baseline*; drift trips when the
+///    sliding window error exceeds the baseline by
+///    [`DriftMonitorConfig::error_delta`].
+/// 2. **Unknown-rate surge** — when the windowed fraction of flows flagged
+///    novel (open-set lanes) reaches [`DriftMonitorConfig::unknown_surge`].
+///    This signal needs no labels at all, which is what catches a zero-day
+///    campaign before any feedback arrives.
+///
+/// After a trip both windows clear, the baseline unfreezes, and the next
+/// [`DriftMonitorConfig::cooldown`] observations are ignored so the
+/// monitor does not chain-trip while the model re-learns.
+///
+/// # Example
+///
+/// ```
+/// use cyberhd::{DriftMonitor, DriftMonitorConfig};
+///
+/// let config = DriftMonitorConfig {
+///     window: 20,
+///     min_observations: 10,
+///     error_delta: 0.3,
+///     unknown_surge: 2.0, // disabled
+///     cooldown: 5,
+/// };
+/// let mut monitor = DriftMonitor::new(config).unwrap();
+/// // A calm phase freezes a low baseline error...
+/// for _ in 0..10 {
+///     assert!(!monitor.record_labelled(true, false));
+/// }
+/// // ...then an abrupt error surge trips the monitor.
+/// let tripped = (0..20).any(|_| monitor.record_labelled(false, false));
+/// assert!(tripped);
+/// assert_eq!(monitor.trips(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftMonitorConfig,
+    /// Sliding window of labelled outcomes (`true` = predicted correctly
+    /// before the update).
+    labelled: VecDeque<bool>,
+    /// Sliding window of novelty flags over **all** observations.
+    novelty: VecDeque<bool>,
+    /// Window error frozen once the labelled window first arms.
+    baseline_error: Option<f64>,
+    /// Observations still to ignore after the last trip.
+    cooldown_left: usize,
+    trips: usize,
+    observations: u64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriftMonitorConfig::validate`].
+    pub fn new(config: DriftMonitorConfig) -> crate::Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            labelled: VecDeque::with_capacity(config.window),
+            novelty: VecDeque::with_capacity(config.window),
+            baseline_error: None,
+            cooldown_left: 0,
+            trips: 0,
+            observations: 0,
+        })
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &DriftMonitorConfig {
+        &self.config
+    }
+
+    /// Records a prequential outcome with ground truth.  Returns `true`
+    /// when drift trips (the caller should adapt now).
+    pub fn record_labelled(&mut self, correct: bool, novel: bool) -> bool {
+        if self.skip_for_cooldown() {
+            return false;
+        }
+        push_window(&mut self.labelled, correct, self.config.window);
+        push_window(&mut self.novelty, novel, self.config.window);
+        if self.baseline_error.is_none() {
+            if self.labelled.len() >= self.config.min_observations {
+                self.baseline_error = Some(window_rate(&self.labelled, |&ok| !ok));
+            }
+            // An unarmed error signal can still see a novelty surge.
+            return self.check_novelty_surge();
+        }
+        self.check_error_delta() || self.check_novelty_surge()
+    }
+
+    /// Records an unlabelled observation (novelty flag only).  Returns
+    /// `true` when the unknown-rate surge trips.
+    pub fn record_unlabelled(&mut self, novel: bool) -> bool {
+        if self.skip_for_cooldown() {
+            return false;
+        }
+        push_window(&mut self.novelty, novel, self.config.window);
+        self.check_novelty_surge()
+    }
+
+    /// Consumes one observation of cooldown; `true` while cooling down.
+    fn skip_for_cooldown(&mut self) -> bool {
+        self.observations += 1;
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return true;
+        }
+        false
+    }
+
+    fn check_error_delta(&mut self) -> bool {
+        let Some(baseline) = self.baseline_error else { return false };
+        if self.labelled.len() < self.config.min_observations {
+            return false;
+        }
+        if self.window_error() - baseline >= self.config.error_delta {
+            self.trip();
+            return true;
+        }
+        false
+    }
+
+    fn check_novelty_surge(&mut self) -> bool {
+        if self.config.unknown_surge > 1.0 || self.novelty.len() < self.config.min_observations {
+            return false;
+        }
+        if self.unknown_rate() >= self.config.unknown_surge {
+            self.trip();
+            return true;
+        }
+        false
+    }
+
+    /// Clears the windows, unfreezes the baseline and starts the cooldown.
+    fn trip(&mut self) {
+        self.trips += 1;
+        self.labelled.clear();
+        self.novelty.clear();
+        self.baseline_error = None;
+        self.cooldown_left = self.config.cooldown;
+    }
+
+    /// Error rate over the current labelled window (`0.0` while empty).
+    pub fn window_error(&self) -> f64 {
+        window_rate(&self.labelled, |&ok| !ok)
+    }
+
+    /// Accuracy over the current labelled window (`0.0` while empty).
+    pub fn window_accuracy(&self) -> f64 {
+        window_rate(&self.labelled, |&ok| ok)
+    }
+
+    /// Novel-flag rate over the current novelty window (`0.0` while empty).
+    pub fn unknown_rate(&self) -> f64 {
+        window_rate(&self.novelty, |&novel| novel)
+    }
+
+    /// The frozen baseline error, once the labelled window has armed.
+    pub fn baseline_error(&self) -> Option<f64> {
+        self.baseline_error
+    }
+
+    /// Number of times the monitor has tripped.
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+
+    /// Total observations fed in (cooldown-swallowed ones included).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Labelled outcomes currently in the window.
+    pub fn labelled_in_window(&self) -> usize {
+        self.labelled.len()
+    }
+}
+
+/// Pushes into a bounded sliding window.
+fn push_window(window: &mut VecDeque<bool>, value: bool, bound: usize) {
+    if window.len() == bound {
+        window.pop_front();
+    }
+    window.push_back(value);
+}
+
+/// Fraction of window entries matching the predicate (`0.0` when empty).
+fn window_rate(window: &VecDeque<bool>, pred: impl Fn(&bool) -> bool) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    window.iter().filter(|v| pred(v)).count() as f64 / window.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +480,146 @@ mod tests {
     fn empty_plan_mean_variance_is_zero() {
         let plan = RegenerationPlan { drop: vec![], variances: vec![], threshold: 0.0 };
         assert_eq!(plan.mean_variance(), 0.0);
+    }
+
+    fn monitor_config() -> DriftMonitorConfig {
+        DriftMonitorConfig {
+            window: 20,
+            min_observations: 10,
+            error_delta: 0.3,
+            unknown_surge: 0.5,
+            cooldown: 8,
+        }
+    }
+
+    #[test]
+    fn monitor_config_is_validated() {
+        assert!(DriftMonitor::new(DriftMonitorConfig::default()).is_ok());
+        for bad in [
+            DriftMonitorConfig { window: 0, ..monitor_config() },
+            DriftMonitorConfig { min_observations: 0, ..monitor_config() },
+            DriftMonitorConfig { min_observations: 21, ..monitor_config() },
+            DriftMonitorConfig { error_delta: 0.0, ..monitor_config() },
+            DriftMonitorConfig { error_delta: f64::NAN, ..monitor_config() },
+            DriftMonitorConfig { unknown_surge: -0.1, ..monitor_config() },
+        ] {
+            assert!(DriftMonitor::new(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn monitor_freezes_a_baseline_then_trips_on_an_error_surge() {
+        let mut monitor = DriftMonitor::new(monitor_config()).unwrap();
+        // Calm phase: 10% error.  The baseline freezes at min_observations.
+        for i in 0..10 {
+            assert!(!monitor.record_labelled(i % 10 != 0, false));
+        }
+        let baseline = monitor.baseline_error().expect("baseline frozen at min_observations");
+        assert!((baseline - 0.1).abs() < 1e-9, "{baseline}");
+
+        // Stationary continuation never trips...
+        for i in 10..40 {
+            assert!(!monitor.record_labelled(i % 10 != 0, false));
+        }
+        assert_eq!(monitor.trips(), 0);
+
+        // ...an abrupt shift (everything wrong) trips exactly once, at a
+        // deterministic observation index.
+        let mut tripped_at = None;
+        for i in 0..20 {
+            if monitor.record_labelled(false, false) {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        // The full window sits at 2/20 mistakes; the seventh wrong flow
+        // (index 6) pushes it to 8/20 = 0.4 >= baseline 0.1 + delta 0.3.
+        assert_eq!(tripped_at, Some(6));
+        assert_eq!(monitor.trips(), 1);
+        assert!(monitor.baseline_error().is_none(), "trip unfreezes the baseline");
+        assert_eq!(monitor.labelled_in_window(), 0, "trip clears the windows");
+    }
+
+    #[test]
+    fn monitor_cooldown_swallows_observations_after_a_trip() {
+        let mut monitor = DriftMonitor::new(monitor_config()).unwrap();
+        for _ in 0..10 {
+            monitor.record_labelled(true, false);
+        }
+        while !monitor.record_labelled(false, false) {}
+        assert_eq!(monitor.trips(), 1);
+        // The next `cooldown` observations are ignored outright: they build
+        // no window and cannot re-trip, even though every one is wrong.
+        for _ in 0..8 {
+            assert!(!monitor.record_labelled(false, false));
+            assert_eq!(monitor.labelled_in_window(), 0);
+        }
+        // After the cooldown the monitor re-arms from scratch: a uniformly
+        // bad phase freezes a *bad* baseline, so only a further degradation
+        // would trip again.
+        for _ in 0..10 {
+            assert!(!monitor.record_labelled(false, false));
+        }
+        assert_eq!(monitor.baseline_error(), Some(1.0));
+        assert_eq!(monitor.trips(), 1);
+    }
+
+    #[test]
+    fn monitor_trips_on_an_unknown_rate_surge_without_any_labels() {
+        let mut monitor = DriftMonitor::new(monitor_config()).unwrap();
+        // Unlabelled, non-novel traffic arms nothing.
+        for _ in 0..30 {
+            assert!(!monitor.record_unlabelled(false));
+        }
+        // A zero-day campaign: novel flags surge past 50% of the window.
+        let mut tripped = false;
+        for _ in 0..20 {
+            if monitor.record_unlabelled(true) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "novelty surge must trip without ground truth");
+        assert_eq!(monitor.trips(), 1);
+        assert_eq!(monitor.unknown_rate(), 0.0, "trip clears the novelty window");
+    }
+
+    #[test]
+    fn monitor_novelty_signal_can_be_disabled() {
+        let config = DriftMonitorConfig { unknown_surge: 2.0, ..monitor_config() };
+        let mut monitor = DriftMonitor::new(config).unwrap();
+        for _ in 0..200 {
+            assert!(!monitor.record_unlabelled(true));
+        }
+        assert_eq!(monitor.trips(), 0);
+        assert_eq!(monitor.observations(), 200);
+        assert_eq!(monitor.unknown_rate(), 1.0);
+        assert_eq!(monitor.window_accuracy(), 0.0, "no labelled outcomes yet");
+    }
+
+    #[test]
+    fn monitor_is_deterministic_over_a_replayed_sequence() {
+        let run = |config: DriftMonitorConfig| {
+            let mut monitor = DriftMonitor::new(config).unwrap();
+            let mut trip_points = Vec::new();
+            for i in 0..500u32 {
+                let correct = (i / 100) % 2 == 0 || i % 3 == 0;
+                let novel = i % 7 == 0 && i > 250;
+                let tripped = if i % 4 == 0 {
+                    monitor.record_unlabelled(novel)
+                } else {
+                    monitor.record_labelled(correct, novel)
+                };
+                if tripped {
+                    trip_points.push(i);
+                }
+            }
+            (trip_points, monitor.trips())
+        };
+        let (a, trips_a) = run(monitor_config());
+        let (b, trips_b) = run(monitor_config());
+        assert_eq!(a, b, "same observation sequence must trip at the same points");
+        assert_eq!(trips_a, trips_b);
+        assert!(trips_a >= 1, "the synthetic sequence is designed to drift");
     }
 }

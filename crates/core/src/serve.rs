@@ -24,6 +24,18 @@
 //! * [`ServeStats`] — per-tenant observability: flows served, queue
 //!   depth, batch-size histogram and flush-latency percentiles
 //!   ([`eval::timing::LatencyHistogram`]).
+//! * [`AdaptiveLane`] — the **drift-adaptive** per-tenant serving mode.
+//!   Where the engine above serves a frozen artifact, an adaptive lane
+//!   wraps a live [`OnlineDetector`]: submissions may carry ground truth
+//!   ([`AdaptiveLane::submit_labelled`]) or receive it later through their
+//!   ticket ([`AdaptiveLane::submit_feedback`]), prequential
+//!   test-then-train accuracy is tracked in a sliding window, and when the
+//!   [`crate::regeneration::DriftMonitor`] trips (windowed error-rate
+//!   delta, or an open-set unknown-rate surge) the lane regenerates
+//!   low-variance dimensions in place and republishes a sealed snapshot
+//!   through the [`DetectorRegistry`] — so every frozen lane of the same
+//!   tenant hot-swaps to the adapted model while in-flight micro-batches
+//!   finish on their pinned generation.
 //!
 //! # Determinism contract
 //!
@@ -35,6 +47,15 @@
 //! depends only on the class memory) and the serve path runs the exact
 //! same preprocess→encode→score expressions — pinned by `tests/serve.rs`
 //! against a `detect_batch` oracle on all four dataset kinds.
+//!
+//! Adaptive lanes carry the streaming twin of that contract: events
+//! (submissions and feedback) are applied **strictly in submission order**
+//! through the serial [`crate::OnlineLearner`] rule, so verdicts *and* the
+//! final model are bit-identical to a serial replay of the same event
+//! sequence — regardless of where flush boundaries fall, how `poll` is
+//! interleaved, or how many lanes run on other threads.  `tests/scenario.rs`
+//! pins both contracts under seeded [`nids_data::drift::DriftStream`]
+//! scenarios.
 //!
 //! # Example
 //!
@@ -65,13 +86,15 @@
 //! # }
 //! ```
 
-use crate::detector::{Detector, DetectorInfo, Verdict};
+use crate::detector::{Detector, DetectorInfo, OnlineDetector, Verdict};
+use crate::regeneration::{DriftMonitor, DriftMonitorConfig};
 use crate::CyberHdError;
 use eval::timing::LatencyHistogram;
 use hdc::BatchBuffer;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -102,6 +125,10 @@ pub enum ServeError {
     DuplicateTenant(String),
     /// The serve configuration is inconsistent.
     InvalidConfig(String),
+    /// Ground truth arrived for a flow the adaptive lane no longer (or
+    /// never) retains: the ticket was labelled at submit time, feedback was
+    /// already applied, or the flow aged out of the retention window.
+    FeedbackUnavailable(String),
 }
 
 impl fmt::Display for ServeError {
@@ -118,6 +145,9 @@ impl fmt::Display for ServeError {
                 write!(f, "tenant {tenant:?} is already registered; use swap to replace")
             }
             ServeError::InvalidConfig(what) => write!(f, "invalid serve configuration: {what}"),
+            ServeError::FeedbackUnavailable(what) => {
+                write!(f, "feedback unavailable: {what}")
+            }
         }
     }
 }
@@ -177,16 +207,29 @@ impl ServeConfig {
     }
 }
 
+/// Source of **process-unique** lane ids, shared by every [`ServeEngine`]
+/// lane and every [`AdaptiveLane`]: a ticket stamped by one lane can never
+/// collect from any other lane — not a recreated lane of the same tenant,
+/// not another engine's lane, and not an adaptive lane serving the same
+/// tenant id.
+static LANE_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// The next process-unique lane id.
+fn next_lane_id() -> u64 {
+    LANE_IDS.fetch_add(1, Ordering::Relaxed) + 1
+}
+
 /// A claim on the verdict of one submitted flow; redeem it with
 /// [`ServeEngine::take`] (blocking until the flow's batch flushes is the
 /// caller's choice of [`ServeEngine::take`] vs [`ServeEngine::try_take`]).
 #[derive(Debug, Clone)]
 pub struct Ticket {
     tenant: Arc<str>,
-    /// Engine-unique id of the lane that issued this ticket.  Sequence
-    /// numbers restart when a lane is recreated after eviction, so the
-    /// lane identity is what stops a stale pre-eviction ticket from
-    /// silently collecting a recycled sequence number's verdict.
+    /// Process-unique id of the lane that issued this ticket (see
+    /// [`LANE_IDS`]).  Sequence numbers restart when a lane is recreated
+    /// after eviction, so the lane identity is what stops a stale
+    /// pre-eviction ticket from silently collecting a recycled sequence
+    /// number's verdict.
     lane: u64,
     seq: u64,
 }
@@ -531,8 +574,6 @@ pub struct ServeEngine {
     registry: Arc<DetectorRegistry>,
     config: ServeConfig,
     lanes: RwLock<HashMap<Arc<str>, Arc<Mutex<Lane>>>>,
-    /// Source of engine-unique lane ids (see [`Ticket`]).
-    lane_ids: std::sync::atomic::AtomicU64,
 }
 
 impl ServeEngine {
@@ -543,12 +584,7 @@ impl ServeEngine {
     /// Returns [`ServeError::InvalidConfig`] for inconsistent watermarks.
     pub fn new(registry: Arc<DetectorRegistry>, config: ServeConfig) -> ServeResult<Self> {
         config.validate()?;
-        Ok(Self {
-            registry,
-            config,
-            lanes: RwLock::new(HashMap::new()),
-            lane_ids: std::sync::atomic::AtomicU64::new(0),
-        })
+        Ok(Self { registry, config, lanes: RwLock::new(HashMap::new()) })
     }
 
     /// The registry this engine routes through.
@@ -575,7 +611,7 @@ impl ServeEngine {
         let key: Arc<str> = tenant.into();
         let lane = lanes.entry(Arc::clone(&key)).or_insert_with(|| {
             Arc::new(Mutex::new(Lane {
-                id: self.lane_ids.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1,
+                id: next_lane_id(),
                 evicted: false,
                 tenant: key,
                 pinned: None,
@@ -725,6 +761,13 @@ impl ServeEngine {
                 continue;
             }
             let mut lane = lane.lock().expect("lane lock");
+            if lane.evicted {
+                // An eviction raced the snapshot above: scoring the orphan
+                // would bury its verdicts (no ticket can collect from an
+                // evicted lane), so skip it — evict() already honoured the
+                // "outstanding tickets fail" guarantee.
+                continue;
+            }
             let expired = lane.pending.first().is_some_and(|oldest| {
                 now.duration_since(oldest.submitted) >= self.config.max_delay
             });
@@ -781,6 +824,10 @@ impl ServeEngine {
         let threads = hdc::parallel::engine_threads().min(lanes.len().max(1));
         hdc::parallel::for_each_task(lanes, threads, |lane| {
             let mut lane = lane.lock().expect("lane lock");
+            if lane.evicted {
+                // Same eviction race as poll(): never score an orphan.
+                return;
+            }
             let n = flush_lane(&mut lane);
             served.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         });
@@ -930,6 +977,797 @@ fn flush_lane(lane: &mut Lane) -> usize {
     let bucket = size.min(lane.stats.batch_sizes.len() - 1);
     lane.stats.batch_sizes[bucket] += 1;
     size
+}
+
+// ---------------------------------------------------------------------
+// Adaptive lanes
+// ---------------------------------------------------------------------
+
+/// Watermarks and adaptation policy of an [`AdaptiveLane`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Flush the lane's queued events once this many are pending.
+    pub max_batch: usize,
+    /// Flush once the **oldest** queued event has waited this long
+    /// (checked by [`AdaptiveLane::poll`]).
+    pub max_delay: Duration,
+    /// Bound on queued events plus completed-but-uncollected verdicts;
+    /// submissions beyond it fail with [`ServeError::Backpressure`].
+    pub queue_capacity: usize,
+    /// Drift-detection thresholds (see
+    /// [`crate::regeneration::DriftMonitor`]).
+    pub monitor: DriftMonitorConfig,
+    /// How many recent **unlabelled** flows the lane retains (their raw
+    /// records) so late ground truth can still be applied through
+    /// [`AdaptiveLane::submit_feedback`]; `0` disables late feedback.
+    pub retention: usize,
+    /// Regeneration rate used when the monitor trips; `None` uses the
+    /// learner's training-time configuration.
+    pub regeneration_rate: Option<f32>,
+    /// Regeneration rounds run per adaptation.
+    pub regeneration_rounds: usize,
+    /// Automatically publish a sealed snapshot to the registry after every
+    /// adaptation (no-op for lanes created without a registry).
+    ///
+    /// Published snapshots are **closed-set** even when the lane was
+    /// created from an open-set artifact: the thresholds were calibrated
+    /// against the sealed original memory and do not survive adaptation
+    /// (they stay in the lane as its drift signal).  After the first
+    /// publication [`DetectorRegistry::info`] reports `open_set: false`
+    /// for the tenant; recalibrate and [`DetectorRegistry::swap`] an
+    /// open-set rebuild to restore novelty flags on the serving path.
+    pub auto_publish: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 4096,
+            monitor: DriftMonitorConfig::default(),
+            retention: 1024,
+            regeneration_rate: None,
+            regeneration_rounds: 1,
+            auto_publish: true,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> ServeResult<()> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be non-zero".into()));
+        }
+        if self.queue_capacity < self.max_batch {
+            return Err(ServeError::InvalidConfig(format!(
+                "queue_capacity ({}) must be at least max_batch ({})",
+                self.queue_capacity, self.max_batch
+            )));
+        }
+        if self.regeneration_rounds == 0 {
+            return Err(ServeError::InvalidConfig("regeneration_rounds must be non-zero".into()));
+        }
+        self.monitor
+            .validate()
+            .map_err(|e| ServeError::InvalidConfig(format!("drift monitor: {e}")))
+    }
+}
+
+/// One queued adaptive event.  Events are applied strictly in submission
+/// order at flush time — the whole determinism story of the adaptive lane
+/// rests on this queue being FIFO.
+#[derive(Debug)]
+enum AdaptiveEvent {
+    /// A served flow: predict (and, when labelled, test-then-train).
+    Flow { seq: u64, record: Vec<f32>, label: Option<usize>, submitted: Instant },
+    /// Late ground truth for a retained flow: train-only.
+    Feedback { record: Vec<f32>, label: usize, submitted: Instant },
+}
+
+impl AdaptiveEvent {
+    fn submitted(&self) -> Instant {
+        match self {
+            AdaptiveEvent::Flow { submitted, .. } | AdaptiveEvent::Feedback { submitted, .. } => {
+                *submitted
+            }
+        }
+    }
+}
+
+/// Mutable state behind an [`AdaptiveLane`]'s mutex.
+#[derive(Debug)]
+struct AdaptiveInner {
+    online: OnlineDetector,
+    /// Open-set thresholds inherited from the sealed artifact the lane was
+    /// created from, kept as the **drift signal** (novelty flags feeding
+    /// the monitor's unknown-rate surge).  They are not recalibrated as
+    /// the model adapts — a surge in flows scoring below them is exactly
+    /// the signal being watched for.
+    thresholds: Option<Vec<f32>>,
+    queue: VecDeque<AdaptiveEvent>,
+    /// Raw records of recent unlabelled flows, awaiting possible feedback.
+    retained: HashMap<u64, Vec<f32>>,
+    /// FIFO of retained sequence numbers (eviction order).
+    retained_order: VecDeque<u64>,
+    completed: HashMap<u64, Verdict>,
+    next_seq: u64,
+    monitor: DriftMonitor,
+    /// Set by an adaptation; consumed at the end of the flush that caused
+    /// it (publication stays off the per-event hot path).
+    pending_publish: bool,
+    stats: AdaptiveLaneStats,
+}
+
+/// Mutable counters behind [`AdaptiveStats`].
+#[derive(Debug)]
+struct AdaptiveLaneStats {
+    flows_submitted: u64,
+    flows_served: u64,
+    feedback_submitted: u64,
+    feedback_applied: u64,
+    rejected: u64,
+    batches: u64,
+    adaptations: u64,
+    regenerated_dimensions: u64,
+    adaptation_failures: u64,
+    publishes: u64,
+    publish_failures: u64,
+    last_published_version: Option<u64>,
+    /// Submit→verdict latency of served flows.
+    latency: LatencyHistogram,
+    /// Reseal + registry-swap latency of publications.
+    publish_latency: LatencyHistogram,
+}
+
+impl AdaptiveLaneStats {
+    fn new() -> Self {
+        Self {
+            flows_submitted: 0,
+            flows_served: 0,
+            feedback_submitted: 0,
+            feedback_applied: 0,
+            rejected: 0,
+            batches: 0,
+            adaptations: 0,
+            regenerated_dimensions: 0,
+            adaptation_failures: 0,
+            publishes: 0,
+            publish_failures: 0,
+            last_published_version: None,
+            latency: LatencyHistogram::new(),
+            publish_latency: LatencyHistogram::new(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one adaptive lane's serving and adaptation
+/// counters.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStats {
+    /// Tenant id.
+    pub tenant: String,
+    /// Flows accepted for serving (labelled and unlabelled submits).
+    pub flows_submitted: u64,
+    /// Flows whose verdicts have been computed.
+    pub flows_served: u64,
+    /// Late-feedback events accepted.
+    pub feedback_submitted: u64,
+    /// Late-feedback events applied to the model.
+    pub feedback_applied: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Events waiting for the next flush.
+    pub queue_depth: usize,
+    /// Completed verdicts not yet collected through their tickets.
+    pub uncollected: usize,
+    /// Unlabelled flows currently retained for late feedback.
+    pub retained: usize,
+    /// Flushes executed.
+    pub batches: u64,
+    /// Labelled samples the live model has learned from.
+    pub samples_learned: usize,
+    /// Cumulative prequential (test-then-train) accuracy of the lane.
+    pub prequential_accuracy: f64,
+    /// Prequential accuracy over the monitor's sliding window.
+    pub window_accuracy: f64,
+    /// Error rate over the monitor's sliding window.
+    pub window_error: f64,
+    /// Novel-flag rate over the monitor's sliding window.
+    pub unknown_rate: f64,
+    /// The monitor's frozen baseline error, once armed.
+    pub baseline_error: Option<f64>,
+    /// Times the drift monitor tripped.
+    pub monitor_trips: usize,
+    /// Adaptations (regeneration runs) executed.
+    pub adaptations: u64,
+    /// Total dimensions regenerated across all adaptations.
+    pub regenerated_dimensions: u64,
+    /// Adaptations that failed (e.g. a non-regenerable encoder).
+    pub adaptation_failures: u64,
+    /// The live model's effective dimensionality (`D* = D + Σ regenerated`).
+    pub effective_dimension: usize,
+    /// Sealed snapshots published to the registry.
+    pub publishes: u64,
+    /// Publications refused by the registry.
+    pub publish_failures: u64,
+    /// Registry version of the last successful publication.
+    pub last_published_version: Option<u64>,
+    /// Mean submit→verdict latency.
+    pub mean_latency: Duration,
+    /// Median submit→verdict latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile submit→verdict latency.
+    pub p99_latency: Duration,
+    /// Median reseal + registry-swap latency.
+    pub p50_publish_latency: Duration,
+    /// Worst observed reseal + registry-swap latency.
+    pub max_publish_latency: Duration,
+}
+
+impl fmt::Display for AdaptiveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} served / {} submitted (+{} feedback), window acc {:.3} (cum {:.3}, unknown \
+             {:.3}), {} trips -> {} adaptations ({} dims), {} publishes{}, latency p50 {:?} p99 \
+             {:?}",
+            self.tenant,
+            self.flows_served,
+            self.flows_submitted,
+            self.feedback_applied,
+            self.window_accuracy,
+            self.prequential_accuracy,
+            self.unknown_rate,
+            self.monitor_trips,
+            self.adaptations,
+            self.regenerated_dimensions,
+            self.publishes,
+            match self.last_published_version {
+                Some(version) => format!(" (registry v{version})"),
+                None => String::new(),
+            },
+            self.p50_latency,
+            self.p99_latency,
+        )
+    }
+}
+
+/// A drift-adaptive per-tenant serving lane (see the [module docs](self)).
+///
+/// Where [`ServeEngine`] serves a frozen artifact, an `AdaptiveLane` wraps
+/// a live [`OnlineDetector`] that keeps learning from ground truth:
+///
+/// * [`AdaptiveLane::submit`] serves an unlabelled flow (predict only) and
+///   retains its record so [`AdaptiveLane::submit_feedback`] can apply
+///   late ground truth through the flow's [`Ticket`];
+/// * [`AdaptiveLane::submit_labelled`] serves a flow whose ground truth is
+///   already known — the verdict is the prediction made *before* the
+///   test-then-train update;
+/// * every labelled observation feeds the
+///   [`crate::regeneration::DriftMonitor`]; when it trips, the lane
+///   regenerates low-variance dimensions in place and (when created with
+///   [`AdaptiveLane::with_registry`]) publishes a sealed snapshot through
+///   [`DetectorRegistry::swap`] — frozen lanes of the same tenant pick the
+///   adapted artifact up atomically, in-flight micro-batches finishing on
+///   their pinned generation.
+///
+/// # Determinism
+///
+/// Events are applied strictly in submission order through the serial
+/// [`crate::OnlineLearner`] rule, so the lane's verdicts and final model
+/// are **bit-identical** to a serial replay of the same event sequence,
+/// regardless of flush boundaries, `poll` interleavings or concurrent
+/// lanes on other threads (pinned by `tests/scenario.rs`).
+///
+/// # Example
+///
+/// ```
+/// use cyberhd::serve::{AdaptiveConfig, AdaptiveLane};
+/// use cyberhd::Detector;
+/// use nids_data::synth::SyntheticConfig;
+/// use nids_data::DatasetKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = DatasetKind::NslKdd.generate(&SyntheticConfig::new(400, 7))?;
+/// let detector = Detector::builder().dimension(128).retrain_epochs(1).train(&dataset)?;
+/// let lane = AdaptiveLane::new("edge-0", detector, AdaptiveConfig::default())?;
+///
+/// // A labelled flow: the verdict is the prediction before the update.
+/// let ticket = lane.submit_labelled(&dataset.records()[0], dataset.labels()[0])?;
+/// lane.flush()?;
+/// let verdict = lane.take(&ticket)?;
+/// assert!(verdict.class < dataset.num_classes());
+/// assert_eq!(lane.stats().samples_learned, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveLane {
+    tenant: Arc<str>,
+    /// Process-unique lane id stamped into tickets.
+    id: u64,
+    config: AdaptiveConfig,
+    /// Number of trained classes (label validation happens at submit so
+    /// flushes are infallible).
+    classes: usize,
+    registry: Option<Arc<DetectorRegistry>>,
+    inner: Mutex<AdaptiveInner>,
+}
+
+impl AdaptiveLane {
+    /// Creates an adaptive lane for `tenant` from a sealed artifact,
+    /// without a registry (adaptations stay lane-local; publish manually
+    /// via [`AdaptiveLane::seal_snapshot`] if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for inconsistent watermarks
+    /// or monitor thresholds, and for artifacts that cannot continue
+    /// learning (quantized detectors).
+    pub fn new(tenant: &str, detector: Detector, config: AdaptiveConfig) -> ServeResult<Self> {
+        Self::build(tenant, detector, config, None)
+    }
+
+    /// [`AdaptiveLane::new`] wired to a registry: every adaptation
+    /// republishes a sealed snapshot under `tenant` (swap when registered,
+    /// register at version 1 otherwise), so the frozen serving path picks
+    /// the adapted model up atomically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveLane::new`].
+    pub fn with_registry(
+        tenant: &str,
+        detector: Detector,
+        config: AdaptiveConfig,
+        registry: Arc<DetectorRegistry>,
+    ) -> ServeResult<Self> {
+        Self::build(tenant, detector, config, Some(registry))
+    }
+
+    fn build(
+        tenant: &str,
+        detector: Detector,
+        config: AdaptiveConfig,
+        registry: Option<Arc<DetectorRegistry>>,
+    ) -> ServeResult<Self> {
+        config.validate()?;
+        let monitor = DriftMonitor::new(config.monitor)
+            .map_err(|e| ServeError::InvalidConfig(format!("drift monitor: {e}")))?;
+        let classes = detector.num_classes();
+        let thresholds = detector.thresholds().map(<[f32]>::to_vec);
+        let online = detector.into_online().map_err(|e| {
+            ServeError::InvalidConfig(format!("adaptive lanes need a dense artifact: {e}"))
+        })?;
+        Ok(Self {
+            tenant: tenant.into(),
+            id: next_lane_id(),
+            config,
+            classes,
+            registry,
+            inner: Mutex::new(AdaptiveInner {
+                online,
+                thresholds,
+                queue: VecDeque::new(),
+                retained: HashMap::new(),
+                retained_order: VecDeque::new(),
+                completed: HashMap::new(),
+                next_seq: 0,
+                monitor,
+                pending_publish: false,
+                stats: AdaptiveLaneStats::new(),
+            }),
+        })
+    }
+
+    /// The tenant this lane serves.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The lane's watermark and adaptation configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Submits one unlabelled raw flow, returning a [`Ticket`] for its
+    /// verdict.  The record is retained (up to
+    /// [`AdaptiveConfig::retention`] flows) so ground truth can be applied
+    /// later through [`AdaptiveLane::submit_feedback`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Rejected`] — record fails schema validation,
+    /// * [`ServeError::Backpressure`] — bounded queue full.
+    pub fn submit(&self, record: &[f32]) -> ServeResult<Ticket> {
+        self.submit_event(record, None)
+    }
+
+    /// Submits one raw flow **with ground truth attached**: the flow is
+    /// served (the verdict is the prediction made *before* the update) and
+    /// then immediately learned from — the prequential test-then-train
+    /// step of the paper's streaming deployment.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Rejected`] — record fails schema validation or the
+    ///   label is out of range,
+    /// * [`ServeError::Backpressure`] — bounded queue full.
+    pub fn submit_labelled(&self, record: &[f32], label: usize) -> ServeResult<Ticket> {
+        self.submit_event(record, Some(label))
+    }
+
+    fn submit_event(&self, record: &[f32], label: Option<usize>) -> ServeResult<Ticket> {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        // Validate up front so flushes are infallible: transform_record
+        // can only fail schema validation, and observe only label range.
+        inner
+            .online
+            .preprocessor()
+            .schema()
+            .validate_record(record)
+            .map_err(|e| ServeError::Rejected(CyberHdError::Data(e)))?;
+        if let Some(label) = label {
+            if label >= self.classes {
+                return Err(ServeError::Rejected(CyberHdError::InvalidData(format!(
+                    "label {label} out of range for {} classes",
+                    self.classes
+                ))));
+            }
+        }
+        if inner.queue.len() + inner.completed.len() >= self.config.queue_capacity {
+            inner.stats.rejected += 1;
+            return Err(ServeError::Backpressure {
+                tenant: self.tenant.as_ref().into(),
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if label.is_none() && self.config.retention > 0 {
+            retain(&mut inner, seq, record.to_vec(), self.config.retention);
+        }
+        inner.queue.push_back(AdaptiveEvent::Flow {
+            seq,
+            record: record.to_vec(),
+            label,
+            submitted: Instant::now(),
+        });
+        inner.stats.flows_submitted += 1;
+        if inner.queue.len() >= self.config.max_batch {
+            self.flush_locked(&mut inner);
+        }
+        Ok(Ticket { tenant: Arc::clone(&self.tenant), lane: self.id, seq })
+    }
+
+    /// Applies late ground truth to a previously submitted (unlabelled)
+    /// flow: the retained record is re-scored against the **current**
+    /// model (test-then-train, feeding the drift monitor) and then learned
+    /// from, in submission order with every other queued event.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownTicket`] — foreign ticket,
+    /// * [`ServeError::Rejected`] — label out of range,
+    /// * [`ServeError::FeedbackUnavailable`] — the flow was labelled at
+    ///   submit time, feedback was already applied, or the record aged out
+    ///   of the retention window,
+    /// * [`ServeError::Backpressure`] — bounded queue full (the record
+    ///   stays retained; retry after draining).
+    pub fn submit_feedback(&self, ticket: &Ticket, label: usize) -> ServeResult<()> {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        if ticket.lane != self.id || ticket.tenant.as_ref() != self.tenant.as_ref() {
+            return Err(ServeError::UnknownTicket);
+        }
+        if label >= self.classes {
+            return Err(ServeError::Rejected(CyberHdError::InvalidData(format!(
+                "label {label} out of range for {} classes",
+                self.classes
+            ))));
+        }
+        if !inner.retained.contains_key(&ticket.seq) {
+            return Err(ServeError::FeedbackUnavailable(format!(
+                "flow {} of tenant {:?} is not retained (labelled at submit, feedback already \
+                 applied, or aged out of the {}-flow retention window)",
+                ticket.seq, self.tenant, self.config.retention
+            )));
+        }
+        if inner.queue.len() + inner.completed.len() >= self.config.queue_capacity {
+            inner.stats.rejected += 1;
+            return Err(ServeError::Backpressure {
+                tenant: self.tenant.as_ref().into(),
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let record = inner.retained.remove(&ticket.seq).expect("checked above");
+        inner.retained_order.retain(|&seq| seq != ticket.seq);
+        inner.queue.push_back(AdaptiveEvent::Feedback { record, label, submitted: Instant::now() });
+        inner.stats.feedback_submitted += 1;
+        if inner.queue.len() >= self.config.max_batch {
+            self.flush_locked(&mut inner);
+        }
+        Ok(())
+    }
+
+    /// Flushes every queued event now, returning how many **flows** were
+    /// served (feedback events are applied but serve no verdict).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (events are validated at submit time); the
+    /// `Result` keeps the signature parallel to [`ServeEngine::flush`].
+    pub fn flush(&self) -> ServeResult<usize> {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        Ok(self.flush_locked(&mut inner))
+    }
+
+    /// Flushes if the **oldest** queued event has waited at least
+    /// [`AdaptiveConfig::max_delay`]; returns the number of flows served.
+    pub fn poll(&self) -> usize {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        let expired = inner
+            .queue
+            .front()
+            .is_some_and(|event| event.submitted().elapsed() >= self.config.max_delay);
+        if expired {
+            self.flush_locked(&mut inner)
+        } else {
+            0
+        }
+    }
+
+    /// Applies the queued events strictly in submission order through the
+    /// serial streaming rule, files verdicts, feeds the drift monitor and
+    /// adapts inline when it trips.  Publication (reseal + registry swap)
+    /// runs once at the end, off the per-event path.
+    fn flush_locked(&self, inner: &mut AdaptiveInner) -> usize {
+        if inner.queue.is_empty() {
+            return 0;
+        }
+        let mut served = 0usize;
+        while let Some(event) = inner.queue.pop_front() {
+            match event {
+                AdaptiveEvent::Flow { seq, record, label, submitted } => {
+                    let (class, similarity) = match label {
+                        Some(label) => inner
+                            .online
+                            .observe_scored(&record, label)
+                            .expect("record and label validated at submit time"),
+                        None => inner
+                            .online
+                            .predict_scored(&record)
+                            .expect("record validated at submit time"),
+                    };
+                    let novel = inner.thresholds.as_ref().is_some_and(|t| similarity < t[class]);
+                    let tripped = match label {
+                        Some(label) => inner.monitor.record_labelled(class == label, novel),
+                        None => inner.monitor.record_unlabelled(novel),
+                    };
+                    inner.completed.insert(seq, Verdict { class, similarity, novel });
+                    inner.stats.latency.record(submitted.elapsed());
+                    served += 1;
+                    if tripped {
+                        self.adapt_locked(inner);
+                    }
+                }
+                AdaptiveEvent::Feedback { record, label, .. } => {
+                    let (class, similarity) = inner
+                        .online
+                        .observe_scored(&record, label)
+                        .expect("record and label validated at submit time");
+                    let novel = inner.thresholds.as_ref().is_some_and(|t| similarity < t[class]);
+                    let tripped = inner.monitor.record_labelled(class == label, novel);
+                    inner.stats.feedback_applied += 1;
+                    if tripped {
+                        self.adapt_locked(inner);
+                    }
+                }
+            }
+        }
+        inner.stats.flows_served += served as u64;
+        inner.stats.batches += 1;
+        if inner.pending_publish {
+            inner.pending_publish = false;
+            // Failures are recorded in publish_failures; serving goes on
+            // with the lane-local adapted model either way.
+            let _ = self.publish_now(inner);
+        }
+        served
+    }
+
+    /// One adaptation: regenerate low-variance dimensions in place.  Runs
+    /// inline at the event that tripped the monitor, so the outcome is a
+    /// pure function of the event sequence (flush boundaries cannot move
+    /// it).
+    fn adapt_locked(&self, inner: &mut AdaptiveInner) {
+        let mut regenerated = 0usize;
+        for _ in 0..self.config.regeneration_rounds {
+            let result = match self.config.regeneration_rate {
+                Some(rate) => inner.online.regenerate_at(rate),
+                None => inner.online.regenerate(),
+            };
+            match result {
+                Ok(dims) => regenerated += dims,
+                Err(_) => {
+                    // A non-regenerable encoder: the lane keeps learning
+                    // through the adaptive rule alone.
+                    inner.stats.adaptation_failures += 1;
+                    return;
+                }
+            }
+        }
+        inner.stats.adaptations += 1;
+        inner.stats.regenerated_dimensions += regenerated as u64;
+        if self.config.auto_publish && self.registry.is_some() {
+            inner.pending_publish = true;
+        }
+    }
+
+    /// Seals a snapshot and hands it to the registry (swap, or register at
+    /// version 1 for an unknown tenant), recording the reseal+swap latency
+    /// — the one publication path behind both the automatic post-adaptation
+    /// publish and the manual [`AdaptiveLane::publish`].  Every registry
+    /// refusal increments `publish_failures`.
+    ///
+    /// Published snapshots are **closed-set**: open-set thresholds were
+    /// calibrated against the sealed original memory, and re-attaching
+    /// them to an adapted memory would silently mis-flag traffic, so they
+    /// are dropped (the same rule as [`Detector::into_online`]).  The
+    /// registry makes this observable — [`DetectorRegistry::info`] reports
+    /// `open_set: false` for the swapped-in artifact.
+    fn publish_now(&self, inner: &mut AdaptiveInner) -> ServeResult<u64> {
+        let Some(registry) = self.registry.as_ref() else {
+            return Err(ServeError::InvalidConfig(
+                "this adaptive lane was created without a registry".into(),
+            ));
+        };
+        let start = Instant::now();
+        let sealed = inner.online.seal_snapshot();
+        let result = match registry.swap(&self.tenant, sealed.clone()) {
+            Err(ServeError::UnknownTenant(_)) => registry.register(&self.tenant, sealed).map(|_| 1),
+            swapped => swapped,
+        };
+        match result {
+            Ok(version) => {
+                inner.stats.publish_latency.record(start.elapsed());
+                inner.stats.publishes += 1;
+                inner.stats.last_published_version = Some(version);
+                Ok(version)
+            }
+            Err(e) => {
+                inner.stats.publish_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Publishes a sealed snapshot to the registry now, returning the new
+    /// registry version — the manual form of the automatic post-adaptation
+    /// publication.  The snapshot is closed-set (see the note on
+    /// publication in the type docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a lane created without a
+    /// registry and propagates [`DetectorRegistry::swap`] /
+    /// [`DetectorRegistry::register`] errors (counted in
+    /// [`AdaptiveStats::publish_failures`]).
+    pub fn publish(&self) -> ServeResult<u64> {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        self.publish_now(&mut inner)
+    }
+
+    /// Non-blocking collect: the verdict if the ticket's flow has been
+    /// served, `None` while it is still queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownTicket`] for a foreign or
+    /// already-collected ticket.
+    pub fn try_take(&self, ticket: &Ticket) -> ServeResult<Option<Verdict>> {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        if ticket.lane != self.id || ticket.tenant.as_ref() != self.tenant.as_ref() {
+            return Err(ServeError::UnknownTicket);
+        }
+        if let Some(verdict) = inner.completed.remove(&ticket.seq) {
+            return Ok(Some(verdict));
+        }
+        let pending = inner
+            .queue
+            .iter()
+            .any(|event| matches!(event, AdaptiveEvent::Flow { seq, .. } if *seq == ticket.seq));
+        if pending {
+            return Ok(None);
+        }
+        Err(ServeError::UnknownTicket)
+    }
+
+    /// Collects a ticket's verdict, flushing first if the flow is still
+    /// queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownTicket`] for a foreign or
+    /// already-collected ticket.
+    pub fn take(&self, ticket: &Ticket) -> ServeResult<Verdict> {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        if ticket.lane != self.id || ticket.tenant.as_ref() != self.tenant.as_ref() {
+            return Err(ServeError::UnknownTicket);
+        }
+        if let Some(verdict) = inner.completed.remove(&ticket.seq) {
+            return Ok(verdict);
+        }
+        let pending = inner
+            .queue
+            .iter()
+            .any(|event| matches!(event, AdaptiveEvent::Flow { seq, .. } if *seq == ticket.seq));
+        if pending {
+            self.flush_locked(&mut inner);
+            return inner.completed.remove(&ticket.seq).ok_or(ServeError::UnknownTicket);
+        }
+        Err(ServeError::UnknownTicket)
+    }
+
+    /// Cumulative prequential (test-then-train) accuracy of the lane's
+    /// labelled stream.
+    pub fn prequential_accuracy(&self) -> f64 {
+        self.inner.lock().expect("adaptive lane lock").online.prequential_accuracy()
+    }
+
+    /// Seals a snapshot of the current model (the lane keeps adapting).
+    pub fn seal_snapshot(&self) -> Detector {
+        self.inner.lock().expect("adaptive lane lock").online.seal_snapshot()
+    }
+
+    /// A point-in-time snapshot of the lane's counters.
+    pub fn stats(&self) -> AdaptiveStats {
+        let inner = self.inner.lock().expect("adaptive lane lock");
+        let stats = &inner.stats;
+        AdaptiveStats {
+            tenant: self.tenant.as_ref().into(),
+            flows_submitted: stats.flows_submitted,
+            flows_served: stats.flows_served,
+            feedback_submitted: stats.feedback_submitted,
+            feedback_applied: stats.feedback_applied,
+            rejected: stats.rejected,
+            queue_depth: inner.queue.len(),
+            uncollected: inner.completed.len(),
+            retained: inner.retained.len(),
+            batches: stats.batches,
+            samples_learned: inner.online.samples_seen(),
+            prequential_accuracy: inner.online.prequential_accuracy(),
+            window_accuracy: inner.monitor.window_accuracy(),
+            window_error: inner.monitor.window_error(),
+            unknown_rate: inner.monitor.unknown_rate(),
+            baseline_error: inner.monitor.baseline_error(),
+            monitor_trips: inner.monitor.trips(),
+            adaptations: stats.adaptations,
+            regenerated_dimensions: stats.regenerated_dimensions,
+            adaptation_failures: stats.adaptation_failures,
+            effective_dimension: inner.online.learner().effective_dimension(),
+            publishes: stats.publishes,
+            publish_failures: stats.publish_failures,
+            last_published_version: stats.last_published_version,
+            mean_latency: stats.latency.mean(),
+            p50_latency: stats.latency.percentile(0.50),
+            p99_latency: stats.latency.percentile(0.99),
+            p50_publish_latency: stats.publish_latency.percentile(0.50),
+            max_publish_latency: stats.publish_latency.max(),
+        }
+    }
+}
+
+/// Retains `record` under `seq`, evicting the oldest retained flow when
+/// the window is full.
+fn retain(inner: &mut AdaptiveInner, seq: u64, record: Vec<f32>, retention: usize) {
+    if inner.retained.len() >= retention {
+        if let Some(oldest) = inner.retained_order.pop_front() {
+            inner.retained.remove(&oldest);
+        }
+    }
+    inner.retained.insert(seq, record);
+    inner.retained_order.push_back(seq);
 }
 
 #[cfg(test)]
@@ -1219,5 +2057,317 @@ mod tests {
         assert!(ServeError::IncompatibleSwap("w".into()).to_string().contains("hot-swap"));
         assert!(ServeError::DuplicateTenant("d".into()).to_string().contains("registered"));
         assert!(ServeError::UnknownTenant("u".into()).to_string().contains("tenant"));
+        assert!(ServeError::FeedbackUnavailable("f".into()).to_string().contains("feedback"));
+    }
+
+    // -----------------------------------------------------------------
+    // Adaptive lanes
+    // -----------------------------------------------------------------
+
+    /// A monitor tuned to trip quickly in unit-sized streams.
+    fn touchy_monitor() -> DriftMonitorConfig {
+        DriftMonitorConfig {
+            window: 16,
+            min_observations: 8,
+            error_delta: 0.25,
+            unknown_surge: 2.0,
+            cooldown: 8,
+        }
+    }
+
+    #[test]
+    fn adaptive_config_is_validated() {
+        let data = dataset(300, 3);
+        let detector = detector(&data, 5);
+        for bad in [
+            AdaptiveConfig { max_batch: 0, ..AdaptiveConfig::default() },
+            AdaptiveConfig { max_batch: 64, queue_capacity: 8, ..AdaptiveConfig::default() },
+            AdaptiveConfig { regeneration_rounds: 0, ..AdaptiveConfig::default() },
+            AdaptiveConfig {
+                monitor: DriftMonitorConfig { window: 0, ..DriftMonitorConfig::default() },
+                ..AdaptiveConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                AdaptiveLane::new("t0", detector.clone(), bad),
+                Err(ServeError::InvalidConfig(_))
+            ));
+        }
+        // Quantized artifacts cannot keep learning.
+        let quantized = Detector::builder()
+            .dimension(128)
+            .retrain_epochs(1)
+            .quantize(hdc::BitWidth::B1)
+            .train(&data)
+            .unwrap();
+        assert!(matches!(
+            AdaptiveLane::new("t0", quantized, AdaptiveConfig::default()),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn adaptive_lane_matches_a_serial_online_replay() {
+        let data = dataset(400, 31);
+        let detector = detector(&data, 9);
+        let lane = AdaptiveLane::new(
+            "t0",
+            detector.clone(),
+            AdaptiveConfig { max_batch: 7, ..AdaptiveConfig::default() },
+        )
+        .unwrap();
+        let mut oracle = detector.into_online().unwrap();
+
+        let mut tickets = Vec::new();
+        for (i, (record, &label)) in data.records().iter().zip(data.labels()).take(60).enumerate() {
+            if i % 3 == 0 {
+                tickets.push((lane.submit(record).unwrap(), None::<usize>, record));
+            } else {
+                tickets.push((lane.submit_labelled(record, label).unwrap(), Some(label), record));
+            }
+            if i % 11 == 0 {
+                lane.flush().unwrap();
+            }
+        }
+        lane.flush().unwrap();
+
+        for (ticket, label, record) in &tickets {
+            let verdict = lane.take(ticket).unwrap();
+            let (class, similarity) = match label {
+                Some(label) => oracle.observe_scored(record, *label).unwrap(),
+                None => oracle.predict_scored(record).unwrap(),
+            };
+            assert_eq!(verdict.class, class);
+            assert_eq!(verdict.similarity.to_bits(), similarity.to_bits());
+            assert!(!verdict.novel, "no thresholds on a closed-set lane");
+        }
+        let stats = lane.stats();
+        assert_eq!(stats.flows_served, 60);
+        assert_eq!(stats.samples_learned, oracle.samples_seen());
+        assert_eq!(stats.prequential_accuracy, oracle.prequential_accuracy());
+        assert_eq!(stats.uncollected, 0);
+        // The lane's model is the oracle's model, bit for bit.
+        assert_eq!(
+            lane.seal_snapshot().to_bytes(),
+            oracle.seal_snapshot().to_bytes(),
+            "interleaved flushes must not change the model a serial replay produces"
+        );
+    }
+
+    #[test]
+    fn adaptive_feedback_applies_late_ground_truth_in_order() {
+        let data = dataset(300, 37);
+        let lane = AdaptiveLane::new("t0", detector(&data, 3), AdaptiveConfig::default()).unwrap();
+
+        let labelled = lane.submit_labelled(&data.records()[0], data.labels()[0]).unwrap();
+        let unlabelled = lane.submit(&data.records()[1]).unwrap();
+        lane.flush().unwrap();
+        assert_eq!(lane.stats().samples_learned, 1, "unlabelled flows do not train");
+
+        // Late ground truth arrives through the ticket.
+        lane.submit_feedback(&unlabelled, data.labels()[1]).unwrap();
+        lane.flush().unwrap();
+        let stats = lane.stats();
+        assert_eq!(stats.samples_learned, 2);
+        assert_eq!(stats.feedback_submitted, 1);
+        assert_eq!(stats.feedback_applied, 1);
+
+        // Applying it twice fails; so does feedback for a labelled submit,
+        // a foreign ticket, or an out-of-range label.
+        assert!(matches!(
+            lane.submit_feedback(&unlabelled, data.labels()[1]),
+            Err(ServeError::FeedbackUnavailable(_))
+        ));
+        assert!(matches!(
+            lane.submit_feedback(&labelled, data.labels()[0]),
+            Err(ServeError::FeedbackUnavailable(_))
+        ));
+        let foreign = Ticket { tenant: "t0".into(), lane: lane.id + 1, seq: 0 };
+        assert!(matches!(lane.submit_feedback(&foreign, 0), Err(ServeError::UnknownTicket)));
+        let fresh = lane.submit(&data.records()[2]).unwrap();
+        assert!(matches!(lane.submit_feedback(&fresh, 999), Err(ServeError::Rejected(_))));
+        // Verdicts still collectable.
+        assert!(lane.take(&labelled).is_ok());
+        assert!(lane.take(&unlabelled).is_ok());
+    }
+
+    #[test]
+    fn adaptive_retention_window_ages_flows_out() {
+        let data = dataset(300, 41);
+        let config = AdaptiveConfig { retention: 2, ..AdaptiveConfig::default() };
+        let lane = AdaptiveLane::new("t0", detector(&data, 3), config).unwrap();
+        let first = lane.submit(&data.records()[0]).unwrap();
+        lane.submit(&data.records()[1]).unwrap();
+        lane.submit(&data.records()[2]).unwrap();
+        // The first flow aged out of the 2-flow retention window.
+        assert!(matches!(lane.submit_feedback(&first, 0), Err(ServeError::FeedbackUnavailable(_))));
+        assert_eq!(lane.stats().retained, 2);
+
+        // retention = 0 disables late feedback entirely.
+        let no_feedback = AdaptiveLane::new(
+            "t1",
+            detector(&data, 3),
+            AdaptiveConfig { retention: 0, ..AdaptiveConfig::default() },
+        )
+        .unwrap();
+        let ticket = no_feedback.submit(&data.records()[0]).unwrap();
+        assert!(matches!(
+            no_feedback.submit_feedback(&ticket, 0),
+            Err(ServeError::FeedbackUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn adaptive_backpressure_and_rejection_leave_the_lane_sound() {
+        let data = dataset(300, 43);
+        let config =
+            AdaptiveConfig { max_batch: 4, queue_capacity: 4, ..AdaptiveConfig::default() };
+        let lane = AdaptiveLane::new("t0", detector(&data, 3), config).unwrap();
+        // Malformed records and out-of-range labels are rejected up front.
+        assert!(matches!(lane.submit(&[1.0, 2.0]), Err(ServeError::Rejected(_))));
+        assert!(matches!(
+            lane.submit_labelled(&data.records()[0], 999),
+            Err(ServeError::Rejected(_))
+        ));
+        // Four submissions fill the queue (the fourth auto-flushes into
+        // four uncollected verdicts, which still occupy it).
+        let tickets: Vec<Ticket> =
+            data.records()[..4].iter().map(|r| lane.submit(r).unwrap()).collect();
+        assert!(matches!(
+            lane.submit(&data.records()[4]),
+            Err(ServeError::Backpressure { capacity: 4, .. })
+        ));
+        let stats = lane.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.uncollected, 4);
+        // Draining frees capacity again.
+        assert!(lane.take(&tickets[0]).is_ok());
+        assert!(lane.submit(&data.records()[4]).is_ok());
+    }
+
+    #[test]
+    fn adaptive_poll_honours_max_delay() {
+        let data = dataset(300, 47);
+        let config =
+            AdaptiveConfig { max_delay: Duration::from_millis(1), ..AdaptiveConfig::default() };
+        let lane = AdaptiveLane::new("t0", detector(&data, 3), config).unwrap();
+        let ticket = lane.submit(&data.records()[0]).unwrap();
+        assert_eq!(lane.poll(), 0, "not yet expired");
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(lane.poll(), 1);
+        assert!(lane.try_take(&ticket).unwrap().is_some());
+        // try_take semantics: pending -> None, collected -> UnknownTicket.
+        let pending = lane.submit(&data.records()[1]).unwrap();
+        assert!(lane.try_take(&pending).unwrap().is_none());
+        assert!(matches!(lane.try_take(&ticket), Err(ServeError::UnknownTicket)));
+    }
+
+    #[test]
+    fn adaptive_drift_trip_regenerates_and_republishes() {
+        let data = dataset(600, 53);
+        let v1 = Detector::builder()
+            .dimension(128)
+            .retrain_epochs(2)
+            .regeneration_rate(0.1)
+            .seed(7)
+            .train(&data)
+            .unwrap();
+        let registry = Arc::new(DetectorRegistry::new());
+        registry.register("edge", v1.clone()).unwrap();
+        let config =
+            AdaptiveConfig { monitor: touchy_monitor(), max_batch: 8, ..AdaptiveConfig::default() };
+        let lane = AdaptiveLane::with_registry("edge", v1, config, Arc::clone(&registry)).unwrap();
+
+        // Calm phase: true labels freeze a low baseline error.
+        for (record, &label) in data.records().iter().zip(data.labels()).take(40) {
+            lane.submit_labelled(record, label).unwrap();
+        }
+        lane.flush().unwrap();
+        assert_eq!(lane.stats().monitor_trips, 0, "stationary traffic must not trip");
+
+        // Abrupt shift: the label semantics rotate, so the frozen-baseline
+        // window error surges and the monitor trips.
+        let classes = data.num_classes();
+        for (record, &label) in data.records().iter().zip(data.labels()).skip(40).take(120) {
+            lane.submit_labelled(record, (label + 1) % classes).unwrap();
+        }
+        lane.flush().unwrap();
+
+        let stats = lane.stats();
+        assert!(stats.monitor_trips >= 1, "rotated labels must trip the monitor: {stats}");
+        assert!(stats.adaptations >= 1);
+        assert!(stats.regenerated_dimensions >= 1);
+        assert!(
+            stats.effective_dimension > 128,
+            "regeneration grows the effective dimension: {}",
+            stats.effective_dimension
+        );
+        assert!(stats.publishes >= 1, "auto-publish must fire after an adaptation");
+        assert_eq!(stats.publish_failures, 0);
+        let version = registry.version("edge").unwrap();
+        assert!(version >= 2, "the registry must have received a swap, got v{version}");
+        assert_eq!(stats.last_published_version, Some(version));
+        assert!(stats.max_publish_latency >= stats.p50_publish_latency);
+
+        // Auto-publications snapshot the model *at publish time*; the lane
+        // has kept learning since.  A manual publish hands the registry the
+        // current model, bit for bit.
+        let republished = lane.publish().unwrap();
+        assert_eq!(republished, version + 1);
+        let (published, _) = registry.current("edge").unwrap();
+        assert_eq!(published.to_bytes(), lane.seal_snapshot().to_bytes());
+    }
+
+    #[test]
+    fn engine_and_adaptive_tickets_for_the_same_tenant_cannot_cross_collect() {
+        let data = dataset(300, 61);
+        let artifact = detector(&data, 3);
+        let registry = Arc::new(DetectorRegistry::new());
+        registry.register("edge", artifact.clone()).unwrap();
+        let engine = ServeEngine::new(Arc::clone(&registry), ServeConfig::default()).unwrap();
+        let lane = AdaptiveLane::with_registry(
+            "edge",
+            artifact,
+            AdaptiveConfig::default(),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+
+        // Same tenant, same sequence number (both start at 0) — lane ids
+        // come from one process-global counter, so neither side can
+        // collect (and thereby consume) the other's verdict.
+        let engine_ticket = engine.submit("edge", &data.records()[0]).unwrap();
+        let lane_ticket = lane.submit(&data.records()[1]).unwrap();
+        assert_eq!(engine_ticket.seq(), lane_ticket.seq());
+        engine.flush("edge").unwrap();
+        lane.flush().unwrap();
+
+        assert!(matches!(lane.take(&engine_ticket), Err(ServeError::UnknownTicket)));
+        assert!(matches!(lane.try_take(&engine_ticket), Err(ServeError::UnknownTicket)));
+        assert!(matches!(lane.submit_feedback(&engine_ticket, 0), Err(ServeError::UnknownTicket)));
+        assert!(matches!(engine.take(&lane_ticket), Err(ServeError::UnknownTicket)));
+        // The rightful owners still collect.
+        assert!(engine.take(&engine_ticket).is_ok());
+        assert!(lane.take(&lane_ticket).is_ok());
+    }
+
+    #[test]
+    fn adaptive_publish_registers_unknown_tenants() {
+        let data = dataset(300, 59);
+        let registry = Arc::new(DetectorRegistry::new());
+        let lane = AdaptiveLane::with_registry(
+            "fresh",
+            detector(&data, 3),
+            AdaptiveConfig::default(),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        assert_eq!(lane.publish().unwrap(), 1, "publish registers an unknown tenant");
+        assert_eq!(lane.publish().unwrap(), 2, "and swaps once registered");
+        assert_eq!(registry.version("fresh"), Some(2));
+        // A lane without a registry refuses to publish.
+        let lonely =
+            AdaptiveLane::new("t0", detector(&data, 3), AdaptiveConfig::default()).unwrap();
+        assert!(matches!(lonely.publish(), Err(ServeError::InvalidConfig(_))));
     }
 }

@@ -382,6 +382,94 @@ mod tests {
     }
 
     #[test]
+    fn latency_histogram_empty_behaviour_is_total() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        for q in [0.0, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.percentile(q), Duration::ZERO, "empty histogram, q={q}");
+        }
+        // Merging an empty histogram is a no-op in both directions.
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(3));
+        let before = a.percentile(1.0);
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.percentile(1.0), before);
+        let mut b = LatencyHistogram::new();
+        b.merge(&a);
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.max(), a.max());
+    }
+
+    #[test]
+    fn latency_histogram_bucket_boundaries_hold_at_powers_of_two() {
+        // Every value below LINEAR_BUCKETS resolves exactly; above that,
+        // a single recorded value v reports a p100 in [v, v * (1 + 2^-3)]
+        // (8 sub-buckets per octave => <= 12.5% overshoot), capped at the
+        // exact max.  Exercise the exact boundary values on both sides of
+        // several octaves.
+        for ns in [1u64, 15, 16, 17, 31, 32, 127, 128, 129, 1 << 20, (1 << 20) + 1, (1 << 40) - 1] {
+            let mut h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(ns));
+            let got = h.percentile(1.0).as_nanos() as u64;
+            assert_eq!(got, ns, "a single observation is capped at the exact max");
+            if ns < 16 {
+                continue;
+            }
+            // Two observations of the same value: the percentile comes from
+            // the bucket bound, which must bracket the value from above
+            // within the documented 12.5%.
+            let mut h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(ns));
+            h.record(Duration::from_nanos(ns * 2));
+            let p50 = h.percentile(0.5).as_nanos() as u64;
+            assert!(p50 >= ns, "p50 {p50} below the true value {ns}");
+            assert!(p50 <= ns + ns / 8, "p50 {p50} overshoots {ns} by more than 12.5%");
+        }
+    }
+
+    #[test]
+    fn latency_histogram_p50_p99_on_known_distributions() {
+        // Constant distribution: every quantile is the constant.
+        let mut constant = LatencyHistogram::new();
+        for _ in 0..1000 {
+            constant.record(Duration::from_micros(250));
+        }
+        assert_eq!(constant.percentile(0.5), Duration::from_micros(250));
+        assert_eq!(constant.percentile(0.99), Duration::from_micros(250));
+        assert_eq!(constant.mean(), Duration::from_micros(250));
+
+        // Bimodal 99:1 distribution: p50 sits on the fast mode, p99 on the
+        // boundary rank of the fast mode, p100 on the slow tail.
+        let mut bimodal = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let latency =
+                if i % 100 == 0 { Duration::from_millis(10) } else { Duration::from_micros(100) };
+            bimodal.record(latency);
+        }
+        let p50 = bimodal.percentile(0.5);
+        assert!(p50 >= Duration::from_micros(100) && p50 < Duration::from_micros(120), "{p50:?}");
+        let p99 = bimodal.percentile(0.99);
+        assert!(p99 < Duration::from_millis(1), "rank 990 is a fast flow, got {p99:?}");
+        assert_eq!(bimodal.percentile(1.0), Duration::from_millis(10));
+
+        // Uniform 1..=1000 us: quantiles are conservative (upper bucket
+        // bound) but never below the true rank value and never more than
+        // 12.5% above it.
+        let mut uniform = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            uniform.record(Duration::from_micros(us));
+        }
+        for (q, true_us) in [(0.5, 500u64), (0.99, 990)] {
+            let got = uniform.percentile(q).as_nanos() as u64;
+            let truth = true_us * 1000;
+            assert!(got >= truth && got <= truth + truth / 8, "q={q}: {got} vs {truth}");
+        }
+    }
+
+    #[test]
     fn geometric_mean_behaves() {
         assert_eq!(geometric_mean(&[]), None);
         assert_eq!(geometric_mean(&[1.0, -2.0]), None);

@@ -43,9 +43,29 @@ impl DriftPhase {
         Self { samples, class_weight_multipliers: multipliers, difficulty: 1.0 }
     }
 
+    /// A phase from which one class is entirely **absent** (multiplier
+    /// zero) — the "before" side of a zero-day scenario: train and serve
+    /// without the class, then let a later phase introduce it.
+    pub fn absent(samples: usize, num_classes: usize, class: usize) -> Self {
+        let mut multipliers = vec![1.0; num_classes];
+        if class < num_classes {
+            multipliers[class] = 0.0;
+        }
+        Self { samples, class_weight_multipliers: multipliers, difficulty: 1.0 }
+    }
+
     /// Sets the difficulty of this phase (builder style).
     pub fn difficulty(mut self, difficulty: f64) -> Self {
         self.difficulty = difficulty;
+        self
+    }
+
+    /// Scales one class's prevalence multiplier (builder style; out-of-range
+    /// classes are ignored).
+    pub fn scale_class(mut self, class: usize, multiplier: f64) -> Self {
+        if class < self.class_weight_multipliers.len() {
+            self.class_weight_multipliers[class] = multiplier;
+        }
         self
     }
 }
@@ -96,12 +116,11 @@ impl DriftStream {
                         "phase {index} has an invalid weight multiplier {multiplier}"
                     )));
                 }
+                // A zero multiplier removes the class from this phase
+                // outright: the generator structurally never samples a
+                // zero-weight profile (no "infinitesimal weight" escape
+                // hatch — an absent class is *guaranteed* absent).
                 profile.weight *= multiplier;
-                // A removed class keeps an infinitesimal weight so profile
-                // validation still passes; it will practically never be drawn.
-                if profile.weight == 0.0 {
-                    profile.weight = f64::MIN_POSITIVE;
-                }
             }
             let config =
                 SyntheticConfig::new(phase.samples, seed.wrapping_add(index as u64 * 7919))
@@ -145,6 +164,19 @@ impl DriftStream {
                 self.phase_starts.len()
             ))
         })
+    }
+
+    /// The half-open flow-index range `start..end` of phase `phase` — the
+    /// windowing primitive of the scenario-replay harness (per-phase
+    /// accuracy is always computed over exactly these flows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] for an unknown phase.
+    pub fn phase_range(&self, phase: usize) -> Result<std::ops::Range<usize>> {
+        let start = self.phase_start(phase)?;
+        let end = self.phase_starts.get(phase + 1).copied().unwrap_or(self.dataset.len());
+        Ok(start..end)
     }
 
     /// The phase that flow `index` belongs to.
@@ -243,6 +275,58 @@ mod tests {
             difficulty: 1.0,
         };
         assert!(DriftStream::generate(&schema, &profiles, &[negative], 0).is_err());
+    }
+
+    #[test]
+    fn streams_are_bit_identical_per_seed_with_exact_phase_boundaries() {
+        let (schema, profiles) = base();
+        let phases = vec![
+            DriftPhase::stationary(400, profiles.len()),
+            DriftPhase::surge(250, profiles.len(), 2, 12.0).difficulty(1.5),
+            DriftPhase::absent(150, profiles.len(), 0),
+        ];
+        let a = DriftStream::generate(&schema, &profiles, &phases, 77).unwrap();
+        let b = DriftStream::generate(&schema, &profiles, &phases, 77).unwrap();
+        // Same seed + phases => the *entire* flow sequence is bit-identical
+        // (records as IEEE-754 bit patterns, labels, phase boundaries).
+        assert_eq!(a.dataset().labels(), b.dataset().labels());
+        assert_eq!(a.dataset().records().len(), b.dataset().records().len());
+        for (ra, rb) in a.dataset().records().iter().zip(b.dataset().records()) {
+            let bits_a: Vec<u32> = ra.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u32> = rb.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+        // Phase boundary sample counts are exact, not approximate.
+        assert_eq!(a.phase_range(0).unwrap(), 0..400);
+        assert_eq!(a.phase_range(1).unwrap(), 400..650);
+        assert_eq!(a.phase_range(2).unwrap(), 650..800);
+        assert!(a.phase_range(3).is_err());
+        assert_eq!(a.len(), 800);
+        // A different seed produces a different stream.
+        let c = DriftStream::generate(&schema, &profiles, &phases, 78).unwrap();
+        assert_ne!(a.dataset().labels(), c.dataset().labels());
+    }
+
+    #[test]
+    fn absent_classes_are_structurally_never_emitted() {
+        let (schema, profiles) = base();
+        // A long absent phase: the guarantee is structural (zero-weight
+        // profiles are excluded from the sampler), not probabilistic.
+        let phases = vec![
+            DriftPhase::absent(4000, profiles.len(), 1),
+            DriftPhase::stationary(500, profiles.len()).scale_class(2, 0.0),
+        ];
+        let stream = DriftStream::generate(&schema, &profiles, &phases, 13).unwrap();
+        let range = stream.phase_range(0).unwrap();
+        assert_eq!(
+            stream.dataset().labels()[range].iter().filter(|&&l| l == 1).count(),
+            0,
+            "a zero-weight class must never be emitted in its absent phase"
+        );
+        let range = stream.phase_range(1).unwrap();
+        assert_eq!(stream.dataset().labels()[range].iter().filter(|&&l| l == 2).count(), 0);
+        // The class reappears nowhere else either (phase 1 kept class 1).
+        assert!(stream.dataset().labels().iter().any(|&l| l == 1));
     }
 
     #[test]

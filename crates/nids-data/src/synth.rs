@@ -59,9 +59,13 @@ impl ClassProfile {
                 self.name
             )));
         }
-        if !(self.weight.is_finite() && self.weight > 0.0) {
+        // A weight of exactly zero is legal: it removes the class from the
+        // sampled mix (the drift streams use this for absent/zero-day
+        // classes).  The generator separately requires the *total* weight
+        // to be positive.
+        if !(self.weight.is_finite() && self.weight >= 0.0) {
             return Err(DataError::InvalidArgument(format!(
-                "profile {:?} has non-positive weight {}",
+                "profile {:?} has a negative or non-finite weight {}",
                 self.name, self.weight
             )));
         }
@@ -195,16 +199,29 @@ impl Sampler {
     }
 
     /// Samples an index from an unnormalized discrete distribution.
+    ///
+    /// Indices with a non-positive weight are **never** returned: they are
+    /// skipped during the scan, and the rounding fallback (a `target` left
+    /// marginally positive after every subtraction) lands on the last
+    /// positive-weight index instead of blindly on the last index.  This is
+    /// the guarantee the drift streams' zero-weight (absent/zero-day)
+    /// classes rely on — without the skip, a draw of exactly `0.0` from the
+    /// RNG could emit a zero-weight class.
     pub(crate) fn categorical(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
         let mut target = self.rng.gen::<f64>() * total;
+        let mut last_positive = 0usize;
         for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            last_positive = i;
             target -= w;
             if target <= 0.0 {
                 return i;
             }
         }
-        weights.len() - 1
+        last_positive
     }
 }
 
@@ -238,8 +255,13 @@ pub fn generate(
         profile.validate(schema)?;
     }
 
-    let mut sampler = Sampler::new(config.seed);
     let weights: Vec<f64> = profiles.iter().map(|p| p.weight).collect();
+    if weights.iter().sum::<f64>() <= 0.0 {
+        return Err(DataError::InvalidArgument(
+            "at least one class profile must have a positive weight".into(),
+        ));
+    }
+    let mut sampler = Sampler::new(config.seed);
     let mut records = Vec::with_capacity(config.samples);
     let mut labels = Vec::with_capacity(config.samples);
 
@@ -404,9 +426,28 @@ mod tests {
         bad[0].categorical_probs[1] = vec![0.5, 0.5];
         assert!(generate(&s, &bad, &SyntheticConfig::new(10, 0)).is_err());
 
+        // Negative weights are rejected; an all-zero mix has nothing to
+        // sample from.
         let mut bad = profiles();
-        bad[0].weight = 0.0;
+        bad[0].weight = -1.0;
         assert!(generate(&s, &bad, &SyntheticConfig::new(10, 0)).is_err());
+        let mut empty_mix = profiles();
+        for profile in &mut empty_mix {
+            profile.weight = 0.0;
+        }
+        assert!(generate(&s, &empty_mix, &SyntheticConfig::new(10, 0)).is_err());
+    }
+
+    #[test]
+    fn zero_weight_classes_are_never_sampled() {
+        // A single zero-weight class is legal and is structurally excluded
+        // from the mix — not just "astronomically unlikely".
+        let mut zeroed = profiles();
+        zeroed[1].weight = 0.0;
+        let d = generate(&schema(), &zeroed, &SyntheticConfig::new(3000, 17)).unwrap();
+        assert_eq!(d.len(), 3000);
+        assert_eq!(d.labels().iter().filter(|&&l| l == 1).count(), 0);
+        assert_eq!(d.class_counts()[0], 3000);
     }
 
     #[test]
@@ -419,5 +460,19 @@ mod tests {
         }
         assert_eq!(counts[1], 0);
         assert!(counts[2] > 2 * counts[0]);
+    }
+
+    #[test]
+    fn sampler_categorical_never_lands_on_zero_weight_edges() {
+        // Zero weight in the leading position (the `target == 0.0` edge)
+        // and in the trailing position (the rounding-fallback edge) must
+        // both be unreachable.
+        let mut sampler = Sampler::new(11);
+        for _ in 0..5000 {
+            assert_eq!(sampler.categorical(&[0.0, 1.0]), 1);
+            assert_eq!(sampler.categorical(&[1.0, 0.0]), 0);
+            let middle = sampler.categorical(&[0.0, 0.5, 0.5, 0.0]);
+            assert!(middle == 1 || middle == 2, "zero-weight edge emitted index {middle}");
+        }
     }
 }

@@ -66,10 +66,11 @@ pub mod prelude {
     pub use baselines::svm::{LinearSvm, SvmConfig};
     pub use baselines::Classifier;
     pub use cyberhd::{
-        BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer, DetectScratch, Detector,
-        DetectorBuilder, DetectorInfo, DetectorRegistry, EncoderKind, OnlineDetector,
-        OnlineLearner, OpenSetDetector, OpenSetPrediction, QuantizedModel, ScoringBackend,
-        ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, TrainingBatch, Verdict,
+        AdaptiveConfig, AdaptiveLane, AdaptiveStats, BaselineHd, CyberHdConfig, CyberHdModel,
+        CyberHdTrainer, DetectScratch, Detector, DetectorBuilder, DetectorInfo, DetectorRegistry,
+        DriftMonitor, DriftMonitorConfig, EncoderKind, OnlineDetector, OnlineLearner,
+        OpenSetDetector, OpenSetPrediction, QuantizedModel, ScoringBackend, ServeConfig,
+        ServeEngine, ServeError, ServeStats, Ticket, TrainingBatch, Verdict,
     };
     pub use eval::detection::{DetectionCounts, RocCurve};
     pub use eval::metrics::{accuracy, ConfusionMatrix};

@@ -1,0 +1,429 @@
+//! Deterministic scenario-replay harness for drift-adaptive serving.
+//!
+//! This suite pins the three load-bearing properties of the adaptive
+//! serving loop (`cyberhd::serve::AdaptiveLane` + `DriftMonitor` +
+//! regeneration + registry republish) under seeded
+//! [`nids_data::drift::DriftStream`] scenarios:
+//!
+//! 1. **Serial-replay bit-identity** — an adaptive lane's verdicts *and*
+//!    its final model are bit-identical to a serial [`OnlineDetector`]
+//!    replay of the same event sequence (submits, labelled submits, late
+//!    feedback, monitor trips, regenerations), across randomized flush
+//!    interleavings, 1/2/8 concurrent lanes and all four dataset kinds.
+//! 2. **Frozen-lane bit-identity** — the PR-4 contract survives every
+//!    scenario: frozen tenants stay bit-identical to one `detect_batch`
+//!    oracle call even while the adaptive lane republishes into the same
+//!    registry.
+//! 3. **Drift recovery** — on the abrupt-shift scenario the adaptive
+//!    lane's post-drift prequential accuracy beats the frozen artifact by
+//!    a pinned margin, with at least one automatic regeneration + registry
+//!    swap firing mid-stream; the zero-day scenario trips on the open-set
+//!    unknown-rate surge with almost no labels at all.
+
+use bench::scenario::{
+    abrupt_shift, class_surge, gradual_drift, replay, zero_day, ReplayConfig, ADAPTIVE_TENANT,
+};
+use cyberhd_suite::prelude::*;
+use hdc::rng::HdcRng;
+use nids_data::drift::{DriftPhase, DriftStream};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// 1. Serial-replay bit-identity
+// ---------------------------------------------------------------------
+
+/// One scheduled event of the deterministic replay: what arrives, in what
+/// order — the *only* thing the adaptive lane's outcome may depend on.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Serve a flow; `label` attaches ground truth at submit time.
+    Submit { flow: usize, label: Option<usize> },
+    /// Late ground truth for the `ticket`-th submission.
+    Feedback { ticket: usize, label: usize },
+}
+
+/// A drifting labelled stream whose second phase rotates the label
+/// semantics — guaranteed prequential-error surge, so the monitor trips
+/// (and regenerates) somewhere mid-schedule on every kind.
+fn scheduled_events(kind: DatasetKind, seed: u64) -> (DriftStream, Vec<Event>) {
+    let (schema, profiles) = (kind.schema(), kind.profiles());
+    let phases = vec![
+        DriftPhase::stationary(150, profiles.len()),
+        DriftPhase::stationary(150, profiles.len()).difficulty(1.5),
+    ];
+    let live = DriftStream::generate(&schema, &profiles, &phases, seed).expect("stream");
+    let classes = profiles.len();
+
+    let mut rng = HdcRng::seed_from(seed ^ 0xE7E47);
+    let mut events = Vec::new();
+    let mut pending_feedback: Vec<(usize, usize, usize)> = Vec::new(); // (due, ticket, label)
+    for i in 0..live.len() {
+        // Phase 1 rotates ground truth, so the labelled error rate surges.
+        let truth = live.dataset().labels()[i];
+        let label = if i < 150 { truth } else { (truth + 1) % classes };
+        if rng.bernoulli(0.65) {
+            events.push(Event::Submit { flow: i, label: Some(label) });
+        } else {
+            events.push(Event::Submit { flow: i, label: None });
+            if rng.bernoulli(0.7) {
+                // Every flow is one submission, so flow index == ticket
+                // index in the lane's submission order.
+                let due = events.len() + 1 + rng.index(15);
+                pending_feedback.push((due, i, label));
+            }
+        }
+        // Emit feedback whose due point has passed, in due order.
+        pending_feedback.sort_by_key(|&(due, _, _)| due);
+        while pending_feedback.first().is_some_and(|&(due, _, _)| due <= events.len()) {
+            let (_, ticket, label) = pending_feedback.remove(0);
+            events.push(Event::Feedback { ticket, label });
+        }
+    }
+    for (_, ticket, label) in pending_feedback {
+        events.push(Event::Feedback { ticket, label });
+    }
+    (live, events)
+}
+
+fn scenario_monitor() -> DriftMonitorConfig {
+    DriftMonitorConfig {
+        window: 24,
+        min_observations: 12,
+        error_delta: 0.2,
+        unknown_surge: 0.4,
+        cooldown: 16,
+    }
+}
+
+/// The adaptation policy, replayed serially on a plain [`OnlineDetector`]
+/// — written out independently here so the test pins the lane's policy
+/// rather than calling back into it.
+struct SerialOracle {
+    online: OnlineDetector,
+    thresholds: Option<Vec<f32>>,
+    monitor: DriftMonitor,
+}
+
+impl SerialOracle {
+    fn new(detector: Detector, monitor: DriftMonitorConfig) -> Self {
+        let thresholds = detector.thresholds().map(<[f32]>::to_vec);
+        Self {
+            online: detector.into_online().expect("dense artifact"),
+            thresholds,
+            monitor: DriftMonitor::new(monitor).expect("valid monitor"),
+        }
+    }
+
+    /// Applies one event; returns the verdict for submits.
+    fn step(&mut self, record: &[f32], label: Option<usize>, is_feedback: bool) -> Option<Verdict> {
+        let (class, similarity) = match label {
+            Some(label) => self.online.observe_scored(record, label).expect("valid event"),
+            None => self.online.predict_scored(record).expect("valid event"),
+        };
+        let novel = self.thresholds.as_ref().is_some_and(|t| similarity < t[class]);
+        let tripped = match label {
+            Some(label) => self.monitor.record_labelled(class == label, novel),
+            None => self.monitor.record_unlabelled(novel),
+        };
+        if tripped {
+            self.online.regenerate().expect("RBF artifacts regenerate");
+        }
+        (!is_feedback).then_some(Verdict { class, similarity, novel })
+    }
+}
+
+/// Replays the schedule through one adaptive lane with randomized flush /
+/// poll / collect interleavings, returning the verdicts in submission
+/// order and the sealed final model.
+fn lane_replay(
+    detector: Detector,
+    live: &DriftStream,
+    events: &[Event],
+    interleave_seed: u64,
+) -> (Vec<Verdict>, Vec<u8>) {
+    let mut rng = HdcRng::seed_from(interleave_seed);
+    let config = AdaptiveConfig {
+        max_batch: 3 + rng.index(12),
+        queue_capacity: events.len() + 64,
+        monitor: scenario_monitor(),
+        retention: events.len(),
+        ..AdaptiveConfig::default()
+    };
+    let lane = AdaptiveLane::new("lane", detector, config).expect("valid lane");
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut collected: Vec<Option<Verdict>> = Vec::new();
+    for event in events {
+        match event {
+            Event::Submit { flow, label } => {
+                let record = live.dataset().records()[*flow].as_slice();
+                let ticket = match label {
+                    Some(label) => lane.submit_labelled(record, *label).unwrap(),
+                    None => lane.submit(record).unwrap(),
+                };
+                tickets.push(ticket);
+                collected.push(None);
+            }
+            Event::Feedback { ticket, label } => {
+                lane.submit_feedback(&tickets[*ticket], *label).unwrap();
+            }
+        }
+        // Randomized interleaving: flushes, delay polls and early collects
+        // must all be invisible to the outcome.
+        if rng.bernoulli(0.08) {
+            lane.flush().unwrap();
+        }
+        if rng.bernoulli(0.05) {
+            lane.poll();
+        }
+        if rng.bernoulli(0.1) && !tickets.is_empty() {
+            let pick = rng.index(tickets.len());
+            if collected[pick].is_none() {
+                if let Ok(Some(verdict)) = lane.try_take(&tickets[pick]) {
+                    collected[pick] = Some(verdict);
+                }
+            }
+        }
+    }
+    lane.flush().unwrap();
+    let verdicts = tickets
+        .iter()
+        .zip(collected)
+        .map(|(ticket, early)| match early {
+            Some(verdict) => verdict,
+            None => lane.take(ticket).unwrap(),
+        })
+        .collect();
+    (verdicts, lane.seal_snapshot().to_bytes())
+}
+
+#[test]
+fn adaptive_lanes_are_bit_identical_to_a_serial_online_replay() {
+    for kind in DatasetKind::ALL {
+        // Train on a stationary slice of the same traffic shape; one kind
+        // gets open-set thresholds so novelty flags are exercised too.
+        let (schema, profiles) = (kind.schema(), kind.profiles());
+        let train_phases = [DriftPhase::stationary(500, profiles.len())];
+        let train =
+            DriftStream::generate(&schema, &profiles, &train_phases, 5 + kind as u64).unwrap();
+        let mut builder = Detector::builder()
+            .dimension(112)
+            .retrain_epochs(1)
+            .regeneration_rate(0.1)
+            .seed(3 + kind as u64);
+        if kind == DatasetKind::CicIds2017 {
+            builder = builder.open_set(0.05);
+        }
+        let detector = builder.train(train.dataset()).unwrap();
+
+        let (live, events) = scheduled_events(kind, 31 + kind as u64);
+
+        // The serial oracle: one OnlineDetector, events applied in order.
+        let mut oracle = SerialOracle::new(detector.clone(), scenario_monitor());
+        let mut oracle_verdicts = Vec::new();
+        for event in &events {
+            match event {
+                Event::Submit { flow, label } => {
+                    let record = live.dataset().records()[*flow].as_slice();
+                    oracle_verdicts.push(oracle.step(record, *label, false).unwrap());
+                }
+                Event::Feedback { ticket, label } => {
+                    let record = live.dataset().records()[*ticket].as_slice();
+                    oracle.step(record, Some(*label), true);
+                }
+            }
+        }
+        let oracle_bytes = oracle.online.seal_snapshot().to_bytes();
+        assert!(
+            oracle.monitor.trips() >= 1,
+            "{kind:?}: the rotated-label phase must trip the monitor for this test to have power"
+        );
+
+        // >= 3 randomized interleavings x 1/2/8 concurrent lanes: every
+        // lane must reproduce the oracle bit for bit.
+        for trial in 0..3u64 {
+            for threads in [1usize, 2, 8] {
+                let results: Vec<(Vec<Verdict>, Vec<u8>)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let detector = detector.clone();
+                            let live = &live;
+                            let events = &events;
+                            let seed = 1_000 * trial + 37 * t as u64 + kind as u64;
+                            scope.spawn(move || lane_replay(detector, live, events, seed))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                for (lane_index, (verdicts, bytes)) in results.iter().enumerate() {
+                    assert_eq!(verdicts.len(), oracle_verdicts.len());
+                    for (i, (got, want)) in verdicts.iter().zip(&oracle_verdicts).enumerate() {
+                        assert_eq!(
+                            got.class, want.class,
+                            "{kind:?} trial {trial} threads {threads} lane {lane_index} flow {i}"
+                        );
+                        assert_eq!(
+                            got.similarity.to_bits(),
+                            want.similarity.to_bits(),
+                            "{kind:?} trial {trial} threads {threads} lane {lane_index} flow {i}: \
+                             similarity must be bit-exact"
+                        );
+                        assert_eq!(got.novel, want.novel, "{kind:?} flow {i}");
+                    }
+                    assert_eq!(
+                        bytes, &oracle_bytes,
+                        "{kind:?} trial {trial} threads {threads} lane {lane_index}: the final \
+                         model must be bit-identical to the serial replay"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2 & 3. Scenario replays: frozen contract + drift recovery
+// ---------------------------------------------------------------------
+
+#[test]
+fn abrupt_shift_recovers_with_an_automatic_regeneration_and_swap() {
+    let spec = abrupt_shift(DatasetKind::NslKdd);
+    let outcome = replay(&spec, &ReplayConfig::default()).unwrap();
+
+    // The frozen lane held the PR-4 bit-identity contract throughout.
+    assert!(outcome.frozen_bit_identical, "frozen lane diverged from its detect_batch oracle");
+
+    // Drift recovery: over the post-drift window the adaptive lane beats
+    // the frozen artifact by a pinned margin.
+    assert!(
+        outcome.recovery_delta() >= 0.10,
+        "adaptive recovery must beat the frozen artifact by >= 10 points: adaptive {:.3} vs \
+         frozen {:.3} over {:?}",
+        outcome.adaptive_recovery_accuracy,
+        outcome.frozen_recovery_accuracy,
+        outcome.recovery_window,
+    );
+    assert!(
+        outcome.adaptive_recovery_accuracy >= 0.70,
+        "the adapted lane must actually recover, got {:.3}",
+        outcome.adaptive_recovery_accuracy
+    );
+
+    // At least one automatic regeneration + registry swap fired mid-stream.
+    let stats = &outcome.adaptive;
+    assert!(stats.monitor_trips >= 1, "the abrupt shift must trip the monitor: {stats}");
+    assert!(stats.adaptations >= 1, "{stats}");
+    assert!(stats.regenerated_dimensions >= 1, "{stats}");
+    assert!(stats.publishes >= 1, "an automatic republish must fire mid-stream: {stats}");
+    assert_eq!(stats.publish_failures, 0, "{stats}");
+    assert!(
+        outcome.final_registry_version >= 2,
+        "the registry must have swapped to an adapted artifact, got v{}",
+        outcome.final_registry_version
+    );
+    assert!(
+        stats.effective_dimension > 256,
+        "regeneration grows D*: {}",
+        stats.effective_dimension
+    );
+}
+
+#[test]
+fn published_snapshots_serve_frozen_lanes_bit_identically() {
+    // Replay the abrupt shift, then drive the frozen micro-batching
+    // engine against the *adaptive* tenant of the registry the lane
+    // republished into: probe submissions must score bit-identically to
+    // the last published artifact's detect_batch — the republish →
+    // hot-swap → micro-batch handoff, end to end.
+    let spec = abrupt_shift(DatasetKind::NslKdd);
+    let config = ReplayConfig { seed: 41, ..ReplayConfig::default() };
+    let outcome = replay(&spec, &config).unwrap();
+    assert!(outcome.adaptive.publishes >= 1, "{}", outcome.adaptive);
+    assert!(outcome.final_registry_version >= 2);
+
+    let (schema, profiles) = (spec.kind.schema(), spec.kind.profiles());
+    let probe_phases = [DriftPhase::stationary(64, profiles.len())];
+    let probe = DriftStream::generate(&schema, &profiles, &probe_phases, 4242).unwrap();
+
+    let engine = ServeEngine::new(Arc::clone(&outcome.registry), ServeConfig::default()).unwrap();
+    let tickets: Vec<Ticket> = probe
+        .dataset()
+        .records()
+        .iter()
+        .map(|record| engine.submit(ADAPTIVE_TENANT, record).unwrap())
+        .collect();
+    engine.flush(ADAPTIVE_TENANT).unwrap();
+
+    let (published, version) = outcome.registry.current(ADAPTIVE_TENANT).unwrap();
+    assert_eq!(version, outcome.final_registry_version);
+    let oracle = published.detect_batch(probe.dataset().records()).unwrap();
+    for (ticket, want) in tickets.iter().zip(&oracle) {
+        let got = engine.take(ticket).unwrap();
+        assert_eq!(got.class, want.class);
+        assert_eq!(
+            got.similarity.to_bits(),
+            want.similarity.to_bits(),
+            "frozen serving of the published artifact must be bit-identical"
+        );
+    }
+    // The frozen tenant was never swapped.
+    assert_eq!(outcome.registry.version(bench::scenario::FROZEN_TENANT), Some(1));
+}
+
+#[test]
+fn zero_day_surge_trips_on_novelty_with_sparse_labels() {
+    let spec = zero_day(DatasetKind::NslKdd);
+    // Analyst-in-the-loop: ground truth for every fourth flow arrives 250
+    // flows late, so when the unseen class erupts there are **no labels
+    // for it at all** for hundreds of flows — the monitor's trip has to
+    // come from the open-set unknown-rate surge, not the error window.
+    let config = ReplayConfig { feedback_every: 4, feedback_delay: 250, ..ReplayConfig::default() };
+    let outcome = replay(&spec, &config).unwrap();
+
+    assert!(outcome.frozen_bit_identical);
+    let stats = &outcome.adaptive;
+    assert!(
+        stats.monitor_trips >= 1,
+        "the zero-day surge must trip on novelty despite sparse labels: {stats}"
+    );
+    assert!(stats.adaptations >= 1, "{stats}");
+    assert!(stats.publishes >= 1, "{stats}");
+    // Publication semantics, pinned: republished snapshots are closed-set
+    // (thresholds were calibrated against the pre-adaptation memory), and
+    // the registry makes that observable; the never-swapped frozen tenant
+    // keeps its open-set artifact.
+    let registry = &outcome.registry;
+    assert!(!registry.info(ADAPTIVE_TENANT).unwrap().open_set);
+    assert!(registry.info(bench::scenario::FROZEN_TENANT).unwrap().open_set);
+    // The frozen artifact has never seen the surging class; the adaptive
+    // lane learns it from the sparse feedback and pulls ahead.
+    assert!(
+        outcome.recovery_delta() >= 0.05,
+        "adaptive {:.3} vs frozen {:.3}",
+        outcome.adaptive_recovery_accuracy,
+        outcome.frozen_recovery_accuracy
+    );
+}
+
+#[test]
+fn gradual_drift_and_class_surge_hold_the_contracts() {
+    for spec in [gradual_drift(DatasetKind::CicIds2017), class_surge(DatasetKind::CicIds2018)] {
+        let config = ReplayConfig { dimension: 160, train_samples: 800, ..ReplayConfig::default() };
+        let outcome = replay(&spec, &config).unwrap();
+        assert!(outcome.frozen_bit_identical, "{}: frozen lane diverged", spec.name);
+        assert_eq!(outcome.flows, outcome.adaptive_verdicts.len());
+        assert_eq!(outcome.adaptive.rejected, 0, "{}", spec.name);
+        // Adaptation must never make the lane meaningfully worse than the
+        // frozen artifact over the post-drift window.  (Prequential
+        // accuracy on a high-overlap regime can sit a few points below a
+        // frozen batch-trained model — the bound is a regression guard,
+        // not a win claim.)
+        assert!(
+            outcome.recovery_delta() >= -0.08,
+            "{}: adaptive {:.3} vs frozen {:.3}",
+            spec.name,
+            outcome.adaptive_recovery_accuracy,
+            outcome.frozen_recovery_accuracy
+        );
+        let _ = ADAPTIVE_TENANT;
+    }
+}

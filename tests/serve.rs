@@ -256,6 +256,54 @@ fn backpressure_rejects_at_capacity_and_drains_back_to_health() {
 }
 
 #[test]
+fn evicting_a_tenant_with_queued_submissions_fails_tickets_with_defined_errors() {
+    let data = generate(DatasetKind::NslKdd, 400, 53);
+    let detector =
+        Detector::builder().dimension(128).retrain_epochs(1).seed(9).train(&data).unwrap();
+    let registry = Arc::new(DetectorRegistry::new());
+    registry.register("edge", detector.clone()).unwrap();
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        ServeConfig { max_batch: 64, ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    // Queue several flows without flushing, then evict the lane while the
+    // tenant stays registered.  Every outstanding ticket must resolve with
+    // a defined error — not hang, not collect a buried verdict.
+    let tickets: Vec<Ticket> =
+        data.records()[..5].iter().map(|r| engine.submit("edge", r).unwrap()).collect();
+    assert!(engine.evict("edge"));
+    for ticket in &tickets {
+        assert!(matches!(engine.take(ticket), Err(ServeError::UnknownTicket)));
+        assert!(matches!(engine.try_take(ticket), Err(ServeError::UnknownTicket)));
+    }
+    // poll() after the eviction is a no-op for the orphan (nothing left to
+    // flush) and new submissions start a fresh lane with fresh sequence
+    // numbers whose verdicts old tickets cannot collect.
+    std::thread::sleep(engine.config().max_delay);
+    engine.poll();
+    let fresh = engine.submit("edge", &data.records()[0]).unwrap();
+    assert_eq!(fresh.seq(), tickets[0].seq(), "the recreated lane recycles sequence numbers");
+    engine.flush("edge").unwrap();
+    assert!(matches!(engine.take(&tickets[0]), Err(ServeError::UnknownTicket)));
+    assert_eq!(
+        engine.take(&fresh).unwrap(),
+        detector.detect_batch(&data.records()[..1]).unwrap()[0]
+    );
+
+    // The registry-removal flavour: queued flows, tenant removed, poll
+    // reaps the lane; tickets now fail with UnknownTenant.
+    let queued: Vec<Ticket> =
+        data.records()[..5].iter().map(|r| engine.submit("edge", r).unwrap()).collect();
+    registry.remove("edge").unwrap();
+    engine.poll();
+    for ticket in queued.iter().chain(std::iter::once(&fresh)) {
+        assert!(matches!(engine.take(ticket), Err(ServeError::UnknownTenant(_))));
+    }
+}
+
+#[test]
 fn registry_swaps_are_versioned_and_admission_checked_end_to_end() {
     let nsl = generate(DatasetKind::NslKdd, 400, 47);
     let cic = generate(DatasetKind::CicIds2017, 400, 47);
