@@ -1,0 +1,187 @@
+//! Durability benchmarks: what the WAL + checkpoint stack costs on the
+//! serving path, and how fast a crashed lane comes back.
+//!
+//! Three measurements (scale via `CYBERHD_RECOVER_DIM` /
+//! `CYBERHD_RECOVER_EVENTS` / `CYBERHD_RECOVER_REPS`):
+//!
+//! 1. **Durable overhead** — the same labelled stream through a plain
+//!    [`AdaptiveLane`] and through a [`DurableLane`] (every event framed,
+//!    checksummed and fsynced per micro-batch), reporting both throughputs
+//!    and the slowdown factor the durability guarantee costs.
+//! 2. **Replay throughput vs log length** — a lane is built, run for a
+//!    fixed number of events with checkpoints disabled, flushed and
+//!    dropped (a crash right after the last fsync); recovery then replays
+//!    the whole tail.  Reported at three log lengths as events/s plus the
+//!    p50 recovery latency across reps.
+//! 3. **Checkpoint bound** — the same full-length log but with the
+//!    checkpoint cadence enabled: recovery loads the newest checkpoint and
+//!    replays only the short tail, demonstrating that recovery time is
+//!    bounded by `checkpoint_every`, not by stream length.
+//!
+//! Emits the `BENCH_recover.json` snapshot at the workspace root.  Every
+//! recovery is asserted bit-identical to the lane that was dropped (the
+//! sealed model bytes must match), so the numbers only ever describe
+//! correct recoveries.
+
+use bench::{env_usize, limited_class_dataset, snapshot, timed_pass};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyberhd::{AdaptiveConfig, AdaptiveLane, Detector, DurableConfig, DurableLane};
+use eval::ThroughputReport;
+use nids_data::DatasetKind;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cyberhd_recovery_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Heavy passes are timed directly, as in the serve bench; criterion's
+    // calibrated micro-sampling cannot hold a full recovery pass.
+    let _ = c;
+    let dim = env_usize("CYBERHD_RECOVER_DIM", 2_048);
+    let events = env_usize("CYBERHD_RECOVER_EVENTS", 4_096);
+    let reps = env_usize("CYBERHD_RECOVER_REPS", 3);
+
+    let dataset =
+        limited_class_dataset(DatasetKind::NslKdd, 4, 1_000, 31).expect("dataset generation");
+    let detector = Detector::builder()
+        .dimension(dim)
+        .retrain_epochs(1)
+        .regeneration_rate(0.1)
+        .seed(23)
+        .train(&dataset)
+        .expect("training succeeds");
+    let flows: Vec<(Vec<f32>, usize)> = dataset
+        .records()
+        .iter()
+        .zip(dataset.labels())
+        .cycle()
+        .take(events)
+        .map(|(record, &label)| (record.clone(), label))
+        .collect();
+
+    let adaptive =
+        AdaptiveConfig { max_batch: 32, queue_capacity: events + 64, ..AdaptiveConfig::default() };
+
+    println!(
+        "\nrecovery: dim={dim}, classes={}, events={events}, reps={reps}",
+        detector.num_classes()
+    );
+
+    // 1. Durable overhead: identical labelled stream, with and without the
+    // write-ahead stack underneath.
+    let (plain, _) = timed_pass(events, reps, || {
+        let lane = AdaptiveLane::new("bench", detector.clone(), adaptive).expect("valid lane");
+        for (record, label) in &flows {
+            let _ = lane.submit_labelled(record, *label).expect("capacity sized to stream");
+        }
+        lane.flush().expect("flush succeeds");
+        lane.stats().flows_served
+    });
+    let durable_dir = fresh_dir("overhead");
+    let (durable, _) = timed_pass(events, reps, || {
+        std::fs::remove_dir_all(&durable_dir).ok();
+        let config = DurableConfig { adaptive, checkpoint_every: 1_024, keep_checkpoints: 2 };
+        let lane = DurableLane::create(&durable_dir, "bench", detector.clone(), config, None)
+            .expect("fresh directory");
+        for (record, label) in &flows {
+            let _ = lane.submit_labelled(record, *label).expect("capacity sized to stream");
+        }
+        lane.flush().expect("flush succeeds");
+        lane.stats().flows_served
+    });
+    std::fs::remove_dir_all(&durable_dir).ok();
+    println!("  plain adaptive lane   : {plain}");
+    println!("  durable lane (WAL+ckpt): {durable}");
+    println!("  durability overhead    : {:.2}x slower", plain.speedup_over(&durable));
+
+    let mut arms = vec![
+        snapshot::Arm::new("adaptive_plain", plain),
+        snapshot::Arm::new("adaptive_durable", durable),
+    ];
+    let mut extra_params: Vec<(String, f64)> = Vec::new();
+
+    // 2 & 3. Recovery latency: replay-bound (checkpoints out of reach) at
+    // three log lengths, then checkpoint-bound at full length.
+    println!("\nrecovery latency (p50 of {reps} recoveries per configuration):");
+    let full = events.max(4);
+    for (label, tail, checkpoint_every) in [
+        ("replay_quarter_log", full / 4, 10 * full as u64),
+        ("replay_half_log", full / 2, 10 * full as u64),
+        ("replay_full_log", full, 10 * full as u64),
+        ("checkpoint_bounded", full, 256),
+    ] {
+        let dir = fresh_dir(label);
+        let config = DurableConfig { adaptive, checkpoint_every, keep_checkpoints: 2 };
+        let sealed = {
+            let lane = DurableLane::create(&dir, "bench", detector.clone(), config, None)
+                .expect("fresh directory");
+            for (record, label) in &flows[..tail] {
+                let _ = lane.submit_labelled(record, *label).expect("capacity sized to stream");
+            }
+            lane.flush().expect("flush succeeds");
+            lane.seal_snapshot().to_bytes()
+            // The process dies here: everything flushed is on disk, the
+            // lane object and its tickets are gone.
+        };
+        let mut durations = Vec::with_capacity(reps.max(1));
+        let mut replayed = 0u64;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let (lane, report) = DurableLane::recover(&dir, None).expect("recoverable directory");
+            durations.push(start.elapsed());
+            replayed = report.events_replayed;
+            assert_eq!(
+                lane.seal_snapshot().to_bytes(),
+                sealed,
+                "{label}: recovery must rebuild the crashed lane bit for bit"
+            );
+        }
+        durations.sort();
+        let p50 = durations[durations.len() / 2];
+        let best = *durations.first().expect("at least one rep");
+        let report = ThroughputReport::new(best, replayed as usize);
+        println!(
+            "  {label:<20}: {tail} events logged, {replayed} replayed, p50 {:.2} ms, {:.0} \
+             events/s",
+            p50.as_secs_f64() * 1e3,
+            report.samples_per_second(),
+        );
+        extra_params.push((format!("p50_ms_{label}"), p50.as_secs_f64() * 1e3));
+        extra_params.push((format!("events_replayed_{label}"), replayed as f64));
+        arms.push(snapshot::Arm::new(&format!("recover_{label}"), report));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // The checkpoint must actually bound the replay: the bounded arm saw
+    // the same full-length stream but replays only the post-checkpoint
+    // tail.
+    let bounded_replayed = extra_params
+        .iter()
+        .find(|(key, _)| key == "events_replayed_checkpoint_bounded")
+        .map_or(0.0, |(_, v)| *v);
+    assert!(
+        bounded_replayed <= 256.0,
+        "a checkpoint every 256 events must bound replay to one cadence, got {bounded_replayed}"
+    );
+
+    let speedups = vec![("durability_overhead", plain.speedup_over(&durable))];
+    let mut params: Vec<(&str, f64)> = vec![
+        ("dim", dim as f64),
+        ("classes", detector.num_classes() as f64),
+        ("events", events as f64),
+        ("reps", reps as f64),
+        ("max_batch", adaptive.max_batch as f64),
+    ];
+    params.extend(extra_params.iter().map(|(k, v)| (k.as_str(), *v)));
+    match snapshot::write("BENCH_recover.json", "recover", &params, &arms, &speedups) {
+        Ok(path) => println!("  snapshot: {}", path.display()),
+        Err(err) => eprintln!("  snapshot write failed: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,350 @@
+//! Kill-at-random-offset crash/recovery driver for durable lanes.
+//!
+//! The companion of [`crate::scenario`] for the durability stack
+//! ([`cyberhd::DurableLane`]): where `scenario::replay` proves the
+//! adaptive lane's *live* contracts, this module proves the *crash*
+//! contract — a lane killed at an arbitrary event boundary, with seeded
+//! storage faults layered on top of the kill
+//! ([`fault_inject::DiskFaultInjector`] torn appends and
+//! random-offset truncation of the WAL, bit flips in checkpoints),
+//! recovers and finishes its stream **bit-identical** to the lane that
+//! never crashed.
+//!
+//! One matrix cell is:
+//!
+//! 1. [`build_cell`] — a trained artifact, a drifting live stream
+//!    ([`CrashSchedule`] picks the shape) and a seeded event schedule of
+//!    labelled/unlabelled submits plus late feedback,
+//! 2. [`run_uncrashed`] — the whole schedule through one durable lane:
+//!    the oracle timeline,
+//! 3. [`run_crashed`] — the same schedule cut at a kill point, the
+//!    process "dies" (unflushed events vanish), the on-disk bytes are
+//!    mangled, the lane recovers and the schedule continues from the
+//!    durable horizon the [`RecoveryReport`] names.
+//!
+//! `tests/scenario.rs` asserts the two timelines agree bit for bit across
+//! kill points × dataset kinds × drift schedules; the recovery bench
+//! reuses the same driver for timing.
+
+use cyberhd::{
+    AdaptiveConfig, AdaptiveStats, Detector, DriftMonitorConfig, DurableConfig, DurableLane,
+    RecoveryReport, Ticket, Verdict,
+};
+use fault_inject::DiskFaultInjector;
+use hdc::rng::HdcRng;
+use hdc::wal;
+use nids_data::drift::{DriftPhase, DriftStream};
+use nids_data::DatasetKind;
+use std::path::{Path, PathBuf};
+
+/// Drift-schedule shapes of the crash matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSchedule {
+    /// One hard distribution break, with rotated label semantics after it
+    /// (guaranteed monitor trips — the crash lands amid real adaptations).
+    Abrupt,
+    /// Difficulty ramps over three phases; labels rotate in the last.
+    Gradual,
+    /// A class absent from training erupts, with almost no labels; the
+    /// artifact carries open-set thresholds so novelty drives the trips.
+    ZeroDay,
+}
+
+impl CrashSchedule {
+    /// All schedule shapes, in matrix order.
+    pub const ALL: [CrashSchedule; 3] =
+        [CrashSchedule::Abrupt, CrashSchedule::Gradual, CrashSchedule::ZeroDay];
+}
+
+/// One scheduled event of a crash-matrix replay: what arrives, in what
+/// order — the only thing either timeline's outcome may depend on.
+#[derive(Debug, Clone)]
+pub enum CrashEvent {
+    /// Serve a flow; `label` attaches ground truth at submit time.
+    Submit {
+        /// Index into the live stream's records (== the flow's sequence
+        /// number: every flow is submitted exactly once, in order).
+        flow: usize,
+        /// Ground truth attached at submit time, when present.
+        label: Option<usize>,
+    },
+    /// Late ground truth for the `ticket`-th submission.
+    Feedback {
+        /// Submission-order index of the flow the label belongs to.
+        ticket: usize,
+        /// The ground-truth label.
+        label: usize,
+    },
+}
+
+/// One crash-matrix cell: the sealed artifact both timelines start from,
+/// the drifting live stream, and the event schedule they replay.
+#[derive(Debug)]
+pub struct CrashCell {
+    /// The live drifting stream the schedule draws flows from.
+    pub live: DriftStream,
+    /// The event schedule (submits + late feedback), in arrival order.
+    pub events: Vec<CrashEvent>,
+    /// The trained artifact each timeline's lane is created from.
+    pub detector: Detector,
+}
+
+impl CrashCell {
+    /// Flows in the schedule (== distinct sequence numbers issued).
+    pub fn flow_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, CrashEvent::Submit { .. })).count()
+    }
+}
+
+/// Builds one crash-matrix cell: trains a 96-dimensional artifact on a
+/// pre-drift mix, generates the schedule's live stream and lays out a
+/// seeded mix of labelled/unlabelled submits and late feedback.
+///
+/// # Panics
+///
+/// Panics if stream generation or training fails (seeded synthetic data —
+/// a failure is a bug, not an input condition).
+pub fn build_cell(kind: DatasetKind, schedule: CrashSchedule, seed: u64) -> CrashCell {
+    let (schema, profiles) = (kind.schema(), kind.profiles());
+    let classes = profiles.len();
+    let unseen = classes - 1;
+    let (train_phases, live_phases, labelled_p, feedback_p, rotate_from) = match schedule {
+        CrashSchedule::Abrupt => (
+            vec![DriftPhase::stationary(300, classes)],
+            vec![
+                DriftPhase::stationary(90, classes),
+                DriftPhase::stationary(110, classes).difficulty(1.5),
+            ],
+            0.65,
+            0.7,
+            90usize,
+        ),
+        CrashSchedule::Gradual => (
+            vec![DriftPhase::stationary(300, classes)],
+            vec![
+                DriftPhase::stationary(70, classes),
+                DriftPhase::stationary(70, classes).difficulty(1.25),
+                DriftPhase::stationary(60, classes).difficulty(1.6),
+            ],
+            0.5,
+            0.6,
+            140,
+        ),
+        CrashSchedule::ZeroDay => (
+            vec![DriftPhase::absent(300, classes, unseen)],
+            vec![
+                DriftPhase::absent(90, classes, unseen),
+                DriftPhase::stationary(110, classes).scale_class(unseen, 60.0),
+            ],
+            0.3,
+            0.6,
+            usize::MAX,
+        ),
+    };
+    let train = DriftStream::generate(&schema, &profiles, &train_phases, seed ^ 0x7A1)
+        .expect("seeded training stream");
+    let mut builder = Detector::builder()
+        .dimension(96)
+        .retrain_epochs(1)
+        .regeneration_rate(0.1)
+        .seed(seed ^ 0x3D);
+    if schedule == CrashSchedule::ZeroDay {
+        // The zero-day trip has to come from open-set novelty.
+        builder = builder.open_set(0.05);
+    }
+    let detector = builder.train(train.dataset()).expect("training succeeds");
+    let live =
+        DriftStream::generate(&schema, &profiles, &live_phases, seed).expect("seeded live stream");
+
+    let mut rng = HdcRng::seed_from(seed ^ 0xC4A54);
+    let mut events = Vec::new();
+    let mut pending_feedback: Vec<(usize, usize, usize)> = Vec::new(); // (due, ticket, label)
+    for i in 0..live.len() {
+        // Past the rotation point ground truth rotates, so the labelled
+        // error rate surges and the monitor trips mid-schedule.
+        let truth = live.dataset().labels()[i];
+        let label = if i < rotate_from { truth } else { (truth + 1) % classes };
+        if rng.bernoulli(labelled_p) {
+            events.push(CrashEvent::Submit { flow: i, label: Some(label) });
+        } else {
+            events.push(CrashEvent::Submit { flow: i, label: None });
+            if rng.bernoulli(feedback_p) {
+                let due = events.len() + 1 + rng.index(15);
+                pending_feedback.push((due, i, label));
+            }
+        }
+        pending_feedback.sort_by_key(|&(due, _, _)| due);
+        while pending_feedback.first().is_some_and(|&(due, _, _)| due <= events.len()) {
+            let (_, ticket, label) = pending_feedback.remove(0);
+            events.push(CrashEvent::Feedback { ticket, label });
+        }
+    }
+    for (_, ticket, label) in pending_feedback {
+        events.push(CrashEvent::Feedback { ticket, label });
+    }
+    CrashCell { live, events, detector }
+}
+
+/// A durability policy tight enough that every cell crosses several
+/// checkpoints, prunes old ones and compacts the WAL mid-stream.
+pub fn crash_config(events: usize, monitor: DriftMonitorConfig) -> DurableConfig {
+    DurableConfig {
+        adaptive: AdaptiveConfig {
+            max_batch: 7,
+            queue_capacity: events + 64,
+            monitor,
+            retention: events,
+            ..AdaptiveConfig::default()
+        },
+        checkpoint_every: 48,
+        keep_checkpoints: 2,
+    }
+}
+
+/// What one timeline (crashed or not) observed, for bit-for-bit comparison.
+#[derive(Debug)]
+pub struct TimelineOutcome {
+    /// Verdicts by flow sequence number; `None` where the timeline never
+    /// observed one (pre-checkpoint flows whose tickets died in the crash).
+    pub verdicts: Vec<Option<Verdict>>,
+    /// The final sealed model bytes.
+    pub sealed: Vec<u8>,
+    /// The lane's cumulative prequential accuracy.
+    pub prequential: f64,
+    /// The lane's final serving statistics.
+    pub stats: AdaptiveStats,
+}
+
+/// Feeds a slice of the schedule into a durable lane, collecting the
+/// tickets of the flows it submitted.  Feedback goes through
+/// [`DurableLane::reissue_ticket`], so the same driver serves both the
+/// first run and the post-recovery continuation (where the original
+/// tickets died with the process).
+fn drive(lane: &DurableLane, live: &DriftStream, events: &[CrashEvent], tickets: &mut Vec<Ticket>) {
+    for event in events {
+        match event {
+            CrashEvent::Submit { flow, label } => {
+                let record = live.dataset().records()[*flow].as_slice();
+                let ticket = match label {
+                    Some(label) => lane.submit_labelled(record, *label),
+                    None => lane.submit(record),
+                }
+                .expect("capacity sized to the schedule");
+                assert_eq!(
+                    ticket.seq() as usize,
+                    *flow,
+                    "sequence numbering must be stable across recovery"
+                );
+                tickets.push(ticket);
+            }
+            CrashEvent::Feedback { ticket, label } => {
+                lane.submit_feedback(&lane.reissue_ticket(*ticket as u64), *label)
+                    .expect("retention sized to the schedule");
+            }
+        }
+    }
+}
+
+/// The uncrashed oracle: the whole schedule through one durable lane in
+/// `dir`, every verdict collected.
+///
+/// # Panics
+///
+/// Panics if the lane cannot be created in `dir` or any event is refused
+/// (both are bugs at the driver's fixed scale).
+pub fn run_uncrashed(dir: &Path, cell: &CrashCell, config: &DurableConfig) -> TimelineOutcome {
+    let lane = DurableLane::create(dir, "durable", cell.detector.clone(), config.clone(), None)
+        .expect("fresh directory");
+    let mut tickets = Vec::new();
+    drive(&lane, &cell.live, &cell.events, &mut tickets);
+    lane.flush().expect("flush succeeds");
+    let mut verdicts = vec![None; cell.flow_count()];
+    for ticket in &tickets {
+        verdicts[ticket.seq() as usize] = Some(lane.take(ticket).expect("flushed verdict"));
+    }
+    TimelineOutcome {
+        verdicts,
+        sealed: lane.seal_snapshot().to_bytes(),
+        prequential: lane.prequential_accuracy(),
+        stats: lane.stats(),
+    }
+}
+
+fn newest_checkpoint(dir: &Path) -> PathBuf {
+    let mut checkpoints: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("lane directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable directory entry").path();
+            path.extension().is_some_and(|ext| ext == "ckpt").then_some(path)
+        })
+        .collect();
+    checkpoints.sort();
+    checkpoints.pop().expect("a durable lane always has a checkpoint")
+}
+
+/// The crashed timeline: run to `kill_event`, die without flushing, mangle
+/// the on-disk state with seeded storage faults, recover, and finish the
+/// schedule from the durable horizon the recovery reports.
+///
+/// The faults layered on the kill: a torn WAL append, then the log cut at
+/// a random offset past the header (the cut can land mid-record or even
+/// below a checkpoint), and — when `damage_checkpoint` is set — one
+/// flipped bit in the newest checkpoint, which recovery must reject and
+/// fall back past.
+///
+/// # Panics
+///
+/// Panics if recovery fails or any replayed/continued event is refused —
+/// the matrix asserts recovery always *succeeds* under these faults; the
+/// error paths (byte soup, no valid checkpoint) are pinned separately in
+/// the `cyberhd::durable` unit tests.
+pub fn run_crashed(
+    dir: &Path,
+    cell: &CrashCell,
+    config: &DurableConfig,
+    kill_event: usize,
+    fault_seed: u64,
+    damage_checkpoint: bool,
+) -> (TimelineOutcome, RecoveryReport) {
+    {
+        let lane = DurableLane::create(dir, "durable", cell.detector.clone(), config.clone(), None)
+            .expect("fresh directory");
+        let mut tickets = Vec::new();
+        drive(&lane, &cell.live, &cell.events[..kill_event], &mut tickets);
+        // The process dies here: no flush — queued events and buffered WAL
+        // records vanish, every live ticket is lost.
+    }
+    let mut injector = DiskFaultInjector::new(fault_seed);
+    let wal_path = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal_path).expect("WAL exists");
+    injector.torn_write(&mut bytes, &wal::frame(&[0xA5; 33]));
+    injector.truncate_after(&mut bytes, wal::HEADER_LEN);
+    std::fs::write(&wal_path, &bytes).expect("WAL writable");
+    if damage_checkpoint {
+        let newest = newest_checkpoint(dir);
+        let mut checkpoint = std::fs::read(&newest).expect("checkpoint exists");
+        injector.flip_byte(&mut checkpoint);
+        std::fs::write(&newest, &checkpoint).expect("checkpoint writable");
+    }
+
+    let (lane, report) = DurableLane::recover(dir, None).expect("recovery succeeds");
+    let mut verdicts = vec![None; cell.flow_count()];
+    for &(seq, verdict) in &report.verdicts {
+        verdicts[seq as usize] = Some(verdict);
+    }
+    // Continue the stream from the durable horizon: every event at or past
+    // `next_event` re-enters exactly as the uncrashed timeline had it.
+    let mut tickets = Vec::new();
+    drive(&lane, &cell.live, &cell.events[report.next_event as usize..], &mut tickets);
+    lane.flush().expect("flush succeeds");
+    for ticket in &tickets {
+        verdicts[ticket.seq() as usize] = Some(lane.take(ticket).expect("flushed verdict"));
+    }
+    let outcome = TimelineOutcome {
+        verdicts,
+        sealed: lane.seal_snapshot().to_bytes(),
+        prequential: lane.prequential_accuracy(),
+        stats: lane.stats(),
+    };
+    (outcome, report)
+}

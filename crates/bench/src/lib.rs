@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod scenario;
 
 use baselines::mlp::{Mlp, MlpConfig};

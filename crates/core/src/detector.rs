@@ -67,7 +67,15 @@ const MAGIC: &[u8; 4] = b"CYHD";
 /// Current artifact format version.  Readers reject any other version with
 /// a clear error instead of misinterpreting the payload; bump it whenever
 /// the field layout changes.
-const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 appends a CRC-32 integrity trailer over everything before it,
+/// so silent on-disk corruption of a checkpointed artifact is detected at
+/// load instead of deserializing garbage that happens to parse.  Version 1
+/// artifacts (no trailer) are still readable.
+const FORMAT_VERSION: u32 = 2;
+
+/// The pre-CRC artifact format, still accepted by [`Detector::from_bytes`].
+const LEGACY_FORMAT_VERSION: u32 = 1;
 
 /// Rows per streaming burst of the builder's `.online()` single-pass
 /// training mode: large enough to amortize the batched kernels, small
@@ -957,6 +965,11 @@ impl Detector {
     /// seeds/projections, dense or packed class memory, thresholds — into
     /// the versioned binary format.  A load of these bytes reproduces every
     /// prediction **bit for bit** (floats travel as IEEE-754 bit patterns).
+    ///
+    /// The version-2 frame ends with a CRC-32 trailer over every preceding
+    /// byte; [`Detector::from_bytes`] verifies it before parsing anything,
+    /// so corrupted checkpoints fail loudly instead of loading a silently
+    /// wrong model.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.bytes(MAGIC);
@@ -971,19 +984,22 @@ impl Detector {
                 w.f32_slice(thresholds);
             }
         }
+        let crc = hdc::codec::crc32(w.as_slice());
+        w.u32(crc);
         w.into_bytes()
     }
 
-    /// Deserializes an artifact produced by [`Detector::to_bytes`].
+    /// Deserializes an artifact produced by [`Detector::to_bytes`] —
+    /// version 2 (CRC-32 trailer, verified before parsing) or the legacy
+    /// version 1 (no trailer).
     ///
     /// # Errors
     ///
     /// Returns [`CyberHdError::Persist`] for a wrong magic tag, an
-    /// unsupported format version, a truncated stream or an internally
-    /// inconsistent payload.
+    /// unsupported format version, a checksum mismatch, a truncated stream
+    /// or an internally inconsistent payload.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let mut r = Reader::new(bytes);
-        read_detector(&mut r).map_err(CyberHdError::from)
+        read_detector(bytes).map_err(CyberHdError::from)
     }
 
     /// Saves the artifact to `path` (see [`Detector::to_bytes`]).
@@ -1127,6 +1143,12 @@ impl OnlineDetector {
         &self.learner
     }
 
+    /// Restores the prequential counters after a checkpoint reload (see
+    /// [`OnlineLearner::restore_prequential`]).
+    pub(crate) fn restore_prequential(&mut self, seen: usize, correct: usize) {
+        self.learner.restore_prequential(seen, correct);
+    }
+
     /// The fitted preprocessing pipeline the detector was unsealed with.
     pub fn preprocessor(&self) -> &Preprocessor {
         &self.preprocessor
@@ -1240,20 +1262,47 @@ fn read_report(r: &mut Reader<'_>) -> CodecResult<TrainingReport> {
     Ok(TrainingReport { epoch_accuracy, regeneration, samples, physical_dimension })
 }
 
-fn read_detector(r: &mut Reader<'_>) -> CodecResult<Detector> {
-    let magic = r.take(4)?;
+fn read_detector(bytes: &[u8]) -> CodecResult<Detector> {
+    let mut head = Reader::new(bytes);
+    let magic = head.take(4)?;
     if magic != MAGIC {
         return Err(CodecError::Invalid(format!(
             "not a detector artifact (magic {magic:02X?}, expected {MAGIC:02X?})"
         )));
     }
-    let version = r.u32()?;
-    if version != FORMAT_VERSION {
-        return Err(CodecError::Invalid(format!(
-            "artifact format version {version} is not supported (this build reads version \
-             {FORMAT_VERSION})"
-        )));
-    }
+    let version = head.u32()?;
+    let body = match version {
+        LEGACY_FORMAT_VERSION => &bytes[8..],
+        FORMAT_VERSION => {
+            // Verify the CRC-32 trailer over everything before it, so a
+            // corrupted artifact fails here instead of parsing garbage.
+            if bytes.len() < 12 {
+                return Err(CodecError::UnexpectedEof { needed: 12, remaining: bytes.len() });
+            }
+            let trailer_at = bytes.len() - 4;
+            let stored = u32::from_le_bytes([
+                bytes[trailer_at],
+                bytes[trailer_at + 1],
+                bytes[trailer_at + 2],
+                bytes[trailer_at + 3],
+            ]);
+            let computed = hdc::codec::crc32(&bytes[..trailer_at]);
+            if stored != computed {
+                return Err(CodecError::Invalid(format!(
+                    "artifact checksum mismatch (stored {stored:08X}, computed {computed:08X}): \
+                     the bytes were corrupted after sealing"
+                )));
+            }
+            &bytes[8..trailer_at]
+        }
+        other => {
+            return Err(CodecError::Invalid(format!(
+                "artifact format version {other} is not supported (this build reads versions \
+                 {LEGACY_FORMAT_VERSION} and {FORMAT_VERSION})"
+            )));
+        }
+    };
+    let r = &mut Reader::new(body);
     let preprocessor = Preprocessor::read_from(r)?;
     let config = read_config(r)?;
     if config.input_features != preprocessor.output_width() {
@@ -1552,7 +1601,42 @@ mod tests {
         assert!(err.to_string().contains("version"), "{err}");
         let truncated = &bytes[..bytes.len() / 2];
         assert!(Detector::from_bytes(truncated).is_err());
+        // Any corruption of a v2 frame — including appended garbage, which
+        // shifts the CRC trailer — fails the checksum before parsing.
         let mut trailing = bytes.clone();
+        trailing.push(0);
+        let err = Detector::from_bytes(&trailing).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        let err = Detector::from_bytes(&flipped).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    /// Strips the CRC trailer off a v2 frame and patches the version field
+    /// back to 1 — exactly the bytes a pre-CRC build would have written.
+    fn as_legacy_v1(v2_bytes: &[u8]) -> Vec<u8> {
+        let mut v1 = v2_bytes[..v2_bytes.len() - 4].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        v1
+    }
+
+    #[test]
+    fn legacy_v1_artifacts_still_load_bit_identically() {
+        let data = dataset(300, 31);
+        let detector = quick_builder().train(&data).unwrap();
+        let v1 = as_legacy_v1(&detector.to_bytes());
+        let loaded = Detector::from_bytes(&v1).unwrap();
+        for record in data.records().iter().take(25) {
+            assert_eq!(loaded.detect(record).unwrap(), detector.detect(record).unwrap());
+        }
+        // Re-serializing a legacy artifact upgrades it to the v2 frame.
+        let upgraded = loaded.to_bytes();
+        assert_eq!(upgraded, detector.to_bytes());
+        // The v1 reader still demands exhaustion (no trailer to absorb
+        // trailing garbage).
+        let mut trailing = v1;
         trailing.push(0);
         let err = Detector::from_bytes(&trailing).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");

@@ -1,0 +1,1241 @@
+//! `cyberhd::durable` — crash-durable adaptive serving.
+//!
+//! An [`AdaptiveLane`] is a purely in-memory
+//! object: kill the process and the adapted model, the drift-monitor
+//! state and every retained flow die with it.  This module wraps the lane
+//! in a **write-ahead log plus checkpoint** pair so a restart resumes the
+//! lane *bit-identically* — same model bytes, same monitor windows, same
+//! sequence numbering, same verdicts for the replayed tail:
+//!
+//! * every accepted event (flow submission, labelled submission, late
+//!   feedback) is appended to an [`hdc::wal`] log **before** it can be
+//!   applied to the model — the log is fsynced once per micro-batch, so
+//!   durability costs one `sync_data` per flush, not per flow;
+//! * every `checkpoint_every` applied events the lane's full state is
+//!   written to a sealed **checkpoint** file (model bytes via
+//!   [`Detector::to_bytes`](crate::Detector::to_bytes), CRC-framed), the
+//!   WAL is compacted to the tail the oldest kept checkpoint still needs,
+//!   and checkpoints beyond `keep_checkpoints` are pruned — so replay
+//!   length, log size and recovery time all stay bounded;
+//! * [`DurableLane::recover`] loads the newest checkpoint that still
+//!   validates (corrupt ones are skipped, counted in the report), resumes
+//!   the WAL past any torn tail, and replays the surviving records
+//!   through the ordinary serving path.
+//!
+//! Recovery is bit-identical for the same reason the adaptive lane is
+//! deterministic at all: events are applied strictly in submission order
+//! through the serial streaming rule, so "checkpoint + replayed tail" and
+//! "never crashed" are literally the same event sequence.  The encoder
+//! persists its seed *and* its regeneration draw counter, so even
+//! post-recovery regenerations draw the exact streams the uncrashed lane
+//! would have drawn.
+//!
+//! Corrupt bytes — a torn WAL tail, a half-written checkpoint, byte flips
+//! anywhere — always yield a defined outcome: torn tails are truncated to
+//! the last valid record, damaged checkpoints are skipped in favour of an
+//! older one, and anything unrecoverable is a
+//! [`ServeError::Durability`], never a panic and never a silently wrong
+//! model (pinned by `tests/scenario.rs`' kill-at-random-offset matrix).
+//!
+//! # Example
+//!
+//! ```
+//! use cyberhd::durable::{DurableConfig, DurableLane};
+//! use cyberhd::Detector;
+//! use nids_data::synth::SyntheticConfig;
+//! use nids_data::DatasetKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("cyberhd_durable_doc_{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let dataset = DatasetKind::NslKdd.generate(&SyntheticConfig::new(300, 7))?;
+//! let detector = Detector::builder().dimension(128).retrain_epochs(1).train(&dataset)?;
+//!
+//! let lane = DurableLane::create(&dir, "edge-0", detector, DurableConfig::default(), None)?;
+//! let ticket = lane.submit_labelled(&dataset.records()[0], dataset.labels()[0])?;
+//! lane.flush()?;
+//! let verdict = lane.take(&ticket)?;
+//! drop(lane); // "crash"
+//!
+//! // A restart recovers the same lane from disk.
+//! let (lane, report) = DurableLane::recover(&dir, None)?;
+//! assert_eq!(report.next_event, 1);
+//! assert!(verdict.class < dataset.num_classes());
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detector::{Detector, Verdict};
+use crate::serve::{
+    AdaptiveConfig, AdaptiveLane, AdaptiveStats, DetectorRegistry, LaneCheckpoint, ServeError,
+    ServeResult, Ticket,
+};
+use hdc::codec::{CodecError, CodecResult, Reader, Writer};
+use hdc::wal;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Magic prefix of a checkpoint file.
+const CKPT_MAGIC: &[u8; 4] = b"CYCK";
+
+/// Checkpoint format version.
+const CKPT_VERSION: u32 = 1;
+
+/// File name of the write-ahead log inside a durable lane's directory.
+const WAL_FILE: &str = "wal.log";
+
+/// WAL payload tags.  Tags 0–2 are **replayed events**, numbered by a
+/// single monotonic event index across flows and feedback; tags 3–5 are
+/// audit records (adaptation history for operators) that replay skips.
+const TAG_FLOW: u8 = 0;
+const TAG_FLOW_LABELLED: u8 = 1;
+const TAG_FEEDBACK: u8 = 2;
+const TAG_DRIFT_TRIP: u8 = 3;
+const TAG_REGENERATION: u8 = 4;
+const TAG_PUBLISH: u8 = 5;
+
+/// Durability policy of a [`DurableLane`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableConfig {
+    /// The wrapped lane's serving and adaptation policy.
+    pub adaptive: AdaptiveConfig,
+    /// Write a checkpoint (and compact the log) once this many events
+    /// have been applied since the last one — the replay-length bound.
+    pub checkpoint_every: u64,
+    /// How many checkpoints to keep on disk.  More than one lets recovery
+    /// fall back past a checkpoint that was itself corrupted; the WAL is
+    /// compacted only to what the **oldest kept** checkpoint still needs.
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        Self { adaptive: AdaptiveConfig::default(), checkpoint_every: 1024, keep_checkpoints: 2 }
+    }
+}
+
+impl DurableConfig {
+    fn validate(&self) -> ServeResult<()> {
+        if self.checkpoint_every == 0 {
+            return Err(ServeError::InvalidConfig("checkpoint_every must be non-zero".into()));
+        }
+        if self.keep_checkpoints == 0 {
+            return Err(ServeError::InvalidConfig("keep_checkpoints must be non-zero".into()));
+        }
+        Ok(())
+    }
+
+    /// The wrapped lane's configuration with its *internal* auto-flush
+    /// neutralized (pushed out to the queue-capacity bound): the durable
+    /// wrapper must fsync the log **before** events apply, so it enforces
+    /// the real `max_batch` watermark itself.
+    fn inner_adaptive(&self) -> AdaptiveConfig {
+        AdaptiveConfig { max_batch: self.adaptive.queue_capacity, ..self.adaptive }
+    }
+}
+
+/// What [`DurableLane::recover`] found and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Events already applied by the checkpoint recovery started from.
+    pub checkpoint_events: u64,
+    /// WAL tail events replayed on top of the checkpoint.
+    pub events_replayed: u64,
+    /// The next event index the recovered lane will log — equals
+    /// `checkpoint_events + events_replayed`.
+    pub next_event: u64,
+    /// Verdicts of the replayed flows, sorted by sequence number.  The
+    /// crash destroyed their tickets, so recovery hands the verdicts back
+    /// directly; [`DurableLane::reissue_ticket`] mints new handles.
+    pub verdicts: Vec<(u64, Verdict)>,
+    /// Bytes of torn WAL tail truncated before replay.
+    pub truncated_bytes: usize,
+    /// Checkpoint files that failed validation and were skipped.
+    pub checkpoints_skipped: usize,
+}
+
+/// Mutable durability state behind the [`DurableLane`] mutex.
+///
+/// Lock order: this mutex is taken **first**, the wrapped lane's internal
+/// mutex second (inside the lane's own methods) — nothing ever takes them
+/// the other way around.
+#[derive(Debug)]
+struct DurableState {
+    wal: wal::Writer,
+    /// Next event index (tags 0–2 logged so far, checkpoint included).
+    events: u64,
+    /// Events applied (flushed into the model), for the checkpoint cadence.
+    applied: u64,
+    /// Event count of the last checkpoint written.
+    checkpointed: u64,
+    /// Stats watermarks for the audit records (tags 3–5).
+    trips: usize,
+    adaptations: u64,
+    regenerated: u64,
+    publishes: u64,
+}
+
+/// A crash-durable [`AdaptiveLane`] (see the [module docs](self)).
+///
+/// All methods take `&self`; the durability state sits behind one mutex,
+/// so concurrent submitters serialize exactly as they do on the wrapped
+/// lane.
+#[derive(Debug)]
+pub struct DurableLane {
+    lane: AdaptiveLane,
+    config: DurableConfig,
+    dir: PathBuf,
+    state: Mutex<DurableState>,
+}
+
+impl DurableLane {
+    /// Creates a fresh durable lane in `dir` (created if missing; must not
+    /// already hold a durable lane).  Writes the initial checkpoint and an
+    /// empty WAL before returning, so recovery always has a base to load.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for bad watermarks,
+    /// [`ServeError::Durability`] for I/O failures or a directory that
+    /// already holds a lane.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        tenant: &str,
+        detector: Detector,
+        config: DurableConfig,
+        registry: Option<Arc<DetectorRegistry>>,
+    ) -> ServeResult<Self> {
+        config.validate()?;
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create lane directory", &dir, &e))?;
+        let wal_path = dir.join(WAL_FILE);
+        if wal_path.exists() || !list_checkpoints(&dir)?.is_empty() {
+            return Err(ServeError::Durability(format!(
+                "{} already holds a durable lane; recover it instead of creating over it",
+                dir.display()
+            )));
+        }
+        let lane = match registry {
+            Some(registry) => {
+                AdaptiveLane::with_registry(tenant, detector, config.inner_adaptive(), registry)?
+            }
+            None => AdaptiveLane::new(tenant, detector, config.inner_adaptive())?,
+        };
+        let wal = wal::Writer::create(&wal_path)
+            .map_err(|e| ServeError::Durability(format!("create WAL: {e}")))?;
+        let durable = Self {
+            lane,
+            config,
+            dir,
+            state: Mutex::new(DurableState {
+                wal,
+                events: 0,
+                applied: 0,
+                checkpointed: 0,
+                trips: 0,
+                adaptations: 0,
+                regenerated: 0,
+                publishes: 0,
+            }),
+        };
+        {
+            let mut state = durable.state.lock().expect("durable state lock");
+            durable.write_checkpoint(&mut state)?;
+        }
+        Ok(durable)
+    }
+
+    /// Recovers the durable lane stored in `dir`: loads the newest
+    /// checkpoint that validates, truncates any torn WAL tail, replays the
+    /// surviving records and returns the lane plus a [`RecoveryReport`].
+    ///
+    /// The recovered lane is **bit-identical** to the lane that would
+    /// exist had the process never died after its last fsync: model
+    /// bytes, monitor state, sequence numbering and the replayed
+    /// verdicts all match (events submitted after the last fsync are
+    /// gone — they were never durable, and their verdicts were never
+    /// observable).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Durability`] when no checkpoint validates or the WAL
+    /// contradicts the checkpoint it should extend.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        registry: Option<Arc<DetectorRegistry>>,
+    ) -> ServeResult<(Self, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+
+        // Newest checkpoint that still validates wins; damaged ones are
+        // counted and skipped.
+        let mut skipped = 0usize;
+        let mut recovered: Option<(DurableConfig, u64, LaneCheckpoint)> = None;
+        for path in list_checkpoints(&dir)? {
+            match fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| decode_checkpoint(&bytes).map_err(|e| e.to_string()))
+            {
+                Ok(parsed) => {
+                    recovered = Some(parsed);
+                    break;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        let Some((config, checkpoint_events, state)) = recovered else {
+            return Err(ServeError::Durability(format!(
+                "{}: no valid checkpoint ({skipped} damaged)",
+                dir.display()
+            )));
+        };
+        config.validate()?;
+
+        // Scan the WAL, truncating a torn tail; a missing or unreadable
+        // WAL is unrecoverable (the checkpoint alone cannot prove the log
+        // held nothing newer).
+        let wal_path = dir.join(WAL_FILE);
+        let scan = wal::read_file(&wal_path)
+            .map_err(|e| ServeError::Durability(format!("read WAL: {e}")))?;
+        let truncated_bytes = scan.truncated;
+        let wal = wal::Writer::resume(&wal_path, scan.valid_len as u64)
+            .map_err(|e| ServeError::Durability(format!("resume WAL: {e}")))?;
+
+        let lane = AdaptiveLane::restore(config.inner_adaptive(), registry, state)?;
+
+        // Replay the tail: records the checkpoint already covers are
+        // skipped, the rest must be contiguous and must reproduce the
+        // exact sequence numbers the log recorded.
+        let mut replayed = 0u64;
+        let mut next_event = checkpoint_events;
+        let mut verdicts: Vec<(u64, Verdict)> = Vec::new();
+        let mut pending = 0usize;
+        for record in &scan.records {
+            let event = match decode_event(record)? {
+                Some(event) => event,
+                None => continue, // audit record
+            };
+            if event.index < checkpoint_events {
+                continue;
+            }
+            if event.index != next_event {
+                return Err(ServeError::Durability(format!(
+                    "WAL does not extend the checkpoint: expected event {next_event}, log holds \
+                     {}",
+                    event.index
+                )));
+            }
+            match event.kind {
+                EventKind::Flow { seq, record, label } => {
+                    let ticket = match label {
+                        Some(label) => lane.submit_labelled(&record, label),
+                        None => lane.submit(&record),
+                    }
+                    .map_err(|e| replay_err(event.index, &e))?;
+                    if ticket.seq() != seq {
+                        return Err(ServeError::Durability(format!(
+                            "WAL does not match the checkpoint: event {} replayed as flow {}, \
+                             log recorded flow {seq}",
+                            event.index,
+                            ticket.seq()
+                        )));
+                    }
+                }
+                EventKind::Feedback { seq, label } => {
+                    lane.submit_feedback(&lane.ticket_for(seq), label)
+                        .map_err(|e| replay_err(event.index, &e))?;
+                }
+            }
+            next_event += 1;
+            replayed += 1;
+            pending += 1;
+            // Drain as we go: nobody collects tickets during replay, so
+            // without this a long tail would hit its own backpressure.
+            if pending >= config.adaptive.max_batch {
+                lane.flush()?;
+                verdicts.extend(lane.drain_completed());
+                pending = 0;
+            }
+        }
+        lane.flush()?;
+        verdicts.extend(lane.drain_completed());
+        verdicts.sort_unstable_by_key(|&(seq, _)| seq);
+
+        let stats = lane.stats();
+        let durable = Self {
+            lane,
+            config,
+            dir,
+            state: Mutex::new(DurableState {
+                wal,
+                events: next_event,
+                applied: next_event,
+                checkpointed: checkpoint_events,
+                trips: stats.monitor_trips,
+                adaptations: stats.adaptations,
+                regenerated: stats.regenerated_dimensions,
+                publishes: stats.publishes,
+            }),
+        };
+        let report = RecoveryReport {
+            checkpoint_events,
+            events_replayed: replayed,
+            next_event,
+            verdicts,
+            truncated_bytes,
+            checkpoints_skipped: skipped,
+        };
+        // Replay may have crossed the checkpoint cadence; checkpointing
+        // now bounds the next recovery instead of re-replaying this tail.
+        if replayed >= durable.config.checkpoint_every {
+            let mut state = durable.state.lock().expect("durable state lock");
+            durable.sync_and_checkpoint(&mut state)?;
+        }
+        Ok((durable, report))
+    }
+
+    /// The tenant this lane serves.
+    pub fn tenant(&self) -> &str {
+        self.lane.tenant()
+    }
+
+    /// The lane's durability policy.
+    pub fn config(&self) -> &DurableConfig {
+        &self.config
+    }
+
+    /// The directory holding the lane's WAL and checkpoints.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Submits one unlabelled raw flow — [`AdaptiveLane::submit`] with the
+    /// event logged to the WAL before it can reach the model.
+    ///
+    /// # Errors
+    ///
+    /// The wrapped lane's submit errors, plus [`ServeError::Durability`]
+    /// when the batch watermark forces a flush and the log cannot be
+    /// synced.
+    pub fn submit(&self, record: &[f32]) -> ServeResult<Ticket> {
+        self.submit_event(record, None)
+    }
+
+    /// Submits one labelled raw flow — [`AdaptiveLane::submit_labelled`],
+    /// logged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DurableLane::submit`].
+    pub fn submit_labelled(&self, record: &[f32], label: usize) -> ServeResult<Ticket> {
+        self.submit_event(record, Some(label))
+    }
+
+    fn submit_event(&self, record: &[f32], label: Option<usize>) -> ServeResult<Ticket> {
+        let mut state = self.state.lock().expect("durable state lock");
+        let ticket = match label {
+            Some(label) => self.lane.submit_labelled(record, label)?,
+            None => self.lane.submit(record)?,
+        };
+        let mut w = Writer::new();
+        match label {
+            Some(label) => {
+                w.u8(TAG_FLOW_LABELLED);
+                w.u64(state.events);
+                w.u64(ticket.seq());
+                w.usize(label);
+            }
+            None => {
+                w.u8(TAG_FLOW);
+                w.u64(state.events);
+                w.u64(ticket.seq());
+            }
+        }
+        w.f32_slice(record);
+        state
+            .wal
+            .append(&w.into_bytes())
+            .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
+        state.events += 1;
+        if state.events - state.applied >= self.config.adaptive.max_batch as u64 {
+            self.flush_locked(&mut state)?;
+        }
+        Ok(ticket)
+    }
+
+    /// Applies late ground truth through a ticket —
+    /// [`AdaptiveLane::submit_feedback`], logged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveLane::submit_feedback`], plus
+    /// [`ServeError::Durability`] on log failures.
+    pub fn submit_feedback(&self, ticket: &Ticket, label: usize) -> ServeResult<()> {
+        let mut state = self.state.lock().expect("durable state lock");
+        self.lane.submit_feedback(ticket, label)?;
+        let mut w = Writer::new();
+        w.u8(TAG_FEEDBACK);
+        w.u64(state.events);
+        w.u64(ticket.seq());
+        w.usize(label);
+        state
+            .wal
+            .append(&w.into_bytes())
+            .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
+        state.events += 1;
+        if state.events - state.applied >= self.config.adaptive.max_batch as u64 {
+            self.flush_locked(&mut state)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes now: fsyncs the log, applies the queued events, appends
+    /// audit records for any adaptation activity, and checkpoints when the
+    /// cadence is due.  Returns how many flows were served.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Durability`] when the log or a checkpoint cannot be
+    /// written; the queued events stay queued (and stay in the WAL
+    /// buffer), so the call can be retried.
+    pub fn flush(&self) -> ServeResult<usize> {
+        let mut state = self.state.lock().expect("durable state lock");
+        self.flush_locked(&mut state)
+    }
+
+    /// Flushes if the oldest queued event has waited at least
+    /// [`AdaptiveConfig::max_delay`]; returns the number of flows served.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DurableLane::flush`].
+    pub fn poll(&self) -> ServeResult<usize> {
+        let mut state = self.state.lock().expect("durable state lock");
+        if self.lane.poll_due() {
+            self.flush_locked(&mut state)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// The write-ahead invariant lives here: `wal.flush()` (buffered
+    /// append + one fsync) happens strictly **before** the lane applies
+    /// the events, so every event that ever touched the model is durable.
+    fn flush_locked(&self, state: &mut DurableState) -> ServeResult<usize> {
+        state.wal.flush().map_err(|e| ServeError::Durability(format!("sync WAL: {e}")))?;
+        let served = self.lane.flush()?;
+        state.applied = state.events;
+        self.append_audit(state)?;
+        if state.applied - state.checkpointed >= self.config.checkpoint_every {
+            self.sync_and_checkpoint(state)?;
+        }
+        Ok(served)
+    }
+
+    /// Appends audit records (tags 3–5) for adaptation activity since the
+    /// last flush.  They ride the next fsync — losing them in a crash is
+    /// fine, replay reconstructs the same state without them.
+    fn append_audit(&self, state: &mut DurableState) -> ServeResult<()> {
+        let stats = self.lane.stats();
+        if stats.monitor_trips > state.trips {
+            let mut w = Writer::new();
+            w.u8(TAG_DRIFT_TRIP);
+            w.u64(state.applied);
+            w.u64(stats.monitor_trips as u64);
+            state
+                .wal
+                .append(&w.into_bytes())
+                .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
+            state.trips = stats.monitor_trips;
+        }
+        if stats.adaptations > state.adaptations || stats.regenerated_dimensions > state.regenerated
+        {
+            let mut w = Writer::new();
+            w.u8(TAG_REGENERATION);
+            w.u64(state.applied);
+            w.u64(stats.adaptations);
+            w.u64(stats.regenerated_dimensions);
+            state
+                .wal
+                .append(&w.into_bytes())
+                .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
+            state.adaptations = stats.adaptations;
+            state.regenerated = stats.regenerated_dimensions;
+        }
+        if stats.publishes > state.publishes {
+            let mut w = Writer::new();
+            w.u8(TAG_PUBLISH);
+            w.u64(state.applied);
+            w.u64(stats.publishes);
+            w.u64(stats.last_published_version.unwrap_or(0));
+            state
+                .wal
+                .append(&w.into_bytes())
+                .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
+            state.publishes = stats.publishes;
+        }
+        Ok(())
+    }
+
+    /// Syncs any pending audit records, then checkpoints and compacts.
+    fn sync_and_checkpoint(&self, state: &mut DurableState) -> ServeResult<()> {
+        state.wal.flush().map_err(|e| ServeError::Durability(format!("sync WAL: {e}")))?;
+        self.write_checkpoint(state)
+    }
+
+    /// Writes a checkpoint of the lane's current state (queue must be
+    /// empty — only called at flush boundaries or creation), prunes old
+    /// checkpoints and compacts the WAL.
+    fn write_checkpoint(&self, state: &mut DurableState) -> ServeResult<()> {
+        let bytes = encode_checkpoint(&self.config, state.applied, &self.lane.checkpoint_state());
+        let name = format!("checkpoint-{:020}.ckpt", state.applied);
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        fs::write(&tmp, &bytes).map_err(|e| io_err("write checkpoint", &tmp, &e))?;
+        sync_file(&tmp)?;
+        fs::rename(&tmp, &path).map_err(|e| io_err("publish checkpoint", &path, &e))?;
+        sync_dir(&self.dir);
+        state.checkpointed = state.applied;
+
+        // Prune checkpoints beyond the keep bound (newest first).
+        let checkpoints = list_checkpoints(&self.dir)?;
+        let mut oldest_kept = state.applied;
+        for (i, old) in checkpoints.iter().enumerate() {
+            if i < self.config.keep_checkpoints {
+                if let Some(events) = checkpoint_events_of(old) {
+                    oldest_kept = oldest_kept.min(events);
+                }
+            } else {
+                let _ = fs::remove_file(old);
+            }
+        }
+
+        // Compact the WAL: records below what the oldest kept checkpoint
+        // needs are dead weight on every future recovery.
+        self.compact_wal(state, oldest_kept)
+    }
+
+    /// Rewrites the WAL keeping only events at or past `oldest_kept`
+    /// (audit records are dropped — they are advisory).  Atomic via
+    /// tmp + rename; the writer resumes on the compacted file.
+    fn compact_wal(&self, state: &mut DurableState, oldest_kept: u64) -> ServeResult<()> {
+        let path = state.wal.path().to_path_buf();
+        let scan =
+            wal::read_file(&path).map_err(|e| ServeError::Durability(format!("read WAL: {e}")))?;
+        let mut compacted: Vec<u8> = Vec::with_capacity(wal::HEADER_LEN);
+        compacted.extend_from_slice(wal::MAGIC);
+        compacted.extend_from_slice(&wal::VERSION.to_le_bytes());
+        for record in &scan.records {
+            let keep = match decode_event(record)? {
+                Some(event) => event.index >= oldest_kept,
+                None => false,
+            };
+            if keep {
+                compacted.extend_from_slice(&wal::frame(record));
+            }
+        }
+        let tmp = path.with_extension("log.tmp");
+        fs::write(&tmp, &compacted).map_err(|e| io_err("write compacted WAL", &tmp, &e))?;
+        sync_file(&tmp)?;
+        fs::rename(&tmp, &path).map_err(|e| io_err("publish compacted WAL", &path, &e))?;
+        sync_dir(&self.dir);
+        state.wal = wal::Writer::resume(&path, compacted.len() as u64)
+            .map_err(|e| ServeError::Durability(format!("resume compacted WAL: {e}")))?;
+        Ok(())
+    }
+
+    /// Collects a ticket's verdict, durably flushing first if the flow is
+    /// still queued (the write-ahead invariant covers every path that
+    /// applies events, this one included).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveLane::take`], plus [`ServeError::Durability`]
+    /// when the forced flush cannot sync the log.
+    pub fn take(&self, ticket: &Ticket) -> ServeResult<Verdict> {
+        {
+            let mut state = self.state.lock().expect("durable state lock");
+            if state.events > state.applied {
+                self.flush_locked(&mut state)?;
+            }
+        }
+        self.lane.take(ticket)
+    }
+
+    /// Non-blocking collect: the verdict if the flow has been served,
+    /// `None` while it is still queued.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveLane::try_take`].
+    pub fn try_take(&self, ticket: &Ticket) -> ServeResult<Option<Verdict>> {
+        self.lane.try_take(ticket)
+    }
+
+    /// Mints a ticket for a previously issued sequence number — the
+    /// post-recovery path for feedback on flows whose original tickets
+    /// died with the crashed process.
+    pub fn reissue_ticket(&self, seq: u64) -> Ticket {
+        self.lane.ticket_for(seq)
+    }
+
+    /// Publishes a sealed snapshot to the registry now (see
+    /// [`AdaptiveLane::publish`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveLane::publish`].
+    pub fn publish(&self) -> ServeResult<u64> {
+        self.lane.publish()
+    }
+
+    /// Seals a snapshot of the current model (the lane keeps adapting).
+    pub fn seal_snapshot(&self) -> Detector {
+        self.lane.seal_snapshot()
+    }
+
+    /// Cumulative prequential accuracy of the lane's labelled stream.
+    pub fn prequential_accuracy(&self) -> f64 {
+        self.lane.prequential_accuracy()
+    }
+
+    /// A point-in-time snapshot of the lane's counters.
+    pub fn stats(&self) -> AdaptiveStats {
+        self.lane.stats()
+    }
+
+    /// Events logged so far (flows + feedback, durable or pending).
+    pub fn events(&self) -> u64 {
+        self.state.lock().expect("durable state lock").events
+    }
+}
+
+/// One decoded replayable WAL event.
+struct LoggedEvent {
+    index: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    Flow { seq: u64, record: Vec<f32>, label: Option<usize> },
+    Feedback { seq: u64, label: usize },
+}
+
+/// Decodes one WAL payload; `Ok(None)` for audit tags, an error for byte
+/// soup — never a panic.
+fn decode_event(payload: &[u8]) -> ServeResult<Option<LoggedEvent>> {
+    let r = &mut Reader::new(payload);
+    let parse = |r: &mut Reader<'_>| -> CodecResult<Option<LoggedEvent>> {
+        let tag = r.u8()?;
+        let event = match tag {
+            TAG_FLOW => LoggedEvent {
+                index: r.u64()?,
+                kind: EventKind::Flow { seq: r.u64()?, label: None, record: r.f32_vec()? },
+            },
+            TAG_FLOW_LABELLED => {
+                let index = r.u64()?;
+                let seq = r.u64()?;
+                let label = r.usize()?;
+                LoggedEvent {
+                    index,
+                    kind: EventKind::Flow { seq, label: Some(label), record: r.f32_vec()? },
+                }
+            }
+            TAG_FEEDBACK => LoggedEvent {
+                index: r.u64()?,
+                kind: EventKind::Feedback { seq: r.u64()?, label: r.usize()? },
+            },
+            TAG_DRIFT_TRIP | TAG_REGENERATION | TAG_PUBLISH => return Ok(None),
+            other => {
+                return Err(CodecError::Invalid(format!("unknown WAL record tag {other}")));
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after WAL record",
+                r.remaining()
+            )));
+        }
+        Ok(Some(event))
+    };
+    parse(r).map_err(|e| ServeError::Durability(format!("malformed WAL record: {e}")))
+}
+
+/// The error for a replayed event the lane refused — the log and the
+/// checkpoint disagree, which specific corruption CRCs cannot catch.
+fn replay_err(index: u64, e: &ServeError) -> ServeError {
+    ServeError::Durability(format!("WAL event {index} failed to replay: {e}"))
+}
+
+/// Serializes a checkpoint: `CYCK` + version + payload + CRC-32 trailer.
+fn encode_checkpoint(config: &DurableConfig, events: u64, state: &LaneCheckpoint) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(CKPT_MAGIC);
+    w.u32(CKPT_VERSION);
+    let a = &config.adaptive;
+    w.usize(a.max_batch);
+    w.u64(a.max_delay.as_nanos() as u64);
+    w.usize(a.queue_capacity);
+    w.usize(a.monitor.window);
+    w.usize(a.monitor.min_observations);
+    w.f64(a.monitor.error_delta);
+    w.f64(a.monitor.unknown_surge);
+    w.usize(a.monitor.cooldown);
+    w.usize(a.retention);
+    w.bool(a.regeneration_rate.is_some());
+    w.f32(a.regeneration_rate.unwrap_or(0.0));
+    w.usize(a.regeneration_rounds);
+    w.bool(a.auto_publish);
+    w.u64(config.checkpoint_every);
+    w.usize(config.keep_checkpoints);
+    w.u64(events);
+    w.str(&state.tenant);
+    w.usize(state.detector_bytes.len());
+    w.bytes(&state.detector_bytes);
+    w.bool(state.thresholds.is_some());
+    w.f32_slice(state.thresholds.as_deref().unwrap_or(&[]));
+    state.monitor.write_to(&mut w);
+    w.u64(state.next_seq);
+    w.usize(state.retained.len());
+    for (seq, record) in &state.retained {
+        w.u64(*seq);
+        w.f32_slice(record);
+    }
+    w.bool(state.evicted_up_to.is_some());
+    w.u64(state.evicted_up_to.unwrap_or(0));
+    w.usize(state.seen);
+    w.usize(state.prequential_correct);
+    for counter in state.counters {
+        w.u64(counter);
+    }
+    let crc = hdc::codec::crc32(w.as_slice());
+    w.u32(crc);
+    w.into_bytes()
+}
+
+/// Parses and validates a checkpoint file's bytes.
+fn decode_checkpoint(bytes: &[u8]) -> CodecResult<(DurableConfig, u64, LaneCheckpoint)> {
+    if bytes.len() < 12 {
+        return Err(CodecError::Invalid("checkpoint too short for its frame".into()));
+    }
+    let trailer_at = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[trailer_at..].try_into().expect("4 bytes"));
+    let computed = hdc::codec::crc32(&bytes[..trailer_at]);
+    if stored != computed {
+        return Err(CodecError::Invalid(format!(
+            "checkpoint checksum mismatch (stored {stored:08X}, computed {computed:08X})"
+        )));
+    }
+    let r = &mut Reader::new(&bytes[..trailer_at]);
+    if r.take(4)? != CKPT_MAGIC {
+        return Err(CodecError::Invalid("not a cyberhd checkpoint".into()));
+    }
+    let version = r.u32()?;
+    if version != CKPT_VERSION {
+        return Err(CodecError::Invalid(format!(
+            "checkpoint version {version}; this build reads version {CKPT_VERSION}"
+        )));
+    }
+    let max_batch = r.usize()?;
+    let max_delay = Duration::from_nanos(r.u64()?);
+    let queue_capacity = r.usize()?;
+    let monitor = crate::regeneration::DriftMonitorConfig {
+        window: r.usize()?,
+        min_observations: r.usize()?,
+        error_delta: r.f64()?,
+        unknown_surge: r.f64()?,
+        cooldown: r.usize()?,
+    };
+    let retention = r.usize()?;
+    let has_rate = r.bool()?;
+    let rate = r.f32()?;
+    let regeneration_rounds = r.usize()?;
+    let auto_publish = r.bool()?;
+    let config = DurableConfig {
+        adaptive: AdaptiveConfig {
+            max_batch,
+            max_delay,
+            queue_capacity,
+            monitor,
+            retention,
+            regeneration_rate: has_rate.then_some(rate),
+            regeneration_rounds,
+            auto_publish,
+        },
+        checkpoint_every: r.u64()?,
+        keep_checkpoints: r.usize()?,
+    };
+    let events = r.u64()?;
+    let tenant = r.str()?;
+    let detector_len = r.usize()?;
+    let detector_bytes = r.take(detector_len)?.to_vec();
+    let has_thresholds = r.bool()?;
+    let thresholds = r.f32_vec()?;
+    let monitor_state = crate::regeneration::DriftMonitor::read_from(r)?;
+    let next_seq = r.u64()?;
+    let retained_len = r.usize()?;
+    let mut retained = Vec::with_capacity(retained_len.min(4096));
+    for _ in 0..retained_len {
+        let seq = r.u64()?;
+        retained.push((seq, r.f32_vec()?));
+    }
+    let has_watermark = r.bool()?;
+    let watermark = r.u64()?;
+    let seen = r.usize()?;
+    let prequential_correct = r.usize()?;
+    let mut counters = [0u64; 8];
+    for counter in &mut counters {
+        *counter = r.u64()?;
+    }
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid(format!(
+            "{} trailing bytes inside checkpoint frame",
+            r.remaining()
+        )));
+    }
+    let state = LaneCheckpoint {
+        tenant,
+        detector_bytes,
+        thresholds: has_thresholds.then_some(thresholds),
+        monitor: monitor_state,
+        next_seq,
+        retained,
+        evicted_up_to: has_watermark.then_some(watermark),
+        seen,
+        prequential_correct,
+        counters,
+    };
+    Ok((config, events, state))
+}
+
+/// Checkpoint files in `dir`, **newest first** (the zero-padded event
+/// count in the name makes lexical order chronological).
+fn list_checkpoints(dir: &Path) -> ServeResult<Vec<PathBuf>> {
+    let mut checkpoints = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(checkpoints),
+        Err(e) => return Err(io_err("list checkpoints", dir, &e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list checkpoints", dir, &e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("checkpoint-") && name.ends_with(".ckpt") {
+            checkpoints.push(path);
+        }
+    }
+    checkpoints.sort();
+    checkpoints.reverse();
+    Ok(checkpoints)
+}
+
+/// The event count encoded in a checkpoint file name, if well-formed.
+fn checkpoint_events_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_string_lossy().into_owned();
+    let digits = name.strip_prefix("checkpoint-")?.strip_suffix(".ckpt")?;
+    digits.parse().ok()
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> ServeError {
+    ServeError::Durability(format!("{what} {}: {e}", path.display()))
+}
+
+fn sync_file(path: &Path) -> ServeResult<()> {
+    fs::File::open(path).and_then(|f| f.sync_data()).map_err(|e| io_err("sync", path, &e))
+}
+
+/// Best-effort directory fsync (makes renames durable on crash-consistent
+/// filesystems; failure is not fatal — the matrix tests inject file-level
+/// faults, not directory-entry loss).
+fn sync_dir(dir: &Path) {
+    if let Ok(f) = fs::File::open(dir) {
+        let _ = f.sync_data();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nids_data::synth::SyntheticConfig;
+    use nids_data::DatasetKind;
+
+    fn dataset(samples: usize, seed: u64) -> nids_data::Dataset {
+        DatasetKind::NslKdd
+            .generate(&SyntheticConfig::new(samples, seed).difficulty(1.2))
+            .expect("synthetic generation")
+    }
+
+    fn detector(data: &nids_data::Dataset, seed: u64) -> Detector {
+        Detector::builder().dimension(96).retrain_epochs(1).seed(seed).train(data).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cyberhd_durable_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> DurableConfig {
+        DurableConfig {
+            adaptive: AdaptiveConfig {
+                max_batch: 8,
+                retention: 32,
+                monitor: crate::regeneration::DriftMonitorConfig {
+                    window: 32,
+                    min_observations: 16,
+                    cooldown: 16,
+                    ..Default::default()
+                },
+                ..AdaptiveConfig::default()
+            },
+            checkpoint_every: 64,
+            keep_checkpoints: 2,
+        }
+    }
+
+    #[test]
+    fn durable_lane_round_trips_and_recovers_bit_identically() {
+        let data = dataset(400, 53);
+        let dir = temp_dir("roundtrip");
+        let config = small_config();
+        let lane =
+            DurableLane::create(&dir, "t0", detector(&data, 3), config.clone(), None).unwrap();
+        let oracle = AdaptiveLane::new("t0", detector(&data, 3), config.adaptive).unwrap();
+
+        // Mixed labelled/unlabelled traffic plus some feedback.
+        let mut fb = Vec::new();
+        for (i, record) in data.records()[..150].iter().enumerate() {
+            if i % 3 == 0 {
+                lane.submit_labelled(record, data.labels()[i]).unwrap();
+                oracle.submit_labelled(record, data.labels()[i]).unwrap();
+            } else {
+                fb.push((i, lane.submit(record).unwrap(), oracle.submit(record).unwrap()));
+            }
+            if i % 11 == 0 {
+                if let Some((j, td, to)) = fb.pop() {
+                    lane.submit_feedback(&td, data.labels()[j]).unwrap();
+                    oracle.submit_feedback(&to, data.labels()[j]).unwrap();
+                }
+            }
+        }
+        lane.flush().unwrap();
+        oracle.flush().unwrap();
+        assert_eq!(
+            lane.seal_snapshot().to_bytes(),
+            oracle.seal_snapshot().to_bytes(),
+            "durability wrapping must not change the model"
+        );
+        let events = lane.events();
+        drop(lane); // clean "crash": everything flushed
+
+        let (recovered, report) = DurableLane::recover(&dir, None).unwrap();
+        assert_eq!(report.next_event, events);
+        assert_eq!(report.checkpoints_skipped, 0);
+        assert_eq!(
+            recovered.seal_snapshot().to_bytes(),
+            oracle.seal_snapshot().to_bytes(),
+            "recovered model must be bit-identical"
+        );
+
+        // Both keep serving identically after recovery.
+        for (i, record) in data.records()[150..300].iter().enumerate() {
+            let label = data.labels()[150 + i];
+            recovered.submit_labelled(record, label).unwrap();
+            oracle.submit_labelled(record, label).unwrap();
+        }
+        recovered.flush().unwrap();
+        oracle.flush().unwrap();
+        assert_eq!(recovered.seal_snapshot().to_bytes(), oracle.seal_snapshot().to_bytes());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_events_are_lost_but_flushed_state_survives() {
+        let data = dataset(300, 59);
+        let dir = temp_dir("unflushed");
+        let lane =
+            DurableLane::create(&dir, "t0", detector(&data, 3), small_config(), None).unwrap();
+        for (i, record) in data.records()[..40].iter().enumerate() {
+            lane.submit_labelled(record, data.labels()[i]).unwrap();
+        }
+        lane.flush().unwrap();
+        let durable_model = lane.seal_snapshot().to_bytes();
+        // Three more events, never flushed: they exist only in memory.
+        for (i, record) in data.records()[40..43].iter().enumerate() {
+            lane.submit_labelled(record, data.labels()[40 + i]).unwrap();
+        }
+        drop(lane);
+
+        let (recovered, report) = DurableLane::recover(&dir, None).unwrap();
+        assert_eq!(report.next_event, 40, "unsynced events must not resurrect");
+        assert_eq!(recovered.seal_snapshot().to_bytes(), durable_model);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_not_fatal() {
+        let data = dataset(300, 61);
+        let dir = temp_dir("torn");
+        let lane =
+            DurableLane::create(&dir, "t0", detector(&data, 3), small_config(), None).unwrap();
+        for (i, record) in data.records()[..30].iter().enumerate() {
+            lane.submit_labelled(record, data.labels()[i]).unwrap();
+        }
+        lane.flush().unwrap();
+        drop(lane);
+
+        // Tear the log mid-record.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let (recovered, report) = DurableLane::recover(&dir, None).unwrap();
+        assert!(report.truncated_bytes > 0);
+        assert!(report.next_event < 30);
+        // The lane serves on; the torn-off event can simply be resubmitted.
+        recovered.submit_labelled(&data.records()[29], data.labels()[29]).unwrap();
+        recovered.flush().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_the_previous_one() {
+        let data = dataset(400, 67);
+        let dir = temp_dir("fallback");
+        let mut config = small_config();
+        config.checkpoint_every = 32;
+        let lane = DurableLane::create(&dir, "t0", detector(&data, 3), config, None).unwrap();
+        for (i, record) in data.records()[..200].iter().enumerate() {
+            lane.submit_labelled(record, data.labels()[i]).unwrap();
+        }
+        lane.flush().unwrap();
+        let sealed = lane.seal_snapshot().to_bytes();
+        drop(lane);
+
+        // Flip a byte inside the newest checkpoint.
+        let newest = list_checkpoints(&dir).unwrap().remove(0);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (recovered, report) = DurableLane::recover(&dir, None).unwrap();
+        assert_eq!(report.checkpoints_skipped, 1);
+        assert!(report.events_replayed > 0, "older checkpoint forces a longer replay");
+        assert_eq!(
+            recovered.seal_snapshot().to_bytes(),
+            sealed,
+            "fallback recovery must still converge on the same model"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_are_pruned_and_the_wal_is_compacted() {
+        let data = dataset(400, 71);
+        let dir = temp_dir("compact");
+        let mut config = small_config();
+        config.checkpoint_every = 16;
+        config.keep_checkpoints = 2;
+        let lane = DurableLane::create(&dir, "t0", detector(&data, 3), config, None).unwrap();
+        for (i, record) in data.records()[..200].iter().enumerate() {
+            lane.submit_labelled(record, data.labels()[i]).unwrap();
+        }
+        lane.flush().unwrap();
+        let checkpoints = list_checkpoints(&dir).unwrap();
+        assert_eq!(checkpoints.len(), 2, "pruning must enforce keep_checkpoints");
+        let wal_len = fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        let scan = wal::read_file(dir.join(WAL_FILE)).unwrap();
+        let oldest_kept = checkpoint_events_of(&checkpoints[1]).unwrap();
+        for record in &scan.records {
+            if let Some(event) = decode_event(record).unwrap() {
+                assert!(event.index >= oldest_kept, "compaction must drop covered records");
+            }
+        }
+        assert!(wal_len < 1 << 20, "compacted log stays small");
+        drop(lane);
+        let (_recovered, report) = DurableLane::recover(&dir, None).unwrap();
+        assert!(report.events_replayed <= 32, "replay length is bounded by the cadence");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_a_directory_that_already_holds_a_lane() {
+        let data = dataset(300, 73);
+        let dir = temp_dir("refuse");
+        let lane =
+            DurableLane::create(&dir, "t0", detector(&data, 3), small_config(), None).unwrap();
+        drop(lane);
+        let err =
+            DurableLane::create(&dir, "t0", detector(&data, 3), small_config(), None).unwrap_err();
+        assert!(matches!(err, ServeError::Durability(_)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_of_byte_soup_errors_instead_of_panicking() {
+        let dir = temp_dir("soup");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(WAL_FILE), b"not a wal at all").unwrap();
+        fs::write(dir.join("checkpoint-00000000000000000000.ckpt"), b"garbage").unwrap();
+        let err = DurableLane::recover(&dir, None).unwrap_err();
+        assert!(matches!(err, ServeError::Durability(_)));
+        // And an empty directory has nothing to recover.
+        fs::remove_dir_all(&dir).unwrap();
+        let err = DurableLane::recover(&dir, None).unwrap_err();
+        assert!(matches!(err, ServeError::Durability(_)));
+    }
+
+    #[test]
+    fn recovered_tickets_can_be_reissued_for_feedback() {
+        let data = dataset(300, 79);
+        let dir = temp_dir("reissue");
+        let lane =
+            DurableLane::create(&dir, "t0", detector(&data, 3), small_config(), None).unwrap();
+        let ticket = lane.submit(&data.records()[0]).unwrap();
+        lane.flush().unwrap();
+        let seq = ticket.seq();
+        drop(lane);
+
+        let (recovered, report) = DurableLane::recover(&dir, None).unwrap();
+        assert_eq!(report.verdicts.len(), 1, "replayed verdicts come back through the report");
+        assert_eq!(report.verdicts[0].0, seq);
+        let reissued = recovered.reissue_ticket(seq);
+        recovered.submit_feedback(&reissued, data.labels()[0]).unwrap();
+        recovered.flush().unwrap();
+        assert_eq!(recovered.stats().feedback_applied, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_codec_rejects_corruption() {
+        let data = dataset(300, 83);
+        let dir = temp_dir("ckpt_codec");
+        let lane =
+            DurableLane::create(&dir, "t0", detector(&data, 3), small_config(), None).unwrap();
+        for (i, record) in data.records()[..20].iter().enumerate() {
+            lane.submit_labelled(record, data.labels()[i]).unwrap();
+        }
+        lane.flush().unwrap();
+        drop(lane);
+        let newest = list_checkpoints(&dir).unwrap().remove(0);
+        let bytes = fs::read(&newest).unwrap();
+        assert!(decode_checkpoint(&bytes).is_ok());
+        // Every single-byte truncation fails cleanly.
+        for cut in [1usize, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
+        }
+        // Any byte flip trips the CRC.
+        for at in [0usize, 5, bytes.len() / 3, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(decode_checkpoint(&bad).is_err(), "byte flip at {at} must fail");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

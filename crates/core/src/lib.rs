@@ -62,6 +62,7 @@
 pub mod baseline;
 pub mod config;
 pub mod detector;
+pub mod durable;
 pub(crate) mod inference;
 pub mod model;
 pub mod online;
@@ -76,6 +77,7 @@ pub use config::{CyberHdConfig, CyberHdConfigBuilder, EncoderKind, TrainingBatch
 pub use detector::{
     DetectScratch, Detector, DetectorBuilder, DetectorInfo, OnlineDetector, ScoringBackend, Verdict,
 };
+pub use durable::{DurableConfig, DurableLane, RecoveryReport};
 pub use model::{CyberHdModel, TrainingReport};
 pub use online::OnlineLearner;
 pub use openset::{OpenSetDetector, OpenSetPrediction};

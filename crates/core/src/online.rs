@@ -94,6 +94,22 @@ impl OnlineLearner {
         self.seen
     }
 
+    /// Samples that were classified correctly *before* their update — the
+    /// numerator of [`OnlineLearner::prequential_accuracy`].
+    pub(crate) fn prequential_correct(&self) -> usize {
+        self.correct_before_update
+    }
+
+    /// Restores the prequential counters of a checkpointed learner (the
+    /// durable serving lane's recovery path): [`OnlineLearner::from_model`]
+    /// deliberately zeroes them, but a lane recovered from a checkpoint
+    /// must resume mid-stream so its sealed snapshots stay bit-identical to
+    /// the lane that never crashed.
+    pub(crate) fn restore_prequential(&mut self, seen: usize, correct: usize) {
+        self.seen = seen;
+        self.correct_before_update = correct.min(seen);
+    }
+
     /// Prequential ("test-then-train") accuracy: the fraction of observed
     /// samples that were classified correctly *before* the model was updated
     /// with them. Zero before any sample has been seen.

@@ -239,7 +239,7 @@ impl DriftMonitorConfig {
 /// assert!(tripped);
 /// assert_eq!(monitor.trips(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriftMonitor {
     config: DriftMonitorConfig,
     /// Sliding window of labelled outcomes (`true` = predicted correctly
@@ -372,6 +372,78 @@ impl DriftMonitor {
     /// Number of times the monitor has tripped.
     pub fn trips(&self) -> usize {
         self.trips
+    }
+
+    /// Persists the monitor's full state — configuration, both sliding
+    /// windows, the frozen baseline, cooldown and counters — through the
+    /// artifact codec, so a recovered serving lane resumes drift detection
+    /// **bit-identically** to the lane that never crashed.
+    pub fn write_to(&self, w: &mut hdc::codec::Writer) {
+        w.usize(self.config.window);
+        w.usize(self.config.min_observations);
+        w.f64(self.config.error_delta);
+        w.f64(self.config.unknown_surge);
+        w.usize(self.config.cooldown);
+        w.usize(self.labelled.len());
+        for &ok in &self.labelled {
+            w.bool(ok);
+        }
+        w.usize(self.novelty.len());
+        for &novel in &self.novelty {
+            w.bool(novel);
+        }
+        match self.baseline_error {
+            None => w.bool(false),
+            Some(baseline) => {
+                w.bool(true);
+                w.f64(baseline);
+            }
+        }
+        w.usize(self.cooldown_left);
+        w.usize(self.trips);
+        w.u64(self.observations);
+    }
+
+    /// Reads a monitor persisted by [`DriftMonitor::write_to`], bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::codec::CodecError`] on a truncated stream, an invalid
+    /// configuration or windows longer than the configuration allows.
+    pub fn read_from(r: &mut hdc::codec::Reader<'_>) -> hdc::codec::CodecResult<Self> {
+        use hdc::codec::CodecError;
+        let config = DriftMonitorConfig {
+            window: r.usize()?,
+            min_observations: r.usize()?,
+            error_delta: r.f64()?,
+            unknown_surge: r.f64()?,
+            cooldown: r.usize()?,
+        };
+        config.validate().map_err(|e| CodecError::Invalid(format!("drift monitor: {e}")))?;
+        let read_window =
+            |r: &mut hdc::codec::Reader<'_>| -> hdc::codec::CodecResult<VecDeque<bool>> {
+                let len = r.usize()?;
+                if len > config.window {
+                    return Err(CodecError::Invalid(format!(
+                        "monitor window holds {len} observations but is configured for {}",
+                        config.window
+                    )));
+                }
+                (0..len).map(|_| r.bool()).collect()
+            };
+        let labelled = read_window(r)?;
+        let novelty = read_window(r)?;
+        let baseline_error = if r.bool()? { Some(r.f64()?) } else { None };
+        let cooldown_left = r.usize()?;
+        let trips = r.usize()?;
+        let observations = r.u64()?;
+        if cooldown_left > config.cooldown {
+            return Err(CodecError::Invalid(format!(
+                "cooldown_left {cooldown_left} exceeds the configured cooldown {}",
+                config.cooldown
+            )));
+        }
+        Ok(Self { config, labelled, novelty, baseline_error, cooldown_left, trips, observations })
     }
 
     /// Total observations fed in (cooldown-swallowed ones included).
@@ -621,5 +693,66 @@ mod tests {
         assert_eq!(a, b, "same observation sequence must trip at the same points");
         assert_eq!(trips_a, trips_b);
         assert!(trips_a >= 1, "the synthetic sequence is designed to drift");
+    }
+
+    #[test]
+    fn monitor_state_round_trips_through_the_codec_mid_stream() {
+        let mut monitor = DriftMonitor::new(monitor_config()).unwrap();
+        for i in 0..137u32 {
+            let correct = i % 5 != 0;
+            let novel = i % 11 == 0;
+            if i % 4 == 0 {
+                monitor.record_unlabelled(novel);
+            } else {
+                monitor.record_labelled(correct, novel);
+            }
+        }
+        let mut w = hdc::codec::Writer::new();
+        monitor.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = DriftMonitor::read_from(&mut hdc::codec::Reader::new(&bytes)).unwrap();
+        assert_eq!(restored, monitor);
+
+        // The restored monitor and the original make identical decisions on
+        // the continuation of the stream — the crash-recovery contract.
+        for i in 137..400u32 {
+            let correct = i % 7 != 0;
+            let novel = i % 3 == 0;
+            let (a, b) = if i % 4 == 0 {
+                (monitor.record_unlabelled(novel), restored.record_unlabelled(novel))
+            } else {
+                (monitor.record_labelled(correct, novel), restored.record_labelled(correct, novel))
+            };
+            assert_eq!(a, b, "divergence at observation {i}");
+        }
+        assert_eq!(restored, monitor);
+    }
+
+    #[test]
+    fn corrupted_monitor_state_is_rejected_not_misread() {
+        let mut monitor = DriftMonitor::new(monitor_config()).unwrap();
+        for _ in 0..50 {
+            monitor.record_labelled(true, false);
+        }
+        let mut w = hdc::codec::Writer::new();
+        monitor.write_to(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                DriftMonitor::read_from(&mut hdc::codec::Reader::new(&bytes[..cut])).is_err(),
+                "truncation to {cut} bytes must not parse"
+            );
+        }
+        // An impossible window length fails validation rather than
+        // reconstructing an inconsistent monitor.
+        let mut w = hdc::codec::Writer::new();
+        w.usize(8); // window
+        w.usize(4); // min_observations
+        w.f64(0.1);
+        w.f64(0.5);
+        w.usize(4); // cooldown
+        w.usize(9_999); // labelled window "length"
+        let bad = w.into_bytes();
+        assert!(DriftMonitor::read_from(&mut hdc::codec::Reader::new(&bad)).is_err());
     }
 }

@@ -125,10 +125,23 @@ pub enum ServeError {
     DuplicateTenant(String),
     /// The serve configuration is inconsistent.
     InvalidConfig(String),
-    /// Ground truth arrived for a flow the adaptive lane no longer (or
-    /// never) retains: the ticket was labelled at submit time, feedback was
-    /// already applied, or the flow aged out of the retention window.
+    /// Ground truth arrived for a flow the adaptive lane never retained
+    /// for feedback (the ticket was labelled at submit time) or whose
+    /// feedback was already applied.
     FeedbackUnavailable(String),
+    /// Ground truth arrived **too late**: the flow's record aged out of
+    /// the bounded retention window (or the window is disabled).  Distinct
+    /// from [`ServeError::FeedbackUnavailable`] so callers — and the WAL
+    /// replay path — can tell an evicted flow from a never-retained one.
+    FeedbackTooLate {
+        /// Sequence number of the evicted flow.
+        seq: u64,
+        /// The configured retention window (`0` = late feedback disabled).
+        retention: usize,
+    },
+    /// The durable lane's on-disk state (write-ahead log or checkpoint)
+    /// could not be read, written, or reconciled with the live lane.
+    Durability(String),
 }
 
 impl fmt::Display for ServeError {
@@ -148,6 +161,14 @@ impl fmt::Display for ServeError {
             ServeError::FeedbackUnavailable(what) => {
                 write!(f, "feedback unavailable: {what}")
             }
+            ServeError::FeedbackTooLate { seq, retention } => {
+                write!(
+                    f,
+                    "feedback too late: flow {seq} aged out of the {retention}-flow retention \
+                     window"
+                )
+            }
+            ServeError::Durability(what) => write!(f, "durability error: {what}"),
         }
     }
 }
@@ -1090,6 +1111,11 @@ struct AdaptiveInner {
     retained: HashMap<u64, Vec<f32>>,
     /// FIFO of retained sequence numbers (eviction order).
     retained_order: VecDeque<u64>,
+    /// Highest sequence number evicted from the retention window by aging
+    /// (not by feedback), so [`AdaptiveLane::submit_feedback`] can report
+    /// [`ServeError::FeedbackTooLate`] instead of a generic unavailability.
+    /// Eviction is FIFO in submission order, so one watermark suffices.
+    evicted_up_to: Option<u64>,
     completed: HashMap<u64, Verdict>,
     next_seq: u64,
     monitor: DriftMonitor,
@@ -1352,6 +1378,7 @@ impl AdaptiveLane {
                 queue: VecDeque::new(),
                 retained: HashMap::new(),
                 retained_order: VecDeque::new(),
+                evicted_up_to: None,
                 completed: HashMap::new(),
                 next_seq: 0,
                 monitor,
@@ -1448,11 +1475,14 @@ impl AdaptiveLane {
     ///
     /// # Errors
     ///
-    /// * [`ServeError::UnknownTicket`] — foreign ticket,
+    /// * [`ServeError::UnknownTicket`] — foreign ticket (or a sequence
+    ///   number this lane never issued),
     /// * [`ServeError::Rejected`] — label out of range,
+    /// * [`ServeError::FeedbackTooLate`] — the record aged out of the
+    ///   retention window before the ground truth arrived (or the window
+    ///   is disabled),
     /// * [`ServeError::FeedbackUnavailable`] — the flow was labelled at
-    ///   submit time, feedback was already applied, or the record aged out
-    ///   of the retention window,
+    ///   submit time or feedback was already applied,
     /// * [`ServeError::Backpressure`] — bounded queue full (the record
     ///   stays retained; retry after draining).
     pub fn submit_feedback(&self, ticket: &Ticket, label: usize) -> ServeResult<()> {
@@ -1467,11 +1497,7 @@ impl AdaptiveLane {
             ))));
         }
         if !inner.retained.contains_key(&ticket.seq) {
-            return Err(ServeError::FeedbackUnavailable(format!(
-                "flow {} of tenant {:?} is not retained (labelled at submit, feedback already \
-                 applied, or aged out of the {}-flow retention window)",
-                ticket.seq, self.tenant, self.config.retention
-            )));
+            return Err(self.classify_feedback_miss(&inner, ticket.seq));
         }
         if inner.queue.len() + inner.completed.len() >= self.config.queue_capacity {
             inner.stats.rejected += 1;
@@ -1488,6 +1514,182 @@ impl AdaptiveLane {
             self.flush_locked(&mut inner);
         }
         Ok(())
+    }
+
+    /// Explains why a feedback target is not in the retention map: too
+    /// late (aged out / window disabled), unavailable (labelled at submit
+    /// or already applied), or a sequence number this lane never issued.
+    ///
+    /// Aging eviction is FIFO in submission order, so every sequence at or
+    /// below the eviction watermark is reported as too late — including
+    /// the (indistinguishable without per-flow bookkeeping) case where its
+    /// feedback had already been applied before the watermark passed it.
+    fn classify_feedback_miss(&self, inner: &AdaptiveInner, seq: u64) -> ServeError {
+        if seq >= inner.next_seq {
+            // The lane id matched but the sequence was never issued — a
+            // forged or cross-restart ticket.
+            return ServeError::UnknownTicket;
+        }
+        if self.config.retention == 0 {
+            return ServeError::FeedbackTooLate { seq, retention: 0 };
+        }
+        if inner.evicted_up_to.is_some_and(|watermark| seq <= watermark) {
+            return ServeError::FeedbackTooLate { seq, retention: self.config.retention };
+        }
+        ServeError::FeedbackUnavailable(format!(
+            "flow {seq} of tenant {:?} is not retained (labelled at submit time, or feedback \
+             was already applied)",
+            self.tenant
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Durable-lane support (crate-internal)
+    // ------------------------------------------------------------------
+
+    /// Re-issues a ticket for `seq` — the durable lane's replay path needs
+    /// handles for flows whose original tickets died with the process.
+    pub(crate) fn ticket_for(&self, seq: u64) -> Ticket {
+        Ticket { tenant: Arc::clone(&self.tenant), lane: self.id, seq }
+    }
+
+    /// `true` when [`AdaptiveLane::poll`] would flush now (the oldest
+    /// queued event has expired) — lets the durable wrapper sync its log
+    /// *before* the flush applies events, without flushing eagerly.
+    pub(crate) fn poll_due(&self) -> bool {
+        let inner = self.inner.lock().expect("adaptive lane lock");
+        inner
+            .queue
+            .front()
+            .is_some_and(|event| event.submitted().elapsed() >= self.config.max_delay)
+    }
+
+    /// Drains every completed-but-uncollected verdict, sorted by sequence
+    /// number — the durable lane's replay loop collects verdicts this way
+    /// so a long tail replay can never hit its own backpressure bound.
+    pub(crate) fn drain_completed(&self) -> Vec<(u64, Verdict)> {
+        let mut inner = self.inner.lock().expect("adaptive lane lock");
+        let mut verdicts: Vec<(u64, Verdict)> = inner.completed.drain().collect();
+        verdicts.sort_unstable_by_key(|&(seq, _)| seq);
+        verdicts
+    }
+
+    /// Captures everything a checkpoint must persist for recovery to be
+    /// bit-identical: the sealed model bytes, the drift-signal thresholds,
+    /// the monitor state, the prequential counters, the retention window
+    /// (records and eviction watermark) and the deterministic lane
+    /// counters.  Queued events are deliberately **not** captured — the
+    /// caller flushes before checkpointing, so the queue is empty and the
+    /// WAL tail covers anything submitted afterwards.
+    pub(crate) fn checkpoint_state(&self) -> LaneCheckpoint {
+        let inner = self.inner.lock().expect("adaptive lane lock");
+        LaneCheckpoint {
+            tenant: self.tenant.as_ref().into(),
+            detector_bytes: inner.online.seal_snapshot().to_bytes(),
+            thresholds: inner.thresholds.clone(),
+            monitor: inner.monitor.clone(),
+            next_seq: inner.next_seq,
+            retained: inner
+                .retained_order
+                .iter()
+                .filter_map(|seq| inner.retained.get(seq).map(|r| (*seq, r.clone())))
+                .collect(),
+            evicted_up_to: inner.evicted_up_to,
+            seen: inner.online.samples_seen(),
+            prequential_correct: inner.online.learner().prequential_correct(),
+            counters: [
+                inner.stats.flows_submitted,
+                inner.stats.flows_served,
+                inner.stats.feedback_submitted,
+                inner.stats.feedback_applied,
+                inner.stats.batches,
+                inner.stats.adaptations,
+                inner.stats.regenerated_dimensions,
+                inner.stats.adaptation_failures,
+            ],
+        }
+    }
+
+    /// Rebuilds a lane from a [`LaneCheckpoint`] — the recovery path.  The
+    /// restored lane is bit-identical to the lane that wrote the
+    /// checkpoint: model bytes, monitor state, prequential counters,
+    /// retention window and sequence numbering all resume exactly where
+    /// they stopped (wall-clock latency histograms restart, as do the
+    /// registry-dependent publish counters).
+    pub(crate) fn restore(
+        config: AdaptiveConfig,
+        registry: Option<Arc<DetectorRegistry>>,
+        state: LaneCheckpoint,
+    ) -> ServeResult<Self> {
+        config.validate()?;
+        let detector = Detector::from_bytes(&state.detector_bytes)
+            .map_err(|e| ServeError::Durability(format!("checkpointed model: {e}")))?;
+        let classes = detector.num_classes();
+        let mut online = detector.into_online().map_err(|e| {
+            ServeError::InvalidConfig(format!("adaptive lanes need a dense artifact: {e}"))
+        })?;
+        online.restore_prequential(state.seen, state.prequential_correct);
+        if let Some(thresholds) = &state.thresholds {
+            if thresholds.len() != classes {
+                return Err(ServeError::Durability(format!(
+                    "checkpoint holds {} thresholds for {} classes",
+                    thresholds.len(),
+                    classes
+                )));
+            }
+        }
+        let flows_retained = state.retained.len() as u64;
+        if flows_retained > config.retention as u64 {
+            return Err(ServeError::Durability(format!(
+                "checkpoint retains {flows_retained} flows but the window holds {}",
+                config.retention
+            )));
+        }
+        let mut retained = HashMap::with_capacity(state.retained.len());
+        let mut retained_order = VecDeque::with_capacity(state.retained.len());
+        for (seq, record) in state.retained {
+            if seq >= state.next_seq {
+                return Err(ServeError::Durability(format!(
+                    "checkpoint retains flow {seq} beyond its next sequence {}",
+                    state.next_seq
+                )));
+            }
+            if retained.insert(seq, record).is_some() {
+                return Err(ServeError::Durability(format!("checkpoint retains flow {seq} twice")));
+            }
+            retained_order.push_back(seq);
+        }
+        let mut stats = AdaptiveLaneStats::new();
+        let [submitted, served, fb_submitted, fb_applied, batches, adaptations, regen, failures] =
+            state.counters;
+        stats.flows_submitted = submitted;
+        stats.flows_served = served;
+        stats.feedback_submitted = fb_submitted;
+        stats.feedback_applied = fb_applied;
+        stats.batches = batches;
+        stats.adaptations = adaptations;
+        stats.regenerated_dimensions = regen;
+        stats.adaptation_failures = failures;
+        Ok(Self {
+            tenant: state.tenant.as_str().into(),
+            id: next_lane_id(),
+            config,
+            classes,
+            registry,
+            inner: Mutex::new(AdaptiveInner {
+                online,
+                thresholds: state.thresholds,
+                queue: VecDeque::new(),
+                retained,
+                retained_order,
+                evicted_up_to: state.evicted_up_to,
+                completed: HashMap::new(),
+                next_seq: state.next_seq,
+                monitor: state.monitor,
+                pending_publish: false,
+                stats,
+            }),
+        })
     }
 
     /// Flushes every queued event now, returning how many **flows** were
@@ -1759,15 +1961,51 @@ impl AdaptiveLane {
 }
 
 /// Retains `record` under `seq`, evicting the oldest retained flow when
-/// the window is full.
+/// the window is full (recording it in the too-late watermark).
 fn retain(inner: &mut AdaptiveInner, seq: u64, record: Vec<f32>, retention: usize) {
     if inner.retained.len() >= retention {
         if let Some(oldest) = inner.retained_order.pop_front() {
             inner.retained.remove(&oldest);
+            inner.evicted_up_to = Some(inner.evicted_up_to.map_or(oldest, |w| w.max(oldest)));
         }
     }
     inner.retained.insert(seq, record);
     inner.retained_order.push_back(seq);
+}
+
+/// Everything an [`AdaptiveLane`] needs persisted for bit-identical
+/// recovery (see [`AdaptiveLane::checkpoint_state`] /
+/// [`AdaptiveLane::restore`]).  The durable lane serializes this through
+/// [`hdc::codec`]; the queue is never part of it — checkpoints are taken
+/// at flush boundaries, where the queue is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LaneCheckpoint {
+    /// Tenant id.
+    pub(crate) tenant: String,
+    /// Sealed [`Detector::to_bytes`] snapshot of the live model (encoder
+    /// seed and regeneration counter included, so post-recovery
+    /// regenerations draw the exact streams the uncrashed lane would).
+    pub(crate) detector_bytes: Vec<u8>,
+    /// Open-set drift-signal thresholds (dropped from the sealed snapshot
+    /// by design, so they ride the checkpoint separately).
+    pub(crate) thresholds: Option<Vec<f32>>,
+    /// Drift-monitor windows, baseline, cooldown and trip count.
+    pub(crate) monitor: DriftMonitor,
+    /// Next sequence number the lane will issue.
+    pub(crate) next_seq: u64,
+    /// Retention window in FIFO (eviction) order.
+    pub(crate) retained: Vec<(u64, Vec<f32>)>,
+    /// Aging-eviction watermark (see [`AdaptiveInner::evicted_up_to`]).
+    pub(crate) evicted_up_to: Option<u64>,
+    /// Prequential sample count ([`OnlineDetector::samples_seen`]).
+    pub(crate) seen: usize,
+    /// Prequential correct-before-update count.
+    pub(crate) prequential_correct: usize,
+    /// Deterministic lane counters, in the fixed order consumed by
+    /// [`AdaptiveLane::restore`]: flows_submitted, flows_served,
+    /// feedback_submitted, feedback_applied, batches, adaptations,
+    /// regenerated_dimensions, adaptation_failures.
+    pub(crate) counters: [u64; 8],
 }
 
 #[cfg(test)]
@@ -2199,8 +2437,12 @@ mod tests {
         let first = lane.submit(&data.records()[0]).unwrap();
         lane.submit(&data.records()[1]).unwrap();
         lane.submit(&data.records()[2]).unwrap();
-        // The first flow aged out of the 2-flow retention window.
-        assert!(matches!(lane.submit_feedback(&first, 0), Err(ServeError::FeedbackUnavailable(_))));
+        // The first flow aged out of the 2-flow retention window — a
+        // distinct, WAL-replayable error, not generic unavailability.
+        assert!(matches!(
+            lane.submit_feedback(&first, 0),
+            Err(ServeError::FeedbackTooLate { seq: 0, retention: 2 })
+        ));
         assert_eq!(lane.stats().retained, 2);
 
         // retention = 0 disables late feedback entirely.
@@ -2213,8 +2455,87 @@ mod tests {
         let ticket = no_feedback.submit(&data.records()[0]).unwrap();
         assert!(matches!(
             no_feedback.submit_feedback(&ticket, 0),
-            Err(ServeError::FeedbackUnavailable(_))
+            Err(ServeError::FeedbackTooLate { retention: 0, .. })
         ));
+        // A sequence the lane never issued stays UnknownTicket even with
+        // the retention window empty.
+        let forged = no_feedback.ticket_for(999);
+        assert!(matches!(no_feedback.submit_feedback(&forged, 0), Err(ServeError::UnknownTicket)));
+    }
+
+    #[test]
+    fn adaptive_checkpoint_restore_is_bit_identical() {
+        let data = dataset(400, 47);
+        let config = AdaptiveConfig {
+            max_batch: 8,
+            retention: 16,
+            monitor: DriftMonitorConfig {
+                window: 32,
+                min_observations: 16,
+                cooldown: 16,
+                ..DriftMonitorConfig::default()
+            },
+            ..AdaptiveConfig::default()
+        };
+        let lane = AdaptiveLane::new("t0", detector(&data, 3), config).unwrap();
+        let oracle = AdaptiveLane::new("t0", detector(&data, 3), config).unwrap();
+
+        // Mixed traffic: labelled, unlabelled (some fed back), enough to
+        // evict from the retention window and (likely) trip the monitor.
+        let mut tickets = Vec::new();
+        for (i, record) in data.records()[..120].iter().enumerate() {
+            if i % 3 == 0 {
+                lane.submit_labelled(record, data.labels()[i]).unwrap();
+                oracle.submit_labelled(record, data.labels()[i]).unwrap();
+            } else {
+                tickets.push((i, lane.submit(record).unwrap(), oracle.submit(record).unwrap()));
+            }
+            if i % 7 == 0 {
+                if let Some((j, t_lane, t_oracle)) = tickets.pop() {
+                    let _ = lane.submit_feedback(&t_lane, data.labels()[j]);
+                    let _ = oracle.submit_feedback(&t_oracle, data.labels()[j]);
+                }
+            }
+        }
+        lane.flush().unwrap();
+        oracle.flush().unwrap();
+        lane.drain_completed();
+        oracle.drain_completed();
+
+        // Checkpoint the first lane and restore a fresh one from it.
+        let state = lane.checkpoint_state();
+        let restored = AdaptiveLane::restore(config, None, state.clone()).unwrap();
+        assert_eq!(restored.checkpoint_state(), state, "restore must round-trip the checkpoint");
+
+        // The restored lane and the never-checkpointed oracle must agree
+        // bit-for-bit on everything that follows.
+        for (i, record) in data.records()[120..240].iter().enumerate() {
+            let label = data.labels()[120 + i];
+            let (a, b) = if i % 2 == 0 {
+                (restored.submit_labelled(record, label), oracle.submit_labelled(record, label))
+            } else {
+                (restored.submit(record), oracle.submit(record))
+            };
+            assert_eq!(a.unwrap().seq(), b.unwrap().seq(), "sequence numbering must resume");
+        }
+        restored.flush().unwrap();
+        oracle.flush().unwrap();
+        assert_eq!(
+            restored.drain_completed(),
+            oracle.drain_completed(),
+            "post-restore verdicts must match the uncrashed lane"
+        );
+        assert_eq!(
+            restored.seal_snapshot().to_bytes(),
+            oracle.seal_snapshot().to_bytes(),
+            "post-restore model must be bit-identical to the uncrashed lane"
+        );
+        let (r, o) = (restored.stats(), oracle.stats());
+        assert_eq!(r.samples_learned, o.samples_learned);
+        assert_eq!(r.prequential_accuracy, o.prequential_accuracy);
+        assert_eq!(r.monitor_trips, o.monitor_trips);
+        assert_eq!(r.adaptations, o.adaptations);
+        assert_eq!(r.flows_submitted, o.flows_submitted);
     }
 
     #[test]

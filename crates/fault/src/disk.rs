@@ -1,0 +1,224 @@
+//! Seeded disk-corruption faults for durability testing.
+//!
+//! Where [`BitFlipInjector`](crate::BitFlipInjector) models memory upsets
+//! in a *deployed* model, [`DiskFaultInjector`] models what storage does
+//! to *persisted* artifacts — write-ahead logs, checkpoints, sealed
+//! detector files — when a process dies mid-write or a medium degrades:
+//!
+//! * **truncation** — the tail of a file never made it to disk (torn
+//!   fsync, lost cache),
+//! * **byte flips** — latent sector corruption or a bad transfer,
+//! * **torn writes** — an append persisted only partially.
+//!
+//! Every fault is drawn from a seeded stream, so a crash/recovery matrix
+//! is reproducible bit for bit.  The injector operates on in-memory byte
+//! buffers; callers read the file, corrupt the bytes and write them back
+//! — keeping the faults synchronous and the tests hermetic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a [`DiskFaultInjector::corrupt`] call did to the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Removed this many trailing bytes.
+    Truncated(usize),
+    /// Flipped one bit in the byte at this offset.
+    FlippedByte(usize),
+    /// Nothing happened (the buffer was empty).
+    None,
+}
+
+/// A seeded injector of storage-level corruption (see the
+/// [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct DiskFaultInjector {
+    rng: StdRng,
+}
+
+impl DiskFaultInjector {
+    /// Creates an injector drawing its faults from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Removes a random positive number of trailing bytes (at least one,
+    /// up to the whole buffer).  Returns how many were removed; `0` only
+    /// for an empty buffer.
+    pub fn truncate(&mut self, bytes: &mut Vec<u8>) -> usize {
+        if bytes.is_empty() {
+            return 0;
+        }
+        let cut = self.rng.gen_range(0..bytes.len());
+        let removed = bytes.len() - cut;
+        bytes.truncate(cut);
+        removed
+    }
+
+    /// Truncates the buffer to a uniformly random prefix **at or past**
+    /// `keep` bytes — the "kill the process at a random offset, but after
+    /// this much was already durable" form the crash matrix uses.
+    /// Returns the number of bytes removed.
+    pub fn truncate_after(&mut self, bytes: &mut Vec<u8>, keep: usize) -> usize {
+        if bytes.len() <= keep {
+            return 0;
+        }
+        let cut = self.rng.gen_range(keep..=bytes.len());
+        let removed = bytes.len() - cut;
+        bytes.truncate(cut);
+        removed
+    }
+
+    /// Flips one random bit of one random byte.  Returns the byte offset,
+    /// or `None` for an empty buffer.
+    pub fn flip_byte(&mut self, bytes: &mut [u8]) -> Option<usize> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let at = self.rng.gen_range(0..bytes.len());
+        bytes[at] ^= 1 << self.rng.gen_range(0..8u32);
+        Some(at)
+    }
+
+    /// Flips one random bit in each of `count` independently chosen bytes
+    /// (offsets may repeat — a repeat flips a second bit, or the same bit
+    /// back).  Returns the offsets flipped.
+    pub fn flip_bytes(&mut self, bytes: &mut [u8], count: usize) -> Vec<usize> {
+        let mut flipped = Vec::with_capacity(count.min(bytes.len()));
+        for _ in 0..count {
+            match self.flip_byte(bytes) {
+                Some(at) => flipped.push(at),
+                None => break,
+            }
+        }
+        flipped
+    }
+
+    /// Appends only a random **strict prefix** of `record` — a torn
+    /// append: the write started but the process died before it finished.
+    /// Returns how many of `record`'s bytes landed.
+    pub fn torn_write(&mut self, bytes: &mut Vec<u8>, record: &[u8]) -> usize {
+        if record.is_empty() {
+            return 0;
+        }
+        let landed = self.rng.gen_range(0..record.len());
+        bytes.extend_from_slice(&record[..landed]);
+        landed
+    }
+
+    /// Applies one fault chosen at random: truncation or a byte flip,
+    /// equally likely.  Returns what happened.
+    pub fn corrupt(&mut self, bytes: &mut Vec<u8>) -> DiskFault {
+        if bytes.is_empty() {
+            return DiskFault::None;
+        }
+        if self.rng.gen_bool(0.5) {
+            DiskFault::Truncated(self.truncate(bytes))
+        } else {
+            match self.flip_byte(bytes) {
+                Some(at) => DiskFault::FlippedByte(at),
+                None => DiskFault::None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_seed_deterministic() {
+        let base: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        let run = |seed: u64| {
+            let mut injector = DiskFaultInjector::new(seed);
+            let mut bytes = base.clone();
+            let removed = injector.truncate(&mut bytes);
+            let flips = injector.flip_bytes(&mut bytes, 5);
+            let landed = injector.torn_write(&mut bytes, &base[..64]);
+            (bytes, removed, flips, landed)
+        };
+        assert_eq!(run(42), run(42), "same seed, same faults");
+        assert_ne!(run(42).0, run(43).0, "different seeds diverge");
+    }
+
+    #[test]
+    fn truncate_always_removes_something_from_a_non_empty_buffer() {
+        let mut injector = DiskFaultInjector::new(7);
+        for len in [1usize, 2, 17, 1024] {
+            let mut bytes = vec![0xABu8; len];
+            let removed = injector.truncate(&mut bytes);
+            assert!(removed >= 1 && removed <= len);
+            assert_eq!(bytes.len(), len - removed);
+        }
+        let mut empty = Vec::new();
+        assert_eq!(injector.truncate(&mut empty), 0);
+    }
+
+    #[test]
+    fn truncate_after_respects_the_durable_floor() {
+        let mut injector = DiskFaultInjector::new(11);
+        for _ in 0..100 {
+            let mut bytes = vec![1u8; 300];
+            injector.truncate_after(&mut bytes, 120);
+            assert!(bytes.len() >= 120, "durable prefix must survive");
+        }
+        let mut short = vec![1u8; 50];
+        assert_eq!(injector.truncate_after(&mut short, 120), 0);
+        assert_eq!(short.len(), 50);
+    }
+
+    #[test]
+    fn flips_change_exactly_the_reported_bytes() {
+        let mut injector = DiskFaultInjector::new(13);
+        let original = vec![0u8; 512];
+        let mut bytes = original.clone();
+        let flipped = injector.flip_bytes(&mut bytes, 8);
+        assert_eq!(flipped.len(), 8);
+        for (i, (a, b)) in original.iter().zip(&bytes).enumerate() {
+            if a != b {
+                assert!(flipped.contains(&i), "byte {i} changed without being reported");
+                assert_eq!((a ^ b).count_ones(), 1, "exactly one bit flips per visit");
+            }
+        }
+        let mut empty: [u8; 0] = [];
+        assert!(injector.flip_byte(&mut empty).is_none());
+    }
+
+    #[test]
+    fn torn_writes_land_a_strict_prefix() {
+        let mut injector = DiskFaultInjector::new(17);
+        let record: Vec<u8> = (0..100u8).collect();
+        for _ in 0..50 {
+            let mut file = vec![0xEEu8; 10];
+            let landed = injector.torn_write(&mut file, &record);
+            assert!(landed < record.len(), "a torn write never completes");
+            assert_eq!(&file[10..], &record[..landed]);
+        }
+    }
+
+    #[test]
+    fn corrupt_always_does_something_to_a_non_empty_buffer() {
+        let mut injector = DiskFaultInjector::new(19);
+        let mut saw_truncate = false;
+        let mut saw_flip = false;
+        for _ in 0..64 {
+            let original = vec![0x5Au8; 256];
+            let mut bytes = original.clone();
+            match injector.corrupt(&mut bytes) {
+                DiskFault::Truncated(n) => {
+                    saw_truncate = true;
+                    assert_eq!(bytes.len(), 256 - n);
+                }
+                DiskFault::FlippedByte(at) => {
+                    saw_flip = true;
+                    assert_ne!(bytes[at], original[at]);
+                }
+                DiskFault::None => panic!("non-empty buffers must be corrupted"),
+            }
+        }
+        assert!(saw_truncate && saw_flip, "both fault kinds must occur");
+        let mut empty = Vec::new();
+        assert_eq!(injector.corrupt(&mut empty), DiskFault::None);
+    }
+}

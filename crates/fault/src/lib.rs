@@ -9,9 +9,12 @@
 //!   with probability `rate` (the paper's "hardware error" percentage),
 //! * helpers target the three deployment artefacts of this repository:
 //!   raw `f32` parameter slices (MLP/SVM weights), quantized hypervectors
-//!   (CyberHD class memory at 1–32 bits) and bit-packed binary hypervectors.
+//!   (CyberHD class memory at 1–32 bits) and bit-packed binary hypervectors,
+//! * [`disk::DiskFaultInjector`] models **storage** faults — truncation,
+//!   byte flips and torn writes against persisted artifacts (write-ahead
+//!   logs, checkpoints, sealed detectors) — for the crash/recovery matrix.
 //!
-//! Every injector run is seeded, so a robustness curve can be re-generated
+//! Every injector run is seeded, so a robustness curve is re-generated
 //! bit-for-bit.
 //!
 //! # Example
@@ -31,6 +34,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod disk;
+
+pub use disk::{DiskFault, DiskFaultInjector};
 
 use baselines::mlp::Mlp;
 use baselines::svm::LinearSvm;

@@ -51,6 +51,39 @@ impl Error for CodecError {}
 /// Codec-local result alias.
 pub type CodecResult<T> = std::result::Result<T, CodecError>;
 
+/// Lookup table for [`crc32`] (reflected CRC-32, polynomial `0xEDB88320`).
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The standard CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`.
+///
+/// Used as the integrity trailer of versioned artifact frames and as the
+/// per-record checksum of the write-ahead log ([`crate::wal`]): corruption
+/// of persisted bytes is detected up front instead of deserializing
+/// garbage that happens to parse.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Appends little-endian fields to a byte buffer.
 #[derive(Debug, Default)]
 pub struct Writer {
@@ -71,6 +104,12 @@ impl Writer {
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Borrows the bytes written so far (e.g. to checksum a frame before
+    /// appending its integrity trailer).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Returns `true` if nothing has been written yet.
@@ -333,6 +372,27 @@ impl<'a> Reader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_matches_the_reference_vectors() {
+        // The check value every CRC-32 implementation must reproduce.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut bytes = (0u8..=255).collect::<Vec<_>>();
+        let clean = crc32(&bytes);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[i] ^= 1 << bit;
+                assert_ne!(crc32(&bytes), clean, "flip at byte {i} bit {bit} went undetected");
+                bytes[i] ^= 1 << bit;
+            }
+        }
+    }
 
     #[test]
     fn scalars_round_trip_bit_exactly() {

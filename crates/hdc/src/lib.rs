@@ -25,6 +25,8 @@
 //!   inference engine (scoped threads behind the `parallel` feature).
 //! * [`rng`] — deterministic, seedable random sources (Gaussian via
 //!   Box–Muller) used for base-vector generation.
+//! * [`wal`] — an append-only, CRC-checksummed write-ahead log with
+//!   torn-tail repair, backing the durable adaptive serving lane.
 //!
 //! # Example
 //!
@@ -60,6 +62,7 @@ pub mod parallel;
 pub mod quant;
 pub mod rng;
 pub mod similarity;
+pub mod wal;
 
 pub use batch::{BatchBuffer, BatchView};
 pub use binary::BinaryHypervector;

@@ -1,0 +1,462 @@
+//! An append-only, checksummed write-ahead log (WAL).
+//!
+//! The drift-adaptive serving layer persists its event stream through this
+//! module so a crashed lane can be rebuilt by replaying the log (the
+//! serial-replay determinism contract makes the rebuilt model bit-identical
+//! to the lane that never crashed).  The format is deliberately minimal:
+//!
+//! ```text
+//! file   := header record*
+//! header := magic "CYWL" | version u32 (little-endian)
+//! record := len u32 | crc u32 | payload (len bytes)
+//! ```
+//!
+//! `crc` is the [`crate::codec::crc32`] of the payload alone, so every
+//! record is independently verifiable.  Payloads are opaque bytes — callers
+//! encode them with the [`crate::codec`] writer.
+//!
+//! # Crash semantics
+//!
+//! * **Torn tails are repaired, not fatal.**  [`scan`] walks the records in
+//!   order and stops at the first frame that is truncated or fails its
+//!   checksum; everything before it is the *valid prefix*, everything after
+//!   is dropped.  [`Writer::resume`] truncates the file back to that prefix
+//!   so appends continue from the last durable record.
+//! * **Arbitrary byte soup never panics.**  [`scan`] is total: corrupted
+//!   length prefixes, mid-record truncation and flipped checksum bytes all
+//!   surface as a shortened valid prefix (or [`WalError::NotAWal`] when the
+//!   8-byte header itself is damaged — a file that may not be a log is
+//!   refused rather than truncated).
+//! * **Durability is batched.**  [`Writer::append`] only buffers in memory;
+//!   [`Writer::flush`] writes the buffered frames and `fsync`s once, so the
+//!   durability cost is paid per micro-batch rather than per event.  Events
+//!   buffered but not yet flushed are lost in a crash — by design, the same
+//!   amortization the serving layer's micro-batcher already makes.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::codec::crc32;
+
+/// Magic tag opening every WAL file.
+pub const MAGIC: &[u8; 4] = b"CYWL";
+
+/// Format version written by this build.
+pub const VERSION: u32 = 1;
+
+/// Bytes of the file header (magic + version).
+pub const HEADER_LEN: usize = 8;
+
+/// Bytes of a record frame before its payload (length + checksum).
+pub const FRAME_LEN: usize = 8;
+
+/// Upper bound on one record's payload, guarding recovery against a
+/// corrupted length prefix that happens to pass the remaining-bytes check.
+pub const MAX_RECORD_LEN: usize = 1 << 30;
+
+/// Errors produced by the write-ahead log.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WalError {
+    /// An underlying I/O operation failed; the string names the file and
+    /// the operation.
+    Io(String),
+    /// The file exists but does not open with a valid WAL header — it may
+    /// be some other file entirely, so it is refused rather than truncated.
+    NotAWal(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(what) => write!(f, "wal i/o error: {what}"),
+            WalError::NotAWal(what) => write!(f, "not a write-ahead log: {what}"),
+        }
+    }
+}
+
+impl Error for WalError {}
+
+/// WAL-local result alias.
+pub type WalResult<T> = std::result::Result<T, WalError>;
+
+/// Frames one payload as a WAL record (`len | crc | payload`).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(FRAME_LEN + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// The result of scanning a WAL byte image: the records of the valid
+/// prefix, how long that prefix is, and how much tail (if any) was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of the valid prefix (header plus intact records); a resumed
+    /// writer truncates the file to this length before appending.
+    pub valid_len: usize,
+    /// Bytes beyond the valid prefix — a torn or corrupted tail that will
+    /// be dropped on resume (`0` for a clean log).
+    pub truncated: usize,
+}
+
+impl ScanOutcome {
+    /// `true` when the scan dropped a torn or corrupted tail.
+    pub fn damaged(&self) -> bool {
+        self.truncated > 0
+    }
+}
+
+/// Scans a whole WAL file image (header included).  Total: any byte soup
+/// yields either a [`ScanOutcome`] or [`WalError::NotAWal`], never a panic.
+///
+/// A file too short to hold the header counts as an empty log with a
+/// fully-torn tail (`valid_len == 0`): the header itself was lost
+/// mid-write, so a resumed writer rewrites it from scratch.
+///
+/// # Errors
+///
+/// Returns [`WalError::NotAWal`] when the 8 header bytes are present but
+/// hold the wrong magic or version — the file may not be a log at all, so
+/// it is refused instead of repaired.
+pub fn scan(bytes: &[u8]) -> WalResult<ScanOutcome> {
+    if bytes.len() < HEADER_LEN {
+        return Ok(ScanOutcome { records: Vec::new(), valid_len: 0, truncated: bytes.len() });
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(WalError::NotAWal(format!(
+            "magic {:02X?} (expected {MAGIC:02X?})",
+            &bytes[..4]
+        )));
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != VERSION {
+        return Err(WalError::NotAWal(format!(
+            "format version {version} (this build reads version {VERSION})"
+        )));
+    }
+    let body = scan_records(&bytes[HEADER_LEN..]);
+    let valid_len = HEADER_LEN + body.valid_len;
+    Ok(ScanOutcome { records: body.records, valid_len, truncated: bytes.len() - valid_len })
+}
+
+/// Scans a record stream (no header).  Stops at the first truncated frame,
+/// oversized length prefix or checksum mismatch; never panics.
+pub fn scan_records(body: &[u8]) -> ScanOutcome {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while body.len() - pos >= FRAME_LEN {
+        let len =
+            u32::from_le_bytes([body[pos], body[pos + 1], body[pos + 2], body[pos + 3]]) as usize;
+        let crc = u32::from_le_bytes([body[pos + 4], body[pos + 5], body[pos + 6], body[pos + 7]]);
+        if len > MAX_RECORD_LEN || len > body.len() - pos - FRAME_LEN {
+            break;
+        }
+        let payload = &body[pos + FRAME_LEN..pos + FRAME_LEN + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        records.push(payload.to_vec());
+        pos += FRAME_LEN + len;
+    }
+    ScanOutcome { records, valid_len: pos, truncated: body.len() - pos }
+}
+
+/// Reads and scans a WAL file from disk.
+///
+/// # Errors
+///
+/// Returns [`WalError::Io`] when the file cannot be read and
+/// [`WalError::NotAWal`] for a damaged header (see [`scan`]).
+pub fn read_file(path: impl AsRef<Path>) -> WalResult<ScanOutcome> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| WalError::Io(format!("reading {}: {e}", path.display())))?;
+    scan(&bytes)
+}
+
+/// An append-only WAL writer with batched durability.
+///
+/// Appends buffer in memory; [`Writer::flush`] writes them and `fsync`s
+/// once.  [`Writer::durable_len`] is the file length known to be on disk —
+/// the valid prefix a crash at any later moment recovers to (plus whatever
+/// the OS happened to persist of a torn final write, which [`scan`]
+/// repairs).
+#[derive(Debug)]
+pub struct Writer {
+    file: File,
+    path: PathBuf,
+    buf: Vec<u8>,
+    pending_records: usize,
+    durable_len: u64,
+}
+
+impl Writer {
+    /// Creates (or truncates to empty) the log at `path` and durably writes
+    /// the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] on any filesystem failure.
+    pub fn create(path: impl AsRef<Path>) -> WalResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| WalError::Io(format!("creating {}: {e}", path.display())))?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        file.write_all(&header)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| WalError::Io(format!("writing header of {}: {e}", path.display())))?;
+        Ok(Self { file, path, buf: Vec::new(), pending_records: 0, durable_len: HEADER_LEN as u64 })
+    }
+
+    /// Resumes appending to an existing log whose valid prefix (as reported
+    /// by [`scan`]) is `valid_len` bytes: the file is truncated back to the
+    /// prefix — dropping any torn tail — and appends continue from there.
+    ///
+    /// A `valid_len` shorter than the header (a log that died mid-header)
+    /// recreates the file from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] on any filesystem failure.
+    pub fn resume(path: impl AsRef<Path>, valid_len: u64) -> WalResult<Self> {
+        if valid_len < HEADER_LEN as u64 {
+            return Self::create(path);
+        }
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| WalError::Io(format!("opening {}: {e}", path.display())))?;
+        file.set_len(valid_len)
+            .and_then(|()| file.sync_data())
+            .and_then(|()| file.seek(SeekFrom::End(0)).map(|_| ()))
+            .map_err(|e| WalError::Io(format!("truncating {}: {e}", path.display())))?;
+        Ok(Self { file, path, buf: Vec::new(), pending_records: 0, durable_len: valid_len })
+    }
+
+    /// Buffers one record for the next [`Writer::flush`].  No I/O happens
+    /// here; a crash before the flush loses the buffered records (the
+    /// batched-durability contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] for a payload larger than
+    /// [`MAX_RECORD_LEN`] (it could never be recovered).
+    pub fn append(&mut self, payload: &[u8]) -> WalResult<()> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(WalError::Io(format!(
+                "record of {} bytes exceeds the {MAX_RECORD_LEN}-byte limit",
+                payload.len()
+            )));
+        }
+        self.buf.extend_from_slice(&frame(payload));
+        self.pending_records += 1;
+        Ok(())
+    }
+
+    /// Records buffered since the last flush.
+    pub fn pending(&self) -> usize {
+        self.pending_records
+    }
+
+    /// Bytes buffered since the last flush.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Writes every buffered record and `fsync`s once — the batched
+    /// durability point.  A no-op when nothing is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] on write or sync failure; the buffer is
+    /// kept so the flush can be retried.
+    pub fn flush(&mut self) -> WalResult<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all(&self.buf)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| WalError::Io(format!("flushing {}: {e}", self.path.display())))?;
+        self.durable_len += self.buf.len() as u64;
+        self.buf.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// File length known to be durable on disk.
+    pub fn durable_len(&self) -> u64 {
+        self.durable_len
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cyberhd_wal_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn frame_and_scan_round_trip() {
+        let payloads: Vec<Vec<u8>> = vec![b"".to_vec(), b"a".to_vec(), vec![0xFF; 300]];
+        let mut body = Vec::new();
+        for p in &payloads {
+            body.extend_from_slice(&frame(p));
+        }
+        let scanned = scan_records(&body);
+        assert_eq!(scanned.records, payloads);
+        assert_eq!(scanned.valid_len, body.len());
+        assert!(!scanned.damaged());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_truncation_point() {
+        let mut body = Vec::new();
+        for i in 0..5u8 {
+            body.extend_from_slice(&frame(&[i; 17]));
+        }
+        for cut in 0..body.len() {
+            let scanned = scan_records(&body[..cut]);
+            let whole = cut / (FRAME_LEN + 17);
+            assert_eq!(scanned.records.len(), whole, "cut at {cut}");
+            assert_eq!(scanned.valid_len, whole * (FRAME_LEN + 17));
+            assert_eq!(scanned.damaged(), cut != scanned.valid_len);
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_shorten_the_valid_prefix() {
+        let mut body = Vec::new();
+        for i in 0..4u8 {
+            body.extend_from_slice(&frame(&[i; 9]));
+        }
+        let record = FRAME_LEN + 9;
+        // Flip one payload byte of record 2: records 0-1 survive.
+        let mut bad = body.clone();
+        bad[2 * record + FRAME_LEN] ^= 0x10;
+        let scanned = scan_records(&bad);
+        assert_eq!(scanned.records.len(), 2);
+        assert!(scanned.damaged());
+        // A corrupted length prefix stops the scan there too.
+        let mut bad = body;
+        bad[record] = 0xFF;
+        bad[record + 3] = 0xFF;
+        assert_eq!(scan_records(&bad).records.len(), 1);
+    }
+
+    #[test]
+    fn scan_never_panics_on_byte_soup() {
+        let mut state = 0x9E37_79B9_u64;
+        for len in 0..200 {
+            let soup: Vec<u8> = (0..len)
+                .map(|_| {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let _ = scan_records(&soup);
+            let _ = scan(&soup);
+        }
+    }
+
+    #[test]
+    fn scan_refuses_a_wrong_header_but_repairs_a_short_one() {
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&VERSION.to_le_bytes());
+        file.extend_from_slice(&frame(b"x"));
+        assert_eq!(scan(&file).unwrap().records, vec![b"x".to_vec()]);
+
+        let mut wrong_magic = file.clone();
+        wrong_magic[0] ^= 0x01;
+        assert!(matches!(scan(&wrong_magic), Err(WalError::NotAWal(_))));
+        let mut wrong_version = file.clone();
+        wrong_version[4] = 9;
+        assert!(matches!(scan(&wrong_version), Err(WalError::NotAWal(_))));
+
+        let short = &file[..5];
+        let scanned = scan(short).unwrap();
+        assert_eq!(scanned.valid_len, 0);
+        assert!(scanned.damaged());
+    }
+
+    #[test]
+    fn writer_appends_flushes_and_resumes() {
+        let path = temp("resume");
+        let mut w = Writer::create(&path).unwrap();
+        w.append(b"one").unwrap();
+        w.append(b"two").unwrap();
+        assert_eq!(w.pending(), 2);
+        w.flush().unwrap();
+        assert_eq!(w.pending(), 0);
+        // Buffered but unflushed records are not durable.
+        w.append(b"lost").unwrap();
+        let durable = w.durable_len();
+        drop(w);
+
+        let scanned = read_file(&path).unwrap();
+        assert_eq!(scanned.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(scanned.valid_len as u64, durable);
+
+        // Simulate a torn write, then resume: the tail is truncated away.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        }
+        let scanned = read_file(&path).unwrap();
+        assert!(scanned.damaged());
+        let mut w = Writer::resume(&path, scanned.valid_len as u64).unwrap();
+        w.append(b"three").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let scanned = read_file(&path).unwrap();
+        assert_eq!(scanned.records, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert!(!scanned.damaged());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_below_the_header_recreates_the_log() {
+        let path = temp("recreate");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        let scanned = read_file(&path).unwrap();
+        assert_eq!(scanned.valid_len, 0);
+        let mut w = Writer::resume(&path, scanned.valid_len as u64).unwrap();
+        w.append(b"fresh").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        assert_eq!(read_file(&path).unwrap().records, vec![b"fresh".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_records_are_refused() {
+        let path = temp("oversized");
+        let mut w = Writer::create(&path).unwrap();
+        let huge = vec![0u8; MAX_RECORD_LEN + 1];
+        assert!(w.append(&huge).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

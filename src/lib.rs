@@ -68,14 +68,15 @@ pub mod prelude {
     pub use cyberhd::{
         AdaptiveConfig, AdaptiveLane, AdaptiveStats, BaselineHd, CyberHdConfig, CyberHdModel,
         CyberHdTrainer, DetectScratch, Detector, DetectorBuilder, DetectorInfo, DetectorRegistry,
-        DriftMonitor, DriftMonitorConfig, EncoderKind, OnlineDetector, OnlineLearner,
-        OpenSetDetector, OpenSetPrediction, QuantizedModel, ScoringBackend, ServeConfig,
-        ServeEngine, ServeError, ServeStats, Ticket, TrainingBatch, Verdict,
+        DriftMonitor, DriftMonitorConfig, DurableConfig, DurableLane, EncoderKind, OnlineDetector,
+        OnlineLearner, OpenSetDetector, OpenSetPrediction, QuantizedModel, RecoveryReport,
+        ScoringBackend, ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, TrainingBatch,
+        Verdict,
     };
     pub use eval::detection::{DetectionCounts, RocCurve};
     pub use eval::metrics::{accuracy, ConfusionMatrix};
     pub use eval::timing::{LatencyHistogram, Stopwatch, ThroughputReport};
-    pub use fault_inject::BitFlipInjector;
+    pub use fault_inject::{BitFlipInjector, DiskFault, DiskFaultInjector};
     pub use hdc::encoder::{Encoder, RbfEncoder};
     pub use hdc::{
         AssociativeMemory, BatchBuffer, BatchView, BitWidth, Hypervector, QuantizedHypervector,

@@ -19,7 +19,14 @@
 //!    a pinned margin, with at least one automatic regeneration + registry
 //!    swap firing mid-stream; the zero-day scenario trips on the open-set
 //!    unknown-rate surge with almost no labels at all.
+//! 4. **Crash durability** — a [`DurableLane`] killed at a random offset
+//!    (process death with unflushed events, plus seeded storage faults on
+//!    the WAL and checkpoints from [`DiskFaultInjector`]) recovers and
+//!    finishes the stream **bit-identical** to the lane that never
+//!    crashed, across ≥3 kill points × all four dataset kinds ×
+//!    abrupt / gradual / zero-day drift schedules.
 
+use bench::crash::{build_cell, crash_config, run_crashed, run_uncrashed, CrashSchedule};
 use bench::scenario::{
     abrupt_shift, class_surge, gradual_drift, replay, zero_day, ReplayConfig, ADAPTIVE_TENANT,
 };
@@ -426,4 +433,126 @@ fn gradual_drift_and_class_surge_hold_the_contracts() {
         );
         let _ = ADAPTIVE_TENANT;
     }
+}
+
+// ---------------------------------------------------------------------
+// 4. Crash-fault matrix: kill, corrupt, recover, continue — bit-identical
+// ---------------------------------------------------------------------
+
+/// Where the process dies, as fractions of the event schedule — early
+/// (one checkpoint on disk), mid-stream and deep into the drift.
+const KILL_FRACTIONS: [f64; 3] = [0.3, 0.6, 0.85];
+
+fn run_crash_matrix(schedule: CrashSchedule) {
+    for kind in DatasetKind::ALL {
+        let seed = 0x6B17 + kind as u64 * 131;
+        let cell = build_cell(kind, schedule, seed);
+        let config = crash_config(cell.events.len(), scenario_monitor());
+        let base = std::env::temp_dir()
+            .join(format!("cyberhd_crash_{schedule:?}_{kind:?}_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+
+        let oracle = run_uncrashed(&base.join("oracle"), &cell, &config);
+        if schedule == CrashSchedule::Abrupt {
+            assert!(
+                oracle.stats.monitor_trips >= 1,
+                "{kind:?}: the rotated-label break must trip the monitor so the matrix crosses \
+                 real adaptations, not just submits"
+            );
+        }
+
+        for (point, fraction) in KILL_FRACTIONS.iter().enumerate() {
+            let kill_event = (cell.events.len() as f64 * fraction) as usize;
+            let dir = base.join(format!("kill{point}"));
+            // The middle kill point also corrupts the newest checkpoint:
+            // recovery must fall back to the previous one and still agree.
+            let damage_checkpoint = point == 1;
+            let (crashed, report) = run_crashed(
+                &dir,
+                &cell,
+                &config,
+                kill_event,
+                seed ^ (0x9E37 * (point as u64 + 1)),
+                damage_checkpoint,
+            );
+
+            let cell = format!("{kind:?} {schedule:?} kill {point}");
+            assert!(
+                report.next_event <= kill_event as u64,
+                "{cell}: recovery cannot resurrect events that were never durable"
+            );
+            assert_eq!(report.checkpoint_events + report.events_replayed, report.next_event);
+            if damage_checkpoint {
+                assert!(
+                    report.checkpoints_skipped >= 1,
+                    "{cell}: the flipped checkpoint must be rejected, not trusted"
+                );
+            }
+
+            // The crown: the recovered-and-continued lane is bit-identical
+            // to the lane that never crashed.
+            assert_eq!(crashed.sealed, oracle.sealed, "{cell}: final model must be bit-identical");
+            assert_eq!(
+                crashed.prequential.to_bits(),
+                oracle.prequential.to_bits(),
+                "{cell}: prequential accuracy must be bit-identical"
+            );
+            let (c, o) = (&crashed.stats, &oracle.stats);
+            assert_eq!(
+                (c.flows_submitted, c.flows_served, c.samples_learned),
+                (o.flows_submitted, o.flows_served, o.samples_learned),
+                "{cell}"
+            );
+            assert_eq!(
+                (c.feedback_submitted, c.feedback_applied),
+                (o.feedback_submitted, o.feedback_applied),
+                "{cell}"
+            );
+            assert_eq!(
+                (c.monitor_trips, c.adaptations, c.regenerated_dimensions),
+                (o.monitor_trips, o.adaptations, o.regenerated_dimensions),
+                "{cell}: adaptation history must replay identically"
+            );
+
+            // Every verdict the crashed timeline observed (replayed or
+            // served after recovery) matches the oracle bit for bit, and
+            // coverage reaches at least every flow from the recovery
+            // checkpoint on.
+            let mut covered = 0usize;
+            for (seq, (got, want)) in crashed.verdicts.iter().zip(&oracle.verdicts).enumerate() {
+                if let Some(got) = got {
+                    let want = want.as_ref().expect("oracle observed every verdict");
+                    assert_eq!(got.class, want.class, "{cell} flow {seq}");
+                    assert_eq!(
+                        got.similarity.to_bits(),
+                        want.similarity.to_bits(),
+                        "{cell} flow {seq}: similarity must be bit-exact"
+                    );
+                    assert_eq!(got.novel, want.novel, "{cell} flow {seq}");
+                    covered += 1;
+                }
+            }
+            assert!(
+                covered >= crashed.verdicts.len().saturating_sub(report.checkpoint_events as usize),
+                "{cell}: {covered} verdicts observed, checkpoint at event {}",
+                report.checkpoint_events
+            );
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+#[test]
+fn crash_matrix_abrupt_shift_recovers_bit_identically_at_every_kill_point() {
+    run_crash_matrix(CrashSchedule::Abrupt);
+}
+
+#[test]
+fn crash_matrix_gradual_drift_recovers_bit_identically_at_every_kill_point() {
+    run_crash_matrix(CrashSchedule::Gradual);
+}
+
+#[test]
+fn crash_matrix_zero_day_recovers_bit_identically_at_every_kill_point() {
+    run_crash_matrix(CrashSchedule::ZeroDay);
 }

@@ -1,0 +1,252 @@
+//! Property tests for the write-ahead log (`hdc::wal`).
+//!
+//! The WAL is the trust root of the durable serving stack
+//! (`cyberhd::DurableLane`): every adaptive event is framed, checksummed
+//! and fsynced here before it may touch a model.  This suite pins the
+//! format's crash contract with seeded property sweeps:
+//!
+//! * **round trip** — random record streams written through [`wal::Writer`]
+//!   read back byte-identical,
+//! * **torn tails** — truncating a log at *every* byte offset recovers
+//!   exactly the longest prefix of whole, checksummed records, and a
+//!   resumed writer continues appending from there,
+//! * **bounded loss** — a crash loses at most the records appended since
+//!   the last flush; everything fsynced survives any later torn write,
+//! * **corruption totality** — seeded storage faults
+//!   ([`DiskFaultInjector`]) and arbitrary byte soup never panic and can
+//!   only *shorten* the accepted record prefix, never alter or invent a
+//!   record.
+
+use fault_inject::DiskFaultInjector;
+use hdc::rng::HdcRng;
+use hdc::wal::{self, WalError};
+use std::path::PathBuf;
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cyberhd_wal_prop_{name}_{}", std::process::id()))
+}
+
+/// A seeded stream of random payloads with adversarial lengths (empty
+/// records, frame-sized records, and multi-hundred-byte records).
+fn random_payloads(rng: &mut HdcRng, count: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|_| {
+            let len = match rng.index(4) {
+                0 => 0,
+                1 => 1 + rng.index(wal::FRAME_LEN),
+                2 => rng.index(64),
+                _ => 64 + rng.index(256),
+            };
+            (0..len).map(|_| (rng.next_word() >> 17) as u8).collect()
+        })
+        .collect()
+}
+
+/// The on-disk image of a log holding `payloads` (header + framed records).
+fn image_of(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut image = Vec::new();
+    image.extend_from_slice(wal::MAGIC);
+    image.extend_from_slice(&wal::VERSION.to_le_bytes());
+    for payload in payloads {
+        image.extend_from_slice(&wal::frame(payload));
+    }
+    image
+}
+
+#[test]
+fn random_record_streams_round_trip_through_disk() {
+    for seed in 0..5u64 {
+        let mut rng = HdcRng::seed_from(0xA110 + seed);
+        let payloads = random_payloads(&mut rng, 40);
+        let path = temp(&format!("roundtrip{seed}"));
+
+        let mut writer = wal::Writer::create(&path).unwrap();
+        for payload in &payloads {
+            writer.append(payload).unwrap();
+            // Random micro-batch boundaries: durability points must be
+            // invisible to what a scan reads back.
+            if rng.bernoulli(0.3) {
+                writer.flush().unwrap();
+            }
+        }
+        writer.flush().unwrap();
+        let durable = writer.durable_len();
+        drop(writer);
+
+        let scanned = wal::read_file(&path).unwrap();
+        assert_eq!(scanned.records, payloads, "seed {seed}");
+        assert!(!scanned.damaged(), "a cleanly flushed log has no torn tail");
+        assert_eq!(scanned.valid_len as u64, durable);
+        assert_eq!(std::fs::read(&path).unwrap(), image_of(&payloads));
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn every_truncation_offset_recovers_the_longest_valid_prefix_and_resumes() {
+    let mut rng = HdcRng::seed_from(0x70B5);
+    let payloads = random_payloads(&mut rng, 8);
+    let image = image_of(&payloads);
+
+    // Record boundaries within the image: prefix_ends[k] is where the
+    // k-record prefix ends.
+    let mut prefix_ends = vec![wal::HEADER_LEN];
+    for payload in &payloads {
+        prefix_ends.push(prefix_ends.last().unwrap() + wal::FRAME_LEN + payload.len());
+    }
+    assert_eq!(*prefix_ends.last().unwrap(), image.len());
+
+    let path = temp("everycut");
+    for cut in 0..=image.len() {
+        let scanned = wal::scan(&image[..cut]).unwrap();
+        // The longest prefix of whole records that fits in `cut` bytes.
+        let whole = prefix_ends.iter().filter(|&&end| end <= cut.max(wal::HEADER_LEN)).count() - 1;
+        if cut < wal::HEADER_LEN {
+            assert_eq!(scanned.valid_len, 0, "a log that died mid-header is empty");
+        } else {
+            assert_eq!(scanned.records.len(), whole, "cut at {cut}");
+            assert_eq!(scanned.records, payloads[..whole], "cut at {cut}");
+            assert_eq!(scanned.valid_len, prefix_ends[whole]);
+        }
+        assert_eq!(scanned.damaged(), cut != scanned.valid_len);
+
+        // Resuming on the cut file must truncate the torn tail and keep
+        // appending as if the lost records never existed.
+        std::fs::write(&path, &image[..cut]).unwrap();
+        let mut writer = wal::Writer::resume(&path, scanned.valid_len as u64).unwrap();
+        writer.append(b"after-the-crash").unwrap();
+        writer.flush().unwrap();
+        drop(writer);
+        let reread = wal::read_file(&path).unwrap();
+        assert!(!reread.damaged());
+        let survivors = if cut < wal::HEADER_LEN { 0 } else { whole };
+        assert_eq!(reread.records.len(), survivors + 1, "cut at {cut}");
+        assert_eq!(reread.records[..survivors], payloads[..survivors]);
+        assert_eq!(reread.records[survivors], b"after-the-crash");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn a_crash_loses_at_most_the_records_since_the_last_flush() {
+    for seed in 0..8u64 {
+        let mut rng = HdcRng::seed_from(0xC4A5 + seed);
+        let mut injector = DiskFaultInjector::new(0xD15C ^ seed);
+        let payloads = random_payloads(&mut rng, 30);
+        let path = temp(&format!("bounded{seed}"));
+
+        let mut writer = wal::Writer::create(&path).unwrap();
+        let mut flushed = 0usize;
+        for (i, payload) in payloads.iter().enumerate() {
+            writer.append(payload).unwrap();
+            if rng.bernoulli(0.25) {
+                writer.flush().unwrap();
+                flushed = i + 1;
+            }
+        }
+        // Crash: buffered records die with the process; the OS may then
+        // persist part of one more write (a torn append).
+        let durable = writer.durable_len() as usize;
+        drop(writer);
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), durable, "only flushed bytes hit the disk");
+        injector.torn_write(&mut bytes, &wal::frame(&payloads[flushed.min(payloads.len() - 1)]));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scanned = wal::read_file(&path).unwrap();
+        assert_eq!(scanned.records, payloads[..flushed], "seed {seed}: fsynced records survive");
+        assert_eq!(scanned.valid_len, durable, "the torn append is dropped, nothing more");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn repeated_crash_resume_cycles_keep_exactly_the_flushed_records() {
+    let mut rng = HdcRng::seed_from(0x5EED);
+    let mut injector = DiskFaultInjector::new(0xFA117);
+    let path = temp("cycles");
+    let mut survivors: Vec<Vec<u8>> = Vec::new();
+
+    let mut writer = wal::Writer::create(&path).unwrap();
+    for cycle in 0..12 {
+        // Append a few records, flush some of them, then "crash" with a
+        // random storage fault past the durable floor.
+        let count = 1 + rng.index(5);
+        let mut unflushed: Vec<Vec<u8>> = Vec::new();
+        for payload in random_payloads(&mut rng, count) {
+            writer.append(&payload).unwrap();
+            unflushed.push(payload);
+            // A flush makes *everything* buffered durable; whatever is
+            // still unflushed at the crash must vanish without a trace.
+            if rng.bernoulli(0.5) {
+                writer.flush().unwrap();
+                survivors.append(&mut unflushed);
+            }
+        }
+        // Records appended after the last flush of this cycle never reach
+        // the disk, so drop them from the expectation too.
+        let durable = writer.durable_len() as usize;
+        drop(writer);
+        let mut bytes = std::fs::read(&path).unwrap();
+        injector.torn_write(&mut bytes, &wal::frame(b"mid-write when the power went out"));
+        injector.truncate_after(&mut bytes, durable);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scanned = wal::read_file(&path).unwrap();
+        assert_eq!(scanned.records, survivors, "cycle {cycle}");
+        writer = wal::Writer::resume(&path, scanned.valid_len as u64).unwrap();
+    }
+    drop(writer);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn storage_faults_only_ever_shorten_the_accepted_prefix() {
+    for seed in 0..24u64 {
+        let mut rng = HdcRng::seed_from(0xBAD + seed);
+        let mut injector = DiskFaultInjector::new(0xD00D ^ (seed * 0x9E37));
+        let payloads = random_payloads(&mut rng, 12);
+        let mut image = image_of(&payloads);
+        for _ in 0..1 + rng.index(3) {
+            injector.corrupt(&mut image);
+        }
+        match wal::scan(&image) {
+            Ok(scanned) => {
+                // However the bytes were mangled, the scan may only drop a
+                // suffix: every accepted record is one of the originals, in
+                // order, from the start.
+                assert!(scanned.records.len() <= payloads.len(), "seed {seed}");
+                assert_eq!(
+                    scanned.records,
+                    payloads[..scanned.records.len()],
+                    "seed {seed}: corruption must never alter or invent a record"
+                );
+                assert!(scanned.valid_len <= image.len());
+            }
+            // A damaged header refuses the file outright - also safe.
+            Err(WalError::NotAWal(_)) => {}
+            Err(e) => panic!("seed {seed}: unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn arbitrary_byte_soup_never_panics_and_never_yields_records() {
+    let mut rng = HdcRng::seed_from(0x50FA);
+    for trial in 0..200 {
+        let len = rng.index(400);
+        let soup: Vec<u8> = (0..len).map(|_| (rng.next_word() >> 29) as u8).collect();
+        match wal::scan(&soup) {
+            // Headerless soup can only be an empty or refused log: forging
+            // a valid record behind a valid header needs a CRC collision.
+            Ok(scanned) => {
+                assert!(
+                    scanned.records.is_empty() || soup[..4] == *wal::MAGIC,
+                    "trial {trial}: records out of soup without a real header"
+                );
+            }
+            Err(WalError::NotAWal(_)) => {}
+            Err(e) => panic!("trial {trial}: unexpected error {e}"),
+        }
+    }
+}
