@@ -1,10 +1,14 @@
 //! Micro-benchmarks of the HDC substrate kernels: similarity, bundling,
 //! quantization and binary (1-bit) operations as a function of the
-//! hypervector dimensionality.
+//! hypervector dimensionality, plus per-kernel scalar-vs-dispatched arms
+//! for the runtime SIMD dispatch layer (`hdc::kernel`) and a CI smoke
+//! assertion that the dispatched Hamming path never loses to forced
+//! scalar (equality is allowed when dispatch resolves to scalar).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eval::timing::ThroughputReport;
 use hdc::rng::HdcRng;
-use hdc::{BinaryHypervector, BitWidth, Hypervector, QuantizedHypervector};
+use hdc::{BinaryHypervector, BitWidth, Hypervector, Kernels, QuantizedHypervector};
 use std::hint::black_box;
 
 fn random_hv(dim: usize, seed: u64) -> Hypervector {
@@ -77,5 +81,113 @@ fn bench_binary_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_similarity, bench_bundling, bench_quantization, bench_binary_ops);
+/// Per-kernel scalar-vs-dispatched criterion arms over the `hdc::kernel`
+/// dispatch table.  Both arms call through the same fn-pointer table type,
+/// so the comparison isolates the ISA difference, not calling convention.
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let dispatched = hdc::kernel::active();
+    let scalar = Kernels::scalar();
+    println!("kernel_dispatch: selected isa = {}", dispatched.isa());
+
+    let dim = 10_000usize;
+    let a = random_hv(dim, 11);
+    let b = random_hv(dim, 12);
+    let mut rng = HdcRng::seed_from(13);
+    let wa = BinaryHypervector::random(dim, &mut rng);
+    let wb = BinaryHypervector::random(dim, &mut rng);
+    let arms: [(&str, &'static Kernels); 2] = [("scalar", scalar), ("dispatched", dispatched)];
+
+    let mut group = c.benchmark_group("kernel_dot_10000");
+    for (label, kernels) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kernels, |bencher, k| {
+            bencher.iter(|| black_box(k.dot(a.as_slice(), b.as_slice())))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernel_hamming_10000");
+    for (label, kernels) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kernels, |bencher, k| {
+            bencher.iter(|| black_box(k.hamming_distance(wa.as_words(), wb.as_words())))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernel_axpy_10000");
+    for (label, kernels) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kernels, |bencher, k| {
+            let mut out = vec![0.0f32; dim];
+            bencher.iter(|| k.axpy(black_box(&mut out), 0.05, black_box(a.as_slice())))
+        });
+    }
+    group.finish();
+
+    // The sign kernels work one packed word (≤ 64 floats) at a time, the
+    // shape `Encoder::encode_signs_into` feeds them.
+    let chunk: Vec<f32> = a.as_slice()[..64].to_vec();
+    let mut group = c.benchmark_group("kernel_sign_quadrant_word");
+    for (label, kernels) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kernels, |bencher, k| {
+            bencher.iter(|| black_box(k.sign_quadrant_word(black_box(&chunk), 1e-3)))
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("kernel_sign_pack_word");
+    for (label, kernels) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kernels, |bencher, k| {
+            bencher.iter(|| black_box(k.sign_pack_word(black_box(&chunk))))
+        });
+    }
+    group.finish();
+
+    // CI smoke: the dispatched Hamming path must not lose to forced scalar.
+    // A 0.9 noise floor absorbs timer jitter at smoke scale; when dispatch
+    // resolves to scalar the two arms are the same table and the ratio sits
+    // at ~1.0 by construction.
+    // Scalar/dispatched passes interleaved (best-of per arm, one untimed
+    // warm-up pair) so clock drift between sections cannot bias the ratio.
+    let reps = bench::env_usize("CYBERHD_BENCH_REPS", 5);
+    let iters = bench::env_usize("CYBERHD_BENCH_KERNEL_ITERS", 20_000);
+    let ham_pass = |kernels: &hdc::Kernels| {
+        let mut acc = 0usize;
+        for _ in 0..iters {
+            acc += kernels.hamming_distance(black_box(wa.as_words()), black_box(wb.as_words()));
+        }
+        black_box(acc)
+    };
+    ham_pass(scalar);
+    ham_pass(dispatched);
+    let (mut ham_scalar, mut ham_dispatched) = (None::<ThroughputReport>, None::<ThroughputReport>);
+    for _ in 0..reps.max(1) {
+        let (_, r) = ThroughputReport::measure(iters, || ham_pass(scalar));
+        if ham_scalar.is_none_or(|b| r.seconds < b.seconds) {
+            ham_scalar = Some(r);
+        }
+        let (_, r) = ThroughputReport::measure(iters, || ham_pass(dispatched));
+        if ham_dispatched.is_none_or(|b| r.seconds < b.seconds) {
+            ham_dispatched = Some(r);
+        }
+    }
+    let ham_scalar = ham_scalar.expect("at least one rep");
+    let ham_dispatched = ham_dispatched.expect("at least one rep");
+    let ratio = ham_dispatched.speedup_over(&ham_scalar);
+    println!(
+        "kernel_dispatch: hamming dispatched-vs-scalar = {ratio:.2}x (isa = {})",
+        dispatched.isa()
+    );
+    assert!(
+        ratio >= 0.9,
+        "dispatched Hamming ({}) slower than scalar: {ratio:.2}x",
+        dispatched.isa()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_bundling,
+    bench_quantization,
+    bench_binary_ops,
+    bench_kernel_dispatch
+);
 criterion_main!(benches);

@@ -22,6 +22,7 @@ use bench::reference::{predict_b1_encode_then_quantize, predict_dense_per_class_
 use bench::{env_usize, prepare_dataset, snapshot, timed_pass};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyberhd::CyberHdTrainer;
+use eval::timing::ThroughputReport;
 use hdc::parallel::engine_threads;
 use hdc::BitWidth;
 use nids_data::DatasetKind;
@@ -159,7 +160,109 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
     // passes' outputs are the assertion inputs).
     assert_eq!(fused_predictions, prefused_predictions, "fused 1-bit predictions diverged");
 
+    // Kernel-layer micro-arms: the runtime-dispatched SIMD path against the
+    // always-available scalar table, on the two kernels the engine leans on
+    // hardest — the dense dot and the packed-word Hamming distance — at the
+    // bench dimensionality.  The roofline rows compare the dispatched
+    // throughput against a single-core `hw_model::CpuModel` whose SIMD
+    // width matches the selected ISA; utilization above 1.0 means the
+    // first-order model underestimates the host (multiple issue ports).
+    let dispatched = hdc::kernel::active();
+    let scalar_kernels = hdc::Kernels::scalar();
+    let isa = dispatched.isa();
+    // Enough calls per pass (~hundreds of µs) that the sub-30ns Hamming
+    // kernel is measured well clear of timer and frequency-ramp noise.
+    let kernel_iters = env_usize("CYBERHD_BENCH_KERNEL_ITERS", 20_000);
+    fn mix(seed: u64) -> u64 {
+        // splitmix64 finalizer — deterministic word/float patterns.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let ka: Vec<f32> = (0..dim).map(|i| (mix(i as u64) % 2048) as f32 / 1024.0 - 1.0).collect();
+    let kb: Vec<f32> =
+        (0..dim).map(|i| (mix(i as u64 ^ 0xABCD) % 2048) as f32 / 1024.0 - 1.0).collect();
+    let words = hdc::binary::words_for_dim(dim);
+    let wa: Vec<u64> = (0..words).map(|i| mix(i as u64 ^ 0x1111)).collect();
+    let wb: Vec<u64> = (0..words).map(|i| mix(i as u64 ^ 0x2222)).collect();
+    // The scalar and dispatched passes of each kernel are interleaved
+    // (A/B/A/B..., best-of per arm) so clock drift between sections cannot
+    // bias the ratio, with one untimed warm-up pair ahead of the clock.
+    let kernel_reps = reps.max(5);
+    let dot_pass = |kernels: &hdc::Kernels| {
+        let mut acc = 0.0f32;
+        for _ in 0..kernel_iters {
+            acc += kernels.dot(black_box(&ka), black_box(&kb));
+        }
+        black_box(acc)
+    };
+    let ham_pass = |kernels: &hdc::Kernels| {
+        let mut acc = 0usize;
+        for _ in 0..kernel_iters {
+            acc += kernels.hamming_distance(black_box(&wa), black_box(&wb));
+        }
+        black_box(acc)
+    };
+    let best = |current: &mut Option<ThroughputReport>, report: ThroughputReport| {
+        if current.is_none_or(|b| report.seconds < b.seconds) {
+            *current = Some(report);
+        }
+    };
+    let (mut kd_scalar, mut kd_dispatched, mut kh_scalar, mut kh_dispatched) =
+        (None, None, None, None);
+    dot_pass(scalar_kernels);
+    dot_pass(dispatched);
+    ham_pass(scalar_kernels);
+    ham_pass(dispatched);
+    for _ in 0..kernel_reps {
+        best(
+            &mut kd_scalar,
+            ThroughputReport::measure(kernel_iters, || dot_pass(scalar_kernels)).1,
+        );
+        best(
+            &mut kd_dispatched,
+            ThroughputReport::measure(kernel_iters, || dot_pass(dispatched)).1,
+        );
+        best(
+            &mut kh_scalar,
+            ThroughputReport::measure(kernel_iters, || ham_pass(scalar_kernels)).1,
+        );
+        best(
+            &mut kh_dispatched,
+            ThroughputReport::measure(kernel_iters, || ham_pass(dispatched)).1,
+        );
+    }
+    let kernel_dot_scalar = kd_scalar.expect("at least one kernel rep");
+    let kernel_dot_dispatched = kd_dispatched.expect("at least one kernel rep");
+    let kernel_ham_scalar = kh_scalar.expect("at least one kernel rep");
+    let kernel_ham_dispatched = kh_dispatched.expect("at least one kernel rep");
+    let roofline = hw_model::CpuModel::single_core_for_isa(isa);
+    let kernel_dot_util =
+        roofline.utilization(32, kernel_dot_dispatched.samples_per_second() * dim as f64);
+    let kernel_ham_util =
+        roofline.utilization(1, kernel_ham_dispatched.samples_per_second() * (words * 64) as f64);
+    println!("  kernel isa              : {isa}");
+    println!("  kernel dot scalar       : {kernel_dot_scalar}");
+    println!("  kernel dot dispatched   : {kernel_dot_dispatched}");
+    println!("  kernel hamming scalar   : {kernel_ham_scalar}");
+    println!("  kernel hamming dispatched: {kernel_ham_dispatched}");
+    println!(
+        "  kernel dot dispatched-vs-scalar: {:.2}x",
+        kernel_dot_dispatched.speedup_over(&kernel_dot_scalar)
+    );
+    println!(
+        "  kernel hamming dispatched-vs-scalar: {:.2}x",
+        kernel_ham_dispatched.speedup_over(&kernel_ham_scalar)
+    );
+    println!("  kernel dot roofline utilization ({isa}): {kernel_dot_util:.2}");
+    println!("  kernel hamming roofline utilization ({isa}): {kernel_ham_util:.2}");
+
     let arms = vec![
+        snapshot::Arm::new("kernel_dot_scalar", kernel_dot_scalar),
+        snapshot::Arm::new("kernel_dot_dispatched", kernel_dot_dispatched),
+        snapshot::Arm::new("kernel_hamming_scalar", kernel_ham_scalar),
+        snapshot::Arm::new("kernel_hamming_dispatched", kernel_ham_dispatched),
         snapshot::Arm::new("dense_serial", serial),
         snapshot::Arm::new("dense_batched", batched),
         snapshot::Arm::new("dense_batched_view", batched_view),
@@ -169,6 +272,13 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         snapshot::Arm::new("b1_fused_sign_encode", fused_q),
     ];
     let speedups = vec![
+        ("kernel_dot_dispatched_vs_scalar", kernel_dot_dispatched.speedup_over(&kernel_dot_scalar)),
+        (
+            "kernel_hamming_dispatched_vs_scalar",
+            kernel_ham_dispatched.speedup_over(&kernel_ham_scalar),
+        ),
+        ("kernel_dot_roofline_utilization", kernel_dot_util),
+        ("kernel_hamming_roofline_utilization", kernel_ham_util),
         ("dense_batched_vs_serial", batched.speedup_over(&serial)),
         ("dense_view_vs_rows", batched_view.speedup_over(&batched)),
         ("dense_interleaved_vs_per_class", batched_view.speedup_over(&per_class)),
@@ -183,7 +293,8 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         ("reps", reps as f64),
         ("threads", engine_threads() as f64),
     ];
-    match snapshot::write("BENCH_infer.json", "inference", &params, &arms, &speedups) {
+    let labels = [("kernel_isa", isa)];
+    match snapshot::write("BENCH_infer.json", "inference", &labels, &params, &arms, &speedups) {
         Ok(path) => println!("  snapshot: {}", path.display()),
         Err(err) => eprintln!("  snapshot write failed: {err}"),
     }

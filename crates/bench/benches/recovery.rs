@@ -177,7 +177,7 @@ fn bench_recovery(c: &mut Criterion) {
         ("max_batch", adaptive.max_batch as f64),
     ];
     params.extend(extra_params.iter().map(|(k, v)| (k.as_str(), *v)));
-    match snapshot::write("BENCH_recover.json", "recover", &params, &arms, &speedups) {
+    match snapshot::write("BENCH_recover.json", "recover", &[], &params, &arms, &speedups) {
         Ok(path) => println!("  snapshot: {}", path.display()),
         Err(err) => eprintln!("  snapshot write failed: {err}"),
     }

@@ -257,7 +257,7 @@ fn bench_serve(c: &mut Criterion) {
         ("max_batch", ServeConfig::default().max_batch as f64),
     ];
     params.extend(extra_params.iter().map(|(k, v)| (k.as_str(), *v)));
-    match snapshot::write("BENCH_serve.json", "serve", &params, &arms, &speedups) {
+    match snapshot::write("BENCH_serve.json", "serve", &[], &params, &arms, &speedups) {
         Ok(path) => println!("  snapshot: {}", path.display()),
         Err(err) => eprintln!("  snapshot write failed: {err}"),
     }

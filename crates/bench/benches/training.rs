@@ -159,7 +159,7 @@ fn bench_minibatch_vs_serial(c: &mut Criterion) {
         ("threads", threads as f64),
         ("reps", reps as f64),
     ];
-    match snapshot::write("BENCH_train.json", "training", &params, &arms, &speedups) {
+    match snapshot::write("BENCH_train.json", "training", &[], &params, &arms, &speedups) {
         Ok(path) => println!("  snapshot: {}", path.display()),
         Err(err) => eprintln!("  snapshot write failed: {err}"),
     }

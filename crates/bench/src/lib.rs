@@ -121,8 +121,13 @@ pub mod snapshot {
     }
 
     /// Renders one snapshot as pretty-printed JSON.
+    ///
+    /// `labels` are flat string-valued fields (plain ASCII, no quotes in
+    /// either key or value — e.g. the selected `kernel_isa`), emitted right
+    /// after the bench name; `params` are the numeric fields.
     pub fn render(
         bench: &str,
+        labels: &[(&str, &str)],
         params: &[(&str, f64)],
         arms: &[Arm],
         speedups: &[(&str, f64)],
@@ -138,6 +143,9 @@ pub mod snapshot {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+        for (key, value) in labels {
+            let _ = writeln!(out, "  \"{key}\": \"{value}\",");
+        }
         for (key, value) in params {
             let _ = writeln!(out, "  \"{key}\": {},", number(*value));
         }
@@ -173,12 +181,13 @@ pub mod snapshot {
     pub fn write(
         file_name: &str,
         bench: &str,
+        labels: &[(&str, &str)],
         params: &[(&str, f64)],
         arms: &[Arm],
         speedups: &[(&str, f64)],
     ) -> std::io::Result<PathBuf> {
         let path = workspace_path(file_name);
-        std::fs::write(&path, render(bench, params, arms, speedups))?;
+        std::fs::write(&path, render(bench, labels, params, arms, speedups))?;
         Ok(path)
     }
 }
@@ -570,6 +579,7 @@ mod tests {
         ];
         let json = snapshot::render(
             "inference",
+            &[("kernel_isa", "avx2")],
             &[("dim", 10_000.0), ("samples", 1000.0)],
             &arms,
             &[("batched_vs_serial", 4.0), ("degenerate", f64::INFINITY)],
@@ -580,6 +590,7 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for needle in [
             "\"bench\": \"inference\"",
+            "\"kernel_isa\": \"avx2\"",
             "\"dim\": 10000",
             "\"name\": \"serial\"",
             "\"samples_per_second\": 2000",

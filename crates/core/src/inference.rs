@@ -21,7 +21,10 @@
 //!    once per batch, encodes queries straight to packed sign bits with the
 //!    encoder's fused sign kernel (`Encoder::encode_signs_into` — the RBF
 //!    encoder reduces each phase to a quadrant test and never materializes
-//!    the f32 matrix), and scores whole word slices with XOR + popcount.
+//!    the f32 matrix), and scores whole word slices with XOR + popcount
+//!    through the runtime-dispatched [`hdc::kernel`] layer (AVX2/AVX-512 on
+//!    x86_64, NEON on aarch64, scalar fallback — bit-exact on every path,
+//!    so the parity contract below is unaffected by the selected ISA).
 //!
 //! Every entry point returns `(winner, similarity)` pairs so the open-set
 //! detector layer can threshold without a second scoring pass.

@@ -164,7 +164,9 @@ impl QuantizedModel {
     /// encoded straight to packed sign words by the encoder's
     /// `encode_signs_into` kernel (for RBF a quadrant test replaces the
     /// cosine and the f32 query matrix is never materialized) and scored
-    /// with whole-word XOR + popcount.  Predictions match mapping
+    /// with whole-word XOR + popcount on the runtime-dispatched
+    /// [`hdc::kernel`] layer (bit-exact across SIMD paths, so predictions
+    /// do not depend on the host ISA).  Predictions match mapping
     /// [`QuantizedModel::predict`] over the batch — exactly for
     /// IdLevel/Record-encoded models; for RBF models the batched encoding
     /// feeding the quantizer carries the RBF batch kernel's ~1e-6 rounding,

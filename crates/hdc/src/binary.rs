@@ -154,9 +154,9 @@ impl BinaryHypervector {
         self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
     }
 
-    /// Number of set bits.
+    /// Number of set bits, via the active [`crate::kernel`] popcount path.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernel::active().count_ones(&self.words)
     }
 
     fn check_dim(&self, other: &Self) -> Result<()> {
@@ -181,7 +181,8 @@ impl BinaryHypervector {
         Ok(Self { dim: self.dim, words })
     }
 
-    /// Hamming distance (number of differing bits).
+    /// Hamming distance (number of differing bits), via the shared
+    /// XOR+popcount kernel of [`crate::similarity::hamming_distance`].
     ///
     /// # Errors
     ///
@@ -189,7 +190,7 @@ impl BinaryHypervector {
     /// dimensionality.
     pub fn hamming_distance(&self, other: &Self) -> Result<usize> {
         self.check_dim(other)?;
-        Ok(self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum())
+        Ok(crate::similarity::hamming_distance(&self.words, &other.words))
     }
 
     /// Normalized Hamming similarity in `[-1, 1]`:
@@ -294,22 +295,20 @@ pub fn pack_signs_into(bits: impl IntoIterator<Item = bool>, words: &mut [u64]) 
 /// words — the hot-path specialization of [`pack_signs_into`] the 1-bit
 /// inference kernel calls per encoded query.
 ///
-/// Whole 64-element chunks run a branchless shift-or reduction with no
-/// per-bit bookkeeping; the tail falls back to the generic path.
+/// Whole 64-element chunks go through the active [`crate::kernel`] sign-pack
+/// word builder (bit-exact on every dispatch path); the tail falls back to
+/// the generic path.
 ///
 /// # Panics
 ///
 /// Panics if `words` is shorter than [`words_for_dim`]`(values.len())`.
 pub fn pack_f32_signs_into(values: &[f32], words: &mut [u64]) {
     assert!(words.len() >= words_for_dim(values.len()), "word buffer too short");
+    let kernels = crate::kernel::active();
     let mut chunks = values.chunks_exact(WORD_BITS);
     let mut w = 0usize;
     for chunk in &mut chunks {
-        let mut word = 0u64;
-        for (i, &v) in chunk.iter().enumerate() {
-            word |= ((v >= 0.0) as u64) << i;
-        }
-        words[w] = word;
+        words[w] = kernels.sign_pack_word(chunk);
         w += 1;
     }
     pack_signs_into(chunks.remainder().iter().map(|&v| v >= 0.0), &mut words[w..]);

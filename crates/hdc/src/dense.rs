@@ -136,9 +136,9 @@ impl Hypervector {
     /// dimensionality.
     pub fn bundle_scaled_in_place(&mut self, other: &Self, weight: f32) -> Result<()> {
         self.check_dim(other)?;
-        for (a, b) in self.values.iter_mut().zip(&other.values) {
-            *a += weight * b;
-        }
+        // Kernel axpy: element-wise mul + add, bit-exact on every dispatch
+        // path (identical to the plain loop this replaces).
+        crate::kernel::active().axpy(&mut self.values, weight, &other.values);
         Ok(())
     }
 

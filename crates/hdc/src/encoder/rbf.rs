@@ -281,20 +281,13 @@ fn transpose(bases: &[f32], dim: usize, features: usize) -> Vec<f32> {
     out
 }
 
-/// Two-step Cody–Waite range reduction of `x` to `r ∈ [-π, π]` (modulo
-/// 2π), shared by [`fast_cos`] and the fused sign kernel so both see
-/// bit-identical reduced arguments.
-#[inline]
-fn reduce_to_pi(x: f32) -> f32 {
-    const INV_TAU: f32 = 1.0 / std::f32::consts::TAU;
-    // TAU split into an exactly representable head and a tail, so `k * C1`
-    // is exact for the small wrap counts that occur and the reduction error
-    // stays at f32 rounding level instead of growing with |x|.
-    const C1: f32 = 6.281_25;
-    const C2: f32 = 1.935_307_2e-3;
-    let k = (x * INV_TAU).round();
-    (x - k * C1) - k * C2
-}
+// Two-step Cody–Waite range reduction of `x` to `r ∈ [-π, π]` (modulo 2π),
+// shared by `fast_cos` and the fused sign kernel so both see bit-identical
+// reduced arguments.  It lives in `crate::kernel` so the SIMD quadrant
+// kernels perform the identical IEEE operation sequence (including
+// ties-to-even wrap-count rounding) and stay bit-exact against the scalar
+// path.
+use crate::kernel::reduce_to_pi;
 
 /// Even Taylor polynomial for `cos(r)` evaluated on `r²`, through `r¹⁶/16!`
 /// (max error ~2e-9 at π, below the f32 evaluation noise).
@@ -384,6 +377,7 @@ impl Encoder for RbfEncoder {
     fn encode_batch_into(&self, batch: BatchView<'_>, out: &mut [f32]) -> Result<()> {
         crate::encoder::check_batch_shape(self.features, self.dim, batch, out)?;
         let dim = self.dim;
+        let kernels = crate::kernel::active();
         for (block, tile) in
             batch.chunk_rows(RBF_SAMPLE_BLOCK).zip(out.chunks_mut(RBF_SAMPLE_BLOCK * dim))
         {
@@ -400,10 +394,9 @@ impl Encoder for RbfEncoder {
                         if value == 0.0 {
                             continue;
                         }
-                        let out_tile = &mut tile[s * dim + d0..s * dim + d1];
-                        for (o, &b) in out_tile.iter_mut().zip(base_tile) {
-                            *o += value * b;
-                        }
+                        // Kernel axpy (`out += value * base`): element-wise
+                        // mul + add, bit-exact on every dispatch path.
+                        kernels.axpy(&mut tile[s * dim + d0..s * dim + d1], value, base_tile);
                     }
                 }
             }
@@ -437,6 +430,7 @@ impl Encoder for RbfEncoder {
         crate::encoder::check_sign_batch_shape(self.features, self.dim, batch, words, zero_rows)?;
         const WORD_BITS: usize = 64;
         let dim = self.dim;
+        let kernels = crate::kernel::active();
         let words_per_row = crate::binary::words_for_dim(dim);
         zero_rows.fill(true);
         let mut acc = [0.0f32; SIGN_SAMPLE_BLOCK * SIGN_DIM_TILE];
@@ -465,10 +459,12 @@ impl Encoder for RbfEncoder {
                         if value == 0.0 {
                             continue;
                         }
-                        let acc_tile = &mut acc[s * SIGN_DIM_TILE..s * SIGN_DIM_TILE + tile_width];
-                        for (a, &b) in acc_tile.iter_mut().zip(base_tile) {
-                            *a += value * b;
-                        }
+                        // Kernel axpy, bit-exact with the batched f32 path.
+                        kernels.axpy(
+                            &mut acc[s * SIGN_DIM_TILE..s * SIGN_DIM_TILE + tile_width],
+                            value,
+                            base_tile,
+                        );
                     }
                 }
                 // Quadrant test + pack.  SIGN_DIM_TILE is a multiple of 64,
@@ -482,15 +478,10 @@ impl Encoder for RbfEncoder {
                     let mut row_zero = zero_rows[row0 + s];
                     let tile = &acc[s * SIGN_DIM_TILE..s * SIGN_DIM_TILE + tile_width];
                     for (w, chunk) in tile.chunks(WORD_BITS).enumerate() {
-                        let mut word = 0u64;
-                        let mut band = 0u64;
-                        for (bit, &v) in chunk.iter().enumerate() {
-                            let a = reduce_to_pi(v).abs();
-                            word |= ((a <= std::f32::consts::FRAC_PI_2) as u64) << bit;
-                            band |= (((a - std::f32::consts::FRAC_PI_2).abs() < QUADRANT_GUARD)
-                                as u64)
-                                << bit;
-                        }
+                        // Fused quadrant test via the active kernel path:
+                        // bit-exact across paths (identical IEEE range
+                        // reduction, ordered compares).
+                        let (mut word, band) = kernels.sign_quadrant_word(chunk, QUADRANT_GUARD);
                         // Rare fixup: elements within the guard band of the
                         // quadrant boundary get the exact polynomial sign.
                         let mut band_nonzero_value = false;

@@ -1,0 +1,141 @@
+//! NEON dispatch table (aarch64).
+//!
+//! Safety model mirrors the x86 module: the `unsafe` `#[target_feature]`
+//! bodies are reachable only through the table below, which
+//! [`super::Kernels::active`] / [`super::Kernels::available`] hand out
+//! strictly after `is_aarch64_feature_detected!("neon")` succeeds.
+//!
+//! The sign kernels stay on the (integer-bit-exact) scalar word builders:
+//! their cost is dominated by the packed-bit assembly, and keeping the
+//! table small limits the surface that cannot be compile-checked on x86
+//! development hosts.
+
+use super::{Kernels, DOT_BANK_LANES};
+use std::arch::aarch64::*;
+
+pub(super) fn supported() -> bool {
+    std::arch::is_aarch64_feature_detected!("neon")
+}
+
+pub(super) static NEON: Kernels = Kernels {
+    isa: "neon",
+    dot_step: 16,
+    dot_accumulate: dot_accumulate_neon,
+    dot_reduce: dot_reduce_4x4,
+    axpy: axpy_neon,
+    hamming: hamming_neon,
+    count_ones: count_ones_neon,
+    sign_quadrant_word: super::sign_quadrant_word_scalar,
+    sign_pack_word: super::sign_pack_word_scalar,
+};
+
+fn dot_accumulate_neon(lanes: &mut [f32; DOT_BANK_LANES], a: &[f32], b: &[f32]) {
+    // SAFETY: the NEON table is only reachable after runtime detection.
+    unsafe { dot_accumulate_neon_impl(lanes, a, b) }
+}
+
+/// Four 4-lane FMA accumulators, 16 elements per iteration.
+#[target_feature(enable = "neon")]
+unsafe fn dot_accumulate_neon_impl(lanes: &mut [f32; DOT_BANK_LANES], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len() % 16, 0);
+    let mut acc0 = vld1q_f32(lanes.as_ptr());
+    let mut acc1 = vld1q_f32(lanes.as_ptr().add(4));
+    let mut acc2 = vld1q_f32(lanes.as_ptr().add(8));
+    let mut acc3 = vld1q_f32(lanes.as_ptr().add(12));
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    for i in 0..a.len() / 16 {
+        let qa = pa.add(i * 16);
+        let qb = pb.add(i * 16);
+        acc0 = vfmaq_f32(acc0, vld1q_f32(qa), vld1q_f32(qb));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(qa.add(4)), vld1q_f32(qb.add(4)));
+        acc2 = vfmaq_f32(acc2, vld1q_f32(qa.add(8)), vld1q_f32(qb.add(8)));
+        acc3 = vfmaq_f32(acc3, vld1q_f32(qa.add(12)), vld1q_f32(qb.add(12)));
+    }
+    vst1q_f32(lanes.as_mut_ptr(), acc0);
+    vst1q_f32(lanes.as_mut_ptr().add(4), acc1);
+    vst1q_f32(lanes.as_mut_ptr().add(8), acc2);
+    vst1q_f32(lanes.as_mut_ptr().add(12), acc3);
+}
+
+/// Fixed reduction order for the NEON bank: lane-wise combine of the four
+/// vector accumulators, then a left-to-right sum of the 4 combined lanes.
+fn dot_reduce_4x4(lanes: &[f32; DOT_BANK_LANES]) -> f32 {
+    let mut acc = 0.0f32;
+    for l in 0..4 {
+        acc += (lanes[l] + lanes[4 + l]) + (lanes[8 + l] + lanes[12 + l]);
+    }
+    acc
+}
+
+fn axpy_neon(out: &mut [f32], scale: f32, x: &[f32]) {
+    // SAFETY: the NEON table is only reachable after runtime detection.
+    unsafe { axpy_neon_impl(out, scale, x) }
+}
+
+/// Element-wise mul + add (deliberately not `vfmaq`, so the result is
+/// bit-exact against the scalar path).
+#[target_feature(enable = "neon")]
+unsafe fn axpy_neon_impl(out: &mut [f32], scale: f32, x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    let s = vdupq_n_f32(scale);
+    let n = out.len();
+    let main = n - n % 4;
+    let po = out.as_mut_ptr();
+    let px = x.as_ptr();
+    let mut i = 0usize;
+    while i < main {
+        let v = vaddq_f32(vld1q_f32(po.add(i)), vmulq_f32(s, vld1q_f32(px.add(i))));
+        vst1q_f32(po.add(i), v);
+        i += 4;
+    }
+    for j in main..n {
+        out[j] += scale * x[j];
+    }
+}
+
+fn hamming_neon(a: &[u64], b: &[u64]) -> usize {
+    // SAFETY: the NEON table is only reachable after runtime detection.
+    unsafe { hamming_neon_impl(a, b) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn hamming_neon_impl(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = vdupq_n_u64(0);
+    let chunks = a.len() / 2;
+    for i in 0..chunks {
+        let va = vld1q_u64(a.as_ptr().add(i * 2));
+        let vb = vld1q_u64(b.as_ptr().add(i * 2));
+        let x = veorq_u64(va, vb);
+        let cnt = vcntq_u8(vreinterpretq_u8_u64(x));
+        acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+    }
+    let mut sum = (vgetq_lane_u64::<0>(acc) + vgetq_lane_u64::<1>(acc)) as usize;
+    for i in chunks * 2..a.len() {
+        sum += (a[i] ^ b[i]).count_ones() as usize;
+    }
+    sum
+}
+
+fn count_ones_neon(words: &[u64]) -> usize {
+    // SAFETY: the NEON table is only reachable after runtime detection.
+    unsafe { count_ones_neon_impl(words) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn count_ones_neon_impl(words: &[u64]) -> usize {
+    let mut acc = vdupq_n_u64(0);
+    let chunks = words.len() / 2;
+    for i in 0..chunks {
+        let v = vld1q_u64(words.as_ptr().add(i * 2));
+        let cnt = vcntq_u8(vreinterpretq_u8_u64(v));
+        acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+    }
+    let mut sum = (vgetq_lane_u64::<0>(acc) + vgetq_lane_u64::<1>(acc)) as usize;
+    for w in &words[chunks * 2..] {
+        sum += w.count_ones() as usize;
+    }
+    sum
+}

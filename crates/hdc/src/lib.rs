@@ -17,6 +17,9 @@
 //! * [`memory::AssociativeMemory`] — the class-hypervector store used during
 //!   training and nearest-class inference.
 //! * [`similarity`] — cosine, dot and Hamming similarity kernels.
+//! * [`kernel`] — the runtime-dispatched SIMD layer (AVX2/AVX-512 on
+//!   x86_64, NEON on aarch64, scalar fallback) every hot loop above funnels
+//!   through; `CYBERHD_FORCE_SCALAR=1` pins the portable path.
 //! * [`batch`] — zero-copy row-major [`batch::BatchView`]s, the batch
 //!   currency of every engine entry point.
 //! * [`codec`] — the bit-exact little-endian codec trained artifacts are
@@ -49,7 +52,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `kernel` module scopes an explicit
+// `allow(unsafe_code)` for its `std::arch` intrinsics (runtime-dispatched
+// SIMD); everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -57,6 +63,7 @@ pub mod binary;
 pub mod codec;
 pub mod dense;
 pub mod encoder;
+pub mod kernel;
 pub mod memory;
 pub mod parallel;
 pub mod quant;
@@ -68,6 +75,7 @@ pub use batch::{BatchBuffer, BatchView};
 pub use binary::BinaryHypervector;
 pub use dense::Hypervector;
 pub use encoder::{Encoder, IdLevelEncoder, RbfEncoder, RecordEncoder};
+pub use kernel::Kernels;
 pub use memory::AssociativeMemory;
 pub use quant::{BitWidth, QuantizedHypervector};
 pub use similarity::{argmax, cosine, dot, hamming_distance, normalized_hamming_similarity};

@@ -272,14 +272,16 @@ impl AssociativeMemory {
     /// instead of once per class.
     ///
     /// The query is walked in L1-resident tiles; per tile, every class
-    /// accumulates into its own four-accumulator bank in **exactly the
-    /// accumulation order of [`similarity::dot`]** (same index sequence per
-    /// accumulator, same `acc0 + acc1 + acc2 + acc3` reduction, same serial
-    /// tail) — so each per-class dot is bit-identical to the serial
-    /// per-class loop this replaces and every downstream bit-exactness
-    /// contract holds.  The win is memory traffic: at `K` classes the old
-    /// loop streamed `K` query passes plus `K` class passes per sample;
-    /// this kernel streams one query pass plus the same `K` class passes.
+    /// accumulates into its own [`crate::kernel::DotBank`] through the
+    /// active dispatch path's `dot_accumulate`, followed by the same
+    /// `dot_reduce` and serial tail that [`similarity::dot`] uses — so each
+    /// per-class dot is **bit-identical to `similarity::dot` on the same
+    /// dispatch path** (tile boundaries are multiples of the path's
+    /// `dot_step`, which makes split accumulation exact) and every
+    /// downstream bit-exactness contract holds.  The win is memory
+    /// traffic: at `K` classes the old loop streamed `K` query passes plus
+    /// `K` class passes per sample; this kernel streams one query pass
+    /// plus the same `K` class passes.
     ///
     /// Shapes are the caller's responsibility (`query.len() == dim`,
     /// `out.len() == num_classes`); the public scoring entry points validate
@@ -287,48 +289,43 @@ impl AssociativeMemory {
     fn class_dots_interleaved(&self, query: &[f32], out: &mut [f32]) {
         debug_assert_eq!(query.len(), self.dim);
         debug_assert_eq!(out.len(), self.classes.len());
+        use crate::kernel::DotBank;
         /// Query elements per tile (a 2 KiB slab): small enough to sit in
         /// L1 across all class passes, large enough to amortize the
-        /// per-tile class-loop overhead.  Must stay a multiple of 4 so
-        /// tile boundaries never split a 4-way accumulation chunk.
+        /// per-tile class-loop overhead.  Must stay a multiple of every
+        /// dispatch path's `dot_step` so tile boundaries never split an
+        /// accumulation chunk (pinned by a kernel-module test).
         const TILE: usize = 512;
         /// Class banks kept on the stack; realistic NIDS label spaces are
         /// single digits, so the heap fallback is effectively dead code.
         const MAX_STACK_CLASSES: usize = 32;
 
+        let kernels = crate::kernel::active();
+        let step = kernels.dot_step();
+        debug_assert_eq!(TILE % step, 0);
+
         let k = self.classes.len();
-        let mut stack = [[0.0f32; 4]; MAX_STACK_CLASSES];
-        let mut heap: Vec<[f32; 4]>;
-        let accs: &mut [[f32; 4]] = if k <= MAX_STACK_CLASSES {
+        let mut stack = [DotBank::new(); MAX_STACK_CLASSES];
+        let mut heap: Vec<DotBank>;
+        let banks: &mut [DotBank] = if k <= MAX_STACK_CLASSES {
             &mut stack[..k]
         } else {
-            heap = vec![[0.0f32; 4]; k];
+            heap = vec![DotBank::new(); k];
             &mut heap
         };
 
-        let main = (query.len() / 4) * 4;
+        let main = (query.len() / step) * step;
         let mut base = 0usize;
         while base < main {
             let end = (base + TILE).min(main);
             let q_tile = &query[base..end];
-            for (class, acc) in self.classes.iter().zip(accs.iter_mut()) {
-                let c_tile = &class.as_slice()[base..end];
-                // Locals keep the bank in registers through the tile; the
-                // chunked iterator shape matches `similarity::dot` and
-                // elides bounds checks.
-                let [mut a0, mut a1, mut a2, mut a3] = *acc;
-                for (q, c) in q_tile.chunks_exact(4).zip(c_tile.chunks_exact(4)) {
-                    a0 += q[0] * c[0];
-                    a1 += q[1] * c[1];
-                    a2 += q[2] * c[2];
-                    a3 += q[3] * c[3];
-                }
-                *acc = [a0, a1, a2, a3];
+            for (class, bank) in self.classes.iter().zip(banks.iter_mut()) {
+                kernels.dot_accumulate(bank, q_tile, &class.as_slice()[base..end]);
             }
             base = end;
         }
-        for ((slot, class), acc) in out.iter_mut().zip(&self.classes).zip(accs.iter()) {
-            let mut dot = acc[0] + acc[1] + acc[2] + acc[3];
+        for ((slot, class), bank) in out.iter_mut().zip(&self.classes).zip(banks.iter()) {
+            let mut dot = kernels.dot_reduce(bank);
             let tail = &class.as_slice()[main..];
             for (q, c) in query[main..].iter().zip(tail) {
                 dot += q * c;
@@ -420,9 +417,9 @@ impl AssociativeMemory {
             return Err(HdcError::DimensionMismatch { expected: self.dim, actual: sample.len() });
         }
         let target = self.class_mut(class)?;
-        for (a, b) in target.iter_mut().zip(sample) {
-            *a += weight * b;
-        }
+        // Kernel axpy: element-wise mul + add, bit-exact on every dispatch
+        // path (identical to the plain loop this replaces).
+        crate::kernel::active().axpy(target.as_mut_slice(), weight, sample);
         Ok(())
     }
 

@@ -6,15 +6,22 @@
 //! is its exact counterpart for bipolar vectors.  These free functions are the
 //! hot kernels of the whole system and are deliberately written over plain
 //! slices so every representation (dense, quantized, batched matrix rows) can
-//! share them.
+//! share them.  Since the SIMD layer landed they are thin fronts over
+//! [`crate::kernel::Kernels::active`]: the reduction order of [`dot`] is
+//! fixed *per dispatch path* (the scalar path keeps the historical four-way
+//! unrolled order bit-for-bit), and [`hamming_distance`] is bit-exact on
+//! every path.
 
-/// Dot product of two equally sized slices.
+/// Dot product of two equally sized slices, via the active
+/// [`crate::kernel`] dispatch path.
+///
+/// Deterministic per dispatch path: the accumulation order is fixed for a
+/// given path, and the scalar path (`CYBERHD_FORCE_SCALAR=1`) reproduces
+/// the crate's historical four-accumulator order bit-for-bit.
 ///
 /// # Panics
 ///
-/// Panics if the slices differ in length (checked via `debug_assert` in
-/// release-critical paths, the public entry points of the crate validate
-/// lengths before calling in).
+/// Panics if the slices differ in length.
 ///
 /// # Example
 ///
@@ -22,26 +29,7 @@
 /// assert_eq!(hdc::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "dot product of slices of different length");
-    // Four-way unrolled accumulation: keeps dependent additions short and
-    // gives the auto-vectorizer an easy shape.
-    let mut acc0 = 0.0f32;
-    let mut acc1 = 0.0f32;
-    let mut acc2 = 0.0f32;
-    let mut acc3 = 0.0f32;
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        acc0 += a[base] * b[base];
-        acc1 += a[base + 1] * b[base + 1];
-        acc2 += a[base + 2] * b[base + 2];
-        acc3 += a[base + 3] * b[base + 3];
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for i in chunks * 4..a.len() {
-        acc += a[i] * b[i];
-    }
-    acc
+    crate::kernel::active().dot(a, b)
 }
 
 /// Euclidean (L2) norm of a slice.
@@ -80,14 +68,14 @@ pub fn cosine_with_norm(a: &[f32], a_norm: f32, b: &[f32], b_norm: f32) -> f32 {
     (dot(a, b) / (a_norm * b_norm)).clamp(-1.0, 1.0)
 }
 
-/// Hamming distance between two equally sized `u64` word slices.
+/// Hamming distance between two equally sized `u64` word slices, via the
+/// active [`crate::kernel`] dispatch path (bit-exact on every path).
 ///
 /// The caller is responsible for ensuring that bits beyond the logical
 /// dimensionality are zero in both operands (see
 /// [`crate::BinaryHypervector::mask_tail`]).
 pub fn hamming_distance(a_words: &[u64], b_words: &[u64]) -> usize {
-    debug_assert_eq!(a_words.len(), b_words.len());
-    a_words.iter().zip(b_words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+    crate::kernel::active().hamming_distance(a_words, b_words)
 }
 
 /// Normalized Hamming similarity in `[-1, 1]` for packed words of logical

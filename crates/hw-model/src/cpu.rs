@@ -135,6 +135,39 @@ impl CpuModel {
         let energy_j = ops * self.energy_per_op_j(bits) + latency_s * self.static_power_w;
         CostEstimate { latency_s, energy_j }
     }
+
+    /// A single-core variant of the default model whose SIMD width matches
+    /// a named `hdc::kernel` dispatch path (`"scalar"`, `"neon"`, `"avx2"`,
+    /// `"avx512"`; unknown names fall back to AVX2's 256 bits).
+    ///
+    /// This is the roofline the kernel benchmarks compare against: one core
+    /// at the default sustained clock, with the register width the selected
+    /// ISA actually exposes (the scalar path still gets 64 bits — it chews
+    /// a `u64` word per popcount step and autovectorizes a few f32 lanes).
+    pub fn single_core_for_isa(isa: &str) -> Self {
+        let simd_width_bits = match isa {
+            "scalar" => 64,
+            "neon" => 128,
+            // "avx512" and its vpopcnt-upgraded variant.
+            s if s.starts_with("avx512") => 512,
+            _ => 256, // "avx2" and unknown dispatch names
+        };
+        Self { cores: 1, simd_width_bits, ..Self::default() }
+    }
+
+    /// Fraction of the model's roofline a measured kernel throughput
+    /// achieves: `measured_ops_per_second / ops_per_second(bits)`.
+    ///
+    /// Values near `1.0` mean the kernel saturates the modeled issue rate;
+    /// values above `1.0` mean the first-order model underestimates the host
+    /// (e.g. multiple issue ports per cycle).  Returns `0.0` for
+    /// non-positive or non-finite measurements.
+    pub fn utilization(&self, bits: u32, measured_ops_per_second: f64) -> f64 {
+        if !(measured_ops_per_second > 0.0 && measured_ops_per_second.is_finite()) {
+            return 0.0;
+        }
+        measured_ops_per_second / self.ops_per_second(bits)
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +220,38 @@ mod tests {
             ratio > 1.5 && ratio < 12.0,
             "32-bit CPU should be a few times more energy efficient, got {ratio}"
         );
+    }
+
+    #[test]
+    fn single_core_isa_models_scale_with_register_width() {
+        let scalar = CpuModel::single_core_for_isa("scalar");
+        let neon = CpuModel::single_core_for_isa("neon");
+        let avx2 = CpuModel::single_core_for_isa("avx2");
+        let avx512 = CpuModel::single_core_for_isa("avx512");
+        let unknown = CpuModel::single_core_for_isa("riscv-vector");
+        for m in [&scalar, &neon, &avx2, &avx512, &unknown] {
+            assert_eq!(m.cores, 1);
+        }
+        assert_eq!(scalar.simd_width_bits, 64);
+        assert_eq!(neon.simd_width_bits, 128);
+        assert_eq!(avx2.simd_width_bits, 256);
+        assert_eq!(avx512.simd_width_bits, 512);
+        assert_eq!(CpuModel::single_core_for_isa("avx512vpopcnt").simd_width_bits, 512);
+        assert_eq!(unknown.simd_width_bits, avx2.simd_width_bits);
+        // Wider registers raise the roofline at every bitwidth.
+        assert!(avx512.ops_per_second(32) > avx2.ops_per_second(32));
+        assert!(avx2.ops_per_second(1) > scalar.ops_per_second(1));
+    }
+
+    #[test]
+    fn utilization_is_measured_over_roofline() {
+        let m = CpuModel::single_core_for_isa("avx2");
+        let roof = m.ops_per_second(32);
+        assert!((m.utilization(32, roof) - 1.0).abs() < 1e-12);
+        assert!((m.utilization(32, roof / 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.utilization(32, 0.0), 0.0);
+        assert_eq!(m.utilization(32, f64::NAN), 0.0);
+        assert_eq!(m.utilization(32, -1.0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Parity suite for the `hdc::kernel` runtime dispatch layer.
+//!
+//! Every SIMD path the host can detect is compared against the
+//! always-available scalar table under the kernel layer's determinism
+//! contract:
+//!
+//! * **bit-exact on every path** — the integer kernels (`hamming_distance`,
+//!   `count_ones`, `sign_pack_word`, `sign_quadrant_word`) and `axpy`
+//!   (mul + add, never FMA-contracted);
+//! * **deterministic per path** — the dot family fixes its accumulation
+//!   order per dispatch path, so repeated calls on one path are
+//!   bit-identical while different paths may differ by float rounding.
+//!
+//! Lengths deliberately include 0, 1, the 47/48 boundary the associative
+//! memory's tests probe, and non-multiples of every path's lane width so
+//! the tail loops are exercised on each table.
+
+use hdc::rng::HdcRng;
+use hdc::Kernels;
+
+/// Word counts covering empty, single, sub-lane, lane-boundary and
+/// off-by-one shapes for every path's step (scalar 1, AVX2 4, AVX-512 8).
+const WORD_LENS: [usize; 12] = [0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33];
+
+/// Float lengths covering empty, single, the 47/48 memory-test boundary
+/// and off-by-one shapes around every dot step (4, 16, 32) and the 8/16
+/// axpy lane widths.
+const FLOAT_LENS: [usize; 14] = [0, 1, 3, 4, 5, 15, 16, 17, 31, 32, 33, 47, 48, 137];
+
+fn words(len: usize, rng: &mut HdcRng) -> Vec<u64> {
+    (0..len).map(|_| rng.next_word()).collect()
+}
+
+fn floats(len: usize, rng: &mut HdcRng) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(-4.0, 4.0) as f32).collect()
+}
+
+#[test]
+fn scalar_table_is_always_available_and_first() {
+    let available = Kernels::available();
+    assert!(!available.is_empty());
+    assert_eq!(available[0].isa(), "scalar");
+    assert_eq!(Kernels::scalar().isa(), "scalar");
+    // The active table is one of the available ones.
+    let active = hdc::kernel::active().isa();
+    assert!(available.iter().any(|k| k.isa() == active), "active {active} not in available");
+}
+
+#[test]
+fn hamming_and_count_ones_are_bit_exact_on_every_path() {
+    let scalar = Kernels::scalar();
+    for (case, &len) in WORD_LENS.iter().enumerate() {
+        let mut rng = HdcRng::seed_from(0xA000 + case as u64);
+        let a = words(len, &mut rng);
+        let b = words(len, &mut rng);
+        let expect_h = scalar.hamming_distance(&a, &b);
+        let expect_c = scalar.count_ones(&a);
+        for path in Kernels::available() {
+            assert_eq!(
+                path.hamming_distance(&a, &b),
+                expect_h,
+                "hamming diverged on {} at {len} words",
+                path.isa()
+            );
+            assert_eq!(
+                path.count_ones(&a),
+                expect_c,
+                "count_ones diverged on {} at {len} words",
+                path.isa()
+            );
+        }
+    }
+    // All-ones / all-zeros extremes.
+    for len in [1usize, 7, 16] {
+        let ones = vec![u64::MAX; len];
+        let zeros = vec![0u64; len];
+        for path in Kernels::available() {
+            assert_eq!(path.hamming_distance(&ones, &zeros), len * 64, "{}", path.isa());
+            assert_eq!(path.count_ones(&ones), len * 64, "{}", path.isa());
+            assert_eq!(path.count_ones(&zeros), 0, "{}", path.isa());
+        }
+    }
+}
+
+#[test]
+fn sign_kernels_are_bit_exact_on_every_path() {
+    use std::f32::consts::FRAC_PI_2;
+    let scalar = Kernels::scalar();
+    let guard = 1e-3f32;
+    // Chunk lengths from empty to a full word, plus band-edge values the
+    // quadrant test's guard exists for.
+    for chunk_len in [0usize, 1, 7, 31, 32, 33, 63, 64] {
+        for case in 0..8u64 {
+            let mut rng = HdcRng::seed_from(0xB000 + case * 100 + chunk_len as u64);
+            let mut chunk = floats(chunk_len, &mut rng);
+            // Salt some positions with exact boundaries: signed zero and
+            // phases on / just inside / just outside the guard band.
+            let specials = [
+                0.0f32,
+                -0.0,
+                FRAC_PI_2,
+                -FRAC_PI_2,
+                FRAC_PI_2 - guard / 2.0,
+                FRAC_PI_2 + guard / 2.0,
+                FRAC_PI_2 - 2.0 * guard,
+                FRAC_PI_2 + 2.0 * guard,
+            ];
+            for (i, s) in specials.iter().enumerate() {
+                if let Some(slot) = chunk.get_mut(i * 7 % chunk_len.max(1)) {
+                    if chunk_len > 0 {
+                        *slot = *s;
+                    }
+                }
+            }
+            let expect_pack = scalar.sign_pack_word(&chunk);
+            let expect_quadrant = scalar.sign_quadrant_word(&chunk, guard);
+            for path in Kernels::available() {
+                assert_eq!(
+                    path.sign_pack_word(&chunk),
+                    expect_pack,
+                    "sign_pack_word diverged on {} at len {chunk_len} case {case}",
+                    path.isa()
+                );
+                assert_eq!(
+                    path.sign_quadrant_word(&chunk, guard),
+                    expect_quadrant,
+                    "sign_quadrant_word diverged on {} at len {chunk_len} case {case}",
+                    path.isa()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn axpy_is_bit_exact_on_every_path() {
+    let scalar = Kernels::scalar();
+    for (case, &len) in FLOAT_LENS.iter().enumerate() {
+        let mut rng = HdcRng::seed_from(0xC000 + case as u64);
+        let x = floats(len, &mut rng);
+        let base = floats(len, &mut rng);
+        for scale in [0.0f32, 1.0, -0.75, 0.05] {
+            let mut expect = base.clone();
+            scalar.axpy(&mut expect, scale, &x);
+            for path in Kernels::available() {
+                let mut out = base.clone();
+                path.axpy(&mut out, scale, &x);
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "axpy diverged on {} at len {len} scale {scale}",
+                    path.isa()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dot_is_deterministic_per_path_and_consistent_across_paths() {
+    let scalar = Kernels::scalar();
+    for (case, &len) in FLOAT_LENS.iter().enumerate() {
+        let mut rng = HdcRng::seed_from(0xD000 + case as u64);
+        let a = floats(len, &mut rng);
+        let b = floats(len, &mut rng);
+        let reference: f64 = a.iter().zip(&b).map(|(x, y)| f64::from(*x) * f64::from(*y)).sum();
+        let scalar_dot = scalar.dot(&a, &b);
+        for path in Kernels::available() {
+            let first = path.dot(&a, &b);
+            // Per-path determinism: repeated evaluation is bit-identical.
+            for _ in 0..3 {
+                assert_eq!(
+                    path.dot(&a, &b).to_bits(),
+                    first.to_bits(),
+                    "dot non-deterministic on {} at len {len}",
+                    path.isa()
+                );
+            }
+            // Cross-path consistency: every path is a correct dot product
+            // up to f32 reassociation error.
+            let tolerance = 1e-3 * (1.0 + reference.abs());
+            assert!(
+                (f64::from(first) - reference).abs() < tolerance,
+                "dot wrong on {} at len {len}: {first} vs {reference}",
+                path.isa()
+            );
+            assert!(
+                (f64::from(first) - f64::from(scalar_dot)).abs() < tolerance,
+                "dot far from scalar on {} at len {len}",
+                path.isa()
+            );
+        }
+    }
+}
+
+#[test]
+fn dot_bank_accumulation_agrees_with_plain_dot_on_every_path() {
+    // The associative memory's interleaved scorer tiles queries through
+    // `dot_accumulate`/`dot_reduce`; step-aligned split accumulation must
+    // reproduce the one-shot `dot` bit-for-bit on each path.
+    for path in Kernels::available() {
+        let step = path.dot_step();
+        let len = step * 6;
+        let mut rng = HdcRng::seed_from(0xE000 + step as u64);
+        let a = floats(len, &mut rng);
+        let b = floats(len, &mut rng);
+        let mut bank = hdc::kernel::DotBank::new();
+        for chunk in 0..3 {
+            let lo = chunk * step * 2;
+            let hi = lo + step * 2;
+            path.dot_accumulate(&mut bank, &a[lo..hi], &b[lo..hi]);
+        }
+        assert_eq!(
+            path.dot_reduce(&bank).to_bits(),
+            path.dot(&a, &b).to_bits(),
+            "split accumulation diverged on {}",
+            path.isa()
+        );
+    }
+}
