@@ -24,16 +24,30 @@
 //!    delta, the automatic regeneration/republish count and the
 //!    reseal+swap latency.
 //!
+//! And a fourth covers the scale-out path:
+//!
+//! 4. **Sharded many-tenant serving** — ≥ 256 tenants
+//!    (`CYBERHD_SERVE_TENANTS`) under a seeded, bit-reproducible Zipf
+//!    traffic schedule ([`bench::zipf`]), pushed by partitioned submitter
+//!    threads through a [`ShardedServeEngine`] at shard counts
+//!    {1, 2, 4, 8} (scale via `CYBERHD_SERVE_SHARDED_FLOWS` /
+//!    `CYBERHD_SERVE_SHARDED_DIM`).  Determinism (schedule regeneration
+//!    equality + per-tenant verdict parity with the `detect_batch`
+//!    oracle) is asserted on every run; near-linear shard scaling is
+//!    asserted only when more than one core is available.
+//!
 //! Emits the `BENCH_serve.json` snapshot at the workspace root and
 //! asserts the determinism contract (served verdicts == `detect_batch`
 //! oracle) at bench scale, where flush boundaries actually vary.
 
 use bench::scenario::{abrupt_shift, replay, ReplayConfig};
+use bench::zipf::ZipfSampler;
 use bench::{env_usize, limited_class_dataset, snapshot, timed_pass};
 use criterion::{criterion_group, criterion_main, Criterion};
-use cyberhd::serve::{DetectorRegistry, ServeConfig, ServeEngine};
+use cyberhd::serve::shard::{ShardConfig, ShardedServeEngine};
+use cyberhd::serve::{DetectorRegistry, ServeConfig, ServeEngine, Ticket};
 use cyberhd::{Detector, Verdict};
-use hdc::parallel::engine_threads;
+use hdc::parallel::{available_cores, engine_threads};
 use nids_data::DatasetKind;
 use std::sync::Arc;
 use std::time::Duration;
@@ -243,10 +257,166 @@ fn bench_serve(c: &mut Criterion) {
     extra_params.push(("swap_p50_ms".into(), swap_p50_ms));
     extra_params.push(("swap_max_ms".into(), swap_max_ms));
 
+    // Sharded many-tenant serving: a fixed seeded Zipf schedule over the
+    // tenant fleet, replayed at every shard count.  The timed region is
+    // the full serve pass (partitioned-thread submit -> flush_all ->
+    // drain), so the arm measures end-to-end submit throughput.
+    let tenant_count = env_usize("CYBERHD_SERVE_TENANTS", 256);
+    let sharded_flows = env_usize("CYBERHD_SERVE_SHARDED_FLOWS", 20_000);
+    let sharded_dim = env_usize("CYBERHD_SERVE_SHARDED_DIM", 2_048);
+    let sharded_detector = Detector::builder()
+        .dimension(sharded_dim)
+        .retrain_epochs(1)
+        .regeneration_rate(0.0)
+        .learning_rate(0.05)
+        .seed(17)
+        .train(&dataset)
+        .expect("training succeeds");
+    let tenant_names: Vec<String> = (0..tenant_count).map(|t| format!("edge-{t:04}")).collect();
+    let zipf = ZipfSampler::new(tenant_count, 1.1);
+    let schedule = zipf.schedule(sharded_flows, 91);
+    assert_eq!(
+        schedule,
+        zipf.schedule(sharded_flows, 91),
+        "the Zipf traffic schedule must regenerate bit-for-bit from its seed"
+    );
+
+    // Per-tenant flow sequences (cycling the corpus) and their oracle are
+    // functions of the schedule alone — fixed across shard counts.
+    let mut tenant_records: Vec<Vec<usize>> = vec![Vec::new(); tenant_count];
+    for &t in &schedule {
+        let next = tenant_records[t].len();
+        tenant_records[t].push(next % dataset.len());
+    }
+    let sharded_oracle: Vec<Vec<Verdict>> = tenant_records
+        .iter()
+        .map(|records| {
+            if records.is_empty() {
+                return Vec::new();
+            }
+            let flows: Vec<Vec<f32>> =
+                records.iter().map(|&r| dataset.records()[r].clone()).collect();
+            sharded_detector.detect_batch(&flows).expect("oracle pass")
+        })
+        .collect();
+
+    let submitters = engine_threads().clamp(1, 8);
+    println!(
+        "\nserve_sharded: {tenant_count} tenants (Zipf 1.1), {sharded_flows} flows, \
+         dim={sharded_dim}, {submitters} submitter threads, {} cores",
+        available_cores()
+    );
+    let mut sharded_rates: Vec<(usize, f64)> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let registry = Arc::new(DetectorRegistry::new());
+        for tenant in &tenant_names {
+            registry.register(tenant, sharded_detector.clone()).expect("fresh registry");
+        }
+        let engine = ShardedServeEngine::new(
+            Arc::clone(&registry),
+            ShardConfig {
+                shards,
+                serve: ServeConfig {
+                    max_batch: 32,
+                    max_delay: Duration::from_millis(2),
+                    queue_capacity: sharded_flows.max(64),
+                },
+                ..ShardConfig::default()
+            },
+        )
+        .expect("valid shard config");
+
+        let (report, served) = timed_pass(sharded_flows, 1, || {
+            // Tenants are partitioned over the submitter threads (tenant
+            // index mod thread count), so every tenant's submission order
+            // is deterministic regardless of thread interleaving.
+            let mut tickets: Vec<Vec<Ticket>> = vec![Vec::new(); tenant_count];
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..submitters)
+                    .map(|worker| {
+                        let engine = &engine;
+                        let schedule = &schedule;
+                        let tenant_names = &tenant_names;
+                        let dataset = &dataset;
+                        scope.spawn(move || {
+                            let mut mine: Vec<Vec<Ticket>> = vec![Vec::new(); tenant_count];
+                            let mut cursor = vec![0usize; tenant_count];
+                            for &t in schedule {
+                                let record = cursor[t] % dataset.len();
+                                cursor[t] += 1;
+                                if t % submitters != worker {
+                                    continue;
+                                }
+                                let ticket = engine
+                                    .submit(&tenant_names[t], &dataset.records()[record])
+                                    .expect("registered tenant, sound flow");
+                                mine[t].push(ticket);
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (t, mut own) in handle.join().expect("submitter").into_iter().enumerate() {
+                        tickets[t].append(&mut own);
+                    }
+                }
+            });
+            engine.flush_all();
+            tickets
+                .iter()
+                .map(|tickets| {
+                    tickets.iter().map(|t| engine.take(t).expect("flushed")).collect::<Vec<_>>()
+                })
+                .collect::<Vec<Vec<Verdict>>>()
+        });
+
+        // Determinism through sharding, flusher threads and submitter
+        // partitioning: every tenant's verdicts are the oracle, bit for
+        // bit.
+        assert_eq!(
+            served, sharded_oracle,
+            "sharded verdicts diverged from the detect_batch oracle at {shards} shards"
+        );
+        let fleet = engine.fleet_stats().expect("fleet served traffic");
+        println!(
+            "  shards {shards}: {report} (fleet p50 {:?} p99 {:?}, mean batch {:.1})",
+            fleet.p50_latency,
+            fleet.p99_latency,
+            fleet.mean_batch_size()
+        );
+        arms.push(snapshot::Arm::new(&format!("serve_sharded_shards_{shards}"), report));
+        sharded_rates.push((shards, report.samples_per_second()));
+    }
+    let single_shard_rate = sharded_rates[0].1;
+    let (best_shards, best_rate) =
+        sharded_rates.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1)).expect("four shard arms");
+    let sharded_scaling = best_rate / single_shard_rate;
+    println!(
+        "  best: {best_shards} shards at {sharded_scaling:.2}x the single-shard rate \
+         (scaling asserted only on multi-core hosts)"
+    );
+    // On a single-core host the shard sweep measures overhead, not
+    // scaling; the conservative near-linear bar only applies when the
+    // flusher and submitter threads can actually run in parallel.
+    if available_cores() > 1 && sharded_flows >= 10_000 {
+        assert!(
+            sharded_scaling >= 1.3,
+            "multi-shard serving must beat one shard by >= 1.3x on a multi-core host, got \
+             {sharded_scaling:.2}x"
+        );
+    }
+    extra_params.push(("tenants".into(), tenant_count as f64));
+    extra_params.push(("sharded_flows".into(), sharded_flows as f64));
+    extra_params.push(("sharded_dim".into(), sharded_dim as f64));
+    extra_params.push(("cores".into(), available_cores() as f64));
+    extra_params.push(("sharded_submitters".into(), submitters as f64));
+
     let speedups = vec![
         ("serve_vs_naive", serve_speedup),
         ("batch_ceiling_vs_serve", batch.speedup_over(&served)),
         ("serve_vs_batch_fraction", served.speedup_over(&batch)),
+        ("sharded_best_vs_1_shard", sharded_scaling),
     ];
     let mut params: Vec<(&str, f64)> = vec![
         ("dim", dim as f64),

@@ -23,6 +23,7 @@
 
 pub mod crash;
 pub mod scenario;
+pub mod zipf;
 
 use baselines::mlp::{Mlp, MlpConfig};
 use baselines::svm::{LinearSvm, SvmConfig};

@@ -1,0 +1,146 @@
+//! Seeded, bit-reproducible Zipf sampling for skewed-tenant traffic.
+//!
+//! Real many-tenant traffic is heavy-tailed: a handful of tenants send
+//! most of the flows while the long tail trickles.  The sharded serve
+//! bench models that with a Zipf(`exponent`) distribution over tenant
+//! ranks — rank `k` (0-based) is drawn with probability proportional to
+//! `1 / (k + 1)^exponent`.
+//!
+//! Determinism is the whole point: the sampler precomputes a fixed CDF
+//! (pure `f64` arithmetic, no platform-dependent libm calls beyond
+//! `powf`, evaluated once in a fixed order) and draws through the
+//! repo-wide deterministic [`hdc::rng::HdcRng`], so the same seed always
+//! produces the same traffic schedule — on every run, platform, and
+//! thread count.  The bench asserts this before trusting any
+//! shard-scaling numbers.
+
+use hdc::rng::HdcRng;
+
+/// A Zipf-distributed sampler over `0..n` ranks (see the
+/// [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cdf[k]` = P(rank <= k); strictly increasing, last entry 1.0.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over ranks `0..n` with skew `exponent`
+    /// (`0.0` = uniform; ~1.0 = classic Zipf; larger = more skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `exponent` is negative or non-finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "a Zipf sampler needs at least one rank");
+        assert!(exponent >= 0.0 && exponent.is_finite(), "exponent must be finite and >= 0");
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(exponent)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard the top against accumulated rounding so a uniform draw of
+        // ~1.0 can never fall past the last rank.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf, exponent }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The sampler's skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of drawing `rank`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let lower = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lower
+    }
+
+    /// Draws one rank through `rng` (binary search over the CDF).
+    pub fn sample(&self, rng: &mut HdcRng) -> usize {
+        let u = rng.uniform(0.0, 1.0);
+        // First rank whose CDF strictly exceeds the draw; the guarded
+        // last entry (1.0) makes the fallback unreachable.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// A full traffic schedule: `len` ranks drawn from a fresh
+    /// [`HdcRng`] seeded with `seed` — the bit-reproducible form the
+    /// bench uses so a schedule can be regenerated (and verified equal)
+    /// without storing it.
+    pub fn schedule(&self, len: usize, seed: u64) -> Vec<usize> {
+        let mut rng = HdcRng::seed_from(seed);
+        (0..len).map(|_| self.sample(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_reproduces_the_schedule_bit_for_bit() {
+        let zipf = ZipfSampler::new(256, 1.1);
+        let a = zipf.schedule(10_000, 91);
+        let b = zipf.schedule(10_000, 91);
+        assert_eq!(a, b, "identical seeds must reproduce the schedule exactly");
+        let c = zipf.schedule(10_000, 92);
+        assert_ne!(a, c, "different seeds should diverge");
+        // A fresh sampler with the same parameters rebuilds the same CDF.
+        let again = ZipfSampler::new(256, 1.1).schedule(10_000, 91);
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let zipf = ZipfSampler::new(64, 1.2);
+        let schedule = zipf.schedule(20_000, 7);
+        let mut counts = vec![0usize; 64];
+        for &rank in &schedule {
+            counts[rank] += 1;
+        }
+        assert!(counts[0] > counts[32] && counts[0] > counts[63], "head outdraws the tail");
+        // The head rank's empirical share tracks its true probability.
+        let p0 = zipf.probability(0);
+        let observed = counts[0] as f64 / schedule.len() as f64;
+        assert!((observed - p0).abs() < 0.02, "observed {observed:.3} vs true {p0:.3}");
+        // Probabilities form a distribution.
+        let total: f64 = (0..64).map(|k| zipf.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((zipf.probability(k) - 0.1).abs() < 1e-12, "rank {k}");
+        }
+        let schedule = zipf.schedule(10_000, 3);
+        let mut counts = vec![0usize; 10];
+        for &rank in &schedule {
+            counts[rank] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "roughly uniform, got {counts:?}");
+    }
+
+    #[test]
+    fn every_rank_is_reachable_and_in_bounds() {
+        let zipf = ZipfSampler::new(5, 2.0);
+        let schedule = zipf.schedule(50_000, 11);
+        let mut seen = [false; 5];
+        for &rank in &schedule {
+            assert!(rank < 5);
+            seen[rank] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "even the deepest tail rank appears eventually");
+    }
+}

@@ -85,9 +85,14 @@ pub use quantized::QuantizedModel;
 pub use regeneration::{
     select_lowest_variance, DriftMonitor, DriftMonitorConfig, RegenerationPlan, RegenerationStats,
 };
+pub use serve::admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, Priority, TenantQuota,
+};
+pub use serve::shard::{ShardConfig, ShardedServeEngine};
+pub use serve::timer::DeadlineWheel;
 pub use serve::{
-    AdaptiveConfig, AdaptiveLane, AdaptiveStats, DetectorRegistry, ServeConfig, ServeEngine,
-    ServeError, ServeStats, Ticket,
+    AdaptiveConfig, AdaptiveLane, AdaptiveStats, DetectorRegistry, LanePoll, ServeConfig,
+    ServeEngine, ServeError, ServeStats, Ticket,
 };
 pub use trainer::CyberHdTrainer;
 

@@ -48,6 +48,18 @@
 //! same preprocess→encode→score expressions — pinned by `tests/serve.rs`
 //! against a `detect_batch` oracle on all four dataset kinds.
 //!
+//! # Scaling out
+//!
+//! One [`ServeEngine`] is a **single shard**: one lane map, one lock, one
+//! caller-driven [`ServeEngine::poll`].  The [`shard`] submodule composes
+//! N of them into a [`shard::ShardedServeEngine`] that partitions tenants
+//! by hash, drives flushes from a shared deadline wheel ([`timer`])
+//! instead of caller polling, and sheds load deterministically under
+//! overload ([`admission`], [`ServeError::Shed`]).  The determinism
+//! contract below is shard-count-invariant: a tenant lives on exactly one
+//! shard, so its lane machinery — and therefore its verdicts — are
+//! identical whether it is served by one engine or one of sixteen.
+//!
 //! Adaptive lanes carry the streaming twin of that contract: events
 //! (submissions and feedback) are applied **strictly in submission order**
 //! through the serial [`crate::OnlineLearner`] rule, so verdicts *and* the
@@ -86,6 +98,10 @@
 //! # }
 //! ```
 
+pub mod admission;
+pub mod shard;
+pub mod timer;
+
 use crate::detector::{Detector, DetectorInfo, OnlineDetector, Verdict};
 use crate::regeneration::{DriftMonitor, DriftMonitorConfig};
 use crate::CyberHdError;
@@ -114,6 +130,25 @@ pub enum ServeError {
         tenant: String,
         /// The configured queue capacity.
         capacity: usize,
+        /// Queued work (pending flows plus uncollected verdicts) at the
+        /// moment the submission was rejected.
+        depth: usize,
+        /// How long the caller should wait before retrying — the engine's
+        /// `max_delay`, i.e. the latest point by which the queue is
+        /// guaranteed to have been offered a flush.
+        retry_hint: Duration,
+    },
+    /// The submission was **deterministically shed** by admission control
+    /// (tenant quota exhausted, or the shard is over its overload
+    /// watermark for this tenant's priority) before touching any queue.
+    /// Unlike [`ServeError::Backpressure`] this is a policy decision, not
+    /// a full buffer: draining tickets will not help, waiting will.
+    Shed {
+        /// Tenant whose submission was shed.
+        tenant: String,
+        /// How long the caller should wait before retrying (time until
+        /// the next quota token, or one flush cadence under overload).
+        retry_hint: Duration,
     },
     /// The submitted record failed schema validation (or another detector
     /// error); the flow was **not** enqueued.
@@ -149,8 +184,15 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownTenant(tenant) => write!(f, "unknown tenant {tenant:?}"),
             ServeError::UnknownTicket => write!(f, "unknown or already-taken ticket"),
-            ServeError::Backpressure { tenant, capacity } => {
-                write!(f, "tenant {tenant:?} queue is full ({capacity} flows); drain tickets")
+            ServeError::Backpressure { tenant, capacity, depth, retry_hint } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} queue is full ({depth}/{capacity} flows); drain tickets \
+                     or retry in {retry_hint:?}"
+                )
+            }
+            ServeError::Shed { tenant, retry_hint } => {
+                write!(f, "tenant {tenant:?} submission shed by admission control; retry in {retry_hint:?}")
             }
             ServeError::Rejected(e) => write!(f, "flow rejected: {e}"),
             ServeError::IncompatibleSwap(what) => write!(f, "incompatible hot-swap: {what}"),
@@ -550,6 +592,11 @@ pub struct ServeStats {
     pub p99_latency: Duration,
     /// Worst observed submit→verdict latency.
     pub max_latency: Duration,
+    /// The full submit→verdict latency histogram the percentiles above
+    /// were read from — carried in the snapshot so stats from different
+    /// lanes (or shards) can be folded together without losing percentile
+    /// fidelity ([`ServeStats::merge`], [`LatencyHistogram::merge`]).
+    pub latency: LatencyHistogram,
 }
 
 impl ServeStats {
@@ -559,6 +606,39 @@ impl ServeStats {
             return 0.0;
         }
         self.flows_served as f64 / self.batches as f64
+    }
+
+    /// Folds `other` into this snapshot — the cross-lane / cross-shard
+    /// aggregation behind [`shard::ShardedServeEngine::fleet_stats`].
+    ///
+    /// Counters add, the batch-size and latency histograms merge
+    /// bucket-wise, and the latency summary fields (mean/p50/p99/max) are
+    /// recomputed from the merged histogram, so aggregated percentiles
+    /// are exactly what a single lane observing the union of both latency
+    /// streams would have reported.  `detector_version` is kept only when
+    /// both sides agree (a fleet of mixed versions reports `0`).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.flows_submitted += other.flows_submitted;
+        self.flows_served += other.flows_served;
+        self.rejected += other.rejected;
+        self.queue_depth += other.queue_depth;
+        self.uncollected += other.uncollected;
+        self.batches += other.batches;
+        if self.detector_version != other.detector_version {
+            self.detector_version = 0;
+        }
+        for &(size, count) in &other.batch_size_histogram {
+            match self.batch_size_histogram.iter_mut().find(|(s, _)| *s == size) {
+                Some((_, own)) => *own += count,
+                None => self.batch_size_histogram.push((size, count)),
+            }
+        }
+        self.batch_size_histogram.sort_unstable_by_key(|&(size, _)| size);
+        self.latency.merge(&other.latency);
+        self.mean_latency = self.latency.mean();
+        self.p50_latency = self.latency.percentile(0.50);
+        self.p99_latency = self.latency.percentile(0.99);
+        self.max_latency = self.latency.max();
     }
 }
 
@@ -595,6 +675,25 @@ pub struct ServeEngine {
     registry: Arc<DetectorRegistry>,
     config: ServeConfig,
     lanes: RwLock<HashMap<Arc<str>, Arc<Mutex<Lane>>>>,
+    /// Queued work across every lane: pending flows plus uncollected
+    /// verdicts.  Maintained as a lock-free counter so admission control
+    /// ([`admission::AdmissionController`]) can read a shard's occupancy
+    /// without touching the lane map.
+    outstanding: std::sync::atomic::AtomicUsize,
+}
+
+/// What [`ServeEngine::poll_tenant`] found — the deadline wheel's
+/// per-lane verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanePoll {
+    /// The lane's oldest pending flow had waited at least `max_delay`;
+    /// the batch was flushed and this many flows were scored.
+    Flushed(usize),
+    /// The lane has pending flows but the oldest is younger than
+    /// `max_delay`; it becomes due after this long (reschedule hint).
+    Due(Duration),
+    /// Nothing pending (no lane, an evicted lane, or an empty one).
+    Idle,
 }
 
 impl ServeEngine {
@@ -605,7 +704,19 @@ impl ServeEngine {
     /// Returns [`ServeError::InvalidConfig`] for inconsistent watermarks.
     pub fn new(registry: Arc<DetectorRegistry>, config: ServeConfig) -> ServeResult<Self> {
         config.validate()?;
-        Ok(Self { registry, config, lanes: RwLock::new(HashMap::new()) })
+        Ok(Self {
+            registry,
+            config,
+            lanes: RwLock::new(HashMap::new()),
+            outstanding: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// Queued work across every lane of this engine: pending flows plus
+    /// completed-but-uncollected verdicts.  The overload signal admission
+    /// control reads per submission — a relaxed atomic load, no locks.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The registry this engine routes through.
@@ -663,6 +774,20 @@ impl ServeEngine {
     /// * [`ServeError::Rejected`] — record failed schema validation (flow
     ///   dropped, queue intact).
     pub fn submit(&self, tenant: &str, record: &[f32]) -> ServeResult<Ticket> {
+        self.submit_counted(tenant, record).map(|(ticket, _)| ticket)
+    }
+
+    /// [`ServeEngine::submit`], additionally reporting how many flows are
+    /// pending in the tenant's lane **after** this submission (`0` when
+    /// the submission itself filled and flushed the batch).  A sharded
+    /// engine uses the count to schedule exactly one deadline-wheel entry
+    /// per in-flight batch: the flow that takes a lane from empty to
+    /// non-empty (count 1) starts the batch's `max_delay` clock.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit`].
+    pub fn submit_counted(&self, tenant: &str, record: &[f32]) -> ServeResult<(Ticket, usize)> {
         // Re-resolve if an eviction raced between looking the lane up and
         // locking it — enqueueing into an orphaned lane would strand the
         // flow (nothing ever flushes an evicted lane).
@@ -672,7 +797,8 @@ impl ServeEngine {
             if lane.evicted {
                 continue;
             }
-            return self.submit_locked(&mut lane, tenant, record);
+            let ticket = self.submit_locked(&mut lane, tenant, record)?;
+            return Ok((ticket, lane.pending.len()));
         }
     }
 
@@ -690,11 +816,14 @@ impl ServeEngine {
             flush_lane(lane);
         }
 
-        if lane.pending.len() + lane.completed.len() >= self.config.queue_capacity {
+        let depth = lane.pending.len() + lane.completed.len();
+        if depth >= self.config.queue_capacity {
             lane.stats.rejected += 1;
             return Err(ServeError::Backpressure {
                 tenant: tenant.into(),
                 capacity: self.config.queue_capacity,
+                depth,
+                retry_hint: self.config.max_delay,
             });
         }
 
@@ -726,6 +855,7 @@ impl ServeEngine {
         lane.next_seq += 1;
         lane.pending.push(PendingFlow { seq, submitted: Instant::now() });
         lane.stats.flows_submitted += 1;
+        self.outstanding.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 
         if lane.pending.len() >= self.config.max_batch {
             flush_lane(lane);
@@ -799,6 +929,40 @@ impl ServeEngine {
         served
     }
 
+    /// [`ServeEngine::poll`] for a **single** tenant — the targeted form a
+    /// deadline wheel drives when this tenant's batch deadline fires, so a
+    /// timer tick touches one lane instead of scanning the whole map.
+    ///
+    /// Flushes the lane if its oldest pending flow has waited at least
+    /// `max_delay`; otherwise reports how much of the wait remains
+    /// ([`LanePoll::Due`]) so the caller can reschedule.  Like `poll`,
+    /// doubles as housekeeping: a lane whose tenant left the registry is
+    /// evicted and reported [`LanePoll::Idle`].
+    pub fn poll_tenant(&self, tenant: &str) -> LanePoll {
+        if self.registry.generation(tenant).is_none() {
+            self.evict_if_unregistered(tenant);
+            return LanePoll::Idle;
+        }
+        let Some(lane) = self.existing_lane(tenant) else {
+            return LanePoll::Idle;
+        };
+        let mut lane = lane.lock().expect("lane lock");
+        if lane.evicted {
+            return LanePoll::Idle;
+        }
+        match lane.pending.first() {
+            None => LanePoll::Idle,
+            Some(oldest) => {
+                let waited = oldest.submitted.elapsed();
+                if waited >= self.config.max_delay {
+                    LanePoll::Flushed(flush_lane(&mut lane))
+                } else {
+                    LanePoll::Due(self.config.max_delay - waited)
+                }
+            }
+        }
+    }
+
     /// Drops `tenant`'s lane — its reusable buffer, **pending flows and
     /// uncollected verdicts included**; outstanding tickets fail with
     /// [`ServeError::UnknownTenant`] (unregistered) or
@@ -814,7 +978,12 @@ impl ServeEngine {
                 // so no new lookup can hand the orphan out): a submitter
                 // that already holds this Arc re-resolves instead of
                 // enqueueing into a lane nothing will ever flush.
-                lane.lock().expect("lane lock").evicted = true;
+                let mut lane = lane.lock().expect("lane lock");
+                lane.evicted = true;
+                self.outstanding.fetch_sub(
+                    lane.pending.len() + lane.completed.len(),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
                 true
             }
             None => false,
@@ -829,7 +998,12 @@ impl ServeEngine {
         let mut lanes = self.lanes.write().expect("lanes lock");
         if self.registry.generation(tenant).is_none() {
             if let Some(lane) = lanes.remove(tenant) {
-                lane.lock().expect("lane lock").evicted = true;
+                let mut lane = lane.lock().expect("lane lock");
+                lane.evicted = true;
+                self.outstanding.fetch_sub(
+                    lane.pending.len() + lane.completed.len(),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
             }
         }
     }
@@ -894,6 +1068,7 @@ impl ServeEngine {
             return Err(ServeError::UnknownTicket);
         }
         if let Some(verdict) = lane.completed.remove(&ticket.seq) {
+            self.outstanding.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(Some(verdict));
         }
         if lane.pending.iter().any(|p| p.seq == ticket.seq) {
@@ -918,11 +1093,14 @@ impl ServeEngine {
             return Err(ServeError::UnknownTicket);
         }
         if let Some(verdict) = lane.completed.remove(&ticket.seq) {
+            self.outstanding.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(verdict);
         }
         if lane.pending.iter().any(|p| p.seq == ticket.seq) {
             flush_lane(&mut lane);
-            return lane.completed.remove(&ticket.seq).ok_or(ServeError::UnknownTicket);
+            let verdict = lane.completed.remove(&ticket.seq).ok_or(ServeError::UnknownTicket)?;
+            self.outstanding.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(verdict);
         }
         Err(ServeError::UnknownTicket)
     }
@@ -954,12 +1132,20 @@ impl ServeEngine {
             p50_latency: stats.latency.percentile(0.50),
             p99_latency: stats.latency.percentile(0.99),
             max_latency: stats.latency.max(),
+            latency: stats.latency.clone(),
         })
     }
 
     /// Every lane currently known to the engine.
     fn snapshot_lanes(&self) -> Vec<Arc<Mutex<Lane>>> {
         self.lanes.read().expect("lanes lock").values().map(Arc::clone).collect()
+    }
+
+    /// Tenant ids with serving state on this engine (the stats fan-out
+    /// key set — distinct from [`DetectorRegistry::tenants`], which lists
+    /// registrations whether or not they ever submitted).
+    fn lane_keys(&self) -> Vec<Arc<str>> {
+        self.lanes.read().expect("lanes lock").keys().map(Arc::clone).collect()
     }
 }
 
@@ -1443,11 +1629,14 @@ impl AdaptiveLane {
                 ))));
             }
         }
-        if inner.queue.len() + inner.completed.len() >= self.config.queue_capacity {
+        let depth = inner.queue.len() + inner.completed.len();
+        if depth >= self.config.queue_capacity {
             inner.stats.rejected += 1;
             return Err(ServeError::Backpressure {
                 tenant: self.tenant.as_ref().into(),
                 capacity: self.config.queue_capacity,
+                depth,
+                retry_hint: self.config.max_delay,
             });
         }
         let seq = inner.next_seq;
@@ -1499,11 +1688,14 @@ impl AdaptiveLane {
         if !inner.retained.contains_key(&ticket.seq) {
             return Err(self.classify_feedback_miss(&inner, ticket.seq));
         }
-        if inner.queue.len() + inner.completed.len() >= self.config.queue_capacity {
+        let depth = inner.queue.len() + inner.completed.len();
+        if depth >= self.config.queue_capacity {
             inner.stats.rejected += 1;
             return Err(ServeError::Backpressure {
                 tenant: self.tenant.as_ref().into(),
                 capacity: self.config.queue_capacity,
+                depth,
+                retry_hint: self.config.max_delay,
             });
         }
         let record = inner.retained.remove(&ticket.seq).expect("checked above");
@@ -2286,8 +2478,17 @@ mod tests {
 
     #[test]
     fn error_display_and_sources_are_informative() {
-        let e = ServeError::Backpressure { tenant: "t".into(), capacity: 8 };
+        let e = ServeError::Backpressure {
+            tenant: "t".into(),
+            capacity: 8,
+            depth: 8,
+            retry_hint: Duration::from_millis(2),
+        };
         assert!(e.to_string().contains("full"));
+        assert!(e.to_string().contains("8/8"));
+        assert!(e.source().is_none());
+        let e = ServeError::Shed { tenant: "t".into(), retry_hint: Duration::from_millis(1) };
+        assert!(e.to_string().contains("shed"));
         assert!(e.source().is_none());
         let e = ServeError::Rejected(CyberHdError::InvalidData("x".into()));
         assert!(e.source().is_some());

@@ -470,6 +470,87 @@ mod tests {
     }
 
     #[test]
+    fn merged_histograms_equal_a_single_histogram_of_the_union() {
+        // The cross-shard aggregation contract: merging per-shard
+        // histograms must be indistinguishable from one histogram that
+        // observed every latency itself — bucket counts, count, mean,
+        // max and every percentile.
+        let shard_a: Vec<u64> = (1..=500).map(|us| us * 1000).collect(); // 1..=500 us
+        let shard_b: Vec<u64> = (501..=1000).map(|us| us * 1000).collect(); // 501..=1000 us
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for &ns in &shard_a {
+            a.record(Duration::from_nanos(ns));
+            union.record(Duration::from_nanos(ns));
+        }
+        for &ns in &shard_b {
+            b.record(Duration::from_nanos(ns));
+            union.record(Duration::from_nanos(ns));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.mean(), union.mean());
+        assert_eq!(a.max(), union.max());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), union.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_exact_bucket_boundaries() {
+        // Values that straddle the linear→geometric switch (16 ns) and
+        // octave boundaries must land in the same buckets whether they
+        // were recorded directly or arrived via merge: record each
+        // boundary value into its own histogram, merge them all, and
+        // compare against direct recording.
+        let boundary_ns = [15u64, 16, 17, 31, 32, 33, 127, 128, 129, (1 << 20) - 1, 1 << 20];
+        let mut merged = LatencyHistogram::new();
+        let mut direct = LatencyHistogram::new();
+        for &ns in &boundary_ns {
+            let mut single = LatencyHistogram::new();
+            single.record(Duration::from_nanos(ns));
+            merged.merge(&single);
+            direct.record(Duration::from_nanos(ns));
+        }
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.max(), direct.max());
+        for (i, _) in boundary_ns.iter().enumerate() {
+            let q = (i + 1) as f64 / boundary_ns.len() as f64;
+            assert_eq!(merged.percentile(q), direct.percentile(q), "rank {}", i + 1);
+        }
+        // Below the linear cutoff merged values stay exact.
+        assert_eq!(merged.percentile(1.0 / boundary_ns.len() as f64), Duration::from_nanos(15));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_on_percentiles() {
+        let mk = |values: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &us in values {
+                h.record(Duration::from_micros(us));
+            }
+            h
+        };
+        let (x, y, z) = (mk(&[1, 10, 100]), mk(&[5, 50, 500]), mk(&[2, 20, 200, 2000]));
+        // (x + y) + z
+        let mut left = x.clone();
+        left.merge(&y);
+        left.merge(&z);
+        // x + (z + y)
+        let mut right_inner = z.clone();
+        right_inner.merge(&y);
+        let mut right = x.clone();
+        right.merge(&right_inner);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.mean(), right.mean());
+        assert_eq!(left.max(), right.max());
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            assert_eq!(left.percentile(q), right.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
     fn geometric_mean_behaves() {
         assert_eq!(geometric_mean(&[]), None);
         assert_eq!(geometric_mean(&[1.0, -2.0]), None);

@@ -62,6 +62,15 @@ pub fn engine_threads() -> usize {
     }
 }
 
+/// The machine's available parallelism, independent of the `parallel`
+/// feature and the `CYBERHD_THREADS` override — the sizing signal for
+/// things that scale with *hardware* rather than with the engine's worker
+/// pool (default shard counts, bench scaling assertions that only hold on
+/// multi-core hosts).  Always at least 1.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Runs `kernel` over every chunk of `out`, each chunk paired with its row
 /// range, fanning out across at most `threads` scoped workers.
 ///
@@ -215,6 +224,11 @@ mod tests {
     #[test]
     fn engine_threads_is_at_least_one() {
         assert!(engine_threads() >= 1);
+    }
+
+    #[test]
+    fn available_cores_is_at_least_one() {
+        assert!(available_cores() >= 1);
     }
 
     fn run_sum_kernel(rows: usize, chunk_rows: usize, threads: usize) -> Vec<f32> {

@@ -10,7 +10,9 @@
 //! * [`cyberhd`] — the CyberHD learner (adaptive training + dimension
 //!   regeneration), the static baselineHD, the streaming learner, the
 //!   sealed `Detector` artifact and the `cyberhd::serve` micro-batching
-//!   serving engine (multi-tenant registry, hot-swap, tickets),
+//!   serving engine (multi-tenant registry, hot-swap, tickets, and the
+//!   sharded many-tenant engine with deadline-wheel flushing and
+//!   admission control),
 //! * [`nids_data`] — NSL-KDD / UNSW-NB15 / CIC-IDS-2017 / CIC-IDS-2018
 //!   schemas, synthetic traffic generators, CSV loaders, preprocessing and
 //!   splitting,
@@ -66,12 +68,13 @@ pub mod prelude {
     pub use baselines::svm::{LinearSvm, SvmConfig};
     pub use baselines::Classifier;
     pub use cyberhd::{
-        AdaptiveConfig, AdaptiveLane, AdaptiveStats, BaselineHd, CyberHdConfig, CyberHdModel,
-        CyberHdTrainer, DetectScratch, Detector, DetectorBuilder, DetectorInfo, DetectorRegistry,
-        DriftMonitor, DriftMonitorConfig, DurableConfig, DurableLane, EncoderKind, OnlineDetector,
-        OnlineLearner, OpenSetDetector, OpenSetPrediction, QuantizedModel, RecoveryReport,
-        ScoringBackend, ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, TrainingBatch,
-        Verdict,
+        AdaptiveConfig, AdaptiveLane, AdaptiveStats, AdmissionConfig, AdmissionController,
+        AdmissionStats, BaselineHd, CyberHdConfig, CyberHdModel, CyberHdTrainer, DeadlineWheel,
+        DetectScratch, Detector, DetectorBuilder, DetectorInfo, DetectorRegistry, DriftMonitor,
+        DriftMonitorConfig, DurableConfig, DurableLane, EncoderKind, LanePoll, OnlineDetector,
+        OnlineLearner, OpenSetDetector, OpenSetPrediction, Priority, QuantizedModel,
+        RecoveryReport, ScoringBackend, ServeConfig, ServeEngine, ServeError, ServeStats,
+        ShardConfig, ShardedServeEngine, TenantQuota, Ticket, TrainingBatch, Verdict,
     };
     pub use eval::detection::{DetectionCounts, RocCurve};
     pub use eval::metrics::{accuracy, ConfusionMatrix};

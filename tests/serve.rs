@@ -233,10 +233,19 @@ fn backpressure_rejects_at_capacity_and_drains_back_to_health() {
     let tickets: Vec<Ticket> =
         data.records()[..8].iter().map(|r| engine.submit("edge", r).unwrap()).collect();
     let err = engine.submit("edge", &data.records()[8]).unwrap_err();
-    assert!(
-        matches!(err, ServeError::Backpressure { capacity: 8, .. }),
-        "ninth submission must push back, got {err:?}"
-    );
+    match &err {
+        ServeError::Backpressure { tenant, capacity, depth, retry_hint } => {
+            assert_eq!(tenant, "edge");
+            assert_eq!(*capacity, 8);
+            assert_eq!(*depth, 8, "the error reports the live occupancy at rejection time");
+            assert_eq!(
+                *retry_hint,
+                engine.config().max_delay,
+                "the retry hint is the flush cadence: one max_delay from now the queue has moved"
+            );
+        }
+        other => panic!("ninth submission must push back, got {other:?}"),
+    }
     let stats = engine.stats("edge").unwrap();
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.uncollected, 8);
@@ -246,6 +255,14 @@ fn backpressure_rejects_at_capacity_and_drains_back_to_health() {
     let oracle = detector.detect_batch(&data.records()[..8]).unwrap();
     assert_eq!(engine.take(&tickets[0]).unwrap(), oracle[0]);
     let refill = engine.submit("edge", &data.records()[8]).unwrap();
+    // The rejected submission was issued no ticket and consumed no
+    // sequence number: the first accepted retry continues exactly where
+    // the eighth accepted flow left off.
+    assert_eq!(
+        refill.seq(),
+        tickets[7].seq() + 1,
+        "a backpressured submission must not burn a sequence slot"
+    );
     assert_eq!(
         engine.take(&refill).unwrap(),
         detector.detect_batch(&data.records()[8..9]).unwrap()[0]
