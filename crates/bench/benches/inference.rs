@@ -21,11 +21,13 @@
 use bench::reference::{predict_b1_encode_then_quantize, predict_dense_per_class_scoring};
 use bench::{env_usize, prepare_dataset, snapshot, timed_pass};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cyberhd::CyberHdTrainer;
+use cyberhd::{CyberHdTrainer, Detector, DetectorBuilder, EncoderKind};
 use eval::timing::ThroughputReport;
-use hdc::parallel::engine_threads;
+use hdc::parallel::{available_cores, engine_threads};
 use hdc::BitWidth;
-use nids_data::DatasetKind;
+use nids_data::datasets::{language_id, tabular_zoo};
+use nids_data::synth::SyntheticConfig;
+use nids_data::{Dataset, DatasetKind};
 use std::hint::black_box;
 
 fn bench_single_flow(c: &mut Criterion) {
@@ -258,6 +260,52 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
     println!("  kernel dot roofline utilization ({isa}): {kernel_dot_util:.2}");
     println!("  kernel hamming roofline utilization ({isa}): {kernel_ham_util:.2}");
 
+    // Workload-zoo arms: end-to-end `detect_batch` throughput of the
+    // symbolic encoders (raw records → preprocessing → n-gram /
+    // symbol-record encode → scoring), dense and 1-bit, on the sealed
+    // Detector path the zoo examples deploy.  Scale via
+    // `CYBERHD_BENCH_ZOO_SAMPLES` / `CYBERHD_BENCH_ZOO_DIM`.
+    let zoo_samples = env_usize("CYBERHD_BENCH_ZOO_SAMPLES", 4_000);
+    let zoo_dim = env_usize("CYBERHD_BENCH_ZOO_DIM", 2_048);
+    let zoo_train = 1_200.min(zoo_samples.max(200));
+    let zoo_arm = |builder: &DetectorBuilder, train: &Dataset, live: &[Vec<f32>]| {
+        let detector = builder.train(train).expect("zoo training succeeds");
+        timed_pass(live.len(), reps, || detector.detect_batch(live).unwrap()).0
+    };
+    let cycle_records = |train: &Dataset| -> Vec<Vec<f32>> {
+        train.records().iter().cycle().take(zoo_samples).cloned().collect()
+    };
+    let lang_train = language_id::generate(zoo_train, 91).expect("language corpus");
+    let lang_live = cycle_records(&lang_train);
+    let lang_builder = Detector::builder()
+        .encoder(EncoderKind::NGram)
+        .ngram_order(3)
+        .dimension(zoo_dim)
+        .retrain_epochs(1)
+        .regeneration_rate(0.0)
+        .seed(0xB00C);
+    let zoo_lang_dense = zoo_arm(&lang_builder, &lang_train, &lang_live);
+    let zoo_lang_b1 =
+        zoo_arm(&lang_builder.clone().quantize(BitWidth::B1), &lang_train, &lang_live);
+    let tab_train =
+        tabular_zoo::generate(&SyntheticConfig::new(zoo_train, 92)).expect("tabular corpus");
+    let tab_live = cycle_records(&tab_train);
+    let tab_builder = Detector::builder()
+        .encoder(EncoderKind::SymbolRecord)
+        .dimension(zoo_dim)
+        .id_level_levels(16)
+        .retrain_epochs(1)
+        .regeneration_rate(0.0)
+        .seed(0xB00D);
+    let zoo_tab_dense = zoo_arm(&tab_builder, &tab_train, &tab_live);
+    let zoo_tab_b1 = zoo_arm(&tab_builder.clone().quantize(BitWidth::B1), &tab_train, &tab_live);
+    println!("  zoo language-id dense   : {zoo_lang_dense}");
+    println!("  zoo language-id 1-bit   : {zoo_lang_b1}");
+    println!("  zoo tabular dense       : {zoo_tab_dense}");
+    println!("  zoo tabular 1-bit       : {zoo_tab_b1}");
+    println!("  zoo lang 1-bit-vs-dense : {:.2}x", zoo_lang_b1.speedup_over(&zoo_lang_dense));
+    println!("  zoo tab  1-bit-vs-dense : {:.2}x", zoo_tab_b1.speedup_over(&zoo_tab_dense));
+
     let arms = vec![
         snapshot::Arm::new("kernel_dot_scalar", kernel_dot_scalar),
         snapshot::Arm::new("kernel_dot_dispatched", kernel_dot_dispatched),
@@ -270,6 +318,10 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         snapshot::Arm::new("b1_serial", serial_q),
         snapshot::Arm::new("b1_batched_prefused", prefused_q),
         snapshot::Arm::new("b1_fused_sign_encode", fused_q),
+        snapshot::Arm::new("zoo_language_id_dense", zoo_lang_dense),
+        snapshot::Arm::new("zoo_language_id_b1", zoo_lang_b1),
+        snapshot::Arm::new("zoo_tabular_dense", zoo_tab_dense),
+        snapshot::Arm::new("zoo_tabular_b1", zoo_tab_b1),
     ];
     let speedups = vec![
         ("kernel_dot_dispatched_vs_scalar", kernel_dot_dispatched.speedup_over(&kernel_dot_scalar)),
@@ -285,6 +337,8 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         ("b1_batched_vs_serial", prefused_q.speedup_over(&serial_q)),
         ("b1_fused_vs_batched", fused_q.speedup_over(&prefused_q)),
         ("b1_fused_vs_serial", fused_q.speedup_over(&serial_q)),
+        ("zoo_language_id_b1_vs_dense", zoo_lang_b1.speedup_over(&zoo_lang_dense)),
+        ("zoo_tabular_b1_vs_dense", zoo_tab_b1.speedup_over(&zoo_tab_dense)),
     ];
     let params = [
         ("dim", dim as f64),
@@ -292,6 +346,9 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
         ("samples", samples as f64),
         ("reps", reps as f64),
         ("threads", engine_threads() as f64),
+        ("available_cores", available_cores() as f64),
+        ("zoo_dim", zoo_dim as f64),
+        ("zoo_samples", zoo_samples as f64),
     ];
     let labels = [("kernel_isa", isa)];
     match snapshot::write("BENCH_infer.json", "inference", &labels, &params, &arms, &speedups) {

@@ -175,9 +175,11 @@ fn bench_recovery(c: &mut Criterion) {
         ("events", events as f64),
         ("reps", reps as f64),
         ("max_batch", adaptive.max_batch as f64),
+        ("available_cores", hdc::parallel::available_cores() as f64),
     ];
     params.extend(extra_params.iter().map(|(k, v)| (k.as_str(), *v)));
-    match snapshot::write("BENCH_recover.json", "recover", &[], &params, &arms, &speedups) {
+    let labels = [("kernel_isa", hdc::kernel::active().isa())];
+    match snapshot::write("BENCH_recover.json", "recover", &labels, &params, &arms, &speedups) {
         Ok(path) => println!("  snapshot: {}", path.display()),
         Err(err) => eprintln!("  snapshot write failed: {err}"),
     }

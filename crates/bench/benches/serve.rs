@@ -424,10 +424,12 @@ fn bench_serve(c: &mut Criterion) {
         ("samples", samples as f64),
         ("reps", reps as f64),
         ("threads", engine_threads() as f64),
+        ("available_cores", available_cores() as f64),
         ("max_batch", ServeConfig::default().max_batch as f64),
     ];
     params.extend(extra_params.iter().map(|(k, v)| (k.as_str(), *v)));
-    match snapshot::write("BENCH_serve.json", "serve", &[], &params, &arms, &speedups) {
+    let labels = [("kernel_isa", hdc::kernel::active().isa())];
+    match snapshot::write("BENCH_serve.json", "serve", &labels, &params, &arms, &speedups) {
         Ok(path) => println!("  snapshot: {}", path.display()),
         Err(err) => eprintln!("  snapshot write failed: {err}"),
     }

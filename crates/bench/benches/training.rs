@@ -22,7 +22,7 @@ use bench::{env_usize, prepare_dataset, snapshot, ExperimentScale};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyberhd::{CyberHdConfig, CyberHdTrainer, TrainingBatch};
 use eval::ThroughputReport;
-use hdc::parallel::engine_threads;
+use hdc::parallel::{available_cores, engine_threads};
 use nids_data::DatasetKind;
 use std::hint::black_box;
 
@@ -157,9 +157,11 @@ fn bench_minibatch_vs_serial(c: &mut Criterion) {
         ("epochs", epochs as f64),
         ("batch_size", batch as f64),
         ("threads", threads as f64),
+        ("available_cores", available_cores() as f64),
         ("reps", reps as f64),
     ];
-    match snapshot::write("BENCH_train.json", "training", &[], &params, &arms, &speedups) {
+    let labels = [("kernel_isa", hdc::kernel::active().isa())];
+    match snapshot::write("BENCH_train.json", "training", &labels, &params, &arms, &speedups) {
         Ok(path) => println!("  snapshot: {}", path.display()),
         Err(err) => eprintln!("  snapshot write failed: {err}"),
     }

@@ -19,9 +19,12 @@
 //! flaky trend.
 
 use cyberhd::serve::{AdaptiveConfig, AdaptiveLane, AdaptiveStats, ServeConfig, ServeEngine};
-use cyberhd::{Detector, DetectorRegistry, DriftMonitorConfig, Verdict};
+use cyberhd::{
+    Detector, DetectorBuilder, DetectorRegistry, DriftMonitorConfig, EncoderKind, Verdict,
+};
+use nids_data::datasets::language_id;
 use nids_data::drift::{DriftPhase, DriftStream};
-use nids_data::DatasetKind;
+use nids_data::{Dataset, DatasetKind};
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::Duration;
@@ -140,6 +143,106 @@ pub fn canonical_scenarios(kind: DatasetKind) -> Vec<ScenarioSpec> {
     vec![abrupt_shift(kind), gradual_drift(kind), class_surge(kind), zero_day(kind)]
 }
 
+/// A scenario whose corpora are already materialized: a named training
+/// dataset, a phased live stream and a fully configured detector builder.
+///
+/// [`replay`] materializes one of these from a [`ScenarioSpec`] (the
+/// `DatasetKind` class-profile path); workloads whose traffic does not
+/// come from the NIDS generators — e.g. the symbolic workload zoo — build
+/// one directly ([`zoo_vocab_shift`], [`zoo_unseen_language`]) and hand it
+/// to [`replay_prepared`].
+#[derive(Debug, Clone)]
+pub struct PreparedScenario {
+    /// Scenario name (used in reports and snapshot arms).
+    pub name: String,
+    /// Training corpus the sealed artifact is built from.
+    pub train: Dataset,
+    /// The phased live stream replayed through both lanes.
+    pub live: DriftStream,
+    /// Detector shape (encoder, dimensionality, open-set calibration,
+    /// seed, ...), ready to train on `train`.
+    pub builder: DetectorBuilder,
+    /// Index of the phase whose tail is the drift-recovery window.
+    pub post_drift_phase: usize,
+}
+
+/// Vocabulary shift on the language-ID zoo workload: five phases ramp
+/// every language's character-transition statistics from the training
+/// chains toward an independently seeded drifted set — gradual
+/// *distribution* drift (the class mix never changes), the regime where a
+/// frozen n-gram profile quietly rots while prequential feedback lets the
+/// adaptive lane track the moving vocabulary.
+///
+/// # Errors
+///
+/// Propagates corpus generation and stream assembly errors.
+pub fn zoo_vocab_shift(
+    train_samples: usize,
+    dimension: usize,
+    seed: u64,
+) -> Result<PreparedScenario, Box<dyn std::error::Error>> {
+    let train = language_id::generate(train_samples, seed ^ 0xA11CE)?;
+    let phases: Vec<Dataset> = [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &shift)| language_id::generate_shifted(240, shift, seed.wrapping_add(i as u64)))
+        .collect::<Result<_, _>>()?;
+    Ok(PreparedScenario {
+        name: "zoo_vocab_shift".into(),
+        train,
+        live: DriftStream::from_phase_datasets(&phases)?,
+        builder: zoo_language_builder(dimension, seed),
+        post_drift_phase: 4,
+    })
+}
+
+/// Unseen-language zero-day on the language-ID zoo workload: the held-out
+/// ninth language is structurally absent from training and the calm
+/// phase, then erupts to roughly half the traffic.  Open-set thresholds
+/// give the drift monitor its label-free novelty signal; the n-gram
+/// encoder cannot regenerate, so recovery must come from the adaptive
+/// lane's online rule alone.
+///
+/// # Errors
+///
+/// Propagates corpus generation and stream assembly errors.
+pub fn zoo_unseen_language(
+    train_samples: usize,
+    dimension: usize,
+    seed: u64,
+) -> Result<PreparedScenario, Box<dyn std::error::Error>> {
+    let train = language_id::generate(train_samples, seed ^ 0xA11CE)?;
+    let calm = language_id::generate(300, seed.wrapping_add(1))?;
+    // Eight seen languages at weight 1.0 each + the novel one at 8.0 ≈
+    // half the surge-phase traffic.
+    let surge = language_id::generate_mix(
+        900,
+        &language_id::zero_day_weights(8.0),
+        0.0,
+        seed.wrapping_add(2),
+    )?;
+    Ok(PreparedScenario {
+        name: "zoo_unseen_language".into(),
+        train,
+        live: DriftStream::from_phase_datasets(&[calm, surge])?,
+        builder: zoo_language_builder(dimension, seed).open_set(0.05),
+        post_drift_phase: 1,
+    })
+}
+
+/// The zoo language-ID detector shape: trigram bind-permute-bundle
+/// encoding, no regeneration (symbolic item memories are not
+/// variance-droppable).
+fn zoo_language_builder(dimension: usize, seed: u64) -> DetectorBuilder {
+    Detector::builder()
+        .encoder(EncoderKind::NGram)
+        .ngram_order(3)
+        .dimension(dimension)
+        .retrain_epochs(2)
+        .regeneration_rate(0.0)
+        .seed(seed)
+}
+
 /// Knobs of one replay run.
 #[derive(Debug, Clone)]
 pub struct ReplayConfig {
@@ -255,8 +358,10 @@ impl ScenarioOutcome {
     }
 }
 
-/// Replays one scenario through the frozen and adaptive serving stacks in
-/// lock-step (see the [module docs](self)).
+/// Replays one [`ScenarioSpec`] through the frozen and adaptive serving
+/// stacks in lock-step (see the [module docs](self)): materializes the
+/// training corpus, detector builder and live stream from the spec's
+/// `DatasetKind` generators, then defers to [`replay_prepared`].
 ///
 /// # Errors
 ///
@@ -281,10 +386,36 @@ pub fn replay(
     if spec.open_set {
         builder = builder.open_set(config.open_set_quantile);
     }
-    let detector = builder.train(train.dataset())?;
-
-    // The live stream.
     let live = DriftStream::generate(&schema, &profiles, &spec.phases, config.seed)?;
+    replay_prepared(
+        &PreparedScenario {
+            name: spec.name.clone(),
+            train: train.dataset().clone(),
+            live,
+            builder,
+            post_drift_phase: spec.post_drift_phase,
+        },
+        config,
+    )
+}
+
+/// The replay core: trains the prepared builder on the prepared corpus
+/// and drives both serving lanes over the prepared stream.  Only the
+/// serving-side knobs of [`ReplayConfig`] apply here (`monitor`,
+/// `flush_every`, `feedback_every`, `feedback_delay`, `recovery_tail`);
+/// the corpus/builder fields were consumed when the scenario was
+/// materialized.
+///
+/// # Errors
+///
+/// Propagates training and serving errors as a boxed error so harnesses
+/// can `?` them.
+pub fn replay_prepared(
+    scenario: &PreparedScenario,
+    config: &ReplayConfig,
+) -> Result<ScenarioOutcome, Box<dyn std::error::Error>> {
+    let detector = scenario.builder.train(&scenario.train)?;
+    let live = &scenario.live;
     let flows = live.len();
     let labels: Vec<usize> = live.dataset().labels().to_vec();
     let phase_ranges: Vec<Range<usize>> =
@@ -374,7 +505,7 @@ pub fn replay(
         });
 
     // Recovery window: the tail of the post-drift phase.
-    let post = phase_ranges[spec.post_drift_phase.min(phase_ranges.len() - 1)].clone();
+    let post = phase_ranges[scenario.post_drift_phase.min(phase_ranges.len() - 1)].clone();
     let tail = ((post.len() as f64) * config.recovery_tail.clamp(0.0, 1.0)).round() as usize;
     let recovery_window = post.end - tail.max(1).min(post.len())..post.end;
     let frozen_recovery_accuracy =
@@ -383,7 +514,7 @@ pub fn replay(
         ScenarioOutcome::window_accuracy(&adaptive_verdicts, &labels, recovery_window.clone());
 
     Ok(ScenarioOutcome {
-        name: spec.name.clone(),
+        name: scenario.name.clone(),
         flows,
         labels,
         frozen_verdicts,
@@ -417,6 +548,26 @@ mod tests {
                 assert_eq!(spec.train_mix.class_weight_multipliers.len(), classes);
             }
         }
+    }
+
+    #[test]
+    fn zoo_scenarios_are_well_formed() {
+        let vocab = zoo_vocab_shift(200, 128, 9).unwrap();
+        assert_eq!(vocab.live.num_phases(), 5);
+        assert_eq!(vocab.live.len(), 5 * 240);
+        assert_eq!(vocab.post_drift_phase, 4);
+        assert_eq!(vocab.train.schema().name(), vocab.live.dataset().schema().name());
+
+        let zero = zoo_unseen_language(200, 128, 9).unwrap();
+        assert_eq!(zero.live.num_phases(), 2);
+        let labels = zero.live.dataset().labels();
+        // The held-out language is structurally absent before the surge…
+        let calm = zero.live.phase_range(0).unwrap();
+        assert!(calm.clone().all(|i| labels[i] != language_id::NOVEL_LANGUAGE));
+        // …and roughly half the traffic afterwards.
+        let surge = zero.live.phase_range(1).unwrap();
+        let novel = surge.clone().filter(|&i| labels[i] == language_id::NOVEL_LANGUAGE).count();
+        assert!(novel * 3 >= surge.len(), "novel language must dominate the surge: {novel}");
     }
 
     #[test]

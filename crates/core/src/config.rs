@@ -21,12 +21,25 @@ pub enum EncoderKind {
     /// Static record-based (linear random projection) encoder
     /// (no regeneration support).
     Record,
+    /// Bind-permute-bundle n-gram sequence encoder over a symbol alphabet
+    /// (the workload-zoo language-ID path; no regeneration support).
+    NGram,
+    /// Symbolic record encoder for mixed categorical/numeric tabular rows
+    /// (no regeneration support).
+    SymbolRecord,
 }
 
 impl EncoderKind {
     /// Whether this encoder supports per-dimension regeneration.
     pub fn supports_regeneration(self) -> bool {
         matches!(self, EncoderKind::Rbf)
+    }
+
+    /// Whether this encoder consumes symbol indices (categorical features
+    /// kept as raw indices by `Normalization::Symbolic`) rather than dense
+    /// numeric vectors.
+    pub fn is_symbolic(self) -> bool {
+        matches!(self, EncoderKind::NGram | EncoderKind::SymbolRecord)
     }
 }
 
@@ -94,9 +107,19 @@ pub struct CyberHdConfig {
     pub encoder: EncoderKind,
     /// Gaussian bandwidth of the RBF encoder (ignored by other encoders).
     pub rbf_sigma: f32,
-    /// Number of quantization levels of the ID–level encoder (ignored by
-    /// other encoders).
+    /// Number of quantization levels of the ID–level encoder, also used as
+    /// the numeric-column level count of the symbol-record encoder (ignored
+    /// by other encoders).
     pub id_level_levels: usize,
+    /// N-gram order of the [`EncoderKind::NGram`] encoder (ignored by other
+    /// encoders).
+    pub ngram_order: usize,
+    /// Per-column symbol alphabet sizes of the symbolic encoders: for
+    /// [`EncoderKind::NGram`] exactly one entry (the shared alphabet of
+    /// every sequence position); for [`EncoderKind::SymbolRecord`] one
+    /// entry per input feature (`0` marks a numeric column).  Empty for the
+    /// numeric encoders.
+    pub symbol_alphabets: Vec<usize>,
     /// RNG seed governing base-vector generation, shuffling and
     /// regeneration.
     pub seed: u64,
@@ -139,6 +162,8 @@ pub struct CyberHdConfigBuilder {
     encoder: EncoderKind,
     rbf_sigma: f32,
     id_level_levels: usize,
+    ngram_order: usize,
+    symbol_alphabets: Vec<usize>,
     seed: u64,
     encode_threads: usize,
     batch: TrainingBatch,
@@ -156,6 +181,8 @@ impl CyberHdConfigBuilder {
             encoder: EncoderKind::Rbf,
             rbf_sigma: 1.0,
             id_level_levels: 32,
+            ngram_order: 3,
+            symbol_alphabets: Vec::new(),
             seed: 0x5EED,
             encode_threads: 1,
             batch: TrainingBatch::SERIAL,
@@ -199,9 +226,23 @@ impl CyberHdConfigBuilder {
         self
     }
 
-    /// Sets the number of quantization levels of the ID–level encoder.
+    /// Sets the number of quantization levels of the ID–level encoder
+    /// (also the numeric-column level count of the symbol-record encoder).
     pub fn id_level_levels(mut self, id_level_levels: usize) -> Self {
         self.id_level_levels = id_level_levels;
+        self
+    }
+
+    /// Sets the n-gram order of the [`EncoderKind::NGram`] encoder.
+    pub fn ngram_order(mut self, ngram_order: usize) -> Self {
+        self.ngram_order = ngram_order;
+        self
+    }
+
+    /// Sets the per-column symbol alphabet sizes of the symbolic encoders
+    /// (see [`CyberHdConfig::symbol_alphabets`]).
+    pub fn symbol_alphabets(mut self, symbol_alphabets: Vec<usize>) -> Self {
+        self.symbol_alphabets = symbol_alphabets;
         self
     }
 
@@ -291,6 +332,32 @@ impl CyberHdConfigBuilder {
                 "training batch size must be at least 1".into(),
             ));
         }
+        match self.encoder {
+            EncoderKind::NGram => {
+                if self.ngram_order == 0 || self.ngram_order > self.input_features {
+                    return Err(CyberHdError::InvalidConfig(format!(
+                        "ngram_order must lie in [1, {}] (the sequence length), got {}",
+                        self.input_features, self.ngram_order
+                    )));
+                }
+                if self.symbol_alphabets.len() != 1 || self.symbol_alphabets[0] < 2 {
+                    return Err(CyberHdError::InvalidConfig(format!(
+                        "the NGram encoder needs exactly one shared alphabet size of at \
+                         least 2 in symbol_alphabets, got {:?}",
+                        self.symbol_alphabets
+                    )));
+                }
+            }
+            EncoderKind::SymbolRecord if self.symbol_alphabets.len() != self.input_features => {
+                return Err(CyberHdError::InvalidConfig(format!(
+                    "the SymbolRecord encoder needs one alphabet size per input \
+                     feature ({} entries), got {}",
+                    self.input_features,
+                    self.symbol_alphabets.len()
+                )));
+            }
+            _ => {}
+        }
         Ok(CyberHdConfig {
             input_features: self.input_features,
             num_classes: self.num_classes,
@@ -301,6 +368,8 @@ impl CyberHdConfigBuilder {
             encoder: self.encoder,
             rbf_sigma: self.rbf_sigma,
             id_level_levels: self.id_level_levels,
+            ngram_order: self.ngram_order,
+            symbol_alphabets: self.symbol_alphabets,
             seed: self.seed,
             encode_threads: self.encode_threads,
             batch: self.batch,

@@ -548,6 +548,7 @@ pub struct DetectorBuilder {
     encoder: EncoderKind,
     rbf_sigma: f32,
     id_level_levels: usize,
+    ngram_order: usize,
     seed: u64,
     encode_threads: usize,
     batch: TrainingBatch,
@@ -567,6 +568,7 @@ impl Default for DetectorBuilder {
             encoder: EncoderKind::Rbf,
             rbf_sigma: 1.0,
             id_level_levels: 32,
+            ngram_order: 3,
             seed: 0x5EED,
             encode_threads: 1,
             batch: TrainingBatch::SERIAL,
@@ -621,9 +623,16 @@ impl DetectorBuilder {
         self
     }
 
-    /// Sets the level count of the ID–level encoder.
+    /// Sets the level count of the ID–level encoder (also the
+    /// numeric-column level count of the symbol-record encoder).
     pub fn id_level_levels(mut self, id_level_levels: usize) -> Self {
         self.id_level_levels = id_level_levels;
+        self
+    }
+
+    /// Sets the n-gram order of the [`EncoderKind::NGram`] encoder.
+    pub fn ngram_order(mut self, ngram_order: usize) -> Self {
+        self.ngram_order = ngram_order;
         self
     }
 
@@ -689,7 +698,14 @@ impl DetectorBuilder {
                  combined with {width} quantization; drop one of the two options"
             )));
         }
-        let preprocessor = Preprocessor::fit(dataset, self.normalization)?;
+        // The symbolic encoders consume raw category indices, so they force
+        // the symbolic preprocessing mode regardless of what the builder was
+        // given — a silent one-hot expansion would destroy the symbol
+        // identities the item memories key on.
+        let normalization =
+            if self.encoder.is_symbolic() { Normalization::Symbolic } else { self.normalization };
+        let symbol_alphabets = derive_symbol_alphabets(self.encoder, dataset.schema())?;
+        let preprocessor = Preprocessor::fit(dataset, normalization)?;
         let matrix = preprocessor.transform_matrix(dataset)?;
         let width = preprocessor.output_width();
         let view = BatchView::new(&matrix, width).map_err(CyberHdError::from)?;
@@ -703,6 +719,8 @@ impl DetectorBuilder {
             .encoder(self.encoder)
             .rbf_sigma(self.rbf_sigma)
             .id_level_levels(self.id_level_levels)
+            .ngram_order(self.ngram_order)
+            .symbol_alphabets(symbol_alphabets)
             .seed(self.seed)
             .encode_threads(self.encode_threads)
             .training_batch(self.batch)
@@ -738,6 +756,52 @@ impl DetectorBuilder {
             (None, None) => Box::new(DenseBackend::new(model)),
         };
         Ok(Detector::from_parts(preprocessor, config, backend))
+    }
+}
+
+/// Derives the `symbol_alphabets` configuration of the symbolic encoders
+/// from a dataset schema: for [`EncoderKind::NGram`] the single shared
+/// alphabet (every feature must be categorical with the same cardinality);
+/// for [`EncoderKind::SymbolRecord`] one entry per feature (`0` marking
+/// numeric columns).  Numeric encoders get an empty vector.
+fn derive_symbol_alphabets(encoder: EncoderKind, schema: &Schema) -> Result<Vec<usize>> {
+    use nids_data::FeatureKind;
+    match encoder {
+        EncoderKind::NGram => {
+            let mut shared: Option<usize> = None;
+            for feature in schema.features() {
+                let FeatureKind::Categorical { values } = &feature.kind else {
+                    return Err(CyberHdError::InvalidConfig(format!(
+                        "the NGram encoder needs an all-categorical sequence schema, but \
+                         feature {:?} is numeric",
+                        feature.name
+                    )));
+                };
+                match shared {
+                    None => shared = Some(values.len()),
+                    Some(alphabet) if alphabet != values.len() => {
+                        return Err(CyberHdError::InvalidConfig(format!(
+                            "the NGram encoder needs one shared alphabet, but feature {:?} \
+                             has {} symbols where earlier positions have {alphabet}",
+                            feature.name,
+                            values.len()
+                        )));
+                    }
+                    Some(_) => {}
+                }
+            }
+            let alphabet = shared.expect("schemas always have at least one feature");
+            Ok(vec![alphabet])
+        }
+        EncoderKind::SymbolRecord => Ok(schema
+            .features()
+            .iter()
+            .map(|feature| match &feature.kind {
+                FeatureKind::Categorical { values } => values.len(),
+                FeatureKind::Numeric { .. } => 0,
+            })
+            .collect()),
+        _ => Ok(Vec::new()),
     }
 }
 
@@ -1193,7 +1257,18 @@ fn write_config(w: &mut Writer, config: &CyberHdConfig) {
         EncoderKind::Rbf => 0,
         EncoderKind::IdLevel => 1,
         EncoderKind::Record => 2,
+        EncoderKind::NGram => 3,
+        EncoderKind::SymbolRecord => 4,
     });
+    // The symbolic fields only exist for tags >= 3, keeping every artifact
+    // written before the workload zoo byte-identical.
+    if config.encoder.is_symbolic() {
+        w.usize(config.ngram_order);
+        w.usize(config.symbol_alphabets.len());
+        for &alphabet in &config.symbol_alphabets {
+            w.usize(alphabet);
+        }
+    }
     w.f32(config.rbf_sigma);
     w.usize(config.id_level_levels);
     w.u64(config.seed);
@@ -1213,7 +1288,20 @@ fn read_config(r: &mut Reader<'_>) -> CodecResult<CyberHdConfig> {
         0 => EncoderKind::Rbf,
         1 => EncoderKind::IdLevel,
         2 => EncoderKind::Record,
+        3 => EncoderKind::NGram,
+        4 => EncoderKind::SymbolRecord,
         tag => return Err(CodecError::Invalid(format!("encoder-kind tag {tag}"))),
+    };
+    let (ngram_order, symbol_alphabets) = if encoder.is_symbolic() {
+        let order = r.usize()?;
+        let len = r.usize()?;
+        let mut alphabets = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            alphabets.push(r.usize()?);
+        }
+        (order, alphabets)
+    } else {
+        (3, Vec::new())
     };
     let rbf_sigma = r.f32()?;
     let id_level_levels = r.usize()?;
@@ -1228,6 +1316,8 @@ fn read_config(r: &mut Reader<'_>) -> CodecResult<CyberHdConfig> {
         .encoder(encoder)
         .rbf_sigma(rbf_sigma)
         .id_level_levels(id_level_levels)
+        .ngram_order(ngram_order)
+        .symbol_alphabets(symbol_alphabets)
         .seed(seed)
         .encode_threads(encode_threads)
         .training_batch(batch)

@@ -11,7 +11,9 @@ use crate::regeneration::RegenerationStats;
 use crate::{CyberHdError, Result};
 use eval::metrics::ConfusionMatrix;
 use hdc::codec::{CodecError, CodecResult, Reader, Writer};
-use hdc::encoder::{Encoder, IdLevelEncoder, RbfEncoder, RecordEncoder};
+use hdc::encoder::{
+    Encoder, IdLevelEncoder, NGramEncoder, RbfEncoder, RecordEncoder, SymbolRecordEncoder,
+};
 use hdc::{AssociativeMemory, BatchView, BitWidth, Hypervector};
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +29,10 @@ pub enum AnyEncoder {
     IdLevel(IdLevelEncoder),
     /// Static record-based encoder.
     Record(RecordEncoder),
+    /// Bind-permute-bundle n-gram sequence encoder.
+    NGram(NGramEncoder),
+    /// Symbolic record encoder for mixed categorical/numeric rows.
+    SymbolRecord(SymbolRecordEncoder),
 }
 
 impl AnyEncoder {
@@ -50,6 +56,19 @@ impl AnyEncoder {
                 config.dimension,
                 config.seed,
             )?),
+            EncoderKind::NGram => AnyEncoder::NGram(NGramEncoder::new(
+                config.input_features,
+                config.symbol_alphabets[0],
+                config.ngram_order,
+                config.dimension,
+                config.seed,
+            )?),
+            EncoderKind::SymbolRecord => AnyEncoder::SymbolRecord(SymbolRecordEncoder::new(
+                &config.symbol_alphabets,
+                config.dimension,
+                config.id_level_levels,
+                config.seed,
+            )?),
         })
     }
 
@@ -59,6 +78,8 @@ impl AnyEncoder {
             AnyEncoder::Rbf(_) => EncoderKind::Rbf,
             AnyEncoder::IdLevel(_) => EncoderKind::IdLevel,
             AnyEncoder::Record(_) => EncoderKind::Record,
+            AnyEncoder::NGram(_) => EncoderKind::NGram,
+            AnyEncoder::SymbolRecord(_) => EncoderKind::SymbolRecord,
         }
     }
 
@@ -72,6 +93,8 @@ impl AnyEncoder {
             AnyEncoder::Rbf(e) => e.encode(features)?,
             AnyEncoder::IdLevel(e) => e.encode(features)?,
             AnyEncoder::Record(e) => e.encode(features)?,
+            AnyEncoder::NGram(e) => e.encode(features)?,
+            AnyEncoder::SymbolRecord(e) => e.encode(features)?,
         };
         Ok(hv)
     }
@@ -118,6 +141,14 @@ impl AnyEncoder {
                 w.u8(2);
                 e.write_to(w);
             }
+            AnyEncoder::NGram(e) => {
+                w.u8(3);
+                e.write_to(w);
+            }
+            AnyEncoder::SymbolRecord(e) => {
+                w.u8(4);
+                e.write_to(w);
+            }
         }
     }
 
@@ -132,6 +163,8 @@ impl AnyEncoder {
             0 => Ok(AnyEncoder::Rbf(RbfEncoder::read_from(r)?)),
             1 => Ok(AnyEncoder::IdLevel(IdLevelEncoder::read_from(r)?)),
             2 => Ok(AnyEncoder::Record(RecordEncoder::read_from(r)?)),
+            3 => Ok(AnyEncoder::NGram(NGramEncoder::read_from(r)?)),
+            4 => Ok(AnyEncoder::SymbolRecord(SymbolRecordEncoder::read_from(r)?)),
             tag => Err(CodecError::Invalid(format!("encoder tag {tag}"))),
         }
     }
@@ -146,6 +179,8 @@ impl Encoder for AnyEncoder {
             AnyEncoder::Rbf(e) => e.input_features(),
             AnyEncoder::IdLevel(e) => e.input_features(),
             AnyEncoder::Record(e) => e.input_features(),
+            AnyEncoder::NGram(e) => e.input_features(),
+            AnyEncoder::SymbolRecord(e) => e.input_features(),
         }
     }
 
@@ -154,6 +189,8 @@ impl Encoder for AnyEncoder {
             AnyEncoder::Rbf(e) => e.output_dim(),
             AnyEncoder::IdLevel(e) => e.output_dim(),
             AnyEncoder::Record(e) => e.output_dim(),
+            AnyEncoder::NGram(e) => e.output_dim(),
+            AnyEncoder::SymbolRecord(e) => e.output_dim(),
         }
     }
 
@@ -162,6 +199,8 @@ impl Encoder for AnyEncoder {
             AnyEncoder::Rbf(e) => e.encode_into(features, out),
             AnyEncoder::IdLevel(e) => e.encode_into(features, out),
             AnyEncoder::Record(e) => e.encode_into(features, out),
+            AnyEncoder::NGram(e) => e.encode_into(features, out),
+            AnyEncoder::SymbolRecord(e) => e.encode_into(features, out),
         }
     }
 
@@ -170,6 +209,8 @@ impl Encoder for AnyEncoder {
             AnyEncoder::Rbf(e) => e.encode_batch_into(batch, out),
             AnyEncoder::IdLevel(e) => e.encode_batch_into(batch, out),
             AnyEncoder::Record(e) => e.encode_batch_into(batch, out),
+            AnyEncoder::NGram(e) => e.encode_batch_into(batch, out),
+            AnyEncoder::SymbolRecord(e) => e.encode_batch_into(batch, out),
         }
     }
 
@@ -183,6 +224,8 @@ impl Encoder for AnyEncoder {
             AnyEncoder::Rbf(e) => e.encode_signs_into(batch, words, zero_rows),
             AnyEncoder::IdLevel(e) => e.encode_signs_into(batch, words, zero_rows),
             AnyEncoder::Record(e) => e.encode_signs_into(batch, words, zero_rows),
+            AnyEncoder::NGram(e) => e.encode_signs_into(batch, words, zero_rows),
+            AnyEncoder::SymbolRecord(e) => e.encode_signs_into(batch, words, zero_rows),
         }
     }
 }
@@ -468,6 +511,75 @@ mod tests {
             assert_eq!(hv.dim(), 64);
             assert_eq!(encoder.as_rbf().is_some(), kind == EncoderKind::Rbf);
         }
+    }
+
+    #[test]
+    fn any_encoder_dispatches_the_symbolic_kinds() {
+        let ngram_config = CyberHdConfig::builder(6, 2)
+            .dimension(64)
+            .encoder(EncoderKind::NGram)
+            .ngram_order(2)
+            .symbol_alphabets(vec![5])
+            .regeneration_rate(0.0)
+            .seed(2)
+            .build()
+            .unwrap();
+        let encoder = AnyEncoder::from_config(&ngram_config).unwrap();
+        assert_eq!(encoder.kind(), EncoderKind::NGram);
+        assert_eq!(encoder.input_features(), 6);
+        assert_eq!(encoder.output_dim(), 64);
+        assert_eq!(encoder.encode(&[0.0, 1.0, 2.0, 3.0, 4.0, 0.0]).unwrap().dim(), 64);
+        assert!(encoder.encode(&[0.0, 1.0, 2.0, 3.0, 4.0, 9.0]).is_err(), "symbol range");
+
+        let record_config = CyberHdConfig::builder(3, 2)
+            .dimension(64)
+            .encoder(EncoderKind::SymbolRecord)
+            .symbol_alphabets(vec![4, 0, 2])
+            .regeneration_rate(0.0)
+            .seed(2)
+            .build()
+            .unwrap();
+        let encoder = AnyEncoder::from_config(&record_config).unwrap();
+        assert_eq!(encoder.kind(), EncoderKind::SymbolRecord);
+        assert_eq!(encoder.encode(&[3.0, 0.5, 1.0]).unwrap().dim(), 64);
+
+        // Persistence round-trips through the tagged codec.
+        for config in [&ngram_config, &record_config] {
+            let original = AnyEncoder::from_config(config).unwrap();
+            let mut w = Writer::new();
+            original.write_to(&mut w);
+            let bytes = w.into_bytes();
+            let back = AnyEncoder::read_from(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(back.kind(), original.kind());
+            let mut again = Writer::new();
+            back.write_to(&mut again);
+            assert_eq!(again.into_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn symbolic_configs_validate_their_alphabets() {
+        let base =
+            || CyberHdConfig::builder(6, 2).encoder(EncoderKind::NGram).regeneration_rate(0.0);
+        assert!(base().symbol_alphabets(vec![5]).build().is_ok());
+        assert!(base().build().is_err(), "missing alphabet");
+        assert!(base().symbol_alphabets(vec![1]).build().is_err(), "degenerate alphabet");
+        assert!(base().symbol_alphabets(vec![5, 5]).build().is_err(), "one shared entry only");
+        assert!(base().symbol_alphabets(vec![5]).ngram_order(0).build().is_err());
+        assert!(base().symbol_alphabets(vec![5]).ngram_order(7).build().is_err(), "order > len");
+        assert!(
+            base().symbol_alphabets(vec![5]).regeneration_rate(0.1).build().is_err(),
+            "symbolic encoders cannot regenerate"
+        );
+        let record = || {
+            CyberHdConfig::builder(3, 2).encoder(EncoderKind::SymbolRecord).regeneration_rate(0.0)
+        };
+        assert!(record().symbol_alphabets(vec![4, 0, 2]).build().is_ok());
+        assert!(record().symbol_alphabets(vec![4, 0]).build().is_err(), "arity mismatch");
+        assert!(!EncoderKind::NGram.supports_regeneration());
+        assert!(!EncoderKind::SymbolRecord.supports_regeneration());
+        assert!(EncoderKind::NGram.is_symbolic() && EncoderKind::SymbolRecord.is_symbolic());
+        assert!(!EncoderKind::Rbf.is_symbolic());
     }
 
     #[test]

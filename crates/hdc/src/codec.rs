@@ -191,6 +191,14 @@ impl Writer {
             self.f64(v);
         }
     }
+
+    /// Writes a length-prefixed `u64` slice (packed hypervector words).
+    pub fn u64_slice(&mut self, values: &[u64]) {
+        self.usize(values.len());
+        for &v in values {
+            self.u64(v);
+        }
+    }
 }
 
 /// Reads little-endian fields from a byte slice, in write order.
@@ -357,6 +365,17 @@ impl<'a> Reader<'a> {
         (0..len).map(|_| self.f64()).collect()
     }
 
+    /// Reads a length-prefixed `u64` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] on a short stream.
+    pub fn u64_vec(&mut self) -> CodecResult<Vec<u64>> {
+        let len = self.usize()?;
+        self.sized(len, 8)?;
+        (0..len).map(|_| self.u64()).collect()
+    }
+
     /// Guards vector reads against corrupted length prefixes: a declared
     /// length whose payload cannot possibly fit the remaining bytes fails
     /// up front instead of allocating `len` elements first.
@@ -430,11 +449,13 @@ mod tests {
         w.f32_slice(&[1.0, -2.5, 0.0]);
         w.i32_slice(&[-1, 0, 7]);
         w.f64_slice(&[f64::MIN_POSITIVE]);
+        w.u64_slice(&[u64::MAX, 0, 0xDEAD_BEEF_CAFE_F00D]);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.f32_vec().unwrap(), vec![1.0, -2.5, 0.0]);
         assert_eq!(r.i32_vec().unwrap(), vec![-1, 0, 7]);
         assert_eq!(r.f64_vec().unwrap(), vec![f64::MIN_POSITIVE]);
+        assert_eq!(r.u64_vec().unwrap(), vec![u64::MAX, 0, 0xDEAD_BEEF_CAFE_F00D]);
     }
 
     #[test]

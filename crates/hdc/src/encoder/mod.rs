@@ -21,10 +21,12 @@
 mod id_level;
 mod rbf;
 mod record;
+mod symbolic;
 
 pub use id_level::IdLevelEncoder;
 pub use rbf::RbfEncoder;
 pub use record::RecordEncoder;
+pub use symbolic::{ItemMemory, NGramEncoder, SymbolRecordEncoder};
 
 use crate::batch::BatchView;
 use crate::dense::Hypervector;

@@ -74,7 +74,10 @@ pub mod wal;
 pub use batch::{BatchBuffer, BatchView};
 pub use binary::BinaryHypervector;
 pub use dense::Hypervector;
-pub use encoder::{Encoder, IdLevelEncoder, RbfEncoder, RecordEncoder};
+pub use encoder::{
+    Encoder, IdLevelEncoder, ItemMemory, NGramEncoder, RbfEncoder, RecordEncoder,
+    SymbolRecordEncoder,
+};
 pub use kernel::Kernels;
 pub use memory::AssociativeMemory;
 pub use quant::{BitWidth, QuantizedHypervector};

@@ -1,0 +1,293 @@
+//! Synthetic multi-language character corpus for the language-ID workload.
+//!
+//! This is the first symbolic member of the workload zoo: sequences of
+//! character symbols, not numeric flow measurements.  Each "language" is a
+//! seeded first-order Markov chain over a 27-symbol alphabet (`a`–`z` plus
+//! word space) with its own sparse preferred-successor structure, so the
+//! languages have genuinely distinct bigram/trigram statistics — exactly
+//! the signal the n-gram encoder keys on — while remaining fully
+//! deterministic per seed, like [`crate::synth`] is for flows.
+//!
+//! The schema carries [`NUM_LANGUAGES`] classes but only the first
+//! [`NUM_SEEN`] are meant to appear in training corpora; the last class
+//! ([`NOVEL_LANGUAGE`]) is a held-out language for zero-day experiments —
+//! it only ever shows up in drift phases built with explicit weights.
+//! Vocabulary drift is modelled by [`generate_shifted`]: each language's
+//! transition structure interpolates toward an alternative seeded variant,
+//! which gradually reshapes its n-gram statistics without changing labels.
+
+use crate::dataset::Dataset;
+use crate::schema::{FeatureKind, FeatureSpec, Schema};
+use crate::synth::Sampler;
+use crate::{DataError, Result};
+
+/// Symbols per position: `a`–`z` plus the word space `_`.
+pub const ALPHABET: usize = 27;
+
+/// Characters per sequence (one record = one fixed-length text snippet).
+pub const SEQUENCE_LEN: usize = 64;
+
+/// Languages present in training corpora.
+pub const NUM_SEEN: usize = 8;
+
+/// Total languages in the schema, including the held-out zero-day one.
+pub const NUM_LANGUAGES: usize = 9;
+
+/// Class index of the held-out language (never in [`generate`] output).
+pub const NOVEL_LANGUAGE: usize = NUM_SEEN;
+
+/// Salt decorrelating the language chains from the flow generators.
+const SALT: u64 = 0x4C41_4E47;
+
+/// Salt for the drifted variant of each language's transition structure.
+const DRIFT_SALT: u64 = 0x4452_4654;
+
+/// Preferred successors per symbol; the sparsity that gives each language
+/// its recognizable n-gram signature.
+const PREFERRED: usize = 3;
+
+/// Weight of a preferred successor relative to the background mass.
+const PREFERRED_WEIGHT: f64 = 6.0;
+
+/// Background weight of a non-preferred successor.
+const BACKGROUND_WEIGHT: f64 = 0.25;
+
+/// The corpus schema: [`SEQUENCE_LEN`] categorical character positions over
+/// the shared alphabet, one class per language.
+pub fn schema() -> Schema {
+    let letters: Vec<String> = (0..ALPHABET)
+        .map(|s| if s < 26 { ((b'a' + s as u8) as char).to_string() } else { "_".into() })
+        .collect();
+    let features = (0..SEQUENCE_LEN)
+        .map(|i| {
+            FeatureSpec::new(format!("char_{i:02}"), FeatureKind::categorical(letters.clone()))
+        })
+        .collect();
+    let classes = (0..NUM_LANGUAGES)
+        .map(|l| if l == NOVEL_LANGUAGE { "lang-zeta".into() } else { format!("lang-{l:02}") })
+        .collect();
+    Schema::new("zoo-language-id", features, classes).expect("static schema is valid")
+}
+
+/// The unnormalized first-order transition weights of one language,
+/// `weights[s * ALPHABET + t]` being the weight of successor `t` after
+/// symbol `s`.  Pure in `(language, salt)`.
+fn transition_weights(language: usize, salt: u64) -> Vec<f64> {
+    let mut sampler = Sampler::new(salt ^ SALT.wrapping_add((language as u64 + 1) * 0x9E37));
+    let mut weights = vec![BACKGROUND_WEIGHT; ALPHABET * ALPHABET];
+    for s in 0..ALPHABET {
+        let row = &mut weights[s * ALPHABET..(s + 1) * ALPHABET];
+        let mut strength = PREFERRED_WEIGHT;
+        for _ in 0..PREFERRED {
+            row[sampler.index(ALPHABET)] += strength;
+            strength *= 0.6;
+        }
+    }
+    weights
+}
+
+/// The effective transition weights of `language` at drift position
+/// `shift` ∈ `[0, 1]`: a linear blend between the base structure and a
+/// drifted variant with independently chosen preferred successors.
+fn blended_weights(language: usize, shift: f64) -> Vec<f64> {
+    let base = transition_weights(language, 0);
+    if shift <= 0.0 {
+        return base;
+    }
+    let drifted = transition_weights(language, DRIFT_SALT);
+    base.iter().zip(&drifted).map(|(&b, &d)| (1.0 - shift) * b + shift * d).collect()
+}
+
+/// Generates `samples` sequences mixing languages by `weights` (one weight
+/// per schema class; zero removes a language), with the per-language
+/// transition structures drifted by `shift` ∈ `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] for zero samples, a weight
+/// vector of the wrong arity or with non-positive total, or a `shift`
+/// outside `[0, 1]`.
+pub fn generate_mix(samples: usize, weights: &[f64], shift: f64, seed: u64) -> Result<Dataset> {
+    if samples == 0 {
+        return Err(DataError::InvalidArgument("samples must be non-zero".into()));
+    }
+    if weights.len() != NUM_LANGUAGES {
+        return Err(DataError::InvalidArgument(format!(
+            "{} language weights supplied for {NUM_LANGUAGES} languages",
+            weights.len()
+        )));
+    }
+    if weights.iter().any(|&w| !(w.is_finite() && w >= 0.0)) || weights.iter().sum::<f64>() <= 0.0 {
+        return Err(DataError::InvalidArgument(
+            "language weights must be non-negative with a positive total".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&shift) {
+        return Err(DataError::InvalidArgument(format!(
+            "vocabulary shift must lie in [0, 1], got {shift}"
+        )));
+    }
+    let chains: Vec<Vec<f64>> =
+        (0..NUM_LANGUAGES).map(|language| blended_weights(language, shift)).collect();
+    let mut sampler = Sampler::new(seed ^ SALT);
+    let mut dataset = Dataset::empty(schema());
+    for _ in 0..samples {
+        let language = sampler.categorical(weights);
+        let chain = &chains[language];
+        let mut record = Vec::with_capacity(SEQUENCE_LEN);
+        let mut symbol = sampler.index(ALPHABET);
+        record.push(symbol as f32);
+        for _ in 1..SEQUENCE_LEN {
+            symbol = sampler.categorical(&chain[symbol * ALPHABET..(symbol + 1) * ALPHABET]);
+            record.push(symbol as f32);
+        }
+        dataset.push(record, language)?;
+    }
+    Ok(dataset)
+}
+
+/// Generates a balanced corpus over the [`NUM_SEEN`] training languages
+/// (the held-out language never appears).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] for zero samples.
+pub fn generate(samples: usize, seed: u64) -> Result<Dataset> {
+    generate_mix(samples, &seen_weights(), 0.0, seed)
+}
+
+/// [`generate`] with the transition structures drifted by `shift` — the
+/// gradual "vocabulary shift" side of the zoo drift scenarios.
+///
+/// # Errors
+///
+/// Same as [`generate_mix`].
+pub fn generate_shifted(samples: usize, shift: f64, seed: u64) -> Result<Dataset> {
+    generate_mix(samples, &seen_weights(), shift, seed)
+}
+
+/// Uniform weights over the seen languages, zero for the held-out one.
+pub fn seen_weights() -> Vec<f64> {
+    let mut weights = vec![1.0; NUM_LANGUAGES];
+    weights[NOVEL_LANGUAGE] = 0.0;
+    weights
+}
+
+/// Weights for a zero-day phase: the seen mix plus the held-out language
+/// surging to `novel_weight` of a seen language's share.
+pub fn zero_day_weights(novel_weight: f64) -> Vec<f64> {
+    let mut weights = vec![1.0; NUM_LANGUAGES];
+    weights[NOVEL_LANGUAGE] = novel_weight;
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_the_advertised_shape() {
+        let s = schema();
+        assert_eq!(s.num_features(), SEQUENCE_LEN);
+        assert_eq!(s.num_classes(), NUM_LANGUAGES);
+        assert!(s.features().iter().all(
+            |f| matches!(&f.kind, FeatureKind::Categorical { values } if values.len() == ALPHABET)
+        ));
+        assert_eq!(s.classes()[NOVEL_LANGUAGE], "lang-zeta");
+    }
+
+    #[test]
+    fn corpora_are_deterministic_per_seed() {
+        let a = generate(200, 7).unwrap();
+        let b = generate(200, 7).unwrap();
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.labels(), b.labels());
+        let c = generate(200, 8).unwrap();
+        assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn training_corpora_exclude_the_held_out_language_but_cover_the_rest() {
+        let corpus = generate(4000, 3).unwrap();
+        let counts = corpus.class_counts();
+        assert_eq!(counts[NOVEL_LANGUAGE], 0, "zero-day language must stay held out");
+        assert!(
+            counts[..NUM_SEEN].iter().all(|&c| c > 200),
+            "all seen languages represented: {counts:?}"
+        );
+        for record in corpus.records() {
+            assert!(corpus.schema().validate_record(record).is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_day_weights_admit_the_held_out_language() {
+        let mix = generate_mix(2000, &zero_day_weights(2.0), 0.0, 5).unwrap();
+        assert!(mix.class_counts()[NOVEL_LANGUAGE] > 100);
+    }
+
+    #[test]
+    fn languages_have_distinct_bigram_statistics() {
+        // Count bigram histograms per language; distinct chains should give
+        // clearly different top-bigram sets.
+        let corpus = generate(2400, 11).unwrap();
+        let mut histograms = vec![vec![0u32; ALPHABET * ALPHABET]; NUM_SEEN];
+        for (record, &label) in corpus.records().iter().zip(corpus.labels()) {
+            for pair in record.windows(2) {
+                histograms[label][pair[0] as usize * ALPHABET + pair[1] as usize] += 1;
+            }
+        }
+        for a in 0..NUM_SEEN {
+            for b in (a + 1)..NUM_SEEN {
+                let (ha, hb) = (&histograms[a], &histograms[b]);
+                let (norm_a, norm_b) =
+                    (ha.iter().sum::<u32>() as f64, hb.iter().sum::<u32>() as f64);
+                let overlap: f64 = ha
+                    .iter()
+                    .zip(hb)
+                    .map(|(&x, &y)| (x as f64 / norm_a).min(y as f64 / norm_b))
+                    .sum();
+                assert!(
+                    overlap < 0.75,
+                    "languages {a}/{b} share {overlap:.2} of their bigram mass"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vocabulary_shift_changes_the_statistics_gradually() {
+        let bigrams = |d: &Dataset| {
+            let mut h = vec![0u64; ALPHABET * ALPHABET];
+            for record in d.records() {
+                for pair in record.windows(2) {
+                    h[pair[0] as usize * ALPHABET + pair[1] as usize] += 1;
+                }
+            }
+            h
+        };
+        let distance = |x: &[u64], y: &[u64]| {
+            let (nx, ny) = (x.iter().sum::<u64>() as f64, y.iter().sum::<u64>() as f64);
+            x.iter().zip(y).map(|(&a, &b)| (a as f64 / nx - b as f64 / ny).abs()).sum::<f64>()
+        };
+        let base = bigrams(&generate_shifted(1500, 0.0, 2).unwrap());
+        let mild = bigrams(&generate_shifted(1500, 0.3, 2).unwrap());
+        let strong = bigrams(&generate_shifted(1500, 1.0, 2).unwrap());
+        let d_mild = distance(&base, &mild);
+        let d_strong = distance(&base, &strong);
+        assert!(
+            d_strong > d_mild,
+            "a full shift ({d_strong:.3}) must move further than a mild one ({d_mild:.3})"
+        );
+        assert!(d_strong > 0.1, "a full shift must visibly reshape the statistics");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(generate(0, 0).is_err());
+        assert!(generate_mix(10, &[1.0; 3], 0.0, 0).is_err(), "wrong arity");
+        assert!(generate_mix(10, &[0.0; NUM_LANGUAGES], 0.0, 0).is_err(), "zero total");
+        assert!(generate_mix(10, &[-1.0; NUM_LANGUAGES], 0.0, 0).is_err(), "negative");
+        assert!(generate_mix(10, &seen_weights(), 1.5, 0).is_err(), "shift out of range");
+    }
+}

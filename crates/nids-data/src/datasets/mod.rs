@@ -1,14 +1,21 @@
-//! The four intrusion-detection datasets used by the CyberHD evaluation.
+//! The four intrusion-detection datasets used by the CyberHD evaluation,
+//! plus the multi-domain workload zoo.
 //!
-//! Each submodule describes one corpus: its full feature schema (matching the
-//! official documentation), its attack-class taxonomy mapped onto the
-//! behaviour templates of [`crate::traffic`], and the class prevalences used
-//! when generating synthetic stand-ins.  [`DatasetKind`] is the uniform
-//! entry point the experiment harnesses use.
+//! Each NIDS submodule describes one corpus: its full feature schema
+//! (matching the official documentation), its attack-class taxonomy mapped
+//! onto the behaviour templates of [`crate::traffic`], and the class
+//! prevalences used when generating synthetic stand-ins.  [`DatasetKind`]
+//! is the uniform entry point the experiment harnesses use; it
+//! intentionally stays the four paper corpora.  The zoo workloads —
+//! [`language_id`] (symbolic character sequences) and [`tabular_zoo`]
+//! (census-shaped mixed tabular) — live beside them as standalone
+//! generators proving the stack is domain-generic.
 
 pub mod cic_ids_2017;
 pub mod cic_ids_2018;
+pub mod language_id;
 pub mod nsl_kdd;
+pub mod tabular_zoo;
 pub mod unsw_nb15;
 
 use crate::dataset::Dataset;

@@ -1,0 +1,217 @@
+//! Census-shaped mixed categorical/numeric tabular workload.
+//!
+//! The second member of the workload zoo: an adult/wine-shaped tabular
+//! classification task whose schema mixes numeric measurements with
+//! genuinely symbolic columns (occupation, region, …).  Unlike the
+//! language corpus this workload reuses the class-conditional Gaussian +
+//! categorical sampler of [`crate::synth`] end to end — the point is not a
+//! new generator but a schema that exercises `hdc::SymbolRecordEncoder`'s
+//! mixed binding (random item vectors for category symbols, level ladders
+//! for numerics) against the same training/serving stack the NIDS
+//! datasets run on.
+//!
+//! Class profiles are derived deterministically from a salt: each income
+//! band shifts every numeric mean along the feature range and concentrates
+//! every categorical distribution on a band-specific preferred symbol, so
+//! the four bands are well separable yet overlapping enough to be
+//! non-trivial.
+
+use crate::dataset::Dataset;
+use crate::schema::{FeatureKind, FeatureSpec, Schema};
+use crate::synth::{generate as synth_generate, ClassProfile, Sampler, SyntheticConfig};
+use crate::Result;
+
+/// Salt decorrelating the zoo profiles from the NIDS datasets.
+const SALT: u64 = 0x5A4F_4F54;
+
+/// Relative prevalence of the four income bands.
+const BAND_WEIGHTS: [f64; 4] = [0.40, 0.30, 0.20, 0.10];
+
+/// The census-shaped schema: 10 features, 6 of them categorical.
+pub fn schema() -> Schema {
+    let features = vec![
+        FeatureSpec::new("age", FeatureKind::numeric(17.0, 90.0)),
+        FeatureSpec::new(
+            "workclass",
+            FeatureKind::categorical([
+                "private", "self-emp", "federal", "state", "local", "unpaid", "never",
+            ]),
+        ),
+        FeatureSpec::new(
+            "education",
+            FeatureKind::categorical([
+                "primary",
+                "secondary",
+                "highschool",
+                "college",
+                "bachelors",
+                "masters",
+                "doctorate",
+                "vocational",
+            ]),
+        ),
+        FeatureSpec::new(
+            "marital_status",
+            FeatureKind::categorical(["single", "married", "divorced", "separated", "widowed"]),
+        ),
+        FeatureSpec::new(
+            "occupation",
+            FeatureKind::categorical([
+                "tech",
+                "craft",
+                "sales",
+                "exec",
+                "clerical",
+                "service",
+                "machine",
+                "transport",
+                "farming",
+                "protective",
+            ]),
+        ),
+        FeatureSpec::new(
+            "relationship",
+            FeatureKind::categorical([
+                "husband",
+                "wife",
+                "own-child",
+                "unmarried",
+                "other-relative",
+                "not-in-family",
+            ]),
+        ),
+        FeatureSpec::new("capital_gain", FeatureKind::numeric(0.0, 10_000.0)),
+        FeatureSpec::new("hours_per_week", FeatureKind::numeric(1.0, 99.0)),
+        FeatureSpec::new(
+            "native_region",
+            FeatureKind::categorical(["north", "south", "east", "west", "central", "overseas"]),
+        ),
+        FeatureSpec::new("dependents", FeatureKind::numeric(0.0, 8.0)),
+    ];
+    let classes = vec!["low".into(), "lower-middle".into(), "upper-middle".into(), "high".into()];
+    Schema::new("zoo-census", features, classes).expect("static schema is valid")
+}
+
+/// Deterministic class profiles for the four income bands.
+pub fn profiles() -> Vec<ClassProfile> {
+    let schema = schema();
+    let n = schema.num_features();
+    let num_classes = schema.num_classes();
+    schema
+        .classes()
+        .iter()
+        .enumerate()
+        .map(|(class, name)| {
+            let mut sampler = Sampler::new(SALT.wrapping_add((class as u64 + 1) * 0x6B43));
+            // Where along each numeric range this band sits, 0 → low end.
+            let band = (class as f64 + 0.5) / num_classes as f64;
+            let mut numeric_means = vec![0.0; n];
+            let mut numeric_stds = vec![0.0; n];
+            let mut categorical_probs = vec![Vec::new(); n];
+            for (i, feature) in schema.features().iter().enumerate() {
+                match &feature.kind {
+                    FeatureKind::Numeric { min, max } => {
+                        let range = max - min;
+                        // Band centre plus a small per-class wobble keeps
+                        // the numeric columns informative but overlapping.
+                        let wobble = 0.08 * (sampler.standard_normal()).clamp(-1.5, 1.5);
+                        numeric_means[i] =
+                            min + range * (0.12 + 0.76 * band + wobble).clamp(0.05, 0.95);
+                        numeric_stds[i] = range * 0.11;
+                    }
+                    FeatureKind::Categorical { values } => {
+                        let k = values.len();
+                        // Concentrate ~70% of the mass on a band-specific
+                        // preferred symbol and a runner-up, uniform rest.
+                        let mut probs = vec![0.3 / k as f64; k];
+                        let preferred = sampler.index(k);
+                        probs[preferred] += 0.5;
+                        probs[sampler.index(k)] += 0.2;
+                        categorical_probs[i] = probs;
+                    }
+                }
+            }
+            ClassProfile {
+                name: name.clone(),
+                weight: BAND_WEIGHTS[class],
+                numeric_means,
+                numeric_stds,
+                categorical_probs,
+            }
+        })
+        .collect()
+}
+
+/// Generates a synthetic census corpus.
+///
+/// # Errors
+///
+/// Returns [`crate::DataError::InvalidArgument`] for an invalid
+/// configuration.
+pub fn generate(config: &SyntheticConfig) -> Result<Dataset> {
+    synth_generate(&schema(), &profiles(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_mixes_numeric_and_categorical_columns() {
+        let s = schema();
+        assert_eq!(s.num_features(), 10);
+        assert_eq!(s.num_classes(), 4);
+        let categorical = s.features().iter().filter(|f| f.kind.is_categorical()).count();
+        assert_eq!(categorical, 6);
+        // One-hot width differs from the raw width — the schema genuinely
+        // has symbolic structure.
+        assert!(s.encoded_width() > s.num_features());
+    }
+
+    #[test]
+    fn profiles_validate_and_cover_every_band() {
+        let s = schema();
+        let p = profiles();
+        assert_eq!(p.len(), s.num_classes());
+        for (profile, class) in p.iter().zip(s.classes()) {
+            assert_eq!(&profile.name, class);
+            profile.validate(&s).unwrap();
+        }
+        // Profiles are deterministic.
+        assert_eq!(profiles(), p);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_imbalanced() {
+        let a = generate(&SyntheticConfig::new(2000, 9)).unwrap();
+        let b = generate(&SyntheticConfig::new(2000, 9)).unwrap();
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.labels(), b.labels());
+        let counts = a.class_counts();
+        assert!(counts.iter().all(|&c| c > 0), "every band appears: {counts:?}");
+        assert!(counts[0] > counts[3], "the low band dominates the high band: {counts:?}");
+        for record in a.records().iter().take(50) {
+            assert!(a.schema().validate_record(record).is_ok());
+        }
+    }
+
+    #[test]
+    fn bands_are_separable_on_numeric_columns() {
+        let corpus = generate(&SyntheticConfig::new(4000, 21)).unwrap();
+        // Mean age should increase monotonically with the band.
+        let mut sums = [0.0f64; 4];
+        let mut counts = vec![0usize; 4];
+        for (record, &label) in corpus.records().iter().zip(corpus.labels()) {
+            sums[label] += record[0] as f64;
+            counts[label] += 1;
+        }
+        let means: Vec<f64> =
+            sums.iter().zip(&counts).map(|(&s, &c)| s / c.max(1) as f64).collect();
+        for band in 1..4 {
+            assert!(
+                means[band] > means[band - 1],
+                "band {band} mean age {means:?} must increase with income"
+            );
+        }
+    }
+}

@@ -132,6 +132,30 @@ impl DriftStream {
         Ok(Self { dataset, phase_starts })
     }
 
+    /// Builds a drift stream from pre-generated per-phase datasets (one
+    /// dataset per phase, concatenated in order).  This is the entry point
+    /// for workloads whose records do not come from the Gaussian
+    /// [`ClassProfile`] sampler — e.g. the symbolic sequence corpora, where
+    /// each phase is produced by a Markov-chain generator — while keeping
+    /// the phase-window replay machinery identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if no phase is given or the
+    /// phases disagree on the schema.
+    pub fn from_phase_datasets(phases: &[Dataset]) -> Result<Self> {
+        let first = phases.first().ok_or_else(|| {
+            DataError::InvalidArgument("a drift stream needs at least one phase".into())
+        })?;
+        let mut dataset = Dataset::empty(first.schema().clone());
+        let mut phase_starts = Vec::with_capacity(phases.len());
+        for phase_data in phases {
+            phase_starts.push(dataset.len());
+            dataset.extend_from(phase_data)?;
+        }
+        Ok(Self { dataset, phase_starts })
+    }
+
     /// The concatenated flows of the whole stream.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
@@ -327,6 +351,26 @@ mod tests {
         assert_eq!(stream.dataset().labels()[range].iter().filter(|&&l| l == 2).count(), 0);
         // The class reappears nowhere else either (phase 1 kept class 1).
         assert!(stream.dataset().labels().iter().any(|&l| l == 1));
+    }
+
+    #[test]
+    fn from_phase_datasets_concatenates_with_exact_boundaries() {
+        let (schema, profiles) = base();
+        let a = crate::synth::generate(&schema, &profiles, &crate::SyntheticConfig::new(120, 1))
+            .unwrap();
+        let b = crate::synth::generate(&schema, &profiles, &crate::SyntheticConfig::new(80, 2))
+            .unwrap();
+        let stream = DriftStream::from_phase_datasets(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(stream.len(), 200);
+        assert_eq!(stream.num_phases(), 2);
+        assert_eq!(stream.phase_range(0).unwrap(), 0..120);
+        assert_eq!(stream.phase_range(1).unwrap(), 120..200);
+        assert_eq!(&stream.dataset().labels()[..120], a.labels());
+        assert_eq!(&stream.dataset().labels()[120..], b.labels());
+        assert!(DriftStream::from_phase_datasets(&[]).is_err());
+        // Mismatched schemas are rejected.
+        let other = Dataset::empty(DatasetKind::UnswNb15.schema());
+        assert!(DriftStream::from_phase_datasets(&[a, other]).is_err());
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub enum Normalization {
     /// Standardize each numeric feature to zero mean and unit variance
     /// (constant columns map to `0.0`).
     ZScore,
+    /// Symbolic passthrough: numeric features are min–max scaled to
+    /// `[0, 1]` as in [`Normalization::MinMax`], but categorical features
+    /// stay **raw category indices** instead of expanding into one-hot
+    /// columns.  This is the input convention of the symbolic encoders
+    /// (`hdc::NGramEncoder`, `hdc::SymbolRecordEncoder`), which map each
+    /// index onto an item-memory hypervector themselves; one-hot expansion
+    /// would destroy the symbol identity they key on.  The output width is
+    /// the raw feature count, not the one-hot expanded width.
+    Symbolic,
 }
 
 /// Per-numeric-feature statistics gathered from the training split.
@@ -92,9 +101,14 @@ impl Preprocessor {
         self.normalization
     }
 
-    /// Width of the produced dense vectors (one-hot expanded).
+    /// Width of the produced dense vectors (one-hot expanded, except under
+    /// [`Normalization::Symbolic`] where categorical features keep one raw
+    /// index column each).
     pub fn output_width(&self) -> usize {
-        self.schema.encoded_width()
+        match self.normalization {
+            Normalization::Symbolic => self.schema.num_features(),
+            _ => self.schema.encoded_width(),
+        }
     }
 
     /// Transforms a single raw record into a dense feature vector.
@@ -136,7 +150,7 @@ impl Preprocessor {
                         .expect("numeric features always have fitted statistics");
                     let v = record[i] as f64;
                     let scaled = match self.normalization {
-                        Normalization::MinMax => {
+                        Normalization::MinMax | Normalization::Symbolic => {
                             let range = stats.max - stats.min;
                             if range <= 0.0 {
                                 0.0
@@ -156,11 +170,16 @@ impl Preprocessor {
                     cursor += 1;
                 }
                 FeatureKind::Categorical { values } => {
-                    let index = record[i] as usize;
-                    let slots = &mut out[cursor..cursor + values.len()];
-                    slots.fill(0.0);
-                    slots[index] = 1.0;
-                    cursor += values.len();
+                    if self.normalization == Normalization::Symbolic {
+                        out[cursor] = record[i];
+                        cursor += 1;
+                    } else {
+                        let index = record[i] as usize;
+                        let slots = &mut out[cursor..cursor + values.len()];
+                        slots.fill(0.0);
+                        slots[index] = 1.0;
+                        cursor += values.len();
+                    }
                 }
             }
         }
@@ -233,6 +252,7 @@ impl Preprocessor {
         w.u8(match self.normalization {
             Normalization::MinMax => 0,
             Normalization::ZScore => 1,
+            Normalization::Symbolic => 2,
         });
         w.usize(self.stats.len());
         for stat in &self.stats {
@@ -260,6 +280,7 @@ impl Preprocessor {
         let normalization = match r.u8()? {
             0 => Normalization::MinMax,
             1 => Normalization::ZScore,
+            2 => Normalization::Symbolic,
             tag => return Err(CodecError::Invalid(format!("normalization tag {tag}"))),
         };
         let n = r.usize()?;
@@ -355,6 +376,21 @@ mod tests {
     }
 
     #[test]
+    fn symbolic_keeps_raw_category_indices_and_scales_numerics() {
+        let d = dataset();
+        let p = Preprocessor::fit(&d, Normalization::Symbolic).unwrap();
+        // Raw feature count, not one-hot expanded width.
+        assert_eq!(p.output_width(), 3);
+        let x = p.transform(&d).unwrap();
+        // Record 2: x = 100 -> 1.0 (min-max); proto icmp stays index 2.
+        assert_eq!(x[2], vec![1.0, 2.0, 0.0]);
+        // Record 1: x = 50 -> 0.5; proto udp stays index 1.
+        assert_eq!(x[1], vec![0.5, 1.0, 0.0]);
+        // Invalid category indices are still rejected by schema validation.
+        assert!(p.transform_record(&[1.0, 9.0, 0.5]).is_err());
+    }
+
+    #[test]
     fn transform_clamps_out_of_range_test_values() {
         let d = dataset();
         let p = Preprocessor::fit(&d, Normalization::MinMax).unwrap();
@@ -427,7 +463,8 @@ mod tests {
     #[test]
     fn preprocessor_persistence_round_trips_bit_exactly() {
         let d = dataset();
-        for normalization in [Normalization::MinMax, Normalization::ZScore] {
+        for normalization in [Normalization::MinMax, Normalization::ZScore, Normalization::Symbolic]
+        {
             let p = Preprocessor::fit(&d, normalization).unwrap();
             let mut w = Writer::new();
             p.write_to(&mut w);

@@ -80,11 +80,12 @@ pub mod prelude {
     pub use eval::metrics::{accuracy, ConfusionMatrix};
     pub use eval::timing::{LatencyHistogram, Stopwatch, ThroughputReport};
     pub use fault_inject::{BitFlipInjector, DiskFault, DiskFaultInjector};
-    pub use hdc::encoder::{Encoder, RbfEncoder};
+    pub use hdc::encoder::{Encoder, ItemMemory, NGramEncoder, RbfEncoder, SymbolRecordEncoder};
     pub use hdc::{
         AssociativeMemory, BatchBuffer, BatchView, BitWidth, Hypervector, QuantizedHypervector,
     };
     pub use hw_model::{CpuModel, FpgaModel, HdcWorkload};
+    pub use nids_data::datasets::{language_id, tabular_zoo};
     pub use nids_data::drift::{DriftPhase, DriftStream};
     pub use nids_data::preprocess::{Normalization, Preprocessor};
     pub use nids_data::split::{stratified_k_fold, train_test_split};

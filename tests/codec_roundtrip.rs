@@ -282,14 +282,48 @@ fn persistable_components_round_trip_with_randomized_shapes() {
         );
         assert!(Preprocessor::read_from(&mut Reader::new(&bytes[..bytes.len() / 3])).is_err());
 
-        for encoder_kind in [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record] {
-            let config = CyberHdConfig::builder(preprocessor.output_width(), data.num_classes())
+        let mut configs: Vec<CyberHdConfig> =
+            [EncoderKind::Rbf, EncoderKind::IdLevel, EncoderKind::Record]
+                .into_iter()
+                .map(|encoder_kind| {
+                    CyberHdConfig::builder(preprocessor.output_width(), data.num_classes())
+                        .dimension(64)
+                        .encoder(encoder_kind)
+                        .regeneration_rate(0.0) // static encoders cannot regenerate
+                        .seed(trial)
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+        // The symbolic family rides through the same tagged dispatcher,
+        // with its extra config fields (order, alphabets) in the stream.
+        configs.push(
+            CyberHdConfig::builder(4 + rng.index(20), 2 + rng.index(6))
                 .dimension(64)
-                .encoder(encoder_kind)
-                .regeneration_rate(0.0) // static encoders cannot regenerate
+                .encoder(EncoderKind::NGram)
+                .ngram_order(1 + rng.index(3))
+                .symbol_alphabets(vec![2 + rng.index(30)])
+                .regeneration_rate(0.0)
                 .seed(trial)
                 .build()
-                .unwrap();
+                .unwrap(),
+        );
+        let columns = 2 + rng.index(6);
+        let alphabets: Vec<usize> =
+            (0..columns).map(|_| if rng.bernoulli(0.4) { 0 } else { 2 + rng.index(9) }).collect();
+        configs.push(
+            CyberHdConfig::builder(columns, 2 + rng.index(6))
+                .dimension(64)
+                .encoder(EncoderKind::SymbolRecord)
+                .symbol_alphabets(alphabets)
+                .id_level_levels(4 + rng.index(12))
+                .regeneration_rate(0.0)
+                .seed(trial)
+                .build()
+                .unwrap(),
+        );
+        for config in configs {
+            let encoder_kind = config.encoder;
             let encoder = AnyEncoder::from_config(&config).unwrap();
             let mut w = Writer::new();
             encoder.write_to(&mut w);
@@ -299,6 +333,78 @@ fn persistable_components_round_trip_with_randomized_shapes() {
             loaded.write_to(&mut again);
             assert_eq!(again.into_bytes(), bytes, "{encoder_kind:?} trial {trial}");
             assert!(AnyEncoder::read_from(&mut Reader::new(&bytes[..bytes.len() - 2])).is_err());
+        }
+    }
+}
+
+#[test]
+fn symbolic_components_round_trip_and_survive_corruption_without_panicking() {
+    let mut rng = HdcRng::seed_from(0x5E9_B01);
+    let mut faults = DiskFaultInjector::new(0x5E9_FA17);
+    for trial in 0..6u64 {
+        let dim = 32 + 8 * rng.index(12);
+        let alphabet = 2 + rng.index(30);
+        let order = 1 + rng.index(3);
+        let sequence_len = order + rng.index(20);
+        let columns = 1 + rng.index(6);
+        let alphabets: Vec<usize> =
+            (0..columns).map(|_| if rng.bernoulli(0.4) { 0 } else { 2 + rng.index(9) }).collect();
+
+        // Each symbolic component: serialize → reload → re-serialize must
+        // be byte-identical, every strict truncation must error, and 200
+        // seeded storage faults per component must never panic — if a
+        // flip happens to decode at this CRC-less layer, the decoded
+        // value must still re-serialize without panicking.
+        let items = ItemMemory::new(alphabet, dim, 0x11 + trial).unwrap();
+        let ngram = NGramEncoder::new(sequence_len, alphabet, order, dim, 0x22 + trial).unwrap();
+        let record =
+            SymbolRecordEncoder::new(&alphabets, dim, 4 + rng.index(12), 0x33 + trial).unwrap();
+
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("item_memory", {
+                let mut w = Writer::new();
+                items.write_to(&mut w);
+                w.into_bytes()
+            }),
+            ("ngram", {
+                let mut w = Writer::new();
+                ngram.write_to(&mut w);
+                w.into_bytes()
+            }),
+            ("symbol_record", {
+                let mut w = Writer::new();
+                record.write_to(&mut w);
+                w.into_bytes()
+            }),
+        ];
+        for (label, bytes) in &cases {
+            let reload = |buf: &[u8]| -> Result<Vec<u8>, hdc::codec::CodecError> {
+                let mut r = Reader::new(buf);
+                let mut again = Writer::new();
+                match *label {
+                    "item_memory" => ItemMemory::read_from(&mut r)?.write_to(&mut again),
+                    "ngram" => NGramEncoder::read_from(&mut r)?.write_to(&mut again),
+                    _ => SymbolRecordEncoder::read_from(&mut r)?.write_to(&mut again),
+                }
+                Ok(again.into_bytes())
+            };
+            let roundtripped = reload(bytes).unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(&roundtripped, bytes, "{label} trial {trial}: must be byte-identical");
+            for n in 0..bytes.len() {
+                assert!(
+                    reload(&bytes[..n]).is_err(),
+                    "{label} trial {trial}: truncation to {n} bytes must not decode"
+                );
+            }
+            for _ in 0..200 {
+                let mut corrupt = bytes.clone();
+                match faults.corrupt(&mut corrupt) {
+                    DiskFault::None => unreachable!("component streams are non-empty"),
+                    DiskFault::Truncated(_) | DiskFault::FlippedByte(_) => {
+                        let _ = reload(&corrupt); // must not panic
+                    }
+                }
+            }
         }
     }
 }

@@ -28,7 +28,8 @@
 
 use bench::crash::{build_cell, crash_config, run_crashed, run_uncrashed, CrashSchedule};
 use bench::scenario::{
-    abrupt_shift, class_surge, gradual_drift, replay, zero_day, ReplayConfig, ADAPTIVE_TENANT,
+    abrupt_shift, class_surge, gradual_drift, replay, replay_prepared, zero_day,
+    zoo_unseen_language, zoo_vocab_shift, ReplayConfig, ADAPTIVE_TENANT,
 };
 use cyberhd_suite::prelude::*;
 use hdc::rng::HdcRng;
@@ -405,6 +406,97 @@ fn zero_day_surge_trips_on_novelty_with_sparse_labels() {
     // lane learns it from the sparse feedback and pulls ahead.
     assert!(
         outcome.recovery_delta() >= 0.05,
+        "adaptive {:.3} vs frozen {:.3}",
+        outcome.adaptive_recovery_accuracy,
+        outcome.frozen_recovery_accuracy
+    );
+}
+
+#[test]
+fn zoo_vocab_shift_recovers_through_the_online_rule_alone() {
+    // The symbolic workload zoo on the same replay core: the language-ID
+    // trigram detector under a five-phase vocabulary shift.  The n-gram
+    // item memories cannot regenerate, so any recovery is the online
+    // adaptive rule tracking the moving transition statistics.
+    let prepared = zoo_vocab_shift(1200, 1024, 77).unwrap();
+    let outcome = replay_prepared(&prepared, &ReplayConfig::default()).unwrap();
+    println!(
+        "zoo_vocab_shift: frozen {:.3} vs adaptive {:.3} over {:?}",
+        outcome.frozen_recovery_accuracy,
+        outcome.adaptive_recovery_accuracy,
+        outcome.recovery_window
+    );
+
+    assert!(outcome.frozen_bit_identical, "frozen lane diverged from its detect_batch oracle");
+    assert!(
+        outcome.recovery_delta() >= 0.10,
+        "the adaptive lane must out-track the frozen trigram profiles under full shift: \
+         adaptive {:.3} vs frozen {:.3} over {:?}",
+        outcome.adaptive_recovery_accuracy,
+        outcome.frozen_recovery_accuracy,
+        outcome.recovery_window,
+    );
+    assert!(
+        outcome.adaptive_recovery_accuracy >= 0.60,
+        "the adapted lane must actually track the shifted vocabulary, got {:.3}",
+        outcome.adaptive_recovery_accuracy
+    );
+    // Symbolic item memories have nothing to regenerate (the artifact's
+    // rate is pinned at zero), so a monitor trip regenerates 0 dimensions
+    // — but it still republishes the online-adapted model, and the frozen
+    // tenants of the registry pick that snapshot up.
+    let stats = &outcome.adaptive;
+    assert!(stats.monitor_trips >= 1, "the full shift must trip the monitor: {stats}");
+    assert_eq!(stats.regenerated_dimensions, 0, "{stats}");
+    assert_eq!(stats.adaptation_failures, 0, "{stats}");
+    assert!(stats.publishes >= 1, "the online-adapted snapshot must republish: {stats}");
+    assert!(outcome.final_registry_version >= 2, "v{}", outcome.final_registry_version);
+}
+
+#[test]
+fn zoo_unseen_language_trips_on_novelty_and_recovers() {
+    // Zero-day on the language zoo: the held-out ninth language erupts to
+    // half the traffic.  Sparse, late ground truth (every 4th flow, 250
+    // flows late) means the monitor's trip must come from the open-set
+    // unknown-rate surge; recovery comes from the online rule learning
+    // the new language out of that sparse feedback.
+    let prepared = zoo_unseen_language(1200, 1024, 78).unwrap();
+    let config = ReplayConfig { feedback_every: 4, feedback_delay: 250, ..ReplayConfig::default() };
+    let outcome = replay_prepared(&prepared, &config).unwrap();
+    println!(
+        "zoo_unseen_language: frozen {:.3} vs adaptive {:.3} over {:?}",
+        outcome.frozen_recovery_accuracy,
+        outcome.adaptive_recovery_accuracy,
+        outcome.recovery_window
+    );
+
+    assert!(outcome.frozen_bit_identical);
+    // The open-set artifact flags the unseen language: the frozen lane's
+    // novel rate surges once the zero-day phase starts.
+    let novel_rate = |window: &std::ops::Range<usize>| {
+        window.clone().filter(|&i| outcome.frozen_verdicts[i].novel).count() as f64
+            / window.len() as f64
+    };
+    let calm_novel = novel_rate(&outcome.phase_ranges[0]);
+    let surge_novel = novel_rate(&outcome.phase_ranges[1]);
+    assert!(
+        surge_novel > calm_novel + 0.2,
+        "the zero-day surge must be visible in the open-set flags: calm {calm_novel:.2} vs \
+         surge {surge_novel:.2}"
+    );
+    // The unknown-rate surge trips the monitor despite the label drought;
+    // with nothing to regenerate at the artifact's zero rate, each trip
+    // republishes the online-adapted model and serving continues.
+    let stats = &outcome.adaptive;
+    assert!(stats.monitor_trips >= 1, "the novelty surge must trip the monitor: {stats}");
+    assert_eq!(stats.adaptation_failures, 0, "{stats}");
+    assert_eq!(stats.regenerated_dimensions, 0, "{stats}");
+    assert!(stats.publishes >= 1, "{stats}");
+    // The frozen artifact can never name the unseen language; the
+    // adaptive lane learns it from the sparse late feedback and pulls
+    // ahead over the recovery window.
+    assert!(
+        outcome.recovery_delta() >= 0.10,
         "adaptive {:.3} vs frozen {:.3}",
         outcome.adaptive_recovery_accuracy,
         outcome.frozen_recovery_accuracy

@@ -1,0 +1,246 @@
+//! Integration suite for the workload zoo: the symbolic/sequence encoding
+//! subsystem driven end-to-end through the Detector/serve stack.
+//!
+//! Pins the acceptance contract of the zoo:
+//!
+//! 1. **Language ID** — the bind-permute-bundle n-gram path classifies the
+//!    eight-language synthetic corpus at ≥ 0.9 dense accuracy, with the
+//!    1-bit quantized deployment within 0.05 of dense.
+//! 2. **Tabular** — the symbol-record path learns the census-shaped mixed
+//!    categorical/numeric workload well above chance.
+//! 3. **Zero-day** — an open-set detector trained without the held-out
+//!    language flags it as novel at a usable rate.
+//! 4. **Serving** — both workloads serve through `ServeEngine` with
+//!    verdicts bit-identical to one `detect_batch` call across randomized
+//!    interleavings (the PR-4 contract, re-pinned on symbolic encoders).
+//! 5. **Artifacts** — sealed zoo detectors round-trip save → load
+//!    byte-identically and reproduce verdicts bit for bit.
+
+use cyberhd_suite::prelude::*;
+use hdc::rng::HdcRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The zoo language-ID detector shape used across this suite.
+fn language_builder() -> DetectorBuilder {
+    Detector::builder()
+        .encoder(EncoderKind::NGram)
+        .ngram_order(3)
+        .dimension(2048)
+        .retrain_epochs(3)
+        .regeneration_rate(0.0)
+        .seed(0xB00C)
+}
+
+/// The zoo tabular detector shape used across this suite.
+fn tabular_builder() -> DetectorBuilder {
+    Detector::builder()
+        .encoder(EncoderKind::SymbolRecord)
+        .dimension(2048)
+        .id_level_levels(16)
+        .retrain_epochs(3)
+        .regeneration_rate(0.0)
+        .seed(0xB00D)
+}
+
+#[test]
+fn language_id_meets_the_accuracy_bar_dense_and_one_bit() {
+    let train = language_id::generate(1600, 11).unwrap();
+    let test = language_id::generate(400, 12).unwrap();
+
+    let dense = language_builder().train(&train).unwrap();
+    let dense_accuracy = dense.accuracy(&test).unwrap();
+    assert!(
+        dense_accuracy >= 0.9,
+        "dense language-ID accuracy {dense_accuracy:.3} below the 0.9 acceptance bar"
+    );
+
+    let one_bit = language_builder().quantize(BitWidth::B1).train(&train).unwrap();
+    let one_bit_accuracy = one_bit.accuracy(&test).unwrap();
+    assert!(
+        one_bit_accuracy >= dense_accuracy - 0.05,
+        "1-bit accuracy {one_bit_accuracy:.3} more than 0.05 below dense {dense_accuracy:.3}"
+    );
+}
+
+#[test]
+fn tabular_workload_learns_the_census_bands() {
+    let corpus = tabular_zoo::generate(&SyntheticConfig::new(2400, 5)).unwrap();
+    let (train, test) = train_test_split(&corpus, 0.25, 3).unwrap();
+    let detector = tabular_builder().train(&train).unwrap();
+    let accuracy = detector.accuracy(&test).unwrap();
+    // Four imbalanced bands; majority-class guessing sits around 0.4.
+    assert!(accuracy > 0.7, "tabular accuracy {accuracy:.3} barely above chance");
+    // The 1-bit deployment stays close.
+    let one_bit = tabular_builder().quantize(BitWidth::B1).train(&train).unwrap();
+    let one_bit_accuracy = one_bit.accuracy(&test).unwrap();
+    assert!(
+        one_bit_accuracy > accuracy - 0.1,
+        "1-bit tabular accuracy {one_bit_accuracy:.3} collapsed from dense {accuracy:.3}"
+    );
+}
+
+#[test]
+fn open_set_flags_the_held_out_language_as_novel() {
+    let train = language_id::generate(1600, 21).unwrap();
+    let detector = language_builder().open_set(0.05).train(&train).unwrap();
+
+    // In-distribution traffic keeps flowing: at the 0.05 quantile roughly
+    // 5% of known-language flows are sacrificed as novel.
+    let known = language_id::generate(300, 22).unwrap();
+    let known_novel =
+        detector.detect_batch(known.records()).unwrap().iter().filter(|v| v.novel).count() as f64
+            / known.len() as f64;
+    assert!(known_novel < 0.25, "{known_novel:.2} of known-language flows flagged novel");
+
+    // The held-out language was never trained on; its n-gram statistics
+    // score below every class threshold far more often.
+    let mut weights = vec![0.0; language_id::NUM_LANGUAGES];
+    weights[language_id::NOVEL_LANGUAGE] = 1.0;
+    let unseen = language_id::generate_mix(300, &weights, 0.0, 23).unwrap();
+    let unseen_novel =
+        detector.detect_batch(unseen.records()).unwrap().iter().filter(|v| v.novel).count() as f64
+            / unseen.len() as f64;
+    assert!(
+        unseen_novel > known_novel + 0.3,
+        "zero-day language novel rate {unseen_novel:.2} does not clear the known-language \
+         floor {known_novel:.2}"
+    );
+}
+
+/// Re-pins the PR-4 serving contract on a zoo detector: verdicts through
+/// the micro-batching engine are bit-identical to one `detect_batch` call,
+/// across ≥ 3 randomized interleavings of two tenants.
+fn assert_serve_bit_identity(detector: &Detector, records: &[Vec<f32>], salt: u64) {
+    let even: Vec<Vec<f32>> = records.iter().step_by(2).take(60).cloned().collect();
+    let odd: Vec<Vec<f32>> = records.iter().skip(1).step_by(2).take(60).cloned().collect();
+    let oracle_even = detector.detect_batch(&even).unwrap();
+    let oracle_odd = detector.detect_batch(&odd).unwrap();
+
+    for trial in 0..3u64 {
+        let mut rng = HdcRng::seed_from(salt.wrapping_add(1000 * trial));
+        let registry = Arc::new(DetectorRegistry::new());
+        registry.register("even", detector.clone()).unwrap();
+        registry.register("odd", detector.clone()).unwrap();
+        let config = ServeConfig {
+            max_batch: 3 + rng.index(14),
+            max_delay: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(Arc::clone(&registry), config).unwrap();
+
+        let mut tickets_even = Vec::new();
+        let mut tickets_odd = Vec::new();
+        let (mut next_even, mut next_odd) = (0usize, 0usize);
+        while next_even < even.len() || next_odd < odd.len() {
+            let pick_even = next_odd == odd.len() || (next_even < even.len() && rng.bernoulli(0.5));
+            if pick_even {
+                tickets_even.push(engine.submit("even", &even[next_even]).unwrap());
+                next_even += 1;
+            } else {
+                tickets_odd.push(engine.submit("odd", &odd[next_odd]).unwrap());
+                next_odd += 1;
+            }
+            if rng.bernoulli(0.1) {
+                engine.flush(if rng.bernoulli(0.5) { "even" } else { "odd" }).unwrap();
+            }
+            if rng.bernoulli(0.05) {
+                engine.poll();
+            }
+        }
+        engine.flush_all();
+
+        for (tickets, oracle, tenant) in
+            [(&tickets_even, &oracle_even, "even"), (&tickets_odd, &oracle_odd, "odd")]
+        {
+            for (i, (ticket, want)) in tickets.iter().zip(oracle.iter()).enumerate() {
+                let got = engine.take(ticket).unwrap();
+                assert_eq!(got.class, want.class, "{tenant} flow {i} trial {trial}");
+                assert_eq!(
+                    got.similarity.to_bits(),
+                    want.similarity.to_bits(),
+                    "{tenant} flow {i} trial {trial}: similarity must be bit-exact"
+                );
+                assert_eq!(got.novel, want.novel, "{tenant} flow {i} trial {trial}");
+            }
+        }
+        let stats = engine.stats("even").unwrap();
+        assert_eq!(stats.flows_served, even.len() as u64);
+        assert_eq!(stats.uncollected, 0);
+    }
+}
+
+#[test]
+fn language_id_serves_bit_identically_across_interleavings() {
+    let train = language_id::generate(900, 31).unwrap();
+    let live = language_id::generate(200, 32).unwrap();
+    // Dense and 1-bit backends both honour the contract.
+    let dense = language_builder().retrain_epochs(1).train(&train).unwrap();
+    assert_serve_bit_identity(&dense, live.records(), 0x1A);
+    let one_bit =
+        language_builder().retrain_epochs(1).quantize(BitWidth::B1).train(&train).unwrap();
+    assert_serve_bit_identity(&one_bit, live.records(), 0x1B);
+}
+
+#[test]
+fn tabular_serves_bit_identically_across_interleavings() {
+    let corpus = tabular_zoo::generate(&SyntheticConfig::new(1200, 41)).unwrap();
+    let (train, live) = train_test_split(&corpus, 0.2, 7).unwrap();
+    let dense = tabular_builder().retrain_epochs(1).train(&train).unwrap();
+    assert_serve_bit_identity(&dense, live.records(), 0x2A);
+    // Open-set backend (novel flags travel through the ticket path too).
+    let open = tabular_builder().retrain_epochs(1).open_set(0.05).train(&train).unwrap();
+    assert_serve_bit_identity(&open, live.records(), 0x2B);
+}
+
+#[test]
+fn zoo_artifacts_round_trip_byte_identically() {
+    let language_train = language_id::generate(700, 51).unwrap();
+    let tabular_train = tabular_zoo::generate(&SyntheticConfig::new(900, 52)).unwrap();
+    let probes_language = language_id::generate(40, 53).unwrap();
+    let probes_tabular = tabular_zoo::generate(&SyntheticConfig::new(40, 54)).unwrap();
+
+    let detectors = [
+        (language_builder().retrain_epochs(1).train(&language_train).unwrap(), &probes_language),
+        (
+            language_builder()
+                .retrain_epochs(1)
+                .quantize(BitWidth::B1)
+                .train(&language_train)
+                .unwrap(),
+            &probes_language,
+        ),
+        (tabular_builder().retrain_epochs(1).train(&tabular_train).unwrap(), &probes_tabular),
+        (
+            tabular_builder().retrain_epochs(1).open_set(0.05).train(&tabular_train).unwrap(),
+            &probes_tabular,
+        ),
+    ];
+    for (index, (detector, probes)) in detectors.iter().enumerate() {
+        let bytes = detector.to_bytes();
+        let loaded = Detector::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            loaded.to_bytes(),
+            bytes,
+            "artifact {index}: reserialization must be byte-identical"
+        );
+        let want = detector.detect_batch(probes.records()).unwrap();
+        let got = loaded.detect_batch(probes.records()).unwrap();
+        assert_eq!(got, want, "artifact {index}: loaded verdicts must match bit for bit");
+    }
+}
+
+#[test]
+fn symbolic_detectors_reject_malformed_inputs() {
+    let train = language_id::generate(400, 61).unwrap();
+    let detector = language_builder().retrain_epochs(0).train(&train).unwrap();
+    // Wrong arity.
+    assert!(detector.detect(&[0.0; 3]).is_err());
+    // Out-of-alphabet and fractional symbols are schema violations, not
+    // silent encodes.
+    let mut record = vec![0.0f32; language_id::SEQUENCE_LEN];
+    record[5] = language_id::ALPHABET as f32;
+    assert!(detector.detect(&record).is_err());
+    record[5] = 1.5;
+    assert!(detector.detect(&record).is_err());
+}
