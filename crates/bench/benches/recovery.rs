@@ -17,6 +17,12 @@
 //!    checkpoint cadence enabled: recovery loads the newest checkpoint and
 //!    replays only the short tail, demonstrating that recovery time is
 //!    bounded by `checkpoint_every`, not by stream length.
+//! 4. **Adaptive-subsystem arms** — `batched_feedback` recovers a lane
+//!    whose WAL carries batch-boundary markers (boundary-driven replay),
+//!    and `recalibrated_publish` recovers an open-set lane whose
+//!    mid-stream label rotation tripped the monitor and recalibrated
+//!    thresholds from the reservoir (v2 checkpoint: reservoir entries +
+//!    thresholds recovered and asserted bit-identical).
 //!
 //! Emits the `BENCH_recover.json` snapshot at the workspace root.  Every
 //! recovery is asserted bit-identical to the lane that was dropped (the
@@ -25,7 +31,9 @@
 
 use bench::{env_usize, limited_class_dataset, snapshot, timed_pass};
 use criterion::{criterion_group, criterion_main, Criterion};
-use cyberhd::{AdaptiveConfig, AdaptiveLane, Detector, DurableConfig, DurableLane};
+use cyberhd::{
+    AdaptiveConfig, AdaptiveLane, Detector, DriftMonitorConfig, DurableConfig, DurableLane,
+};
 use eval::ThroughputReport;
 use nids_data::DatasetKind;
 use std::path::PathBuf;
@@ -167,6 +175,106 @@ fn bench_recovery(c: &mut Criterion) {
         bounded_replayed <= 256.0,
         "a checkpoint every 256 events must bound replay to one cadence, got {bounded_replayed}"
     );
+
+    // 4. Adaptive-subsystem arms: a batched-feedback lane (boundary-driven
+    // replay) and an open-set lane whose mid-stream label rotation trips
+    // the monitor and recalibrates thresholds from the reservoir.  Both
+    // recover with sealed bytes and thresholds asserted bit-identical.
+    let open_detector = Detector::builder()
+        .dimension(dim)
+        .retrain_epochs(1)
+        .regeneration_rate(0.1)
+        .open_set(0.05)
+        .seed(23)
+        .train(&dataset)
+        .expect("training succeeds");
+    let trip_monitor = DriftMonitorConfig {
+        window: 24,
+        min_observations: 12,
+        error_delta: 0.2,
+        unknown_surge: 0.4,
+        cooldown: 16,
+    };
+    println!("\nadaptive-subsystem recovery (p50 of {reps} recoveries per arm):");
+    for (label, batched, recalibrating) in
+        [("batched_feedback", true, false), ("recalibrated_publish", false, true)]
+    {
+        let dir = fresh_dir(label);
+        let lane_detector = if recalibrating { open_detector.clone() } else { detector.clone() };
+        let classes = lane_detector.num_classes();
+        let config = DurableConfig {
+            adaptive: AdaptiveConfig {
+                batched_feedback: batched,
+                monitor: trip_monitor,
+                ..adaptive
+            },
+            // Off the power-of-two event counts on purpose: the stream
+            // length never divides the cadence, so every recovery replays
+            // a real WAL tail (batch-boundary-driven on the batched arm).
+            checkpoint_every: 192,
+            keep_checkpoints: 2,
+        };
+        let (sealed, thresholds, recalibrations) = {
+            let lane = DurableLane::create(&dir, "bench", lane_detector, config, None)
+                .expect("fresh directory");
+            for (i, (record, truth)) in flows.iter().enumerate() {
+                // The back half rotates ground truth so the prequential
+                // error surges, the monitor trips and — on the open-set
+                // arm — publish recalibrates from the reservoir.
+                let label = if recalibrating && i >= flows.len() / 2 {
+                    (truth + 1) % classes
+                } else {
+                    *truth
+                };
+                let _ = lane.submit_labelled(record, label).expect("capacity sized to stream");
+            }
+            lane.flush().expect("flush succeeds");
+            (
+                lane.seal_snapshot().to_bytes(),
+                lane.thresholds_snapshot(),
+                lane.stats().recalibrations,
+            )
+        };
+        if recalibrating {
+            assert!(
+                recalibrations >= 1,
+                "{label}: the label rotation must trip and recalibrate for this arm to measure \
+                 the recalibrated-publish recovery path"
+            );
+        }
+        let mut durations = Vec::with_capacity(reps.max(1));
+        let mut replayed = 0u64;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let (lane, report) = DurableLane::recover(&dir, None).expect("recoverable directory");
+            durations.push(start.elapsed());
+            replayed = report.events_replayed;
+            assert_eq!(
+                lane.seal_snapshot().to_bytes(),
+                sealed,
+                "{label}: recovery must rebuild the crashed lane bit for bit"
+            );
+            assert_eq!(
+                lane.thresholds_snapshot(),
+                thresholds,
+                "{label}: open-set thresholds must recover bit-identically"
+            );
+        }
+        durations.sort();
+        let p50 = durations[durations.len() / 2];
+        let best = *durations.first().expect("at least one rep");
+        let report = ThroughputReport::new(best, replayed as usize);
+        println!(
+            "  {label:<20}: {replayed} events replayed, {recalibrations} recalibrations, p50 \
+             {:.2} ms",
+            p50.as_secs_f64() * 1e3,
+        );
+        extra_params.push((format!("p50_ms_{label}"), p50.as_secs_f64() * 1e3));
+        extra_params.push((format!("events_replayed_{label}"), replayed as f64));
+        extra_params.push((format!("recalibrations_{label}"), recalibrations as f64));
+        arms.push(snapshot::Arm::new(&format!("recover_{label}"), report));
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     let speedups = vec![("durability_overhead", plain.speedup_over(&durable))];
     let mut params: Vec<(&str, f64)> = vec![

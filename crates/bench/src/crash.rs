@@ -187,13 +187,21 @@ pub fn build_cell(kind: DatasetKind, schedule: CrashSchedule, seed: u64) -> Cras
 
 /// A durability policy tight enough that every cell crosses several
 /// checkpoints, prunes old ones and compacts the WAL mid-stream.
-pub fn crash_config(events: usize, monitor: DriftMonitorConfig) -> DurableConfig {
+///
+/// `batched` opts the lane into batched-feedback flushing: the recovered
+/// timeline then replays the WAL's batch-boundary markers instead of the
+/// serial event cadence, and the matrix exercises kills both mid-batch
+/// and exactly on flush boundaries (multiples of `max_batch` — the
+/// driver never flushes mid-schedule, so the wrapper's auto-flush at
+/// `max_batch` queued events is the only boundary source).
+pub fn crash_config(events: usize, monitor: DriftMonitorConfig, batched: bool) -> DurableConfig {
     DurableConfig {
         adaptive: AdaptiveConfig {
             max_batch: 7,
             queue_capacity: events + 64,
             monitor,
             retention: events,
+            batched_feedback: batched,
             ..AdaptiveConfig::default()
         },
         checkpoint_every: 48,
@@ -209,6 +217,10 @@ pub struct TimelineOutcome {
     pub verdicts: Vec<Option<Verdict>>,
     /// The final sealed model bytes.
     pub sealed: Vec<u8>,
+    /// The lane's final open-set thresholds (`None` for closed-set cells).
+    pub thresholds: Option<Vec<f32>>,
+    /// The recalibration reservoir: entries and candidate counter.
+    pub reservoir: (Vec<(Vec<f32>, usize)>, u64),
     /// The lane's cumulative prequential accuracy.
     pub prequential: f64,
     /// The lane's final serving statistics.
@@ -265,6 +277,8 @@ pub fn run_uncrashed(dir: &Path, cell: &CrashCell, config: &DurableConfig) -> Ti
     TimelineOutcome {
         verdicts,
         sealed: lane.seal_snapshot().to_bytes(),
+        thresholds: lane.thresholds_snapshot(),
+        reservoir: lane.reservoir_snapshot(),
         prequential: lane.prequential_accuracy(),
         stats: lane.stats(),
     }
@@ -343,6 +357,8 @@ pub fn run_crashed(
     let outcome = TimelineOutcome {
         verdicts,
         sealed: lane.seal_snapshot().to_bytes(),
+        thresholds: lane.thresholds_snapshot(),
+        reservoir: lane.reservoir_snapshot(),
         prequential: lane.prequential_accuracy(),
         stats: lane.stats(),
     };

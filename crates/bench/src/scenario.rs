@@ -274,8 +274,15 @@ pub struct ReplayConfig {
     /// Fraction of the post-drift phase (its tail) measured as the
     /// recovery window, e.g. `0.5` = the last half.
     pub recovery_tail: f64,
-    /// Open-set calibration quantile (when the spec asks for thresholds).
+    /// Open-set calibration quantile (when the spec asks for thresholds);
+    /// also the quantile the adaptive lane's reservoir recalibration uses
+    /// when a drift trip republishes, so recalibrated thresholds are on
+    /// the same scale as the initial calibration.
     pub open_set_quantile: f64,
+    /// Serve the adaptive lane in batched-feedback mode
+    /// ([`AdaptiveConfig::batched_feedback`]): flushes apply as
+    /// frozen-snapshot mini-batches instead of the serial streaming rule.
+    pub batched_feedback: bool,
     /// Seed for the stream, detector and split.
     pub seed: u64,
 }
@@ -299,6 +306,7 @@ impl Default for ReplayConfig {
             feedback_delay: 0,
             recovery_tail: 0.5,
             open_set_quantile: 0.10,
+            batched_feedback: false,
             seed: 29,
         }
     }
@@ -450,6 +458,9 @@ pub fn replay_prepared(
             regeneration_rate: None,
             regeneration_rounds: 1,
             auto_publish: true,
+            recalibration_quantile: config.open_set_quantile,
+            batched_feedback: config.batched_feedback,
+            ..AdaptiveConfig::default()
         },
         Arc::clone(&registry),
     )?;

@@ -740,10 +740,19 @@ impl DetectorBuilder {
             CyberHdTrainer::new(config)?.fit_view(view, labels)?
         };
 
+        // Builder calibration uses the pooled own-class fallback: training
+        // corpora for zero-day scenarios structurally omit a class, and an
+        // absent class must borrow the global in-distribution floor (so it
+        // still rejects) rather than silently never rejecting — or erroring
+        // the way manual `OpenSetDetector::calibrate` now does.
         let thresholds = match self.open_set {
-            Some(quantile) => {
-                Some(crate::openset::calibrate_thresholds(&model, view, labels, quantile)?)
-            }
+            Some(quantile) => Some(crate::openset::calibrate_thresholds_or_global_parts(
+                model.encoder(),
+                model.memory(),
+                view,
+                labels,
+                quantile,
+            )?),
             None => None,
         };
 
@@ -864,6 +873,40 @@ impl Detector {
     /// The quantized deployment model, when this is a quantized detector.
     pub fn quantized_model(&self) -> Option<&QuantizedModel> {
         self.state.backend.as_quantized()
+    }
+
+    /// Reseals this artifact with calibrated per-class open-set thresholds
+    /// attached: the preprocessor, config and dense model carry over
+    /// verbatim and only the scoring backend gains the threshold
+    /// decoration, so the result persists (and hot-swaps) as an open-set
+    /// artifact.  The adaptive lane's publish path uses this to keep a
+    /// snapshot resealed after drift regeneration emitting open-set
+    /// verdicts instead of silently dropping to closed-set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidConfig`] for a quantized artifact
+    /// (thresholds are calibrated on the dense cosine scale) and
+    /// [`CyberHdError::InvalidData`] when `thresholds.len()` differs from
+    /// the number of classes.
+    pub fn with_thresholds(&self, thresholds: Vec<f32>) -> Result<Detector> {
+        let model = self.state.backend.as_dense().ok_or_else(|| {
+            CyberHdError::InvalidConfig(
+                "open-set thresholds require a dense (full-precision) artifact".into(),
+            )
+        })?;
+        if thresholds.len() != model.num_classes() {
+            return Err(CyberHdError::InvalidData(format!(
+                "{} thresholds for {} classes",
+                thresholds.len(),
+                model.num_classes()
+            )));
+        }
+        Ok(Self::from_parts(
+            self.state.preprocessor.clone(),
+            self.state.config.clone(),
+            Box::new(OpenSetBackend::new(DenseBackend::new(model.clone()), thresholds)),
+        ))
     }
 
     /// Artifact metadata in one read: what the registry checks before
@@ -1151,6 +1194,61 @@ impl OnlineDetector {
             .observe_batch_view(BatchView::new(&matrix, width).map_err(CyberHdError::from)?, labels)
     }
 
+    /// [`OnlineDetector::observe_batch`] returning `(prediction,
+    /// similarity)` per record — identical frozen-snapshot scoring and
+    /// identical deferred update, bit for bit.  The batched-feedback
+    /// serving lane builds its verdicts (and open-set novelty flags) from
+    /// the scored form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnlineDetector::observe_batch`].
+    pub fn observe_batch_scored(
+        &mut self,
+        records: &[Vec<f32>],
+        labels: &[usize],
+    ) -> Result<Vec<(usize, f32)>> {
+        if records.len() != labels.len() {
+            return Err(CyberHdError::InvalidData(format!(
+                "{} records but {} labels",
+                records.len(),
+                labels.len()
+            )));
+        }
+        let width = self.preprocessor.output_width();
+        let matrix = self.preprocessor.transform_records_matrix(records)?;
+        self.learner.observe_batch_view_scored(
+            BatchView::new(&matrix, width).map_err(CyberHdError::from)?,
+            labels,
+        )
+    }
+
+    /// Recalibrates per-class open-set thresholds against the **current**
+    /// (post-regeneration) model from a set of labelled in-distribution raw
+    /// records — the adaptive lane's reservoir.  Classes the reservoir is
+    /// transiently missing borrow the global own-class quantile instead of
+    /// silently never rejecting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::Data`] on the first malformed record and
+    /// [`CyberHdError::InvalidData`] for inconsistent inputs or an
+    /// out-of-range quantile.
+    pub fn recalibrate_thresholds(
+        &self,
+        records: &[Vec<f32>],
+        labels: &[usize],
+        quantile: f64,
+    ) -> Result<Vec<f32>> {
+        let width = self.preprocessor.output_width();
+        let matrix = self.preprocessor.transform_records_matrix(records)?;
+        self.learner.calibrate_thresholds_or_global(
+            BatchView::new(&matrix, width).map_err(CyberHdError::from)?,
+            labels,
+            quantile,
+        )
+    }
+
     /// Predicts one raw record without updating the model.
     ///
     /// # Errors
@@ -1218,9 +1316,10 @@ impl OnlineDetector {
         &self.preprocessor
     }
 
-    /// Re-seals the streaming detector into an immutable [`Detector`]
-    /// (closed-set: open-set thresholds must be recalibrated by rebuilding
-    /// with [`DetectorBuilder::open_set`]).
+    /// Re-seals the streaming detector into an immutable [`Detector`].
+    /// The result is closed-set; recalibrate thresholds and attach them
+    /// with [`Detector::with_thresholds`] (the adaptive lane's publish
+    /// path) or rebuild with [`DetectorBuilder::open_set`].
     pub fn seal(self) -> Detector {
         let model = self.learner.into_model();
         let config = model.config().clone();

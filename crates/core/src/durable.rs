@@ -28,7 +28,17 @@
 //! "never crashed" are literally the same event sequence.  The encoder
 //! persists its seed *and* its regeneration draw counter, so even
 //! post-recovery regenerations draw the exact streams the uncrashed lane
-//! would have drawn.
+//! would have drawn.  The recalibration reservoir rides the same
+//! guarantee — it is a pure function of the applied event sequence plus
+//! the checkpointed `(entries, candidate counter)` pair, so recovered
+//! lanes recalibrate to bit-identical thresholds.  Batched-feedback
+//! lanes ([`AdaptiveConfig::batched_feedback`]) additionally log a
+//! batch-boundary marker at every flush (fsynced with the events it
+//! closes), and recovery flushes the replayed tail at exactly those
+//! markers — the batched contract is bit-identity to a replay *at the
+//! same boundaries*, so the boundaries themselves are durable state, and
+//! a suffix of events whose closing marker tore off mid-fsync is
+//! discarded as uncommitted rather than replayed at an invented boundary.
 //!
 //! Corrupt bytes — a torn WAL tail, a half-written checkpoint, byte flips
 //! anywhere — always yield a defined outcome: torn tails are truncated to
@@ -81,21 +91,32 @@ use std::time::Duration;
 /// Magic prefix of a checkpoint file.
 const CKPT_MAGIC: &[u8; 4] = b"CYCK";
 
-/// Checkpoint format version.
-const CKPT_VERSION: u32 = 1;
+/// Checkpoint format version.  Version 2 added the recalibration
+/// reservoir (entries + candidate counter), the reservoir/recalibration
+/// and batched-feedback knobs of [`AdaptiveConfig`], and the
+/// recalibration counter; version-1 files are rejected with a clean
+/// error rather than misread.
+const CKPT_VERSION: u32 = 2;
 
 /// File name of the write-ahead log inside a durable lane's directory.
 const WAL_FILE: &str = "wal.log";
 
 /// WAL payload tags.  Tags 0–2 are **replayed events**, numbered by a
-/// single monotonic event index across flows and feedback; tags 3–5 are
-/// audit records (adaptation history for operators) that replay skips.
+/// single monotonic event index across flows and feedback; tags 3–6 are
+/// audit records (adaptation history for operators) that replay skips;
+/// tag 7 is a **replayed control record**: a batch-boundary marker a
+/// batched-feedback lane writes at every flush, so recovery replays the
+/// tail batched at the original boundaries (the batched contract is
+/// bit-identity *at the same boundaries*, so the boundaries themselves
+/// must be durable).
 const TAG_FLOW: u8 = 0;
 const TAG_FLOW_LABELLED: u8 = 1;
 const TAG_FEEDBACK: u8 = 2;
 const TAG_DRIFT_TRIP: u8 = 3;
 const TAG_REGENERATION: u8 = 4;
 const TAG_PUBLISH: u8 = 5;
+const TAG_RECALIBRATION: u8 = 6;
+const TAG_BATCH_BOUNDARY: u8 = 7;
 
 /// Durability policy of a [`DurableLane`].
 #[derive(Debug, Clone, PartialEq)]
@@ -171,11 +192,12 @@ struct DurableState {
     applied: u64,
     /// Event count of the last checkpoint written.
     checkpointed: u64,
-    /// Stats watermarks for the audit records (tags 3–5).
+    /// Stats watermarks for the audit records (tags 3–6).
     trips: usize,
     adaptations: u64,
     regenerated: u64,
     publishes: u64,
+    recalibrations: u64,
 }
 
 /// A crash-durable [`AdaptiveLane`] (see the [module docs](self)).
@@ -239,6 +261,7 @@ impl DurableLane {
                 adaptations: 0,
                 regenerated: 0,
                 publishes: 0,
+                recalibrations: 0,
             }),
         };
         {
@@ -299,25 +322,78 @@ impl DurableLane {
         let wal_path = dir.join(WAL_FILE);
         let scan = wal::read_file(&wal_path)
             .map_err(|e| ServeError::Durability(format!("read WAL: {e}")))?;
-        let truncated_bytes = scan.truncated;
-        let wal = wal::Writer::resume(&wal_path, scan.valid_len as u64)
+        let mut truncated_bytes = scan.truncated;
+        let mut records = scan.records;
+        let mut valid_len = scan.valid_len;
+        if config.adaptive.batched_feedback {
+            // Batch-atomic commit: a batched lane's events are committed
+            // only once the boundary marker closing their batch is durable
+            // (the marker rides the same fsync).  A suffix past the last
+            // marker — a flush whose fsync tore — was never applied
+            // anywhere, and replaying it would invent a batch boundary the
+            // original timeline never had; it is truncated away like any
+            // other torn tail.  Records the checkpoint covers are committed
+            // by definition (their markers may have been compacted away).
+            let mut committed_records = 0usize;
+            let mut committed_len = wal::HEADER_LEN;
+            let mut offset = wal::HEADER_LEN;
+            for (i, record) in records.iter().enumerate() {
+                offset += wal::FRAME_LEN + record.len();
+                let committed = match decode_event(record)? {
+                    Some(event) => {
+                        matches!(event.kind, EventKind::Boundary) || event.index < checkpoint_events
+                    }
+                    None => false,
+                };
+                if committed {
+                    committed_records = i + 1;
+                    committed_len = offset;
+                }
+            }
+            truncated_bytes += valid_len - committed_len;
+            records.truncate(committed_records);
+            valid_len = committed_len;
+        }
+        let wal = wal::Writer::resume(&wal_path, valid_len as u64)
             .map_err(|e| ServeError::Durability(format!("resume WAL: {e}")))?;
 
         let lane = AdaptiveLane::restore(config.inner_adaptive(), registry, state)?;
 
         // Replay the tail: records the checkpoint already covers are
         // skipped, the rest must be contiguous and must reproduce the
-        // exact sequence numbers the log recorded.
+        // exact sequence numbers the log recorded.  Serial lanes flush at
+        // the batch watermark (flush boundaries cannot change serial
+        // results); batched-feedback lanes flush **only** at the logged
+        // boundary markers, because their contract is bit-identity to a
+        // batched replay *at the same boundaries*.
         let mut replayed = 0u64;
         let mut next_event = checkpoint_events;
         let mut verdicts: Vec<(u64, Verdict)> = Vec::new();
         let mut pending = 0usize;
-        for record in &scan.records {
+        for record in &records {
             let event = match decode_event(record)? {
                 Some(event) => event,
                 None => continue, // audit record
             };
             if event.index < checkpoint_events {
+                continue;
+            }
+            if matches!(event.kind, EventKind::Boundary) {
+                // The original lane flushed here; the marker carries the
+                // event count it closed, so it must land exactly where
+                // replay stands (== checkpoint_events is the no-op
+                // boundary the checkpoint itself was cut at).
+                if event.index != next_event {
+                    return Err(ServeError::Durability(format!(
+                        "WAL batch boundary closes event {} but replay stands at {next_event}",
+                        event.index
+                    )));
+                }
+                if pending > 0 {
+                    lane.flush()?;
+                    verdicts.extend(lane.drain_completed());
+                    pending = 0;
+                }
                 continue;
             }
             if event.index != next_event {
@@ -328,6 +404,7 @@ impl DurableLane {
                 )));
             }
             match event.kind {
+                EventKind::Boundary => unreachable!("boundary markers are handled above"),
                 EventKind::Flow { seq, record, label } => {
                     let ticket = match label {
                         Some(label) => lane.submit_labelled(&record, label),
@@ -353,12 +430,17 @@ impl DurableLane {
             pending += 1;
             // Drain as we go: nobody collects tickets during replay, so
             // without this a long tail would hit its own backpressure.
-            if pending >= config.adaptive.max_batch {
+            // Batched lanes skip this — their flush points are the logged
+            // boundary markers, and the original lane's own flushes bound
+            // the gap between boundaries by the queue capacity.
+            if !config.adaptive.batched_feedback && pending >= config.adaptive.max_batch {
                 lane.flush()?;
                 verdicts.extend(lane.drain_completed());
                 pending = 0;
             }
         }
+        // For batched lanes this is a no-op: every committed event was
+        // closed by a boundary marker, so the queue is already empty.
         lane.flush()?;
         verdicts.extend(lane.drain_completed());
         verdicts.sort_unstable_by_key(|&(seq, _)| seq);
@@ -377,6 +459,7 @@ impl DurableLane {
                 adaptations: stats.adaptations,
                 regenerated: stats.regenerated_dimensions,
                 publishes: stats.publishes,
+                recalibrations: stats.recalibrations,
             }),
         };
         let report = RecoveryReport {
@@ -523,7 +606,19 @@ impl DurableLane {
     /// The write-ahead invariant lives here: `wal.flush()` (buffered
     /// append + one fsync) happens strictly **before** the lane applies
     /// the events, so every event that ever touched the model is durable.
+    /// Batched-feedback lanes also log a batch-boundary marker closing the
+    /// pending events — it rides the same fsync as the events it closes,
+    /// so recovery replays the tail batched at these exact boundaries.
     fn flush_locked(&self, state: &mut DurableState) -> ServeResult<usize> {
+        if self.config.adaptive.batched_feedback && state.events > state.applied {
+            let mut w = Writer::new();
+            w.u8(TAG_BATCH_BOUNDARY);
+            w.u64(state.events);
+            state
+                .wal
+                .append(&w.into_bytes())
+                .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
+        }
         state.wal.flush().map_err(|e| ServeError::Durability(format!("sync WAL: {e}")))?;
         let served = self.lane.flush()?;
         state.applied = state.events;
@@ -534,7 +629,7 @@ impl DurableLane {
         Ok(served)
     }
 
-    /// Appends audit records (tags 3–5) for adaptation activity since the
+    /// Appends audit records (tags 3–6) for adaptation activity since the
     /// last flush.  They ride the next fsync — losing them in a crash is
     /// fine, replay reconstructs the same state without them.
     fn append_audit(&self, state: &mut DurableState) -> ServeResult<()> {
@@ -563,6 +658,20 @@ impl DurableLane {
                 .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
             state.adaptations = stats.adaptations;
             state.regenerated = stats.regenerated_dimensions;
+        }
+        if stats.recalibrations > state.recalibrations {
+            // The thresholds the recalibration produced ride along so an
+            // operator can diff threshold drift straight off the log.
+            let mut w = Writer::new();
+            w.u8(TAG_RECALIBRATION);
+            w.u64(state.applied);
+            w.u64(stats.recalibrations);
+            w.f32_slice(&self.lane.thresholds_snapshot().unwrap_or_default());
+            state
+                .wal
+                .append(&w.into_bytes())
+                .map_err(|e| ServeError::Durability(format!("append to WAL: {e}")))?;
+            state.recalibrations = stats.recalibrations;
         }
         if stats.publishes > state.publishes {
             let mut w = Writer::new();
@@ -618,8 +727,10 @@ impl DurableLane {
     }
 
     /// Rewrites the WAL keeping only events at or past `oldest_kept`
-    /// (audit records are dropped — they are advisory).  Atomic via
-    /// tmp + rename; the writer resumes on the compacted file.
+    /// (audit records are dropped — they are advisory; batch-boundary
+    /// markers survive with the events they close, so a batched replay
+    /// keeps its boundaries).  Atomic via tmp + rename; the writer
+    /// resumes on the compacted file.
     fn compact_wal(&self, state: &mut DurableState, oldest_kept: u64) -> ServeResult<()> {
         let path = state.wal.path().to_path_buf();
         let scan =
@@ -706,6 +817,18 @@ impl DurableLane {
         self.lane.stats()
     }
 
+    /// The lane's current open-set thresholds (`None` for a closed-set
+    /// lane); see [`AdaptiveLane::thresholds_snapshot`].
+    pub fn thresholds_snapshot(&self) -> Option<Vec<f32>> {
+        self.lane.thresholds_snapshot()
+    }
+
+    /// The recalibration reservoir's entries and candidate counter; see
+    /// [`AdaptiveLane::reservoir_snapshot`].
+    pub fn reservoir_snapshot(&self) -> (Vec<(Vec<f32>, usize)>, u64) {
+        self.lane.reservoir_snapshot()
+    }
+
     /// Events logged so far (flows + feedback, durable or pending).
     pub fn events(&self) -> u64 {
         self.state.lock().expect("durable state lock").events
@@ -719,8 +842,18 @@ struct LoggedEvent {
 }
 
 enum EventKind {
-    Flow { seq: u64, record: Vec<f32>, label: Option<usize> },
-    Feedback { seq: u64, label: usize },
+    Flow {
+        seq: u64,
+        record: Vec<f32>,
+        label: Option<usize>,
+    },
+    Feedback {
+        seq: u64,
+        label: usize,
+    },
+    /// A batched-feedback flush boundary; `index` is the event count the
+    /// flush closed (everything below it was applied as of this marker).
+    Boundary,
 }
 
 /// Decodes one WAL payload; `Ok(None)` for audit tags, an error for byte
@@ -747,7 +880,8 @@ fn decode_event(payload: &[u8]) -> ServeResult<Option<LoggedEvent>> {
                 index: r.u64()?,
                 kind: EventKind::Feedback { seq: r.u64()?, label: r.usize()? },
             },
-            TAG_DRIFT_TRIP | TAG_REGENERATION | TAG_PUBLISH => return Ok(None),
+            TAG_BATCH_BOUNDARY => LoggedEvent { index: r.u64()?, kind: EventKind::Boundary },
+            TAG_DRIFT_TRIP | TAG_REGENERATION | TAG_PUBLISH | TAG_RECALIBRATION => return Ok(None),
             other => {
                 return Err(CodecError::Invalid(format!("unknown WAL record tag {other}")));
             }
@@ -788,6 +922,10 @@ fn encode_checkpoint(config: &DurableConfig, events: u64, state: &LaneCheckpoint
     w.f32(a.regeneration_rate.unwrap_or(0.0));
     w.usize(a.regeneration_rounds);
     w.bool(a.auto_publish);
+    w.usize(a.reservoir_capacity);
+    w.u64(a.reservoir_seed);
+    w.f64(a.recalibration_quantile);
+    w.bool(a.batched_feedback);
     w.u64(config.checkpoint_every);
     w.usize(config.keep_checkpoints);
     w.u64(events);
@@ -805,6 +943,12 @@ fn encode_checkpoint(config: &DurableConfig, events: u64, state: &LaneCheckpoint
     }
     w.bool(state.evicted_up_to.is_some());
     w.u64(state.evicted_up_to.unwrap_or(0));
+    w.usize(state.reservoir.len());
+    for (record, label) in &state.reservoir {
+        w.f32_slice(record);
+        w.usize(*label);
+    }
+    w.u64(state.reservoir_candidates);
     w.usize(state.seen);
     w.usize(state.prequential_correct);
     for counter in state.counters {
@@ -853,6 +997,10 @@ fn decode_checkpoint(bytes: &[u8]) -> CodecResult<(DurableConfig, u64, LaneCheck
     let rate = r.f32()?;
     let regeneration_rounds = r.usize()?;
     let auto_publish = r.bool()?;
+    let reservoir_capacity = r.usize()?;
+    let reservoir_seed = r.u64()?;
+    let recalibration_quantile = r.f64()?;
+    let batched_feedback = r.bool()?;
     let config = DurableConfig {
         adaptive: AdaptiveConfig {
             max_batch,
@@ -863,6 +1011,10 @@ fn decode_checkpoint(bytes: &[u8]) -> CodecResult<(DurableConfig, u64, LaneCheck
             regeneration_rate: has_rate.then_some(rate),
             regeneration_rounds,
             auto_publish,
+            reservoir_capacity,
+            reservoir_seed,
+            recalibration_quantile,
+            batched_feedback,
         },
         checkpoint_every: r.u64()?,
         keep_checkpoints: r.usize()?,
@@ -883,9 +1035,16 @@ fn decode_checkpoint(bytes: &[u8]) -> CodecResult<(DurableConfig, u64, LaneCheck
     }
     let has_watermark = r.bool()?;
     let watermark = r.u64()?;
+    let reservoir_len = r.usize()?;
+    let mut reservoir = Vec::with_capacity(reservoir_len.min(4096));
+    for _ in 0..reservoir_len {
+        let record = r.f32_vec()?;
+        reservoir.push((record, r.usize()?));
+    }
+    let reservoir_candidates = r.u64()?;
     let seen = r.usize()?;
     let prequential_correct = r.usize()?;
-    let mut counters = [0u64; 8];
+    let mut counters = [0u64; 9];
     for counter in &mut counters {
         *counter = r.u64()?;
     }
@@ -903,6 +1062,8 @@ fn decode_checkpoint(bytes: &[u8]) -> CodecResult<(DurableConfig, u64, LaneCheck
         next_seq,
         retained,
         evicted_up_to: has_watermark.then_some(watermark),
+        reservoir,
+        reservoir_candidates,
         seen,
         prequential_correct,
         counters,
@@ -1051,6 +1212,68 @@ mod tests {
         recovered.flush().unwrap();
         oracle.flush().unwrap();
         assert_eq!(recovered.seal_snapshot().to_bytes(), oracle.seal_snapshot().to_bytes());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_lane_round_trips_and_recovery_discards_partial_batches() {
+        let data = dataset(400, 83);
+        let dir = temp_dir("batched");
+        let mut config = small_config();
+        config.adaptive.batched_feedback = true;
+        let artifact = Detector::builder()
+            .dimension(96)
+            .retrain_epochs(1)
+            .open_set(0.05)
+            .seed(5)
+            .train(&data)
+            .unwrap();
+        let lane = DurableLane::create(&dir, "t0", artifact.clone(), config.clone(), None).unwrap();
+        let oracle = AdaptiveLane::new("t0", artifact, config.adaptive).unwrap();
+
+        for (i, record) in data.records()[..160].iter().enumerate() {
+            if i % 3 == 0 {
+                lane.submit_labelled(record, data.labels()[i]).unwrap();
+                oracle.submit_labelled(record, data.labels()[i]).unwrap();
+            } else {
+                lane.submit(record).unwrap();
+                oracle.submit(record).unwrap();
+            }
+        }
+        lane.flush().unwrap();
+        oracle.flush().unwrap();
+        let committed_model = oracle.seal_snapshot().to_bytes();
+        let committed_thresholds = oracle.thresholds_snapshot();
+        let committed_reservoir = oracle.reservoir_snapshot();
+
+        drop(lane);
+        let (recovered, report) = DurableLane::recover(&dir, None).unwrap();
+        assert_eq!(report.next_event, 160);
+        assert_eq!(
+            recovered.seal_snapshot().to_bytes(),
+            committed_model,
+            "batched durability wrapping must not change the model"
+        );
+        assert_eq!(recovered.thresholds_snapshot(), committed_thresholds);
+        assert_eq!(recovered.reservoir_snapshot(), committed_reservoir);
+
+        // One more short batch, then tear its boundary record off the log:
+        // batch-atomic recovery must discard the whole partial batch — the
+        // intact flow records past the last boundary must not replay.
+        for (i, record) in data.records()[160..167].iter().enumerate() {
+            recovered.submit_labelled(record, data.labels()[160 + i]).unwrap();
+        }
+        recovered.flush().unwrap();
+        drop(recovered);
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &bytes[..bytes.len() - 2]).unwrap();
+
+        let (reopened, report) = DurableLane::recover(&dir, None).unwrap();
+        assert_eq!(report.next_event, 160, "a torn boundary must roll back the whole batch");
+        assert_eq!(reopened.seal_snapshot().to_bytes(), committed_model);
+        assert_eq!(reopened.thresholds_snapshot(), committed_thresholds);
+        assert_eq!(reopened.reservoir_snapshot(), committed_reservoir);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -117,6 +117,10 @@ pub enum CyberHdError {
     /// A detector artifact could not be saved or loaded (I/O failure,
     /// wrong magic/version, corrupted payload).
     Persist(String),
+    /// Open-set calibration saw zero samples for this class, so no
+    /// threshold can be derived for it.  (A silent `0.0` threshold would
+    /// accept nearly everything as in-distribution for that class.)
+    UncalibratedClass(usize),
 }
 
 impl fmt::Display for CyberHdError {
@@ -128,6 +132,11 @@ impl fmt::Display for CyberHdError {
             CyberHdError::Eval(e) => write!(f, "evaluation error: {e}"),
             CyberHdError::Data(e) => write!(f, "data error: {e}"),
             CyberHdError::Persist(what) => write!(f, "persistence error: {what}"),
+            CyberHdError::UncalibratedClass(class) => write!(
+                f,
+                "open-set calibration: class {class} has no calibration samples \
+                 (a silent 0.0 threshold would never reject)"
+            ),
         }
     }
 }

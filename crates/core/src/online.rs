@@ -219,6 +219,24 @@ impl OnlineLearner {
         features: BatchView<'_>,
         labels: &[usize],
     ) -> Result<Vec<usize>> {
+        self.observe_batch_view_scored(features, labels)
+            .map(|scored| scored.into_iter().map(|(class, _similarity)| class).collect())
+    }
+
+    /// [`OnlineLearner::observe_batch_view`] returning `(prediction,
+    /// similarity)` per row — identical frozen-snapshot scoring, identical
+    /// deferred update, bit for bit.  The batched-feedback serving lane
+    /// builds its verdicts (and open-set novelty flags) from the scored
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnlineLearner::observe_batch_view`].
+    pub fn observe_batch_view_scored(
+        &mut self,
+        features: BatchView<'_>,
+        labels: &[usize],
+    ) -> Result<Vec<(usize, f32)>> {
         if features.rows() != labels.len() {
             return Err(CyberHdError::InvalidData(format!(
                 "{} feature rows but {} labels",
@@ -243,7 +261,7 @@ impl OnlineLearner {
         let scratch = &mut self.batch_scratch;
         let mut predictions = Vec::with_capacity(features.rows());
         for (row, &label) in matrix.chunks_exact(dim).zip(labels) {
-            let predicted = scratch.visit(
+            let scored = scratch.visit_scored(
                 &self.memory,
                 &class_norms,
                 row,
@@ -251,11 +269,36 @@ impl OnlineLearner {
                 label,
                 self.config.learning_rate,
             );
-            predictions.push(predicted);
+            predictions.push(scored);
         }
         self.seen += features.rows();
         self.correct_before_update += scratch.drain_into(&mut self.memory, |_| {});
         Ok(predictions)
+    }
+
+    /// Recalibrates per-class open-set thresholds against the learner's
+    /// **current** memory from a set of in-distribution samples (the
+    /// adaptive lane's reservoir), borrowing the global own-class quantile
+    /// for classes the reservoir is transiently missing — see
+    /// `openset::calibrate_thresholds_or_global_parts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyberHdError::InvalidData`] for inconsistent inputs or an
+    /// out-of-range quantile.
+    pub(crate) fn calibrate_thresholds_or_global(
+        &self,
+        features: BatchView<'_>,
+        labels: &[usize],
+        quantile: f64,
+    ) -> Result<Vec<f32>> {
+        crate::openset::calibrate_thresholds_or_global_parts(
+            &self.encoder,
+            &self.memory,
+            features,
+            labels,
+            quantile,
+        )
     }
 
     /// Runs one regeneration round using the configured regeneration rate.

@@ -13,11 +13,11 @@
 //! are closed-set), included because the intro motivates CyberHD with the
 //! "constant evolution of cyber attacks".
 
-use crate::model::CyberHdModel;
+use crate::model::{AnyEncoder, CyberHdModel};
 use crate::{CyberHdError, Result};
 use hdc::encoder::Encoder;
 use hdc::parallel::{engine_threads, for_each_chunk};
-use hdc::BatchView;
+use hdc::{AssociativeMemory, BatchView};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of an open-set prediction.
@@ -69,13 +69,17 @@ impl OpenSetDetector {
     /// For each class the detector collects the cosine similarity of every
     /// sample of that class to its own class hypervector and sets the
     /// threshold at the `quantile`-th percentile (e.g. `0.05` keeps 95% of
-    /// in-distribution traffic above the threshold).  Classes without
-    /// calibration samples fall back to a threshold of zero (never reject).
+    /// in-distribution traffic above the threshold).
     ///
     /// # Errors
     ///
     /// Returns [`CyberHdError::InvalidData`] for inconsistent inputs or an
-    /// out-of-range quantile.
+    /// out-of-range quantile, and [`CyberHdError::UncalibratedClass`] when
+    /// a class has zero calibration samples — a silent zero threshold would
+    /// accept nearly everything as in-distribution for that class, so
+    /// manual calibration refuses instead.  (The serving lane's reservoir
+    /// recalibration uses the global own-class quantile as its documented
+    /// fallback; see `calibrate_thresholds_or_global_parts`.)
     pub fn calibrate(
         model: CyberHdModel,
         features: &[Vec<f32>],
@@ -172,13 +176,76 @@ impl OpenSetDetector {
 /// # Errors
 ///
 /// Returns [`CyberHdError::InvalidData`] for inconsistent inputs or an
-/// out-of-range quantile.
+/// out-of-range quantile, and [`CyberHdError::UncalibratedClass`] for a
+/// class with zero calibration samples.
 pub(crate) fn calibrate_thresholds(
     model: &CyberHdModel,
     features: BatchView<'_>,
     labels: &[usize],
     quantile: f64,
 ) -> Result<Vec<f32>> {
+    let per_class =
+        own_class_similarities(model.encoder(), model.memory(), features, labels, quantile)?;
+    if let Some(class) = per_class.iter().position(Vec::is_empty) {
+        return Err(CyberHdError::UncalibratedClass(class));
+    }
+    Ok(per_class.into_iter().map(|sims| quantile_of(sims, quantile)).collect())
+}
+
+/// [`calibrate_thresholds`] with the reservoir-recalibration fallback: a
+/// class with zero calibration samples receives the `quantile`-th
+/// percentile of the **pooled** own-class similarities (every sample scored
+/// against its own class, all classes together) instead of an error.  The
+/// adaptive serving lane recalibrates from a bounded reservoir that may
+/// transiently miss a quiet class; borrowing the global in-distribution
+/// floor keeps that class open-set rather than never-rejecting.  Takes a
+/// borrowed encoder + class memory so the streaming learner can
+/// recalibrate mid-trip without cloning itself into a
+/// [`CyberHdModel`] first.
+///
+/// # Errors
+///
+/// Returns [`CyberHdError::InvalidData`] for inconsistent inputs or an
+/// out-of-range quantile.
+pub(crate) fn calibrate_thresholds_or_global_parts(
+    encoder: &AnyEncoder,
+    memory: &AssociativeMemory,
+    features: BatchView<'_>,
+    labels: &[usize],
+    quantile: f64,
+) -> Result<Vec<f32>> {
+    let per_class = own_class_similarities(encoder, memory, features, labels, quantile)?;
+    let pooled: Vec<f32> = per_class.iter().flatten().copied().collect();
+    let global = quantile_of(pooled, quantile);
+    Ok(per_class
+        .into_iter()
+        .map(|sims| if sims.is_empty() { global } else { quantile_of(sims, quantile) })
+        .collect())
+}
+
+/// Sorts `sims` and returns its `quantile`-th percentile (nearest-rank with
+/// round-half-up, the convention both calibration entry points share).
+///
+/// # Panics
+///
+/// Panics on an empty slice — callers guarantee at least one sample.
+fn quantile_of(mut sims: Vec<f32>, quantile: f64) -> f32 {
+    assert!(!sims.is_empty(), "quantile of zero samples");
+    sims.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let index = ((sims.len() as f64 - 1.0) * quantile).round() as usize;
+    sims[index.min(sims.len() - 1)]
+}
+
+/// The shared scoring core of both calibration entry points: validates the
+/// inputs, scores every sample against its own class hypervector on the
+/// batched engine, and groups the similarities per class.
+fn own_class_similarities(
+    encoder: &AnyEncoder,
+    memory: &AssociativeMemory,
+    features: BatchView<'_>,
+    labels: &[usize],
+    quantile: f64,
+) -> Result<Vec<Vec<f32>>> {
     if features.rows() != labels.len() {
         return Err(CyberHdError::InvalidData(format!(
             "{} feature rows but {} labels",
@@ -189,11 +256,11 @@ pub(crate) fn calibrate_thresholds(
     if features.is_empty() {
         return Err(CyberHdError::InvalidData("calibration set is empty".into()));
     }
-    if features.width() != model.encoder().input_features() {
+    if features.width() != encoder.input_features() {
         return Err(CyberHdError::InvalidData(format!(
             "batch rows are {} features wide, expected {}",
             features.width(),
-            model.encoder().input_features()
+            encoder.input_features()
         )));
     }
     if !(0.0..=1.0).contains(&quantile) || !quantile.is_finite() {
@@ -201,7 +268,7 @@ pub(crate) fn calibrate_thresholds(
             "quantile must lie in [0, 1], got {quantile}"
         )));
     }
-    let num_classes = model.num_classes();
+    let num_classes = memory.num_classes();
     if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
         return Err(CyberHdError::InvalidData(format!(
             "label {bad} out of range for {num_classes} classes"
@@ -210,8 +277,6 @@ pub(crate) fn calibrate_thresholds(
 
     // Batched own-class scoring: chunked zero-allocation encoding, class
     // norms computed once for the whole calibration set.
-    let encoder = model.encoder();
-    let memory = model.memory();
     let dim = encoder.output_dim();
     let norms = memory.class_norms();
     let mut own = vec![0.0f32; features.rows()];
@@ -242,17 +307,7 @@ pub(crate) fn calibrate_thresholds(
     for (&similarity, &label) in own.iter().zip(labels) {
         per_class[label].push(similarity);
     }
-    Ok(per_class
-        .into_iter()
-        .map(|mut sims| {
-            if sims.is_empty() {
-                return 0.0;
-            }
-            sims.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let index = ((sims.len() as f64 - 1.0) * quantile).round() as usize;
-            sims[index.min(sims.len() - 1)]
-        })
-        .collect())
+    Ok(per_class)
 }
 
 #[cfg(test)]
@@ -347,6 +402,58 @@ mod tests {
         // With thresholds at the minimum observed similarity, (almost) no
         // calibration flow can be rejected.
         assert!(detector.unknown_rate(&xs).unwrap() <= 0.02);
+    }
+
+    #[test]
+    fn zero_sample_classes_are_a_typed_error_for_manual_calibration() {
+        let (model, xs, _, _) = trained();
+        // Every calibration sample labelled 0 leaves class 1 with zero
+        // samples: the old behavior silently set its threshold to 0.0
+        // (never reject); manual calibration now refuses with a typed
+        // error naming the class.
+        let lopsided = vec![0usize; xs.len()];
+        match OpenSetDetector::calibrate(model, &xs, &lopsided, 0.05) {
+            Err(CyberHdError::UncalibratedClass(class)) => assert_eq!(class, 1),
+            other => panic!("expected UncalibratedClass(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reservoir_fallback_borrows_the_global_own_class_quantile() {
+        let (model, xs, _, _) = trained();
+        let lopsided = vec![0usize; xs.len()];
+        let data = crate::inference::flatten_rows(&xs, model.encoder().input_features()).unwrap();
+        let view = BatchView::new(&data, model.encoder().input_features()).unwrap();
+        let thresholds = calibrate_thresholds_or_global_parts(
+            model.encoder(),
+            model.memory(),
+            view,
+            &lopsided,
+            0.05,
+        )
+        .unwrap();
+        assert_eq!(thresholds.len(), 2);
+        // The empty class borrows the pooled own-class quantile — here the
+        // pool is exactly the class-0-labelled samples, so the two
+        // thresholds agree bit for bit, and neither is the silent
+        // never-reject 0.0 the old code assigned.
+        assert_eq!(thresholds[1].to_bits(), thresholds[0].to_bits());
+        assert!(thresholds[1].is_finite());
+        assert_ne!(thresholds[1], 0.0);
+    }
+
+    #[test]
+    fn fallback_matches_strict_calibration_when_every_class_has_samples() {
+        let (model, xs, ys, _) = trained();
+        let data = crate::inference::flatten_rows(&xs, model.encoder().input_features()).unwrap();
+        let view = BatchView::new(&data, model.encoder().input_features()).unwrap();
+        let strict = calibrate_thresholds(&model, view, &ys, 0.05).unwrap();
+        let fallback =
+            calibrate_thresholds_or_global_parts(model.encoder(), model.memory(), view, &ys, 0.05)
+                .unwrap();
+        let strict_bits: Vec<u32> = strict.iter().map(|t| t.to_bits()).collect();
+        let fallback_bits: Vec<u32> = fallback.iter().map(|t| t.to_bits()).collect();
+        assert_eq!(strict_bits, fallback_bits);
     }
 
     #[test]

@@ -106,6 +106,7 @@ use crate::detector::{Detector, DetectorInfo, OnlineDetector, Verdict};
 use crate::regeneration::{DriftMonitor, DriftMonitorConfig};
 use crate::CyberHdError;
 use eval::timing::LatencyHistogram;
+use hdc::rng::HdcRng;
 use hdc::BatchBuffer;
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
@@ -1216,14 +1217,40 @@ pub struct AdaptiveConfig {
     /// Automatically publish a sealed snapshot to the registry after every
     /// adaptation (no-op for lanes created without a registry).
     ///
-    /// Published snapshots are **closed-set** even when the lane was
-    /// created from an open-set artifact: the thresholds were calibrated
-    /// against the sealed original memory and do not survive adaptation
-    /// (they stay in the lane as its drift signal).  After the first
-    /// publication [`DetectorRegistry::info`] reports `open_set: false`
-    /// for the tenant; recalibrate and [`DetectorRegistry::swap`] an
-    /// open-set rebuild to restore novelty flags on the serving path.
+    /// For a lane created from an **open-set** artifact the published
+    /// snapshot carries freshly recalibrated per-class thresholds: the
+    /// adaptation recalibrates them from the lane's in-distribution
+    /// reservoir against the regenerated memory (see
+    /// [`AdaptiveConfig::reservoir_capacity`]), so
+    /// [`DetectorRegistry::info`] keeps reporting `open_set: true` after a
+    /// republish instead of the artifact silently dropping to closed-set.
+    /// Closed-set lanes publish closed-set snapshots, as before.
     pub auto_publish: bool,
+    /// How many recent in-distribution flows (accepted and labelled —
+    /// ground truth certifies membership, so the model's own novelty
+    /// flag does not gate entry and cannot truncate the similarity
+    /// distribution the recalibration quantile is taken over) the lane
+    /// samples into its recalibration reservoir via seeded reservoir
+    /// sampling; `0` disables recalibration (adapted snapshots then keep
+    /// the last thresholds verbatim).  The reservoir is a pure function
+    /// of the applied event sequence, so replay and crash recovery
+    /// reproduce it bit for bit.
+    pub reservoir_capacity: usize,
+    /// Seed of the reservoir's per-candidate replacement draws.
+    pub reservoir_seed: u64,
+    /// Own-class similarity quantile used when recalibrating thresholds
+    /// from the reservoir (same scale as `DetectorBuilder::open_set`).
+    pub recalibration_quantile: f64,
+    /// Opt-in burst mode: apply each flushed micro-batch through the
+    /// frozen-snapshot mini-batch rule
+    /// ([`crate::OnlineLearner::observe_batch_view`]) instead of the
+    /// serial test-then-train rule.  High-volume label streams cost one
+    /// batched encode + one deferred update per flush, with the weaker,
+    /// documented contract: verdicts and the final model are
+    /// **bit-identical to a batched replay at the same flush boundaries**
+    /// (not to a serial replay — samples within a batch do not see each
+    /// other's updates).  Drift trips are honoured at batch boundaries.
+    pub batched_feedback: bool,
 }
 
 impl Default for AdaptiveConfig {
@@ -1237,6 +1264,10 @@ impl Default for AdaptiveConfig {
             regeneration_rate: None,
             regeneration_rounds: 1,
             auto_publish: true,
+            reservoir_capacity: 256,
+            reservoir_seed: 0x5EED_CA1B,
+            recalibration_quantile: 0.05,
+            batched_feedback: false,
         }
     }
 }
@@ -1254,6 +1285,14 @@ impl AdaptiveConfig {
         }
         if self.regeneration_rounds == 0 {
             return Err(ServeError::InvalidConfig("regeneration_rounds must be non-zero".into()));
+        }
+        if !(0.0..=1.0).contains(&self.recalibration_quantile)
+            || !self.recalibration_quantile.is_finite()
+        {
+            return Err(ServeError::InvalidConfig(format!(
+                "recalibration_quantile must lie in [0, 1], got {}",
+                self.recalibration_quantile
+            )));
         }
         self.monitor
             .validate()
@@ -1286,12 +1325,23 @@ impl AdaptiveEvent {
 #[derive(Debug)]
 struct AdaptiveInner {
     online: OnlineDetector,
-    /// Open-set thresholds inherited from the sealed artifact the lane was
-    /// created from, kept as the **drift signal** (novelty flags feeding
-    /// the monitor's unknown-rate surge).  They are not recalibrated as
-    /// the model adapts — a surge in flows scoring below them is exactly
-    /// the signal being watched for.
+    /// Open-set thresholds, kept as the **drift signal** (novelty flags
+    /// feeding the monitor's unknown-rate surge).  Between trips they stay
+    /// fixed — a surge in flows scoring below them is exactly the signal
+    /// being watched for; a successful adaptation recalibrates them from
+    /// the in-distribution reservoir against the regenerated memory, so
+    /// both the lane's novelty flags and the republished snapshot track
+    /// the adapted model.
     thresholds: Option<Vec<f32>>,
+    /// Seeded reservoir sample of recent labelled flows — the
+    /// recalibration set (ground truth certifies in-distribution
+    /// membership; the model's novelty flag does not gate entry).
+    /// Updated only inside the event application paths, so its contents
+    /// are a pure function of the applied event sequence.
+    reservoir: Vec<(Vec<f32>, usize)>,
+    /// Eligible candidates the reservoir has seen (the Algorithm-R index;
+    /// with `reservoir_seed` it fully determines every replacement draw).
+    reservoir_candidates: u64,
     queue: VecDeque<AdaptiveEvent>,
     /// Raw records of recent unlabelled flows, awaiting possible feedback.
     retained: HashMap<u64, Vec<f32>>,
@@ -1323,6 +1373,7 @@ struct AdaptiveLaneStats {
     adaptations: u64,
     regenerated_dimensions: u64,
     adaptation_failures: u64,
+    recalibrations: u64,
     publishes: u64,
     publish_failures: u64,
     last_published_version: Option<u64>,
@@ -1344,6 +1395,7 @@ impl AdaptiveLaneStats {
             adaptations: 0,
             regenerated_dimensions: 0,
             adaptation_failures: 0,
+            recalibrations: 0,
             publishes: 0,
             publish_failures: 0,
             last_published_version: None,
@@ -1397,6 +1449,12 @@ pub struct AdaptiveStats {
     pub regenerated_dimensions: u64,
     /// Adaptations that failed (e.g. a non-regenerable encoder).
     pub adaptation_failures: u64,
+    /// Open-set threshold recalibrations run from the reservoir (at most
+    /// one per successful adaptation of an open-set lane).
+    pub recalibrations: u64,
+    /// In-distribution flows currently held in the recalibration
+    /// reservoir.
+    pub reservoir_size: usize,
     /// The live model's effective dimensionality (`D* = D + Σ regenerated`).
     pub effective_dimension: usize,
     /// Sealed snapshots published to the registry.
@@ -1561,6 +1619,8 @@ impl AdaptiveLane {
             inner: Mutex::new(AdaptiveInner {
                 online,
                 thresholds,
+                reservoir: Vec::new(),
+                reservoir_candidates: 0,
                 queue: VecDeque::new(),
                 retained: HashMap::new(),
                 retained_order: VecDeque::new(),
@@ -1766,11 +1826,30 @@ impl AdaptiveLane {
         verdicts
     }
 
+    /// The lane's current open-set thresholds (`None` for a closed-set
+    /// lane) — the durable wrapper frames them into its recalibration
+    /// audit records so operators can diff threshold drift offline, and
+    /// the crash matrix compares them bit for bit across recovery.
+    pub fn thresholds_snapshot(&self) -> Option<Vec<f32>> {
+        let inner = self.inner.lock().expect("adaptive lane lock");
+        inner.thresholds.clone()
+    }
+
+    /// The recalibration reservoir's current entries and candidate
+    /// counter — both are a deterministic function of the applied event
+    /// sequence, so recovery tests compare them bit for bit against an
+    /// uncrashed timeline.
+    pub fn reservoir_snapshot(&self) -> (Vec<(Vec<f32>, usize)>, u64) {
+        let inner = self.inner.lock().expect("adaptive lane lock");
+        (inner.reservoir.clone(), inner.reservoir_candidates)
+    }
+
     /// Captures everything a checkpoint must persist for recovery to be
     /// bit-identical: the sealed model bytes, the drift-signal thresholds,
     /// the monitor state, the prequential counters, the retention window
-    /// (records and eviction watermark) and the deterministic lane
-    /// counters.  Queued events are deliberately **not** captured — the
+    /// (records and eviction watermark), the recalibration reservoir (and
+    /// its candidate counter) and the deterministic lane counters.
+    /// Queued events are deliberately **not** captured — the
     /// caller flushes before checkpointing, so the queue is empty and the
     /// WAL tail covers anything submitted afterwards.
     pub(crate) fn checkpoint_state(&self) -> LaneCheckpoint {
@@ -1787,6 +1866,8 @@ impl AdaptiveLane {
                 .filter_map(|seq| inner.retained.get(seq).map(|r| (*seq, r.clone())))
                 .collect(),
             evicted_up_to: inner.evicted_up_to,
+            reservoir: inner.reservoir.clone(),
+            reservoir_candidates: inner.reservoir_candidates,
             seen: inner.online.samples_seen(),
             prequential_correct: inner.online.learner().prequential_correct(),
             counters: [
@@ -1798,6 +1879,7 @@ impl AdaptiveLane {
                 inner.stats.adaptations,
                 inner.stats.regenerated_dimensions,
                 inner.stats.adaptation_failures,
+                inner.stats.recalibrations,
             ],
         }
     }
@@ -1851,8 +1933,27 @@ impl AdaptiveLane {
             }
             retained_order.push_back(seq);
         }
+        if state.reservoir.len() > config.reservoir_capacity {
+            return Err(ServeError::Durability(format!(
+                "checkpoint holds {} reservoir entries but the reservoir holds {}",
+                state.reservoir.len(),
+                config.reservoir_capacity
+            )));
+        }
+        if (state.reservoir.len() as u64) > state.reservoir_candidates {
+            return Err(ServeError::Durability(format!(
+                "checkpoint holds {} reservoir entries from {} candidates",
+                state.reservoir.len(),
+                state.reservoir_candidates
+            )));
+        }
+        if let Some(&(_, bad)) = state.reservoir.iter().find(|&&(_, label)| label >= classes) {
+            return Err(ServeError::Durability(format!(
+                "checkpoint reservoir label {bad} out of range for {classes} classes"
+            )));
+        }
         let mut stats = AdaptiveLaneStats::new();
-        let [submitted, served, fb_submitted, fb_applied, batches, adaptations, regen, failures] =
+        let [submitted, served, fb_submitted, fb_applied, batches, adaptations, regen, failures, recalibrations] =
             state.counters;
         stats.flows_submitted = submitted;
         stats.flows_served = served;
@@ -1862,6 +1963,7 @@ impl AdaptiveLane {
         stats.adaptations = adaptations;
         stats.regenerated_dimensions = regen;
         stats.adaptation_failures = failures;
+        stats.recalibrations = recalibrations;
         Ok(Self {
             tenant: state.tenant.as_str().into(),
             id: next_lane_id(),
@@ -1871,6 +1973,8 @@ impl AdaptiveLane {
             inner: Mutex::new(AdaptiveInner {
                 online,
                 thresholds: state.thresholds,
+                reservoir: state.reservoir,
+                reservoir_candidates: state.reservoir_candidates,
                 queue: VecDeque::new(),
                 retained,
                 retained_order,
@@ -1911,14 +2015,36 @@ impl AdaptiveLane {
         }
     }
 
-    /// Applies the queued events strictly in submission order through the
-    /// serial streaming rule, files verdicts, feeds the drift monitor and
-    /// adapts inline when it trips.  Publication (reseal + registry swap)
-    /// runs once at the end, off the per-event path.
+    /// Applies the queued events strictly in submission order — through
+    /// the serial streaming rule, or (for
+    /// [`AdaptiveConfig::batched_feedback`] lanes) through the
+    /// frozen-snapshot mini-batch rule — files verdicts, feeds the drift
+    /// monitor and adapts when it trips.  Publication (reseal + registry
+    /// swap) runs once at the end, off the per-event path.
     fn flush_locked(&self, inner: &mut AdaptiveInner) -> usize {
         if inner.queue.is_empty() {
             return 0;
         }
+        let served = if self.config.batched_feedback {
+            self.flush_batched(inner)
+        } else {
+            self.flush_serial(inner)
+        };
+        inner.stats.flows_served += served as u64;
+        inner.stats.batches += 1;
+        if inner.pending_publish {
+            inner.pending_publish = false;
+            // Failures are recorded in publish_failures; serving goes on
+            // with the lane-local adapted model either way.
+            let _ = self.publish_now(inner);
+        }
+        served
+    }
+
+    /// The serial event application: each event is scored and learned from
+    /// in turn, so the lane is bit-identical to a serial replay.  The
+    /// monitor trips **inline**, at the tripping event.
+    fn flush_serial(&self, inner: &mut AdaptiveInner) -> usize {
         let mut served = 0usize;
         while let Some(event) = inner.queue.pop_front() {
             match event {
@@ -1938,6 +2064,9 @@ impl AdaptiveLane {
                         Some(label) => inner.monitor.record_labelled(class == label, novel),
                         None => inner.monitor.record_unlabelled(novel),
                     };
+                    if let Some(label) = label {
+                        self.reservoir_note(inner, &record, label);
+                    }
                     inner.completed.insert(seq, Verdict { class, similarity, novel });
                     inner.stats.latency.record(submitted.elapsed());
                     served += 1;
@@ -1952,6 +2081,7 @@ impl AdaptiveLane {
                         .expect("record and label validated at submit time");
                     let novel = inner.thresholds.as_ref().is_some_and(|t| similarity < t[class]);
                     let tripped = inner.monitor.record_labelled(class == label, novel);
+                    self.reservoir_note(inner, &record, label);
                     inner.stats.feedback_applied += 1;
                     if tripped {
                         self.adapt_locked(inner);
@@ -1959,15 +2089,111 @@ impl AdaptiveLane {
                 }
             }
         }
-        inner.stats.flows_served += served as u64;
-        inner.stats.batches += 1;
-        if inner.pending_publish {
-            inner.pending_publish = false;
-            // Failures are recorded in publish_failures; serving goes on
-            // with the lane-local adapted model either way.
-            let _ = self.publish_now(inner);
+        served
+    }
+
+    /// The batched event application: every queued event is scored against
+    /// the **frozen pre-batch model**, the labelled events are learned
+    /// from through one deferred mini-batch update
+    /// ([`crate::OnlineLearner::observe_batch_view`]), and monitor trips
+    /// are honoured **at the batch boundary** — the weaker documented
+    /// contract of [`AdaptiveConfig::batched_feedback`]: bit-identical to
+    /// a batched replay at the same flush boundaries.
+    fn flush_batched(&self, inner: &mut AdaptiveInner) -> usize {
+        let events: Vec<AdaptiveEvent> = inner.queue.drain(..).collect();
+        // Score unlabelled flows first: predictions are pure, and the
+        // labelled events' deferred update lands only after this loop, so
+        // every score in the batch sees the same frozen model.
+        let mut unlabelled_scores = VecDeque::new();
+        let mut records = Vec::new();
+        let mut labels = Vec::new();
+        for event in &events {
+            match event {
+                AdaptiveEvent::Flow { record, label: None, .. } => unlabelled_scores.push_back(
+                    inner.online.predict_scored(record).expect("record validated at submit time"),
+                ),
+                AdaptiveEvent::Flow { record, label: Some(label), .. }
+                | AdaptiveEvent::Feedback { record, label, .. } => {
+                    records.push(record.clone());
+                    labels.push(*label);
+                }
+            }
+        }
+        let mut labelled_scores: VecDeque<(usize, f32)> = if records.is_empty() {
+            VecDeque::new()
+        } else {
+            inner
+                .online
+                .observe_batch_scored(&records, &labels)
+                .expect("records and labels validated at submit time")
+                .into()
+        };
+        // Walk the events in submission order: verdicts, monitor feed and
+        // reservoir updates happen exactly as in the serial path, only on
+        // frozen-snapshot scores; trips are tallied and honoured once the
+        // whole batch is applied.
+        let mut served = 0usize;
+        let mut trips = 0usize;
+        for event in events {
+            match event {
+                AdaptiveEvent::Flow { seq, record, label, submitted } => {
+                    let (class, similarity) = match label {
+                        Some(_) => labelled_scores.pop_front().expect("one score per label"),
+                        None => unlabelled_scores.pop_front().expect("one score per flow"),
+                    };
+                    let novel = inner.thresholds.as_ref().is_some_and(|t| similarity < t[class]);
+                    let tripped = match label {
+                        Some(label) => inner.monitor.record_labelled(class == label, novel),
+                        None => inner.monitor.record_unlabelled(novel),
+                    };
+                    if let Some(label) = label {
+                        self.reservoir_note(inner, &record, label);
+                    }
+                    inner.completed.insert(seq, Verdict { class, similarity, novel });
+                    inner.stats.latency.record(submitted.elapsed());
+                    served += 1;
+                    trips += usize::from(tripped);
+                }
+                AdaptiveEvent::Feedback { record, label, .. } => {
+                    let (class, similarity) =
+                        labelled_scores.pop_front().expect("one score per label");
+                    let novel = inner.thresholds.as_ref().is_some_and(|t| similarity < t[class]);
+                    let tripped = inner.monitor.record_labelled(class == label, novel);
+                    self.reservoir_note(inner, &record, label);
+                    inner.stats.feedback_applied += 1;
+                    trips += usize::from(tripped);
+                }
+            }
+        }
+        for _ in 0..trips {
+            self.adapt_locked(inner);
         }
         served
+    }
+
+    /// Offers one in-distribution `(record, label)` to the recalibration
+    /// reservoir (Algorithm R).  Every replacement draw is a pure function
+    /// of `(reservoir_seed, candidate index)`, so the reservoir contents
+    /// after any event prefix are reproducible without persisting RNG
+    /// state — replay and crash recovery land on bit-identical reservoirs.
+    fn reservoir_note(&self, inner: &mut AdaptiveInner, record: &[f32], label: usize) {
+        let capacity = self.config.reservoir_capacity;
+        if capacity == 0 {
+            return;
+        }
+        let candidate = inner.reservoir_candidates;
+        inner.reservoir_candidates += 1;
+        if inner.reservoir.len() < capacity {
+            inner.reservoir.push((record.to_vec(), label));
+            return;
+        }
+        let mut rng = HdcRng::seed_from(
+            self.config.reservoir_seed ^ candidate.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let slot = rng.index(candidate as usize + 1);
+        if slot < capacity {
+            inner.reservoir[slot] = (record.to_vec(), label);
+        }
     }
 
     /// One adaptation: regenerate low-variance dimensions in place.  Runs
@@ -1993,9 +2219,30 @@ impl AdaptiveLane {
         }
         inner.stats.adaptations += 1;
         inner.stats.regenerated_dimensions += regenerated as u64;
+        self.recalibrate_locked(inner);
         if self.config.auto_publish && self.registry.is_some() {
             inner.pending_publish = true;
         }
+    }
+
+    /// Recalibrates the open-set thresholds from the in-distribution
+    /// reservoir against the freshly regenerated memory.  Runs inline in
+    /// the adaptation (registry-independent), so the lane's post-trip
+    /// novelty flags — not just the published snapshot — are a pure
+    /// function of the event sequence.  A closed-set lane, a disabled
+    /// reservoir or an empty reservoir keeps the previous thresholds.
+    fn recalibrate_locked(&self, inner: &mut AdaptiveInner) {
+        if inner.thresholds.is_none() || inner.reservoir.is_empty() {
+            return;
+        }
+        let (records, labels): (Vec<Vec<f32>>, Vec<usize>) =
+            inner.reservoir.iter().cloned().unzip();
+        let thresholds = inner
+            .online
+            .recalibrate_thresholds(&records, &labels, self.config.recalibration_quantile)
+            .expect("reservoir records and labels were validated at submit time");
+        inner.thresholds = Some(thresholds);
+        inner.stats.recalibrations += 1;
     }
 
     /// Seals a snapshot and hands it to the registry (swap, or register at
@@ -2004,12 +2251,12 @@ impl AdaptiveLane {
     /// publish and the manual [`AdaptiveLane::publish`].  Every registry
     /// refusal increments `publish_failures`.
     ///
-    /// Published snapshots are **closed-set**: open-set thresholds were
-    /// calibrated against the sealed original memory, and re-attaching
-    /// them to an adapted memory would silently mis-flag traffic, so they
-    /// are dropped (the same rule as [`Detector::into_online`]).  The
-    /// registry makes this observable — [`DetectorRegistry::info`] reports
-    /// `open_set: false` for the swapped-in artifact.
+    /// An **open-set** lane publishes an open-set snapshot: its current
+    /// per-class thresholds — recalibrated from the reservoir at every
+    /// successful adaptation — are attached to the resealed model via
+    /// [`Detector::with_thresholds`], so [`DetectorRegistry::info`] keeps
+    /// reporting `open_set: true` after a drift-triggered republish.  A
+    /// closed-set lane publishes closed-set, as before.
     fn publish_now(&self, inner: &mut AdaptiveInner) -> ServeResult<u64> {
         let Some(registry) = self.registry.as_ref() else {
             return Err(ServeError::InvalidConfig(
@@ -2018,6 +2265,12 @@ impl AdaptiveLane {
         };
         let start = Instant::now();
         let sealed = inner.online.seal_snapshot();
+        let sealed = match &inner.thresholds {
+            Some(thresholds) => sealed
+                .with_thresholds(thresholds.clone())
+                .expect("snapshots are dense and threshold counts match the class count"),
+            None => sealed,
+        };
         let result = match registry.swap(&self.tenant, sealed.clone()) {
             Err(ServeError::UnknownTenant(_)) => registry.register(&self.tenant, sealed).map(|_| 1),
             swapped => swapped,
@@ -2038,8 +2291,9 @@ impl AdaptiveLane {
 
     /// Publishes a sealed snapshot to the registry now, returning the new
     /// registry version — the manual form of the automatic post-adaptation
-    /// publication.  The snapshot is closed-set (see the note on
-    /// publication in the type docs).
+    /// publication.  An open-set lane publishes with its current
+    /// (reservoir-recalibrated) thresholds attached; a closed-set lane
+    /// publishes closed-set.
     ///
     /// # Errors
     ///
@@ -2139,6 +2393,8 @@ impl AdaptiveLane {
             adaptations: stats.adaptations,
             regenerated_dimensions: stats.regenerated_dimensions,
             adaptation_failures: stats.adaptation_failures,
+            recalibrations: stats.recalibrations,
+            reservoir_size: inner.reservoir.len(),
             effective_dimension: inner.online.learner().effective_dimension(),
             publishes: stats.publishes,
             publish_failures: stats.publish_failures,
@@ -2189,6 +2445,10 @@ pub(crate) struct LaneCheckpoint {
     pub(crate) retained: Vec<(u64, Vec<f32>)>,
     /// Aging-eviction watermark (see [`AdaptiveInner::evicted_up_to`]).
     pub(crate) evicted_up_to: Option<u64>,
+    /// Recalibration reservoir `(record, label)` entries in slot order.
+    pub(crate) reservoir: Vec<(Vec<f32>, usize)>,
+    /// Eligible candidates the reservoir has seen (the Algorithm-R index).
+    pub(crate) reservoir_candidates: u64,
     /// Prequential sample count ([`OnlineDetector::samples_seen`]).
     pub(crate) seen: usize,
     /// Prequential correct-before-update count.
@@ -2196,8 +2456,8 @@ pub(crate) struct LaneCheckpoint {
     /// Deterministic lane counters, in the fixed order consumed by
     /// [`AdaptiveLane::restore`]: flows_submitted, flows_served,
     /// feedback_submitted, feedback_applied, batches, adaptations,
-    /// regenerated_dimensions, adaptation_failures.
-    pub(crate) counters: [u64; 8],
+    /// regenerated_dimensions, adaptation_failures, recalibrations.
+    pub(crate) counters: [u64; 9],
 }
 
 #[cfg(test)]
@@ -2838,6 +3098,166 @@ mod tests {
         assert_eq!(republished, version + 1);
         let (published, _) = registry.current("edge").unwrap();
         assert_eq!(published.to_bytes(), lane.seal_snapshot().to_bytes());
+    }
+
+    #[test]
+    fn adaptive_open_set_republish_recalibrates_thresholds() {
+        let data = dataset(600, 67);
+        let v1 = Detector::builder()
+            .dimension(128)
+            .retrain_epochs(2)
+            .regeneration_rate(0.1)
+            .open_set(0.05)
+            .seed(7)
+            .train(&data)
+            .unwrap();
+        let initial = v1.thresholds().unwrap().to_vec();
+        let registry = Arc::new(DetectorRegistry::new());
+        registry.register("edge", v1.clone()).unwrap();
+        let config =
+            AdaptiveConfig { monitor: touchy_monitor(), max_batch: 8, ..AdaptiveConfig::default() };
+        let lane = AdaptiveLane::with_registry("edge", v1, config, Arc::clone(&registry)).unwrap();
+
+        // Calm phase, then rotated labels: the error surge trips the
+        // monitor and each adaptation must recalibrate before publishing.
+        for (record, &label) in data.records().iter().zip(data.labels()).take(40) {
+            lane.submit_labelled(record, label).unwrap();
+        }
+        lane.flush().unwrap();
+        let classes = data.num_classes();
+        for (record, &label) in data.records().iter().zip(data.labels()).skip(40).take(120) {
+            lane.submit_labelled(record, (label + 1) % classes).unwrap();
+        }
+        lane.flush().unwrap();
+
+        let stats = lane.stats();
+        assert!(stats.monitor_trips >= 1, "rotated labels must trip the monitor: {stats}");
+        assert!(stats.recalibrations >= 1, "open-set adaptations must recalibrate: {stats}");
+        assert!(stats.reservoir_size > 0, "labelled flows must populate the reservoir: {stats}");
+        let thresholds = lane.thresholds_snapshot().expect("the lane must stay open-set");
+        assert_ne!(thresholds, initial, "recalibration must refresh the thresholds");
+        // The republished snapshot carries the recalibrated thresholds —
+        // the bug this PR fixes was publish dropping them entirely.
+        let (published, version) = registry.current("edge").unwrap();
+        assert!(version >= 2, "the adaptation must have republished, got v{version}");
+        assert_eq!(
+            published.thresholds(),
+            Some(thresholds.as_slice()),
+            "the published snapshot must carry the lane's recalibrated thresholds"
+        );
+        assert!(registry.info("edge").unwrap().open_set);
+    }
+
+    #[test]
+    fn batched_lanes_match_a_batched_replay_at_the_same_boundaries() {
+        let data = dataset(360, 71);
+        let artifact = Detector::builder()
+            .dimension(128)
+            .retrain_epochs(1)
+            .regeneration_rate(0.1)
+            .open_set(0.05)
+            .seed(9)
+            .train(&data)
+            .unwrap();
+        let thresholds = artifact.thresholds().unwrap().to_vec();
+        let batch = 9usize;
+        let config = AdaptiveConfig {
+            max_batch: batch,
+            queue_capacity: 512,
+            batched_feedback: true,
+            ..AdaptiveConfig::default()
+        };
+        let lane = AdaptiveLane::new("t0", artifact.clone(), config).unwrap();
+        let mut oracle = artifact.into_online().unwrap();
+
+        // The documented contract: bit-identical to a batched replay at
+        // the same flush boundaries.  The lane auto-flushes every
+        // `batch` submissions, so the oracle applies the same chunks —
+        // every score in a chunk against the frozen pre-chunk model, the
+        // labelled records learned through one deferred batch update.
+        let mut expected = Vec::new();
+        for chunk in data.records().chunks(batch) {
+            let base = expected.len();
+            let mut scores = Vec::new();
+            let mut records = Vec::new();
+            let mut labels = Vec::new();
+            for (i, record) in chunk.iter().enumerate() {
+                if (base + i) % 2 == 0 {
+                    lane.submit_labelled(record, data.labels()[base + i]).unwrap();
+                    records.push(record.clone());
+                    labels.push(data.labels()[base + i]);
+                    scores.push(None);
+                } else {
+                    lane.submit(record).unwrap();
+                    scores.push(Some(oracle.predict_scored(record).unwrap()));
+                }
+            }
+            let mut learned = std::collections::VecDeque::from(
+                oracle.observe_batch_scored(&records, &labels).unwrap(),
+            );
+            for score in scores {
+                let (class, similarity) =
+                    score.unwrap_or_else(|| learned.pop_front().expect("one score per label"));
+                let novel = similarity < thresholds[class];
+                expected.push(Verdict { class, similarity, novel });
+            }
+        }
+        let verdicts: Vec<Verdict> =
+            lane.drain_completed().into_iter().map(|(_, verdict)| verdict).collect();
+        assert_eq!(verdicts.len(), expected.len());
+        for (seq, (got, want)) in verdicts.iter().zip(&expected).enumerate() {
+            assert_eq!(got.class, want.class, "flow {seq}");
+            assert_eq!(got.similarity.to_bits(), want.similarity.to_bits(), "flow {seq}");
+            assert_eq!(got.novel, want.novel, "flow {seq}");
+        }
+        assert_eq!(
+            lane.seal_snapshot().to_bytes(),
+            oracle.seal_snapshot().to_bytes(),
+            "the lane's final model must match the batched replay bit for bit"
+        );
+    }
+
+    #[test]
+    fn reservoir_is_identical_across_flush_modes_and_bounded_by_capacity() {
+        let data = dataset(300, 73);
+        let artifact = Detector::builder()
+            .dimension(96)
+            .retrain_epochs(1)
+            .regeneration_rate(0.1)
+            .open_set(0.05)
+            .seed(11)
+            .train(&data)
+            .unwrap();
+        let base = AdaptiveConfig {
+            reservoir_capacity: 16,
+            queue_capacity: 512,
+            ..AdaptiveConfig::default()
+        };
+        // The reservoir is a pure function of the labelled event sequence:
+        // flush cadence and batched vs serial application must not move a
+        // single entry.
+        let serial = AdaptiveLane::new("t0", artifact.clone(), base).unwrap();
+        let chunky =
+            AdaptiveLane::new("t0", artifact.clone(), AdaptiveConfig { max_batch: 5, ..base })
+                .unwrap();
+        let batched = AdaptiveLane::new(
+            "t0",
+            artifact,
+            AdaptiveConfig { max_batch: 7, batched_feedback: true, ..base },
+        )
+        .unwrap();
+        for lane in [&serial, &chunky, &batched] {
+            for (record, &label) in data.records().iter().zip(data.labels()).take(120) {
+                lane.submit_labelled(record, label).unwrap();
+            }
+            lane.flush().unwrap();
+        }
+        let (entries, candidates) = serial.reservoir_snapshot();
+        assert_eq!(entries.len(), 16, "the reservoir must cap at its configured capacity");
+        assert_eq!(candidates, 120, "every labelled event is a candidate");
+        assert_eq!(serial.reservoir_snapshot(), chunky.reservoir_snapshot());
+        assert_eq!(serial.reservoir_snapshot(), batched.reservoir_snapshot());
+        assert_eq!(serial.stats().reservoir_size, 16);
     }
 
     #[test]

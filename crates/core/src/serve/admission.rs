@@ -164,13 +164,22 @@ impl Bucket {
 
     /// Time until the next whole token accrues (the shed `retry_hint`);
     /// `None` when the bucket can never refill.
+    ///
+    /// [`refill`](Self::refill) grants a token once
+    /// `elapsed * rate >= 1e9` ns, so the period must round **up**:
+    /// truncating `1e9 / rate` hands back a hint one nanosecond short
+    /// for every rate that does not divide 1e9, and a client retrying
+    /// exactly at `now + hint` is shed again. `refilled` only advances
+    /// to whole-token boundaries, so `since` is banked fractional
+    /// accrual and counts toward the next token.
     fn next_token_in(&self, now: Instant) -> Option<Duration> {
-        if self.quota.rate_per_sec == 0 {
+        let rate = self.quota.rate_per_sec as u128;
+        if rate == 0 {
             return None;
         }
-        let period = Duration::from_nanos(1_000_000_000 / self.quota.rate_per_sec.max(1));
-        let since = now.saturating_duration_since(self.refilled);
-        Some(period.saturating_sub(since))
+        let needed = 1_000_000_000u128.div_ceil(rate);
+        let since = now.saturating_duration_since(self.refilled).as_nanos();
+        Some(Duration::from_nanos(needed.saturating_sub(since) as u64))
     }
 }
 
@@ -429,6 +438,44 @@ mod tests {
         assert!(ctl.admit("t", 0, t2).is_err());
         let t3 = t2 + Duration::from_micros(500);
         ctl.admit("t", 0, t3).unwrap();
+    }
+
+    #[test]
+    fn a_retry_at_the_hinted_instant_is_never_shed_again() {
+        // Rates that do not divide 1e9 are exactly the ones the old
+        // truncated period shortchanged; sweep them with drifting
+        // off-boundary offsets so banked fractional accrual feeds into
+        // the hint as well.
+        for rate in [1u64, 3, 7, 999, 1_000, 32_768, 999_999_937] {
+            for burst in [1u64, 2, 5] {
+                let ctl = controller(AdmissionConfig {
+                    default_quota: Some(TenantQuota { rate_per_sec: rate, burst }),
+                    ..Default::default()
+                });
+                let mut now = Instant::now();
+                for step in 0..40u64 {
+                    // Drain whatever is available at `now`, capturing the
+                    // hint attached to the shed that empties the bucket.
+                    let hint = loop {
+                        match ctl.admit("t", 0, now) {
+                            Ok(()) => {}
+                            Err(ServeError::Shed { retry_hint, .. }) => break retry_hint,
+                            Err(other) => panic!("{other:?}"),
+                        }
+                    };
+                    now += hint;
+                    ctl.admit("t", 0, now).unwrap_or_else(|err| {
+                        panic!(
+                            "retry at now + retry_hint shed again \
+                             (rate {rate}, burst {burst}, step {step}): {err:?}"
+                        )
+                    });
+                    // Step off the whole-token boundary before the next
+                    // round so the fractional-accrual path is exercised.
+                    now += Duration::from_nanos(step * 41 + 1);
+                }
+            }
+        }
     }
 
     #[test]

@@ -420,20 +420,37 @@ impl ChunkScratch {
         label: usize,
         learning_rate: f32,
     ) -> usize {
+        self.visit_scored(frozen, class_norms, row, row_norm, label, learning_rate).0
+    }
+
+    /// [`ChunkScratch::visit`] also returning the winner's frozen-snapshot
+    /// cosine similarity — identical scoring and identical deferred delta,
+    /// bit for bit.  The batched-feedback serving lane builds its verdicts
+    /// (and open-set novelty flags) from this score.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn visit_scored(
+        &mut self,
+        frozen: &AssociativeMemory,
+        class_norms: &[f32],
+        row: &[f32],
+        row_norm: f32,
+        label: usize,
+        learning_rate: f32,
+    ) -> (usize, f32) {
         frozen
             .similarities_with_query_norm(row, row_norm, class_norms, &mut self.scores)
             .expect("encoded sample dimensionality is validated before training");
-        let (predicted, _) =
+        let (predicted, best) =
             similarity::argmax(&self.scores).expect("memory always has at least one class");
         if predicted == label {
             self.correct += 1;
-            return predicted;
+            return (predicted, best);
         }
         let pull = learning_rate * (1.0 - self.scores[label]);
         let push = learning_rate * (1.0 - self.scores[predicted]);
         self.accumulate(label, row, pull);
         self.accumulate(predicted, row, -push);
-        predicted
+        (predicted, best)
     }
 
     fn accumulate(&mut self, class: usize, row: &[f32], weight: f32) {

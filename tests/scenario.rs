@@ -104,13 +104,22 @@ fn scenario_monitor() -> DriftMonitorConfig {
 }
 
 /// The adaptation policy, replayed serially on a plain [`OnlineDetector`]
-/// — written out independently here so the test pins the lane's policy
-/// rather than calling back into it.
+/// — written out independently here (including the reservoir sampling and
+/// post-trip recalibration rules, with the default lane constants spelled
+/// out) so the test pins the lane's policy rather than calling back into
+/// it.
 struct SerialOracle {
     online: OnlineDetector,
     thresholds: Option<Vec<f32>>,
     monitor: DriftMonitor,
+    reservoir: Vec<(Vec<f32>, usize)>,
+    reservoir_candidates: u64,
 }
+
+/// The lane defaults the oracle mirrors (`AdaptiveConfig::default()`).
+const ORACLE_RESERVOIR_CAPACITY: usize = 256;
+const ORACLE_RESERVOIR_SEED: u64 = 0x5EED_CA1B;
+const ORACLE_RECALIBRATION_QUANTILE: f64 = 0.05;
 
 impl SerialOracle {
     fn new(detector: Detector, monitor: DriftMonitorConfig) -> Self {
@@ -119,6 +128,26 @@ impl SerialOracle {
             online: detector.into_online().expect("dense artifact"),
             thresholds,
             monitor: DriftMonitor::new(monitor).expect("valid monitor"),
+            reservoir: Vec::new(),
+            reservoir_candidates: 0,
+        }
+    }
+
+    /// Algorithm R with a per-candidate seeded draw — the lane's
+    /// deterministic reservoir rule, restated independently.
+    fn reservoir_note(&mut self, record: &[f32], label: usize) {
+        let candidate = self.reservoir_candidates;
+        self.reservoir_candidates += 1;
+        if self.reservoir.len() < ORACLE_RESERVOIR_CAPACITY {
+            self.reservoir.push((record.to_vec(), label));
+            return;
+        }
+        let mut rng = HdcRng::seed_from(
+            ORACLE_RESERVOIR_SEED ^ candidate.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let slot = rng.index(candidate as usize + 1);
+        if slot < ORACLE_RESERVOIR_CAPACITY {
+            self.reservoir[slot] = (record.to_vec(), label);
         }
     }
 
@@ -133,8 +162,25 @@ impl SerialOracle {
             Some(label) => self.monitor.record_labelled(class == label, novel),
             None => self.monitor.record_unlabelled(novel),
         };
+        // Ground truth certifies in-distribution membership: the model's
+        // own novelty flag does not gate reservoir entry (it would
+        // truncate the similarity distribution the quantile is over).
+        if let Some(label) = label {
+            self.reservoir_note(record, label);
+        }
         if tripped {
             self.online.regenerate().expect("RBF artifacts regenerate");
+            // Open-set lanes recalibrate their thresholds from the
+            // reservoir against the freshly regenerated memory.
+            if self.thresholds.is_some() && !self.reservoir.is_empty() {
+                let (records, labels): (Vec<Vec<f32>>, Vec<usize>) =
+                    self.reservoir.iter().cloned().unzip();
+                self.thresholds = Some(
+                    self.online
+                        .recalibrate_thresholds(&records, &labels, ORACLE_RECALIBRATION_QUANTILE)
+                        .expect("reservoir entries are valid records"),
+                );
+            }
         }
         (!is_feedback).then_some(Verdict { class, similarity, novel })
     }
@@ -395,12 +441,14 @@ fn zero_day_surge_trips_on_novelty_with_sparse_labels() {
     );
     assert!(stats.adaptations >= 1, "{stats}");
     assert!(stats.publishes >= 1, "{stats}");
-    // Publication semantics, pinned: republished snapshots are closed-set
-    // (thresholds were calibrated against the pre-adaptation memory), and
-    // the registry makes that observable; the never-swapped frozen tenant
-    // keeps its open-set artifact.
+    // Publication semantics, pinned: republished snapshots carry
+    // thresholds recalibrated from the lane's in-distribution reservoir
+    // against the adapted memory — an open-set lane republishes an
+    // **open-set** artifact (the old behavior dropped to closed-set), and
+    // the registry makes that observable.
+    assert!(stats.recalibrations >= 1, "each open-set adaptation must recalibrate: {stats}");
     let registry = &outcome.registry;
-    assert!(!registry.info(ADAPTIVE_TENANT).unwrap().open_set);
+    assert!(registry.info(ADAPTIVE_TENANT).unwrap().open_set);
     assert!(registry.info(bench::scenario::FROZEN_TENANT).unwrap().open_set);
     // The frozen artifact has never seen the surging class; the adaptive
     // lane learns it from the sparse feedback and pulls ahead.
@@ -504,6 +552,76 @@ fn zoo_unseen_language_trips_on_novelty_and_recovers() {
 }
 
 #[test]
+fn republished_snapshot_stays_open_set_within_tolerance_of_fresh_calibration() {
+    use nids_data::datasets::language_id;
+
+    // The acceptance bar for reservoir recalibration: after the
+    // mid-stream novelty trip and republish, the lane must still emit
+    // open-set verdicts — and its late-stream novel rate on the unseen
+    // language must sit within 0.05 of a detector freshly trained *and*
+    // calibrated on a corpus that includes that language.  (Before this
+    // recalibration existed, the republished thresholds were stale
+    // against the adapted memory and the lane's unknown rate pinned
+    // several times higher than any fresh calibration.)
+    let prepared = zoo_unseen_language(1200, 1024, 79).unwrap();
+    let config = ReplayConfig { feedback_every: 4, feedback_delay: 250, ..ReplayConfig::default() };
+    let outcome = replay_prepared(&prepared, &config).unwrap();
+    let stats = &outcome.adaptive;
+    assert!(stats.monitor_trips >= 1, "the novelty surge must trip mid-stream: {stats}");
+    assert!(stats.publishes >= 1, "the trip must republish: {stats}");
+    assert!(stats.recalibrations >= 1, "each open-set adaptation recalibrates: {stats}");
+
+    let (published, version) =
+        outcome.registry.current(ADAPTIVE_TENANT).expect("adaptive tenant is registered");
+    assert!(version >= 2, "the republished snapshot must have superseded the seed, got v{version}");
+    assert!(
+        published.thresholds().is_some(),
+        "the republished snapshot must carry open-set thresholds, not drop to closed-set"
+    );
+
+    // The reference: the same detector shape, freshly trained and
+    // open-set calibrated on a balanced corpus of all nine languages —
+    // what an offline rebuild with the collected labels would ship.
+    let corpus =
+        language_id::generate_mix(1350, &language_id::zero_day_weights(1.0), 0.0, 0xF12E5).unwrap();
+    let fresh = Detector::builder()
+        .encoder(EncoderKind::NGram)
+        .ngram_order(3)
+        .dimension(1024)
+        .retrain_epochs(2)
+        .regeneration_rate(0.0)
+        .seed(79)
+        .open_set(0.05)
+        .train(&corpus)
+        .unwrap();
+
+    // Compare novel rates on the unseen-language flows of the surge's
+    // back half — all well after the trips, so the lane's verdicts there
+    // came from the recalibrated thresholds.
+    let surge = outcome.phase_ranges[1].clone();
+    let mid = surge.start + (surge.end - surge.start) / 2;
+    let labels = prepared.live.dataset().labels();
+    let unseen: Vec<usize> =
+        (mid..surge.end).filter(|&i| labels[i] == language_id::NOVEL_LANGUAGE).collect();
+    assert!(unseen.len() >= 100, "the surge tail must actually contain the unseen language");
+    let lane_rate = unseen.iter().filter(|&&i| outcome.adaptive_verdicts[i].novel).count() as f64
+        / unseen.len() as f64;
+    let fresh_verdicts = fresh.detect_batch(prepared.live.dataset().records()).unwrap();
+    let fresh_rate =
+        unseen.iter().filter(|&&i| fresh_verdicts[i].novel).count() as f64 / unseen.len() as f64;
+    println!(
+        "post-republish open-set: lane novel rate {lane_rate:.3} vs freshly calibrated \
+         {fresh_rate:.3} over {} unseen-language flows",
+        unseen.len()
+    );
+    assert!(
+        (lane_rate - fresh_rate).abs() <= 0.05,
+        "the adapted-and-recalibrated lane must emit open-set verdicts within tolerance of a \
+         freshly calibrated detector: lane {lane_rate:.3} vs fresh {fresh_rate:.3}"
+    );
+}
+
+#[test]
 fn gradual_drift_and_class_surge_hold_the_contracts() {
     for spec in [gradual_drift(DatasetKind::CicIds2017), class_surge(DatasetKind::CicIds2018)] {
         let config = ReplayConfig { dimension: 160, train_samples: 800, ..ReplayConfig::default() };
@@ -535,13 +653,119 @@ fn gradual_drift_and_class_surge_hold_the_contracts() {
 /// (one checkpoint on disk), mid-stream and deep into the drift.
 const KILL_FRACTIONS: [f64; 3] = [0.3, 0.6, 0.85];
 
-fn run_crash_matrix(schedule: CrashSchedule) {
+/// The full bit-identity contract between a crashed-and-recovered
+/// timeline and the uncrashed oracle: recovery horizon sanity, sealed
+/// model bytes, open-set thresholds, the recalibration reservoir (entries
+/// and candidate counter), prequential accuracy, every counter, and every
+/// observed verdict.
+fn assert_recovery_identity(
+    cell: &str,
+    oracle: &bench::crash::TimelineOutcome,
+    crashed: &bench::crash::TimelineOutcome,
+    report: &cyberhd::RecoveryReport,
+    kill_event: usize,
+    damage_checkpoint: bool,
+) {
+    assert!(
+        report.next_event <= kill_event as u64,
+        "{cell}: recovery cannot resurrect events that were never durable"
+    );
+    assert_eq!(report.checkpoint_events + report.events_replayed, report.next_event);
+    if damage_checkpoint {
+        assert!(
+            report.checkpoints_skipped >= 1,
+            "{cell}: the flipped checkpoint must be rejected, not trusted"
+        );
+    }
+
+    // The crown: the recovered-and-continued lane is bit-identical
+    // to the lane that never crashed.
+    assert_eq!(crashed.sealed, oracle.sealed, "{cell}: final model must be bit-identical");
+    match (&crashed.thresholds, &oracle.thresholds) {
+        (Some(c), Some(o)) => {
+            let c: Vec<u32> = c.iter().map(|t| t.to_bits()).collect();
+            let o: Vec<u32> = o.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(c, o, "{cell}: open-set thresholds must be bit-identical");
+        }
+        (c, o) => assert_eq!(c.is_some(), o.is_some(), "{cell}: threshold presence must agree"),
+    }
+    assert_eq!(
+        crashed.reservoir.1, oracle.reservoir.1,
+        "{cell}: reservoir candidate counters must agree"
+    );
+    assert_eq!(
+        crashed.reservoir.0.len(),
+        oracle.reservoir.0.len(),
+        "{cell}: reservoir sizes must agree"
+    );
+    for (slot, ((cr, cl), (or_, ol))) in
+        crashed.reservoir.0.iter().zip(&oracle.reservoir.0).enumerate()
+    {
+        assert_eq!(cl, ol, "{cell} reservoir slot {slot}: label");
+        let cr: Vec<u32> = cr.iter().map(|v| v.to_bits()).collect();
+        let or_: Vec<u32> = or_.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cr, or_, "{cell} reservoir slot {slot}: record must be bit-exact");
+    }
+    assert_eq!(
+        crashed.prequential.to_bits(),
+        oracle.prequential.to_bits(),
+        "{cell}: prequential accuracy must be bit-identical"
+    );
+    let (c, o) = (&crashed.stats, &oracle.stats);
+    assert_eq!(
+        (c.flows_submitted, c.flows_served, c.samples_learned),
+        (o.flows_submitted, o.flows_served, o.samples_learned),
+        "{cell}"
+    );
+    assert_eq!(
+        (c.feedback_submitted, c.feedback_applied),
+        (o.feedback_submitted, o.feedback_applied),
+        "{cell}"
+    );
+    assert_eq!(
+        (c.monitor_trips, c.adaptations, c.regenerated_dimensions),
+        (o.monitor_trips, o.adaptations, o.regenerated_dimensions),
+        "{cell}: adaptation history must replay identically"
+    );
+    assert_eq!(
+        (c.recalibrations, c.reservoir_size),
+        (o.recalibrations, o.reservoir_size),
+        "{cell}: recalibration history must replay identically"
+    );
+
+    // Every verdict the crashed timeline observed (replayed or
+    // served after recovery) matches the oracle bit for bit, and
+    // coverage reaches at least every flow from the recovery
+    // checkpoint on.
+    let mut covered = 0usize;
+    for (seq, (got, want)) in crashed.verdicts.iter().zip(&oracle.verdicts).enumerate() {
+        if let Some(got) = got {
+            let want = want.as_ref().expect("oracle observed every verdict");
+            assert_eq!(got.class, want.class, "{cell} flow {seq}");
+            assert_eq!(
+                got.similarity.to_bits(),
+                want.similarity.to_bits(),
+                "{cell} flow {seq}: similarity must be bit-exact"
+            );
+            assert_eq!(got.novel, want.novel, "{cell} flow {seq}");
+            covered += 1;
+        }
+    }
+    assert!(
+        covered >= crashed.verdicts.len().saturating_sub(report.checkpoint_events as usize),
+        "{cell}: {covered} verdicts observed, checkpoint at event {}",
+        report.checkpoint_events
+    );
+}
+
+fn run_crash_matrix(schedule: CrashSchedule, batched: bool) {
     for kind in DatasetKind::ALL {
         let seed = 0x6B17 + kind as u64 * 131;
         let cell = build_cell(kind, schedule, seed);
-        let config = crash_config(cell.events.len(), scenario_monitor());
+        let config = crash_config(cell.events.len(), scenario_monitor(), batched);
+        let max_batch = config.adaptive.max_batch;
         let base = std::env::temp_dir()
-            .join(format!("cyberhd_crash_{schedule:?}_{kind:?}_{}", std::process::id()));
+            .join(format!("cyberhd_crash_{schedule:?}_{kind:?}_{batched}_{}", std::process::id()));
         std::fs::remove_dir_all(&base).ok();
 
         let oracle = run_uncrashed(&base.join("oracle"), &cell, &config);
@@ -554,7 +778,20 @@ fn run_crash_matrix(schedule: CrashSchedule) {
         }
 
         for (point, fraction) in KILL_FRACTIONS.iter().enumerate() {
-            let kill_event = (cell.events.len() as f64 * fraction) as usize;
+            let mut kill_event = (cell.events.len() as f64 * fraction) as usize;
+            if batched {
+                // A batched lane's flush boundaries are the multiples of
+                // `max_batch` (the driver never flushes mid-schedule), so
+                // aim the kills deliberately: point 0 dies exactly *on* a
+                // batch boundary, the later points die mid-batch at
+                // different offsets into the open batch.
+                kill_event = match point {
+                    0 => kill_event - kill_event % max_batch,
+                    1 => kill_event - kill_event % max_batch + 3,
+                    _ => kill_event - kill_event % max_batch + max_batch - 1,
+                }
+                .min(cell.events.len());
+            }
             let dir = base.join(format!("kill{point}"));
             // The middle kill point also corrupts the newest checkpoint:
             // recovery must fall back to the previous one and still agree.
@@ -567,67 +804,14 @@ fn run_crash_matrix(schedule: CrashSchedule) {
                 seed ^ (0x9E37 * (point as u64 + 1)),
                 damage_checkpoint,
             );
-
-            let cell = format!("{kind:?} {schedule:?} kill {point}");
-            assert!(
-                report.next_event <= kill_event as u64,
-                "{cell}: recovery cannot resurrect events that were never durable"
-            );
-            assert_eq!(report.checkpoint_events + report.events_replayed, report.next_event);
-            if damage_checkpoint {
-                assert!(
-                    report.checkpoints_skipped >= 1,
-                    "{cell}: the flipped checkpoint must be rejected, not trusted"
-                );
-            }
-
-            // The crown: the recovered-and-continued lane is bit-identical
-            // to the lane that never crashed.
-            assert_eq!(crashed.sealed, oracle.sealed, "{cell}: final model must be bit-identical");
-            assert_eq!(
-                crashed.prequential.to_bits(),
-                oracle.prequential.to_bits(),
-                "{cell}: prequential accuracy must be bit-identical"
-            );
-            let (c, o) = (&crashed.stats, &oracle.stats);
-            assert_eq!(
-                (c.flows_submitted, c.flows_served, c.samples_learned),
-                (o.flows_submitted, o.flows_served, o.samples_learned),
-                "{cell}"
-            );
-            assert_eq!(
-                (c.feedback_submitted, c.feedback_applied),
-                (o.feedback_submitted, o.feedback_applied),
-                "{cell}"
-            );
-            assert_eq!(
-                (c.monitor_trips, c.adaptations, c.regenerated_dimensions),
-                (o.monitor_trips, o.adaptations, o.regenerated_dimensions),
-                "{cell}: adaptation history must replay identically"
-            );
-
-            // Every verdict the crashed timeline observed (replayed or
-            // served after recovery) matches the oracle bit for bit, and
-            // coverage reaches at least every flow from the recovery
-            // checkpoint on.
-            let mut covered = 0usize;
-            for (seq, (got, want)) in crashed.verdicts.iter().zip(&oracle.verdicts).enumerate() {
-                if let Some(got) = got {
-                    let want = want.as_ref().expect("oracle observed every verdict");
-                    assert_eq!(got.class, want.class, "{cell} flow {seq}");
-                    assert_eq!(
-                        got.similarity.to_bits(),
-                        want.similarity.to_bits(),
-                        "{cell} flow {seq}: similarity must be bit-exact"
-                    );
-                    assert_eq!(got.novel, want.novel, "{cell} flow {seq}");
-                    covered += 1;
-                }
-            }
-            assert!(
-                covered >= crashed.verdicts.len().saturating_sub(report.checkpoint_events as usize),
-                "{cell}: {covered} verdicts observed, checkpoint at event {}",
-                report.checkpoint_events
+            let label = format!("{kind:?} {schedule:?} batched={batched} kill {point}");
+            assert_recovery_identity(
+                &label,
+                &oracle,
+                &crashed,
+                &report,
+                kill_event,
+                damage_checkpoint,
             );
         }
         std::fs::remove_dir_all(&base).ok();
@@ -636,15 +820,67 @@ fn run_crash_matrix(schedule: CrashSchedule) {
 
 #[test]
 fn crash_matrix_abrupt_shift_recovers_bit_identically_at_every_kill_point() {
-    run_crash_matrix(CrashSchedule::Abrupt);
+    run_crash_matrix(CrashSchedule::Abrupt, false);
 }
 
 #[test]
 fn crash_matrix_gradual_drift_recovers_bit_identically_at_every_kill_point() {
-    run_crash_matrix(CrashSchedule::Gradual);
+    run_crash_matrix(CrashSchedule::Gradual, false);
 }
 
 #[test]
 fn crash_matrix_zero_day_recovers_bit_identically_at_every_kill_point() {
-    run_crash_matrix(CrashSchedule::ZeroDay);
+    run_crash_matrix(CrashSchedule::ZeroDay, false);
+}
+
+#[test]
+fn crash_matrix_batched_lanes_recover_bit_identically_mid_batch_and_on_boundaries() {
+    // The batched-feedback matrix: kills land exactly on flush
+    // boundaries (multiples of `max_batch`) and mid-batch at two
+    // offsets, across every dataset kind.  Abrupt guarantees trips amid
+    // the kills; ZeroDay adds open-set recalibration under batching.
+    run_crash_matrix(CrashSchedule::Abrupt, true);
+    run_crash_matrix(CrashSchedule::ZeroDay, true);
+}
+
+#[test]
+fn crash_matrix_kill_on_checkpoint_aligned_recalibration_recovers_bit_identically() {
+    // ZeroDay is the only schedule whose artifact carries open-set
+    // thresholds, so its drift trips recalibrate from the reservoir.
+    // `crash_config` checkpoints every 48 events; kills pinned to
+    // multiples of 48 land exactly where a checkpoint (and, mid-surge,
+    // the recalibration audit record of the flush feeding it) was just
+    // written — the durable horizon *is* the kill point, nothing
+    // replays, and the recovered state must still be bit-identical.
+    for batched in [false, true] {
+        let kind = DatasetKind::UnswNb15;
+        let seed = 0xA11C + batched as u64;
+        let cell = build_cell(kind, CrashSchedule::ZeroDay, seed);
+        let config = crash_config(cell.events.len(), scenario_monitor(), batched);
+        let checkpoint_every = config.checkpoint_every;
+        let base = std::env::temp_dir()
+            .join(format!("cyberhd_crash_ckpt_recal_{batched}_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+
+        let oracle = run_uncrashed(&base.join("oracle"), &cell, &config);
+        assert!(
+            oracle.stats.recalibrations >= 1,
+            "the zero-day surge must recalibrate at least once for this cell to mean anything"
+        );
+        assert!(oracle.thresholds.is_some(), "the zero-day artifact is open-set");
+
+        // The novel-class surge starts at flow 90; with interleaved
+        // feedback that is comfortably before the third checkpoint, so
+        // these aligned kills bracket the recalibrating stretch.
+        for (point, multiple) in [3usize, 4, 5].into_iter().enumerate() {
+            let kill_event = checkpoint_every as usize * multiple;
+            assert!(kill_event < cell.events.len(), "schedule long enough for aligned kills");
+            let dir = base.join(format!("kill{point}"));
+            let (crashed, report) =
+                run_crashed(&dir, &cell, &config, kill_event, seed ^ (0x77AA << point), false);
+            let label = format!("{kind:?} ZeroDay batched={batched} ckpt-aligned kill {multiple}");
+            assert_recovery_identity(&label, &oracle, &crashed, &report, kill_event, false);
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
 }

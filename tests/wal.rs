@@ -231,6 +231,31 @@ fn storage_faults_only_ever_shorten_the_accepted_prefix() {
 }
 
 #[test]
+fn adaptive_event_tags_ride_the_frame_layer_opaquely() {
+    // The durable layer's event tags (flow/feedback/…/publish plus the
+    // recalibration and batch-boundary kinds) are the first payload byte
+    // of each record: the frame layer must neither interpret nor
+    // privilege any of them, so a log of tag-prefixed records obeys the
+    // exact same round-trip and torn-tail prefix contract as arbitrary
+    // payloads do.
+    let mut rng = HdcRng::seed_from(0x7A65);
+    let payloads: Vec<Vec<u8>> = (0..32u8)
+        .map(|i| {
+            let mut payload = vec![i % 8];
+            payload.extend((0..rng.index(48)).map(|_| (rng.next_word() >> 21) as u8));
+            payload
+        })
+        .collect();
+    let image = image_of(&payloads);
+    let scanned = wal::scan(&image).unwrap();
+    assert_eq!(scanned.records, payloads);
+    for cut in (wal::HEADER_LEN..image.len()).step_by(7) {
+        let scanned = wal::scan(&image[..cut]).unwrap();
+        assert_eq!(scanned.records, payloads[..scanned.records.len()], "cut at {cut}");
+    }
+}
+
+#[test]
 fn arbitrary_byte_soup_never_panics_and_never_yields_records() {
     let mut rng = HdcRng::seed_from(0x50FA);
     for trial in 0..200 {
